@@ -1,0 +1,160 @@
+//! Quick ASCII histograms and tail views for distribution experiments.
+
+/// A fixed-bin histogram over `f64` samples.
+///
+/// # Example
+///
+/// ```
+/// use analysis::histogram::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 10.0, 5);
+/// for x in [1.0, 1.5, 9.0] {
+///     h.add(x);
+/// }
+/// assert_eq!(h.count(), 3);
+/// assert_eq!(h.bin_counts()[0], 2);
+/// assert_eq!(h.bin_counts()[4], 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<usize>,
+    below: usize,
+    above: usize,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width bins over `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi` or `bins == 0`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Histogram {
+        assert!(lo < hi, "lo must be < hi");
+        assert!(bins > 0, "need at least one bin");
+        Histogram { lo, hi, bins: vec![0; bins], below: 0, above: 0 }
+    }
+
+    /// Adds a sample; values outside `[lo, hi)` land in overflow counters.
+    pub fn add(&mut self, x: f64) {
+        if x < self.lo {
+            self.below += 1;
+        } else if x >= self.hi {
+            self.above += 1;
+        } else {
+            let count = self.bins.len();
+            let idx = ((x - self.lo) / (self.hi - self.lo) * count as f64) as usize;
+            self.bins[idx.min(count - 1)] += 1;
+        }
+    }
+
+    /// Total samples added (including overflow).
+    pub fn count(&self) -> usize {
+        self.bins.iter().sum::<usize>() + self.below + self.above
+    }
+
+    /// Per-bin counts.
+    pub fn bin_counts(&self) -> &[usize] {
+        &self.bins
+    }
+
+    /// Samples below the range.
+    pub fn underflow(&self) -> usize {
+        self.below
+    }
+
+    /// Samples at or above the upper bound.
+    pub fn overflow(&self) -> usize {
+        self.above
+    }
+
+    /// Renders a compact horizontal bar chart (one line per bin).
+    pub fn render(&self, width: usize) -> String {
+        let max = self.bins.iter().copied().max().unwrap_or(0).max(1);
+        let bin_width = (self.hi - self.lo) / self.bins.len() as f64;
+        let mut out = String::new();
+        for (i, &c) in self.bins.iter().enumerate() {
+            let lo = self.lo + bin_width * i as f64;
+            let bar_len = (c * width).div_ceil(max).min(width);
+            let bar: String = "#".repeat(if c == 0 { 0 } else { bar_len.max(1) });
+            out.push_str(&format!("[{:>10.2}, {:>10.2})  {:>7}  {}\n", lo, lo + bin_width, c, bar));
+        }
+        if self.below + self.above > 0 {
+            out.push_str(&format!("outside range: {} below, {} above\n", self.below, self.above));
+        }
+        out
+    }
+}
+
+/// Empirical complementary CDF: for each threshold `k` in `thresholds`,
+/// the fraction of samples `≥ k`. Used by the Lemma 3.5 tail experiment.
+pub fn ccdf(samples: &[f64], thresholds: &[f64]) -> Vec<f64> {
+    if samples.is_empty() {
+        return vec![0.0; thresholds.len()];
+    }
+    thresholds
+        .iter()
+        .map(|&k| samples.iter().filter(|&&x| x >= k).count() as f64 / samples.len() as f64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binning() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for i in 0..10 {
+            h.add(i as f64 + 0.5);
+        }
+        assert_eq!(h.bin_counts(), &[1; 10]);
+        assert_eq!(h.count(), 10);
+    }
+
+    #[test]
+    fn overflow_handling() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.add(-1.0);
+        h.add(1.0); // hi is exclusive
+        h.add(5.0);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.count(), 3);
+    }
+
+    #[test]
+    fn boundary_lands_in_correct_bin() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.add(0.0);
+        h.add(9.999_999);
+        assert_eq!(h.bin_counts()[0], 1);
+        assert_eq!(h.bin_counts()[9], 1);
+    }
+
+    #[test]
+    fn render_contains_bars() {
+        let mut h = Histogram::new(0.0, 4.0, 2);
+        h.add(1.0);
+        h.add(1.2);
+        h.add(3.0);
+        let s = h.render(10);
+        assert!(s.contains('#'));
+        assert!(s.lines().count() >= 2);
+    }
+
+    #[test]
+    fn ccdf_values() {
+        let samples = [1.0, 2.0, 3.0, 4.0];
+        let tail = ccdf(&samples, &[0.0, 2.5, 4.0, 9.0]);
+        assert_eq!(tail, vec![1.0, 0.5, 0.25, 0.0]);
+        assert_eq!(ccdf(&[], &[1.0]), vec![0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "lo must be < hi")]
+    fn bad_range_rejected() {
+        Histogram::new(1.0, 1.0, 3);
+    }
+}

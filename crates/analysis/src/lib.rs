@@ -1,0 +1,19 @@
+//! Statistics, model fitting and table formatting for experiment reporting.
+//!
+//! The paper's claims are asymptotic w.h.p. statements; the experiments
+//! validate them empirically by
+//!
+//! - summarizing stabilization times over many seeds ([`stats`]),
+//! - fitting the measured `T(n)` curves against the candidate growth models
+//!   `log n`, `log n · log log n` and `log² n` ([`regression`]),
+//! - and printing aligned ASCII tables ([`table`]) plus quick distribution
+//!   views ([`histogram`]).
+
+pub mod histogram;
+pub mod regression;
+pub mod stats;
+pub mod table;
+
+pub use regression::{FitReport, GrowthModel, LinearFit};
+pub use stats::Summary;
+pub use table::Table;

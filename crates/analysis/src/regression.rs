@@ -1,0 +1,275 @@
+//! Least-squares fitting of stabilization-time curves against the paper's
+//! candidate growth models.
+//!
+//! The experiments measure `T(n)` — stabilization rounds at network size
+//! `n` — and ask which of the theoretical shapes explains the data:
+//!
+//! - Theorem 2.1 / Corollary 2.3 predict `T(n) = Θ(log n)`,
+//! - Theorem 2.2 predicts `T(n) = O(log n · log log n)`,
+//! - Afek et al.'s baseline scales like `log² N · log n`-ish,
+//! - a naive non-adaptive protocol would be polynomial.
+//!
+//! Each model is a feature map `x = g(n)`; we fit `T ≈ a + b·x` by ordinary
+//! least squares and compare coefficients of determination `R²`.
+
+/// A candidate growth model, i.e. a feature map `n ↦ g(n)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GrowthModel {
+    /// Constant (the null model; fit reduces to the mean).
+    Constant,
+    /// `log₂ n`.
+    LogN,
+    /// `log₂ n · log₂ log₂ n` (with the inner log clamped at 1).
+    LogNLogLogN,
+    /// `log₂² n`.
+    LogSquaredN,
+    /// `√n`.
+    SqrtN,
+    /// `n`.
+    Linear,
+}
+
+impl GrowthModel {
+    /// Evaluates the feature map at `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` (the asymptotic features are meaningless there and
+    /// experiments never use such sizes).
+    pub fn feature(self, n: usize) -> f64 {
+        assert!(n >= 2, "growth models are evaluated at n >= 2, got {n}");
+        let x = n as f64;
+        let log = x.log2();
+        match self {
+            GrowthModel::Constant => 1.0,
+            GrowthModel::LogN => log,
+            GrowthModel::LogNLogLogN => log * log.log2().max(1.0),
+            GrowthModel::LogSquaredN => log * log,
+            GrowthModel::SqrtN => x.sqrt(),
+            GrowthModel::Linear => x,
+        }
+    }
+
+    /// All models the experiments compare.
+    pub fn all() -> [GrowthModel; 6] {
+        [
+            GrowthModel::Constant,
+            GrowthModel::LogN,
+            GrowthModel::LogNLogLogN,
+            GrowthModel::LogSquaredN,
+            GrowthModel::SqrtN,
+            GrowthModel::Linear,
+        ]
+    }
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            GrowthModel::Constant => "1",
+            GrowthModel::LogN => "log n",
+            GrowthModel::LogNLogLogN => "log n·loglog n",
+            GrowthModel::LogSquaredN => "log² n",
+            GrowthModel::SqrtN => "√n",
+            GrowthModel::Linear => "n",
+        }
+    }
+}
+
+impl std::fmt::Display for GrowthModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// An ordinary-least-squares fit `y ≈ intercept + slope · x`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    /// Intercept `a`.
+    pub intercept: f64,
+    /// Slope `b`.
+    pub slope: f64,
+    /// Coefficient of determination.
+    pub r_squared: f64,
+}
+
+impl LinearFit {
+    /// Fits `y ≈ a + b·x` by least squares.
+    ///
+    /// For degenerate inputs (constant `x`), the slope is 0 and the fit
+    /// reduces to the mean of `y`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length or have fewer than 2 points.
+    pub fn fit(x: &[f64], y: &[f64]) -> LinearFit {
+        assert_eq!(x.len(), y.len(), "x and y must pair up");
+        assert!(x.len() >= 2, "need at least two points to fit a line");
+        let n = x.len() as f64;
+        let mx = x.iter().sum::<f64>() / n;
+        let my = y.iter().sum::<f64>() / n;
+        let sxx: f64 = x.iter().map(|v| (v - mx) * (v - mx)).sum();
+        let sxy: f64 = x.iter().zip(y).map(|(a, b)| (a - mx) * (b - my)).sum();
+        let syy: f64 = y.iter().map(|v| (v - my) * (v - my)).sum();
+        let slope = if sxx > 0.0 { sxy / sxx } else { 0.0 };
+        let intercept = my - slope * mx;
+        let r_squared = if syy > 0.0 && sxx > 0.0 {
+            (sxy * sxy) / (sxx * syy)
+        } else if syy == 0.0 {
+            1.0 // a constant y is explained perfectly by any line
+        } else {
+            0.0
+        };
+        LinearFit { intercept, slope, r_squared }
+    }
+
+    /// Predicted value at feature `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.intercept + self.slope * x
+    }
+}
+
+/// The result of fitting one growth model to a `T(n)` curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FitReport {
+    /// The model fitted.
+    pub model: GrowthModel,
+    /// The least-squares fit in feature space.
+    pub fit: LinearFit,
+}
+
+impl FitReport {
+    /// Fits `model` to measured `(n, T)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// See [`LinearFit::fit`] and [`GrowthModel::feature`].
+    pub fn fit(model: GrowthModel, sizes: &[usize], times: &[f64]) -> FitReport {
+        let x: Vec<f64> = sizes.iter().map(|&n| model.feature(n)).collect();
+        FitReport { model, fit: LinearFit::fit(&x, times) }
+    }
+
+    /// Fits every candidate model and returns the reports ordered from best
+    /// to worst `R²`.
+    pub fn compare_all(sizes: &[usize], times: &[f64]) -> Vec<FitReport> {
+        let mut reports: Vec<FitReport> = GrowthModel::all()
+            .into_iter()
+            .map(|m| FitReport::fit(m, sizes, times))
+            .collect();
+        reports.sort_by(|a, b| {
+            b.fit
+                .r_squared
+                .partial_cmp(&a.fit.r_squared)
+                .expect("R² is never NaN")
+        });
+        reports
+    }
+
+    /// Predicted time at size `n`.
+    pub fn predict(&self, n: usize) -> f64 {
+        self.fit.predict(self.model.feature(n))
+    }
+}
+
+impl std::fmt::Display for FitReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "T(n) ≈ {:.2} + {:.3}·{}   (R² = {:.4})",
+            self.fit.intercept,
+            self.fit.slope,
+            self.model.name(),
+            self.fit.r_squared
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_recovered() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [3.0, 5.0, 7.0, 9.0];
+        let fit = LinearFit::fit(&x, &y);
+        assert!((fit.slope - 2.0).abs() < 1e-12);
+        assert!((fit.intercept - 1.0).abs() < 1e-12);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+        assert!((fit.predict(10.0) - 21.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_x_degenerate() {
+        let fit = LinearFit::fit(&[2.0, 2.0, 2.0], &[1.0, 2.0, 3.0]);
+        assert_eq!(fit.slope, 0.0);
+        assert_eq!(fit.intercept, 2.0);
+        assert_eq!(fit.r_squared, 0.0);
+    }
+
+    #[test]
+    fn constant_y_perfect() {
+        let fit = LinearFit::fit(&[1.0, 2.0, 3.0], &[4.0, 4.0, 4.0]);
+        assert_eq!(fit.slope, 0.0);
+        assert_eq!(fit.r_squared, 1.0);
+    }
+
+    #[test]
+    fn features_ordering() {
+        // For large n: log n < log n loglog n < log² n < √n < n.
+        let n = 1 << 20;
+        let values: Vec<f64> = [
+            GrowthModel::LogN,
+            GrowthModel::LogNLogLogN,
+            GrowthModel::LogSquaredN,
+            GrowthModel::SqrtN,
+            GrowthModel::Linear,
+        ]
+        .iter()
+        .map(|m| m.feature(n))
+        .collect();
+        for w in values.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn log_model_fits_log_data_best() {
+        let sizes: Vec<usize> = (7..=16).map(|k| 1usize << k).collect();
+        let times: Vec<f64> = sizes.iter().map(|&n| 5.0 + 3.0 * (n as f64).log2()).collect();
+        let reports = FitReport::compare_all(&sizes, &times);
+        assert_eq!(reports[0].model, GrowthModel::LogN);
+        assert!(reports[0].fit.r_squared > 0.9999);
+    }
+
+    #[test]
+    fn loglog_model_fits_loglog_data_best() {
+        let sizes: Vec<usize> = (7..=20).map(|k| 1usize << k).collect();
+        let times: Vec<f64> = sizes
+            .iter()
+            .map(|&n| {
+                let l = (n as f64).log2();
+                2.0 + 1.5 * l * l.log2()
+            })
+            .collect();
+        let reports = FitReport::compare_all(&sizes, &times);
+        assert_eq!(reports[0].model, GrowthModel::LogNLogLogN);
+    }
+
+    #[test]
+    fn display_mentions_model() {
+        let r = FitReport::fit(GrowthModel::LogN, &[128, 256, 512], &[10.0, 11.0, 12.0]);
+        assert!(r.to_string().contains("log n"));
+    }
+
+    #[test]
+    #[should_panic(expected = "n >= 2")]
+    fn feature_rejects_tiny_n() {
+        GrowthModel::LogN.feature(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two points")]
+    fn fit_rejects_single_point() {
+        LinearFit::fit(&[1.0], &[1.0]);
+    }
+}

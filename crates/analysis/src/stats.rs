@@ -1,0 +1,186 @@
+//! Summary statistics over repeated randomized trials.
+
+/// Summary statistics of a sample.
+///
+/// # Example
+///
+/// ```
+/// use analysis::Summary;
+///
+/// let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+/// assert_eq!(s.n, 5);
+/// assert_eq!(s.mean, 3.0);
+/// assert_eq!(s.median, 3.0);
+/// assert_eq!(s.min, 1.0);
+/// assert_eq!(s.max, 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator; 0 for n < 2).
+    pub stddev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Median (interpolated).
+    pub median: f64,
+    /// 95th percentile (interpolated).
+    pub p95: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes the summary of `data`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty or contains NaN.
+    pub fn of(data: &[f64]) -> Summary {
+        assert!(!data.is_empty(), "cannot summarize an empty sample");
+        assert!(data.iter().all(|x| !x.is_nan()), "sample contains NaN");
+        let n = data.len();
+        let mean = data.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            data.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n as f64 - 1.0)
+        } else {
+            0.0
+        };
+        let mut sorted = data.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        Summary {
+            n,
+            mean,
+            stddev: var.sqrt(),
+            min: sorted[0],
+            median: percentile_sorted(&sorted, 50.0),
+            p95: percentile_sorted(&sorted, 95.0),
+            max: sorted[n - 1],
+        }
+    }
+
+    /// Convenience: summary of integer counts (e.g. round numbers).
+    pub fn of_counts<I: IntoIterator<Item = u64>>(counts: I) -> Summary {
+        let data: Vec<f64> = counts.into_iter().map(|c| c as f64).collect();
+        Summary::of(&data)
+    }
+
+    /// Half-width of an approximate 95% confidence interval for the mean
+    /// (normal approximation, `1.96 · s / √n`; 0 for n < 2).
+    pub fn ci95_halfwidth(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            1.96 * self.stddev / (self.n as f64).sqrt()
+        }
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.2}±{:.2} med={:.1} p95={:.1} range=[{:.0}, {:.0}]",
+            self.n,
+            self.mean,
+            self.ci95_halfwidth(),
+            self.median,
+            self.p95,
+            self.min,
+            self.max
+        )
+    }
+}
+
+/// Interpolated percentile of an already-sorted sample.
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty or `q` outside `[0, 100]`.
+pub fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "cannot take a percentile of an empty sample");
+    assert!((0.0..=100.0).contains(&q), "percentile must be in [0, 100], got {q}");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = q / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// Interpolated percentile of an unsorted sample.
+///
+/// # Panics
+///
+/// See [`percentile_sorted`]; additionally panics on NaN.
+pub fn percentile(data: &[f64], q: f64) -> f64 {
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    percentile_sorted(&sorted, q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_element() {
+        let s = Summary::of(&[7.0]);
+        assert_eq!(s.mean, 7.0);
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.median, 7.0);
+        assert_eq!(s.p95, 7.0);
+        assert_eq!(s.ci95_halfwidth(), 0.0);
+    }
+
+    #[test]
+    fn known_stddev() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        // Sample variance = 32/7.
+        assert!((s.stddev - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let data = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&data, 0.0), 10.0);
+        assert_eq!(percentile(&data, 100.0), 40.0);
+        assert_eq!(percentile(&data, 50.0), 25.0);
+        assert!((percentile(&data, 25.0) - 17.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn of_counts() {
+        let s = Summary::of_counts([5u64, 10, 15]);
+        assert_eq!(s.mean, 10.0);
+        assert_eq!(s.n, 3);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert!(!Summary::of(&[1.0, 2.0]).to_string().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_rejected() {
+        Summary::of(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        Summary::of(&[1.0, f64::NAN]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0, 100]")]
+    fn bad_percentile_rejected() {
+        percentile(&[1.0], 101.0);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests for the statistics toolkit.
+
+use analysis::histogram::{ccdf, Histogram};
+use analysis::stats::{percentile, Summary};
+use analysis::{FitReport, GrowthModel, LinearFit, Table};
+use proptest::prelude::*;
+
+fn arb_sample() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-1e6f64..1e6, 1..200)
+}
+
+proptest! {
+    #[test]
+    fn summary_bounds(data in arb_sample()) {
+        let s = Summary::of(&data);
+        prop_assert!(s.min <= s.median && s.median <= s.max);
+        prop_assert!(s.median <= s.p95 && s.p95 <= s.max);
+        prop_assert!(s.min <= s.mean && s.mean <= s.max);
+        prop_assert!(s.stddev >= 0.0);
+        prop_assert_eq!(s.n, data.len());
+    }
+
+    #[test]
+    fn summary_shift_invariance(data in arb_sample(), shift in -1e3f64..1e3) {
+        let s1 = Summary::of(&data);
+        let shifted: Vec<f64> = data.iter().map(|x| x + shift).collect();
+        let s2 = Summary::of(&shifted);
+        prop_assert!((s2.mean - s1.mean - shift).abs() < 1e-6 * (1.0 + s1.mean.abs()));
+        prop_assert!((s2.stddev - s1.stddev).abs() < 1e-6 * (1.0 + s1.stddev));
+    }
+
+    #[test]
+    fn percentiles_monotone(data in arb_sample(), q1 in 0.0f64..100.0, q2 in 0.0f64..100.0) {
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        prop_assert!(percentile(&data, lo) <= percentile(&data, hi) + 1e-9);
+    }
+
+    #[test]
+    fn linear_fit_residual_orthogonality(
+        pairs in proptest::collection::vec((-100f64..100.0, -100f64..100.0), 2..60)
+    ) {
+        let x: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let y: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        let fit = LinearFit::fit(&x, &y);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&fit.r_squared));
+        // OLS property: residuals sum to ~0 (when x is not degenerate).
+        let residual_sum: f64 = x.iter().zip(&y).map(|(&a, &b)| b - fit.predict(a)).sum();
+        prop_assert!(residual_sum.abs() < 1e-6 * (1.0 + y.iter().map(|v| v.abs()).sum::<f64>()));
+    }
+
+    #[test]
+    fn fit_recovers_planted_model(
+        a in 1.0f64..50.0,
+        b in 0.5f64..20.0,
+    ) {
+        // Plant y = a + b·log2(n) over a wide n range; the LogN fit must be
+        // near-perfect.
+        let sizes: Vec<usize> = (7..=20).map(|k| 1usize << k).collect();
+        let times: Vec<f64> = sizes.iter().map(|&n| a + b * (n as f64).log2()).collect();
+        let fit = FitReport::fit(GrowthModel::LogN, &sizes, &times);
+        prop_assert!(fit.fit.r_squared > 0.999999);
+        prop_assert!((fit.fit.slope - b).abs() < 1e-6);
+        prop_assert!((fit.fit.intercept - a).abs() < 1e-4);
+    }
+
+    #[test]
+    fn histogram_conserves_mass(data in arb_sample(), lo in -10f64..0.0, width in 1f64..100.0) {
+        let mut h = Histogram::new(lo, lo + width, 7);
+        for &x in &data {
+            h.add(x);
+        }
+        prop_assert_eq!(h.count(), data.len());
+        let binned: usize = h.bin_counts().iter().sum();
+        prop_assert_eq!(binned + h.underflow() + h.overflow(), data.len());
+    }
+
+    #[test]
+    fn ccdf_is_monotone_nonincreasing(data in arb_sample()) {
+        let thresholds: Vec<f64> = (0..10).map(|i| -1e6 + i as f64 * 2e5).collect();
+        let tail = ccdf(&data, &thresholds);
+        for w in tail.windows(2) {
+            prop_assert!(w[0] >= w[1]);
+        }
+        prop_assert!(tail[0] <= 1.0 && *tail.last().unwrap() >= 0.0);
+    }
+
+    #[test]
+    fn table_renders_all_cells(
+        rows in proptest::collection::vec(("[a-z]{1,8}", 0u32..1000), 1..20)
+    ) {
+        let mut t = Table::new(["name", "value"]);
+        for (name, value) in &rows {
+            t.row([name.clone(), value.to_string()]);
+        }
+        let text = t.to_string();
+        let csv = t.to_csv();
+        for (name, value) in &rows {
+            prop_assert!(text.contains(name.as_str()));
+            prop_assert!(csv.contains(name.as_str()));
+            prop_assert!(text.contains(&value.to_string()));
+        }
+        prop_assert_eq!(csv.lines().count(), rows.len() + 1);
+    }
+}

@@ -1,0 +1,298 @@
+//! The original Jeavons–Scott–Xu (JSX) beeping MIS algorithm \[17\] — the
+//! non-self-stabilizing starting point of the paper.
+//!
+//! The algorithm works in *phases of two rounds* (paper §2):
+//!
+//! - **Competition round** (even rounds): each active vertex beeps with its
+//!   current probability `p`. If it beeps and hears nothing, it joins the
+//!   MIS.
+//! - **Announcement round** (odd rounds): vertices that just joined beep;
+//!   active neighbors hearing the announcement become non-MIS and exit.
+//!   Then every remaining active vertex adapts `p`: halve it if a neighbor
+//!   beeped in the competition round, double it (capped at ½) otherwise.
+//!
+//! Joined and exited vertices stay **silent forever** — which is precisely
+//! why the algorithm cannot detect faults, and the two-round phase structure
+//! plus the fixed initial `p = ½` are why it is not self-stabilizing. The
+//! [`JsxState`] exposes every field so the adversarial experiment can start
+//! the network desynchronized and show the failures.
+
+use beeping::protocol::{BeepSignal, BeepingProtocol, Channels};
+use graphs::{Graph, NodeId};
+use rand::{Rng, RngCore};
+
+/// Status of a vertex in the JSX algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JsxStatus {
+    /// Still competing.
+    Active,
+    /// Joined the MIS in the previous competition round; will announce.
+    Joining,
+    /// Permanently in the MIS (silent).
+    InMis,
+    /// Permanently out of the MIS (silent).
+    OutOfMis,
+}
+
+/// Per-vertex state of the JSX algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JsxState {
+    /// Beep-probability exponent: `p = 2^{-prob_exp}`; the clean start is
+    /// `prob_exp = 1` (`p = ½`), and `p` never rises above ½.
+    pub prob_exp: u32,
+    /// Phase parity as this vertex believes it: `0` = competition round
+    /// next, `1` = announcement round next. The clean start is `0`
+    /// everywhere; corrupting this models the loss of modulo-2 synchrony.
+    pub parity: u8,
+    /// Whether the vertex heard a beep in the last competition round (used
+    /// by the probability update in the announcement round).
+    pub heard_in_competition: bool,
+    /// Competition status.
+    pub status: JsxStatus,
+}
+
+impl JsxState {
+    /// The clean initial state the algorithm's analysis assumes:
+    /// `p = ½`, competition round next, active.
+    pub fn clean() -> JsxState {
+        JsxState {
+            prob_exp: 1,
+            parity: 0,
+            heard_in_competition: false,
+            status: JsxStatus::Active,
+        }
+    }
+}
+
+impl Default for JsxState {
+    fn default() -> JsxState {
+        JsxState::clean()
+    }
+}
+
+/// The JSX protocol object. Stateless apart from the probability cap — all
+/// per-vertex data lives in [`JsxState`].
+///
+/// # Example
+///
+/// ```
+/// use baselines::jeavons::JsxMis;
+/// use graphs::generators::random;
+///
+/// let g = random::gnp(100, 0.1, 3);
+/// let jsx = JsxMis::new();
+/// let (mis, rounds) = jsx.run_clean(&g, 5, 10_000).expect("terminates");
+/// assert!(graphs::mis::is_maximal_independent_set(&g, &mis));
+/// assert!(rounds % 2 == 0); // phases of two rounds
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JsxMis;
+
+impl JsxMis {
+    /// Creates the protocol.
+    pub fn new() -> JsxMis {
+        JsxMis
+    }
+
+    /// `true` when no vertex is active or joining — the algorithm has
+    /// terminated and the `InMis` vertices are its answer.
+    pub fn is_terminated(&self, states: &[JsxState]) -> bool {
+        states
+            .iter()
+            .all(|s| matches!(s.status, JsxStatus::InMis | JsxStatus::OutOfMis))
+    }
+
+    /// Extracts the MIS bitmap.
+    pub fn mis_members(&self, states: &[JsxState]) -> Vec<bool> {
+        states.iter().map(|s| s.status == JsxStatus::InMis).collect()
+    }
+
+    /// Runs from the clean synchronized start until termination; returns
+    /// the membership bitmap and the number of rounds, or `None` if the
+    /// round budget is exhausted.
+    pub fn run_clean(
+        &self,
+        graph: &Graph,
+        seed: u64,
+        max_rounds: u64,
+    ) -> Option<(Vec<bool>, u64)> {
+        self.run_from(graph, vec![JsxState::clean(); graph.len()], seed, max_rounds)
+    }
+
+    /// Runs from an arbitrary initial configuration until termination —
+    /// used by the adversarial experiment. Returns `None` on budget
+    /// exhaustion (which, from desynchronized states, is a real outcome:
+    /// the algorithm can deadlock with active vertices that never succeed,
+    /// or terminate with a non-MIS).
+    pub fn run_from(
+        &self,
+        graph: &Graph,
+        initial: Vec<JsxState>,
+        seed: u64,
+        max_rounds: u64,
+    ) -> Option<(Vec<bool>, u64)> {
+        let mut sim = beeping::Simulator::new(graph, *self, initial, seed);
+        let done = sim.run_until(max_rounds, |s| self.is_terminated(s.states()))?;
+        Some((self.mis_members(sim.states()), done))
+    }
+}
+
+impl BeepingProtocol for JsxMis {
+    type State = JsxState;
+
+    fn channels(&self) -> Channels {
+        Channels::One
+    }
+
+    fn transmit(&self, _node: NodeId, state: &JsxState, rng: &mut dyn RngCore) -> BeepSignal {
+        match (state.parity, state.status) {
+            // Competition round: active vertices beep with probability p.
+            (0, JsxStatus::Active) => {
+                if rng.gen_bool(2f64.powi(-(state.prob_exp as i32))) {
+                    BeepSignal::channel1()
+                } else {
+                    BeepSignal::silent()
+                }
+            }
+            // Announcement round: joining vertices beep.
+            (1, JsxStatus::Joining) => BeepSignal::channel1(),
+            // Everyone else is silent (including, crucially, stabilized
+            // vertices — the non-self-stabilizing design).
+            _ => BeepSignal::silent(),
+        }
+    }
+
+    fn receive(
+        &self,
+        _node: NodeId,
+        state: &mut JsxState,
+        sent: BeepSignal,
+        heard: BeepSignal,
+        _rng: &mut dyn RngCore,
+    ) {
+        let beeped = sent.on_channel1();
+        let heard_beep = heard.on_channel1();
+        match state.parity {
+            0 => {
+                // End of a competition round.
+                state.heard_in_competition = heard_beep;
+                if state.status == JsxStatus::Active && beeped && !heard_beep {
+                    state.status = JsxStatus::Joining;
+                }
+                state.parity = 1;
+            }
+            _ => {
+                // End of an announcement round.
+                if state.status == JsxStatus::Joining {
+                    state.status = JsxStatus::InMis;
+                } else if state.status == JsxStatus::Active {
+                    if heard_beep {
+                        // A neighbor joined the MIS.
+                        state.status = JsxStatus::OutOfMis;
+                    } else if state.heard_in_competition {
+                        state.prob_exp = state.prob_exp.saturating_add(1).min(62);
+                    } else {
+                        state.prob_exp = state.prob_exp.saturating_sub(1).max(1);
+                    }
+                }
+                state.parity = 0;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphs::generators::{classic, random};
+
+    #[test]
+    fn clean_run_produces_mis() {
+        for (i, g) in [
+            classic::path(20),
+            classic::cycle(15),
+            classic::complete(12),
+            classic::star(25),
+            random::gnp(100, 0.08, 4),
+        ]
+        .iter()
+        .enumerate()
+        {
+            let (mis, rounds) =
+                JsxMis::new().run_clean(g, i as u64, 100_000).expect("terminates");
+            assert!(graphs::mis::is_maximal_independent_set(g, &mis), "graph {i}");
+            assert!(rounds > 0);
+        }
+    }
+
+    #[test]
+    fn clean_run_is_deterministic() {
+        let g = random::gnp(60, 0.1, 7);
+        let a = JsxMis::new().run_clean(&g, 9, 100_000).unwrap();
+        let b = JsxMis::new().run_clean(&g, 9, 100_000).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn terminated_vertices_stay_silent() {
+        let g = classic::complete(8);
+        let jsx = JsxMis::new();
+        let mut sim = beeping::Simulator::new(&g, jsx, vec![JsxState::clean(); 8], 3);
+        sim.run_until(100_000, |s| jsx.is_terminated(s.states())).expect("terminates");
+        let before: Vec<JsxStatus> = sim.states().iter().map(|s| s.status).collect();
+        for _ in 0..10 {
+            let quiet = sim.step();
+            assert_eq!(quiet.total_beeps(), 0);
+        }
+        let after: Vec<JsxStatus> = sim.states().iter().map(|s| s.status).collect();
+        assert_eq!(after, before);
+    }
+
+    #[test]
+    fn corrupted_in_mis_states_can_yield_non_mis() {
+        // Adversarial initialization: two adjacent vertices both believe
+        // they are InMis. Both stay silent forever — the "terminated" output
+        // violates independence and the algorithm can never detect it.
+        let g = classic::path(2);
+        let mut bad = JsxState::clean();
+        bad.status = JsxStatus::InMis;
+        let (mis, rounds) =
+            JsxMis::new().run_from(&g, vec![bad, bad], 0, 1_000).expect("already terminated");
+        assert_eq!(rounds, 0);
+        assert_eq!(mis, vec![true, true]);
+        assert!(!graphs::mis::is_maximal_independent_set(&g, &mis));
+    }
+
+    #[test]
+    fn corrupted_out_of_mis_states_can_deadlock_coverage() {
+        // All vertices believe they are OutOfMis: termination is immediate
+        // but nothing dominates them — an empty, non-maximal "MIS".
+        let g = classic::cycle(6);
+        let mut bad = JsxState::clean();
+        bad.status = JsxStatus::OutOfMis;
+        let (mis, _) =
+            JsxMis::new().run_from(&g, vec![bad; 6], 0, 1_000).expect("already terminated");
+        assert!(mis.iter().all(|&m| !m));
+        assert!(!graphs::mis::is_maximal_independent_set(&g, &mis));
+    }
+
+    #[test]
+    fn probability_exponent_bounded() {
+        let g = classic::complete(6);
+        let jsx = JsxMis::new();
+        let mut sim = beeping::Simulator::new(&g, jsx, vec![JsxState::clean(); 6], 5);
+        for _ in 0..500 {
+            sim.step();
+            for s in sim.states() {
+                assert!(s.prob_exp >= 1 && s.prob_exp <= 62);
+            }
+        }
+    }
+
+    #[test]
+    fn rounds_even_at_termination_from_clean_start() {
+        let g = random::gnp(40, 0.15, 2);
+        let (_, rounds) = JsxMis::new().run_clean(&g, 11, 100_000).unwrap();
+        assert_eq!(rounds % 2, 0, "clean runs terminate on phase boundaries");
+    }
+}

@@ -1,0 +1,203 @@
+//! Luby's algorithm on the LOCAL substrate — the gold-standard O(log n)
+//! distributed MIS with full message passing.
+//!
+//! Each *iteration* (two LOCAL rounds) of the permutation variant:
+//!
+//! 1. every active node draws a random 64-bit priority and broadcasts it
+//!    (plus its activity status);
+//! 2. a node whose priority is a strict local minimum among active
+//!    neighbors joins the MIS and announces; MIS nodes and their neighbors
+//!    deactivate.
+//!
+//! Luby (1986) showed O(log n) iterations suffice w.h.p. The measured
+//! iteration counts give the "strong model" reference line in the baseline
+//! comparison table.
+
+use graphs::Graph;
+use rand::Rng;
+use rand_pcg::Pcg64Mcg;
+
+use crate::local::{LocalProtocol, LocalSimulator};
+
+/// Phase within a Luby iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Broadcasting priorities.
+    Draw,
+    /// Broadcasting join decisions.
+    Announce,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    Active,
+    InMis,
+    Out,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct LubyState {
+    status: Status,
+    phase: Phase,
+    priority: u64,
+    joining: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct LubyMessage {
+    active: bool,
+    priority: u64,
+    joining: bool,
+}
+
+struct Luby;
+
+impl LocalProtocol for Luby {
+    type State = LubyState;
+    type Message = LubyMessage;
+
+    fn send(&self, _: usize, state: &LubyState, _: &mut Pcg64Mcg) -> LubyMessage {
+        LubyMessage {
+            active: state.status == Status::Active,
+            priority: state.priority,
+            joining: state.joining,
+        }
+    }
+
+    fn receive(&self, _: usize, state: &mut LubyState, inbox: &[LubyMessage]) {
+        match state.phase {
+            Phase::Draw => {
+                if state.status == Status::Active {
+                    let is_local_min = inbox
+                        .iter()
+                        .filter(|m| m.active)
+                        .all(|m| state.priority < m.priority);
+                    state.joining = is_local_min;
+                    if is_local_min {
+                        state.status = Status::InMis;
+                    }
+                }
+                state.phase = Phase::Announce;
+            }
+            Phase::Announce => {
+                if state.status == Status::Active && inbox.iter().any(|m| m.joining) {
+                    state.status = Status::Out;
+                }
+                state.joining = false;
+                state.phase = Phase::Draw;
+            }
+        }
+    }
+}
+
+/// Pre-round hook: priorities must be freshly drawn before each Draw phase.
+/// The LOCAL substrate has no built-in pre-round state mutation, so the
+/// driver below interleaves priority redraws with simulator steps.
+fn redraw_priorities(states: &mut [LubyState], rngs: &mut [Pcg64Mcg]) {
+    for (s, rng) in states.iter_mut().zip(rngs) {
+        if s.status == Status::Active {
+            s.priority = rng.gen();
+        }
+    }
+}
+
+/// Runs Luby's algorithm; returns `(mis, iterations)` where one iteration
+/// is one draw+announce pair, or `None` if `max_iterations` is exhausted
+/// (which does not happen for any reasonable budget).
+///
+/// # Example
+///
+/// ```
+/// use graphs::generators::random;
+///
+/// let g = random::gnp(200, 0.05, 1);
+/// let (mis, iters) = baselines::luby_mis(&g, 1, 1_000).unwrap();
+/// assert!(graphs::mis::is_maximal_independent_set(&g, &mis));
+/// assert!(iters <= 30);
+/// ```
+pub fn luby_mis(graph: &Graph, seed: u64, max_iterations: u64) -> Option<(Vec<bool>, u64)> {
+    let n = graph.len();
+    let init = vec![
+        LubyState { status: Status::Active, phase: Phase::Draw, priority: 0, joining: false };
+        n
+    ];
+    let mut sim = LocalSimulator::new(graph, Luby, init, seed);
+    // Dedicated priority RNGs (separate from the substrate's message RNGs).
+    let mut rngs = beeping::rng::node_rngs(seed ^ 0x9E37_79B9, n);
+    let mut iterations = 0;
+    while iterations < max_iterations {
+        if sim.states().iter().all(|s| s.status != Status::Active) {
+            let mis = sim.states().iter().map(|s| s.status == Status::InMis).collect();
+            return Some((mis, iterations));
+        }
+        // One iteration: redraw priorities, then run the two phases.
+        {
+            // Safety of the redraw: LocalSimulator does not expose &mut
+            // states, so rebuild the simulator state in place via a step
+            // wrapper — instead we keep priorities inside the state and
+            // redraw through a dedicated protocol-free pass.
+            let states = sim_states_mut(&mut sim);
+            redraw_priorities(states, &mut rngs);
+        }
+        sim.step();
+        sim.step();
+        iterations += 1;
+    }
+    None
+}
+
+/// Internal accessor used by the Luby driver to refresh priorities between
+/// iterations. Kept private to this module.
+fn sim_states_mut<'a, 'g>(sim: &'a mut LocalSimulator<'g, Luby>) -> &'a mut [LubyState] {
+    // LocalSimulator intentionally has no public mutable state accessor;
+    // Luby's redraw is the one legitimate use, so the substrate grants it
+    // through a crate-private method.
+    sim.states_mut()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphs::generators::{classic, random, scale_free};
+
+    #[test]
+    fn luby_produces_mis_on_families() {
+        for (i, g) in [
+            classic::path(30),
+            classic::cycle(25),
+            classic::complete(15),
+            classic::star(40),
+            random::gnp(150, 0.05, 2),
+            scale_free::barabasi_albert(120, 3, 4).unwrap(),
+        ]
+        .iter()
+        .enumerate()
+        {
+            let (mis, iters) = luby_mis(g, i as u64, 10_000).expect("terminates");
+            assert!(graphs::mis::is_maximal_independent_set(g, &mis), "graph {i}");
+            assert!(iters > 0);
+        }
+    }
+
+    #[test]
+    fn luby_on_empty_graph_takes_one_iteration() {
+        let g = Graph::empty(10);
+        let (mis, iters) = luby_mis(&g, 0, 10).unwrap();
+        assert!(mis.iter().all(|&m| m)); // all isolated nodes join
+        assert_eq!(iters, 1);
+    }
+
+    #[test]
+    fn luby_deterministic() {
+        let g = random::gnp(80, 0.1, 5);
+        assert_eq!(luby_mis(&g, 3, 1000), luby_mis(&g, 3, 1000));
+    }
+
+    #[test]
+    fn luby_iterations_scale_slowly() {
+        // O(log n): even at n = 2000 the iteration count stays small.
+        let g = random::gnp(2000, 0.005, 7);
+        let (_, iters) = luby_mis(&g, 7, 1000).unwrap();
+        assert!(iters < 40, "iterations = {iters}");
+    }
+}

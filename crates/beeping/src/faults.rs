@@ -1,0 +1,205 @@
+//! The transient-fault model of the paper (§1.1).
+//!
+//! Node state lives in RAM and can be corrupted arbitrarily by transient
+//! faults; the algorithm code lives in ROM and cannot. A self-stabilizing
+//! algorithm must converge to a legal configuration from *any* RAM contents
+//! within its termination time, counted from the last fault.
+//!
+//! This module provides the *scheduling* half of fault injection — which
+//! nodes are hit, and when. The *payload* half (what a corrupted state looks
+//! like) is protocol-specific and supplied by the caller as a closure, since
+//! only the protocol crate knows its state type.
+
+use graphs::NodeId;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand_pcg::Pcg64Mcg;
+
+/// Which nodes a fault event strikes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultTarget {
+    /// Every node.
+    All,
+    /// An explicit set of nodes.
+    Nodes(Vec<NodeId>),
+    /// `count` distinct nodes chosen uniformly at random.
+    RandomCount(usize),
+    /// Each node independently with probability `p ∈ [0, 1]`.
+    RandomFraction(f64),
+}
+
+impl FaultTarget {
+    /// Resolves the target to a concrete node list for an `n`-node network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a `RandomFraction` probability is outside `[0, 1]`, if a
+    /// `RandomCount` exceeds `n`, or if an explicit node id is out of range.
+    pub fn select(&self, n: usize, rng: &mut Pcg64Mcg) -> Vec<NodeId> {
+        match self {
+            FaultTarget::All => (0..n).collect(),
+            FaultTarget::Nodes(nodes) => {
+                for &v in nodes {
+                    assert!(v < n, "fault target node {v} out of range for n={n}");
+                }
+                nodes.clone()
+            }
+            FaultTarget::RandomCount(count) => {
+                assert!(*count <= n, "cannot corrupt {count} of {n} nodes");
+                let mut all: Vec<NodeId> = (0..n).collect();
+                all.shuffle(rng);
+                all.truncate(*count);
+                all.sort_unstable();
+                all
+            }
+            FaultTarget::RandomFraction(p) => {
+                assert!((0.0..=1.0).contains(p), "fraction must be in [0,1], got {p}");
+                (0..n).filter(|_| rng.gen_bool(*p)).collect()
+            }
+        }
+    }
+}
+
+/// A single scheduled transient fault.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransientFault {
+    /// Round *after* which the fault strikes (0 = corrupt the initial
+    /// configuration before any round runs).
+    pub after_round: u64,
+    /// Which nodes are hit.
+    pub target: FaultTarget,
+}
+
+impl TransientFault {
+    /// Creates a fault striking `target` after `after_round` rounds.
+    pub fn new(after_round: u64, target: FaultTarget) -> TransientFault {
+        TransientFault { after_round, target }
+    }
+}
+
+/// A schedule of transient faults over one execution.
+///
+/// # Example
+///
+/// ```
+/// use beeping::faults::{FaultPlan, FaultTarget};
+///
+/// // Corrupt 10% of nodes after round 50, and everyone after round 200.
+/// let plan = FaultPlan::new()
+///     .with_fault(50, FaultTarget::RandomFraction(0.1))
+///     .with_fault(200, FaultTarget::All);
+/// assert_eq!(plan.events().len(), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    events: Vec<TransientFault>,
+}
+
+impl FaultPlan {
+    /// An empty plan (fault-free execution).
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Adds a fault event (builder style).
+    pub fn with_fault(mut self, after_round: u64, target: FaultTarget) -> FaultPlan {
+        self.events.push(TransientFault::new(after_round, target));
+        self
+    }
+
+    /// Adds a fault event in place.
+    pub fn push(&mut self, fault: TransientFault) {
+        self.events.push(fault);
+    }
+
+    /// The scheduled events, sorted by round.
+    pub fn events(&self) -> &[TransientFault] {
+        &self.events
+    }
+
+    /// `true` if no fault is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// All events scheduled exactly after `round`, in insertion order.
+    pub fn events_after_round(&self, round: u64) -> impl Iterator<Item = &TransientFault> {
+        self.events.iter().filter(move |e| e.after_round == round)
+    }
+
+    /// The latest scheduled fault round, or `None` for an empty plan.
+    pub fn last_fault_round(&self) -> Option<u64> {
+        self.events.iter().map(|e| e.after_round).max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::aux_rng;
+
+    #[test]
+    fn select_all() {
+        let mut rng = aux_rng(0, 0);
+        assert_eq!(FaultTarget::All.select(4, &mut rng), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn select_explicit() {
+        let mut rng = aux_rng(0, 0);
+        assert_eq!(FaultTarget::Nodes(vec![2, 0]).select(4, &mut rng), vec![2, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn select_explicit_out_of_range() {
+        let mut rng = aux_rng(0, 0);
+        FaultTarget::Nodes(vec![9]).select(4, &mut rng);
+    }
+
+    #[test]
+    fn select_random_count_distinct() {
+        let mut rng = aux_rng(0, 1);
+        let picked = FaultTarget::RandomCount(5).select(10, &mut rng);
+        assert_eq!(picked.len(), 5);
+        let mut dedup = picked.clone();
+        dedup.dedup();
+        assert_eq!(picked, dedup); // sorted output, so dedup detects repeats
+        assert!(picked.iter().all(|&v| v < 10));
+    }
+
+    #[test]
+    fn select_random_fraction_extremes() {
+        let mut rng = aux_rng(0, 2);
+        assert!(FaultTarget::RandomFraction(0.0).select(10, &mut rng).is_empty());
+        assert_eq!(FaultTarget::RandomFraction(1.0).select(10, &mut rng).len(), 10);
+    }
+
+    #[test]
+    fn select_random_fraction_rate() {
+        let mut rng = aux_rng(0, 3);
+        let picked = FaultTarget::RandomFraction(0.3).select(10_000, &mut rng);
+        assert!((2_500..3_500).contains(&picked.len()), "picked {}", picked.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot corrupt")]
+    fn select_random_count_too_many() {
+        let mut rng = aux_rng(0, 0);
+        FaultTarget::RandomCount(11).select(10, &mut rng);
+    }
+
+    #[test]
+    fn plan_queries() {
+        let plan = FaultPlan::new()
+            .with_fault(10, FaultTarget::All)
+            .with_fault(5, FaultTarget::RandomCount(1))
+            .with_fault(10, FaultTarget::RandomFraction(0.5));
+        assert!(!plan.is_empty());
+        assert_eq!(plan.last_fault_round(), Some(10));
+        assert_eq!(plan.events_after_round(10).count(), 2);
+        assert_eq!(plan.events_after_round(5).count(), 1);
+        assert_eq!(plan.events_after_round(7).count(), 0);
+        assert_eq!(FaultPlan::new().last_fault_round(), None);
+    }
+}

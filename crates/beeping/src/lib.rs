@@ -1,0 +1,62 @@
+//! Discrete synchronous simulator for the **full-duplex beeping model with
+//! collision detection** (also: "beeping model", Cornejo & Kuhn 2010), the
+//! communication model of the reproduced paper.
+//!
+//! Model semantics (paper §1):
+//!
+//! - The network is an anonymous undirected graph; computation proceeds in
+//!   synchronous rounds.
+//! - In each round every node may *beep* (broadcast a signal to all
+//!   neighbors) or stay silent.
+//! - After transmission, a node learns exactly one bit per channel: whether
+//!   **at least one** neighbor beeped. It cannot count beeps or identify
+//!   senders. Full duplex: a beeping node still hears its neighbors (but not
+//!   itself — the signal goes to neighbors only).
+//! - An optional extension provides **two distinguishable channels**
+//!   (paper §7); the bit is learned independently per channel.
+//!
+//! The crate provides:
+//!
+//! - [`protocol::BeepingProtocol`]: the node-automaton interface protocols
+//!   implement;
+//! - [`sim::Simulator`]: round execution over a [`graphs::Graph`] with
+//!   deterministic per-node randomness;
+//! - [`faults`]: the transient-fault model of the paper (§1.1): node state
+//!   (RAM) can be corrupted arbitrarily, code (ROM) cannot;
+//! - [`trace`]: per-round observations for the analysis experiments;
+//! - [`rng`]: deterministic per-node random streams.
+//!
+//! # Example
+//!
+//! ```
+//! use beeping::protocol::{BeepSignal, BeepingProtocol, Channels};
+//! use beeping::sim::Simulator;
+//!
+//! /// Toy protocol: everyone beeps every round.
+//! struct AlwaysBeep;
+//! impl BeepingProtocol for AlwaysBeep {
+//!     type State = ();
+//!     fn channels(&self) -> Channels { Channels::One }
+//!     fn transmit(&self, _: usize, _: &(), _: &mut dyn rand::RngCore) -> BeepSignal {
+//!         BeepSignal::channel1()
+//!     }
+//!     fn receive(&self, _: usize, _: &mut (), _: BeepSignal, heard: BeepSignal, _: &mut dyn rand::RngCore) {
+//!         assert!(heard.on_channel1()); // in a connected graph everyone hears
+//!     }
+//! }
+//!
+//! let g = graphs::generators::classic::cycle(8);
+//! let mut sim = Simulator::new(&g, AlwaysBeep, vec![(); 8], 1);
+//! let report = sim.step();
+//! assert_eq!(report.beeps_channel1, 8);
+//! ```
+
+pub mod faults;
+pub mod protocol;
+pub mod sleep;
+pub mod rng;
+pub mod sim;
+pub mod trace;
+
+pub use protocol::{BeepSignal, BeepingProtocol, Channels};
+pub use sim::Simulator;

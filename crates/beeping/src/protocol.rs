@@ -1,0 +1,198 @@
+//! The node-automaton interface of the beeping model.
+
+use graphs::NodeId;
+use rand::RngCore;
+
+/// Number of distinguishable beeping channels a protocol uses.
+///
+/// The base model (paper §1) has a single channel; the extension of §7
+/// provides two. The simulator enforces that a protocol never beeps on a
+/// channel it did not declare.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Channels {
+    /// Single-channel beeping model.
+    One,
+    /// Two-channel beeping model (paper §7, Algorithm 2).
+    Two,
+}
+
+impl Channels {
+    /// The number of channels as an integer.
+    pub fn count(self) -> usize {
+        match self {
+            Channels::One => 1,
+            Channels::Two => 2,
+        }
+    }
+
+    /// Bitmask of the usable channels.
+    fn mask(self) -> u8 {
+        match self {
+            Channels::One => 0b01,
+            Channels::Two => 0b11,
+        }
+    }
+}
+
+/// A per-round beep decision or observation: one bit per channel.
+///
+/// As a *transmission*, bit `i` means "beep on channel `i+1`". As an
+/// *observation*, bit `i` means "at least one neighbor beeped on channel
+/// `i+1`" — the only information the beeping model delivers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct BeepSignal(u8);
+
+impl BeepSignal {
+    /// Silence: no beep on any channel.
+    pub const fn silent() -> BeepSignal {
+        BeepSignal(0)
+    }
+
+    /// Beep on channel 1 only.
+    pub const fn channel1() -> BeepSignal {
+        BeepSignal(0b01)
+    }
+
+    /// Beep on channel 2 only (requires [`Channels::Two`]).
+    pub const fn channel2() -> BeepSignal {
+        BeepSignal(0b10)
+    }
+
+    /// Beep on both channels (requires [`Channels::Two`]).
+    pub const fn both() -> BeepSignal {
+        BeepSignal(0b11)
+    }
+
+    /// Builds a signal from per-channel booleans.
+    pub fn new(channel1: bool, channel2: bool) -> BeepSignal {
+        BeepSignal(u8::from(channel1) | (u8::from(channel2) << 1))
+    }
+
+    /// `true` if no channel carries a beep.
+    pub fn is_silent(self) -> bool {
+        self.0 == 0
+    }
+
+    /// `true` if channel 1 carries a beep.
+    pub fn on_channel1(self) -> bool {
+        self.0 & 0b01 != 0
+    }
+
+    /// `true` if channel 2 carries a beep.
+    pub fn on_channel2(self) -> bool {
+        self.0 & 0b10 != 0
+    }
+
+    /// Merges another signal into this one (the network's OR semantics).
+    pub fn merge(&mut self, other: BeepSignal) {
+        self.0 |= other.0;
+    }
+
+    /// `true` if every beep in `self` is on a channel allowed by `channels`.
+    pub fn allowed_by(self, channels: Channels) -> bool {
+        self.0 & !channels.mask() == 0
+    }
+}
+
+impl std::fmt::Display for BeepSignal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match (self.on_channel1(), self.on_channel2()) {
+            (false, false) => write!(f, "silent"),
+            (true, false) => write!(f, "beep1"),
+            (false, true) => write!(f, "beep2"),
+            (true, true) => write!(f, "beep1+2"),
+        }
+    }
+}
+
+/// A protocol for the beeping model: the code in every node's ROM.
+///
+/// One `BeepingProtocol` value drives *all* nodes; per-node data lives in
+/// `State` (the RAM that transient faults may corrupt) and in whatever
+/// static per-node *knowledge* the protocol object carries (e.g. `ℓmax(v)`
+/// derived from degree knowledge — knowledge is part of the model, not of
+/// the mutable state, so faults never corrupt it).
+///
+/// Nodes are anonymous: the `node` argument exists so the protocol can look
+/// up that knowledge, and must not be used as an identity in the protocol
+/// logic itself.
+pub trait BeepingProtocol {
+    /// Mutable per-node state (the RAM).
+    type State: Clone + std::fmt::Debug;
+
+    /// How many channels the protocol uses.
+    fn channels(&self) -> Channels;
+
+    /// First half of a round: decide what to transmit.
+    ///
+    /// Must be a pure function of `(knowledge, state, randomness)` — the
+    /// simulator calls it exactly once per node per round.
+    fn transmit(&self, node: NodeId, state: &Self::State, rng: &mut dyn RngCore) -> BeepSignal;
+
+    /// Second half of a round: update state given what this node itself sent
+    /// (`sent`) and what it heard from neighbors (`heard`). Protocols that
+    /// randomize their state transition (not just their transmission) draw
+    /// from the same per-node stream `rng`.
+    fn receive(
+        &self,
+        node: NodeId,
+        state: &mut Self::State,
+        sent: BeepSignal,
+        heard: BeepSignal,
+        rng: &mut dyn RngCore,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signal_constructors() {
+        assert!(BeepSignal::silent().is_silent());
+        assert!(BeepSignal::channel1().on_channel1());
+        assert!(!BeepSignal::channel1().on_channel2());
+        assert!(BeepSignal::channel2().on_channel2());
+        assert!(!BeepSignal::channel2().on_channel1());
+        assert!(BeepSignal::both().on_channel1() && BeepSignal::both().on_channel2());
+        assert_eq!(BeepSignal::new(true, false), BeepSignal::channel1());
+        assert_eq!(BeepSignal::new(false, true), BeepSignal::channel2());
+        assert_eq!(BeepSignal::new(true, true), BeepSignal::both());
+        assert_eq!(BeepSignal::new(false, false), BeepSignal::silent());
+        assert_eq!(BeepSignal::default(), BeepSignal::silent());
+    }
+
+    #[test]
+    fn merge_is_or() {
+        let mut s = BeepSignal::silent();
+        s.merge(BeepSignal::channel1());
+        assert_eq!(s, BeepSignal::channel1());
+        s.merge(BeepSignal::channel2());
+        assert_eq!(s, BeepSignal::both());
+        s.merge(BeepSignal::silent());
+        assert_eq!(s, BeepSignal::both());
+    }
+
+    #[test]
+    fn channel_discipline() {
+        assert!(BeepSignal::channel1().allowed_by(Channels::One));
+        assert!(BeepSignal::silent().allowed_by(Channels::One));
+        assert!(!BeepSignal::channel2().allowed_by(Channels::One));
+        assert!(!BeepSignal::both().allowed_by(Channels::One));
+        assert!(BeepSignal::both().allowed_by(Channels::Two));
+    }
+
+    #[test]
+    fn channel_counts() {
+        assert_eq!(Channels::One.count(), 1);
+        assert_eq!(Channels::Two.count(), 2);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(BeepSignal::silent().to_string(), "silent");
+        assert_eq!(BeepSignal::channel1().to_string(), "beep1");
+        assert_eq!(BeepSignal::channel2().to_string(), "beep2");
+        assert_eq!(BeepSignal::both().to_string(), "beep1+2");
+    }
+}

@@ -1,0 +1,507 @@
+//! Round execution of a [`BeepingProtocol`] over a graph.
+
+use graphs::{Graph, NodeId};
+use rand_pcg::Pcg64Mcg;
+
+use crate::protocol::{BeepSignal, BeepingProtocol};
+use crate::rng;
+use crate::trace::RoundReport;
+
+pub use crate::protocol::Channels as SimulatorChannels;
+
+/// Listening capability of a transmitting node.
+///
+/// The paper's model is **full duplex** ("beeping model with collision
+/// detection"): a beeping node still hears its neighbors. The weaker
+/// half-duplex variant from the broader beeping literature — where
+/// transmitting drowns out reception — is provided for model ablations:
+/// Algorithm 1's lone-beep detection fundamentally requires full duplex,
+/// and experiment `ABL-HD` demonstrates the failure mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DuplexMode {
+    /// A beeping node hears its neighbors (the paper's model).
+    #[default]
+    Full,
+    /// A beeping node hears nothing that round.
+    Half,
+}
+
+/// A synchronous-round simulator of the full-duplex beeping model.
+///
+/// Each call to [`Simulator::step`] executes one round:
+///
+/// 1. every node draws its transmission from
+///    [`BeepingProtocol::transmit`] using its private random stream;
+/// 2. the network delivers, to each node, the OR over its *neighbors'*
+///    transmissions per channel (collision-detection semantics: "≥ 1 beep",
+///    nothing more);
+/// 3. every node updates its state via [`BeepingProtocol::receive`].
+///
+/// The simulator is deterministic for a fixed `(graph, protocol, initial
+/// states, master seed)`.
+///
+/// # Example
+///
+/// See the crate-level example in [`crate`].
+#[derive(Debug)]
+pub struct Simulator<'g, P: BeepingProtocol> {
+    graph: &'g Graph,
+    protocol: P,
+    states: Vec<P::State>,
+    rngs: Vec<Pcg64Mcg>,
+    round: u64,
+    sent: Vec<BeepSignal>,
+    heard: Vec<BeepSignal>,
+    duplex: DuplexMode,
+}
+
+impl<'g, P: BeepingProtocol> Simulator<'g, P> {
+    /// Creates a simulator over `graph` running `protocol` from
+    /// `initial_states`, with all node randomness derived from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial_states.len() != graph.len()`.
+    pub fn new(
+        graph: &'g Graph,
+        protocol: P,
+        initial_states: Vec<P::State>,
+        seed: u64,
+    ) -> Simulator<'g, P> {
+        assert_eq!(
+            initial_states.len(),
+            graph.len(),
+            "one initial state per node is required"
+        );
+        let n = graph.len();
+        Simulator {
+            graph,
+            protocol,
+            states: initial_states,
+            rngs: rng::node_rngs(seed, n),
+            round: 0,
+            sent: vec![BeepSignal::silent(); n],
+            heard: vec![BeepSignal::silent(); n],
+            duplex: DuplexMode::Full,
+        }
+    }
+
+    /// Switches to the given duplex mode (builder style); the default is
+    /// [`DuplexMode::Full`], the paper's model.
+    pub fn with_duplex(mut self, duplex: DuplexMode) -> Simulator<'g, P> {
+        self.duplex = duplex;
+        self
+    }
+
+    /// The active duplex mode.
+    pub fn duplex(&self) -> DuplexMode {
+        self.duplex
+    }
+
+    /// The graph being simulated.
+    pub fn graph(&self) -> &Graph {
+        self.graph
+    }
+
+    /// The protocol (the ROM).
+    pub fn protocol(&self) -> &P {
+        &self.protocol
+    }
+
+    /// Rounds executed so far.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Current node states (the RAM), indexed by node id.
+    pub fn states(&self) -> &[P::State] {
+        &self.states
+    }
+
+    /// The state of a single node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn state(&self, node: NodeId) -> &P::State {
+        &self.states[node]
+    }
+
+    /// Overwrites the state of `node` — the transient-fault ("RAM
+    /// corruption") entry point. The protocol logic (ROM) is untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn corrupt_state(&mut self, node: NodeId, state: P::State) {
+        self.states[node] = state;
+    }
+
+    /// Applies `f` to every node state — bulk fault injection or
+    /// adversarial re-initialization mid-run.
+    pub fn corrupt_all<F: FnMut(NodeId, &mut P::State)>(&mut self, mut f: F) {
+        for (v, s) in self.states.iter_mut().enumerate() {
+            f(v, s);
+        }
+    }
+
+    /// The transmissions of the most recent round (all silent before the
+    /// first [`Simulator::step`]).
+    pub fn last_sent(&self) -> &[BeepSignal] {
+        &self.sent
+    }
+
+    /// The observations of the most recent round.
+    pub fn last_heard(&self) -> &[BeepSignal] {
+        &self.heard
+    }
+
+    /// Executes one synchronous round and reports aggregate beep activity.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug and release) if the protocol transmits on a channel
+    /// it did not declare via [`BeepingProtocol::channels`] — that would be
+    /// a model violation, not a recoverable condition.
+    pub fn step(&mut self) -> RoundReport {
+        let n = self.graph.len();
+        let channels = self.protocol.channels();
+        // Phase 1: transmissions.
+        for v in 0..n {
+            let signal = self.protocol.transmit(v, &self.states[v], &mut self.rngs[v]);
+            assert!(
+                signal.allowed_by(channels),
+                "protocol beeped on an undeclared channel (node {v}, signal {signal})"
+            );
+            self.sent[v] = signal;
+        }
+        // Phase 2: delivery — OR over neighbors, per channel. A node does
+        // not hear itself: beeps are sent to neighbors only (paper §1).
+        // Under half duplex, a transmitting node additionally hears nothing.
+        for v in 0..n {
+            let mut heard = BeepSignal::silent();
+            if self.duplex == DuplexMode::Full || self.sent[v].is_silent() {
+                for &u in self.graph.neighbors(v) {
+                    heard.merge(self.sent[u as usize]);
+                }
+            }
+            self.heard[v] = heard;
+        }
+        // Phase 3: state updates.
+        for v in 0..n {
+            self.protocol.receive(
+                v,
+                &mut self.states[v],
+                self.sent[v],
+                self.heard[v],
+                &mut self.rngs[v],
+            );
+        }
+        self.round += 1;
+        RoundReport::from_signals(self.round, &self.sent, &self.heard)
+    }
+
+    /// Runs until `stop(states) == true` or `max_rounds` total rounds have
+    /// executed; returns the first round count (1-based) at which `stop`
+    /// held, or `None` on budget exhaustion.
+    ///
+    /// `stop` is evaluated *before* the first step (round count 0) and after
+    /// every step.
+    pub fn run_until<F>(&mut self, max_rounds: u64, mut stop: F) -> Option<u64>
+    where
+        F: FnMut(&Simulator<'g, P>) -> bool,
+    {
+        if stop(self) {
+            return Some(self.round);
+        }
+        while self.round < max_rounds {
+            self.step();
+            if stop(self) {
+                return Some(self.round);
+            }
+        }
+        None
+    }
+
+    /// Runs exactly `rounds` rounds, discarding the per-round reports.
+    pub fn run(&mut self, rounds: u64) {
+        for _ in 0..rounds {
+            self.step();
+        }
+    }
+
+    /// Consumes the simulator, returning the final states.
+    pub fn into_states(self) -> Vec<P::State> {
+        self.states
+    }
+
+    /// Captures the complete execution state — node states, per-node RNG
+    /// positions and the round counter — so the run can later be branched
+    /// or replayed from this exact point via [`Simulator::restore`].
+    pub fn checkpoint(&self) -> Checkpoint<P::State> {
+        Checkpoint {
+            states: self.states.clone(),
+            rngs: self.rngs.clone(),
+            round: self.round,
+            sent: self.sent.clone(),
+            heard: self.heard.clone(),
+        }
+    }
+
+    /// Rewinds (or fast-forwards) the simulator to a previously captured
+    /// [`Checkpoint`]. Continuing from a restored checkpoint reproduces the
+    /// original continuation exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the checkpoint was taken on a different-sized network.
+    pub fn restore(&mut self, checkpoint: &Checkpoint<P::State>) {
+        assert_eq!(
+            checkpoint.states.len(),
+            self.graph.len(),
+            "checkpoint belongs to a different network"
+        );
+        self.states = checkpoint.states.clone();
+        self.rngs = checkpoint.rngs.clone();
+        self.round = checkpoint.round;
+        self.sent = checkpoint.sent.clone();
+        self.heard = checkpoint.heard.clone();
+    }
+}
+
+/// A captured execution point of a [`Simulator`]; see
+/// [`Simulator::checkpoint`].
+#[derive(Debug, Clone)]
+pub struct Checkpoint<S> {
+    states: Vec<S>,
+    rngs: Vec<Pcg64Mcg>,
+    round: u64,
+    sent: Vec<BeepSignal>,
+    heard: Vec<BeepSignal>,
+}
+
+impl<S> Checkpoint<S> {
+    /// The round at which the checkpoint was captured.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// The captured node states.
+    pub fn states(&self) -> &[S] {
+        &self.states
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::Channels;
+    use graphs::generators::classic;
+    use rand::RngCore;
+
+    /// Parity protocol: node beeps iff its counter is even; counter
+    /// increments when it hears a beep.
+    struct Parity;
+    impl BeepingProtocol for Parity {
+        type State = u64;
+        fn channels(&self) -> Channels {
+            Channels::One
+        }
+        fn transmit(&self, _: NodeId, state: &u64, _: &mut dyn RngCore) -> BeepSignal {
+            if state % 2 == 0 {
+                BeepSignal::channel1()
+            } else {
+                BeepSignal::silent()
+            }
+        }
+        fn receive(&self, _: NodeId, state: &mut u64, _: BeepSignal, heard: BeepSignal, _: &mut dyn RngCore) {
+            if heard.on_channel1() {
+                *state += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn no_self_hearing() {
+        // A single isolated node beeps but must hear nothing.
+        let g = Graph::empty(1);
+        let mut sim = Simulator::new(&g, Parity, vec![0], 0);
+        let report = sim.step();
+        assert_eq!(report.beeps_channel1, 1);
+        assert_eq!(report.hearers_channel1, 0);
+        // The counter never advances: it never hears anything.
+        sim.run(10);
+        assert_eq!(*sim.state(0), 0);
+    }
+
+    #[test]
+    fn half_duplex_deafens_transmitters() {
+        // Both path endpoints beep in round 1; under half duplex neither
+        // hears the other, so neither counter advances.
+        let g = classic::path(2);
+        let mut sim =
+            Simulator::new(&g, Parity, vec![0, 0], 0).with_duplex(DuplexMode::Half);
+        assert_eq!(sim.duplex(), DuplexMode::Half);
+        sim.step();
+        assert_eq!(sim.states(), &[0, 0]);
+        // A silent node still hears: make node 1 silent (odd counter).
+        let mut sim =
+            Simulator::new(&g, Parity, vec![0, 1], 0).with_duplex(DuplexMode::Half);
+        sim.step();
+        assert_eq!(sim.states(), &[0, 2]); // only the silent node heard
+    }
+
+    #[test]
+    fn or_semantics_on_star() {
+        // All leaves beep in round 1 (state 0 = even); the hub hears one bit.
+        let g = classic::star(5);
+        let mut sim = Simulator::new(&g, Parity, vec![0, 0, 0, 0, 0], 0);
+        sim.step();
+        // Hub heard (4 leaf beeps → 1 bit) and each leaf heard the hub.
+        assert!(sim.last_heard().iter().all(|h| h.on_channel1()));
+        assert!(sim.states().iter().all(|&s| s == 1));
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        struct Coin;
+        impl BeepingProtocol for Coin {
+            type State = u32;
+            fn channels(&self) -> Channels {
+                Channels::One
+            }
+            fn transmit(&self, _: NodeId, _: &u32, rng: &mut dyn RngCore) -> BeepSignal {
+                if rng.next_u32() % 2 == 0 {
+                    BeepSignal::channel1()
+                } else {
+                    BeepSignal::silent()
+                }
+            }
+            fn receive(&self, _: NodeId, s: &mut u32, sent: BeepSignal, _: BeepSignal, _: &mut dyn RngCore) {
+                *s = s.wrapping_mul(31).wrapping_add(sent.on_channel1() as u32);
+            }
+        }
+        let g = classic::cycle(16);
+        let run = |seed| {
+            let mut sim = Simulator::new(&g, Coin, vec![0; 16], seed);
+            sim.run(50);
+            sim.into_states()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    fn run_until_stops_at_predicate() {
+        let g = classic::path(2);
+        let mut sim = Simulator::new(&g, Parity, vec![0, 0], 0);
+        // Both nodes beep in round 1 (counter 0 is even), hear each other,
+        // and increment to 1 — then both go silent forever.
+        let stopped = sim.run_until(100, |s| s.states().iter().all(|&c| c >= 1));
+        assert_eq!(stopped, Some(1));
+        assert_eq!(sim.states(), &[1, 1]);
+    }
+
+    #[test]
+    fn run_until_checks_initial_state() {
+        let g = classic::path(2);
+        let mut sim = Simulator::new(&g, Parity, vec![5, 5], 0);
+        assert_eq!(sim.run_until(100, |s| s.states().iter().all(|&c| c == 5)), Some(0));
+        assert_eq!(sim.round(), 0);
+    }
+
+    #[test]
+    fn run_until_budget_exhaustion() {
+        let g = classic::path(2);
+        let mut sim = Simulator::new(&g, Parity, vec![0, 0], 0);
+        assert_eq!(sim.run_until(5, |_| false), None);
+        assert_eq!(sim.round(), 5);
+    }
+
+    #[test]
+    fn checkpoint_restore_reproduces_continuation() {
+        struct Coin2;
+        impl BeepingProtocol for Coin2 {
+            type State = u32;
+            fn channels(&self) -> Channels {
+                Channels::One
+            }
+            fn transmit(&self, _: NodeId, _: &u32, rng: &mut dyn RngCore) -> BeepSignal {
+                if rng.next_u32() % 3 == 0 {
+                    BeepSignal::channel1()
+                } else {
+                    BeepSignal::silent()
+                }
+            }
+            fn receive(
+                &self,
+                _: NodeId,
+                s: &mut u32,
+                sent: BeepSignal,
+                heard: BeepSignal,
+                _: &mut dyn RngCore,
+            ) {
+                *s = s
+                    .wrapping_mul(17)
+                    .wrapping_add(sent.on_channel1() as u32)
+                    .wrapping_add(2 * heard.on_channel1() as u32);
+            }
+        }
+        let g = classic::cycle(12);
+        let mut sim = Simulator::new(&g, Coin2, vec![0; 12], 5);
+        sim.run(20);
+        let cp = sim.checkpoint();
+        assert_eq!(cp.round(), 20);
+        sim.run(30);
+        let final_a = sim.states().to_vec();
+        // Rewind and replay.
+        sim.restore(&cp);
+        assert_eq!(sim.round(), 20);
+        assert_eq!(sim.states(), cp.states());
+        sim.run(30);
+        assert_eq!(sim.states(), final_a.as_slice());
+    }
+
+    #[test]
+    fn corrupt_state_changes_behavior() {
+        let g = classic::path(2);
+        let mut sim = Simulator::new(&g, Parity, vec![0, 0], 0);
+        sim.corrupt_state(0, 1); // odd: silent
+        sim.corrupt_state(1, 1);
+        sim.step();
+        assert_eq!(sim.states(), &[1, 1]); // nobody beeped, nothing heard
+    }
+
+    #[test]
+    fn corrupt_all_applies_everywhere() {
+        let g = classic::cycle(4);
+        let mut sim = Simulator::new(&g, Parity, vec![0; 4], 0);
+        sim.corrupt_all(|v, s| *s = v as u64);
+        assert_eq!(sim.states(), &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "undeclared channel")]
+    fn channel_discipline_enforced() {
+        struct Cheater;
+        impl BeepingProtocol for Cheater {
+            type State = ();
+            fn channels(&self) -> Channels {
+                Channels::One
+            }
+            fn transmit(&self, _: NodeId, _: &(), _: &mut dyn RngCore) -> BeepSignal {
+                BeepSignal::channel2()
+            }
+            fn receive(&self, _: NodeId, _: &mut (), _: BeepSignal, _: BeepSignal, _: &mut dyn RngCore) {}
+        }
+        let g = classic::path(2);
+        Simulator::new(&g, Cheater, vec![(), ()], 0).step();
+    }
+
+    #[test]
+    #[should_panic(expected = "one initial state per node")]
+    fn wrong_state_count_panics() {
+        let g = classic::path(3);
+        let _ = Simulator::new(&g, Parity, vec![0, 0], 0);
+    }
+}

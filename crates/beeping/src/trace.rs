@@ -1,0 +1,152 @@
+//! Per-round observations for analysis experiments.
+
+use crate::protocol::BeepSignal;
+
+/// Aggregate activity of one simulated round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RoundReport {
+    /// 1-based index of the round this report describes.
+    pub round: u64,
+    /// Nodes that beeped on channel 1.
+    pub beeps_channel1: usize,
+    /// Nodes that beeped on channel 2.
+    pub beeps_channel2: usize,
+    /// Nodes that heard at least one channel-1 beep.
+    pub hearers_channel1: usize,
+    /// Nodes that heard at least one channel-2 beep.
+    pub hearers_channel2: usize,
+    /// Nodes that beeped (any channel) while hearing nothing on channel 1 —
+    /// in Algorithm 1 these are exactly the MIS *join attempts* of the round.
+    pub lone_beepers: usize,
+}
+
+impl RoundReport {
+    /// Computes the report from the transmission and observation vectors of
+    /// a round.
+    pub fn from_signals(round: u64, sent: &[BeepSignal], heard: &[BeepSignal]) -> RoundReport {
+        let mut r = RoundReport { round, ..RoundReport::default() };
+        for (&s, &h) in sent.iter().zip(heard) {
+            if s.on_channel1() {
+                r.beeps_channel1 += 1;
+            }
+            if s.on_channel2() {
+                r.beeps_channel2 += 1;
+            }
+            if h.on_channel1() {
+                r.hearers_channel1 += 1;
+            }
+            if h.on_channel2() {
+                r.hearers_channel2 += 1;
+            }
+            if !s.is_silent() && !h.on_channel1() {
+                r.lone_beepers += 1;
+            }
+        }
+        r
+    }
+
+    /// Total beeps across both channels.
+    pub fn total_beeps(&self) -> usize {
+        self.beeps_channel1 + self.beeps_channel2
+    }
+}
+
+/// Collects [`RoundReport`]s over an execution, with simple aggregate
+/// queries used by experiment drivers.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    reports: Vec<RoundReport>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Trace {
+        Trace::default()
+    }
+
+    /// Appends a round report.
+    pub fn push(&mut self, report: RoundReport) {
+        self.reports.push(report);
+    }
+
+    /// All recorded reports in round order.
+    pub fn reports(&self) -> &[RoundReport] {
+        &self.reports
+    }
+
+    /// Number of recorded rounds.
+    pub fn len(&self) -> usize {
+        self.reports.len()
+    }
+
+    /// `true` if nothing is recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.reports.is_empty()
+    }
+
+    /// Sum of channel-1 beeps over the execution — the total message
+    /// (energy) cost in the beeping model.
+    pub fn total_beeps_channel1(&self) -> usize {
+        self.reports.iter().map(|r| r.beeps_channel1).sum()
+    }
+
+    /// Sum over rounds of lone beepers (MIS join attempts for Algorithm 1).
+    pub fn total_lone_beepers(&self) -> usize {
+        self.reports.iter().map(|r| r.lone_beepers).sum()
+    }
+
+    /// Average channel-1 beeps per round (0.0 for an empty trace).
+    pub fn mean_beeps_channel1(&self) -> f64 {
+        if self.reports.is_empty() {
+            0.0
+        } else {
+            self.total_beeps_channel1() as f64 / self.reports.len() as f64
+        }
+    }
+}
+
+impl Extend<RoundReport> for Trace {
+    fn extend<I: IntoIterator<Item = RoundReport>>(&mut self, iter: I) {
+        self.reports.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_from_signals() {
+        let sent = vec![BeepSignal::channel1(), BeepSignal::silent(), BeepSignal::both()];
+        let heard = vec![BeepSignal::silent(), BeepSignal::channel1(), BeepSignal::channel2()];
+        let r = RoundReport::from_signals(3, &sent, &heard);
+        assert_eq!(r.round, 3);
+        assert_eq!(r.beeps_channel1, 2);
+        assert_eq!(r.beeps_channel2, 1);
+        assert_eq!(r.hearers_channel1, 1);
+        assert_eq!(r.hearers_channel2, 1);
+        // Node 0 beeped and heard nothing; node 2 beeped and heard only ch2.
+        assert_eq!(r.lone_beepers, 2);
+        assert_eq!(r.total_beeps(), 3);
+    }
+
+    #[test]
+    fn trace_aggregates() {
+        let mut t = Trace::new();
+        assert!(t.is_empty());
+        assert_eq!(t.mean_beeps_channel1(), 0.0);
+        t.push(RoundReport { round: 1, beeps_channel1: 4, lone_beepers: 1, ..Default::default() });
+        t.push(RoundReport { round: 2, beeps_channel1: 2, lone_beepers: 0, ..Default::default() });
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.total_beeps_channel1(), 6);
+        assert_eq!(t.total_lone_beepers(), 1);
+        assert!((t.mean_beeps_channel1() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trace_extend() {
+        let mut t = Trace::new();
+        t.extend([RoundReport::default(), RoundReport::default()]);
+        assert_eq!(t.len(), 2);
+    }
+}

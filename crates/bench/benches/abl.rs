@@ -1,0 +1,37 @@
+//! Bench for experiments ABL-C1 and ABL-LMAX: stabilization under
+//! different ℓmax regimes on a fixed graph.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mis::runner::{InitialLevels, RunConfig};
+use mis::{Algorithm1, LmaxPolicy};
+
+fn bench(c: &mut Criterion) {
+    let g = graphs::generators::scale_free::barabasi_albert(256, 3, 0xAB1).unwrap();
+    let mut group = c.benchmark_group("ABL-lmax-regimes-n256");
+    group.sample_size(10);
+    let policies = [
+        LmaxPolicy::global_delta_with(&g, 2),
+        LmaxPolicy::global_delta_with(&g, 15),
+        LmaxPolicy::global_delta_with(&g, 30),
+        LmaxPolicy::own_degree(&g),
+        LmaxPolicy::fixed(g.len(), 40),
+    ];
+    for policy in policies {
+        let algo = Algorithm1::new(&g, policy);
+        let name = algo.policy().name().to_string();
+        let mut seed = 0u64;
+        group.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, _| {
+            b.iter(|| {
+                seed += 1;
+                let cfg = RunConfig::new(seed)
+                    .with_init(InitialLevels::Random)
+                    .with_max_rounds(2_000_000);
+                std::hint::black_box(algo.run(&g, cfg).unwrap().stabilization_round)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Bench for experiment ABL-HD: a run under each duplex mode.
+
+use beeping::sim::DuplexMode;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use experiments::ablation_duplex::run_once;
+
+fn bench(c: &mut Criterion) {
+    let g = graphs::generators::random::gnp(256, 8.0 / 255.0, 0xD0);
+    let mut group = c.benchmark_group("ABL-HD-duplex");
+    group.sample_size(10);
+    for (label, mode, budget) in
+        [("full", DuplexMode::Full, 1_000_000u64), ("half", DuplexMode::Half, 2_000u64)]
+    {
+        let mut seed = 0u64;
+        group.bench_with_input(BenchmarkId::from_parameter(label), &mode, |b, &m| {
+            b.iter(|| {
+                seed += 1;
+                std::hint::black_box(run_once(&g, m, seed, budget))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Bench for experiment BASE: one run of each comparator on the same
+//! graph.
+
+use baselines::{luby_mis, AfekStyleMis, JsxMis};
+use criterion::{criterion_group, criterion_main, Criterion};
+use mis::runner::{InitialLevels, RunConfig};
+use mis::{Algorithm1, Algorithm2, LmaxPolicy};
+
+fn bench(c: &mut Criterion) {
+    let n = 512usize;
+    let g = graphs::generators::random::gnp(n, 8.0 / (n as f64 - 1.0), 0xBA);
+    let alg1 = Algorithm1::new(&g, LmaxPolicy::global_delta(&g));
+    let alg2 = Algorithm2::new(&g, LmaxPolicy::two_hop_degree(&g));
+    let afek = AfekStyleMis::new(n);
+    let jsx = JsxMis::new();
+    let mut group = c.benchmark_group("BASE-comparators-n512");
+    group.sample_size(10);
+    let mut seed = 0u64;
+    group.bench_function("alg1", |b| {
+        b.iter(|| {
+            seed += 1;
+            let cfg = RunConfig::new(seed).with_init(InitialLevels::Random);
+            std::hint::black_box(alg1.run(&g, cfg).unwrap().stabilization_round)
+        })
+    });
+    group.bench_function("alg2", |b| {
+        b.iter(|| {
+            seed += 1;
+            let cfg = RunConfig::new(seed).with_init(InitialLevels::Random);
+            std::hint::black_box(alg2.run(&g, cfg).unwrap().stabilization_round)
+        })
+    });
+    group.bench_function("jsx-clean", |b| {
+        b.iter(|| {
+            seed += 1;
+            std::hint::black_box(jsx.run_clean(&g, seed, 1_000_000).unwrap().1)
+        })
+    });
+    group.bench_function("afek-style", |b| {
+        b.iter(|| {
+            seed += 1;
+            std::hint::black_box(afek.run(&g, seed, 1_000_000).unwrap().1)
+        })
+    });
+    group.bench_function("luby", |b| {
+        b.iter(|| {
+            seed += 1;
+            std::hint::black_box(luby_mis(&g, seed, 1_000_000).unwrap().1)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

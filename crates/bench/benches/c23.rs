@@ -1,0 +1,28 @@
+//! Bench for experiment C2.3: stabilization of the two-channel
+//! Algorithm 2 with the deg₂ policy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mis::runner::{InitialLevels, RunConfig};
+use mis::{Algorithm2, LmaxPolicy};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("C2.3-stabilize-two-channel");
+    group.sample_size(10);
+    for n in [128usize, 256, 512, 1024] {
+        let g = graphs::generators::random::gnp(n, 8.0 / (n as f64 - 1.0), 0xC3);
+        let algo = Algorithm2::new(&g, LmaxPolicy::two_hop_degree(&g));
+        let mut seed = 0u64;
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                seed += 1;
+                let config = RunConfig::new(seed).with_init(InitialLevels::Random);
+                let outcome = algo.run(&g, config).expect("stabilizes");
+                std::hint::black_box(outcome.stabilization_round)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

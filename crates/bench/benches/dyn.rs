@@ -1,0 +1,27 @@
+//! Bench for experiment DYN: trajectory computation over a recorded
+//! execution (Snapshot per round).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mis::dynamics::trajectory;
+use mis::runner::RunConfig;
+use mis::{Algorithm1, LmaxPolicy};
+
+fn bench(c: &mut Criterion) {
+    let g = graphs::generators::random::gnp(256, 8.0 / 255.0, 0xD1);
+    let algo = Algorithm1::new(&g, LmaxPolicy::global_delta(&g));
+    let outcome = algo
+        .run(&g, RunConfig::new(1).with_level_recording())
+        .expect("stabilizes");
+    let history = outcome.level_history.unwrap();
+    let mut group = c.benchmark_group("DYN-trajectory");
+    group.sample_size(10);
+    group.bench_function("n256-full-history", |b| {
+        b.iter(|| {
+            std::hint::black_box(trajectory(&g, algo.policy().lmax_values(), &history))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Bench for experiment ENERGY: one full stabilization with beep
+//! accounting, per algorithm.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::energy::measure_energy;
+
+fn bench(c: &mut Criterion) {
+    let g = graphs::generators::geometric::random_geometric_expected_degree(512, 8.0, 0xE0);
+    let mut group = c.benchmark_group("ENERGY-n512");
+    group.sample_size(10);
+    group.bench_function("alg1", |b| {
+        b.iter(|| std::hint::black_box(measure_energy(&g, false, 2)))
+    });
+    group.bench_function("alg2", |b| {
+        b.iter(|| std::hint::black_box(measure_energy(&g, true, 2)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Bench for experiment EXT-2STATE: the constant-state baseline vs
+//! Algorithm 1 on one graph.
+
+use baselines::TwoStateMis;
+use criterion::{criterion_group, criterion_main, Criterion};
+use mis::runner::{InitialLevels, RunConfig};
+use mis::{Algorithm1, LmaxPolicy};
+
+fn bench(c: &mut Criterion) {
+    let g = graphs::generators::random::gnp(512, 8.0 / 511.0, 0x25);
+    let mut group = c.benchmark_group("EXT-2STATE-n512");
+    group.sample_size(10);
+    let two_state = TwoStateMis::new();
+    let mut seed = 0u64;
+    group.bench_function("two-state", |b| {
+        b.iter(|| {
+            seed += 1;
+            std::hint::black_box(two_state.run_random_init(&g, seed, 1_000_000).unwrap().1)
+        })
+    });
+    let alg1 = Algorithm1::new(&g, LmaxPolicy::global_delta(&g));
+    group.bench_function("alg1", |b| {
+        b.iter(|| {
+            seed += 1;
+            let cfg = RunConfig::new(seed).with_init(InitialLevels::Random);
+            std::hint::black_box(alg1.run(&g, cfg).unwrap().stabilization_round)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

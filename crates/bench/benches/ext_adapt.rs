@@ -1,0 +1,33 @@
+//! Bench for experiment EXT-ADAPT: stabilization of the knowledge-free
+//! adaptive variant vs the Theorem 2.1 reference.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mis::adaptive::AdaptiveMis;
+use mis::runner::{InitialLevels, RunConfig};
+use mis::{Algorithm1, LmaxPolicy};
+
+fn bench(c: &mut Criterion) {
+    let g = graphs::generators::random::gnp(512, 8.0 / 511.0, 0xEA);
+    let mut group = c.benchmark_group("EXT-ADAPT-n512");
+    group.sample_size(10);
+    let adaptive = AdaptiveMis::new();
+    let mut seed = 0u64;
+    group.bench_function("adaptive", |b| {
+        b.iter(|| {
+            seed += 1;
+            std::hint::black_box(adaptive.run_random_init(&g, seed, 2_000_000).unwrap().1)
+        })
+    });
+    let reference = Algorithm1::new(&g, LmaxPolicy::global_delta(&g));
+    group.bench_function("thm2.1-reference", |b| {
+        b.iter(|| {
+            seed += 1;
+            let cfg = RunConfig::new(seed).with_init(InitialLevels::Random);
+            std::hint::black_box(reference.run(&g, cfg).unwrap().stabilization_round)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Bench for experiment F1: raw transmit sampling across the level
+//! activation function (Figure 1) — the per-node per-round cost.
+
+use beeping::protocol::BeepingProtocol;
+use beeping::rng::node_rng;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mis::{Algorithm1, LmaxPolicy};
+
+fn bench(c: &mut Criterion) {
+    let g = graphs::Graph::empty(1);
+    let algo = Algorithm1::new(&g, LmaxPolicy::fixed(1, 20));
+    let mut group = c.benchmark_group("F1-transmit-sampling");
+    for level in [-20i32, 1, 10, 20] {
+        group.bench_with_input(BenchmarkId::from_parameter(level), &level, |b, &l| {
+            let mut rng = node_rng(1, 0);
+            b.iter(|| std::hint::black_box(algo.transmit(0, &l, &mut rng)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

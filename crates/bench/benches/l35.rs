@@ -1,0 +1,16 @@
+//! Bench for experiment L3.5: the platinum-round waiting-time
+//! collection loop (simulation + per-round Snapshot computation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("L3.5-platinum-waits");
+    group.sample_size(10);
+    group.bench_function("collect-n128-1seed", |b| {
+        b.iter(|| std::hint::black_box(experiments::lemma35::collect_waits(128, 1, 10_000)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! Bench for experiment L3.6: prominence-episode collection.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("L3.6-prominence-episodes");
+    group.sample_size(10);
+    group.bench_function("collect-n128-1seed", |b| {
+        b.iter(|| std::hint::black_box(experiments::lemma36::collect_episodes(128, 1, 20_000)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

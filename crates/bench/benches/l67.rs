@@ -1,0 +1,16 @@
+//! Bench for experiment L6.7: golden-round classification over an
+//! execution.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("L6.7-golden-classification");
+    group.sample_size(10);
+    group.bench_function("collect-n128-2seeds", |b| {
+        b.iter(|| std::hint::black_box(experiments::lemma67::collect(128, 2, 5_000)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

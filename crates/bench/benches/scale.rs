@@ -1,0 +1,26 @@
+//! Bench for experiment SCALE: raw simulator round throughput at large
+//! n (the cost driver of every other experiment).
+
+use beeping::Simulator;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mis::runner::{initial_levels, RunConfig};
+use mis::{Algorithm1, LmaxPolicy};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("SCALE-round-throughput");
+    group.sample_size(10);
+    for n in [10_000usize, 50_000] {
+        let g = graphs::generators::geometric::random_geometric_expected_degree(n, 8.0, 0x5C);
+        let algo = Algorithm1::new(&g, LmaxPolicy::global_delta(&g));
+        let init = initial_levels(&algo, &RunConfig::new(1));
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut sim = Simulator::new(&g, algo.clone(), init.clone(), 1);
+            b.iter(|| std::hint::black_box(sim.step()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Bench for experiment SS-A: adversarial-initialization cells for JSX
+//! and Algorithm 1.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::adversarial::{measure_alg1, measure_jsx, JsxInit};
+use mis::runner::InitialLevels;
+
+fn bench(c: &mut Criterion) {
+    let g = graphs::generators::random::gnp(128, 8.0 / 127.0, 0x5A);
+    let mut group = c.benchmark_group("SS-A-adversarial");
+    group.sample_size(10);
+    group.bench_function("jsx-random-states", |b| {
+        b.iter(|| std::hint::black_box(measure_jsx(&g, JsxInit::RandomStates, 3, 50_000)))
+    });
+    group.bench_function("alg1-all-claiming", |b| {
+        b.iter(|| {
+            std::hint::black_box(measure_alg1(&g, InitialLevels::AllClaiming, 3, 1_000_000))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

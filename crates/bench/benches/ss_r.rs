@@ -1,0 +1,32 @@
+//! Bench for experiment SS-R: fault recovery (stabilize, corrupt,
+//! re-stabilize) across corruption scales.
+
+use beeping::faults::FaultTarget;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mis::runner::run_recovery;
+use mis::{Algorithm1, LmaxPolicy};
+
+fn bench(c: &mut Criterion) {
+    let g = graphs::generators::geometric::random_geometric_expected_degree(512, 8.0, 0x55);
+    let algo = Algorithm1::new(&g, LmaxPolicy::global_delta(&g));
+    let mut group = c.benchmark_group("SS-R-recovery");
+    group.sample_size(10);
+    for (label, target) in [
+        ("one-node", FaultTarget::RandomCount(1)),
+        ("half", FaultTarget::RandomFraction(0.5)),
+        ("all", FaultTarget::All),
+    ] {
+        let mut seed = 0u64;
+        group.bench_with_input(BenchmarkId::from_parameter(label), &target, |b, t| {
+            b.iter(|| {
+                seed += 1;
+                let rec = run_recovery(&g, &algo, seed, t.clone(), 1_000_000).unwrap();
+                std::hint::black_box(rec.recovery_rounds)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

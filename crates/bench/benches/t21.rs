@@ -1,0 +1,28 @@
+//! Bench for experiment T2.1: stabilization of Algorithm 1 with the
+//! global-Δ policy on G(n, 8/(n-1)), from adversarial random levels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mis::runner::{InitialLevels, RunConfig};
+use mis::{Algorithm1, LmaxPolicy};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("T2.1-stabilize-global-delta");
+    group.sample_size(10);
+    for n in [128usize, 256, 512, 1024] {
+        let g = graphs::generators::random::gnp(n, 8.0 / (n as f64 - 1.0), 0xB1);
+        let algo = Algorithm1::new(&g, LmaxPolicy::global_delta(&g));
+        let mut seed = 0u64;
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                seed += 1;
+                let config = RunConfig::new(seed).with_init(InitialLevels::Random);
+                let outcome = algo.run(&g, config).expect("stabilizes");
+                std::hint::black_box(outcome.stabilization_round)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

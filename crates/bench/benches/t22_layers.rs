@@ -1,0 +1,15 @@
+//! Bench for experiment T2.2-L: per-class stabilization measurement.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("T2.2-L-layering");
+    group.sample_size(10);
+    group.bench_function("measure-n256-2seeds", |b| {
+        b.iter(|| std::hint::black_box(experiments::thm22_layers::measure_layers(256, 2)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,161 @@
+//! Experiment `BASE` — positioning against prior work (paper §1).
+//!
+//! Columns, all measured in beeping/communication rounds on the same
+//! graphs:
+//!
+//! - **Alg 1** (this paper, Thm 2.1): self-stabilizing, O(log n), measured
+//!   from *random* (adversarial) initial levels;
+//! - **Alg 2** (this paper, Cor 2.3): self-stabilizing, two channels;
+//! - **JSX \[17\]**: not self-stabilizing, measured from its required clean
+//!   start — the "price of self-stabilization" reference;
+//! - **Afek-style \[1\]**: knows an upper bound N on the size and pays
+//!   Θ(log N)-long epochs — measured once with the tight bound N = n and
+//!   once with a loose bound N = 4096·n;
+//! - **Luby (LOCAL)**: full message passing, 2 rounds per iteration — the
+//!   strong-model reference line.
+//!
+//! Expected shape: all columns scale logarithmically; Alg 1 ≈ JSX up to a
+//! constant (self-stabilization is almost free); the Afek-style baseline is
+//! competitive when N is tight but degrades proportionally as the bound
+//! loosens (the log N factor the paper's algorithm avoids); Luby is fastest
+//! (stronger model).
+
+use analysis::Summary;
+use baselines::{luby_mis, AfekStyleMis, JsxMis};
+use graphs::generators::GraphFamily;
+use mis::runner::{InitialLevels, RunConfig};
+use mis::{Algorithm1, Algorithm2, LmaxPolicy};
+
+/// Mean rounds for each algorithm at one size.
+#[derive(Debug, Clone)]
+pub struct ComparisonRow {
+    /// Network size.
+    pub n: usize,
+    /// Algorithm 1 (random init).
+    pub alg1: Summary,
+    /// Algorithm 2 (random init).
+    pub alg2: Summary,
+    /// JSX from clean start.
+    pub jsx: Summary,
+    /// Afek-style with the tight bound N = n.
+    pub afek: Summary,
+    /// Afek-style with the loose bound N = 4096·n.
+    pub afek_loose: Summary,
+    /// Luby rounds (2 per iteration).
+    pub luby: Summary,
+}
+
+/// Measures one comparison row.
+pub fn compare_at(n: usize, seeds: u64, graph_seed: u64) -> ComparisonRow {
+    let family = GraphFamily::Gnp { avg_degree: 8.0 };
+    let g = family.generate(n, graph_seed);
+    let alg1 = Algorithm1::new(&g, LmaxPolicy::global_delta(&g));
+    let alg2 = Algorithm2::new(&g, LmaxPolicy::two_hop_degree(&g));
+    let afek = AfekStyleMis::new(g.len());
+    let afek_loose = AfekStyleMis::new(g.len() << 12);
+    let jsx = JsxMis::new();
+    let budget = 10_000_000;
+
+    let mut rounds1 = Vec::new();
+    let mut rounds2 = Vec::new();
+    let mut rounds_jsx = Vec::new();
+    let mut rounds_afek = Vec::new();
+    let mut rounds_afek_loose = Vec::new();
+    let mut rounds_luby = Vec::new();
+    for seed in 0..seeds {
+        let config =
+            RunConfig::new(seed).with_init(InitialLevels::Random).with_max_rounds(budget);
+        rounds1.push(alg1.run(&g, config.clone()).expect("alg1 stabilizes").stabilization_round);
+        rounds2.push(alg2.run(&g, config).expect("alg2 stabilizes").stabilization_round);
+        rounds_jsx.push(jsx.run_clean(&g, seed, budget).expect("jsx terminates").1);
+        rounds_afek.push(afek.run(&g, seed, budget).expect("afek terminates").1);
+        rounds_afek_loose
+            .push(afek_loose.run(&g, seed, budget).expect("afek (loose) terminates").1);
+        let (_, iters) = luby_mis(&g, seed, budget).expect("luby terminates");
+        rounds_luby.push(2 * iters);
+    }
+    ComparisonRow {
+        n: g.len(),
+        alg1: Summary::of_counts(rounds1),
+        alg2: Summary::of_counts(rounds2),
+        jsx: Summary::of_counts(rounds_jsx),
+        afek: Summary::of_counts(rounds_afek),
+        afek_loose: Summary::of_counts(rounds_afek_loose),
+        luby: Summary::of_counts(rounds_luby),
+    }
+}
+
+/// Runs the experiment and returns the printed report.
+pub fn run(quick: bool) -> String {
+    let sizes: Vec<usize> =
+        if quick { vec![64, 128] } else { vec![128, 256, 512, 1024, 2048, 4096] };
+    let seeds = crate::common::seed_count(quick);
+    let mut out = crate::common::header(
+        "BASE",
+        "Baseline comparison on G(n, 8/(n-1)) — mean rounds to a stable/terminal MIS",
+    );
+    out.push_str(
+        "\nAlg 1/2 start from adversarial random levels; JSX/Afek/Luby from their clean starts.\n\n",
+    );
+    let mut table = analysis::Table::new([
+        "n",
+        "Alg 1 (selfstab)",
+        "Alg 2 (selfstab, 2ch)",
+        "JSX (clean)",
+        "Afek (N=n)",
+        "Afek (N=4096n)",
+        "Luby (LOCAL)",
+        "AfekLoose/Alg1",
+    ]);
+    for (i, &n) in sizes.iter().enumerate() {
+        let row = compare_at(n, seeds, crate::common::graph_seed(i));
+        table.row([
+            row.n.to_string(),
+            format!("{:.1}", row.alg1.mean),
+            format!("{:.1}", row.alg2.mean),
+            format!("{:.1}", row.jsx.mean),
+            format!("{:.1}", row.afek.mean),
+            format!("{:.1}", row.afek_loose.mean),
+            format!("{:.1}", row.luby.mean),
+            format!("{:.1}×", row.afek_loose.mean / row.alg1.mean),
+        ]);
+    }
+    out.push_str(&table.to_string());
+    out.push_str(
+        "\nexpected shape: every column grows ≈ log n; Alg 1 within a small constant of \
+         JSX; the Afek-style baseline degrades with a loose N bound (its Θ(log N) epoch \
+         length) while Alg 1 is unaffected; Luby fastest (strong model).\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparison_row_is_complete() {
+        let row = compare_at(64, 3, 0);
+        assert_eq!(row.n, 64);
+        for s in [&row.alg1, &row.alg2, &row.jsx, &row.afek, &row.afek_loose, &row.luby] {
+            assert!(s.mean > 0.0);
+            assert_eq!(s.n, 3);
+        }
+    }
+
+    #[test]
+    fn luby_beats_afek_in_rounds() {
+        // The LOCAL model is strictly stronger; Luby should need far fewer
+        // rounds than the epoch-structured beeping baseline.
+        let row = compare_at(128, 5, 1);
+        assert!(row.luby.mean < row.afek.mean);
+    }
+
+    #[test]
+    fn report_contains_all_columns() {
+        let report = run(true);
+        for col in ["Alg 1", "Alg 2", "JSX", "Afek", "Luby"] {
+            assert!(report.contains(col), "missing column {col}");
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Experiment runner CLI.
+//!
+//! ```text
+//! cargo run -p experiments --release -- all            # every experiment
+//! cargo run -p experiments --release -- T2.1 C2.3      # selected ids
+//! cargo run -p experiments --release -- all --quick    # reduced sizes/seeds
+//! cargo run -p experiments --release -- --list         # show the registry
+//! cargo run -p experiments --release -- all --out results  # also write results/<id>.txt
+//! ```
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let list = args.iter().any(|a| a == "--list");
+    let out_dir: Option<std::path::PathBuf> = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(std::path::PathBuf::from);
+    let mut skip_next = false;
+    let ids: Vec<&String> = args
+        .iter()
+        .filter(|a| {
+            if skip_next {
+                skip_next = false;
+                return false;
+            }
+            if *a == "--out" {
+                skip_next = true;
+                return false;
+            }
+            !a.starts_with("--")
+        })
+        .collect();
+    if let Some(dir) = &out_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create output directory {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if list || (ids.is_empty() && !quick) && args.is_empty() {
+        eprintln!("usage: experiments <id>... | all [--quick] [--list]\n");
+        eprintln!("available experiments:");
+        for e in experiments::all_experiments() {
+            eprintln!("  {:<9} {}", e.id, e.title);
+        }
+        return if list { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+    }
+
+    let run_all = ids.iter().any(|id| id.eq_ignore_ascii_case("all")) || ids.is_empty();
+    let selected: Vec<experiments::Experiment> = if run_all {
+        experiments::all_experiments()
+    } else {
+        let mut chosen = Vec::new();
+        for id in &ids {
+            match experiments::find_experiment(id) {
+                Some(e) => chosen.push(e),
+                None => {
+                    eprintln!("unknown experiment id: {id} (try --list)");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        chosen
+    };
+
+    for e in selected {
+        let started = std::time::Instant::now();
+        let report = (e.run)(quick);
+        println!("{report}");
+        println!("[{} finished in {:.1}s]\n", e.id, started.elapsed().as_secs_f64());
+        if let Some(dir) = &out_dir {
+            let path = dir.join(format!("{}.txt", e.id.replace('.', "_")));
+            if let Err(err) = std::fs::write(&path, &report) {
+                eprintln!("cannot write {}: {err}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,62 @@
+//! Experiment `C2.3` — Corollary 2.3.
+//!
+//! *Claim*: in the beeping model with **two channels**, with each vertex
+//! knowing an upper bound on the maximum degree of its 1-hop neighborhood
+//! (`deg₂`) and `ℓmax(v) = 2 log deg₂(v) + c1` (`c1 ≥ 15`), Algorithm 2
+//! stabilizes within `O(log n)` rounds w.h.p.
+//!
+//! *Measurement*: same sweep as `T2.2` (including the heterogeneous
+//! families) with Algorithm 2 + the deg₂ policy. Reproduced if the best
+//! fit is `log n` everywhere — in particular on the heterogeneous families
+//! where the single-channel own-degree variant pays its `log log n` factor.
+
+use mis::{Algorithm2, LmaxPolicy};
+
+use crate::common;
+
+/// Runs the experiment and returns the printed report.
+pub fn run(quick: bool) -> String {
+    let mut out =
+        common::header("C2.3", "Corollary 2.3: O(log n) with two channels + deg₂ knowledge");
+    out.push_str(&format!(
+        "policy: ℓmax(v) = 2⌈log₂ deg₂(v)⌉ + {}; two beeping channels; init: uniform random\n",
+        mis::policy::C1_TWO_HOP
+    ));
+    let sizes = common::sweep_sizes(quick);
+    let seeds = common::seed_count(quick);
+    for family in crate::thm22::families() {
+        let points = common::sweep(&family, &sizes, seeds, 1_000_000, |g| {
+            Algorithm2::new(g, LmaxPolicy::two_hop_degree(g))
+        });
+        common::render_sweep(&mut out, &family, &points);
+    }
+    out.push_str("\nexpected shape: best fit `log n` on every family, including starcliq.\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphs::generators::GraphFamily;
+
+    #[test]
+    fn quick_run_produces_report() {
+        let report = run(true);
+        assert!(report.contains("C2.3"));
+        assert!(report.contains("two beeping channels"));
+    }
+
+    #[test]
+    fn growth_is_logarithmic_not_polynomial() {
+        let sizes = vec![32, 512];
+        let points = common::sweep(
+            &GraphFamily::Gnp { avg_degree: 8.0 },
+            &sizes,
+            10,
+            1_000_000,
+            |g| Algorithm2::new(g, LmaxPolicy::two_hop_degree(g)),
+        );
+        let ratio = points[1].summary.mean / points[0].summary.mean;
+        assert!(ratio < 2.5, "T(512)/T(32) = {ratio:.2} suggests polynomial growth");
+    }
+}

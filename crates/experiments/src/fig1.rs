@@ -1,0 +1,81 @@
+//! Experiment `F1` — Figure 1 of the paper.
+//!
+//! Figure 1 plots the beeping probability `p_t(v)` implied by the level
+//! `ℓ_t(v)`: flat at 1 for `ℓ ≤ 0`, halving per step in `(0, ℓmax)`, and
+//! exactly 0 at `ℓmax` ("like an activation function in an artificial
+//! neural network", §2). This driver regenerates the figure as an exact
+//! value table plus an ASCII rendering, and additionally verifies the
+//! implementation empirically by frequency-counting actual transmissions.
+
+use beeping::protocol::BeepingProtocol;
+use beeping::rng::node_rng;
+use mis::levels::beep_probability;
+use mis::{Algorithm1, LmaxPolicy};
+
+/// Runs the experiment and returns the printed report.
+pub fn run(quick: bool) -> String {
+    let lmax = 10;
+    let trials: u32 = if quick { 2_000 } else { 100_000 };
+    let mut out = crate::common::header("F1", "Figure 1: beeping probability vs level");
+    out.push_str(&format!("ℓmax = {lmax}; empirical frequency over {trials} transmit draws per level\n\n"));
+
+    let g = graphs::Graph::empty(1);
+    let algo = Algorithm1::new(&g, LmaxPolicy::fixed(1, lmax));
+    let mut table = analysis::Table::new(["ℓ", "p (exact)", "p (empirical)", "plot"]);
+    for level in -lmax..=lmax {
+        let exact = beep_probability(level, lmax);
+        let mut rng = node_rng(level as u64 ^ 0xF1, 0);
+        let hits = (0..trials)
+            .filter(|_| !algo.transmit(0, &level, &mut rng).is_silent())
+            .count();
+        let empirical = hits as f64 / trials as f64;
+        let bar_len = (exact * 40.0).round() as usize;
+        table.row([
+            level.to_string(),
+            format!("{exact:.6}"),
+            format!("{empirical:.4}"),
+            "█".repeat(bar_len),
+        ]);
+    }
+    out.push_str(&table.to_string());
+    out.push_str("\nshape check: p = 1 on ℓ ≤ 0, halves per level step on (0, ℓmax), p = 0 at ℓmax.\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_covers_all_levels() {
+        let report = run(true);
+        for level in [-10, 0, 1, 5, 10] {
+            assert!(report.lines().any(|l| l.trim_start().starts_with(&format!("{level} "))
+                || l.trim_start().starts_with(&format!("{level}  "))),
+                "missing level {level} in report");
+        }
+        assert!(report.contains("1.000000"));
+        assert!(report.contains("0.000000"));
+    }
+
+    #[test]
+    fn empirical_matches_exact() {
+        // Re-run the measurement core with more trials and assert closeness.
+        let lmax = 6;
+        let g = graphs::Graph::empty(1);
+        let algo = Algorithm1::new(&g, LmaxPolicy::fixed(1, lmax));
+        for level in -lmax..=lmax {
+            let exact = beep_probability(level, lmax);
+            let mut rng = node_rng(7, 0);
+            let trials = 20_000;
+            let hits = (0..trials)
+                .filter(|_| !algo.transmit(0, &level, &mut rng).is_silent())
+                .count();
+            let freq = hits as f64 / trials as f64;
+            assert!(
+                (freq - exact).abs() < 0.02,
+                "ℓ={level}: empirical {freq} vs exact {exact}"
+            );
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Experiment `L6.7` — Lemma 6.7 (golden rounds turn platinum).
+//!
+//! *Claim*: if round `s` is **golden** for `v` (Def 6.2: either `ℓ_s(v) ≤ 1
+//! ∧ d_s(v) ≤ 0.02`, or `d_s^L(v) > 0.001`) and not yet platinum, then
+//! round `s + 1` is platinum for `v` with probability at least
+//! `γ ≥ e⁻²⁷` — the constant that powers Lemma 3.5's exponential tail.
+//!
+//! *Measurement*: run Algorithm 1, classify every (vertex, round) pair in
+//! the pre-platinum phase as golden/non-golden (via the clause that
+//! triggered), and measure the empirical frequency of "platinum next
+//! round" for each class. Reproduced if the golden-round frequency is
+//! bounded away from 0 (far above `e⁻²⁷ ≈ 1.9·10⁻¹²`) and clearly exceeds
+//! the non-golden frequency — i.e. golden rounds really are the progress
+//! engine.
+
+use beeping::Simulator;
+use mis::observer::Snapshot;
+use mis::runner::{initial_levels, RunConfig};
+use mis::{Algorithm1, LmaxPolicy};
+
+/// Frequencies of "platinum next round" by round class.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GoldenStats {
+    /// Golden rounds via clause (a) (`ℓ ≤ 1 ∧ d ≤ 0.02`).
+    pub golden_a: u64,
+    /// … of which the next round was platinum.
+    pub golden_a_hit: u64,
+    /// Golden rounds via clause (b) (`d^L > 0.001`) only.
+    pub golden_b: u64,
+    /// … of which the next round was platinum.
+    pub golden_b_hit: u64,
+    /// Non-golden, non-platinum rounds.
+    pub other: u64,
+    /// … of which the next round was platinum.
+    pub other_hit: u64,
+}
+
+impl GoldenStats {
+    fn rate(hits: u64, total: u64) -> f64 {
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+
+    /// Empirical `P[platinum next | golden via (a)]`.
+    pub fn rate_a(&self) -> f64 {
+        GoldenStats::rate(self.golden_a_hit, self.golden_a)
+    }
+
+    /// Empirical `P[platinum next | golden via (b)]`.
+    pub fn rate_b(&self) -> f64 {
+        GoldenStats::rate(self.golden_b_hit, self.golden_b)
+    }
+
+    /// Empirical `P[platinum next | not golden]`.
+    pub fn rate_other(&self) -> f64 {
+        GoldenStats::rate(self.other_hit, self.other)
+    }
+}
+
+/// Collects golden-round statistics over `seeds` executions on G(n, 8/(n-1)).
+pub fn collect(n: usize, seeds: u64, horizon: u64) -> GoldenStats {
+    let g = graphs::generators::random::gnp(n, 8.0 / (n as f64 - 1.0), 0x67);
+    let mut stats = GoldenStats::default();
+    for seed in 0..seeds {
+        let algo = Algorithm1::new(&g, LmaxPolicy::global_delta(&g));
+        let lmax = algo.policy().lmax_values().to_vec();
+        let config = RunConfig::new(seed);
+        let init = initial_levels(&algo, &config);
+        let mut sim = Simulator::new(&g, algo.clone(), init, seed);
+        sim.run(algo.policy().max_lmax() as u64 + 1); // Lemma 3.1 burn-in
+
+        // Classify (vertex, round) pairs; look one round ahead.
+        let mut prev = Snapshot::new(&g, &lmax, sim.states());
+        let mut classes: Vec<Option<u8>> = vec![None; g.len()];
+        let mut t = 0;
+        while t < horizon {
+            for v in g.nodes() {
+                classes[v] = if prev.is_platinum_for(v) || prev.is_stable(v) {
+                    None
+                } else if prev.level(v) <= 1 && prev.d(v) <= 0.02 {
+                    Some(0) // golden via (a)
+                } else if prev.d_light(v) > 0.001 {
+                    Some(1) // golden via (b)
+                } else {
+                    Some(2) // non-golden
+                };
+            }
+            sim.step();
+            t += 1;
+            let snap = Snapshot::new(&g, &lmax, sim.states());
+            for v in g.nodes() {
+                let hit = snap.is_platinum_for(v);
+                match classes[v] {
+                    Some(0) => {
+                        stats.golden_a += 1;
+                        stats.golden_a_hit += u64::from(hit);
+                    }
+                    Some(1) => {
+                        stats.golden_b += 1;
+                        stats.golden_b_hit += u64::from(hit);
+                    }
+                    Some(2) => {
+                        stats.other += 1;
+                        stats.other_hit += u64::from(hit);
+                    }
+                    _ => {}
+                }
+            }
+            if snap.is_stabilized() {
+                break;
+            }
+            prev = snap;
+        }
+    }
+    stats
+}
+
+/// Runs the experiment and returns the printed report.
+pub fn run(quick: bool) -> String {
+    let (n, seeds, horizon) = if quick { (64, 5, 2_000) } else { (512, 30, 20_000) };
+    let mut out = crate::common::header("L6.7", "Lemma 6.7: golden rounds turn platinum");
+    out.push_str(&format!(
+        "workload: G(n, 8/(n-1)) with n = {n}, global-Δ policy, {seeds} seeds; \
+         classification after the Lemma 3.1 burn-in\n\n"
+    ));
+    let s = collect(n, seeds, horizon);
+    let mut table =
+        analysis::Table::new(["round class", "observations", "P[platinum next round]"]);
+    table.row([
+        "golden, clause (a): ℓ≤1 ∧ d≤0.02".to_string(),
+        s.golden_a.to_string(),
+        format!("{:.4}", s.rate_a()),
+    ]);
+    table.row([
+        "golden, clause (b): d^L>0.001".to_string(),
+        s.golden_b.to_string(),
+        format!("{:.4}", s.rate_b()),
+    ]);
+    table.row([
+        "non-golden".to_string(),
+        s.other.to_string(),
+        format!("{:.4}", s.rate_other()),
+    ]);
+    out.push_str(&table.to_string());
+    out.push_str(&format!(
+        "\nlemma lower bound: γ = e⁻²⁷ ≈ {:.2e} (worst-case analysis constant)\n",
+        (-27.0f64).exp()
+    ));
+    out.push_str(
+        "\nexpected shape: both golden classes convert to platinum at a rate that is a \
+         healthy constant — many orders of magnitude above the provable γ — and clause \
+         (a) (a nearly-free lone-beep attempt) converts at close to ½.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_rounds_convert_at_constant_rate() {
+        let s = collect(64, 5, 5_000);
+        assert!(s.golden_a + s.golden_b > 0, "golden rounds must occur");
+        // Clause (a) is a ~½ lone-beep shot; require a healthy constant.
+        if s.golden_a > 50 {
+            assert!(s.rate_a() > 0.2, "clause (a) rate {:.3}", s.rate_a());
+        }
+        // Both golden rates dominate the lemma's constant by far.
+        let gamma = (-27.0f64).exp();
+        assert!(s.rate_a() >= gamma);
+        if s.golden_b > 0 {
+            assert!(s.rate_b() >= gamma);
+        }
+    }
+
+    #[test]
+    fn report_has_all_classes() {
+        let report = run(true);
+        assert!(report.contains("clause (a)"));
+        assert!(report.contains("clause (b)"));
+        assert!(report.contains("non-golden"));
+    }
+}

@@ -1,0 +1,194 @@
+//! Experiment drivers regenerating every claim of the paper.
+//!
+//! The reproduced paper is a brief announcement with no empirical section,
+//! so the "tables and figures" to regenerate are its formal claims; each
+//! gets an experiment id (see `DESIGN.md` §4):
+//!
+//! | id | claim |
+//! |----|-------|
+//! | `T2.1` ([`thm21`]) | Theorem 2.1: O(log n) with global Δ knowledge |
+//! | `T2.2` ([`thm22`]) | Theorem 2.2: O(log n·log log n) with own-degree knowledge |
+//! | `T2.2-L` ([`thm22_layers`]) | §5's layering: ℓmax classes stabilize in order |
+//! | `C2.3` ([`cor23`]) | Corollary 2.3: O(log n) with two channels + deg₂ |
+//! | `F1` ([`fig1`]) | Figure 1: the level→probability activation function |
+//! | `L3.5` ([`lemma35`]) | Lemma 3.5: exponential tail on platinum-round waits |
+//! | `L3.6` ([`lemma36`]) | Lemma 3.6: resolution of prominence episodes |
+//! | `L6.7` ([`lemma67`]) | Lemma 6.7: golden rounds turn platinum |
+//! | `SS-R` ([`recovery`]) | Self-stabilization: recovery from transient faults |
+//! | `SS-A` ([`adversarial`]) | §2's motivation: JSX fails from adversarial states |
+//! | `BASE` ([`baseline_cmp`]) | §1 positioning vs JSX / Afek et al. / Luby |
+//! | `ABL-C1` ([`ablation_c1`]) | sensitivity to the constant `c1` |
+//! | `ABL-LMAX` ([`ablation_lmax`]) | the "`ℓmax` has strong influence" remark of §2 |
+//! | `ABL-HD` ([`ablation_duplex`]) | model ablation: full vs half duplex |
+//! | `SCALE` ([`scale`]) | practicality at large n |
+//! | `ENERGY` ([`energy`]) | beep (radio-energy) complexity |
+//! | `DYN` ([`dyn_trajectory`]) | convergence trajectory of one execution |
+//! | `EXT-ADAPT` ([`ext_adaptive`]) | §8's open question: knowledge-free adaptive variant |
+//! | `EXT-2STATE` ([`ext_two_state`]) | constant-state baseline \[16\] vs Algorithm 1 |
+//! | `EXT-WAKE` ([`ext_wakeup`]) | adversarial wake-up schedules (the Afek et al. lower-bound model) |
+//!
+//! Run them with `cargo run -p experiments --release -- <id>|all [--quick]`.
+
+pub mod ablation_c1;
+pub mod ablation_duplex;
+pub mod ablation_lmax;
+pub mod adversarial;
+pub mod baseline_cmp;
+pub mod common;
+pub mod cor23;
+pub mod dyn_trajectory;
+pub mod energy;
+pub mod ext_adaptive;
+pub mod ext_two_state;
+pub mod ext_wakeup;
+pub mod fig1;
+pub mod lemma35;
+pub mod lemma36;
+pub mod lemma67;
+pub mod recovery;
+pub mod scale;
+pub mod thm21;
+pub mod thm22;
+pub mod thm22_layers;
+
+/// One runnable experiment: id, description, and driver.
+pub struct Experiment {
+    /// Experiment id, e.g. `"T2.1"`.
+    pub id: &'static str,
+    /// One-line description.
+    pub title: &'static str,
+    /// Driver: `quick` trades coverage for speed (used by tests/benches).
+    pub run: fn(quick: bool) -> String,
+}
+
+/// The registry of all experiments, in DESIGN.md order.
+pub fn all_experiments() -> Vec<Experiment> {
+    vec![
+        Experiment {
+            id: "T2.1",
+            title: "Theorem 2.1: O(log n) with global Δ knowledge",
+            run: thm21::run,
+        },
+        Experiment {
+            id: "T2.2",
+            title: "Theorem 2.2: O(log n·loglog n) with own-degree knowledge",
+            run: thm22::run,
+        },
+        Experiment {
+            id: "T2.2-L",
+            title: "Theorem 2.2's layering: ℓmax classes stabilize in order",
+            run: thm22_layers::run,
+        },
+        Experiment {
+            id: "C2.3",
+            title: "Corollary 2.3: O(log n) with two channels + deg₂",
+            run: cor23::run,
+        },
+        Experiment {
+            id: "F1",
+            title: "Figure 1: beeping probability vs level",
+            run: fig1::run,
+        },
+        Experiment {
+            id: "L3.5",
+            title: "Lemma 3.5: tail of platinum-round waiting times",
+            run: lemma35::run,
+        },
+        Experiment {
+            id: "L3.6",
+            title: "Lemma 3.6: resolution of prominence episodes",
+            run: lemma36::run,
+        },
+        Experiment {
+            id: "L6.7",
+            title: "Lemma 6.7: golden rounds turn platinum",
+            run: lemma67::run,
+        },
+        Experiment {
+            id: "SS-R",
+            title: "Self-stabilization: recovery from transient faults",
+            run: recovery::run,
+        },
+        Experiment {
+            id: "SS-A",
+            title: "Adversarial initialization: JSX vs Algorithm 1",
+            run: adversarial::run,
+        },
+        Experiment {
+            id: "BASE",
+            title: "Baseline comparison: Alg 1/2 vs JSX, Afek-style, Luby",
+            run: baseline_cmp::run,
+        },
+        Experiment {
+            id: "ABL-C1",
+            title: "Ablation: sensitivity to the constant c1",
+            run: ablation_c1::run,
+        },
+        Experiment {
+            id: "ABL-LMAX",
+            title: "Ablation: ℓmax regimes",
+            run: ablation_lmax::run,
+        },
+        Experiment {
+            id: "ABL-HD",
+            title: "Model ablation: full vs half duplex",
+            run: ablation_duplex::run,
+        },
+        Experiment {
+            id: "SCALE",
+            title: "Scalability on large graphs",
+            run: scale::run,
+        },
+        Experiment {
+            id: "ENERGY",
+            title: "Beep (radio-energy) complexity",
+            run: energy::run,
+        },
+        Experiment {
+            id: "DYN",
+            title: "Convergence trajectory of one execution",
+            run: dyn_trajectory::run,
+        },
+        Experiment {
+            id: "EXT-ADAPT",
+            title: "Open question (§8): knowledge-free adaptive variant",
+            run: ext_adaptive::run,
+        },
+        Experiment {
+            id: "EXT-2STATE",
+            title: "Constant-state baseline [16] vs Algorithm 1",
+            run: ext_two_state::run,
+        },
+        Experiment {
+            id: "EXT-WAKE",
+            title: "Adversarial wake-up schedules",
+            run: ext_wakeup::run,
+        },
+    ]
+}
+
+/// Looks up an experiment by (case-insensitive) id.
+pub fn find_experiment(id: &str) -> Option<Experiment> {
+    all_experiments().into_iter().find(|e| e.id.eq_ignore_ascii_case(id))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_ids_unique() {
+        let ids: Vec<_> = all_experiments().iter().map(|e| e.id).collect();
+        let mut dedup = ids.to_vec();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(ids.len(), dedup.len());
+    }
+
+    #[test]
+    fn lookup_case_insensitive() {
+        assert!(find_experiment("t2.1").is_some());
+        assert!(find_experiment("T2.1").is_some());
+        assert!(find_experiment("nope").is_none());
+    }
+}

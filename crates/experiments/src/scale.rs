@@ -1,0 +1,114 @@
+//! Experiment `SCALE` — practicality at large n.
+//!
+//! Not a paper claim per se, but the adoption question a downstream user
+//! asks: how do rounds, wall-clock time and beep (energy) cost behave on
+//! realistic wireless-sized deployments? Runs Algorithm 1 on random
+//! geometric graphs (the wireless-sensor abstraction the paper's intro
+//! motivates) up to 10⁵ nodes.
+
+use std::time::Instant;
+
+use graphs::generators::GraphFamily;
+use mis::runner::{InitialLevels, RunConfig};
+use mis::{Algorithm1, LmaxPolicy};
+
+/// One scalability data point.
+#[derive(Debug, Clone, Copy)]
+pub struct ScalePoint {
+    /// Network size.
+    pub n: usize,
+    /// Edges.
+    pub m: usize,
+    /// Stabilization rounds.
+    pub rounds: u64,
+    /// Wall-clock seconds for the whole run (including stabilization
+    /// detection each round).
+    pub seconds: f64,
+    /// Mean channel-1 beeps per node over the execution (energy proxy).
+    pub beeps_per_node: f64,
+    /// MIS size.
+    pub mis_size: usize,
+}
+
+/// Measures one size.
+pub fn measure_scale(n: usize, seed: u64) -> ScalePoint {
+    let family = GraphFamily::Geometric { avg_degree: 8.0 };
+    let g = family.generate(n, seed);
+    let algo = Algorithm1::new(&g, LmaxPolicy::global_delta(&g));
+    let start = Instant::now();
+    let outcome = algo
+        .run(&g, RunConfig::new(seed).with_init(InitialLevels::Random))
+        .expect("stabilizes");
+    let seconds = start.elapsed().as_secs_f64();
+    assert!(graphs::mis::is_maximal_independent_set(&g, &outcome.mis));
+    ScalePoint {
+        n: g.len(),
+        m: g.num_edges(),
+        rounds: outcome.stabilization_round,
+        seconds,
+        beeps_per_node: outcome.trace.total_beeps_channel1() as f64 / g.len() as f64,
+        mis_size: outcome.mis.iter().filter(|&&x| x).count(),
+    }
+}
+
+/// Runs the experiment and returns the printed report.
+pub fn run(quick: bool) -> String {
+    let sizes: Vec<usize> =
+        if quick { vec![1_000, 2_000] } else { vec![10_000, 30_000, 100_000] };
+    let mut out = crate::common::header("SCALE", "Scalability on random geometric graphs");
+    out.push_str("Algorithm 1, global-Δ policy, adversarial random init, 1 seed per size\n\n");
+    let mut table = analysis::Table::new([
+        "n",
+        "edges",
+        "rounds",
+        "wall (s)",
+        "rounds/s",
+        "beeps/node",
+        "|MIS|",
+    ]);
+    for (i, &n) in sizes.iter().enumerate() {
+        let p = measure_scale(n, crate::common::graph_seed(i));
+        table.row([
+            p.n.to_string(),
+            p.m.to_string(),
+            p.rounds.to_string(),
+            format!("{:.2}", p.seconds),
+            format!("{:.0}", p.rounds as f64 / p.seconds.max(1e-9)),
+            format!("{:.1}", p.beeps_per_node),
+            p.mis_size.to_string(),
+        ]);
+    }
+    out.push_str(&table.to_string());
+    out.push_str(
+        "\nexpected shape: rounds stay logarithmic (tens, not thousands); beeps per node \
+         stay O(rounds); wall time scales ~ n·rounds.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_point_is_consistent() {
+        let p = measure_scale(500, 1);
+        assert_eq!(p.n, 500);
+        assert!(p.rounds > 0);
+        assert!(p.mis_size > 0 && p.mis_size < 500);
+        assert!(p.beeps_per_node > 0.0);
+    }
+
+    #[test]
+    fn rounds_grow_slowly_with_n() {
+        let small = measure_scale(250, 2);
+        let large = measure_scale(2_000, 2);
+        // 8× nodes must not cost anywhere near 8× rounds.
+        assert!(
+            (large.rounds as f64) < 4.0 * small.rounds as f64,
+            "small={} large={}",
+            small.rounds,
+            large.rounds
+        );
+    }
+}

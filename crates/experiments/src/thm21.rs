@@ -1,0 +1,64 @@
+//! Experiment `T2.1` — Theorem 2.1.
+//!
+//! *Claim*: with every vertex knowing the same upper bound on the maximum
+//! degree Δ and `ℓmax = log Δ + c1` (`c1 ≥ 15`), Algorithm 1 stabilizes
+//! from an arbitrary configuration within `O(log n)` rounds w.h.p.
+//!
+//! *Measurement*: sweep `n` over powers of two across four graph families,
+//! start every run from uniformly random levels, record the stabilization
+//! round, and fit the mean curve against the candidate growth models. The
+//! claim is reproduced if `log n` (or a slower model) wins the fit and the
+//! per-size distributions stay tight (p95 close to the mean).
+
+use graphs::generators::GraphFamily;
+use mis::{Algorithm1, LmaxPolicy};
+
+use crate::common;
+
+/// Runs the experiment and returns the printed report.
+pub fn run(quick: bool) -> String {
+    let mut out = common::header("T2.1", "Theorem 2.1: O(log n) with global Δ knowledge");
+    out.push_str(&format!(
+        "policy: ℓmax = ⌈log₂ Δ⌉ + {}, identical for all vertices; init: uniform random levels\n",
+        mis::policy::C1_GLOBAL_DELTA
+    ));
+    let sizes = common::sweep_sizes(quick);
+    let seeds = common::seed_count(quick);
+    for family in GraphFamily::standard_sweep() {
+        let points = common::sweep(&family, &sizes, seeds, 1_000_000, |g| {
+            Algorithm1::new(g, LmaxPolicy::global_delta(g))
+        });
+        common::render_sweep(&mut out, &family, &points);
+    }
+    out.push_str(
+        "\nexpected shape: every family's best fit is `log n` (or flatter); zero failures.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_report() {
+        let report = run(true);
+        assert!(report.contains("T2.1"));
+        assert!(report.contains("model fits"));
+        // No run may fail its (huge) budget.
+        assert!(!report.contains("panicked"));
+    }
+
+    #[test]
+    fn growth_is_logarithmic_not_polynomial() {
+        // A 16× size increase must cost well under the 4× that √n growth
+        // would predict (log growth predicts ≈ 1.4×).
+        let sizes = vec![32, 512];
+        let points = common::sweep(&GraphFamily::Cycle, &sizes, 10, 1_000_000, |g| {
+            Algorithm1::new(g, LmaxPolicy::global_delta(g))
+        });
+        let ratio = points[1].summary.mean / points[0].summary.mean;
+        assert!(ratio < 2.5, "T(512)/T(32) = {ratio:.2} suggests polynomial growth");
+        assert!(points.iter().all(|p| p.failures == 0));
+    }
+}

@@ -1,0 +1,162 @@
+//! Experiment `T2.2-L` — the layering mechanism behind Theorem 2.2 (§5).
+//!
+//! The proof of Theorem 2.2 splits the vertices into `O(log log n)` classes
+//! `V_i = {v : ℓmax(v) ∈ [2^i, 2^{i+1})}` and argues each class stabilizes
+//! within `O(log n)` rounds *after* all lower classes have
+//! (`T_i = min{t : ∪_{j≤i} V_j ⊆ S_t}`) — low-`ℓmax` (low-degree) vertices
+//! first, hubs last, giving the `log n · log log n` product.
+//!
+//! This experiment runs Algorithm 1 with the own-degree policy on
+//! heavy-tailed graphs, records for every vertex the round at which it
+//! became (permanently) stable, and reports per-class stabilization
+//! percentiles. At practical sizes the additive constant `c1 = 30`
+//! dominates `ℓmax`, so the paper's dyadic classes all collapse into one;
+//! we therefore bucket by the distinct `ℓmax` *values*
+//! (`34, 36, 38, …` on a BA graph) — the same ordering the dyadic classes
+//! induce asymptotically.
+//!
+//! Measured outcome (recorded in EXPERIMENTS.md): empirically the classes
+//! do **not** stabilize in the proof's sequence — all of them settle
+//! concurrently, and hubs are on average *earlier* (their many beeping
+//! neighbors silence them quickly, and a large neighborhood is covered by
+//! some MIS join sooner). The proof's "wait for `T_i`" schedule is thus a
+//! worst-case accounting device, not a description of the dynamics —
+//! which is also why the measured T2.2 times look like plain `O(log n)`
+//! rather than showing a visible `log log n` factor.
+
+use analysis::Summary;
+use beeping::Simulator;
+use mis::observer::Snapshot;
+use mis::runner::{initial_levels, RunConfig};
+use mis::{Algorithm1, LmaxPolicy};
+
+/// Per-class stabilization data of one execution set.
+#[derive(Debug, Clone)]
+pub struct LayerReport {
+    /// The class's `ℓmax` value.
+    pub class: u32,
+    /// Number of vertices in the class.
+    pub size: usize,
+    /// Summary of per-vertex stabilization rounds across vertices & seeds.
+    pub vertex_rounds: Summary,
+    /// Summary over seeds of `T_i` (the round the whole class completed).
+    pub completion: Summary,
+}
+
+/// Runs the layering measurement.
+pub fn measure_layers(n: usize, seeds: u64) -> Vec<LayerReport> {
+    let g = graphs::generators::scale_free::barabasi_albert(n, 3, 0x22).expect("valid BA");
+    let algo = Algorithm1::new(&g, LmaxPolicy::own_degree(&g));
+    let lmax = algo.policy().lmax_values().to_vec();
+    let class_of: Vec<u32> = lmax.iter().map(|&l| l as u32).collect();
+    let max_class = class_of.iter().copied().max().unwrap_or(0);
+
+    // per class: vertex stabilization rounds (across seeds), completion per seed
+    let mut vertex_rounds: Vec<Vec<u64>> = vec![Vec::new(); (max_class + 1) as usize];
+    let mut completions: Vec<Vec<u64>> = vec![Vec::new(); (max_class + 1) as usize];
+
+    for seed in 0..seeds {
+        let config = RunConfig::new(seed);
+        let init = initial_levels(&algo, &config);
+        let mut sim = Simulator::new(&g, algo.clone(), init, seed);
+        let mut stable_at: Vec<Option<u64>> = vec![None; g.len()];
+        // Because S_t is monotone (no faults), first-stable = permanent.
+        loop {
+            sim.step();
+            let snap = Snapshot::new(&g, &lmax, sim.states());
+            for v in g.nodes() {
+                if stable_at[v].is_none() && snap.is_stable(v) {
+                    stable_at[v] = Some(sim.round());
+                }
+            }
+            if snap.is_stabilized() {
+                break;
+            }
+            assert!(sim.round() < 2_000_000, "budget exceeded");
+        }
+        let mut class_completion = vec![0u64; (max_class + 1) as usize];
+        for v in g.nodes() {
+            let r = stable_at[v].expect("all stable at termination");
+            vertex_rounds[class_of[v] as usize].push(r);
+            let c = &mut class_completion[class_of[v] as usize];
+            *c = (*c).max(r);
+        }
+        for (i, &c) in class_completion.iter().enumerate() {
+            if !vertex_rounds[i].is_empty() {
+                completions[i].push(c);
+            }
+        }
+    }
+
+    (0..=max_class)
+        .filter(|&i| !vertex_rounds[i as usize].is_empty())
+        .map(|i| LayerReport {
+            class: i,
+            size: class_of.iter().filter(|&&c| c == i).count(),
+            vertex_rounds: Summary::of_counts(vertex_rounds[i as usize].iter().copied()),
+            completion: Summary::of_counts(completions[i as usize].iter().copied()),
+        })
+        .collect()
+}
+
+/// Runs the experiment and returns the printed report.
+pub fn run(quick: bool) -> String {
+    let (n, seeds) = if quick { (128, 5) } else { (2048, 30) };
+    let mut out =
+        crate::common::header("T2.2-L", "Theorem 2.2's layering: ℓmax classes stabilize in order");
+    out.push_str(&format!(
+        "workload: Barabási–Albert(n = {n}, m = 3), own-degree policy, {seeds} seeds; \
+         classes = distinct ℓmax values (low ℓmax ⇔ low degree)\n\n"
+    ));
+    let layers = measure_layers(n, seeds);
+    let mut table = analysis::Table::new([
+        "ℓmax class",
+        "|V_i|",
+        "vertex stab. mean",
+        "vertex p95",
+        "class completion T_i (mean)",
+    ]);
+    for l in &layers {
+        table.row([
+            l.class.to_string(),
+            l.size.to_string(),
+            format!("{:.1}", l.vertex_rounds.mean),
+            format!("{:.0}", l.vertex_rounds.p95),
+            format!("{:.1}", l.completion.mean),
+        ]);
+    }
+    out.push_str(&table.to_string());
+    out.push_str(
+        "\nmeasured shape: all classes stabilize concurrently within the same O(log n) \
+         window, hubs on average slightly earlier — the proof's layer-by-layer schedule \
+         is an analysis device (a sufficient condition), not the actual dynamics.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_classes_settle_in_the_same_logarithmic_window() {
+        let layers = measure_layers(256, 8);
+        assert!(layers.len() >= 2, "BA graphs must produce multiple ℓmax classes");
+        // Every class's mean stabilization time is within a small factor of
+        // every other's — the concurrent-settling observation.
+        let means: Vec<f64> = layers.iter().map(|l| l.vertex_rounds.mean).collect();
+        let min = means.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = means.iter().cloned().fold(0.0f64, f64::max);
+        assert!(
+            max <= 3.0 * min,
+            "class means spread too wide: min {min:.1}, max {max:.1}"
+        );
+    }
+
+    #[test]
+    fn report_lists_classes() {
+        let report = run(true);
+        assert!(report.contains("T2.2-L"));
+        assert!(report.contains("|V_i|"));
+    }
+}

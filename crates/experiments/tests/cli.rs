@@ -1,0 +1,130 @@
+//! Integration tests of the two command-line binaries, driven end to end
+//! through `std::process`.
+
+use std::process::Command;
+
+fn solve() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_solve"))
+}
+
+fn experiments_bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_experiments"))
+}
+
+fn parse_mis_output(stdout: &str) -> (String, Vec<usize>) {
+    let mut lines = stdout.lines();
+    let header = lines.next().expect("stats header").to_string();
+    assert!(header.starts_with("# "), "header line: {header}");
+    let members = lines.map(|l| l.parse().expect("vertex id")).collect();
+    (header, members)
+}
+
+#[test]
+fn solve_generates_and_solves() {
+    let out = solve()
+        .args(["--generate", "gnp:150:8", "--seed", "5"])
+        .output()
+        .expect("solve runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let (header, members) = parse_mis_output(&String::from_utf8(out.stdout).unwrap());
+    assert!(header.contains("n=150"));
+    assert!(header.contains("algorithm=alg1"));
+    assert!(!members.is_empty());
+    // Independently verify against the same generated graph.
+    let g = graphs::generators::random::gnp(150, 8.0 / 149.0, 5);
+    let mut set = vec![false; 150];
+    for v in members {
+        set[v] = true;
+    }
+    assert!(graphs::mis::is_maximal_independent_set(&g, &set));
+}
+
+#[test]
+fn solve_reads_edge_list_files_and_writes_dot() {
+    let dir = std::env::temp_dir();
+    let graph_path = dir.join("beeping_mis_cli_test.edges");
+    let dot_path = dir.join("beeping_mis_cli_test.dot");
+    let g = graphs::generators::classic::cycle(12);
+    std::fs::write(&graph_path, graphs::edgelist::to_string(&g)).unwrap();
+
+    let out = solve()
+        .args([
+            "--graph",
+            graph_path.to_str().unwrap(),
+            "--algorithm",
+            "alg2",
+            "--policy",
+            "deg2",
+            "--dot",
+            dot_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("solve runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let (header, members) = parse_mis_output(&String::from_utf8(out.stdout).unwrap());
+    assert!(header.contains("algorithm=alg2"));
+    let mut set = vec![false; 12];
+    for v in members {
+        set[v] = true;
+    }
+    assert!(graphs::mis::is_maximal_independent_set(&g, &set));
+    let dot = std::fs::read_to_string(&dot_path).unwrap();
+    assert!(dot.contains("graph beeping_mis"));
+    assert!(dot.contains("style=filled"));
+}
+
+#[test]
+fn solve_adaptive_algorithm() {
+    let out = solve()
+        .args(["--generate", "cycle:30", "--algorithm", "adaptive"])
+        .output()
+        .expect("solve runs");
+    assert!(out.status.success());
+    let (header, _) = parse_mis_output(&String::from_utf8(out.stdout).unwrap());
+    assert!(header.contains("algorithm=adaptive"));
+}
+
+#[test]
+fn solve_rejects_bad_arguments() {
+    for args in [
+        vec![] as Vec<&str>,
+        vec!["--generate", "nope:10"],
+        vec!["--generate", "gnp:10:4", "--algorithm", "quantum"],
+        vec!["--generate", "gnp:10:4", "--policy", "psychic"],
+        vec!["--graph", "/definitely/not/a/file"],
+        vec!["--generate", "gnp:10:4", "--bogus-flag"],
+    ] {
+        let out = solve().args(&args).output().expect("solve runs");
+        assert!(!out.status.success(), "args {args:?} should fail");
+        assert!(!out.stderr.is_empty());
+    }
+}
+
+#[test]
+fn experiments_list_shows_registry() {
+    let out = experiments_bin().arg("--list").output().expect("runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stderr);
+    for id in ["T2.1", "C2.3", "SS-A", "EXT-WAKE"] {
+        assert!(text.contains(id), "missing {id} in registry listing");
+    }
+}
+
+#[test]
+fn experiments_rejects_unknown_id() {
+    let out = experiments_bin().arg("NOPE-42").output().expect("runs");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn experiments_runs_f1_quick_and_writes_out_dir() {
+    let dir = std::env::temp_dir().join("beeping_mis_cli_out");
+    let _ = std::fs::remove_dir_all(&dir);
+    let out = experiments_bin()
+        .args(["F1", "--quick", "--out", dir.to_str().unwrap()])
+        .output()
+        .expect("runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let report = std::fs::read_to_string(dir.join("F1.txt")).expect("report written");
+    assert!(report.contains("Figure 1"));
+}

@@ -1,0 +1,207 @@
+//! Incremental construction of [`Graph`]s.
+
+use crate::{Graph, GraphError, NodeId};
+
+/// Incremental builder for [`Graph`].
+///
+/// Collects undirected edges (in any orientation, duplicates allowed — they
+/// are merged at [`GraphBuilder::build`] time) and produces a validated CSR
+/// graph.
+///
+/// # Example
+///
+/// ```
+/// use graphs::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(0, 1)?;
+/// b.add_edge(2, 1)?;
+/// let g = b.build();
+/// assert_eq!(g.num_edges(), 2);
+/// # Ok::<(), graphs::GraphError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<(u32, u32)>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph with `n` nodes (ids `0..n`).
+    pub fn new(n: usize) -> GraphBuilder {
+        assert!(n <= u32::MAX as usize, "graphs are limited to u32::MAX nodes");
+        GraphBuilder { n, edges: Vec::new() }
+    }
+
+    /// Creates a builder with capacity reserved for `m` edges.
+    pub fn with_capacity(n: usize, m: usize) -> GraphBuilder {
+        let mut b = GraphBuilder::new(n);
+        b.edges.reserve(m);
+        b
+    }
+
+    /// Number of nodes the built graph will have.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` if the builder targets a graph with no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Number of edge insertions so far (before deduplication).
+    pub fn num_edge_insertions(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds the undirected edge `{u, v}`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::SelfLoop`] if `u == v` and
+    /// [`GraphError::NodeOutOfRange`] if either endpoint is `>= n`.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> Result<&mut GraphBuilder, GraphError> {
+        if u >= self.n {
+            return Err(GraphError::NodeOutOfRange { node: u, n: self.n });
+        }
+        if v >= self.n {
+            return Err(GraphError::NodeOutOfRange { node: v, n: self.n });
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop(u));
+        }
+        let (a, b) = if u < v { (u, v) } else { (v, u) };
+        self.edges.push((a as u32, b as u32));
+        Ok(self)
+    }
+
+    /// Adds every edge from an iterator, stopping at the first error.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`GraphError`] from [`GraphBuilder::add_edge`].
+    pub fn add_edges<I>(&mut self, edges: I) -> Result<&mut GraphBuilder, GraphError>
+    where
+        I: IntoIterator<Item = (NodeId, NodeId)>,
+    {
+        for (u, v) in edges {
+            self.add_edge(u, v)?;
+        }
+        Ok(self)
+    }
+
+    /// `true` if the edge was already inserted (linear scan; intended for
+    /// tests and small generators that need rejection sampling).
+    pub fn contains_edge(&self, u: NodeId, v: NodeId) -> bool {
+        let (a, b) = if u < v { (u as u32, v as u32) } else { (v as u32, u as u32) };
+        self.edges.contains(&(a, b))
+    }
+
+    /// Finalizes the builder into an immutable [`Graph`].
+    ///
+    /// Duplicate edges are merged; adjacency lists come out sorted.
+    pub fn build(mut self) -> Graph {
+        self.edges.sort_unstable();
+        self.edges.dedup();
+        let mut degrees = vec![0usize; self.n];
+        for &(a, b) in &self.edges {
+            degrees[a as usize] += 1;
+            degrees[b as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(self.n + 1);
+        offsets.push(0usize);
+        let mut acc = 0usize;
+        for &d in &degrees {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor = offsets[..self.n].to_vec();
+        let mut neighbors = vec![0u32; acc];
+        for &(a, b) in &self.edges {
+            neighbors[cursor[a as usize]] = b;
+            cursor[a as usize] += 1;
+            neighbors[cursor[b as usize]] = a;
+            cursor[b as usize] += 1;
+        }
+        // Each node's slice is already sorted: edges were sorted by (a, b),
+        // so node a receives its b's in increasing order; node b receives its
+        // a's in increasing order of a, but interleaved with larger-neighbor
+        // writes only after all smaller ones... that interleaving is not
+        // guaranteed sorted, so sort each slice to uphold the CSR invariant.
+        for v in 0..self.n {
+            neighbors[offsets[v]..offsets[v + 1]].sort_unstable();
+        }
+        Graph::from_csr(offsets, neighbors)
+    }
+}
+
+impl Extend<(NodeId, NodeId)> for GraphBuilder {
+    /// Extends with edges, panicking on invalid ones.
+    ///
+    /// Use [`GraphBuilder::add_edges`] for fallible insertion.
+    fn extend<I: IntoIterator<Item = (NodeId, NodeId)>>(&mut self, iter: I) {
+        self.add_edges(iter).expect("invalid edge passed to GraphBuilder::extend");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_sorted_adjacency() {
+        let mut b = GraphBuilder::new(5);
+        b.add_edges([(4, 0), (0, 2), (0, 1), (3, 0)]).unwrap();
+        let g = b.build();
+        assert_eq!(g.neighbors(0), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn dedups_edges() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edges([(0, 1), (1, 0), (0, 1), (1, 2)]).unwrap();
+        assert_eq!(b.num_edge_insertions(), 4);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn contains_edge_checks_both_orientations() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(2, 1).unwrap();
+        assert!(b.contains_edge(1, 2));
+        assert!(b.contains_edge(2, 1));
+        assert!(!b.contains_edge(0, 1));
+    }
+
+    #[test]
+    fn rejects_bad_edges() {
+        let mut b = GraphBuilder::new(2);
+        assert!(matches!(b.add_edge(0, 0), Err(GraphError::SelfLoop(0))));
+        assert!(matches!(b.add_edge(0, 2), Err(GraphError::NodeOutOfRange { node: 2, n: 2 })));
+        assert!(matches!(b.add_edge(9, 1), Err(GraphError::NodeOutOfRange { node: 9, n: 2 })));
+    }
+
+    #[test]
+    fn extend_trait() {
+        let mut b = GraphBuilder::new(4);
+        b.extend([(0, 1), (2, 3)]);
+        assert_eq!(b.build().num_edges(), 2);
+    }
+
+    #[test]
+    fn empty_builder() {
+        let b = GraphBuilder::new(0);
+        assert!(b.is_empty());
+        let g = b.build();
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    fn chaining() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1).unwrap().add_edge(1, 2).unwrap();
+        assert_eq!(b.build().num_edges(), 2);
+    }
+}

@@ -1,0 +1,159 @@
+//! Graphviz DOT export, with optional MIS highlighting — for inspecting
+//! small workloads and debugging algorithm behavior visually.
+
+use std::io::Write;
+
+use crate::Graph;
+
+/// Options for DOT rendering.
+#[derive(Debug, Clone, Default)]
+pub struct DotStyle {
+    /// Nodes to highlight (e.g. an MIS bitmap); highlighted nodes are
+    /// filled.
+    pub highlight: Option<Vec<bool>>,
+    /// Extra per-node labels (defaults to the node id).
+    pub labels: Option<Vec<String>>,
+}
+
+impl DotStyle {
+    /// Plain rendering.
+    pub fn plain() -> DotStyle {
+        DotStyle::default()
+    }
+
+    /// Highlights the members of `set` (e.g. a computed MIS).
+    ///
+    /// # Panics
+    ///
+    /// The length is checked at render time against the graph.
+    pub fn with_highlight(mut self, set: Vec<bool>) -> DotStyle {
+        self.highlight = Some(set);
+        self
+    }
+
+    /// Attaches custom labels.
+    pub fn with_labels(mut self, labels: Vec<String>) -> DotStyle {
+        self.labels = Some(labels);
+        self
+    }
+}
+
+/// Writes `g` as an undirected Graphviz graph.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w`.
+///
+/// # Panics
+///
+/// Panics if a style vector's length differs from `g.len()`.
+pub fn write_dot<W: Write>(g: &Graph, style: &DotStyle, mut w: W) -> std::io::Result<()> {
+    if let Some(h) = &style.highlight {
+        assert_eq!(h.len(), g.len(), "highlight bitmap must cover every node");
+    }
+    if let Some(l) = &style.labels {
+        assert_eq!(l.len(), g.len(), "labels must cover every node");
+    }
+    writeln!(w, "graph beeping_mis {{")?;
+    writeln!(w, "  node [shape=circle, fontsize=10];")?;
+    for v in g.nodes() {
+        let mut attrs: Vec<String> = Vec::new();
+        if let Some(labels) = &style.labels {
+            attrs.push(format!("label=\"{}\"", escape(&labels[v])));
+        }
+        if style.highlight.as_ref().is_some_and(|h| h[v]) {
+            attrs.push("style=filled".into());
+            attrs.push("fillcolor=black".into());
+            attrs.push("fontcolor=white".into());
+        }
+        if attrs.is_empty() {
+            writeln!(w, "  n{v};")?;
+        } else {
+            writeln!(w, "  n{v} [{}];", attrs.join(", "))?;
+        }
+    }
+    for (u, v) in g.edges() {
+        writeln!(w, "  n{u} -- n{v};")?;
+    }
+    writeln!(w, "}}")
+}
+
+/// Renders `g` to a DOT string.
+pub fn to_dot(g: &Graph, style: &DotStyle) -> String {
+    let mut buf = Vec::new();
+    write_dot(g, style, &mut buf).expect("writing to a Vec cannot fail");
+    String::from_utf8(buf).expect("DOT output is valid UTF-8")
+}
+
+/// Convenience: graph with an MIS highlighted.
+pub fn mis_to_dot(g: &Graph, mis: &[bool]) -> String {
+    to_dot(g, &DotStyle::plain().with_highlight(mis.to_vec()))
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Returns per-node levels as DOT labels `"id:ℓ"` — used by debugging
+/// sessions to render a configuration snapshot.
+pub fn level_labels<L: std::fmt::Display>(levels: &[L]) -> Vec<String> {
+    levels.iter().enumerate().map(|(v, l)| format!("{v}:{l}")).collect()
+}
+
+/// The IDs referenced by a DOT body (smoke check used in tests).
+#[cfg(test)]
+fn count_edges_in_dot(dot: &str) -> usize {
+    dot.lines().filter(|l| l.contains("--")).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::classic;
+
+    #[test]
+    fn plain_dot_structure() {
+        let g = classic::path(3);
+        let dot = to_dot(&g, &DotStyle::plain());
+        assert!(dot.starts_with("graph beeping_mis {"));
+        assert!(dot.trim_end().ends_with('}'));
+        assert_eq!(count_edges_in_dot(&dot), 2);
+        assert!(dot.contains("n0"));
+        assert!(dot.contains("n2"));
+    }
+
+    #[test]
+    fn highlight_fills_members() {
+        let g = classic::path(3);
+        let dot = mis_to_dot(&g, &[true, false, true]);
+        let filled = dot.lines().filter(|l| l.contains("style=filled")).count();
+        assert_eq!(filled, 2);
+    }
+
+    #[test]
+    fn labels_are_escaped() {
+        let g = classic::path(2);
+        let style = DotStyle::plain().with_labels(vec!["a\"b".into(), "c\\d".into()]);
+        let dot = to_dot(&g, &style);
+        assert!(dot.contains("a\\\"b"));
+        assert!(dot.contains("c\\\\d"));
+    }
+
+    #[test]
+    fn level_labels_format() {
+        assert_eq!(level_labels(&[-3, 5]), vec!["0:-3".to_string(), "1:5".to_string()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "highlight bitmap")]
+    fn wrong_highlight_length_panics() {
+        let g = classic::path(3);
+        let _ = mis_to_dot(&g, &[true]);
+    }
+
+    #[test]
+    fn empty_graph_renders() {
+        let dot = to_dot(&Graph::empty(0), &DotStyle::plain());
+        assert!(dot.contains("graph beeping_mis"));
+    }
+}

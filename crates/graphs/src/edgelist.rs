@@ -1,0 +1,141 @@
+//! Plain-text edge-list serialization.
+//!
+//! Format: first non-comment line is `n`, then one `u v` pair per line.
+//! Lines starting with `#` are comments. This is the interchange format the
+//! experiment harness uses to persist workloads.
+
+use std::io::{BufRead, Write};
+
+use crate::{Graph, GraphBuilder, GraphError};
+
+/// Writes `g` in edge-list format.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w`.
+pub fn write_edge_list<W: Write>(g: &Graph, mut w: W) -> std::io::Result<()> {
+    writeln!(w, "# beeping-mis edge list: n then one edge per line")?;
+    writeln!(w, "{}", g.len())?;
+    for (u, v) in g.edges() {
+        writeln!(w, "{u} {v}")?;
+    }
+    Ok(())
+}
+
+/// Serializes `g` to an edge-list string.
+pub fn to_string(g: &Graph) -> String {
+    let mut buf = Vec::new();
+    write_edge_list(g, &mut buf).expect("writing to a Vec cannot fail");
+    String::from_utf8(buf).expect("edge list output is ASCII")
+}
+
+/// Reads a graph in edge-list format.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Parse`] on malformed input (missing node count,
+/// non-numeric tokens, wrong arity) and the usual construction errors for
+/// out-of-range endpoints or self loops.
+pub fn read_edge_list<R: BufRead>(r: R) -> Result<Graph, GraphError> {
+    let mut builder: Option<GraphBuilder> = None;
+    for (idx, line) in r.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = line.map_err(|e| GraphError::Parse {
+            line: line_no,
+            message: format!("I/O error: {e}"),
+        })?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        match &mut builder {
+            None => {
+                let n: usize = trimmed.parse().map_err(|_| GraphError::Parse {
+                    line: line_no,
+                    message: format!("expected node count, got {trimmed:?}"),
+                })?;
+                builder = Some(GraphBuilder::new(n));
+            }
+            Some(b) => {
+                let mut it = trimmed.split_whitespace();
+                let (u, v) = match (it.next(), it.next(), it.next()) {
+                    (Some(u), Some(v), None) => (u, v),
+                    _ => {
+                        return Err(GraphError::Parse {
+                            line: line_no,
+                            message: format!("expected `u v`, got {trimmed:?}"),
+                        })
+                    }
+                };
+                let u: usize = u.parse().map_err(|_| GraphError::Parse {
+                    line: line_no,
+                    message: format!("bad node id {u:?}"),
+                })?;
+                let v: usize = v.parse().map_err(|_| GraphError::Parse {
+                    line: line_no,
+                    message: format!("bad node id {v:?}"),
+                })?;
+                b.add_edge(u, v)?;
+            }
+        }
+    }
+    Ok(builder
+        .ok_or(GraphError::Parse { line: 0, message: "missing node count line".into() })?
+        .build())
+}
+
+/// Parses a graph from an edge-list string.
+///
+/// # Errors
+///
+/// See [`read_edge_list`].
+pub fn from_str(s: &str) -> Result<Graph, GraphError> {
+    read_edge_list(s.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{classic, random};
+
+    #[test]
+    fn round_trip() {
+        let g = random::gnp(40, 0.2, 9);
+        let text = to_string(&g);
+        let back = from_str(&text).unwrap();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn round_trip_empty() {
+        let g = Graph::empty(5);
+        assert_eq!(from_str(&to_string(&g)).unwrap(), g);
+    }
+
+    #[test]
+    fn parses_comments_and_blank_lines() {
+        let text = "# header\n\n3\n# edge next\n0 1\n\n1 2\n";
+        let g = from_str(text).unwrap();
+        assert_eq!(g, classic::path(3));
+    }
+
+    #[test]
+    fn rejects_missing_count() {
+        assert!(matches!(from_str("# only comments\n"), Err(GraphError::Parse { .. })));
+    }
+
+    #[test]
+    fn rejects_bad_tokens() {
+        assert!(matches!(from_str("3\n0 x\n"), Err(GraphError::Parse { line: 2, .. })));
+        assert!(matches!(from_str("x\n"), Err(GraphError::Parse { line: 1, .. })));
+        assert!(matches!(from_str("3\n0 1 2\n"), Err(GraphError::Parse { line: 2, .. })));
+    }
+
+    #[test]
+    fn rejects_out_of_range_edge() {
+        assert!(matches!(
+            from_str("2\n0 5\n"),
+            Err(GraphError::NodeOutOfRange { node: 5, n: 2 })
+        ));
+    }
+}

@@ -1,0 +1,135 @@
+//! Expander-like graphs: low-diameter, well-mixing workloads.
+//!
+//! MIS dynamics behave differently on expanders than on lattices (beeps
+//! spread everywhere in O(log n) hops); these generators give the
+//! experiments a well-mixing family with *deterministic* structure, next
+//! to the random families.
+
+use crate::{Graph, GraphBuilder, GraphError};
+
+/// Circulant graph `C_n(S)`: node `v` is adjacent to `v ± s (mod n)` for
+/// each offset `s ∈ S`. With well-spread offsets this is a good
+/// vertex-transitive expander; `S = {1}` degenerates to the cycle.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if an offset is 0 or ≥ n.
+pub fn circulant(n: usize, offsets: &[usize]) -> Result<Graph, GraphError> {
+    let mut b = GraphBuilder::with_capacity(n, n * offsets.len());
+    for &s in offsets {
+        if s == 0 || s >= n.max(1) {
+            return Err(GraphError::InvalidParameter(format!(
+                "offset {s} must be in 1..n (n = {n})"
+            )));
+        }
+    }
+    for v in 0..n {
+        for &s in offsets {
+            let u = (v + s) % n;
+            if u != v {
+                b.add_edge(v, u).expect("circulant edges are valid");
+            }
+        }
+    }
+    Ok(b.build())
+}
+
+/// A standard circulant expander with `k` geometrically-spread offsets
+/// `{1, 2, 4, 8, …}` — diameter `O(n / 2^k + k)`.
+///
+/// # Errors
+///
+/// Propagates [`circulant`]'s parameter validation (fails when an offset
+/// reaches `n`, i.e. `2^(k-1) ≥ n`).
+pub fn circulant_powers(n: usize, k: u32) -> Result<Graph, GraphError> {
+    let offsets: Vec<usize> = (0..k).map(|i| 1usize << i).collect();
+    circulant(n, &offsets)
+}
+
+/// The Margulis-style expander on the `m × m` torus of nodes `(x, y)`:
+/// each node is adjacent to `(x±y, y)`, `(x±y+1, y)`, `(x, y±x)`,
+/// `(x, y±x+1)` (all mod `m`) — the classic explicit 8-regular-ish
+/// expander construction (Margulis 1973 / Gabber–Galil).
+pub fn margulis(m: usize) -> Graph {
+    let n = m * m;
+    let mut b = GraphBuilder::new(n);
+    if m < 2 {
+        return b.build();
+    }
+    let id = |x: usize, y: usize| -> usize { (y % m) * m + (x % m) };
+    for y in 0..m {
+        for x in 0..m {
+            let v = id(x, y);
+            let targets = [
+                id(x + y, y),
+                id(x + y + 1, y),
+                id(x, y + x),
+                id(x, y + x + 1),
+            ];
+            for u in targets {
+                if u != v {
+                    b.add_edge(v, u).expect("margulis edges are valid");
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties;
+
+    #[test]
+    fn circulant_cycle_degenerate() {
+        let g = circulant(8, &[1]).unwrap();
+        assert_eq!(g, crate::generators::classic::cycle(8));
+    }
+
+    #[test]
+    fn circulant_regular() {
+        let g = circulant(20, &[1, 3, 7]).unwrap();
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 6);
+        }
+        assert!(properties::is_connected(&g));
+    }
+
+    #[test]
+    fn circulant_rejects_bad_offsets() {
+        assert!(circulant(10, &[0]).is_err());
+        assert!(circulant(10, &[10]).is_err());
+    }
+
+    #[test]
+    fn circulant_powers_has_log_diameter() {
+        let g = circulant_powers(256, 8).unwrap();
+        let diam = properties::diameter(&g).unwrap();
+        assert!(diam <= 10, "diameter {diam} should be logarithmic");
+    }
+
+    #[test]
+    fn circulant_powers_rejects_oversized_offsets() {
+        assert!(circulant_powers(16, 5).is_err()); // offset 16 = n
+    }
+
+    #[test]
+    fn margulis_structure() {
+        let g = margulis(8);
+        assert_eq!(g.len(), 64);
+        assert!(properties::is_connected(&g));
+        // Low diameter relative to the grid of the same size (grid 8×8 has
+        // diameter 14).
+        let diam = properties::diameter(&g).unwrap();
+        assert!(diam <= 8, "expander diameter {diam}");
+        // Bounded degree (≤ 8 by construction).
+        assert!(g.max_degree() <= 8);
+    }
+
+    #[test]
+    fn margulis_degenerate() {
+        assert_eq!(margulis(0).len(), 0);
+        assert_eq!(margulis(1).len(), 1);
+    }
+}

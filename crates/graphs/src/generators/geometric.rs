@@ -1,0 +1,154 @@
+//! Random geometric graphs: the canonical wireless-sensor-network topology.
+//!
+//! The beeping model is motivated by wireless networks where a node's beep is
+//! heard by everyone within radio range (§1 of the paper); a random geometric
+//! graph — points in the unit square connected when within distance `r` — is
+//! the standard abstraction of such a deployment.
+
+use rand::Rng;
+
+use super::rng_from_seed;
+use crate::{Graph, GraphBuilder};
+
+/// Random geometric graph: `n` points uniform in the unit square, edges
+/// between pairs at Euclidean distance `< radius`.
+///
+/// Uses a bucket grid so generation is `O(n + m)` in expectation.
+///
+/// # Panics
+///
+/// Panics if `radius` is negative or NaN.
+///
+/// # Example
+///
+/// ```
+/// let g = graphs::generators::geometric::random_geometric(200, 0.1, 3);
+/// assert_eq!(g.len(), 200);
+/// ```
+pub fn random_geometric(n: usize, radius: f64, seed: u64) -> Graph {
+    assert!(radius >= 0.0, "radius must be non-negative, got {radius}");
+    let mut rng = rng_from_seed(seed);
+    let points: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+    geometric_from_points(&points, radius)
+}
+
+/// Random geometric graph with the radius chosen so the *expected* average
+/// degree is `avg_degree` (ignoring boundary effects):
+/// `r = sqrt(avg_degree / (π (n-1)))`, capped so `r ≤ √2`.
+pub fn random_geometric_expected_degree(n: usize, avg_degree: f64, seed: u64) -> Graph {
+    assert!(avg_degree >= 0.0, "avg_degree must be non-negative");
+    if n < 2 {
+        return Graph::empty(n);
+    }
+    let r = (avg_degree / (std::f64::consts::PI * (n as f64 - 1.0))).sqrt();
+    random_geometric(n, r.min(std::f64::consts::SQRT_2), seed)
+}
+
+/// Builds the geometric graph over explicit `points` (unit-square
+/// coordinates) with connection `radius`. Exposed so deployments with known
+/// sensor positions can be simulated.
+pub fn geometric_from_points(points: &[(f64, f64)], radius: f64) -> Graph {
+    assert!(radius >= 0.0, "radius must be non-negative, got {radius}");
+    let n = points.len();
+    let mut b = GraphBuilder::new(n);
+    if n < 2 || radius == 0.0 {
+        return b.build();
+    }
+    let cell = radius.max(1e-9);
+    let cells_per_side = (1.0 / cell).ceil().max(1.0) as usize;
+    let cell_of = |(x, y): (f64, f64)| -> (usize, usize) {
+        let cx = ((x / cell) as usize).min(cells_per_side - 1);
+        let cy = ((y / cell) as usize).min(cells_per_side - 1);
+        (cx, cy)
+    };
+    let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); cells_per_side * cells_per_side];
+    for (i, &p) in points.iter().enumerate() {
+        let (cx, cy) = cell_of(p);
+        buckets[cy * cells_per_side + cx].push(i as u32);
+    }
+    let r2 = radius * radius;
+    for (i, &(x, y)) in points.iter().enumerate() {
+        let (cx, cy) = cell_of((x, y));
+        for dy in -1i64..=1 {
+            for dx in -1i64..=1 {
+                let nx = cx as i64 + dx;
+                let ny = cy as i64 + dy;
+                if nx < 0 || ny < 0 || nx >= cells_per_side as i64 || ny >= cells_per_side as i64
+                {
+                    continue;
+                }
+                for &j in &buckets[ny as usize * cells_per_side + nx as usize] {
+                    let j = j as usize;
+                    if j <= i {
+                        continue;
+                    }
+                    let (px, py) = points[j];
+                    let d2 = (x - px) * (x - px) + (y - py) * (y - py);
+                    if d2 < r2 {
+                        b.add_edge(i, j).expect("geometric edges are valid");
+                    }
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_radius_no_edges() {
+        let g = random_geometric(50, 0.0, 1);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn huge_radius_complete() {
+        let g = random_geometric(20, 2.0, 1);
+        assert_eq!(g.num_edges(), 20 * 19 / 2);
+    }
+
+    #[test]
+    fn matches_brute_force() {
+        let mut rng = super::super::rng_from_seed(77);
+        let points: Vec<(f64, f64)> =
+            (0..120).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+        let r = 0.17;
+        let fast = geometric_from_points(&points, r);
+        let mut slow = GraphBuilder::new(points.len());
+        for i in 0..points.len() {
+            for j in (i + 1)..points.len() {
+                let (x1, y1) = points[i];
+                let (x2, y2) = points[j];
+                if (x1 - x2).powi(2) + (y1 - y2).powi(2) < r * r {
+                    slow.add_edge(i, j).unwrap();
+                }
+            }
+        }
+        assert_eq!(fast, slow.build());
+    }
+
+    #[test]
+    fn expected_degree_ballpark() {
+        let g = random_geometric_expected_degree(2000, 10.0, 5);
+        let avg = g.average_degree();
+        // Boundary effects reduce the average a bit below the target.
+        assert!(avg > 5.0 && avg < 12.0, "avg degree {avg}");
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(random_geometric(100, 0.1, 2), random_geometric(100, 0.1, 2));
+    }
+
+    #[test]
+    fn explicit_points() {
+        let pts = [(0.1, 0.1), (0.15, 0.1), (0.9, 0.9)];
+        let g = geometric_from_points(&pts, 0.1);
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(0, 2));
+        assert!(!g.has_edge(1, 2));
+    }
+}

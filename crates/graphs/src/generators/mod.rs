@@ -1,0 +1,216 @@
+//! Graph generators: the workload families of the experiments.
+//!
+//! Each generator takes explicit parameters plus (where randomized) a `seed`,
+//! and is fully deterministic for a fixed seed. Generators that can fail on
+//! bad parameters return `Result<Graph, GraphError>`; infallible ones return
+//! `Graph` directly.
+//!
+//! Families and why they matter for the paper:
+//!
+//! - [`classic`]: paths, cycles, complete graphs, stars — small worst cases
+//!   and sanity checks (e.g. a clique forces maximal contention; a star has
+//!   extreme degree heterogeneity).
+//! - [`lattice`]: grids, tori, hypercubes — bounded-degree regular topologies
+//!   where Thm 2.1 and Thm 2.2 should behave identically.
+//! - [`random`]: Erdős–Rényi G(n,p)/G(n,m), random regular — the standard
+//!   benchmark distributions.
+//! - [`trees`]: random recursive trees, k-ary trees, caterpillars — sparse
+//!   hierarchical topologies.
+//! - [`scale_free`]: Barabási–Albert preferential attachment — heavy-tailed
+//!   degrees, the regime that separates own-degree knowledge (Thm 2.2) from
+//!   global-Δ knowledge (Thm 2.1).
+//! - [`geometric`]: random geometric graphs — the canonical model of the
+//!   wireless sensor networks that motivate the beeping model.
+//! - [`small_world`]: Watts–Strogatz rewiring.
+//! - [`composite`]: structured compositions (star-of-cliques, clique chains)
+//!   engineered for extreme `deg` vs `deg₂` gaps, stressing Cor 2.3.
+//! - [`expander`]: deterministic well-mixing graphs (circulants, the
+//!   Margulis construction).
+
+pub mod classic;
+pub mod composite;
+pub mod expander;
+pub mod geometric;
+pub mod lattice;
+pub mod random;
+pub mod scale_free;
+pub mod small_world;
+pub mod trees;
+
+use rand::SeedableRng;
+use rand_pcg::Pcg64Mcg;
+
+/// The deterministic PRNG used by all randomized generators.
+///
+/// PCG64 (MCG variant): fast, seedable, high quality; a fixed `seed` gives a
+/// fixed graph on every platform.
+pub(crate) fn rng_from_seed(seed: u64) -> Pcg64Mcg {
+    Pcg64Mcg::seed_from_u64(seed)
+}
+
+/// A named graph family, used by the experiment harness to sweep workloads.
+///
+/// `GraphFamily::generate(n, seed)` produces an `n`-node instance; parameters
+/// other than `n` are part of the variant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphFamily {
+    /// Path graph `P_n`.
+    Path,
+    /// Cycle graph `C_n`.
+    Cycle,
+    /// Complete graph `K_n`.
+    Complete,
+    /// Star `K_{1,n-1}`.
+    Star,
+    /// Two-dimensional grid, roughly square.
+    Grid,
+    /// Erdős–Rényi with expected degree `avg_degree`.
+    Gnp {
+        /// Expected average degree; `p = avg_degree / (n - 1)`.
+        avg_degree: f64,
+    },
+    /// Random `d`-regular graph.
+    Regular {
+        /// Degree of every node.
+        d: usize,
+    },
+    /// Random geometric graph with expected degree `avg_degree`.
+    Geometric {
+        /// Expected average degree (controls the connection radius).
+        avg_degree: f64,
+    },
+    /// Barabási–Albert preferential attachment, `m` edges per new node.
+    BarabasiAlbert {
+        /// Edges added per arriving node.
+        m: usize,
+    },
+    /// Random recursive tree.
+    RandomTree,
+    /// Star of cliques: hub star with a clique attached to each leaf.
+    StarOfCliques {
+        /// Size of each attached clique.
+        clique: usize,
+    },
+}
+
+impl GraphFamily {
+    /// Short machine-friendly name for table headers.
+    pub fn name(&self) -> String {
+        match self {
+            GraphFamily::Path => "path".into(),
+            GraphFamily::Cycle => "cycle".into(),
+            GraphFamily::Complete => "complete".into(),
+            GraphFamily::Star => "star".into(),
+            GraphFamily::Grid => "grid".into(),
+            GraphFamily::Gnp { avg_degree } => format!("gnp(d={avg_degree})"),
+            GraphFamily::Regular { d } => format!("regular(d={d})"),
+            GraphFamily::Geometric { avg_degree } => format!("geo(d={avg_degree})"),
+            GraphFamily::BarabasiAlbert { m } => format!("ba(m={m})"),
+            GraphFamily::RandomTree => "tree".into(),
+            GraphFamily::StarOfCliques { clique } => format!("starcliq(k={clique})"),
+        }
+    }
+
+    /// Generates an instance with (approximately, for structured families)
+    /// `n` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the family's parameters are invalid for this `n` (e.g. a
+    /// `d`-regular graph with `d >= n`). The experiment harness only uses
+    /// valid combinations.
+    pub fn generate(&self, n: usize, seed: u64) -> crate::Graph {
+        match self {
+            GraphFamily::Path => classic::path(n),
+            GraphFamily::Cycle => classic::cycle(n),
+            GraphFamily::Complete => classic::complete(n),
+            GraphFamily::Star => classic::star(n),
+            GraphFamily::Grid => {
+                let side = (n as f64).sqrt().round().max(1.0) as usize;
+                lattice::grid(side, n.div_ceil(side.max(1)))
+            }
+            GraphFamily::Gnp { avg_degree } => {
+                let p = if n > 1 { (avg_degree / (n as f64 - 1.0)).min(1.0) } else { 0.0 };
+                random::gnp(n, p, seed)
+            }
+            GraphFamily::Regular { d } => {
+                random::random_regular(n, *d, seed).expect("valid regular parameters")
+            }
+            GraphFamily::Geometric { avg_degree } => {
+                geometric::random_geometric_expected_degree(n, *avg_degree, seed)
+            }
+            GraphFamily::BarabasiAlbert { m } => {
+                scale_free::barabasi_albert(n, *m, seed).expect("valid BA parameters")
+            }
+            GraphFamily::RandomTree => trees::random_recursive_tree(n, seed),
+            GraphFamily::StarOfCliques { clique } => {
+                let hubs = (n / (clique + 1)).max(1);
+                composite::star_of_cliques(hubs, *clique)
+            }
+        }
+    }
+
+    /// The standard sweep used by the stabilization-time experiments: one
+    /// bounded-degree, one random, one geometric, and one heterogeneous
+    /// family.
+    pub fn standard_sweep() -> Vec<GraphFamily> {
+        vec![
+            GraphFamily::Cycle,
+            GraphFamily::Gnp { avg_degree: 8.0 },
+            GraphFamily::Geometric { avg_degree: 8.0 },
+            GraphFamily::BarabasiAlbert { m: 3 },
+        ]
+    }
+}
+
+impl std::fmt::Display for GraphFamily {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn families_generate_requested_size() {
+        for family in [
+            GraphFamily::Path,
+            GraphFamily::Cycle,
+            GraphFamily::Complete,
+            GraphFamily::Star,
+            GraphFamily::Gnp { avg_degree: 4.0 },
+            GraphFamily::Regular { d: 3 },
+            GraphFamily::Geometric { avg_degree: 4.0 },
+            GraphFamily::BarabasiAlbert { m: 2 },
+            GraphFamily::RandomTree,
+        ] {
+            let g = family.generate(64, 7);
+            assert_eq!(g.len(), 64, "family {family} produced wrong size");
+        }
+    }
+
+    #[test]
+    fn structured_families_close_to_requested_size() {
+        let g = GraphFamily::Grid.generate(64, 0);
+        assert!(g.len() >= 64, "grid rounds up to a full rectangle");
+        let g = GraphFamily::StarOfCliques { clique: 4 }.generate(50, 0);
+        assert!(g.len() >= 40 && g.len() <= 60);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let f = GraphFamily::Gnp { avg_degree: 6.0 };
+        assert_eq!(f.generate(100, 3), f.generate(100, 3));
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names: Vec<_> =
+            GraphFamily::standard_sweep().iter().map(GraphFamily::name).collect();
+        let mut dedup = names.clone();
+        dedup.dedup();
+        assert_eq!(names, dedup);
+    }
+}

@@ -1,0 +1,251 @@
+//! Random graph models: Erdős–Rényi and random regular graphs.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use super::rng_from_seed;
+use crate::{Graph, GraphBuilder, GraphError};
+
+/// Erdős–Rényi `G(n, p)`: each of the `n(n-1)/2` possible edges is present
+/// independently with probability `p`.
+///
+/// Uses geometric skipping, so generation is `O(n + m)` rather than `O(n²)`
+/// for sparse graphs.
+///
+/// # Panics
+///
+/// Panics if `p` is not in `[0, 1]` or is NaN.
+///
+/// # Example
+///
+/// ```
+/// let g = graphs::generators::random::gnp(100, 0.1, 1);
+/// assert_eq!(g.len(), 100);
+/// ```
+pub fn gnp(n: usize, p: f64, seed: u64) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "p must be in [0, 1], got {p}");
+    let mut rng = rng_from_seed(seed);
+    let mut b = GraphBuilder::new(n);
+    if p == 0.0 || n < 2 {
+        return b.build();
+    }
+    if p == 1.0 {
+        return super::classic::complete(n);
+    }
+    // Iterate edge index k over the upper triangle with geometric jumps:
+    // the gap between successive present edges is Geometric(p).
+    let log_q = (1.0 - p).ln();
+    let mut v: usize = 1;
+    let mut w: i64 = -1;
+    while v < n {
+        let r: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let skip = (r.ln() / log_q).floor() as i64;
+        w += 1 + skip;
+        while w >= v as i64 && v < n {
+            w -= v as i64;
+            v += 1;
+        }
+        if v < n {
+            b.add_edge(w as usize, v).expect("gnp edges are valid");
+        }
+    }
+    b.build()
+}
+
+/// Erdős–Rényi `G(n, m)`: exactly `m` distinct edges chosen uniformly.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `m` exceeds the number of
+/// possible edges `n(n-1)/2`.
+pub fn gnm(n: usize, m: usize, seed: u64) -> Result<Graph, GraphError> {
+    let max_edges = n.saturating_mul(n.saturating_sub(1)) / 2;
+    if m > max_edges {
+        return Err(GraphError::InvalidParameter(format!(
+            "m={m} exceeds max {max_edges} for n={n}"
+        )));
+    }
+    let mut rng = rng_from_seed(seed);
+    let mut chosen = std::collections::HashSet::with_capacity(m);
+    // Rejection sampling is fine while m is at most half the possible edges;
+    // beyond that, sample the complement instead.
+    if m * 2 <= max_edges {
+        while chosen.len() < m {
+            let u = rng.gen_range(0..n);
+            let v = rng.gen_range(0..n);
+            if u != v {
+                let e = if u < v { (u, v) } else { (v, u) };
+                chosen.insert(e);
+            }
+        }
+    } else {
+        let mut excluded = std::collections::HashSet::with_capacity(max_edges - m);
+        while excluded.len() < max_edges - m {
+            let u = rng.gen_range(0..n);
+            let v = rng.gen_range(0..n);
+            if u != v {
+                let e = if u < v { (u, v) } else { (v, u) };
+                excluded.insert(e);
+            }
+        }
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if !excluded.contains(&(u, v)) {
+                    chosen.insert((u, v));
+                }
+            }
+        }
+    }
+    let mut b = GraphBuilder::with_capacity(n, m);
+    for (u, v) in chosen {
+        b.add_edge(u, v).expect("gnm edges are valid");
+    }
+    Ok(b.build())
+}
+
+/// Random `d`-regular graph via the configuration (pairing) model with
+/// restarts: each node gets `d` stubs, stubs are paired uniformly, and the
+/// whole pairing is retried until it is simple.
+///
+/// For `d = O(1)` the expected number of restarts is constant, so this is the
+/// standard practical sampler.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `n * d` is odd or `d >= n`.
+pub fn random_regular(n: usize, d: usize, seed: u64) -> Result<Graph, GraphError> {
+    if d >= n && !(n == 0 && d == 0) {
+        return Err(GraphError::InvalidParameter(format!("d={d} must be < n={n}")));
+    }
+    if !(n * d).is_multiple_of(2) {
+        return Err(GraphError::InvalidParameter(format!("n*d must be even, got n={n} d={d}")));
+    }
+    let mut rng = rng_from_seed(seed);
+    if d == 0 {
+        return Ok(Graph::empty(n));
+    }
+    let mut stubs: Vec<u32> = Vec::with_capacity(n * d);
+    'restart: loop {
+        stubs.clear();
+        for v in 0..n {
+            for _ in 0..d {
+                stubs.push(v as u32);
+            }
+        }
+        stubs.shuffle(&mut rng);
+        let mut seen = std::collections::HashSet::with_capacity(n * d / 2);
+        for pair in stubs.chunks_exact(2) {
+            let (u, v) = (pair[0], pair[1]);
+            if u == v || !seen.insert(if u < v { (u, v) } else { (v, u) }) {
+                continue 'restart;
+            }
+        }
+        let mut b = GraphBuilder::with_capacity(n, n * d / 2);
+        for (u, v) in seen {
+            b.add_edge(u as usize, v as usize).expect("pairing edges are valid");
+        }
+        return Ok(b.build());
+    }
+}
+
+/// Random bipartite graph: sides of `a` and `b` nodes, each cross edge
+/// present independently with probability `p`.
+///
+/// # Panics
+///
+/// Panics if `p` is not in `[0, 1]`.
+pub fn random_bipartite(a: usize, b: usize, p: f64, seed: u64) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "p must be in [0, 1], got {p}");
+    let mut rng = rng_from_seed(seed);
+    let mut builder = GraphBuilder::new(a + b);
+    for u in 0..a {
+        for v in a..(a + b) {
+            if rng.gen_bool(p) {
+                builder.add_edge(u, v).expect("bipartite edges are valid");
+            }
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gnp_extremes() {
+        assert_eq!(gnp(50, 0.0, 1).num_edges(), 0);
+        assert_eq!(gnp(10, 1.0, 1).num_edges(), 45);
+    }
+
+    #[test]
+    fn gnp_edge_count_concentrates() {
+        let n = 400;
+        let p = 0.05;
+        let g = gnp(n, p, 99);
+        let expected = p * (n * (n - 1) / 2) as f64;
+        let m = g.num_edges() as f64;
+        assert!(
+            (m - expected).abs() < 4.0 * expected.sqrt() + 20.0,
+            "m={m} expected≈{expected}"
+        );
+    }
+
+    #[test]
+    fn gnp_deterministic() {
+        assert_eq!(gnp(100, 0.1, 5), gnp(100, 0.1, 5));
+        assert_ne!(gnp(100, 0.1, 5), gnp(100, 0.1, 6));
+    }
+
+    #[test]
+    fn gnp_tiny() {
+        assert_eq!(gnp(0, 0.5, 1).len(), 0);
+        assert_eq!(gnp(1, 0.5, 1).num_edges(), 0);
+    }
+
+    #[test]
+    fn gnm_exact_count() {
+        for m in [0, 10, 40, 45] {
+            let g = gnm(10, m, 3).unwrap();
+            assert_eq!(g.num_edges(), m);
+        }
+    }
+
+    #[test]
+    fn gnm_rejects_too_many() {
+        assert!(gnm(10, 46, 0).is_err());
+    }
+
+    #[test]
+    fn regular_degrees() {
+        for d in [2, 3, 4, 6] {
+            let g = random_regular(30, d, 11).unwrap();
+            for v in g.nodes() {
+                assert_eq!(g.degree(v), d, "node {v} in {d}-regular graph");
+            }
+        }
+    }
+
+    #[test]
+    fn regular_rejects_bad_params() {
+        assert!(random_regular(5, 3, 0).is_err()); // odd n*d
+        assert!(random_regular(4, 4, 0).is_err()); // d >= n
+    }
+
+    #[test]
+    fn regular_zero_degree() {
+        let g = random_regular(6, 0, 0).unwrap();
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn bipartite_has_no_side_edges() {
+        let g = random_bipartite(8, 8, 0.5, 4);
+        for u in 0..8 {
+            for v in (u + 1)..8 {
+                assert!(!g.has_edge(u, v));
+                assert!(!g.has_edge(u + 8, v + 8));
+            }
+        }
+    }
+}

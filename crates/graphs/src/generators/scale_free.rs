@@ -1,0 +1,153 @@
+//! Scale-free graphs via Barabási–Albert preferential attachment.
+
+use rand::Rng;
+
+use super::rng_from_seed;
+use crate::{Graph, GraphBuilder, GraphError};
+
+/// Barabási–Albert preferential attachment: starting from a small clique of
+/// `m + 1` nodes, each arriving node connects to `m` existing nodes chosen
+/// with probability proportional to their degree.
+///
+/// Produces a heavy-tailed degree distribution (`P(deg = d) ∝ d^{-3}`), the
+/// workload where own-degree knowledge (Thm 2.2) and global-Δ knowledge
+/// (Thm 2.1) give very different `ℓmax` values for most nodes.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `m == 0` or `n < m + 1`.
+pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> Result<Graph, GraphError> {
+    if m == 0 {
+        return Err(GraphError::InvalidParameter("m must be >= 1".into()));
+    }
+    if n < m + 1 {
+        return Err(GraphError::InvalidParameter(format!("n={n} must be >= m+1={}", m + 1)));
+    }
+    let mut rng = rng_from_seed(seed);
+    let mut b = GraphBuilder::with_capacity(n, m * n);
+    // `targets` holds one entry per half-edge; sampling uniformly from it is
+    // exactly degree-proportional sampling.
+    let mut targets: Vec<usize> = Vec::with_capacity(2 * m * n);
+    let core = m + 1;
+    for u in 0..core {
+        for v in (u + 1)..core {
+            b.add_edge(u, v).expect("core clique edges are valid");
+            targets.push(u);
+            targets.push(v);
+        }
+    }
+    let mut picked = Vec::with_capacity(m);
+    for v in core..n {
+        picked.clear();
+        while picked.len() < m {
+            let t = targets[rng.gen_range(0..targets.len())];
+            if !picked.contains(&t) {
+                picked.push(t);
+            }
+        }
+        for &t in &picked {
+            b.add_edge(v, t).expect("attachment edges are valid");
+            targets.push(v);
+            targets.push(t);
+        }
+    }
+    Ok(b.build())
+}
+
+/// Power-law degree sequence graph via the Chung–Lu model: edge `{u,v}` is
+/// present with probability `min(1, w_u w_v / Σw)` where `w_v = c (v+1)^{-1/(γ-1)}`.
+///
+/// A lighter-weight alternative to [`barabasi_albert`] with a tunable
+/// exponent `gamma > 2`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `gamma <= 2` or
+/// `avg_degree <= 0`.
+pub fn chung_lu_power_law(
+    n: usize,
+    gamma: f64,
+    avg_degree: f64,
+    seed: u64,
+) -> Result<Graph, GraphError> {
+    if gamma <= 2.0 {
+        return Err(GraphError::InvalidParameter(format!("gamma must be > 2, got {gamma}")));
+    }
+    if avg_degree <= 0.0 {
+        return Err(GraphError::InvalidParameter("avg_degree must be positive".into()));
+    }
+    let mut rng = rng_from_seed(seed);
+    let exponent = -1.0 / (gamma - 1.0);
+    let mut weights: Vec<f64> = (0..n).map(|v| ((v + 1) as f64).powf(exponent)).collect();
+    let sum: f64 = weights.iter().sum();
+    if sum > 0.0 {
+        let scale = avg_degree * n as f64 / sum;
+        for w in &mut weights {
+            *w *= scale;
+        }
+    }
+    let total: f64 = weights.iter().sum::<f64>().max(f64::MIN_POSITIVE);
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let p = (weights[u] * weights[v] / total).min(1.0);
+            if p > 0.0 && rng.gen_bool(p) {
+                b.add_edge(u, v).expect("chung-lu edges are valid");
+            }
+        }
+    }
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties;
+
+    #[test]
+    fn ba_edge_count() {
+        let (n, m) = (200, 3);
+        let g = barabasi_albert(n, m, 5).unwrap();
+        let core_edges = (m + 1) * m / 2;
+        assert_eq!(g.num_edges(), core_edges + (n - m - 1) * m);
+    }
+
+    #[test]
+    fn ba_connected_and_min_degree() {
+        let g = barabasi_albert(150, 2, 8).unwrap();
+        assert!(properties::is_connected(&g));
+        assert!(g.min_degree() >= 2);
+    }
+
+    #[test]
+    fn ba_heavy_tail() {
+        // The max degree should greatly exceed the average degree.
+        let g = barabasi_albert(1000, 2, 3).unwrap();
+        assert!(g.max_degree() as f64 > 4.0 * g.average_degree());
+    }
+
+    #[test]
+    fn ba_rejects_bad_params() {
+        assert!(barabasi_albert(10, 0, 0).is_err());
+        assert!(barabasi_albert(3, 3, 0).is_err());
+    }
+
+    #[test]
+    fn ba_minimal_size() {
+        let g = barabasi_albert(3, 2, 0).unwrap();
+        assert_eq!(g.num_edges(), 3); // just the core clique
+    }
+
+    #[test]
+    fn chung_lu_average_degree_ballpark() {
+        let g = chung_lu_power_law(500, 2.5, 6.0, 9).unwrap();
+        let avg = g.average_degree();
+        assert!(avg > 2.0 && avg < 12.0, "avg degree {avg} far from target 6");
+    }
+
+    #[test]
+    fn chung_lu_rejects_bad_params() {
+        assert!(chung_lu_power_law(10, 2.0, 4.0, 0).is_err());
+        assert!(chung_lu_power_law(10, 2.5, 0.0, 0).is_err());
+    }
+}

@@ -1,0 +1,115 @@
+//! Watts–Strogatz small-world graphs.
+
+use rand::Rng;
+
+use super::rng_from_seed;
+use crate::{Graph, GraphBuilder, GraphError};
+
+/// Watts–Strogatz small-world graph: a ring lattice where each node connects
+/// to its `k` nearest neighbors (`k` even), with each edge independently
+/// rewired to a uniform random endpoint with probability `beta`.
+///
+/// `beta = 0` gives the pure ring lattice; `beta = 1` approaches `G(n, p)`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `k` is odd, `k >= n`, or
+/// `beta` is outside `[0, 1]`.
+pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> Result<Graph, GraphError> {
+    if !k.is_multiple_of(2) {
+        return Err(GraphError::InvalidParameter(format!("k must be even, got {k}")));
+    }
+    if k >= n && n > 0 {
+        return Err(GraphError::InvalidParameter(format!("k={k} must be < n={n}")));
+    }
+    if !(0.0..=1.0).contains(&beta) {
+        return Err(GraphError::InvalidParameter(format!("beta must be in [0,1], got {beta}")));
+    }
+    let mut rng = rng_from_seed(seed);
+    let mut b = GraphBuilder::with_capacity(n, n * k / 2);
+    if n == 0 || k == 0 {
+        return Ok(b.build());
+    }
+    let mut present = std::collections::HashSet::with_capacity(n * k / 2);
+    let add = |set: &mut std::collections::HashSet<(usize, usize)>, u: usize, v: usize| {
+        let e = if u < v { (u, v) } else { (v, u) };
+        set.insert(e)
+    };
+    for v in 0..n {
+        for hop in 1..=(k / 2) {
+            let u = (v + hop) % n;
+            add(&mut present, v, u);
+        }
+    }
+    let lattice_edges: Vec<(usize, usize)> = present.iter().copied().collect();
+    for (u, v) in lattice_edges {
+        if rng.gen_bool(beta) {
+            // Rewire the far endpoint to a uniform non-self, non-duplicate
+            // target; keep the original edge if no valid target is found
+            // quickly (matches the standard algorithm's behavior on dense k).
+            for _ in 0..32 {
+                let w = rng.gen_range(0..n);
+                let candidate = if u < w { (u, w) } else { (w, u) };
+                if w != u && !present.contains(&candidate) {
+                    present.remove(&if u < v { (u, v) } else { (v, u) });
+                    present.insert(candidate);
+                    break;
+                }
+            }
+        }
+    }
+    for (u, v) in present {
+        b.add_edge(u, v).expect("small-world edges are valid");
+    }
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties;
+
+    #[test]
+    fn zero_beta_is_ring_lattice() {
+        let g = watts_strogatz(20, 4, 0.0, 1).unwrap();
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 4);
+        }
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(0, 2));
+        assert!(!g.has_edge(0, 3));
+    }
+
+    #[test]
+    fn edge_count_preserved_by_rewiring() {
+        let g0 = watts_strogatz(50, 6, 0.0, 2).unwrap();
+        let g1 = watts_strogatz(50, 6, 0.3, 2).unwrap();
+        assert_eq!(g0.num_edges(), g1.num_edges());
+    }
+
+    #[test]
+    fn rewiring_changes_graph() {
+        let g0 = watts_strogatz(50, 4, 0.0, 3).unwrap();
+        let g1 = watts_strogatz(50, 4, 0.5, 3).unwrap();
+        assert_ne!(g0, g1);
+    }
+
+    #[test]
+    fn stays_connected_typically() {
+        let g = watts_strogatz(100, 6, 0.1, 4).unwrap();
+        assert!(properties::is_connected(&g));
+    }
+
+    #[test]
+    fn rejects_bad_params() {
+        assert!(watts_strogatz(10, 3, 0.1, 0).is_err()); // odd k
+        assert!(watts_strogatz(4, 4, 0.1, 0).is_err()); // k >= n
+        assert!(watts_strogatz(10, 2, 1.5, 0).is_err()); // beta > 1
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = watts_strogatz(0, 0, 0.0, 0).unwrap();
+        assert!(g.is_empty());
+    }
+}

@@ -1,0 +1,175 @@
+//! Tree generators: sparse hierarchical topologies.
+
+use rand::Rng;
+
+use super::rng_from_seed;
+use crate::{Graph, GraphBuilder};
+
+/// Random recursive tree: node `v ≥ 1` attaches to a uniformly random earlier
+/// node. Expected max degree is `Θ(log n)`.
+///
+/// # Example
+///
+/// ```
+/// let g = graphs::generators::trees::random_recursive_tree(50, 9);
+/// assert_eq!(g.num_edges(), 49);
+/// ```
+pub fn random_recursive_tree(n: usize, seed: u64) -> Graph {
+    let mut rng = rng_from_seed(seed);
+    let mut b = GraphBuilder::with_capacity(n, n.saturating_sub(1));
+    for v in 1..n {
+        let parent = rng.gen_range(0..v);
+        b.add_edge(parent, v).expect("tree edges are valid");
+    }
+    b.build()
+}
+
+/// Uniformly random labelled tree via a random Prüfer sequence.
+pub fn random_prufer_tree(n: usize, seed: u64) -> Graph {
+    if n < 2 {
+        return Graph::empty(n);
+    }
+    if n == 2 {
+        return Graph::from_edges(2, [(0, 1)]).expect("two-node tree is valid");
+    }
+    let mut rng = rng_from_seed(seed);
+    let prufer: Vec<usize> = (0..n - 2).map(|_| rng.gen_range(0..n)).collect();
+    let mut degree = vec![1usize; n];
+    for &p in &prufer {
+        degree[p] += 1;
+    }
+    let mut b = GraphBuilder::with_capacity(n, n - 1);
+    // Standard decoding with a min-heap of current leaves.
+    let mut leaves: std::collections::BinaryHeap<std::cmp::Reverse<usize>> = (0..n)
+        .filter(|&v| degree[v] == 1)
+        .map(std::cmp::Reverse)
+        .collect();
+    for &p in &prufer {
+        let std::cmp::Reverse(leaf) = leaves.pop().expect("decoding always has a leaf");
+        b.add_edge(leaf, p).expect("prufer edges are valid");
+        degree[p] -= 1;
+        if degree[p] == 1 {
+            leaves.push(std::cmp::Reverse(p));
+        }
+    }
+    let std::cmp::Reverse(u) = leaves.pop().expect("two leaves remain");
+    let std::cmp::Reverse(v) = leaves.pop().expect("two leaves remain");
+    b.add_edge(u, v).expect("final prufer edge is valid");
+    b.build()
+}
+
+/// Complete `k`-ary tree with `n` nodes in breadth-first layout: node `v ≥ 1`
+/// has parent `(v - 1) / k`.
+///
+/// # Panics
+///
+/// Panics if `k == 0` and `n > 1`.
+pub fn kary_tree(n: usize, k: usize, ) -> Graph {
+    if n > 1 {
+        assert!(k > 0, "k-ary tree needs k >= 1");
+    }
+    let mut b = GraphBuilder::with_capacity(n, n.saturating_sub(1));
+    for v in 1..n {
+        b.add_edge((v - 1) / k, v).expect("kary edges are valid");
+    }
+    b.build()
+}
+
+/// Caterpillar: a spine path of `spine` nodes, each with `legs` pendant
+/// leaves. Total nodes: `spine * (1 + legs)`.
+pub fn caterpillar(spine: usize, legs: usize) -> Graph {
+    let n = spine * (1 + legs);
+    let mut b = GraphBuilder::with_capacity(n, n.saturating_sub(1));
+    for s in 1..spine {
+        b.add_edge(s - 1, s).expect("spine edges are valid");
+    }
+    for s in 0..spine {
+        for l in 0..legs {
+            let leaf = spine + s * legs + l;
+            b.add_edge(s, leaf).expect("leg edges are valid");
+        }
+    }
+    b.build()
+}
+
+/// Spider: `legs` paths of length `leg_len` joined at a single hub (node 0).
+/// Total nodes: `1 + legs * leg_len`.
+pub fn spider(legs: usize, leg_len: usize) -> Graph {
+    let n = 1 + legs * leg_len;
+    let mut b = GraphBuilder::with_capacity(n, n.saturating_sub(1));
+    for leg in 0..legs {
+        let mut prev = 0usize;
+        for step in 0..leg_len {
+            let v = 1 + leg * leg_len + step;
+            b.add_edge(prev, v).expect("spider edges are valid");
+            prev = v;
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties;
+
+    #[test]
+    fn recursive_tree_is_tree() {
+        let g = random_recursive_tree(100, 4);
+        assert_eq!(g.num_edges(), 99);
+        assert!(properties::is_connected(&g));
+    }
+
+    #[test]
+    fn recursive_tree_tiny() {
+        assert_eq!(random_recursive_tree(0, 0).len(), 0);
+        assert_eq!(random_recursive_tree(1, 0).num_edges(), 0);
+    }
+
+    #[test]
+    fn prufer_tree_is_tree() {
+        for seed in 0..5 {
+            let g = random_prufer_tree(60, seed);
+            assert_eq!(g.num_edges(), 59);
+            assert!(properties::is_connected(&g));
+        }
+    }
+
+    #[test]
+    fn prufer_tiny() {
+        assert_eq!(random_prufer_tree(1, 0).num_edges(), 0);
+        assert_eq!(random_prufer_tree(2, 0).num_edges(), 1);
+        let g = random_prufer_tree(3, 7);
+        assert_eq!(g.num_edges(), 2);
+        assert!(properties::is_connected(&g));
+    }
+
+    #[test]
+    fn kary_structure() {
+        let g = kary_tree(7, 2);
+        // Perfect binary tree of 7 nodes: root degree 2, internal degree 3.
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(1), 3);
+        assert_eq!(g.degree(3), 1);
+        assert!(properties::is_connected(&g));
+    }
+
+    #[test]
+    fn caterpillar_structure() {
+        let g = caterpillar(4, 2);
+        assert_eq!(g.len(), 12);
+        assert_eq!(g.num_edges(), 11);
+        assert!(properties::is_connected(&g));
+        // Interior spine node: 2 spine neighbors + 2 legs.
+        assert_eq!(g.degree(1), 4);
+    }
+
+    #[test]
+    fn spider_structure() {
+        let g = spider(3, 4);
+        assert_eq!(g.len(), 13);
+        assert_eq!(g.degree(0), 3);
+        assert!(properties::is_connected(&g));
+        assert_eq!(properties::eccentricity(&g, 0), 4);
+    }
+}

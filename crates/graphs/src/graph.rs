@@ -1,0 +1,404 @@
+//! Compact immutable undirected graph in CSR form.
+
+/// Index of a node in a [`Graph`]; nodes are always `0..n`.
+pub type NodeId = usize;
+
+/// An immutable, simple, undirected graph stored in compressed sparse row
+/// (CSR) form.
+///
+/// Every node's adjacency list is a sorted slice of a single shared buffer,
+/// which keeps round simulation cache-friendly: a beeping round is one linear
+/// scan over `neighbors`.
+///
+/// Construct a `Graph` with [`crate::GraphBuilder`], [`Graph::from_edges`],
+/// or one of the [`crate::generators`].
+///
+/// # Example
+///
+/// ```
+/// use graphs::Graph;
+///
+/// let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap();
+/// assert_eq!(g.len(), 4);
+/// assert_eq!(g.num_edges(), 3);
+/// assert_eq!(g.neighbors(1), &[0, 2]);
+/// assert_eq!(g.degree(1), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    /// `offsets[v]..offsets[v + 1]` indexes `neighbors` for node `v`.
+    offsets: Vec<usize>,
+    /// Concatenated, per-node-sorted adjacency lists (as u32 for compactness).
+    neighbors: Vec<u32>,
+}
+
+impl Graph {
+    /// Creates a graph with `n` nodes from an iterator of undirected edges.
+    ///
+    /// Edges may appear in any order and in either orientation; duplicates
+    /// are merged.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::GraphError::NodeOutOfRange`] if an endpoint is
+    /// `>= n` and [`crate::GraphError::SelfLoop`] for an edge `(v, v)`.
+    pub fn from_edges<I>(n: usize, edges: I) -> Result<Graph, crate::GraphError>
+    where
+        I: IntoIterator<Item = (NodeId, NodeId)>,
+    {
+        let mut builder = crate::GraphBuilder::new(n);
+        for (u, v) in edges {
+            builder.add_edge(u, v)?;
+        }
+        Ok(builder.build())
+    }
+
+    /// Creates a graph with `n` nodes and no edges.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// let g = graphs::Graph::empty(5);
+    /// assert_eq!(g.num_edges(), 0);
+    /// assert_eq!(g.max_degree(), 0);
+    /// ```
+    pub fn empty(n: usize) -> Graph {
+        Graph { offsets: vec![0; n + 1], neighbors: Vec::new() }
+    }
+
+    /// Builds a graph directly from CSR buffers.
+    ///
+    /// Used by [`crate::GraphBuilder`]; the buffers must already satisfy the
+    /// CSR invariants (per-node sorted, deduplicated, symmetric).
+    pub(crate) fn from_csr(offsets: Vec<usize>, neighbors: Vec<u32>) -> Graph {
+        debug_assert!(!offsets.is_empty());
+        debug_assert_eq!(*offsets.last().unwrap(), neighbors.len());
+        Graph { offsets, neighbors }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// `true` if the graph has no nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.neighbors.len() / 2
+    }
+
+    /// The sorted adjacency list of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= self.len()`.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[u32] {
+        &self.neighbors[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Degree of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= self.len()`.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// Maximum degree `Δ` over all nodes (0 for an empty graph).
+    pub fn max_degree(&self) -> usize {
+        (0..self.len()).map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// Minimum degree over all nodes (0 for an empty graph).
+    pub fn min_degree(&self) -> usize {
+        (0..self.len()).map(|v| self.degree(v)).min().unwrap_or(0)
+    }
+
+    /// Average degree `2m / n` (0.0 for an empty graph).
+    pub fn average_degree(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.neighbors.len() as f64 / self.len() as f64
+        }
+    }
+
+    /// Maximum degree over the closed 1-hop neighborhood of `v`:
+    /// `deg₂(v) = max_{u ∈ N(v) ∪ {v}} deg(u)` (notation of the paper, §3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= self.len()`.
+    pub fn deg2(&self, v: NodeId) -> usize {
+        let mut best = self.degree(v);
+        for &u in self.neighbors(v) {
+            best = best.max(self.degree(u as usize));
+        }
+        best
+    }
+
+    /// `true` if `u` and `v` are adjacent.
+    ///
+    /// Uses binary search over the sorted adjacency list of the lower-degree
+    /// endpoint, so this is `O(log min(deg u, deg v))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `v` is out of range.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        let (a, b) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
+        self.neighbors(a).binary_search(&(b as u32)).is_ok()
+    }
+
+    /// Iterates over all nodes `0..n`.
+    pub fn nodes(&self) -> std::ops::Range<NodeId> {
+        0..self.len()
+    }
+
+    /// Iterates over each undirected edge once, as `(u, v)` with `u < v`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// let g = graphs::Graph::from_edges(3, [(2, 0), (1, 2)]).unwrap();
+    /// let edges: Vec<_> = g.edges().collect();
+    /// assert_eq!(edges, vec![(0, 2), (1, 2)]);
+    /// ```
+    pub fn edges(&self) -> Edges<'_> {
+        Edges { graph: self, node: 0, idx: 0 }
+    }
+
+    /// Sum of degrees, i.e. `2m`.
+    #[inline]
+    pub fn degree_sum(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Returns the degree histogram: `hist[d]` counts nodes of degree `d`.
+    pub fn degree_histogram(&self) -> Vec<usize> {
+        let mut hist = vec![0usize; self.max_degree() + 1];
+        for v in self.nodes() {
+            hist[self.degree(v)] += 1;
+        }
+        hist
+    }
+
+    /// Returns the subgraph induced by `keep`, together with the mapping
+    /// from new node ids to original ids.
+    ///
+    /// Nodes are renumbered in the order they appear in `keep`; duplicate
+    /// entries in `keep` are ignored after the first occurrence.
+    pub fn induced_subgraph(&self, keep: &[NodeId]) -> (Graph, Vec<NodeId>) {
+        let mut new_id = vec![usize::MAX; self.len()];
+        let mut order = Vec::with_capacity(keep.len());
+        for &v in keep {
+            if new_id[v] == usize::MAX {
+                new_id[v] = order.len();
+                order.push(v);
+            }
+        }
+        let mut builder = crate::GraphBuilder::new(order.len());
+        for (nu, &v) in order.iter().enumerate() {
+            for &w in self.neighbors(v) {
+                let nw = new_id[w as usize];
+                if nw != usize::MAX && nu < nw {
+                    builder
+                        .add_edge(nu, nw)
+                        .expect("induced subgraph edges are in range by construction");
+                }
+            }
+        }
+        (builder.build(), order)
+    }
+
+    /// Disjoint union of two graphs: nodes of `other` are shifted by
+    /// `self.len()`.
+    pub fn disjoint_union(&self, other: &Graph) -> Graph {
+        let shift = self.len();
+        let mut builder = crate::GraphBuilder::new(shift + other.len());
+        for (u, v) in self.edges() {
+            builder.add_edge(u, v).expect("existing edges are valid");
+        }
+        for (u, v) in other.edges() {
+            builder.add_edge(u + shift, v + shift).expect("shifted edges are valid");
+        }
+        builder.build()
+    }
+}
+
+/// Iterator over undirected edges of a [`Graph`], produced by
+/// [`Graph::edges`]. Yields each edge once as `(u, v)` with `u < v`.
+#[derive(Debug, Clone)]
+pub struct Edges<'a> {
+    graph: &'a Graph,
+    node: NodeId,
+    idx: usize,
+}
+
+impl Iterator for Edges<'_> {
+    type Item = (NodeId, NodeId);
+
+    fn next(&mut self) -> Option<(NodeId, NodeId)> {
+        let g = self.graph;
+        while self.node < g.len() {
+            let adj = g.neighbors(self.node);
+            while self.idx < adj.len() {
+                let w = adj[self.idx] as usize;
+                self.idx += 1;
+                if self.node < w {
+                    return Some((self.node, w));
+                }
+            }
+            self.node += 1;
+            self.idx = 0;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        Graph::from_edges(3, [(0, 1), (1, 2), (0, 2)]).unwrap()
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::empty(0);
+        assert!(g.is_empty());
+        assert_eq!(g.len(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.edges().count(), 0);
+    }
+
+    #[test]
+    fn isolated_nodes() {
+        let g = Graph::empty(4);
+        assert_eq!(g.len(), 4);
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 0);
+            assert!(g.neighbors(v).is_empty());
+        }
+        assert_eq!(g.average_degree(), 0.0);
+    }
+
+    #[test]
+    fn triangle_basics() {
+        let g = triangle();
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.max_degree(), 2);
+        assert_eq!(g.min_degree(), 2);
+        assert!((g.average_degree() - 2.0).abs() < 1e-12);
+        for v in g.nodes() {
+            assert_eq!(g.deg2(v), 2);
+        }
+    }
+
+    #[test]
+    fn duplicate_and_reversed_edges_merge() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 0), (0, 1)]).unwrap();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(1), &[0]);
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let err = Graph::from_edges(3, [(1, 1)]).unwrap_err();
+        assert_eq!(err, crate::GraphError::SelfLoop(1));
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let err = Graph::from_edges(3, [(0, 3)]).unwrap_err();
+        assert_eq!(err, crate::GraphError::NodeOutOfRange { node: 3, n: 3 });
+    }
+
+    #[test]
+    fn has_edge_both_orientations() {
+        let g = Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(g.has_edge(3, 2));
+        assert!(!g.has_edge(0, 2));
+        assert!(!g.has_edge(1, 3));
+    }
+
+    #[test]
+    fn edges_iterator_yields_each_edge_once_sorted() {
+        let g = triangle();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn deg2_star() {
+        // Star: center 0 with 4 leaves. deg2(leaf) = deg(center) = 4.
+        let g = Graph::from_edges(5, [(0, 1), (0, 2), (0, 3), (0, 4)]).unwrap();
+        assert_eq!(g.deg2(0), 4);
+        for leaf in 1..5 {
+            assert_eq!(g.deg2(leaf), 4);
+            assert_eq!(g.degree(leaf), 1);
+        }
+    }
+
+    #[test]
+    fn degree_histogram_star() {
+        let g = Graph::from_edges(5, [(0, 1), (0, 2), (0, 3), (0, 4)]).unwrap();
+        let hist = g.degree_histogram();
+        assert_eq!(hist, vec![0, 4, 0, 0, 1]);
+    }
+
+    #[test]
+    fn induced_subgraph_renumbers() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]).unwrap();
+        let (sub, order) = g.induced_subgraph(&[1, 2, 3]);
+        assert_eq!(order, vec![1, 2, 3]);
+        assert_eq!(sub.len(), 3);
+        // Path 1-2-3 becomes 0-1-2.
+        assert_eq!(sub.num_edges(), 2);
+        assert!(sub.has_edge(0, 1));
+        assert!(sub.has_edge(1, 2));
+        assert!(!sub.has_edge(0, 2));
+    }
+
+    #[test]
+    fn induced_subgraph_ignores_duplicates() {
+        let g = triangle();
+        let (sub, order) = g.induced_subgraph(&[2, 2, 0]);
+        assert_eq!(order, vec![2, 0]);
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.num_edges(), 1);
+    }
+
+    #[test]
+    fn disjoint_union() {
+        let g = triangle().disjoint_union(&triangle());
+        assert_eq!(g.len(), 6);
+        assert_eq!(g.num_edges(), 6);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(3, 4));
+        assert!(!g.has_edge(0, 3));
+    }
+
+    #[test]
+    fn graph_common_traits() {
+        let g = triangle();
+        let g2 = g.clone();
+        assert_eq!(g, g2);
+        assert!(!format!("{g:?}").is_empty());
+    }
+}

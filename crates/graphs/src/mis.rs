@@ -1,0 +1,285 @@
+//! Maximal-independent-set verification and sequential reference algorithms.
+//!
+//! Every distributed algorithm in this workspace is validated against these
+//! definitions: a set `I` is *independent* if no two members are adjacent,
+//! and *maximal* if every non-member has a member neighbor.
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::{Graph, NodeId};
+
+/// `true` if no two nodes of `set` are adjacent.
+///
+/// `set` is a membership bitmap of length `g.len()`.
+///
+/// # Panics
+///
+/// Panics if `set.len() != g.len()`.
+pub fn is_independent_set(g: &Graph, set: &[bool]) -> bool {
+    assert_eq!(set.len(), g.len(), "membership bitmap must cover every node");
+    for v in g.nodes() {
+        if !set[v] {
+            continue;
+        }
+        for &u in g.neighbors(v) {
+            if set[u as usize] {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// `true` if every node outside `set` has at least one neighbor inside it
+/// (the domination half of maximality).
+///
+/// # Panics
+///
+/// Panics if `set.len() != g.len()`.
+pub fn is_dominating_set(g: &Graph, set: &[bool]) -> bool {
+    assert_eq!(set.len(), g.len(), "membership bitmap must cover every node");
+    for v in g.nodes() {
+        if set[v] {
+            continue;
+        }
+        if !g.neighbors(v).iter().any(|&u| set[u as usize]) {
+            return false;
+        }
+    }
+    true
+}
+
+/// `true` if `set` is a maximal independent set: independent and dominating.
+///
+/// # Example
+///
+/// ```
+/// use graphs::{generators::classic, mis};
+///
+/// let g = classic::path(4);
+/// assert!(mis::is_maximal_independent_set(&g, &[true, false, true, false]));
+/// assert!(!mis::is_maximal_independent_set(&g, &[true, false, false, false]));
+/// assert!(!mis::is_maximal_independent_set(&g, &[true, true, false, true]));
+/// ```
+pub fn is_maximal_independent_set(g: &Graph, set: &[bool]) -> bool {
+    is_independent_set(g, set) && is_dominating_set(g, set)
+}
+
+/// A specific witness of why a set fails to be an MIS — for actionable
+/// test-failure and debugging output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MisViolation {
+    /// Two adjacent members (independence violated).
+    AdjacentMembers(NodeId, NodeId),
+    /// A non-member with no member neighbor (maximality violated).
+    Undominated(NodeId),
+}
+
+impl std::fmt::Display for MisViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MisViolation::AdjacentMembers(u, v) => {
+                write!(f, "adjacent members {u} and {v} violate independence")
+            }
+            MisViolation::Undominated(v) => {
+                write!(f, "vertex {v} is neither a member nor adjacent to one")
+            }
+        }
+    }
+}
+
+/// Returns a witness of the first violation found, or `None` if `set` is a
+/// maximal independent set. The deterministic scan order (independence
+/// first, lowest ids first) makes failures reproducible.
+///
+/// # Panics
+///
+/// Panics if `set.len() != g.len()`.
+///
+/// # Example
+///
+/// ```
+/// use graphs::{generators::classic, mis};
+///
+/// let g = classic::path(3);
+/// assert_eq!(mis::explain_violation(&g, &[false, true, false]), None);
+/// assert_eq!(
+///     mis::explain_violation(&g, &[true, true, false]),
+///     Some(mis::MisViolation::AdjacentMembers(0, 1))
+/// );
+/// assert_eq!(
+///     mis::explain_violation(&g, &[true, false, false]),
+///     Some(mis::MisViolation::Undominated(2))
+/// );
+/// ```
+pub fn explain_violation(g: &Graph, set: &[bool]) -> Option<MisViolation> {
+    assert_eq!(set.len(), g.len(), "membership bitmap must cover every node");
+    for v in g.nodes() {
+        if set[v] {
+            for &u in g.neighbors(v) {
+                if set[u as usize] && v < u as usize {
+                    return Some(MisViolation::AdjacentMembers(v, u as usize));
+                }
+            }
+        }
+    }
+    for v in g.nodes() {
+        if !set[v] && !g.neighbors(v).iter().any(|&u| set[u as usize]) {
+            return Some(MisViolation::Undominated(v));
+        }
+    }
+    None
+}
+
+/// Greedy MIS in node-id order: the deterministic ground-truth reference.
+pub fn greedy_mis(g: &Graph) -> Vec<bool> {
+    greedy_mis_in_order(g, g.nodes())
+}
+
+/// Greedy MIS scanning nodes in a caller-provided order.
+///
+/// Every permutation yields *some* MIS, so this doubles as a generator of
+/// diverse valid answers for differential testing.
+pub fn greedy_mis_in_order<I>(g: &Graph, order: I) -> Vec<bool>
+where
+    I: IntoIterator<Item = NodeId>,
+{
+    let mut in_set = vec![false; g.len()];
+    let mut blocked = vec![false; g.len()];
+    for v in order {
+        if !blocked[v] {
+            in_set[v] = true;
+            blocked[v] = true;
+            for &u in g.neighbors(v) {
+                blocked[u as usize] = true;
+            }
+        }
+    }
+    in_set
+}
+
+/// Greedy MIS over a uniformly random node permutation.
+pub fn random_greedy_mis(g: &Graph, seed: u64) -> Vec<bool> {
+    let mut order: Vec<NodeId> = g.nodes().collect();
+    let mut rng = rand_pcg::Pcg64Mcg::seed_from_u64(seed);
+    order.shuffle(&mut rng);
+    greedy_mis_in_order(g, order)
+}
+
+/// Converts a membership bitmap into the sorted list of member node ids.
+pub fn members(set: &[bool]) -> Vec<NodeId> {
+    set.iter().enumerate().filter_map(|(v, &m)| m.then_some(v)).collect()
+}
+
+/// Number of members in a bitmap.
+pub fn size(set: &[bool]) -> usize {
+    set.iter().filter(|&&m| m).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{classic, random};
+
+    #[test]
+    fn empty_graph_empty_set_is_mis() {
+        let g = Graph::empty(0);
+        assert!(is_maximal_independent_set(&g, &[]));
+    }
+
+    #[test]
+    fn isolated_nodes_must_all_be_in() {
+        let g = Graph::empty(3);
+        assert!(is_maximal_independent_set(&g, &[true, true, true]));
+        assert!(!is_maximal_independent_set(&g, &[true, true, false]));
+    }
+
+    #[test]
+    fn path_mis_cases() {
+        let g = classic::path(5);
+        assert!(is_maximal_independent_set(&g, &[true, false, true, false, true]));
+        assert!(is_maximal_independent_set(&g, &[false, true, false, true, false]));
+        // Not independent:
+        assert!(!is_maximal_independent_set(&g, &[true, true, false, true, false]));
+        // Not maximal (node 4 undominated):
+        assert!(!is_maximal_independent_set(&g, &[true, false, true, false, false]));
+    }
+
+    #[test]
+    fn greedy_is_mis_on_families() {
+        for g in [
+            classic::path(17),
+            classic::cycle(12),
+            classic::complete(9),
+            classic::star(20),
+            random::gnp(80, 0.1, 3),
+        ] {
+            let set = greedy_mis(&g);
+            assert!(is_maximal_independent_set(&g, &set));
+        }
+    }
+
+    #[test]
+    fn greedy_on_complete_graph_picks_one() {
+        let set = greedy_mis(&classic::complete(10));
+        assert_eq!(size(&set), 1);
+    }
+
+    #[test]
+    fn greedy_on_star_order_matters() {
+        let g = classic::star(6);
+        // Hub first: MIS = {hub}.
+        let hub_first = greedy_mis(&g);
+        assert_eq!(members(&hub_first), vec![0]);
+        // Leaves first: MIS = all leaves.
+        let leaves_first = greedy_mis_in_order(&g, [1, 2, 3, 4, 5, 0]);
+        assert_eq!(size(&leaves_first), 5);
+        assert!(is_maximal_independent_set(&g, &leaves_first));
+    }
+
+    #[test]
+    fn random_greedy_valid_many_seeds() {
+        let g = random::gnp(60, 0.15, 1);
+        for seed in 0..10 {
+            let set = random_greedy_mis(&g, seed);
+            assert!(is_maximal_independent_set(&g, &set), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn members_and_size() {
+        let set = [false, true, true, false, true];
+        assert_eq!(members(&set), vec![1, 2, 4]);
+        assert_eq!(size(&set), 3);
+    }
+
+    #[test]
+    fn explain_violation_agrees_with_checker() {
+        let g = random::gnp(60, 0.1, 8);
+        for seed in 0..20 {
+            // Random bitmaps: explanation is None iff the checker accepts.
+            let mut rng = rand_pcg::Pcg64Mcg::seed_from_u64(seed);
+            let set: Vec<bool> =
+                (0..60).map(|_| rand::Rng::gen_bool(&mut rng, 0.3)).collect();
+            let explained = explain_violation(&g, &set);
+            assert_eq!(explained.is_none(), is_maximal_independent_set(&g, &set));
+            if let Some(v) = explained {
+                assert!(!v.to_string().is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn explain_violation_on_valid_mis_is_none() {
+        let g = classic::star(8);
+        assert_eq!(explain_violation(&g, &greedy_mis(&g)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "membership bitmap")]
+    fn wrong_length_bitmap_panics() {
+        let g = classic::path(3);
+        is_independent_set(&g, &[true, false]);
+    }
+}

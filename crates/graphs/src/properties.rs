@@ -1,0 +1,401 @@
+//! Structural graph properties used to characterize experiment workloads.
+
+use crate::{Graph, NodeId};
+
+/// Breadth-first distances from `source`; unreachable nodes get
+/// `usize::MAX`.
+///
+/// # Panics
+///
+/// Panics if `source >= g.len()`.
+pub fn bfs_distances(g: &Graph, source: NodeId) -> Vec<usize> {
+    let mut dist = vec![usize::MAX; g.len()];
+    let mut queue = std::collections::VecDeque::new();
+    dist[source] = 0;
+    queue.push_back(source);
+    while let Some(v) = queue.pop_front() {
+        let d = dist[v];
+        for &u in g.neighbors(v) {
+            let u = u as usize;
+            if dist[u] == usize::MAX {
+                dist[u] = d + 1;
+                queue.push_back(u);
+            }
+        }
+    }
+    dist
+}
+
+/// `true` if the graph is connected (vacuously true for `n ≤ 1`).
+pub fn is_connected(g: &Graph) -> bool {
+    if g.len() <= 1 {
+        return true;
+    }
+    bfs_distances(g, 0).iter().all(|&d| d != usize::MAX)
+}
+
+/// Connected components: returns `(component_id_per_node, component_count)`.
+pub fn connected_components(g: &Graph) -> (Vec<usize>, usize) {
+    let mut comp = vec![usize::MAX; g.len()];
+    let mut count = 0;
+    let mut stack = Vec::new();
+    for start in g.nodes() {
+        if comp[start] != usize::MAX {
+            continue;
+        }
+        comp[start] = count;
+        stack.push(start);
+        while let Some(v) = stack.pop() {
+            for &u in g.neighbors(v) {
+                let u = u as usize;
+                if comp[u] == usize::MAX {
+                    comp[u] = count;
+                    stack.push(u);
+                }
+            }
+        }
+        count += 1;
+    }
+    (comp, count)
+}
+
+/// Eccentricity of `v`: the greatest BFS distance from `v` to any reachable
+/// node.
+///
+/// # Panics
+///
+/// Panics if `v >= g.len()`.
+pub fn eccentricity(g: &Graph, v: NodeId) -> usize {
+    bfs_distances(g, v).into_iter().filter(|&d| d != usize::MAX).max().unwrap_or(0)
+}
+
+/// Exact diameter by running BFS from every node — `O(n · m)`, intended for
+/// the moderate sizes used in experiments. Returns `None` for a disconnected
+/// or empty graph.
+pub fn diameter(g: &Graph) -> Option<usize> {
+    if g.is_empty() || !is_connected(g) {
+        return None;
+    }
+    Some(g.nodes().map(|v| eccentricity(g, v)).max().unwrap_or(0))
+}
+
+/// Degeneracy of the graph and a degeneracy ordering (smallest-last):
+/// the returned `k` is the smallest value such that every subgraph has a
+/// node of degree ≤ `k`.
+pub fn degeneracy(g: &Graph) -> (usize, Vec<NodeId>) {
+    let n = g.len();
+    let mut degree: Vec<usize> = g.nodes().map(|v| g.degree(v)).collect();
+    let maxd = g.max_degree();
+    let mut buckets: Vec<Vec<NodeId>> = vec![Vec::new(); maxd + 1];
+    for v in g.nodes() {
+        buckets[degree[v]].push(v);
+    }
+    let mut removed = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    let mut degeneracy = 0usize;
+    let mut cursor = 0usize;
+    for _ in 0..n {
+        // Find the lowest non-empty bucket at or below/above cursor.
+        cursor = cursor.min(maxd);
+        loop {
+            while cursor <= maxd && buckets[cursor].is_empty() {
+                cursor += 1;
+            }
+            let v = match buckets.get_mut(cursor).and_then(Vec::pop) {
+                Some(v) => v,
+                None => break,
+            };
+            if removed[v] || degree[v] != cursor {
+                continue; // stale entry
+            }
+            removed[v] = true;
+            order.push(v);
+            degeneracy = degeneracy.max(cursor);
+            for &u in g.neighbors(v) {
+                let u = u as usize;
+                if !removed[u] {
+                    degree[u] -= 1;
+                    buckets[degree[u]].push(u);
+                    if degree[u] < cursor {
+                        cursor = degree[u];
+                    }
+                }
+            }
+            break;
+        }
+    }
+    (degeneracy, order)
+}
+
+/// Membership bitmap of the `k`-core: the maximal subgraph in which every
+/// node has degree at least `k` (within the subgraph). Computed by
+/// repeatedly peeling nodes of degree `< k`.
+pub fn k_core(g: &Graph, k: usize) -> Vec<bool> {
+    let mut degree: Vec<usize> = g.nodes().map(|v| g.degree(v)).collect();
+    let mut in_core = vec![true; g.len()];
+    let mut stack: Vec<NodeId> = g.nodes().filter(|&v| degree[v] < k).collect();
+    for &v in &stack {
+        in_core[v] = false;
+    }
+    while let Some(v) = stack.pop() {
+        for &u in g.neighbors(v) {
+            let u = u as usize;
+            if in_core[u] {
+                degree[u] -= 1;
+                if degree[u] < k {
+                    in_core[u] = false;
+                    stack.push(u);
+                }
+            }
+        }
+    }
+    in_core
+}
+
+/// Number of triangles each node participates in.
+pub fn triangle_counts(g: &Graph) -> Vec<usize> {
+    let mut counts = vec![0usize; g.len()];
+    for (u, v) in g.edges() {
+        // Intersect sorted adjacency lists of u and v.
+        let (a, b) = (g.neighbors(u), g.neighbors(v));
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    let w = a[i] as usize;
+                    counts[u] += 1;
+                    counts[v] += 1;
+                    counts[w] += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+    }
+    // Each triangle is found once per edge, i.e. three times total, and we
+    // incremented each corner once per discovery.
+    for c in &mut counts {
+        *c /= 3;
+    }
+    counts
+}
+
+/// Local clustering coefficient of each node: the fraction of pairs of
+/// neighbors that are themselves adjacent (0 for degree < 2).
+pub fn clustering_coefficients(g: &Graph) -> Vec<f64> {
+    let triangles = triangle_counts(g);
+    g.nodes()
+        .map(|v| {
+            let d = g.degree(v);
+            if d < 2 {
+                0.0
+            } else {
+                2.0 * triangles[v] as f64 / (d * (d - 1)) as f64
+            }
+        })
+        .collect()
+}
+
+/// Average local clustering coefficient (Watts–Strogatz definition; 0.0
+/// for an empty graph).
+pub fn average_clustering(g: &Graph) -> f64 {
+    if g.is_empty() {
+        return 0.0;
+    }
+    clustering_coefficients(g).iter().sum::<f64>() / g.len() as f64
+}
+
+/// Summary of the degree structure of a workload graph, printed in
+/// experiment headers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegreeSummary {
+    /// Number of nodes.
+    pub n: usize,
+    /// Number of edges.
+    pub m: usize,
+    /// Minimum degree.
+    pub min: usize,
+    /// Maximum degree Δ.
+    pub max: usize,
+    /// Average degree.
+    pub avg: f64,
+    /// Maximum over nodes of `deg₂(v)` (always equals Δ) — kept for clarity.
+    pub max_deg2: usize,
+    /// Minimum over nodes of `deg₂(v)`: how "locally small" degrees can look.
+    pub min_deg2: usize,
+}
+
+impl DegreeSummary {
+    /// Computes the summary for `g`.
+    pub fn of(g: &Graph) -> DegreeSummary {
+        let deg2: Vec<usize> = g.nodes().map(|v| g.deg2(v)).collect();
+        DegreeSummary {
+            n: g.len(),
+            m: g.num_edges(),
+            min: g.min_degree(),
+            max: g.max_degree(),
+            avg: g.average_degree(),
+            max_deg2: deg2.iter().copied().max().unwrap_or(0),
+            min_deg2: deg2.iter().copied().min().unwrap_or(0),
+        }
+    }
+}
+
+impl std::fmt::Display for DegreeSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} m={} deg[min={} avg={:.2} max={}] deg2[min={} max={}]",
+            self.n, self.m, self.min, self.avg, self.max, self.min_deg2, self.max_deg2
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{classic, lattice, random};
+
+    #[test]
+    fn bfs_on_path() {
+        let g = classic::path(5);
+        assert_eq!(bfs_distances(&g, 0), vec![0, 1, 2, 3, 4]);
+        assert_eq!(bfs_distances(&g, 2), vec![2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn bfs_unreachable() {
+        let g = Graph::from_edges(4, [(0, 1)]).unwrap();
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], usize::MAX);
+    }
+
+    #[test]
+    fn connectivity() {
+        assert!(is_connected(&classic::cycle(10)));
+        assert!(!is_connected(&Graph::empty(3)));
+        assert!(is_connected(&Graph::empty(1)));
+        assert!(is_connected(&Graph::empty(0)));
+    }
+
+    #[test]
+    fn components() {
+        let g = classic::path(3).disjoint_union(&classic::path(2));
+        let (comp, count) = connected_components(&g);
+        assert_eq!(count, 2);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[0], comp[2]);
+        assert_eq!(comp[3], comp[4]);
+        assert_ne!(comp[0], comp[3]);
+    }
+
+    #[test]
+    fn diameter_known_values() {
+        assert_eq!(diameter(&classic::path(6)), Some(5));
+        assert_eq!(diameter(&classic::cycle(6)), Some(3));
+        assert_eq!(diameter(&classic::complete(5)), Some(1));
+        assert_eq!(diameter(&classic::star(8)), Some(2));
+        assert_eq!(diameter(&Graph::empty(3)), None);
+    }
+
+    #[test]
+    fn diameter_grid() {
+        assert_eq!(diameter(&lattice::grid(3, 4)), Some(5));
+    }
+
+    #[test]
+    fn degeneracy_known_values() {
+        assert_eq!(degeneracy(&classic::path(10)).0, 1);
+        assert_eq!(degeneracy(&classic::cycle(10)).0, 2);
+        assert_eq!(degeneracy(&classic::complete(6)).0, 5);
+        assert_eq!(degeneracy(&classic::star(10)).0, 1);
+        assert_eq!(degeneracy(&Graph::empty(4)).0, 0);
+    }
+
+    #[test]
+    fn degeneracy_order_is_permutation() {
+        let g = random::gnp(50, 0.2, 7);
+        let (_, order) = degeneracy(&g);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn triangles_known_values() {
+        let g = classic::complete(4);
+        // K4 has 4 triangles; each node is in C(3,2) = 3 of them.
+        assert_eq!(triangle_counts(&g), vec![3, 3, 3, 3]);
+        let g = classic::cycle(5);
+        assert_eq!(triangle_counts(&g), vec![0; 5]);
+    }
+
+    #[test]
+    fn clustering_known_values() {
+        // Complete graph: clustering 1 everywhere.
+        let g = classic::complete(6);
+        assert!(clustering_coefficients(&g).iter().all(|&c| (c - 1.0).abs() < 1e-12));
+        assert!((average_clustering(&g) - 1.0).abs() < 1e-12);
+        // Trees: clustering 0 everywhere.
+        let g = classic::star(8);
+        assert_eq!(average_clustering(&g), 0.0);
+        // Wheel W_6: hub sees the rim cycle; each rim pair adjacent iff
+        // consecutive — hub clustering = 5 / C(5,2) = 0.5.
+        let g = classic::wheel(6);
+        let cc = clustering_coefficients(&g);
+        assert!((cc[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn small_world_has_high_clustering_at_low_beta() {
+        let lattice = crate::generators::small_world::watts_strogatz(60, 6, 0.0, 1).unwrap();
+        let random = crate::generators::random::gnp(60, 6.0 / 59.0, 1);
+        assert!(average_clustering(&lattice) > 3.0 * average_clustering(&random).max(0.01));
+    }
+
+    #[test]
+    fn k_core_known_values() {
+        // A clique of 5 is a 4-core; attaching a pendant path leaves the
+        // clique as the 2-core.
+        let g = crate::generators::composite::lollipop(5, 3);
+        let core2 = k_core(&g, 2);
+        assert_eq!(core2.iter().filter(|&&x| x).count(), 5);
+        assert!(core2[..5].iter().all(|&x| x));
+        let core4 = k_core(&g, 4);
+        assert_eq!(core4.iter().filter(|&&x| x).count(), 5);
+        // Everything survives the 0-core and 1-core except nothing/pendants.
+        assert!(k_core(&g, 0).iter().all(|&x| x));
+        // The 5-core is empty (max internal degree is 4).
+        assert!(k_core(&g, 5).iter().all(|&x| !x));
+    }
+
+    #[test]
+    fn k_core_matches_degeneracy() {
+        let g = crate::generators::random::gnp(60, 0.15, 3);
+        let (d, _) = degeneracy(&g);
+        // The d-core is non-empty; the (d+1)-core is empty.
+        assert!(k_core(&g, d).iter().any(|&x| x));
+        assert!(k_core(&g, d + 1).iter().all(|&x| !x));
+    }
+
+    #[test]
+    fn degree_summary_star() {
+        let s = DegreeSummary::of(&classic::star(5));
+        assert_eq!(s.n, 5);
+        assert_eq!(s.max, 4);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max_deg2, 4);
+        assert_eq!(s.min_deg2, 4); // every leaf sees the hub
+        assert!(!s.to_string().is_empty());
+    }
+
+    #[test]
+    fn eccentricity_star() {
+        let g = classic::star(6);
+        assert_eq!(eccentricity(&g, 0), 1);
+        assert_eq!(eccentricity(&g, 1), 2);
+    }
+}

@@ -1,0 +1,152 @@
+//! Statistical validation of the random generators: the experiments'
+//! conclusions are only as good as the workloads, so the distributional
+//! claims of each family are verified with generous tolerance bands.
+
+use graphs::generators::{geometric, random, scale_free, small_world, trees};
+use graphs::properties;
+
+#[test]
+fn gnp_degree_distribution_is_binomial_like() {
+    let n = 4000;
+    let p = 8.0 / (n as f64 - 1.0);
+    let g = random::gnp(n, p, 42);
+    let mean_expected = p * (n as f64 - 1.0);
+    let mean = g.average_degree();
+    assert!(
+        (mean - mean_expected).abs() < 0.3,
+        "mean degree {mean} vs expected {mean_expected}"
+    );
+    // Binomial variance ≈ mean for small p.
+    let var: f64 = g
+        .nodes()
+        .map(|v| (g.degree(v) as f64 - mean).powi(2))
+        .sum::<f64>()
+        / n as f64;
+    assert!(
+        (var - mean_expected).abs() < 0.25 * mean_expected,
+        "variance {var} vs ≈ {mean_expected}"
+    );
+}
+
+#[test]
+fn ba_degree_tail_is_heavy() {
+    // For BA, P(deg ≥ k) ~ k^{-2}: compare the counts at k and 2k — the
+    // ratio should be ≈ 4, and certainly nowhere near the exponential decay
+    // a G(n,p) of equal density shows.
+    let n = 8000;
+    let g = scale_free::barabasi_albert(n, 3, 7).unwrap();
+    let count_ge = |k: usize| g.nodes().filter(|&v| g.degree(v) >= k).count() as f64;
+    let ratio = count_ge(8) / count_ge(16).max(1.0);
+    assert!(
+        (2.0..12.0).contains(&ratio),
+        "tail ratio {ratio} inconsistent with a power law (~4 expected)"
+    );
+    // The equal-density G(n,p) has essentially nobody at 4× the mean.
+    let gnp = random::gnp(n, 6.0 / (n as f64 - 1.0), 7);
+    let ba_high = count_ge(24);
+    let gnp_high = gnp.nodes().filter(|&v| gnp.degree(v) >= 24).count();
+    assert!(
+        ba_high as usize > 10 * (gnp_high + 1),
+        "BA must have a far heavier tail: ba {ba_high}, gnp {gnp_high}"
+    );
+}
+
+#[test]
+fn geometric_degree_matches_area_law() {
+    let n = 5000;
+    let target = 12.0;
+    let g = geometric::random_geometric_expected_degree(n, target, 3);
+    let mean = g.average_degree();
+    // Boundary effects shave ~10–20%; accept a generous band.
+    assert!(
+        mean > 0.6 * target && mean < 1.1 * target,
+        "mean degree {mean} vs target {target}"
+    );
+    // Geometric graphs are strongly clustered (≈ 0.58 in theory for disks),
+    // far above a degree-matched G(n,p).
+    let cc = properties::average_clustering(&g);
+    assert!(cc > 0.4, "geometric clustering {cc}");
+}
+
+#[test]
+fn watts_strogatz_interpolates_clustering() {
+    let c_lattice =
+        properties::average_clustering(&small_world::watts_strogatz(400, 8, 0.0, 1).unwrap());
+    let c_mid =
+        properties::average_clustering(&small_world::watts_strogatz(400, 8, 0.3, 1).unwrap());
+    let c_random =
+        properties::average_clustering(&small_world::watts_strogatz(400, 8, 1.0, 1).unwrap());
+    assert!(
+        c_lattice > c_mid && c_mid > c_random,
+        "clustering must decrease with β: {c_lattice:.3} > {c_mid:.3} > {c_random:.3}"
+    );
+    // The β = 0 ring lattice with k = 8 has clustering 0.643 exactly.
+    assert!((c_lattice - 0.643).abs() < 0.02, "lattice clustering {c_lattice}");
+}
+
+#[test]
+fn random_regular_has_no_degree_variance() {
+    let g = random::random_regular(500, 6, 9).unwrap();
+    assert_eq!(g.min_degree(), 6);
+    assert_eq!(g.max_degree(), 6);
+    // Random regular graphs are connected w.h.p. for d ≥ 3.
+    assert!(properties::is_connected(&g));
+}
+
+#[test]
+fn recursive_tree_depth_is_logarithmic() {
+    // The expected depth of a random recursive tree is ~ ln n; the
+    // eccentricity of the root stays well below any polynomial growth.
+    let n = 4096;
+    let g = trees::random_recursive_tree(n, 11);
+    let depth = properties::eccentricity(&g, 0);
+    assert!(
+        depth >= 6 && depth <= 40,
+        "root depth {depth} should be Θ(log n) ≈ 8–25"
+    );
+}
+
+#[test]
+fn prufer_trees_are_uniform_ish_over_shapes() {
+    // Sanity: over many 4-node Prüfer trees, both shapes (path, star)
+    // appear — the star (1 shape, 4 labelings) and paths (12 labelings),
+    // so stars should be ≈ 1/4 of draws.
+    let mut stars = 0;
+    let trials = 400;
+    for seed in 0..trials {
+        let g = trees::random_prufer_tree(4, seed);
+        if g.max_degree() == 3 {
+            stars += 1;
+        }
+    }
+    let frac = stars as f64 / trials as f64;
+    assert!(
+        (0.15..0.35).contains(&frac),
+        "star fraction {frac} should be ≈ 0.25"
+    );
+}
+
+#[test]
+fn gnm_matches_gnp_statistics_at_same_density() {
+    let n = 1000;
+    let m = 4000;
+    let gm = random::gnm(n, m, 5).unwrap();
+    assert_eq!(gm.num_edges(), m);
+    let gp = random::gnp(n, 2.0 * m as f64 / (n as f64 * (n as f64 - 1.0)), 5);
+    // Same expected density: average degrees within 10%.
+    let (a, b) = (gm.average_degree(), gp.average_degree());
+    assert!((a - b).abs() / a < 0.1, "gnm {a} vs gnp {b}");
+}
+
+#[test]
+fn chung_lu_respects_exponent_ordering() {
+    // A smaller γ (heavier tail) concentrates more degree mass at the top.
+    let flat = scale_free::chung_lu_power_law(2000, 3.5, 6.0, 3).unwrap();
+    let heavy = scale_free::chung_lu_power_law(2000, 2.2, 6.0, 3).unwrap();
+    assert!(
+        heavy.max_degree() > flat.max_degree(),
+        "heavy-tail max {} should exceed flat-tail max {}",
+        heavy.max_degree(),
+        flat.max_degree()
+    );
+}

@@ -1,0 +1,184 @@
+//! Property-based tests for the graph substrate.
+
+use graphs::generators::{classic, geometric, random, scale_free, small_world, trees};
+use graphs::{edgelist, mis, properties, Graph, GraphBuilder};
+use proptest::prelude::*;
+
+/// Strategy: an arbitrary simple graph as (n, edge list).
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2usize..40).prop_flat_map(|n| {
+        proptest::collection::vec((0..n, 0..n), 0..120).prop_map(move |pairs| {
+            let mut b = GraphBuilder::new(n);
+            for (u, v) in pairs {
+                if u != v {
+                    b.add_edge(u, v).unwrap();
+                }
+            }
+            b.build()
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn csr_adjacency_is_symmetric_sorted_dedup(g in arb_graph()) {
+        for v in g.nodes() {
+            let adj = g.neighbors(v);
+            // Sorted and deduplicated.
+            for w in adj.windows(2) {
+                prop_assert!(w[0] < w[1]);
+            }
+            // Symmetric.
+            for &u in adj {
+                prop_assert!(g.neighbors(u as usize).contains(&(v as u32)));
+            }
+            // No self loops.
+            prop_assert!(!adj.contains(&(v as u32)));
+        }
+    }
+
+    #[test]
+    fn handshake_lemma(g in arb_graph()) {
+        let sum: usize = g.nodes().map(|v| g.degree(v)).sum();
+        prop_assert_eq!(sum, 2 * g.num_edges());
+        prop_assert_eq!(sum, g.degree_sum());
+    }
+
+    #[test]
+    fn edges_iterator_matches_has_edge(g in arb_graph()) {
+        let mut count = 0;
+        for (u, v) in g.edges() {
+            prop_assert!(u < v);
+            prop_assert!(g.has_edge(u, v));
+            count += 1;
+        }
+        prop_assert_eq!(count, g.num_edges());
+    }
+
+    #[test]
+    fn deg2_bounds(g in arb_graph()) {
+        let delta = g.max_degree();
+        for v in g.nodes() {
+            let d2 = g.deg2(v);
+            prop_assert!(d2 >= g.degree(v));
+            prop_assert!(d2 <= delta);
+        }
+    }
+
+    #[test]
+    fn edgelist_round_trip(g in arb_graph()) {
+        let back = edgelist::from_str(&edgelist::to_string(&g)).unwrap();
+        prop_assert_eq!(g, back);
+    }
+
+    #[test]
+    fn greedy_mis_always_valid(g in arb_graph(), seed in 0u64..1000) {
+        let set = mis::random_greedy_mis(&g, seed);
+        prop_assert!(mis::is_maximal_independent_set(&g, &set));
+    }
+
+    #[test]
+    fn greedy_mis_any_order_valid(g in arb_graph()) {
+        let rev: Vec<_> = g.nodes().rev().collect();
+        let set = mis::greedy_mis_in_order(&g, rev);
+        prop_assert!(mis::is_maximal_independent_set(&g, &set));
+    }
+
+    #[test]
+    fn components_partition_nodes(g in arb_graph()) {
+        let (comp, count) = properties::connected_components(&g);
+        prop_assert_eq!(comp.len(), g.len());
+        for &c in &comp {
+            prop_assert!(c < count);
+        }
+        // Adjacent nodes share a component.
+        for (u, v) in g.edges() {
+            prop_assert_eq!(comp[u], comp[v]);
+        }
+    }
+
+    #[test]
+    fn degeneracy_at_most_max_degree(g in arb_graph()) {
+        let (k, order) = properties::degeneracy(&g);
+        prop_assert!(k <= g.max_degree());
+        prop_assert_eq!(order.len(), g.len());
+    }
+
+    #[test]
+    fn gnp_determinism(n in 2usize..60, seed in 0u64..50) {
+        let g1 = random::gnp(n, 0.15, seed);
+        let g2 = random::gnp(n, 0.15, seed);
+        prop_assert_eq!(g1, g2);
+    }
+
+    #[test]
+    fn gnm_has_exact_edges(n in 4usize..30, seed in 0u64..20) {
+        let max = n * (n - 1) / 2;
+        let m = max / 2;
+        let g = random::gnm(n, m, seed).unwrap();
+        prop_assert_eq!(g.num_edges(), m);
+    }
+
+    #[test]
+    fn random_regular_is_regular(seed in 0u64..20, d in 1usize..5) {
+        let n = 24;
+        let g = random::random_regular(n, d, seed).unwrap();
+        for v in g.nodes() {
+            prop_assert_eq!(g.degree(v), d);
+        }
+    }
+
+    #[test]
+    fn trees_are_trees(n in 2usize..80, seed in 0u64..20) {
+        for g in [trees::random_recursive_tree(n, seed), trees::random_prufer_tree(n, seed)] {
+            prop_assert_eq!(g.num_edges(), n - 1);
+            prop_assert!(properties::is_connected(&g));
+        }
+    }
+
+    #[test]
+    fn ba_graph_connected(n in 5usize..80, seed in 0u64..20) {
+        let g = scale_free::barabasi_albert(n, 2, seed).unwrap();
+        prop_assert!(properties::is_connected(&g));
+    }
+
+    #[test]
+    fn ws_degree_sum_preserved(seed in 0u64..20, beta in 0.0f64..1.0) {
+        let g = small_world::watts_strogatz(30, 4, beta, seed).unwrap();
+        prop_assert_eq!(g.num_edges(), 30 * 4 / 2);
+    }
+
+    #[test]
+    fn geometric_monotone_in_radius(seed in 0u64..20) {
+        let small = geometric::random_geometric(60, 0.08, seed);
+        let large = geometric::random_geometric(60, 0.2, seed);
+        // Same points (same seed), bigger radius => superset of edges.
+        for (u, v) in small.edges() {
+            prop_assert!(large.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn induced_subgraph_preserves_adjacency(g in arb_graph()) {
+        let keep: Vec<usize> = g.nodes().filter(|v| v % 2 == 0).collect();
+        let (sub, order) = g.induced_subgraph(&keep);
+        for (a, b) in sub.edges() {
+            prop_assert!(g.has_edge(order[a], order[b]));
+        }
+        // Every kept-pair edge appears.
+        for (i, &u) in order.iter().enumerate() {
+            for (j, &v) in order.iter().enumerate().skip(i + 1) {
+                if g.has_edge(u, v) {
+                    prop_assert!(sub.has_edge(i, j));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn classic_diameters(n in 3usize..30) {
+        prop_assert_eq!(properties::diameter(&classic::path(n)), Some(n - 1));
+        prop_assert_eq!(properties::diameter(&classic::cycle(n)), Some(n / 2));
+        prop_assert_eq!(properties::diameter(&classic::complete(n)), Some(1));
+    }
+}

@@ -1,0 +1,233 @@
+//! Algorithm 1 of the paper: the single-channel self-stabilizing MIS
+//! algorithm.
+//!
+//! Pseudocode (paper, Algorithm 1), executed by every vertex `v` in every
+//! round:
+//!
+//! ```text
+//! state: ℓ ∈ {-ℓmax(v), …, ℓmax(v)}
+//! if ℓ < ℓmax(v):  beep ← true with probability min(2^-ℓ, 1)
+//! else:            beep ← false
+//! if beep: send signal to all neighbors
+//! receive any signals sent by neighbors
+//! if any signal received:  ℓ ← min(ℓ + 1, ℓmax(v))
+//! else if beep:            ℓ ← -ℓmax(v)
+//! else:                    ℓ ← max(ℓ - 1, 1)
+//! ```
+//!
+//! A vertex is stable **in the MIS** once `ℓ(v) = -ℓmax(v)` while every
+//! neighbor `u` sits at `ℓ(u) = ℓmax(u)`; it then beeps forever and its
+//! neighbors stay silenced — which is also how every vertex continuously
+//! *signals* its status, making faults detectable (unlike the original
+//! Jeavons–Scott–Xu algorithm, where stabilized vertices go silent).
+
+use beeping::protocol::{BeepSignal, BeepingProtocol, Channels};
+use graphs::{Graph, NodeId};
+use rand::{Rng, RngCore};
+
+use crate::levels::{beep_probability, update_level, Level};
+use crate::observer;
+use crate::policy::LmaxPolicy;
+use crate::runner::{self, Outcome, RunConfig, StabilizationError};
+
+/// The single-channel self-stabilizing MIS protocol (paper Algorithm 1).
+///
+/// One value drives all nodes; per-node knowledge (`ℓmax`) lives inside the
+/// embedded [`LmaxPolicy`].
+///
+/// # Example
+///
+/// ```
+/// use graphs::generators::classic;
+/// use mis::{Algorithm1, LmaxPolicy, RunConfig};
+///
+/// let g = classic::cycle(32);
+/// let algo = Algorithm1::new(&g, LmaxPolicy::global_delta(&g));
+/// let outcome = algo.run(&g, RunConfig::new(1)).unwrap();
+/// assert!(graphs::mis::is_maximal_independent_set(&g, &outcome.mis));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Algorithm1 {
+    policy: LmaxPolicy,
+}
+
+impl Algorithm1 {
+    /// Creates the protocol for `graph` under `policy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy does not cover exactly `graph.len()` vertices.
+    pub fn new(graph: &Graph, policy: LmaxPolicy) -> Algorithm1 {
+        assert_eq!(
+            policy.len(),
+            graph.len(),
+            "policy must assign ℓmax to every vertex"
+        );
+        Algorithm1 { policy }
+    }
+
+    /// The knowledge policy in use.
+    pub fn policy(&self) -> &LmaxPolicy {
+        &self.policy
+    }
+
+    /// `ℓmax(v)`.
+    pub fn lmax(&self, v: NodeId) -> Level {
+        self.policy.lmax(v)
+    }
+
+    /// The set `I_t` for a level snapshot: vertices stable in the MIS
+    /// (`ℓ(v) = -ℓmax(v)` and every neighbor at its `ℓmax`). See
+    /// [`observer`] for the full analysis machinery.
+    pub fn mis_members(&self, graph: &Graph, levels: &[Level]) -> Vec<bool> {
+        observer::stable_mis(graph, self.policy.lmax_values(), levels)
+    }
+
+    /// `true` if every vertex is stable (`S_t = V`): the stabilization
+    /// criterion of the experiments. Once this holds, the configuration is a
+    /// fixpoint in the absence of faults.
+    pub fn is_stabilized(&self, graph: &Graph, levels: &[Level]) -> bool {
+        observer::is_stabilized(graph, self.policy.lmax_values(), levels)
+    }
+
+    /// Runs the algorithm to stabilization under `config` (see
+    /// [`runner::RunConfig`] for initial-state, fault and budget options).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StabilizationError`] if the round budget is exhausted
+    /// before `S_t = V`.
+    pub fn run(&self, graph: &Graph, config: RunConfig) -> Result<Outcome, StabilizationError> {
+        runner::run_algorithm1(graph, self, config)
+    }
+}
+
+impl BeepingProtocol for Algorithm1 {
+    type State = Level;
+
+    fn channels(&self) -> Channels {
+        Channels::One
+    }
+
+    fn transmit(&self, node: NodeId, state: &Level, rng: &mut dyn RngCore) -> BeepSignal {
+        let lmax = self.policy.lmax(node);
+        let p = beep_probability(*state, lmax);
+        // Draw even when p is 0 or 1 would be avoidable, but gen_bool(0.0)
+        // and gen_bool(1.0) are exact, and drawing unconditionally keeps the
+        // per-node stream consumption identical across configurations.
+        if p > 0.0 && rng.gen_bool(p) {
+            BeepSignal::channel1()
+        } else {
+            BeepSignal::silent()
+        }
+    }
+
+    fn receive(
+        &self,
+        node: NodeId,
+        state: &mut Level,
+        sent: BeepSignal,
+        heard: BeepSignal,
+        _rng: &mut dyn RngCore,
+    ) {
+        let lmax = self.policy.lmax(node);
+        *state = update_level(*state, lmax, sent.on_channel1(), heard.on_channel1());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use beeping::rng::node_rng;
+    use beeping::Simulator;
+    use graphs::generators::{classic, random};
+
+    fn count_beeps(algo: &Algorithm1, node: NodeId, level: Level, trials: u32) -> u32 {
+        let mut rng = node_rng(12345, node);
+        (0..trials)
+            .filter(|_| !algo.transmit(node, &level, &mut rng).is_silent())
+            .count() as u32
+    }
+
+    #[test]
+    fn transmit_matches_activation_function() {
+        let g = classic::cycle(4);
+        let algo = Algorithm1::new(&g, LmaxPolicy::fixed(4, 8));
+        // ℓ ≤ 0 → always beeps.
+        assert_eq!(count_beeps(&algo, 0, 0, 100), 100);
+        assert_eq!(count_beeps(&algo, 0, -8, 100), 100);
+        // ℓ = ℓmax → never beeps.
+        assert_eq!(count_beeps(&algo, 0, 8, 100), 0);
+        // ℓ = 1 → about half.
+        let half = count_beeps(&algo, 0, 1, 10_000);
+        assert!((4_500..5_500).contains(&half), "got {half}");
+        // ℓ = 3 → about 1/8.
+        let eighth = count_beeps(&algo, 0, 3, 10_000);
+        assert!((1_000..1_600).contains(&eighth), "got {eighth}");
+    }
+
+    #[test]
+    fn receive_applies_update_rule() {
+        let g = classic::cycle(4);
+        let algo = Algorithm1::new(&g, LmaxPolicy::fixed(4, 5));
+        let mut rng = node_rng(0, 0);
+        let mut l = 2;
+        algo.receive(0, &mut l, BeepSignal::silent(), BeepSignal::channel1(), &mut rng);
+        assert_eq!(l, 3);
+        algo.receive(0, &mut l, BeepSignal::channel1(), BeepSignal::silent(), &mut rng);
+        assert_eq!(l, -5);
+        let mut l = 3;
+        algo.receive(0, &mut l, BeepSignal::silent(), BeepSignal::silent(), &mut rng);
+        assert_eq!(l, 2);
+    }
+
+    #[test]
+    fn stable_configuration_is_fixpoint() {
+        // Path of 3: middle node in MIS, ends at ℓmax.
+        let g = classic::path(3);
+        let policy = LmaxPolicy::fixed(3, 6);
+        let algo = Algorithm1::new(&g, policy);
+        let levels = vec![6, -6, 6];
+        assert!(algo.is_stabilized(&g, &levels));
+        let mut sim = Simulator::new(&g, algo.clone(), levels.clone(), 3);
+        sim.run(50);
+        assert_eq!(sim.states(), levels.as_slice());
+        assert_eq!(algo.mis_members(&g, sim.states()), vec![false, true, false]);
+    }
+
+    #[test]
+    fn single_node_stabilizes_into_mis() {
+        let g = graphs::Graph::empty(1);
+        let algo = Algorithm1::new(&g, LmaxPolicy::fixed(1, 4));
+        // Start at ℓmax (silent); decay then lone-beep must occur.
+        let mut sim = Simulator::new(&g, algo.clone(), vec![4], 9);
+        let r = sim.run_until(200, |s| algo.is_stabilized(s.graph(), s.states()));
+        assert!(r.is_some());
+        assert_eq!(algo.mis_members(&g, sim.states()), vec![true]);
+    }
+
+    #[test]
+    fn converges_on_random_graph_from_all_initial_regimes() {
+        let g = random::gnp(60, 0.1, 5);
+        let algo = Algorithm1::new(&g, LmaxPolicy::global_delta(&g));
+        let lmax = algo.policy().max_lmax();
+        for (name, init) in [
+            ("all zero", vec![0; 60]),
+            ("all max", vec![lmax; 60]),
+            ("all -max", vec![-lmax; 60]),
+        ] {
+            let mut sim = Simulator::new(&g, algo.clone(), init, 11);
+            let r = sim.run_until(20_000, |s| algo.is_stabilized(s.graph(), s.states()));
+            assert!(r.is_some(), "did not stabilize from {name}");
+            let mis = algo.mis_members(&g, sim.states());
+            assert!(graphs::mis::is_maximal_independent_set(&g, &mis), "from {name}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ℓmax to every vertex")]
+    fn policy_size_mismatch_panics() {
+        let g = classic::path(3);
+        Algorithm1::new(&g, LmaxPolicy::fixed(2, 5));
+    }
+}

@@ -1,0 +1,247 @@
+//! Topology-knowledge policies: how each vertex obtains its `ℓmax(v)`.
+//!
+//! The paper's three results differ only in the knowledge available to the
+//! vertices (Theorem 1.1). In this implementation, *knowledge* is baked into
+//! the per-node `ℓmax` vector at protocol-construction time — it lives in
+//! "ROM" alongside the code, so transient faults never corrupt it (matching
+//! §1.1's fault model where only RAM state is corruptible).
+
+use graphs::Graph;
+
+use crate::levels::{log2_ceil, Level};
+
+/// Default `c1` for the global-Δ regime (Theorem 2.1 requires `c1 ≥ 15`).
+pub const C1_GLOBAL_DELTA: u32 = 15;
+/// Default `c1` for the own-degree regime (Theorem 2.2 requires `c1 ≥ 30`).
+pub const C1_OWN_DEGREE: u32 = 30;
+/// Default `c1` for the two-channel deg₂ regime (Cor 2.3 requires `c1 ≥ 15`).
+pub const C1_TWO_HOP: u32 = 15;
+
+/// An assignment of `ℓmax(v)` to every vertex, derived from some topology
+/// knowledge.
+///
+/// Use the constructors matching the paper's results:
+/// [`LmaxPolicy::global_delta`] (Thm 2.1), [`LmaxPolicy::own_degree`]
+/// (Thm 2.2), [`LmaxPolicy::two_hop_degree`] (Cor 2.3); or the ablation
+/// constructors [`LmaxPolicy::fixed`] / [`LmaxPolicy::custom`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LmaxPolicy {
+    name: String,
+    lmax: Vec<Level>,
+}
+
+impl LmaxPolicy {
+    /// Theorem 2.1 regime with the default constant: every vertex knows the
+    /// same upper bound on the maximum degree Δ, and
+    /// `ℓmax = ⌈log₂ Δ⌉ + 15`.
+    pub fn global_delta(g: &Graph) -> LmaxPolicy {
+        LmaxPolicy::global_delta_with(g, C1_GLOBAL_DELTA)
+    }
+
+    /// Theorem 2.1 regime with an explicit `c1` (the theorem needs
+    /// `c1 ≥ 15`; smaller values are allowed for ablation experiments).
+    pub fn global_delta_with(g: &Graph, c1: u32) -> LmaxPolicy {
+        LmaxPolicy::global_delta_from_bound(g.len(), g.max_degree(), c1)
+    }
+
+    /// Theorem 2.1 regime from an externally supplied upper bound on Δ —
+    /// the bound only needs to be *an upper bound, at most poly(n)*; it does
+    /// not need to be tight.
+    pub fn global_delta_from_bound(n: usize, delta_bound: usize, c1: u32) -> LmaxPolicy {
+        let lmax = (log2_ceil(delta_bound) + c1).max(2) as Level;
+        LmaxPolicy {
+            name: format!("global-Δ(c1={c1})"),
+            lmax: vec![lmax; n],
+        }
+    }
+
+    /// Theorem 2.2 regime with the default constant: each vertex knows an
+    /// upper bound on its *own* degree, and
+    /// `ℓmax(v) = 2⌈log₂ deg(v)⌉ + 30`.
+    pub fn own_degree(g: &Graph) -> LmaxPolicy {
+        LmaxPolicy::own_degree_with(g, C1_OWN_DEGREE)
+    }
+
+    /// Theorem 2.2 regime with an explicit `c1` (the theorem needs
+    /// `c1 ≥ 30`).
+    pub fn own_degree_with(g: &Graph, c1: u32) -> LmaxPolicy {
+        let lmax = g
+            .nodes()
+            .map(|v| (2 * log2_ceil(g.degree(v)) + c1).max(2) as Level)
+            .collect();
+        LmaxPolicy { name: format!("own-deg(c1={c1})"), lmax }
+    }
+
+    /// Corollary 2.3 regime with the default constant: each vertex knows an
+    /// upper bound on the maximum degree in its closed 1-hop neighborhood,
+    /// and `ℓmax(v) = 2⌈log₂ deg₂(v)⌉ + 15`.
+    pub fn two_hop_degree(g: &Graph) -> LmaxPolicy {
+        LmaxPolicy::two_hop_degree_with(g, C1_TWO_HOP)
+    }
+
+    /// Corollary 2.3 regime with an explicit `c1` (the corollary needs
+    /// `c1 ≥ 15`).
+    pub fn two_hop_degree_with(g: &Graph, c1: u32) -> LmaxPolicy {
+        let lmax = g
+            .nodes()
+            .map(|v| (2 * log2_ceil(g.deg2(v)) + c1).max(2) as Level)
+            .collect();
+        LmaxPolicy { name: format!("deg₂(c1={c1})"), lmax }
+    }
+
+    /// Every vertex uses the same fixed `ℓmax` — the knob for the
+    /// ablation study of §2's remark that `ℓmax` has "a strong influence on
+    /// the stabilization time".
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lmax < 2`: with `ℓmax = 1` the only positive level *is*
+    /// the silent cap, the silent-round decay `ℓ ← max(ℓ-1, 1)` pins every
+    /// vertex there, and the whole network deadlocks in silence.
+    pub fn fixed(n: usize, lmax: Level) -> LmaxPolicy {
+        assert!(lmax >= 2, "ℓmax must be at least 2 (ℓmax = 1 deadlocks), got {lmax}");
+        LmaxPolicy { name: format!("fixed({lmax})"), lmax: vec![lmax; n] }
+    }
+
+    /// Fully custom per-vertex values (used by lemma-level experiments that
+    /// need engineered heterogeneous `ℓmax`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any value is `< 2` (see [`LmaxPolicy::fixed`]).
+    pub fn custom(name: impl Into<String>, lmax: Vec<Level>) -> LmaxPolicy {
+        assert!(
+            lmax.iter().all(|&l| l >= 2),
+            "every ℓmax must be at least 2 (ℓmax = 1 deadlocks)"
+        );
+        LmaxPolicy { name: name.into(), lmax }
+    }
+
+    /// Human-readable policy name (used in experiment tables).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// `ℓmax(v)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn lmax(&self, v: graphs::NodeId) -> Level {
+        self.lmax[v]
+    }
+
+    /// The full per-vertex vector.
+    pub fn lmax_values(&self) -> &[Level] {
+        &self.lmax
+    }
+
+    /// Number of vertices covered.
+    pub fn len(&self) -> usize {
+        self.lmax.len()
+    }
+
+    /// `true` if the policy covers no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.lmax.is_empty()
+    }
+
+    /// `max_{w ∈ V} ℓmax(w)` — the burn-in horizon of Lemma 3.1.
+    pub fn max_lmax(&self) -> Level {
+        self.lmax.iter().copied().max().unwrap_or(2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphs::generators::{classic, composite};
+
+    #[test]
+    fn global_delta_is_uniform() {
+        let g = classic::star(10);
+        let p = LmaxPolicy::global_delta(&g);
+        // Δ = 9, ⌈log₂ 9⌉ = 4, + 15 = 19, for every node.
+        assert!(p.lmax_values().iter().all(|&l| l == 19));
+        assert_eq!(p.max_lmax(), 19);
+        assert_eq!(p.len(), 10);
+    }
+
+    #[test]
+    fn global_delta_respects_external_bound() {
+        let p = LmaxPolicy::global_delta_from_bound(5, 1024, 15);
+        assert!(p.lmax_values().iter().all(|&l| l == 25));
+    }
+
+    #[test]
+    fn own_degree_tracks_degrees() {
+        let g = classic::star(10);
+        let p = LmaxPolicy::own_degree(&g);
+        // Hub: deg 9 → 2*4 + 30 = 38. Leaf: deg 1 → 0 + 30 = 30.
+        assert_eq!(p.lmax(0), 38);
+        for leaf in 1..10 {
+            assert_eq!(p.lmax(leaf), 30);
+        }
+    }
+
+    #[test]
+    fn own_degree_satisfies_theorem_precondition() {
+        // Thm 2.2 needs ℓmax(v) ≥ 2 log deg(v) + c1 with c1 ≥ 30.
+        let g = graphs::generators::random::gnp(200, 0.1, 3);
+        let p = LmaxPolicy::own_degree(&g);
+        for v in g.nodes() {
+            let needed = 2.0 * (g.degree(v).max(1) as f64).log2() + 30.0;
+            assert!(p.lmax(v) as f64 >= needed - 1e-9);
+        }
+    }
+
+    #[test]
+    fn two_hop_uses_deg2() {
+        let g = composite::star_of_cliques(10, 3);
+        let p = LmaxPolicy::two_hop_degree(&g);
+        // Port node (id 1): deg2 = 10 (hub) → 2*4 + 15 = 23.
+        assert_eq!(p.lmax(1), 23);
+        // Inner clique node (id 2): deg2 = 3 → 2*2 + 15 = 19.
+        assert_eq!(p.lmax(2), 19);
+    }
+
+    #[test]
+    fn fixed_and_custom() {
+        let p = LmaxPolicy::fixed(4, 6);
+        assert_eq!(p.lmax_values(), &[6, 6, 6, 6]);
+        let c = LmaxPolicy::custom("mine", vec![2, 3, 4]);
+        assert_eq!(c.name(), "mine");
+        assert_eq!(c.max_lmax(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn fixed_rejects_deadlocking_values() {
+        LmaxPolicy::fixed(4, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn custom_rejects_deadlocking_values() {
+        LmaxPolicy::custom("bad", vec![2, 1]);
+    }
+
+    #[test]
+    fn isolated_nodes_get_valid_lmax() {
+        let g = graphs::Graph::empty(3);
+        for p in [
+            LmaxPolicy::global_delta(&g),
+            LmaxPolicy::own_degree(&g),
+            LmaxPolicy::two_hop_degree(&g),
+        ] {
+            assert!(p.lmax_values().iter().all(|&l| l >= 2), "{}", p.name());
+        }
+    }
+
+    #[test]
+    fn names_mention_constants() {
+        let g = classic::cycle(5);
+        assert!(LmaxPolicy::global_delta_with(&g, 7).name().contains('7'));
+        assert!(LmaxPolicy::own_degree_with(&g, 12).name().contains("12"));
+    }
+}

@@ -1,0 +1,179 @@
+//! Property-based tests of the MIS crate's invariants: level arithmetic,
+//! policies, observer definitions, and the update rules' state machine.
+
+use graphs::{Graph, GraphBuilder};
+use mis::levels::{
+    beep_probability, clamp_level, clamp_level_two_channel, log2_ceil, update_level,
+    update_level_two_channel, Level,
+};
+use mis::observer::{stable_mis, Snapshot};
+use mis::policy::LmaxPolicy;
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (1usize..24).prop_flat_map(|n| {
+        proptest::collection::vec((0..n, 0..n), 0..60).prop_map(move |pairs| {
+            let mut b = GraphBuilder::new(n);
+            for (u, v) in pairs {
+                if u != v {
+                    b.add_edge(u, v).unwrap();
+                }
+            }
+            b.build()
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn log2_ceil_is_correct(x in 1usize..1_000_000) {
+        let k = log2_ceil(x);
+        prop_assert!(1usize << k >= x);
+        if k > 0 {
+            prop_assert!(1usize << (k - 1) < x);
+        }
+    }
+
+    #[test]
+    fn beep_probability_in_unit_interval(lmax in 1i32..64, offset in 0i32..128) {
+        let level = (-lmax + offset % (2 * lmax + 1)).clamp(-lmax, lmax);
+        let p = beep_probability(level, lmax);
+        prop_assert!((0.0..=1.0).contains(&p));
+        // The three regions of Figure 1.
+        if level <= 0 {
+            prop_assert_eq!(p, 1.0);
+        } else if level == lmax {
+            prop_assert_eq!(p, 0.0);
+        } else {
+            prop_assert_eq!(p, 2f64.powi(-level));
+        }
+    }
+
+    /// Update rule closure: from any in-range level, any observation leads
+    /// to an in-range level, and the rule matches the pseudocode cases.
+    #[test]
+    fn update_rule_cases(lmax in 1i32..40, level in -40i32..40, beeped in any::<bool>(), heard in any::<bool>()) {
+        let level = level.clamp(-lmax, lmax);
+        let next = update_level(level, lmax, beeped, heard);
+        prop_assert!((-lmax..=lmax).contains(&next));
+        if heard {
+            prop_assert_eq!(next, (level + 1).min(lmax));
+        } else if beeped {
+            prop_assert_eq!(next, -lmax);
+        } else {
+            prop_assert_eq!(next, (level - 1).max(1));
+        }
+    }
+
+    /// Two-channel update closure over {0..ℓmax}.
+    #[test]
+    fn two_channel_update_closure(
+        lmax in 1i32..40,
+        level in 0i32..40,
+        s1 in any::<bool>(),
+        s2 in any::<bool>(),
+        h1 in any::<bool>(),
+        h2 in any::<bool>(),
+    ) {
+        let level = level.min(lmax);
+        let next = update_level_two_channel(level, lmax, s1, s2, h1, h2);
+        prop_assert!((0..=lmax).contains(&next));
+        if h2 {
+            prop_assert_eq!(next, lmax);
+        }
+    }
+
+    #[test]
+    fn clamping_is_idempotent(raw in any::<i64>(), lmax in 1i32..60) {
+        let once = clamp_level(raw, lmax);
+        prop_assert_eq!(clamp_level(once as i64, lmax), once);
+        prop_assert!((-lmax..=lmax).contains(&once));
+        let once2 = clamp_level_two_channel(raw, lmax);
+        prop_assert!((0..=lmax).contains(&once2));
+    }
+
+    /// Policies satisfy their theorem preconditions on arbitrary graphs.
+    #[test]
+    fn policies_satisfy_preconditions(g in arb_graph()) {
+        let global = LmaxPolicy::global_delta(&g);
+        let own = LmaxPolicy::own_degree(&g);
+        let two_hop = LmaxPolicy::two_hop_degree(&g);
+        for v in g.nodes() {
+            // Thm 2.1: ℓmax ≥ log Δ + 15 ≥ log deg(v) + 15.
+            prop_assert!(global.lmax(v) as f64 >= (g.degree(v).max(1) as f64).log2() + 15.0 - 1e-9);
+            // Thm 2.2: ℓmax(v) ≥ 2 log deg(v) + 30.
+            prop_assert!(own.lmax(v) as f64 >= 2.0 * (g.degree(v).max(1) as f64).log2() + 30.0 - 1e-9);
+            // Cor 2.3: ℓmax(v) ≥ 2 log deg₂(v) + 15.
+            prop_assert!(
+                two_hop.lmax(v) as f64 >= 2.0 * (g.deg2(v).max(1) as f64).log2() + 15.0 - 1e-9
+            );
+            // Lemma 3.5/3.6 precondition: ℓmax(w) ≥ log deg(w) + 4.
+            for p in [&global, &own, &two_hop] {
+                prop_assert!(p.lmax(v) as f64 >= (g.degree(v).max(1) as f64).log2() + 4.0 - 1e-9);
+            }
+        }
+        // Global policy is uniform.
+        prop_assert!(global.lmax_values().iter().all(|&l| l == global.max_lmax()));
+    }
+
+    /// Observer definitions are mutually consistent on arbitrary snapshots.
+    #[test]
+    fn observer_consistency(g in arb_graph(), raw in proptest::collection::vec(-50i64..50, 24)) {
+        let policy = LmaxPolicy::own_degree(&g);
+        let lmax = policy.lmax_values().to_vec();
+        let levels: Vec<Level> = g
+            .nodes()
+            .map(|v| clamp_level(raw[v], lmax[v]))
+            .collect();
+        let snap = Snapshot::new(&g, &lmax, &levels);
+        let mis = stable_mis(&g, &lmax, &levels);
+        for v in g.nodes() {
+            // MIS membership matches the formal definition via μ.
+            let in_mis_def = levels[v] == -lmax[v] && snap.mu(v) == 1.0;
+            prop_assert_eq!(mis[v], in_mis_def, "vertex {}", v);
+            prop_assert_eq!(snap.in_mis(v), mis[v]);
+            // Stable = in MIS or neighbor in MIS.
+            let stable_def = mis[v] || g.neighbors(v).iter().any(|&u| mis[u as usize]);
+            prop_assert_eq!(snap.is_stable(v), stable_def);
+            // Prominence matches ℓ ≤ 0.
+            prop_assert_eq!(snap.is_prominent(v), levels[v] <= 0);
+            // d is the sum of neighbor probabilities.
+            let d: f64 = g
+                .neighbors(v)
+                .iter()
+                .map(|&u| beep_probability(levels[u as usize], lmax[u as usize]))
+                .sum();
+            prop_assert!((snap.d(v) - d).abs() < 1e-12);
+            // d_light ≤ d; η and η′ are non-negative and bounded.
+            prop_assert!(snap.d_light(v) <= snap.d(v) + 1e-12);
+            prop_assert!(snap.eta(v) >= 0.0);
+            prop_assert!(snap.eta_prime(v) >= 0.0);
+            prop_assert!(snap.eta(v) <= g.degree(v) as f64);
+            // μ ∈ [-1, 1].
+            prop_assert!((-1.0..=1.0).contains(&snap.mu(v)));
+        }
+        // The stable MIS is always independent (never dominating-violating
+        // *as a set*: independence is structural).
+        let independent = g
+            .edges()
+            .all(|(u, v)| !(mis[u] && mis[v]));
+        prop_assert!(independent);
+    }
+
+    /// Two-channel stability is consistent with its definition.
+    #[test]
+    fn two_channel_observer_consistency(g in arb_graph(), raw in proptest::collection::vec(0i64..50, 24)) {
+        let policy = LmaxPolicy::two_hop_degree(&g);
+        let lmax = policy.lmax_values().to_vec();
+        let levels: Vec<Level> = g
+            .nodes()
+            .map(|v| clamp_level_two_channel(raw[v], lmax[v]))
+            .collect();
+        let snap = Snapshot::new_two_channel(&g, &lmax, &levels);
+        for v in g.nodes() {
+            let in_mis_def = levels[v] == 0
+                && g.neighbors(v).iter().all(|&u| levels[u as usize] == lmax[u as usize]);
+            prop_assert_eq!(snap.in_mis(v), in_mis_def);
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Visualize a stabilized configuration: export Graphviz DOT files showing
+//! the computed MIS and the final levels.
+//!
+//! ```text
+//! cargo run --release --example visualize
+//! dot -Tpng /tmp/beeping_mis.dot -o mis.png   # if graphviz is installed
+//! ```
+
+use beeping_mis::prelude::*;
+use graphs::dot::{level_labels, to_dot, DotStyle};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small geometric graph so the drawing stays readable.
+    let g = graphs::generators::geometric::random_geometric_expected_degree(40, 5.0, 11);
+    let algo = Algorithm1::new(&g, LmaxPolicy::global_delta(&g));
+    let outcome = algo
+        .run(&g, RunConfig::new(3).with_init(InitialLevels::Random))
+        .expect("stabilizes");
+    assert!(graphs::mis::is_maximal_independent_set(&g, &outcome.mis));
+
+    // 1. MIS membership: members filled black.
+    let mis_dot = graphs::dot::mis_to_dot(&g, &outcome.mis);
+    let mis_path = std::env::temp_dir().join("beeping_mis.dot");
+    std::fs::write(&mis_path, &mis_dot)?;
+
+    // 2. The final levels as labels — MIS members show ℓ = -ℓmax, their
+    //    silenced neighbors show ℓ = ℓmax.
+    let labeled = to_dot(
+        &g,
+        &DotStyle::plain()
+            .with_highlight(outcome.mis.clone())
+            .with_labels(level_labels(&outcome.levels)),
+    );
+    let levels_path = std::env::temp_dir().join("beeping_levels.dot");
+    std::fs::write(&levels_path, &labeled)?;
+
+    println!(
+        "stabilized in {} rounds; |MIS| = {}",
+        outcome.stabilization_round,
+        outcome.mis.iter().filter(|&&m| m).count()
+    );
+    println!("wrote {}", mis_path.display());
+    println!("wrote {}", levels_path.display());
+    println!("render with: dot -Tpng {} -o mis.png", mis_path.display());
+    Ok(())
+}

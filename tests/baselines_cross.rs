@@ -1,0 +1,128 @@
+//! Cross-validation of the baselines against the paper's algorithms and
+//! the sequential ground truth.
+
+use baselines::jeavons::{JsxMis, JsxState, JsxStatus};
+use baselines::{luby_mis, AfekStyleMis};
+use beeping_mis::prelude::*;
+use graphs::generators::random;
+
+#[test]
+fn all_algorithms_produce_independent_dominating_sets() {
+    let g = random::gnp(150, 0.05, 11);
+    let mut sizes = Vec::new();
+
+    let alg1 = Algorithm1::new(&g, LmaxPolicy::global_delta(&g));
+    let o1 = alg1.run(&g, RunConfig::new(1)).unwrap();
+    sizes.push(("alg1", graphs::mis::size(&o1.mis)));
+
+    let alg2 = Algorithm2::new(&g, LmaxPolicy::two_hop_degree(&g));
+    let o2 = alg2.run(&g, RunConfig::new(1)).unwrap();
+    sizes.push(("alg2", graphs::mis::size(&o2.mis)));
+
+    let (jsx, _) = JsxMis::new().run_clean(&g, 1, 1_000_000).unwrap();
+    sizes.push(("jsx", graphs::mis::size(&jsx)));
+
+    let (afek, _) = AfekStyleMis::new(150).run(&g, 1, 1_000_000).unwrap();
+    sizes.push(("afek", graphs::mis::size(&afek)));
+
+    let (luby, _) = luby_mis(&g, 1, 1_000_000).unwrap();
+    sizes.push(("luby", graphs::mis::size(&luby)));
+
+    let greedy = graphs::mis::greedy_mis(&g);
+    sizes.push(("greedy", graphs::mis::size(&greedy)));
+
+    // Every MIS of a graph has size within a Δ+1 factor of every other;
+    // sanity-check they are in the same ballpark (same graph, same degree
+    // structure) and all nonzero.
+    let min = sizes.iter().map(|&(_, s)| s).min().unwrap();
+    let max = sizes.iter().map(|&(_, s)| s).max().unwrap();
+    assert!(min > 0);
+    assert!(
+        max <= min * (g.max_degree() + 1),
+        "MIS sizes {sizes:?} outside the theoretical spread"
+    );
+}
+
+#[test]
+fn jsx_matches_alg1_speed_from_clean_start() {
+    // §2: Algorithm 1 "maintains the same run-time as the original
+    // algorithm". From clean-ish starts, both are O(log n); assert they are
+    // within a 20× constant on the same graph (generous — we only test the
+    // order of growth, not the constant).
+    let g = random::gnp(300, 8.0 / 299.0, 13);
+    let mut jsx_total = 0u64;
+    let mut alg1_total = 0u64;
+    for seed in 0..5 {
+        jsx_total += JsxMis::new().run_clean(&g, seed, 1_000_000).unwrap().1;
+        let algo = Algorithm1::new(&g, LmaxPolicy::global_delta(&g));
+        alg1_total += algo
+            .run(&g, RunConfig::new(seed).with_init(InitialLevels::AllOne))
+            .unwrap()
+            .stabilization_round;
+    }
+    let ratio = alg1_total as f64 / jsx_total as f64;
+    assert!(
+        (0.05..20.0).contains(&ratio),
+        "alg1/jsx round ratio {ratio} is out of the constant-factor band"
+    );
+}
+
+#[test]
+fn afek_pays_for_loose_n_bounds_while_alg1_does_not() {
+    // The Afek-style baseline's epochs are Θ(log N) rounds, so a looser
+    // upper bound on the network size costs proportionally more; Algorithm
+    // 1 only depends on the *degree* bound, which is unchanged. This is the
+    // qualitative separation the paper's related-work discussion draws.
+    let g = random::gnp(512, 8.0 / 511.0, 17);
+    let afek_tight = AfekStyleMis::new(512);
+    let afek_loose = AfekStyleMis::new(512 << 12); // N = 4096·n
+    let algo = Algorithm1::new(&g, LmaxPolicy::global_delta(&g));
+    let mut tight_total = 0u64;
+    let mut loose_total = 0u64;
+    let mut alg1_total = 0u64;
+    for seed in 0..5 {
+        tight_total += afek_tight.run(&g, seed, 10_000_000).unwrap().1;
+        loose_total += afek_loose.run(&g, seed, 10_000_000).unwrap().1;
+        alg1_total += algo.run(&g, RunConfig::new(seed)).unwrap().stabilization_round;
+    }
+    assert!(
+        loose_total as f64 > 1.5 * tight_total as f64,
+        "loose N bound ({loose_total}) should cost materially more than tight ({tight_total})"
+    );
+    assert!(
+        loose_total > alg1_total,
+        "with a loose N bound the epoch baseline ({loose_total}) loses to Algorithm 1 ({alg1_total})"
+    );
+}
+
+#[test]
+fn jsx_fails_exactly_where_the_paper_says() {
+    // Frozen corrupted "done" states are undetectable: JSX terminates
+    // immediately with an invalid answer, while Algorithm 1 started from
+    // its own worst configuration still converges.
+    let g = graphs::generators::classic::cycle(10);
+    let mut all_out = vec![JsxState::clean(); 10];
+    for s in &mut all_out {
+        s.status = JsxStatus::OutOfMis;
+    }
+    let (mis, rounds) = JsxMis::new().run_from(&g, all_out, 0, 1_000).unwrap();
+    assert_eq!(rounds, 0);
+    assert!(!graphs::mis::is_maximal_independent_set(&g, &mis));
+
+    let algo = Algorithm1::new(&g, LmaxPolicy::global_delta(&g));
+    let outcome = algo
+        .run(&g, RunConfig::new(0).with_init(InitialLevels::AllMax))
+        .unwrap();
+    assert!(graphs::mis::is_maximal_independent_set(&g, &outcome.mis));
+}
+
+#[test]
+fn luby_uses_far_fewer_rounds_than_beeping_algorithms() {
+    // The LOCAL model's power shows: Luby's 2-round iterations finish in
+    // far fewer communication rounds than any beeping protocol here.
+    let g = random::gnp(400, 8.0 / 399.0, 19);
+    let (_, luby_iters) = luby_mis(&g, 3, 1_000).unwrap();
+    let algo = Algorithm1::new(&g, LmaxPolicy::global_delta(&g));
+    let alg1_rounds = algo.run(&g, RunConfig::new(3)).unwrap().stabilization_round;
+    assert!(2 * luby_iters < alg1_rounds);
+}

@@ -1,0 +1,172 @@
+//! Property-based integration tests of the paper's core invariants.
+
+use beeping::Simulator;
+use beeping_mis::prelude::*;
+use graphs::{Graph, GraphBuilder};
+use mis::levels::Level;
+use mis::observer::Snapshot;
+use mis::runner::{initial_levels, SelfStabilizingMis};
+use proptest::prelude::*;
+
+/// Strategy: an arbitrary simple graph.
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2usize..28).prop_flat_map(|n| {
+        proptest::collection::vec((0..n, 0..n), 0..80).prop_map(move |pairs| {
+            let mut b = GraphBuilder::new(n);
+            for (u, v) in pairs {
+                if u != v {
+                    b.add_edge(u, v).unwrap();
+                }
+            }
+            b.build()
+        })
+    })
+}
+
+/// Strategy: raw (unclamped) initial levels for an n-node graph.
+fn arb_raw_levels(n: usize) -> impl Strategy<Value = Vec<i64>> {
+    proptest::collection::vec(-100i64..100, n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The headline self-stabilization property: from EVERY initial
+    /// configuration, Algorithm 1 stabilizes to a valid MIS.
+    #[test]
+    fn alg1_stabilizes_from_arbitrary_configuration(
+        g in arb_graph(),
+        seed in 0u64..500,
+        raw in proptest::collection::vec(-100i64..100, 28),
+    ) {
+        let algo = Algorithm1::new(&g, LmaxPolicy::global_delta(&g));
+        let init = InitialLevels::Custom(raw[..g.len()].to_vec());
+        let outcome = algo
+            .run(&g, RunConfig::new(seed).with_init(init))
+            .expect("within budget");
+        prop_assert!(graphs::mis::is_maximal_independent_set(&g, &outcome.mis));
+    }
+
+    /// Same property for Algorithm 2 (two channels).
+    #[test]
+    fn alg2_stabilizes_from_arbitrary_configuration(
+        g in arb_graph(),
+        seed in 0u64..500,
+        raw in proptest::collection::vec(-100i64..100, 28),
+    ) {
+        let algo = Algorithm2::new(&g, LmaxPolicy::two_hop_degree(&g));
+        let init = InitialLevels::Custom(raw[..g.len()].to_vec());
+        let outcome = algo
+            .run(&g, RunConfig::new(seed).with_init(init))
+            .expect("within budget");
+        prop_assert!(graphs::mis::is_maximal_independent_set(&g, &outcome.mis));
+    }
+
+    /// Stable sets are monotone: S_t ⊆ S_{t+1} (paper §3). Run a fault-free
+    /// execution and check every consecutive pair of rounds.
+    #[test]
+    fn stable_sets_are_monotone(g in arb_graph(), seed in 0u64..200) {
+        let algo = Algorithm1::new(&g, LmaxPolicy::own_degree(&g));
+        let config = RunConfig::new(seed);
+        let init = initial_levels(&algo, &config);
+        let lmax = algo.policy().lmax_values().to_vec();
+        let mut sim = Simulator::new(&g, algo.clone(), init, seed);
+        let mut prev: Vec<bool> = Snapshot::new(&g, &lmax, sim.states()).stable_set().to_vec();
+        for _ in 0..300 {
+            sim.step();
+            let snap = Snapshot::new(&g, &lmax, sim.states());
+            let cur = snap.stable_set().to_vec();
+            for v in g.nodes() {
+                prop_assert!(!prev[v] || cur[v], "vertex {v} left the stable set");
+            }
+            if snap.is_stabilized() {
+                break;
+            }
+            prev = cur;
+        }
+    }
+
+    /// Lemma 3.1: after max_w ℓmax(w) rounds, every vertex has ℓ > 0 or
+    /// μ > 0, forever after.
+    #[test]
+    fn lemma31_invariant_holds_after_burn_in(g in arb_graph(), seed in 0u64..200) {
+        let algo = Algorithm1::new(&g, LmaxPolicy::global_delta(&g));
+        let config = RunConfig::new(seed).with_init(InitialLevels::AllClaiming);
+        let init = initial_levels(&algo, &config);
+        let lmax = algo.policy().lmax_values().to_vec();
+        let mut sim = Simulator::new(&g, algo.clone(), init, seed);
+        sim.run(algo.policy().max_lmax() as u64 + 1);
+        for _ in 0..100 {
+            sim.step();
+            let snap = Snapshot::new(&g, &lmax, sim.states());
+            for v in g.nodes() {
+                prop_assert!(
+                    snap.level(v) > 0 || snap.mu(v) > 0.0,
+                    "Lemma 3.1 violated at vertex {v}: ℓ={} μ={}",
+                    snap.level(v),
+                    snap.mu(v)
+                );
+            }
+        }
+    }
+
+    /// Once stabilized, the configuration is a fixpoint: absent faults, no
+    /// level ever changes again.
+    #[test]
+    fn stabilized_configuration_is_fixpoint(g in arb_graph(), seed in 0u64..200) {
+        let algo = Algorithm1::new(&g, LmaxPolicy::global_delta(&g));
+        let outcome = algo.run(&g, RunConfig::new(seed)).expect("stabilizes");
+        let mut sim = Simulator::new(&g, algo.clone(), outcome.levels.clone(), seed ^ 0xF00);
+        sim.run(50);
+        prop_assert_eq!(sim.states(), outcome.levels.as_slice());
+    }
+
+    /// Levels always remain inside the state space (the RAM invariant),
+    /// whatever happens.
+    #[test]
+    fn levels_stay_in_state_space(g in arb_graph(), seed in 0u64..200, raw in arb_raw_levels(28)) {
+        let algo = Algorithm1::new(&g, LmaxPolicy::own_degree(&g));
+        let config = RunConfig::new(seed).with_init(InitialLevels::Custom(raw[..g.len()].to_vec()));
+        let init = initial_levels(&algo, &config);
+        let mut sim = Simulator::new(&g, algo.clone(), init, seed);
+        for _ in 0..120 {
+            sim.step();
+            for v in g.nodes() {
+                let l: Level = *sim.state(v);
+                let lm = algo.policy().lmax(v);
+                prop_assert!((-lm..=lm).contains(&l));
+            }
+        }
+    }
+
+    /// The MIS produced from two different seeds may differ, but both are
+    /// valid — and the stable-MIS extraction agrees with independent
+    /// re-verification against the definition.
+    #[test]
+    fn extraction_matches_definition(g in arb_graph(), seed in 0u64..100) {
+        let algo = Algorithm1::new(&g, LmaxPolicy::global_delta(&g));
+        let outcome = algo.run(&g, RunConfig::new(seed)).expect("stabilizes");
+        for v in g.nodes() {
+            let in_mis = outcome.levels[v] == -algo.policy().lmax(v)
+                && g.neighbors(v)
+                    .iter()
+                    .all(|&u| outcome.levels[u as usize] == algo.policy().lmax(u as usize));
+            prop_assert_eq!(outcome.mis[v], in_mis);
+        }
+    }
+
+    /// Recovery from a mid-run fault always reaches a valid MIS again.
+    #[test]
+    fn recovery_is_universal(g in arb_graph(), seed in 0u64..100, frac in 0.05f64..1.0) {
+        let algo = Algorithm1::new(&g, LmaxPolicy::global_delta(&g));
+        let rec = mis::runner::run_recovery(
+            &g,
+            &algo,
+            seed,
+            beeping::faults::FaultTarget::RandomFraction(frac),
+            1_000_000,
+        )
+        .expect("recovers");
+        prop_assert!(graphs::mis::is_maximal_independent_set(&g, &rec.mis));
+    }
+}
