@@ -151,15 +151,10 @@ impl FitReport {
     /// Fits every candidate model and returns the reports ordered from best
     /// to worst `R²`.
     pub fn compare_all(sizes: &[usize], times: &[f64]) -> Vec<FitReport> {
-        let mut reports: Vec<FitReport> = GrowthModel::all()
-            .into_iter()
-            .map(|m| FitReport::fit(m, sizes, times))
-            .collect();
+        let mut reports: Vec<FitReport> =
+            GrowthModel::all().into_iter().map(|m| FitReport::fit(m, sizes, times)).collect();
         reports.sort_by(|a, b| {
-            b.fit
-                .r_squared
-                .partial_cmp(&a.fit.r_squared)
-                .expect("R² is never NaN")
+            b.fit.r_squared.partial_cmp(&a.fit.r_squared).expect("R² is never NaN")
         });
         reports
     }

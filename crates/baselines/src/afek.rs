@@ -148,9 +148,8 @@ impl BeepingProtocol for AfekStyleMis {
                 }
             }
             Status::Competing => {
-                let competes = !announce
-                    && !state.withdrawn
-                    && (state.won || state.clock == state.slot);
+                let competes =
+                    !announce && !state.withdrawn && (state.won || state.clock == state.slot);
                 if competes || (announce && state.won) {
                     BeepSignal::channel1()
                 } else {

@@ -55,12 +55,7 @@ impl JsxState {
     /// The clean initial state the algorithm's analysis assumes:
     /// `p = ½`, competition round next, active.
     pub fn clean() -> JsxState {
-        JsxState {
-            prob_exp: 1,
-            parity: 0,
-            heard_in_competition: false,
-            status: JsxStatus::Active,
-        }
+        JsxState { prob_exp: 1, parity: 0, heard_in_competition: false, status: JsxStatus::Active }
     }
 }
 
@@ -97,9 +92,7 @@ impl JsxMis {
     /// `true` when no vertex is active or joining — the algorithm has
     /// terminated and the `InMis` vertices are its answer.
     pub fn is_terminated(&self, states: &[JsxState]) -> bool {
-        states
-            .iter()
-            .all(|s| matches!(s.status, JsxStatus::InMis | JsxStatus::OutOfMis))
+        states.iter().all(|s| matches!(s.status, JsxStatus::InMis | JsxStatus::OutOfMis))
     }
 
     /// Extracts the MIS bitmap.
@@ -110,12 +103,7 @@ impl JsxMis {
     /// Runs from the clean synchronized start until termination; returns
     /// the membership bitmap and the number of rounds, or `None` if the
     /// round budget is exhausted.
-    pub fn run_clean(
-        &self,
-        graph: &Graph,
-        seed: u64,
-        max_rounds: u64,
-    ) -> Option<(Vec<bool>, u64)> {
+    pub fn run_clean(&self, graph: &Graph, seed: u64, max_rounds: u64) -> Option<(Vec<bool>, u64)> {
         self.run_from(graph, vec![JsxState::clean(); graph.len()], seed, max_rounds)
     }
 
@@ -218,8 +206,7 @@ mod tests {
         .iter()
         .enumerate()
         {
-            let (mis, rounds) =
-                JsxMis::new().run_clean(g, i as u64, 100_000).expect("terminates");
+            let (mis, rounds) = JsxMis::new().run_clean(g, i as u64, 100_000).expect("terminates");
             assert!(graphs::mis::is_maximal_independent_set(g, &mis), "graph {i}");
             assert!(rounds > 0);
         }

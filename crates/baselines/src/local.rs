@@ -76,9 +76,8 @@ impl<'g, P: LocalProtocol> LocalSimulator<'g, P> {
     /// Executes one synchronous message-passing round.
     pub fn step(&mut self) {
         let n = self.graph.len();
-        let messages: Vec<P::Message> = (0..n)
-            .map(|v| self.protocol.send(v, &self.states[v], &mut self.rngs[v]))
-            .collect();
+        let messages: Vec<P::Message> =
+            (0..n).map(|v| self.protocol.send(v, &self.states[v], &mut self.rngs[v])).collect();
         let mut inbox: Vec<P::Message> = Vec::new();
         for v in 0..n {
             inbox.clear();

@@ -68,10 +68,8 @@ impl LocalProtocol for Luby {
         match state.phase {
             Phase::Draw => {
                 if state.status == Status::Active {
-                    let is_local_min = inbox
-                        .iter()
-                        .filter(|m| m.active)
-                        .all(|m| state.priority < m.priority);
+                    let is_local_min =
+                        inbox.iter().filter(|m| m.active).all(|m| state.priority < m.priority);
                     state.joining = is_local_min;
                     if is_local_min {
                         state.status = Status::InMis;
@@ -117,10 +115,11 @@ fn redraw_priorities(states: &mut [LubyState], rngs: &mut [Pcg64Mcg]) {
 /// ```
 pub fn luby_mis(graph: &Graph, seed: u64, max_iterations: u64) -> Option<(Vec<bool>, u64)> {
     let n = graph.len();
-    let init = vec![
-        LubyState { status: Status::Active, phase: Phase::Draw, priority: 0, joining: false };
-        n
-    ];
+    let init =
+        vec![
+            LubyState { status: Status::Active, phase: Phase::Draw, priority: 0, joining: false };
+            n
+        ];
     let mut sim = LocalSimulator::new(graph, Luby, init, seed);
     // Dedicated priority RNGs (separate from the substrate's message RNGs).
     let mut rngs = beeping::rng::node_rngs(seed ^ 0x9E37_79B9, n);

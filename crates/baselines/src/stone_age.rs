@@ -262,13 +262,19 @@ impl<P: BeepingProtocol> BeepingInStoneAge<P> {
         P: Clone,
     {
         let primer = self.inner.clone();
-        StoneAgeSimulator::with_drawn_letters(graph, self, initial_states, seed, move |v, s, rng| {
-            if primer.transmit(v, s, rng).on_channel1() {
-                LETTER_BEEP
-            } else {
-                LETTER_SILENT
-            }
-        })
+        StoneAgeSimulator::with_drawn_letters(
+            graph,
+            self,
+            initial_states,
+            seed,
+            move |v, s, rng| {
+                if primer.transmit(v, s, rng).on_channel1() {
+                    LETTER_BEEP
+                } else {
+                    LETTER_SILENT
+                }
+            },
+        )
     }
 }
 
@@ -291,11 +297,8 @@ impl<P: BeepingProtocol> StoneAgeProtocol for BeepingInStoneAge<P> {
         counts: &[usize],
         rng: &mut dyn RngCore,
     ) -> u8 {
-        let sent = if displayed == LETTER_BEEP {
-            BeepSignal::channel1()
-        } else {
-            BeepSignal::silent()
-        };
+        let sent =
+            if displayed == LETTER_BEEP { BeepSignal::channel1() } else { BeepSignal::silent() };
         let heard = if counts[LETTER_BEEP as usize] >= 1 {
             BeepSignal::channel1()
         } else {
@@ -365,7 +368,14 @@ mod tests {
             fn bound(&self) -> usize {
                 1
             }
-            fn step(&self, _: NodeId, _: &mut (), displayed: u8, _: &[usize], _: &mut dyn RngCore) -> u8 {
+            fn step(
+                &self,
+                _: NodeId,
+                _: &mut (),
+                displayed: u8,
+                _: &[usize],
+                _: &mut dyn RngCore,
+            ) -> u8 {
                 1 - displayed
             }
         }
@@ -420,11 +430,7 @@ mod tests {
         for round in 1..=300u64 {
             native.step();
             stone.step();
-            assert_eq!(
-                native.states(),
-                stone.states(),
-                "divergence at round {round}"
-            );
+            assert_eq!(native.states(), stone.states(), "divergence at round {round}");
         }
     }
 
@@ -437,9 +443,8 @@ mod tests {
         let embedded = BeepingInStoneAge::new(algo.clone());
         let mut stone = embedded.into_simulator(&g, init, 2);
         let lmax = algo.policy().lmax_values().to_vec();
-        let done = stone.run_until(1_000_000, |levels| {
-            mis::observer::is_stabilized(&g, &lmax, levels)
-        });
+        let done =
+            stone.run_until(1_000_000, |levels| mis::observer::is_stabilized(&g, &lmax, levels));
         assert!(done.is_some());
         let mis_set = algo.mis_members(&g, stone.states());
         assert!(graphs::mis::is_maximal_independent_set(&g, &mis_set));
@@ -464,7 +469,14 @@ mod tests {
             fn bound(&self) -> usize {
                 1
             }
-            fn step(&self, _: NodeId, s: &mut u32, _: u8, _: &[usize], rng: &mut dyn RngCore) -> u8 {
+            fn step(
+                &self,
+                _: NodeId,
+                s: &mut u32,
+                _: u8,
+                _: &[usize],
+                rng: &mut dyn RngCore,
+            ) -> u8 {
                 let bit = rng.gen_range(0..2u8);
                 *s = s.wrapping_mul(31).wrapping_add(bit as u32);
                 bit

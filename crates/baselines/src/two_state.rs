@@ -182,9 +182,8 @@ mod tests {
     fn adjacent_in_pair_resolves() {
         let g = classic::path(2);
         let algo = TwoStateMis::new();
-        let (mis, _) = algo
-            .run_from(&g, vec![TwoState::In, TwoState::In], 1, 1_000_000)
-            .expect("resolves");
+        let (mis, _) =
+            algo.run_from(&g, vec![TwoState::In, TwoState::In], 1, 1_000_000).expect("resolves");
         assert!(graphs::mis::is_maximal_independent_set(&g, &mis));
     }
 
@@ -192,9 +191,8 @@ mod tests {
     fn all_out_recovers() {
         let g = classic::cycle(8);
         let algo = TwoStateMis::new();
-        let (mis, rounds) = algo
-            .run_from(&g, vec![TwoState::Out; 8], 1, 1_000_000)
-            .expect("recovers");
+        let (mis, rounds) =
+            algo.run_from(&g, vec![TwoState::Out; 8], 1, 1_000_000).expect("recovers");
         assert!(graphs::mis::is_maximal_independent_set(&g, &mis));
         assert!(rounds > 0);
     }
@@ -203,9 +201,6 @@ mod tests {
     fn deterministic() {
         let g = random::gnp(40, 0.1, 3);
         let algo = TwoStateMis::new();
-        assert_eq!(
-            algo.run_random_init(&g, 7, 5_000_000),
-            algo.run_random_init(&g, 7, 5_000_000)
-        );
+        assert_eq!(algo.run_random_init(&g, 7, 5_000_000), algo.run_random_init(&g, 7, 5_000_000));
     }
 }

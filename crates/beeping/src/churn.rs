@@ -1,0 +1,194 @@
+//! Topology churn: scheduled edge and node events over one execution.
+//!
+//! The third fault axis next to RAM corruption ([`crate::faults`]) and
+//! channel noise ([`crate::channel`]): the communication graph itself
+//! changes while the protocol runs. A self-stabilizing algorithm treats a
+//! topology change exactly like a transient fault — the configuration it
+//! converged to is no longer legal for the new graph, and the stabilization
+//! bound applies again from the event.
+//!
+//! As with [`crate::faults::FaultPlan`], this module is the *scheduling*
+//! half; applying the events to a live execution is the simulator's job
+//! (edge events via [`crate::Simulator::insert_edge`] /
+//! [`crate::Simulator::remove_edge`], node events via
+//! [`crate::Simulator::node_leave`] / [`crate::Simulator::node_join`]).
+//! Node ids are stable across churn: a departed node stays allocated (and
+//! inactive) so it can later rejoin.
+
+use graphs::NodeId;
+
+/// A single topology mutation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChurnAction {
+    /// Insert the undirected edge `{u, v}` (no-op if already present).
+    AddEdge(NodeId, NodeId),
+    /// Remove the undirected edge `{u, v}` (no-op if absent).
+    RemoveEdge(NodeId, NodeId),
+    /// The node crashes/departs: all incident edges vanish and it stops
+    /// transmitting, hearing and updating state.
+    NodeLeave(NodeId),
+    /// The node (re)joins with the given incident edges and arbitrary
+    /// ("fresh boot") state.
+    NodeJoin(NodeId, Vec<NodeId>),
+}
+
+impl ChurnAction {
+    /// The node ids this action touches (for validation against `n`).
+    pub fn touched_nodes(&self) -> Vec<NodeId> {
+        match self {
+            ChurnAction::AddEdge(u, v) | ChurnAction::RemoveEdge(u, v) => vec![*u, *v],
+            ChurnAction::NodeLeave(v) => vec![*v],
+            ChurnAction::NodeJoin(v, neighbors) => {
+                let mut nodes = vec![*v];
+                nodes.extend_from_slice(neighbors);
+                nodes
+            }
+        }
+    }
+}
+
+/// A scheduled churn event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChurnEvent {
+    /// Round *after* which the event strikes (0 = mutate the initial graph
+    /// before any round runs).
+    pub after_round: u64,
+    /// The topology mutation.
+    pub action: ChurnAction,
+}
+
+impl ChurnEvent {
+    /// Creates an event applying `action` after `after_round` rounds.
+    pub fn new(after_round: u64, action: ChurnAction) -> ChurnEvent {
+        ChurnEvent { after_round, action }
+    }
+}
+
+/// A schedule of topology changes over one execution, kept sorted by round
+/// (insertion order among events of the same round).
+///
+/// # Example
+///
+/// ```
+/// use beeping::churn::{ChurnAction, ChurnPlan};
+///
+/// let plan = ChurnPlan::new()
+///     .with_event(50, ChurnAction::RemoveEdge(0, 1))
+///     .with_event(20, ChurnAction::NodeLeave(3))
+///     .with_event(80, ChurnAction::NodeJoin(3, vec![0, 2]));
+/// assert_eq!(plan.events().len(), 3);
+/// assert_eq!(plan.events()[0].after_round, 20); // sorted on insert
+/// assert_eq!(plan.last_event_round(), Some(80));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChurnPlan {
+    events: Vec<ChurnEvent>,
+}
+
+impl ChurnPlan {
+    /// An empty plan (static topology).
+    pub fn new() -> ChurnPlan {
+        ChurnPlan::default()
+    }
+
+    /// Adds an event (builder style).
+    pub fn with_event(mut self, after_round: u64, action: ChurnAction) -> ChurnPlan {
+        self.push(ChurnEvent::new(after_round, action));
+        self
+    }
+
+    /// Adds an event in place, keeping the schedule sorted by round (stable
+    /// among events of the same round).
+    pub fn push(&mut self, event: ChurnEvent) {
+        let pos = self.events.partition_point(|e| e.after_round <= event.after_round);
+        self.events.insert(pos, event);
+    }
+
+    /// The scheduled events, sorted by round (insertion order within a
+    /// round).
+    pub fn events(&self) -> &[ChurnEvent] {
+        &self.events
+    }
+
+    /// `true` if no event is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// All events scheduled exactly after `round`, in schedule order.
+    pub fn events_after_round(&self, round: u64) -> impl Iterator<Item = &ChurnEvent> {
+        self.events.iter().filter(move |e| e.after_round == round)
+    }
+
+    /// The latest scheduled event round, or `None` for an empty plan.
+    pub fn last_event_round(&self) -> Option<u64> {
+        self.events.last().map(|e| e.after_round)
+    }
+
+    /// Panics if any event references a node `>= n` — called by drivers
+    /// before execution so schedule typos fail fast.
+    pub fn validate(&self, n: usize) {
+        for event in &self.events {
+            for v in event.action.touched_nodes() {
+                assert!(
+                    v < n,
+                    "churn event at round {} references node {v}, but n={n}",
+                    event.after_round
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_sorts_on_insert() {
+        let plan = ChurnPlan::new()
+            .with_event(30, ChurnAction::AddEdge(0, 1))
+            .with_event(10, ChurnAction::NodeLeave(2))
+            .with_event(30, ChurnAction::RemoveEdge(1, 2))
+            .with_event(20, ChurnAction::NodeJoin(2, vec![0]));
+        let rounds: Vec<u64> = plan.events().iter().map(|e| e.after_round).collect();
+        assert_eq!(rounds, vec![10, 20, 30, 30]);
+        // Same-round events keep insertion order.
+        assert_eq!(plan.events()[2].action, ChurnAction::AddEdge(0, 1));
+        assert_eq!(plan.events()[3].action, ChurnAction::RemoveEdge(1, 2));
+        assert_eq!(plan.last_event_round(), Some(30));
+        assert!(!plan.is_empty());
+        assert!(ChurnPlan::new().is_empty());
+        assert_eq!(ChurnPlan::new().last_event_round(), None);
+    }
+
+    #[test]
+    fn events_after_round_filters() {
+        let plan = ChurnPlan::new()
+            .with_event(5, ChurnAction::AddEdge(0, 1))
+            .with_event(5, ChurnAction::NodeLeave(1))
+            .with_event(9, ChurnAction::RemoveEdge(0, 1));
+        assert_eq!(plan.events_after_round(5).count(), 2);
+        assert_eq!(plan.events_after_round(9).count(), 1);
+        assert_eq!(plan.events_after_round(7).count(), 0);
+    }
+
+    #[test]
+    fn touched_nodes_covers_all_variants() {
+        assert_eq!(ChurnAction::AddEdge(1, 2).touched_nodes(), vec![1, 2]);
+        assert_eq!(ChurnAction::RemoveEdge(3, 4).touched_nodes(), vec![3, 4]);
+        assert_eq!(ChurnAction::NodeLeave(5).touched_nodes(), vec![5]);
+        assert_eq!(ChurnAction::NodeJoin(6, vec![7, 8]).touched_nodes(), vec![6, 7, 8]);
+    }
+
+    #[test]
+    fn validate_accepts_in_range() {
+        ChurnPlan::new().with_event(1, ChurnAction::NodeJoin(2, vec![0, 1])).validate(3);
+    }
+
+    #[test]
+    #[should_panic(expected = "references node 7")]
+    fn validate_rejects_out_of_range() {
+        ChurnPlan::new().with_event(1, ChurnAction::AddEdge(0, 7)).validate(3);
+    }
+}

@@ -42,7 +42,13 @@ impl FaultTarget {
                 for &v in nodes {
                     assert!(v < n, "fault target node {v} out of range for n={n}");
                 }
-                nodes.clone()
+                // Normalize: every select() variant yields sorted, distinct
+                // nodes, so callers corrupt each victim exactly once and in
+                // a schedule-independent order.
+                let mut nodes = nodes.clone();
+                nodes.sort_unstable();
+                nodes.dedup();
+                nodes
             }
             FaultTarget::RandomCount(count) => {
                 assert!(*count <= n, "cannot corrupt {count} of {n} nodes");
@@ -103,16 +109,19 @@ impl FaultPlan {
 
     /// Adds a fault event (builder style).
     pub fn with_fault(mut self, after_round: u64, target: FaultTarget) -> FaultPlan {
-        self.events.push(TransientFault::new(after_round, target));
+        self.push(TransientFault::new(after_round, target));
         self
     }
 
-    /// Adds a fault event in place.
+    /// Adds a fault event in place, keeping the schedule sorted by round
+    /// (stable: events of the same round keep their insertion order).
     pub fn push(&mut self, fault: TransientFault) {
-        self.events.push(fault);
+        let pos = self.events.partition_point(|e| e.after_round <= fault.after_round);
+        self.events.insert(pos, fault);
     }
 
-    /// The scheduled events, sorted by round.
+    /// The scheduled events, sorted by round (insertion order within a
+    /// round).
     pub fn events(&self) -> &[TransientFault] {
         &self.events
     }
@@ -122,14 +131,15 @@ impl FaultPlan {
         self.events.is_empty()
     }
 
-    /// All events scheduled exactly after `round`, in insertion order.
+    /// All events scheduled exactly after `round`, in schedule order. A
+    /// linear scan, deliberately independent of the storage order.
     pub fn events_after_round(&self, round: u64) -> impl Iterator<Item = &TransientFault> {
         self.events.iter().filter(move |e| e.after_round == round)
     }
 
     /// The latest scheduled fault round, or `None` for an empty plan.
     pub fn last_fault_round(&self) -> Option<u64> {
-        self.events.iter().map(|e| e.after_round).max()
+        self.events.last().map(|e| e.after_round)
     }
 }
 
@@ -145,9 +155,9 @@ mod tests {
     }
 
     #[test]
-    fn select_explicit() {
+    fn select_explicit_sorts_and_dedups() {
         let mut rng = aux_rng(0, 0);
-        assert_eq!(FaultTarget::Nodes(vec![2, 0]).select(4, &mut rng), vec![2, 0]);
+        assert_eq!(FaultTarget::Nodes(vec![2, 0, 2, 3, 0]).select(4, &mut rng), vec![0, 2, 3]);
     }
 
     #[test]
@@ -201,5 +211,20 @@ mod tests {
         assert_eq!(plan.events_after_round(5).count(), 1);
         assert_eq!(plan.events_after_round(7).count(), 0);
         assert_eq!(FaultPlan::new().last_fault_round(), None);
+    }
+
+    #[test]
+    fn plan_sorts_on_insert() {
+        // events() promises round-sorted order regardless of insertion
+        // order, with stable ordering within a round.
+        let plan = FaultPlan::new()
+            .with_fault(10, FaultTarget::All)
+            .with_fault(5, FaultTarget::RandomCount(1))
+            .with_fault(10, FaultTarget::RandomFraction(0.5))
+            .with_fault(1, FaultTarget::Nodes(vec![0]));
+        let rounds: Vec<u64> = plan.events().iter().map(|e| e.after_round).collect();
+        assert_eq!(rounds, vec![1, 5, 10, 10]);
+        assert_eq!(plan.events()[2].target, FaultTarget::All);
+        assert_eq!(plan.events()[3].target, FaultTarget::RandomFraction(0.5));
     }
 }

@@ -23,8 +23,16 @@
 //!   deterministic per-node randomness;
 //! - [`faults`]: the transient-fault model of the paper (§1.1): node state
 //!   (RAM) can be corrupted arbitrarily, code (ROM) cannot;
+//! - [`channel`]: the unreliable-channel adversary — beep loss, spurious
+//!   beeps, Gilbert burst noise and jammer nodes — applied between the
+//!   network's OR-aggregation and each node's `receive`;
+//! - [`churn`]: scheduled topology churn (edge insert/delete, node
+//!   leave/join) applied to a copy-on-write graph mid-execution;
 //! - [`trace`]: per-round observations for the analysis experiments;
 //! - [`rng`]: deterministic per-node random streams.
+//!
+//! The three fault axes — RAM corruption, channel noise, topology churn —
+//! are orthogonal and compose; see `DESIGN.md` ("Fault & adversary model").
 //!
 //! # Example
 //!
@@ -51,12 +59,16 @@
 //! assert_eq!(report.beeps_channel1, 8);
 //! ```
 
+pub mod channel;
+pub mod churn;
 pub mod faults;
 pub mod protocol;
-pub mod sleep;
 pub mod rng;
 pub mod sim;
+pub mod sleep;
 pub mod trace;
 
+pub use channel::{BurstNoise, ChannelFault, ChannelState, JammerKind};
+pub use churn::{ChurnAction, ChurnEvent, ChurnPlan};
 pub use protocol::{BeepSignal, BeepingProtocol, Channels};
 pub use sim::Simulator;

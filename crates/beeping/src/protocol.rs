@@ -32,6 +32,15 @@ impl Channels {
             Channels::Two => 0b11,
         }
     }
+
+    /// The signal that beeps on *every* declared channel — what an
+    /// always-beeping jammer emits.
+    pub fn full_signal(self) -> BeepSignal {
+        match self {
+            Channels::One => BeepSignal::channel1(),
+            Channels::Two => BeepSignal::both(),
+        }
+    }
 }
 
 /// A per-round beep decision or observation: one bit per channel.
@@ -186,6 +195,14 @@ mod tests {
     fn channel_counts() {
         assert_eq!(Channels::One.count(), 1);
         assert_eq!(Channels::Two.count(), 2);
+    }
+
+    #[test]
+    fn full_signal_covers_declared_channels() {
+        assert_eq!(Channels::One.full_signal(), BeepSignal::channel1());
+        assert_eq!(Channels::Two.full_signal(), BeepSignal::both());
+        assert!(Channels::One.full_signal().allowed_by(Channels::One));
+        assert!(Channels::Two.full_signal().allowed_by(Channels::Two));
     }
 
     #[test]

@@ -36,7 +36,8 @@ pub fn node_rngs(master_seed: u64, n: usize) -> Vec<Pcg64Mcg> {
 /// Derives an auxiliary RNG stream (for fault injection, initial-state
 /// sampling, …) that is independent of every node stream.
 pub fn aux_rng(master_seed: u64, purpose: u64) -> Pcg64Mcg {
-    let mixed = split_mix64(master_seed.wrapping_add(0xA5A5_A5A5).rotate_left(17) ^ split_mix64(!purpose));
+    let mixed =
+        split_mix64(master_seed.wrapping_add(0xA5A5_A5A5).rotate_left(17) ^ split_mix64(!purpose));
     Pcg64Mcg::seed_from_u64(mixed)
 }
 

@@ -1,13 +1,22 @@
 //! Round execution of a [`BeepingProtocol`] over a graph.
 
+use std::borrow::Cow;
+
 use graphs::{Graph, NodeId};
+use rand::Rng;
 use rand_pcg::Pcg64Mcg;
 
+use crate::channel::{ChannelFault, ChannelState, JammerKind};
 use crate::protocol::{BeepSignal, BeepingProtocol};
 use crate::rng;
 use crate::trace::RoundReport;
 
 pub use crate::protocol::Channels as SimulatorChannels;
+
+/// Purpose tag of the channel-noise RNG stream (see [`rng::aux_rng`]); kept
+/// disjoint from every node stream and from the fault/init streams used by
+/// downstream crates.
+const CHANNEL_RNG_PURPOSE: u64 = 0xC4A7_7E57;
 
 /// Listening capability of a transmitting node.
 ///
@@ -38,14 +47,30 @@ pub enum DuplexMode {
 /// 3. every node updates its state via [`BeepingProtocol::receive`].
 ///
 /// The simulator is deterministic for a fixed `(graph, protocol, initial
-/// states, master seed)`.
+/// states, master seed, channel model, churn schedule)`.
+///
+/// # Unreliable-network extensions
+///
+/// Two adversary axes beyond the paper's model compose with everything
+/// else:
+///
+/// - an unreliable channel ([`Simulator::with_channel`]): beep loss,
+///   spurious beeps, burst-noise windows and jammer nodes, applied between
+///   the OR-aggregation and `receive`. Channel randomness comes from a
+///   dedicated stream, so a [`ChannelFault::reliable`] configuration
+///   reproduces noise-free executions bit-for-bit;
+/// - topology churn ([`Simulator::insert_edge`], [`Simulator::remove_edge`],
+///   [`Simulator::node_leave`], [`Simulator::node_join`]): the graph view is
+///   copy-on-write, so the borrowed input graph is cloned on the first
+///   mutation and untouched otherwise. A departed node stays allocated but
+///   *inactive* — silent, deaf, state frozen — until it rejoins.
 ///
 /// # Example
 ///
 /// See the crate-level example in [`crate`].
 #[derive(Debug)]
 pub struct Simulator<'g, P: BeepingProtocol> {
-    graph: &'g Graph,
+    graph: Cow<'g, Graph>,
     protocol: P,
     states: Vec<P::State>,
     rngs: Vec<Pcg64Mcg>,
@@ -53,6 +78,10 @@ pub struct Simulator<'g, P: BeepingProtocol> {
     sent: Vec<BeepSignal>,
     heard: Vec<BeepSignal>,
     duplex: DuplexMode,
+    channel: ChannelFault,
+    channel_state: ChannelState,
+    channel_rng: Pcg64Mcg,
+    active: Vec<bool>,
 }
 
 impl<'g, P: BeepingProtocol> Simulator<'g, P> {
@@ -68,14 +97,10 @@ impl<'g, P: BeepingProtocol> Simulator<'g, P> {
         initial_states: Vec<P::State>,
         seed: u64,
     ) -> Simulator<'g, P> {
-        assert_eq!(
-            initial_states.len(),
-            graph.len(),
-            "one initial state per node is required"
-        );
+        assert_eq!(initial_states.len(), graph.len(), "one initial state per node is required");
         let n = graph.len();
         Simulator {
-            graph,
+            graph: Cow::Borrowed(graph),
             protocol,
             states: initial_states,
             rngs: rng::node_rngs(seed, n),
@@ -83,6 +108,10 @@ impl<'g, P: BeepingProtocol> Simulator<'g, P> {
             sent: vec![BeepSignal::silent(); n],
             heard: vec![BeepSignal::silent(); n],
             duplex: DuplexMode::Full,
+            channel: ChannelFault::reliable(),
+            channel_state: ChannelState::default(),
+            channel_rng: rng::aux_rng(seed, CHANNEL_RNG_PURPOSE),
+            active: vec![true; n],
         }
     }
 
@@ -93,14 +122,51 @@ impl<'g, P: BeepingProtocol> Simulator<'g, P> {
         self
     }
 
+    /// Installs an unreliable-channel model (builder style); the default is
+    /// [`ChannelFault::reliable`], the paper's perfect channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a declared jammer node is out of range.
+    pub fn with_channel(mut self, channel: ChannelFault) -> Simulator<'g, P> {
+        self.set_channel(channel);
+        self
+    }
+
+    /// Replaces the channel model mid-run (e.g. to start or stop a noise
+    /// regime at an adversary-chosen round). The burst-window position is
+    /// reset to the good state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a declared jammer node is out of range.
+    pub fn set_channel(&mut self, channel: ChannelFault) {
+        let n = self.graph.len();
+        for &(v, _) in channel.jammers() {
+            assert!(v < n, "jammer node {v} out of range for n={n}");
+        }
+        self.channel = channel;
+        self.channel_state = ChannelState::default();
+    }
+
     /// The active duplex mode.
     pub fn duplex(&self) -> DuplexMode {
         self.duplex
     }
 
-    /// The graph being simulated.
+    /// The installed channel model.
+    pub fn channel(&self) -> &ChannelFault {
+        &self.channel
+    }
+
+    /// The channel model's per-execution state (the burst-window position).
+    pub fn channel_state(&self) -> &ChannelState {
+        &self.channel_state
+    }
+
+    /// The graph being simulated (the current, possibly churned, topology).
     pub fn graph(&self) -> &Graph {
-        self.graph
+        &self.graph
     }
 
     /// The protocol (the ROM).
@@ -145,6 +211,79 @@ impl<'g, P: BeepingProtocol> Simulator<'g, P> {
         }
     }
 
+    /// Topology churn: inserts the undirected edge `{u, v}` (copy-on-write;
+    /// the borrowed input graph is never modified). Returns `true` if the
+    /// edge was new.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range or `u == v` — a malformed churn
+    /// schedule is a model violation, not a recoverable condition.
+    pub fn insert_edge(&mut self, u: NodeId, v: NodeId) -> bool {
+        self.graph.to_mut().insert_edge(u, v).expect("churn edge must be a valid simple edge")
+    }
+
+    /// Topology churn: removes the undirected edge `{u, v}`; returns `true`
+    /// if it was present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range.
+    pub fn remove_edge(&mut self, u: NodeId, v: NodeId) -> bool {
+        self.graph.to_mut().remove_edge(u, v)
+    }
+
+    /// Topology churn: node `v` departs. All its incident edges are removed
+    /// and the node becomes inactive — silent, deaf and frozen — until
+    /// [`Simulator::node_join`] brings it back. Returns the number of edges
+    /// removed. Idempotent for an already-departed node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn node_leave(&mut self, v: NodeId) -> usize {
+        let removed = self.graph.to_mut().isolate_node(v);
+        self.active[v] = false;
+        removed
+    }
+
+    /// Topology churn: node `v` (re)joins with edges to `neighbors` and the
+    /// given state (a joining node boots with *arbitrary* RAM — pass
+    /// whatever the adversary chooses). Edges already present are kept.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` or a neighbor is out of range, or `neighbors` contains
+    /// `v` itself.
+    pub fn node_join(&mut self, v: NodeId, neighbors: &[NodeId], state: P::State) {
+        let graph = self.graph.to_mut();
+        for &u in neighbors {
+            graph.insert_edge(v, u).expect("churn join edge must be a valid simple edge");
+        }
+        self.active[v] = true;
+        self.states[v] = state;
+    }
+
+    /// `true` if `v` currently participates (has not departed via
+    /// [`Simulator::node_leave`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn is_active(&self, v: NodeId) -> bool {
+        self.active[v]
+    }
+
+    /// The participation bitmap, indexed by node id.
+    pub fn active(&self) -> &[bool] {
+        &self.active
+    }
+
+    /// Number of currently participating nodes.
+    pub fn active_count(&self) -> usize {
+        self.active.iter().filter(|&&a| a).count()
+    }
+
     /// The transmissions of the most recent round (all silent before the
     /// first [`Simulator::step`]).
     pub fn last_sent(&self) -> &[BeepSignal] {
@@ -158,6 +297,14 @@ impl<'g, P: BeepingProtocol> Simulator<'g, P> {
 
     /// Executes one synchronous round and reports aggregate beep activity.
     ///
+    /// With the default reliable channel and all nodes active, this is
+    /// exactly the paper's round: transmit, OR over neighbors, receive.
+    /// Otherwise the unreliable-channel model is applied between the
+    /// OR-aggregation and `receive`: jammers override transmissions,
+    /// per-edge beep loss thins the OR, and spurious beeps are merged into
+    /// each listener's observation. Departed (inactive) nodes neither
+    /// transmit, hear, nor update state, and consume no node randomness.
+    ///
     /// # Panics
     ///
     /// Panics (in debug and release) if the protocol transmits on a channel
@@ -166,36 +313,76 @@ impl<'g, P: BeepingProtocol> Simulator<'g, P> {
     pub fn step(&mut self) -> RoundReport {
         let n = self.graph.len();
         let channels = self.protocol.channels();
-        // Phase 1: transmissions.
+        // Phase 0: advance the burst-noise window (no-op without bursts).
+        self.channel.advance_window(&mut self.channel_state, &mut self.channel_rng);
+        let drop_p = self.channel.effective_drop(&self.channel_state);
+        let spurious_p = self.channel.spurious_p;
+        // Phase 1: transmissions. Jammers override the protocol's decision —
+        // the radio is Byzantine, the RAM is not.
         for v in 0..n {
-            let signal = self.protocol.transmit(v, &self.states[v], &mut self.rngs[v]);
-            assert!(
-                signal.allowed_by(channels),
-                "protocol beeped on an undeclared channel (node {v}, signal {signal})"
-            );
+            let mut signal = if self.active[v] {
+                let s = self.protocol.transmit(v, &self.states[v], &mut self.rngs[v]);
+                assert!(
+                    s.allowed_by(channels),
+                    "protocol beeped on an undeclared channel (node {v}, signal {s})"
+                );
+                s
+            } else {
+                BeepSignal::silent()
+            };
+            if self.active[v] {
+                match self.channel.jammer(v) {
+                    Some(JammerKind::AlwaysBeep) => signal = channels.full_signal(),
+                    Some(JammerKind::AlwaysSilent) => signal = BeepSignal::silent(),
+                    None => {}
+                }
+            }
             self.sent[v] = signal;
         }
         // Phase 2: delivery — OR over neighbors, per channel. A node does
         // not hear itself: beeps are sent to neighbors only (paper §1).
         // Under half duplex, a transmitting node additionally hears nothing.
+        // The unreliable channel thins the OR (per-directed-edge loss) and
+        // may add spurious positives; a reliable channel draws no randomness
+        // here, keeping noise-free executions bit-identical to the paper's
+        // model.
         for v in 0..n {
             let mut heard = BeepSignal::silent();
-            if self.duplex == DuplexMode::Full || self.sent[v].is_silent() {
+            if self.active[v] && (self.duplex == DuplexMode::Full || self.sent[v].is_silent()) {
                 for &u in self.graph.neighbors(v) {
-                    heard.merge(self.sent[u as usize]);
+                    let u = u as usize;
+                    if !self.active[u] {
+                        continue;
+                    }
+                    let sig = self.sent[u];
+                    if sig.is_silent() {
+                        continue;
+                    }
+                    if drop_p > 0.0 && self.channel_rng.gen_bool(drop_p) {
+                        continue; // the beep is lost on this directed edge
+                    }
+                    heard.merge(sig);
+                }
+                if spurious_p > 0.0 {
+                    let c1 = self.channel_rng.gen_bool(spurious_p);
+                    let c2 =
+                        channels == SimulatorChannels::Two && self.channel_rng.gen_bool(spurious_p);
+                    heard.merge(BeepSignal::new(c1, c2));
                 }
             }
             self.heard[v] = heard;
         }
-        // Phase 3: state updates.
+        // Phase 3: state updates (departed nodes are frozen).
         for v in 0..n {
-            self.protocol.receive(
-                v,
-                &mut self.states[v],
-                self.sent[v],
-                self.heard[v],
-                &mut self.rngs[v],
-            );
+            if self.active[v] {
+                self.protocol.receive(
+                    v,
+                    &mut self.states[v],
+                    self.sent[v],
+                    self.heard[v],
+                    &mut self.rngs[v],
+                );
+            }
         }
         self.round += 1;
         RoundReport::from_signals(self.round, &self.sent, &self.heard)
@@ -236,8 +423,11 @@ impl<'g, P: BeepingProtocol> Simulator<'g, P> {
     }
 
     /// Captures the complete execution state — node states, per-node RNG
-    /// positions and the round counter — so the run can later be branched
-    /// or replayed from this exact point via [`Simulator::restore`].
+    /// positions, the round counter, the (possibly churned) topology, the
+    /// participation bitmap and the channel-noise stream position — so the
+    /// run can later be branched or replayed from this exact point via
+    /// [`Simulator::restore`]. The channel *configuration* is not captured:
+    /// a restore keeps whatever model is installed.
     pub fn checkpoint(&self) -> Checkpoint<P::State> {
         Checkpoint {
             states: self.states.clone(),
@@ -245,12 +435,17 @@ impl<'g, P: BeepingProtocol> Simulator<'g, P> {
             round: self.round,
             sent: self.sent.clone(),
             heard: self.heard.clone(),
+            graph: self.graph.clone().into_owned(),
+            active: self.active.clone(),
+            channel_state: self.channel_state,
+            channel_rng: self.channel_rng.clone(),
         }
     }
 
     /// Rewinds (or fast-forwards) the simulator to a previously captured
-    /// [`Checkpoint`]. Continuing from a restored checkpoint reproduces the
-    /// original continuation exactly.
+    /// [`Checkpoint`]. Continuing from a restored checkpoint under the same
+    /// channel configuration reproduces the original continuation exactly,
+    /// including any topology churn applied before the capture.
     ///
     /// # Panics
     ///
@@ -266,6 +461,10 @@ impl<'g, P: BeepingProtocol> Simulator<'g, P> {
         self.round = checkpoint.round;
         self.sent = checkpoint.sent.clone();
         self.heard = checkpoint.heard.clone();
+        self.graph = Cow::Owned(checkpoint.graph.clone());
+        self.active = checkpoint.active.clone();
+        self.channel_state = checkpoint.channel_state;
+        self.channel_rng = checkpoint.channel_rng.clone();
     }
 }
 
@@ -278,6 +477,10 @@ pub struct Checkpoint<S> {
     round: u64,
     sent: Vec<BeepSignal>,
     heard: Vec<BeepSignal>,
+    graph: Graph,
+    active: Vec<bool>,
+    channel_state: ChannelState,
+    channel_rng: Pcg64Mcg,
 }
 
 impl<S> Checkpoint<S> {
@@ -314,7 +517,14 @@ mod tests {
                 BeepSignal::silent()
             }
         }
-        fn receive(&self, _: NodeId, state: &mut u64, _: BeepSignal, heard: BeepSignal, _: &mut dyn RngCore) {
+        fn receive(
+            &self,
+            _: NodeId,
+            state: &mut u64,
+            _: BeepSignal,
+            heard: BeepSignal,
+            _: &mut dyn RngCore,
+        ) {
             if heard.on_channel1() {
                 *state += 1;
             }
@@ -339,14 +549,12 @@ mod tests {
         // Both path endpoints beep in round 1; under half duplex neither
         // hears the other, so neither counter advances.
         let g = classic::path(2);
-        let mut sim =
-            Simulator::new(&g, Parity, vec![0, 0], 0).with_duplex(DuplexMode::Half);
+        let mut sim = Simulator::new(&g, Parity, vec![0, 0], 0).with_duplex(DuplexMode::Half);
         assert_eq!(sim.duplex(), DuplexMode::Half);
         sim.step();
         assert_eq!(sim.states(), &[0, 0]);
         // A silent node still hears: make node 1 silent (odd counter).
-        let mut sim =
-            Simulator::new(&g, Parity, vec![0, 1], 0).with_duplex(DuplexMode::Half);
+        let mut sim = Simulator::new(&g, Parity, vec![0, 1], 0).with_duplex(DuplexMode::Half);
         sim.step();
         assert_eq!(sim.states(), &[0, 2]); // only the silent node heard
     }
@@ -377,7 +585,14 @@ mod tests {
                     BeepSignal::silent()
                 }
             }
-            fn receive(&self, _: NodeId, s: &mut u32, sent: BeepSignal, _: BeepSignal, _: &mut dyn RngCore) {
+            fn receive(
+                &self,
+                _: NodeId,
+                s: &mut u32,
+                sent: BeepSignal,
+                _: BeepSignal,
+                _: &mut dyn RngCore,
+            ) {
                 *s = s.wrapping_mul(31).wrapping_add(sent.on_channel1() as u32);
             }
         }
@@ -492,7 +707,15 @@ mod tests {
             fn transmit(&self, _: NodeId, _: &(), _: &mut dyn RngCore) -> BeepSignal {
                 BeepSignal::channel2()
             }
-            fn receive(&self, _: NodeId, _: &mut (), _: BeepSignal, _: BeepSignal, _: &mut dyn RngCore) {}
+            fn receive(
+                &self,
+                _: NodeId,
+                _: &mut (),
+                _: BeepSignal,
+                _: BeepSignal,
+                _: &mut dyn RngCore,
+            ) {
+            }
         }
         let g = classic::path(2);
         Simulator::new(&g, Cheater, vec![(), ()], 0).step();
@@ -503,5 +726,198 @@ mod tests {
     fn wrong_state_count_panics() {
         let g = classic::path(3);
         let _ = Simulator::new(&g, Parity, vec![0, 0], 0);
+    }
+
+    #[test]
+    fn full_drop_silences_every_delivery() {
+        // With drop_p = 1 nobody ever hears a beep, so Parity counters
+        // never advance even on a dense graph.
+        let g = classic::complete(6);
+        let mut sim = Simulator::new(&g, Parity, vec![0; 6], 3)
+            .with_channel(ChannelFault::reliable().with_drop(1.0));
+        sim.run(20);
+        assert_eq!(sim.states(), &[0; 6]);
+        // The beeps were still transmitted — only delivery failed.
+        assert!(sim.last_sent().iter().all(|s| s.on_channel1()));
+        assert!(sim.last_heard().iter().all(|h| h.is_silent()));
+    }
+
+    #[test]
+    fn full_spurious_reaches_isolated_nodes() {
+        // spurious_p = 1 makes even a totally disconnected node hear a beep
+        // every round: a pure false positive.
+        let g = Graph::empty(2);
+        let mut sim = Simulator::new(&g, Parity, vec![0, 0], 7)
+            .with_channel(ChannelFault::reliable().with_spurious(1.0));
+        sim.run(5);
+        assert_eq!(sim.states(), &[5, 5]);
+    }
+
+    #[test]
+    fn half_duplex_transmitters_get_no_spurious_beeps() {
+        // Half duplex deafens a transmitting node to spurious beeps too:
+        // noise is applied inside the hearing branch.
+        let g = Graph::empty(1);
+        let mut sim = Simulator::new(&g, Parity, vec![0], 7)
+            .with_duplex(DuplexMode::Half)
+            .with_channel(ChannelFault::reliable().with_spurious(1.0));
+        sim.step(); // counter 0 → beeping → deaf
+        assert_eq!(*sim.state(0), 0);
+        sim.step(); // still beeping (counter still even), still deaf
+        assert_eq!(*sim.state(0), 0);
+    }
+
+    #[test]
+    fn always_beep_jammer_overrides_protocol_silence() {
+        // Node 0 starts odd (silent under Parity) but is an AlwaysBeep
+        // jammer: its neighbor hears it anyway.
+        let g = classic::path(2);
+        let mut sim = Simulator::new(&g, Parity, vec![1, 1], 0)
+            .with_channel(ChannelFault::reliable().with_jammer(0, JammerKind::AlwaysBeep));
+        sim.step();
+        assert!(sim.last_sent()[0].on_channel1());
+        assert_eq!(sim.states(), &[1, 2]); // only node 1 heard a beep
+    }
+
+    #[test]
+    fn always_silent_jammer_mutes_protocol_beeps() {
+        // Node 0 starts even (beeping under Parity) but its radio is dead:
+        // the neighbor hears nothing.
+        let g = classic::path(2);
+        let mut sim = Simulator::new(&g, Parity, vec![0, 1], 0)
+            .with_channel(ChannelFault::reliable().with_jammer(0, JammerKind::AlwaysSilent));
+        sim.step();
+        assert!(sim.last_sent()[0].is_silent());
+        assert_eq!(sim.states(), &[0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "jammer node 9 out of range")]
+    fn out_of_range_jammer_rejected() {
+        let g = classic::path(2);
+        let _ = Simulator::new(&g, Parity, vec![0, 0], 0)
+            .with_channel(ChannelFault::reliable().with_jammer(9, JammerKind::AlwaysBeep));
+    }
+
+    #[test]
+    fn channel_noise_is_deterministic_for_seed() {
+        let g = classic::cycle(10);
+        let run = |seed| {
+            let mut sim = Simulator::new(&g, Parity, vec![0; 10], seed)
+                .with_channel(ChannelFault::reliable().with_drop(0.4).with_spurious(0.05));
+            sim.run(60);
+            sim.into_states()
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11), run(12));
+    }
+
+    #[test]
+    fn channel_noise_never_touches_node_streams() {
+        // Coin's state depends only on its own transmissions, which draw
+        // from the per-node streams — heavy channel noise must not perturb
+        // them, because channel randomness lives on a dedicated stream.
+        struct Coin;
+        impl BeepingProtocol for Coin {
+            type State = u32;
+            fn channels(&self) -> Channels {
+                Channels::One
+            }
+            fn transmit(&self, _: NodeId, _: &u32, rng: &mut dyn RngCore) -> BeepSignal {
+                if rng.next_u32() % 2 == 0 {
+                    BeepSignal::channel1()
+                } else {
+                    BeepSignal::silent()
+                }
+            }
+            fn receive(
+                &self,
+                _: NodeId,
+                s: &mut u32,
+                sent: BeepSignal,
+                _: BeepSignal,
+                _: &mut dyn RngCore,
+            ) {
+                *s = s.wrapping_mul(31).wrapping_add(sent.on_channel1() as u32);
+            }
+        }
+        let g = classic::cycle(8);
+        let run = |channel: ChannelFault| {
+            let mut sim = Simulator::new(&g, Coin, vec![0; 8], 42).with_channel(channel);
+            sim.run(40);
+            sim.into_states()
+        };
+        let clean = run(ChannelFault::reliable());
+        let noisy = run(ChannelFault::reliable().with_drop(0.9).with_spurious(0.9));
+        assert_eq!(clean, noisy);
+    }
+
+    #[test]
+    fn churn_edges_change_delivery() {
+        // Two isolated nodes never hear each other; after inserting the
+        // edge they do, and after removing it they stop again.
+        let g = Graph::empty(2);
+        let mut sim = Simulator::new(&g, Parity, vec![0, 0], 0);
+        sim.step();
+        assert_eq!(sim.states(), &[0, 0]);
+        assert!(sim.insert_edge(0, 1));
+        assert!(!sim.insert_edge(0, 1)); // idempotent
+        assert_eq!(sim.graph().degree(0), 1);
+        sim.step();
+        assert_eq!(sim.states(), &[1, 1]);
+        assert!(sim.remove_edge(0, 1));
+        assert!(!sim.remove_edge(0, 1));
+        sim.step();
+        assert_eq!(sim.states(), &[1, 1]);
+        // The borrowed input graph is untouched (copy-on-write).
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn node_leave_and_join_round_trip() {
+        let g = classic::path(3); // 0 - 1 - 2
+        let mut sim = Simulator::new(&g, Parity, vec![0, 0, 0], 0);
+        assert_eq!(sim.active_count(), 3);
+        assert_eq!(sim.node_leave(1), 2);
+        assert!(!sim.is_active(1));
+        assert_eq!(sim.active_count(), 2);
+        assert_eq!(sim.node_leave(1), 0); // idempotent
+        sim.step();
+        // The departed middle node is frozen; the endpoints are isolated.
+        assert_eq!(sim.states(), &[0, 0, 0]);
+        assert!(sim.last_sent()[1].is_silent());
+        // Rejoin with fresh (adversarial) state and both edges back.
+        sim.node_join(1, &[0, 2], 0);
+        assert!(sim.is_active(1));
+        assert_eq!(sim.graph().degree(1), 2);
+        sim.step();
+        assert_eq!(sim.states(), &[1, 1, 1]);
+    }
+
+    #[test]
+    fn checkpoint_restore_covers_churn_and_noise() {
+        let g = classic::cycle(6);
+        let mut sim = Simulator::new(&g, Parity, vec![0; 6], 13)
+            .with_channel(ChannelFault::reliable().with_drop(0.3));
+        sim.run(10);
+        sim.remove_edge(0, 1);
+        sim.node_leave(3);
+        sim.run(5);
+        let cp = sim.checkpoint();
+        sim.insert_edge(0, 1);
+        sim.run(20);
+        let final_a = sim.states().to_vec();
+        let round_a = sim.round();
+        // Restore must bring back the churned topology, the active mask and
+        // the channel-RNG position, so the replay (with the same later
+        // churn) reproduces the continuation exactly.
+        sim.restore(&cp);
+        assert_eq!(sim.round(), 15);
+        assert_eq!(sim.graph().degree(3), 0);
+        assert!(!sim.is_active(3));
+        sim.insert_edge(0, 1);
+        sim.run(20);
+        assert_eq!(sim.states(), final_a.as_slice());
+        assert_eq!(sim.round(), round_a);
     }
 }

@@ -141,7 +141,14 @@ mod tests {
         fn transmit(&self, _: NodeId, _: &u64, _: &mut dyn RngCore) -> BeepSignal {
             BeepSignal::channel1()
         }
-        fn receive(&self, _: NodeId, s: &mut u64, _: BeepSignal, heard: BeepSignal, _: &mut dyn RngCore) {
+        fn receive(
+            &self,
+            _: NodeId,
+            s: &mut u64,
+            _: BeepSignal,
+            heard: BeepSignal,
+            _: &mut dyn RngCore,
+        ) {
             if heard.on_channel1() {
                 *s += 1;
             }

@@ -56,8 +56,7 @@ fn sleepy_plus_half_duplex_compose() {
         SleepyState::awake(EchoState::default()),
         SleepyState::awake(EchoState::default()),
     ];
-    let mut sim =
-        Simulator::new(&g, Sleepy::new(Echo), init, 1).with_duplex(DuplexMode::Half);
+    let mut sim = Simulator::new(&g, Sleepy::new(Echo), init, 1).with_duplex(DuplexMode::Half);
     sim.run(3);
     // During sleep node 0 recorded nothing.
     assert_eq!(sim.state(0).inner, EchoState::default());
@@ -74,7 +73,8 @@ fn sleepy_plus_half_duplex_compose() {
 #[test]
 fn checkpoint_preserves_sleep_counters() {
     let g = classic::path(2);
-    let init = vec![SleepyState::new(10, EchoState::default()), SleepyState::awake(EchoState::default())];
+    let init =
+        vec![SleepyState::new(10, EchoState::default()), SleepyState::awake(EchoState::default())];
     let mut sim = Simulator::new(&g, Sleepy::new(Echo), init, 2);
     sim.run(4);
     let cp = sim.checkpoint();
@@ -123,8 +123,8 @@ fn half_duplex_on_two_channels() {
         }
     }
     let g = classic::complete(3);
-    let mut sim = Simulator::new(&g, TwoCh, vec![(false, false); 3], 0)
-        .with_duplex(DuplexMode::Half);
+    let mut sim =
+        Simulator::new(&g, TwoCh, vec![(false, false); 3], 0).with_duplex(DuplexMode::Half);
     sim.step();
     // Nodes 0 and 1 transmit → deaf. Node 2 is silent → hears both.
     assert_eq!(*sim.state(0), (false, false));

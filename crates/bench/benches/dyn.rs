@@ -9,16 +9,12 @@ use mis::{Algorithm1, LmaxPolicy};
 fn bench(c: &mut Criterion) {
     let g = graphs::generators::random::gnp(256, 8.0 / 255.0, 0xD1);
     let algo = Algorithm1::new(&g, LmaxPolicy::global_delta(&g));
-    let outcome = algo
-        .run(&g, RunConfig::new(1).with_level_recording())
-        .expect("stabilizes");
+    let outcome = algo.run(&g, RunConfig::new(1).with_level_recording()).expect("stabilizes");
     let history = outcome.level_history.unwrap();
     let mut group = c.benchmark_group("DYN-trajectory");
     group.sample_size(10);
     group.bench_function("n256-full-history", |b| {
-        b.iter(|| {
-            std::hint::black_box(trajectory(&g, algo.policy().lmax_values(), &history))
-        })
+        b.iter(|| std::hint::black_box(trajectory(&g, algo.policy().lmax_values(), &history)))
     });
     group.finish();
 }

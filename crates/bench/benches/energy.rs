@@ -8,12 +8,8 @@ fn bench(c: &mut Criterion) {
     let g = graphs::generators::geometric::random_geometric_expected_degree(512, 8.0, 0xE0);
     let mut group = c.benchmark_group("ENERGY-n512");
     group.sample_size(10);
-    group.bench_function("alg1", |b| {
-        b.iter(|| std::hint::black_box(measure_energy(&g, false, 2)))
-    });
-    group.bench_function("alg2", |b| {
-        b.iter(|| std::hint::black_box(measure_energy(&g, true, 2)))
-    });
+    group.bench_function("alg1", |b| b.iter(|| std::hint::black_box(measure_energy(&g, false, 2))));
+    group.bench_function("alg2", |b| b.iter(|| std::hint::black_box(measure_energy(&g, true, 2))));
     group.finish();
 }
 

@@ -7,22 +7,16 @@ fn bench(c: &mut Criterion) {
     let g = graphs::generators::random::gnp(256, 8.0 / 255.0, 0x3A);
     let mut group = c.benchmark_group("EXT-WAKE-n256");
     group.sample_size(10);
-    for schedule in [
-        WakeSchedule::AllAwake,
-        WakeSchedule::RandomWindow(512),
-        WakeSchedule::Wave(512),
-    ] {
+    for schedule in
+        [WakeSchedule::AllAwake, WakeSchedule::RandomWindow(512), WakeSchedule::Wave(512)]
+    {
         let mut seed = 0u64;
-        group.bench_with_input(
-            BenchmarkId::from_parameter(schedule.label()),
-            &schedule,
-            |b, s| {
-                b.iter(|| {
-                    seed += 1;
-                    std::hint::black_box(measure_wakeup(&g, *s, seed, 10_000_000).unwrap())
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(schedule.label()), &schedule, |b, s| {
+            b.iter(|| {
+                seed += 1;
+                std::hint::black_box(measure_wakeup(&g, *s, seed, 10_000_000).unwrap())
+            })
+        });
     }
     group.finish();
 }

@@ -1,0 +1,51 @@
+//! Bench for experiment NOISE: stabilization on an unreliable channel
+//! (beep loss at several rates, plus the churn-under-noise composite).
+
+use beeping::channel::ChannelFault;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use experiments::noise::churn_plan;
+use mis::recovery::{run_noisy, NoisyRunConfig};
+use mis::{Algorithm1, LmaxPolicy};
+
+fn bench(c: &mut Criterion) {
+    let g = graphs::generators::geometric::random_geometric_expected_degree(512, 8.0, 0x55);
+    let algo = Algorithm1::new(&g, LmaxPolicy::global_delta(&g));
+
+    let mut group = c.benchmark_group("NOISE-drop");
+    group.sample_size(10);
+    for p in [0.0f64, 0.02, 0.05] {
+        let mut seed = 0u64;
+        group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
+            b.iter(|| {
+                seed += 1;
+                let config = NoisyRunConfig::new(seed)
+                    .with_max_rounds(1_000_000)
+                    .with_channel(ChannelFault::reliable().with_drop(p));
+                let outcome = run_noisy(&g, &algo, &config);
+                assert!(outcome.stabilized);
+                std::hint::black_box(outcome.total_rounds)
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("NOISE-churn");
+    group.sample_size(10);
+    let plan = churn_plan(&g);
+    let mut seed = 0u64;
+    group.bench_function("leave-join-edge-flip@0.02", |b| {
+        b.iter(|| {
+            seed += 1;
+            let config = NoisyRunConfig::new(seed)
+                .with_max_rounds(1_000_000)
+                .with_churn(plan.clone())
+                .with_channel(ChannelFault::reliable().with_drop(0.02));
+            let outcome = run_noisy(&g, &algo, &config);
+            std::hint::black_box(outcome.events.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

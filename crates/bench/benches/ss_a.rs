@@ -13,9 +13,7 @@ fn bench(c: &mut Criterion) {
         b.iter(|| std::hint::black_box(measure_jsx(&g, JsxInit::RandomStates, 3, 50_000)))
     });
     group.bench_function("alg1-all-claiming", |b| {
-        b.iter(|| {
-            std::hint::black_box(measure_alg1(&g, InitialLevels::AllClaiming, 3, 1_000_000))
-        })
+        b.iter(|| std::hint::black_box(measure_alg1(&g, InitialLevels::AllClaiming, 3, 1_000_000)))
     });
     group.finish();
 }

@@ -36,8 +36,7 @@ pub fn run(quick: bool) -> String {
         g.len(),
         g.max_degree()
     ));
-    let mut table =
-        analysis::Table::new(["c1", "ℓmax", "mean rounds", "ci95", "p95", "failures"]);
+    let mut table = analysis::Table::new(["c1", "ℓmax", "mean rounds", "ci95", "p95", "failures"]);
     for c1 in c1_values() {
         let algo = Algorithm1::new(&g, LmaxPolicy::global_delta_with(&g, c1));
         let m = common::measure(&g, &algo, seeds, InitialLevels::Random, 2_000_000);

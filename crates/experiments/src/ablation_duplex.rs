@@ -33,30 +33,17 @@ pub struct DuplexOutcome {
 }
 
 /// Runs Algorithm 1 on `g` under `mode`.
-pub fn run_once(
-    g: &graphs::Graph,
-    mode: DuplexMode,
-    seed: u64,
-    budget: u64,
-) -> DuplexOutcome {
+pub fn run_once(g: &graphs::Graph, mode: DuplexMode, seed: u64, budget: u64) -> DuplexOutcome {
     let algo = Algorithm1::new(g, LmaxPolicy::global_delta(g));
     let config = RunConfig::new(seed);
     let init = initial_levels(&algo, &config);
     let mut sim = Simulator::new(g, algo.clone(), init, seed).with_duplex(mode);
-    let stabilized = sim
-        .run_until(budget, |s| algo.is_stabilized(g, s.states()))
-        .is_some();
+    let stabilized = sim.run_until(budget, |s| algo.is_stabilized(g, s.states())).is_some();
     let lmax = algo.policy().lmax_values().to_vec();
     let snap = Snapshot::new(g, &lmax, sim.states());
-    let deadlocked = g
-        .edges()
-        .filter(|&(u, v)| snap.is_prominent(u) && snap.is_prominent(v))
-        .count();
-    DuplexOutcome {
-        stabilized,
-        rounds: sim.round(),
-        adjacent_prominent_pairs: deadlocked,
-    }
+    let deadlocked =
+        g.edges().filter(|&(u, v)| snap.is_prominent(u) && snap.is_prominent(v)).count();
+    DuplexOutcome { stabilized, rounds: sim.round(), adjacent_prominent_pairs: deadlocked }
 }
 
 /// Runs the experiment and returns the printed report.

@@ -52,8 +52,7 @@ pub fn run(quick: bool) -> String {
         g.len(),
         g.max_degree()
     ));
-    let mut table =
-        analysis::Table::new(["policy", "max ℓmax", "mean rounds", "p95", "failures"]);
+    let mut table = analysis::Table::new(["policy", "max ℓmax", "mean rounds", "p95", "failures"]);
     for policy in policies(&g) {
         let algo = Algorithm1::new(&g, policy);
         let m = common::measure(&g, &algo, seeds, InitialLevels::Random, 2_000_000);

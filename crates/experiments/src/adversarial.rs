@@ -10,8 +10,8 @@
 //! *Measurement*: run both algorithms from matched adversarial
 //! initialization classes and count (completed, valid-MIS) outcomes.
 
-use beeping::rng::aux_rng;
 use baselines::jeavons::{JsxMis, JsxState, JsxStatus};
+use beeping::rng::aux_rng;
 use graphs::Graph;
 use mis::runner::{InitialLevels, RunConfig};
 use mis::{Algorithm1, LmaxPolicy};
@@ -141,13 +141,17 @@ pub fn measure_alg1(g: &Graph, init: InitialLevels, seeds: u64, max_rounds: u64)
 pub fn run(quick: bool) -> String {
     let (n, seeds, budget) = if quick { (48, 5, 50_000u64) } else { (256, 30, 200_000u64) };
     let g = graphs::generators::random::gnp(n, 8.0 / (n as f64 - 1.0), 0xAD);
-    let mut out =
-        crate::common::header("SS-A", "Adversarial initialization: JSX vs Algorithm 1");
+    let mut out = crate::common::header("SS-A", "Adversarial initialization: JSX vs Algorithm 1");
     out.push_str(&format!(
         "workload: G({n}, 8/(n-1)); budget {budget} rounds; {seeds} seeds per cell\n\n"
     ));
-    let mut table =
-        analysis::Table::new(["algorithm", "initial configuration", "runs", "completed", "valid MIS"]);
+    let mut table = analysis::Table::new([
+        "algorithm",
+        "initial configuration",
+        "runs",
+        "completed",
+        "valid MIS",
+    ]);
     for init in JsxInit::all() {
         let cell = measure_jsx(&g, init, seeds, budget);
         table.row([

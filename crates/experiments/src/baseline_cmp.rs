@@ -63,8 +63,7 @@ pub fn compare_at(n: usize, seeds: u64, graph_seed: u64) -> ComparisonRow {
     let mut rounds_afek_loose = Vec::new();
     let mut rounds_luby = Vec::new();
     for seed in 0..seeds {
-        let config =
-            RunConfig::new(seed).with_init(InitialLevels::Random).with_max_rounds(budget);
+        let config = RunConfig::new(seed).with_init(InitialLevels::Random).with_max_rounds(budget);
         rounds1.push(alg1.run(&g, config.clone()).expect("alg1 stabilizes").stabilization_round);
         rounds2.push(alg2.run(&g, config).expect("alg2 stabilizes").stabilization_round);
         rounds_jsx.push(jsx.run_clean(&g, seed, budget).expect("jsx terminates").1);

@@ -39,9 +39,7 @@ fn parse_args() -> Result<Options, String> {
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
-        let mut value = |name: &str| {
-            args.next().ok_or_else(|| format!("missing value for {name}"))
-        };
+        let mut value = |name: &str| args.next().ok_or_else(|| format!("missing value for {name}"));
         match arg.as_str() {
             "--graph" => opts.graph_file = Some(value("--graph")?),
             "--generate" => opts.generate = Some(value("--generate")?),
@@ -51,9 +49,8 @@ fn parse_args() -> Result<Options, String> {
                 opts.seed = value("--seed")?.parse().map_err(|e| format!("bad seed: {e}"))?
             }
             "--max-rounds" => {
-                opts.max_rounds = value("--max-rounds")?
-                    .parse()
-                    .map_err(|e| format!("bad max-rounds: {e}"))?
+                opts.max_rounds =
+                    value("--max-rounds")?.parse().map_err(|e| format!("bad max-rounds: {e}"))?
             }
             "--dot" => opts.dot = Some(value("--dot")?),
             "--help" | "-h" => return Err(String::new()),

@@ -130,7 +130,8 @@ where
 /// Renders a sweep as table rows plus the model-comparison fit lines; the
 /// standard output block of the theorem experiments.
 pub fn render_sweep(out: &mut String, family: &GraphFamily, points: &[SweepPoint]) {
-    let mut table = analysis::Table::new(["n", "Δ", "mean", "ci95", "median", "p95", "max", "fail"]);
+    let mut table =
+        analysis::Table::new(["n", "Δ", "mean", "ci95", "median", "p95", "max", "fail"]);
     for p in points {
         table.row([
             p.n.to_string(),

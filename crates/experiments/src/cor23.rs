@@ -49,13 +49,10 @@ mod tests {
     #[test]
     fn growth_is_logarithmic_not_polynomial() {
         let sizes = vec![32, 512];
-        let points = common::sweep(
-            &GraphFamily::Gnp { avg_degree: 8.0 },
-            &sizes,
-            10,
-            1_000_000,
-            |g| Algorithm2::new(g, LmaxPolicy::two_hop_degree(g)),
-        );
+        let points =
+            common::sweep(&GraphFamily::Gnp { avg_degree: 8.0 }, &sizes, 10, 1_000_000, |g| {
+                Algorithm2::new(g, LmaxPolicy::two_hop_degree(g))
+            });
         let ratio = points[1].summary.mean / points[0].summary.mean;
         assert!(ratio < 2.5, "T(512)/T(32) = {ratio:.2} suggests polynomial growth");
     }

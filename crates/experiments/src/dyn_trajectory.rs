@@ -29,18 +29,20 @@ pub fn run(quick: bool) -> String {
         g.max_degree()
     ));
     let outcome = algo
-        .run(
-            &g,
-            RunConfig::new(7)
-                .with_init(InitialLevels::AllClaiming)
-                .with_level_recording(),
-        )
+        .run(&g, RunConfig::new(7).with_init(InitialLevels::AllClaiming).with_level_recording())
         .expect("stabilizes");
     let history = outcome.level_history.expect("recording enabled");
     let stats = trajectory(&g, algo.policy().lmax_values(), &history);
 
     let mut table = analysis::Table::new([
-        "round", "|PM|", "|I|", "|S|", "at ℓmax", "mean p", "mean d", "max d",
+        "round",
+        "|PM|",
+        "|I|",
+        "|S|",
+        "at ℓmax",
+        "mean p",
+        "mean d",
+        "max d",
     ]);
     // Print a readable subsample: every round early on, sparser later.
     for s in &stats {
@@ -91,9 +93,7 @@ mod tests {
     fn prominent_equals_mis_at_the_end() {
         let g = GraphFamily::Gnp { avg_degree: 8.0 }.generate(96, 0xD1);
         let algo = Algorithm1::new(&g, LmaxPolicy::global_delta(&g));
-        let outcome = algo
-            .run(&g, RunConfig::new(3).with_level_recording())
-            .unwrap();
+        let outcome = algo.run(&g, RunConfig::new(3).with_level_recording()).unwrap();
         let history = outcome.level_history.unwrap();
         let stats = trajectory(&g, algo.policy().lmax_values(), &history);
         let last = stats.last().unwrap();

@@ -29,11 +29,7 @@ pub struct EnergyPoint {
 }
 
 /// Measures one `(algorithm, n)` cell.
-pub fn measure_energy(
-    g: &graphs::Graph,
-    two_channel: bool,
-    seeds: u64,
-) -> EnergyPoint {
+pub fn measure_energy(g: &graphs::Graph, two_channel: bool, seeds: u64) -> EnergyPoint {
     let mut rounds = Vec::new();
     let mut beeps = Vec::new();
     let mut steady = Vec::new();
@@ -44,12 +40,8 @@ pub fn measure_energy(
             let o = algo.run(g, config).expect("stabilizes");
             // For Algorithm 2 the steady-state signal is on channel 2; count
             // both channels for the transient total.
-            let total: usize = o
-                .trace
-                .reports()
-                .iter()
-                .map(|r| r.beeps_channel1 + r.beeps_channel2)
-                .sum();
+            let total: usize =
+                o.trace.reports().iter().map(|r| r.beeps_channel1 + r.beeps_channel2).sum();
             (o.stabilization_round, total, graphs::mis::size(&o.mis))
         } else {
             let algo = Algorithm1::new(g, LmaxPolicy::global_delta(g));

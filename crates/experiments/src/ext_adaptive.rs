@@ -25,7 +25,8 @@ use crate::common;
 pub fn run(quick: bool) -> String {
     let sizes: Vec<usize> = if quick { vec![64, 128] } else { vec![128, 512, 2048, 8192] };
     let seeds = common::seed_count(quick);
-    let mut out = common::header("EXT-ADAPT", "Open question (§8): knowledge-free adaptive variant");
+    let mut out =
+        common::header("EXT-ADAPT", "Open question (§8): knowledge-free adaptive variant");
     out.push_str(
         "AdaptiveMis learns its cap from collisions (no Δ / deg / deg₂ / n knowledge);\n\
          compared against Algorithm 1 with the Thm 2.1 policy on the same graphs.\n\n",
@@ -58,8 +59,8 @@ pub fn run(quick: bool) -> String {
             let sa = Summary::of_counts(rounds);
             // Reference runs.
             let reference = Algorithm1::new(&g, LmaxPolicy::global_delta(&g));
-            let sr = common::measure(&g, &reference, seeds, InitialLevels::Random, 2_000_000)
-                .summary();
+            let sr =
+                common::measure(&g, &reference, seeds, InitialLevels::Random, 2_000_000).summary();
             table.row([
                 family.name(),
                 g.len().to_string(),
@@ -83,10 +84,8 @@ pub fn run(quick: bool) -> String {
     sim.run_until(2_000_000, |s| adaptive.is_stabilized(&g, s.states()))
         .expect("stabilizes from fresh minimal caps");
     let caps: Vec<f64> = sim.states().iter().map(|s| s.cap as f64).collect();
-    let prescribed: Vec<f64> = g
-        .nodes()
-        .map(|v| 2.0 * (mis::levels::log2_ceil(g.degree(v)) as f64) + 30.0)
-        .collect();
+    let prescribed: Vec<f64> =
+        g.nodes().map(|v| 2.0 * (mis::levels::log2_ceil(g.degree(v)) as f64) + 30.0).collect();
     out.push_str(&format!(
         "\ncap learning from fresh minimal caps on {} (n = {}):\n  learned    {}\n  Thm 2.2    {}\n",
         GraphFamily::BarabasiAlbert { m: 3 },

@@ -118,8 +118,7 @@ mod tests {
         let g = GraphFamily::Cycle.generate(96, 0);
         let two_state = TwoStateMis::new();
         for seed in 0..3 {
-            let (mis, rounds) =
-                two_state.run_random_init(&g, seed, 1_000_000).expect("stabilizes");
+            let (mis, rounds) = two_state.run_random_init(&g, seed, 1_000_000).expect("stabilizes");
             assert!(graphs::mis::is_maximal_independent_set(&g, &mis));
             assert!(rounds < 10_000, "cycles should be easy, took {rounds}");
         }

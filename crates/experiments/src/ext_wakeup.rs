@@ -82,11 +82,8 @@ pub fn measure_wakeup(
     let inner_levels: Vec<Level> = initial_levels(&algo, &config);
     let sleeps = schedule.sleeps(g.len(), seed);
     let last_wake = sleeps.iter().copied().max().unwrap_or(0);
-    let init: Vec<SleepyState<Level>> = sleeps
-        .iter()
-        .zip(&inner_levels)
-        .map(|(&s, &l)| SleepyState::new(s, l))
-        .collect();
+    let init: Vec<SleepyState<Level>> =
+        sleeps.iter().zip(&inner_levels).map(|(&s, &l)| SleepyState::new(s, l)).collect();
     let wrapped = Sleepy::new(algo.clone());
     let mut sim = Simulator::new(g, wrapped, init, seed);
     let stabilized = sim.run_until(max_rounds, |s| {
@@ -192,11 +189,8 @@ mod tests {
         let mut control_sum = 0u64;
         for seed in 0..5 {
             straggler_sum +=
-                measure_wakeup(&g, WakeSchedule::LateStraggler(2_000), seed, 10_000_000)
-                    .unwrap()
-                    .0;
-            control_sum +=
-                measure_wakeup(&g, WakeSchedule::AllAwake, seed, 10_000_000).unwrap().0;
+                measure_wakeup(&g, WakeSchedule::LateStraggler(2_000), seed, 10_000_000).unwrap().0;
+            control_sum += measure_wakeup(&g, WakeSchedule::AllAwake, seed, 10_000_000).unwrap().0;
         }
         assert!(straggler_sum < control_sum, "straggler {straggler_sum} vs control {control_sum}");
     }

@@ -17,7 +17,9 @@ pub fn run(quick: bool) -> String {
     let lmax = 10;
     let trials: u32 = if quick { 2_000 } else { 100_000 };
     let mut out = crate::common::header("F1", "Figure 1: beeping probability vs level");
-    out.push_str(&format!("ℓmax = {lmax}; empirical frequency over {trials} transmit draws per level\n\n"));
+    out.push_str(&format!(
+        "ℓmax = {lmax}; empirical frequency over {trials} transmit draws per level\n\n"
+    ));
 
     let g = graphs::Graph::empty(1);
     let algo = Algorithm1::new(&g, LmaxPolicy::fixed(1, lmax));
@@ -25,9 +27,7 @@ pub fn run(quick: bool) -> String {
     for level in -lmax..=lmax {
         let exact = beep_probability(level, lmax);
         let mut rng = node_rng(level as u64 ^ 0xF1, 0);
-        let hits = (0..trials)
-            .filter(|_| !algo.transmit(0, &level, &mut rng).is_silent())
-            .count();
+        let hits = (0..trials).filter(|_| !algo.transmit(0, &level, &mut rng).is_silent()).count();
         let empirical = hits as f64 / trials as f64;
         let bar_len = (exact * 40.0).round() as usize;
         table.row([
@@ -38,7 +38,9 @@ pub fn run(quick: bool) -> String {
         ]);
     }
     out.push_str(&table.to_string());
-    out.push_str("\nshape check: p = 1 on ℓ ≤ 0, halves per level step on (0, ℓmax), p = 0 at ℓmax.\n");
+    out.push_str(
+        "\nshape check: p = 1 on ℓ ≤ 0, halves per level step on (0, ℓmax), p = 0 at ℓmax.\n",
+    );
     out
 }
 
@@ -50,9 +52,11 @@ mod tests {
     fn report_covers_all_levels() {
         let report = run(true);
         for level in [-10, 0, 1, 5, 10] {
-            assert!(report.lines().any(|l| l.trim_start().starts_with(&format!("{level} "))
-                || l.trim_start().starts_with(&format!("{level}  "))),
-                "missing level {level} in report");
+            assert!(
+                report.lines().any(|l| l.trim_start().starts_with(&format!("{level} "))
+                    || l.trim_start().starts_with(&format!("{level}  "))),
+                "missing level {level} in report"
+            );
         }
         assert!(report.contains("1.000000"));
         assert!(report.contains("0.000000"));
@@ -68,14 +72,10 @@ mod tests {
             let exact = beep_probability(level, lmax);
             let mut rng = node_rng(7, 0);
             let trials = 20_000;
-            let hits = (0..trials)
-                .filter(|_| !algo.transmit(0, &level, &mut rng).is_silent())
-                .count();
+            let hits =
+                (0..trials).filter(|_| !algo.transmit(0, &level, &mut rng).is_silent()).count();
             let freq = hits as f64 / trials as f64;
-            assert!(
-                (freq - exact).abs() < 0.02,
-                "ℓ={level}: empirical {freq} vs exact {exact}"
-            );
+            assert!((freq - exact).abs() < 0.02, "ℓ={level}: empirical {freq} vs exact {exact}");
         }
     }
 }

@@ -37,8 +37,7 @@ pub fn collect_waits(n: usize, seeds: u64, horizon: u64) -> Vec<f64> {
         // Track vertices that are NOT in a platinum round at measurement
         // start (the lemma's precondition).
         let start = Snapshot::new(&g, &lmax, sim.states());
-        let mut pending: Vec<bool> =
-            g.nodes().map(|v| !start.is_platinum_for(v)).collect();
+        let mut pending: Vec<bool> = g.nodes().map(|v| !start.is_platinum_for(v)).collect();
         let mut outstanding = pending.iter().filter(|&&p| p).count();
         let mut k = 0u64;
         while outstanding > 0 && k < horizon {
@@ -120,7 +119,7 @@ mod tests {
     #[test]
     fn waits_are_finite_and_positive() {
         let waits = collect_waits(48, 2, 5_000);
-        assert_eq!(waits.len(), 2 * 48 - count_initially_platinum(48, 2), );
+        assert_eq!(waits.len(), 2 * 48 - count_initially_platinum(48, 2),);
         assert!(waits.iter().all(|&w| w >= 1.0 && w < 5_000.0), "no censoring expected");
     }
 

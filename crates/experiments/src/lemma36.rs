@@ -62,9 +62,7 @@ impl Regime {
             Regime::OwnDegree => LmaxPolicy::own_degree(g),
             Regime::Minimal => LmaxPolicy::custom(
                 "minimal(⌈log₂ deg⌉+4)",
-                g.nodes()
-                    .map(|v| (mis::levels::log2_ceil(g.degree(v)) + 4) as i32)
-                    .collect(),
+                g.nodes().map(|v| (mis::levels::log2_ceil(g.degree(v)) + 4) as i32).collect(),
             ),
         }
     }
@@ -84,13 +82,7 @@ pub fn collect_episodes_in(n: usize, seeds: u64, horizon: u64, regime: Regime) -
         let lmax = algo.policy().lmax_values().to_vec();
         let nbhd_lmax: Vec<i32> = g
             .nodes()
-            .map(|v| {
-                g.neighbors(v)
-                    .iter()
-                    .map(|&w| lmax[w as usize])
-                    .max()
-                    .unwrap_or(lmax[v])
-            })
+            .map(|v| g.neighbors(v).iter().map(|&w| lmax[w as usize]).max().unwrap_or(lmax[v]))
             .collect();
         let config = RunConfig::new(seed);
         let init = initial_levels(&algo, &config);
@@ -151,8 +143,7 @@ pub fn collect_episodes_in(n: usize, seeds: u64, horizon: u64, regime: Regime) -
 /// Runs the experiment and returns the printed report.
 pub fn run(quick: bool) -> String {
     let (n, seeds, horizon) = if quick { (64, 3, 5_000) } else { (512, 20, 50_000) };
-    let mut out =
-        crate::common::header("L3.6", "Lemma 3.6: resolution of prominence episodes");
+    let mut out = crate::common::header("L3.6", "Lemma 3.6: resolution of prominence episodes");
     for regime in [Regime::OwnDegree, Regime::Minimal] {
         out.push_str(&format!(
             "\n## regime {regime:?}: Barabási–Albert(n = {n}, m = 3), {seeds} seeds\n\n"
@@ -183,10 +174,7 @@ pub fn run(quick: bool) -> String {
         let escapes: Vec<&Episode> = episodes.iter().filter(|e| !e.resolved_in).collect();
         let mut table = analysis::Table::new(["x", "P[escape ∧ σ > ℓmax+x]", "bound η′·2^-x"]);
         for x in [0u64, 1, 2, 4, 8, 16] {
-            let count = escapes
-                .iter()
-                .filter(|e| e.duration > e.lmax_u as u64 + x)
-                .count();
+            let count = escapes.iter().filter(|e| e.duration > e.lmax_u as u64 + x).count();
             let p = count as f64 / total as f64;
             table.row([
                 x.to_string(),
@@ -240,10 +228,8 @@ mod tests {
         // escapes at x = 0 against the mean bound.
         let total = eps.len() as f64;
         let mean_eta: f64 = eps.iter().map(|e| e.eta_prime).sum::<f64>() / total;
-        let escapes_beyond_lmax = eps
-            .iter()
-            .filter(|e| !e.resolved_in && e.duration > e.lmax_u as u64)
-            .count() as f64;
+        let escapes_beyond_lmax =
+            eps.iter().filter(|e| !e.resolved_in && e.duration > e.lmax_u as u64).count() as f64;
         assert!(escapes_beyond_lmax / total <= mean_eta + 1e-9);
         // And stabilization still happens: some episodes resolve in.
         assert!(eps.iter().any(|e| e.resolved_in));

@@ -127,8 +127,7 @@ pub fn run(quick: bool) -> String {
          classification after the Lemma 3.1 burn-in\n\n"
     ));
     let s = collect(n, seeds, horizon);
-    let mut table =
-        analysis::Table::new(["round class", "observations", "P[platinum next round]"]);
+    let mut table = analysis::Table::new(["round class", "observations", "P[platinum next round]"]);
     table.row([
         "golden, clause (a): ℓ≤1 ∧ d≤0.02".to_string(),
         s.golden_a.to_string(),
@@ -139,11 +138,7 @@ pub fn run(quick: bool) -> String {
         s.golden_b.to_string(),
         format!("{:.4}", s.rate_b()),
     ]);
-    table.row([
-        "non-golden".to_string(),
-        s.other.to_string(),
-        format!("{:.4}", s.rate_other()),
-    ]);
+    table.row(["non-golden".to_string(), s.other.to_string(), format!("{:.4}", s.rate_other())]);
     out.push_str(&table.to_string());
     out.push_str(&format!(
         "\nlemma lower bound: γ = e⁻²⁷ ≈ {:.2e} (worst-case analysis constant)\n",

@@ -15,6 +15,7 @@
 //! | `L3.6` ([`lemma36`]) | Lemma 3.6: resolution of prominence episodes |
 //! | `L6.7` ([`lemma67`]) | Lemma 6.7: golden rounds turn platinum |
 //! | `SS-R` ([`recovery`]) | Self-stabilization: recovery from transient faults |
+//! | `NOISE` ([`noise`]) | Unreliable network: channel noise, jammers, churn |
 //! | `SS-A` ([`adversarial`]) | §2's motivation: JSX fails from adversarial states |
 //! | `BASE` ([`baseline_cmp`]) | §1 positioning vs JSX / Afek et al. / Luby |
 //! | `ABL-C1` ([`ablation_c1`]) | sensitivity to the constant `c1` |
@@ -45,6 +46,7 @@ pub mod fig1;
 pub mod lemma35;
 pub mod lemma36;
 pub mod lemma67;
+pub mod noise;
 pub mod recovery;
 pub mod scale;
 pub mod thm21;
@@ -84,11 +86,7 @@ pub fn all_experiments() -> Vec<Experiment> {
             title: "Corollary 2.3: O(log n) with two channels + deg₂",
             run: cor23::run,
         },
-        Experiment {
-            id: "F1",
-            title: "Figure 1: beeping probability vs level",
-            run: fig1::run,
-        },
+        Experiment { id: "F1", title: "Figure 1: beeping probability vs level", run: fig1::run },
         Experiment {
             id: "L3.5",
             title: "Lemma 3.5: tail of platinum-round waiting times",
@@ -110,6 +108,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             run: recovery::run,
         },
         Experiment {
+            id: "NOISE",
+            title: "Unreliable network: channel noise, jammers, churn",
+            run: noise::run,
+        },
+        Experiment {
             id: "SS-A",
             title: "Adversarial initialization: JSX vs Algorithm 1",
             run: adversarial::run,
@@ -124,26 +127,14 @@ pub fn all_experiments() -> Vec<Experiment> {
             title: "Ablation: sensitivity to the constant c1",
             run: ablation_c1::run,
         },
-        Experiment {
-            id: "ABL-LMAX",
-            title: "Ablation: ℓmax regimes",
-            run: ablation_lmax::run,
-        },
+        Experiment { id: "ABL-LMAX", title: "Ablation: ℓmax regimes", run: ablation_lmax::run },
         Experiment {
             id: "ABL-HD",
             title: "Model ablation: full vs half duplex",
             run: ablation_duplex::run,
         },
-        Experiment {
-            id: "SCALE",
-            title: "Scalability on large graphs",
-            run: scale::run,
-        },
-        Experiment {
-            id: "ENERGY",
-            title: "Beep (radio-energy) complexity",
-            run: energy::run,
-        },
+        Experiment { id: "SCALE", title: "Scalability on large graphs", run: scale::run },
+        Experiment { id: "ENERGY", title: "Beep (radio-energy) complexity", run: energy::run },
         Experiment {
             id: "DYN",
             title: "Convergence trajectory of one execution",
@@ -159,11 +150,7 @@ pub fn all_experiments() -> Vec<Experiment> {
             title: "Constant-state baseline [16] vs Algorithm 1",
             run: ext_two_state::run,
         },
-        Experiment {
-            id: "EXT-WAKE",
-            title: "Adversarial wake-up schedules",
-            run: ext_wakeup::run,
-        },
+        Experiment { id: "EXT-WAKE", title: "Adversarial wake-up schedules", run: ext_wakeup::run },
     ]
 }
 

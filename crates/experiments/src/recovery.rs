@@ -31,7 +31,8 @@ pub fn run(quick: bool) -> String {
     let sizes: Vec<usize> = if quick { vec![64] } else { vec![256, 1024, 4096] };
     let seeds = crate::common::seed_count(quick);
     let family = GraphFamily::Geometric { avg_degree: 8.0 };
-    let mut out = crate::common::header("SS-R", "Self-stabilization: recovery from transient faults");
+    let mut out =
+        crate::common::header("SS-R", "Self-stabilization: recovery from transient faults");
     out.push_str(&format!("workload: {family}; Algorithm 1 with global-Δ policy\n\n"));
     let mut table = analysis::Table::new([
         "n",
@@ -96,9 +97,8 @@ mod tests {
             single += run_recovery(&g, &algo, seed, FaultTarget::RandomCount(1), 1_000_000)
                 .unwrap()
                 .recovery_rounds;
-            full += run_recovery(&g, &algo, seed, FaultTarget::All, 1_000_000)
-                .unwrap()
-                .recovery_rounds;
+            full +=
+                run_recovery(&g, &algo, seed, FaultTarget::All, 1_000_000).unwrap().recovery_rounds;
         }
         assert!(
             single < full,

@@ -36,9 +36,8 @@ pub fn measure_scale(n: usize, seed: u64) -> ScalePoint {
     let g = family.generate(n, seed);
     let algo = Algorithm1::new(&g, LmaxPolicy::global_delta(&g));
     let start = Instant::now();
-    let outcome = algo
-        .run(&g, RunConfig::new(seed).with_init(InitialLevels::Random))
-        .expect("stabilizes");
+    let outcome =
+        algo.run(&g, RunConfig::new(seed).with_init(InitialLevels::Random)).expect("stabilizes");
     let seconds = start.elapsed().as_secs_f64();
     assert!(graphs::mis::is_maximal_independent_set(&g, &outcome.mis));
     ScalePoint {
@@ -53,8 +52,7 @@ pub fn measure_scale(n: usize, seed: u64) -> ScalePoint {
 
 /// Runs the experiment and returns the printed report.
 pub fn run(quick: bool) -> String {
-    let sizes: Vec<usize> =
-        if quick { vec![1_000, 2_000] } else { vec![10_000, 30_000, 100_000] };
+    let sizes: Vec<usize> = if quick { vec![1_000, 2_000] } else { vec![10_000, 30_000, 100_000] };
     let mut out = crate::common::header("SCALE", "Scalability on random geometric graphs");
     out.push_str("Algorithm 1, global-Δ policy, adversarial random init, 1 seed per size\n\n");
     let mut table = analysis::Table::new([

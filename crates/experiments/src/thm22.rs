@@ -28,10 +28,8 @@ pub fn families() -> Vec<GraphFamily> {
 
 /// Runs the experiment and returns the printed report.
 pub fn run(quick: bool) -> String {
-    let mut out = common::header(
-        "T2.2",
-        "Theorem 2.2: O(log n·loglog n) with own-degree knowledge",
-    );
+    let mut out =
+        common::header("T2.2", "Theorem 2.2: O(log n·loglog n) with own-degree knowledge");
     out.push_str(&format!(
         "policy: ℓmax(v) = 2⌈log₂ deg(v)⌉ + {}; init: uniform random levels\n",
         mis::policy::C1_OWN_DEGREE
@@ -44,9 +42,7 @@ pub fn run(quick: bool) -> String {
         });
         common::render_sweep(&mut out, &family, &points);
     }
-    out.push_str(
-        "\nexpected shape: best fits are `log n` or `log n·loglog n`; never √n or n.\n",
-    );
+    out.push_str("\nexpected shape: best fits are `log n` or `log n·loglog n`; never √n or n.\n");
     out
 }
 
@@ -65,13 +61,10 @@ mod tests {
     fn growth_is_logarithmic_not_polynomial() {
         // 16× more nodes must cost well under 4× the rounds.
         let sizes = vec![45, 720];
-        let points = common::sweep(
-            &GraphFamily::StarOfCliques { clique: 8 },
-            &sizes,
-            10,
-            2_000_000,
-            |g| Algorithm1::new(g, LmaxPolicy::own_degree(g)),
-        );
+        let points =
+            common::sweep(&GraphFamily::StarOfCliques { clique: 8 }, &sizes, 10, 2_000_000, |g| {
+                Algorithm1::new(g, LmaxPolicy::own_degree(g))
+            });
         let ratio = points[1].summary.mean / points[0].summary.mean;
         assert!(ratio < 2.5, "T(720)/T(45) = {ratio:.2} suggests polynomial growth");
         assert!(points.iter().all(|p| p.failures == 0));

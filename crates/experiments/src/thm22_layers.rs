@@ -147,10 +147,7 @@ mod tests {
         let means: Vec<f64> = layers.iter().map(|l| l.vertex_rounds.mean).collect();
         let min = means.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = means.iter().cloned().fold(0.0f64, f64::max);
-        assert!(
-            max <= 3.0 * min,
-            "class means spread too wide: min {min:.1}, max {max:.1}"
-        );
+        assert!(max <= 3.0 * min, "class means spread too wide: min {min:.1}, max {max:.1}");
     }
 
     #[test]

@@ -21,10 +21,8 @@ fn parse_mis_output(stdout: &str) -> (String, Vec<usize>) {
 
 #[test]
 fn solve_generates_and_solves() {
-    let out = solve()
-        .args(["--generate", "gnp:150:8", "--seed", "5"])
-        .output()
-        .expect("solve runs");
+    let out =
+        solve().args(["--generate", "gnp:150:8", "--seed", "5"]).output().expect("solve runs");
     assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
     let (header, members) = parse_mis_output(&String::from_utf8(out.stdout).unwrap());
     assert!(header.contains("n=150"));

@@ -40,10 +40,8 @@ pub fn read_edge_list<R: BufRead>(r: R) -> Result<Graph, GraphError> {
     let mut builder: Option<GraphBuilder> = None;
     for (idx, line) in r.lines().enumerate() {
         let line_no = idx + 1;
-        let line = line.map_err(|e| GraphError::Parse {
-            line: line_no,
-            message: format!("I/O error: {e}"),
-        })?;
+        let line = line
+            .map_err(|e| GraphError::Parse { line: line_no, message: format!("I/O error: {e}") })?;
         let trimmed = line.trim();
         if trimmed.is_empty() || trimmed.starts_with('#') {
             continue;
@@ -133,9 +131,6 @@ mod tests {
 
     #[test]
     fn rejects_out_of_range_edge() {
-        assert!(matches!(
-            from_str("2\n0 5\n"),
-            Err(GraphError::NodeOutOfRange { node: 5, n: 2 })
-        ));
+        assert!(matches!(from_str("2\n0 5\n"), Err(GraphError::NodeOutOfRange { node: 5, n: 2 })));
     }
 }

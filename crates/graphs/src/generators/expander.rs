@@ -60,12 +60,7 @@ pub fn margulis(m: usize) -> Graph {
     for y in 0..m {
         for x in 0..m {
             let v = id(x, y);
-            let targets = [
-                id(x + y, y),
-                id(x + y + 1, y),
-                id(x, y + x),
-                id(x, y + x + 1),
-            ];
+            let targets = [id(x + y, y), id(x + y + 1, y), id(x, y + x), id(x, y + x + 1)];
             for u in targets {
                 if u != v {
                     b.add_edge(v, u).expect("margulis edges are valid");

@@ -73,8 +73,7 @@ pub fn geometric_from_points(points: &[(f64, f64)], radius: f64) -> Graph {
             for dx in -1i64..=1 {
                 let nx = cx as i64 + dx;
                 let ny = cy as i64 + dy;
-                if nx < 0 || ny < 0 || nx >= cells_per_side as i64 || ny >= cells_per_side as i64
-                {
+                if nx < 0 || ny < 0 || nx >= cells_per_side as i64 || ny >= cells_per_side as i64 {
                     continue;
                 }
                 for &j in &buckets[ny as usize * cells_per_side + nx as usize] {

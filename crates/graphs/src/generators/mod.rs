@@ -207,8 +207,7 @@ mod tests {
 
     #[test]
     fn names_are_distinct() {
-        let names: Vec<_> =
-            GraphFamily::standard_sweep().iter().map(GraphFamily::name).collect();
+        let names: Vec<_> = GraphFamily::standard_sweep().iter().map(GraphFamily::name).collect();
         let mut dedup = names.clone();
         dedup.dedup();
         assert_eq!(names, dedup);

@@ -40,10 +40,8 @@ pub fn random_prufer_tree(n: usize, seed: u64) -> Graph {
     }
     let mut b = GraphBuilder::with_capacity(n, n - 1);
     // Standard decoding with a min-heap of current leaves.
-    let mut leaves: std::collections::BinaryHeap<std::cmp::Reverse<usize>> = (0..n)
-        .filter(|&v| degree[v] == 1)
-        .map(std::cmp::Reverse)
-        .collect();
+    let mut leaves: std::collections::BinaryHeap<std::cmp::Reverse<usize>> =
+        (0..n).filter(|&v| degree[v] == 1).map(std::cmp::Reverse).collect();
     for &p in &prufer {
         let std::cmp::Reverse(leaf) = leaves.pop().expect("decoding always has a leaf");
         b.add_edge(leaf, p).expect("prufer edges are valid");
@@ -64,7 +62,7 @@ pub fn random_prufer_tree(n: usize, seed: u64) -> Graph {
 /// # Panics
 ///
 /// Panics if `k == 0` and `n > 1`.
-pub fn kary_tree(n: usize, k: usize, ) -> Graph {
+pub fn kary_tree(n: usize, k: usize) -> Graph {
     if n > 1 {
         assert!(k > 0, "k-ary tree needs k >= 1");
     }

@@ -1,17 +1,20 @@
-//! Compact immutable undirected graph in CSR form.
+//! Compact undirected graph in CSR form, with event-driven mutation for
+//! topology churn.
 
 /// Index of a node in a [`Graph`]; nodes are always `0..n`.
 pub type NodeId = usize;
 
-/// An immutable, simple, undirected graph stored in compressed sparse row
-/// (CSR) form.
+/// A simple, undirected graph stored in compressed sparse row (CSR) form.
 ///
 /// Every node's adjacency list is a sorted slice of a single shared buffer,
 /// which keeps round simulation cache-friendly: a beeping round is one linear
 /// scan over `neighbors`.
 ///
 /// Construct a `Graph` with [`crate::GraphBuilder`], [`Graph::from_edges`],
-/// or one of the [`crate::generators`].
+/// or one of the [`crate::generators`]. The graph is structurally immutable
+/// during simulation except through the explicit churn entry points
+/// [`Graph::insert_edge`], [`Graph::remove_edge`] and
+/// [`Graph::isolate_node`], which preserve the CSR invariants per event.
 ///
 /// # Example
 ///
@@ -221,6 +224,96 @@ impl Graph {
         (builder.build(), order)
     }
 
+    /// Inserts the undirected edge `{u, v}` in place, keeping the CSR
+    /// invariants (sorted, deduplicated, symmetric).
+    ///
+    /// Returns `Ok(true)` if the edge was inserted and `Ok(false)` if it was
+    /// already present. This is the topology-churn entry point: an edge
+    /// insertion is `O(n + m)` (two sorted-slice insertions plus offset
+    /// shifts), intended for *event-driven* mutation, not bulk construction —
+    /// use [`crate::GraphBuilder`] for that.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::GraphError::NodeOutOfRange`] if an endpoint is
+    /// `>= self.len()` and [`crate::GraphError::SelfLoop`] for `u == v`.
+    pub fn insert_edge(&mut self, u: NodeId, v: NodeId) -> Result<bool, crate::GraphError> {
+        let n = self.len();
+        if u >= n {
+            return Err(crate::GraphError::NodeOutOfRange { node: u, n });
+        }
+        if v >= n {
+            return Err(crate::GraphError::NodeOutOfRange { node: v, n });
+        }
+        if u == v {
+            return Err(crate::GraphError::SelfLoop(u));
+        }
+        if self.has_edge(u, v) {
+            return Ok(false);
+        }
+        self.insert_half_edge(u, v as u32);
+        self.insert_half_edge(v, u as u32);
+        Ok(true)
+    }
+
+    /// Removes the undirected edge `{u, v}` in place; returns `true` if it
+    /// was present. `O(n + m)`, intended for event-driven topology churn.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `v` is out of range.
+    pub fn remove_edge(&mut self, u: NodeId, v: NodeId) -> bool {
+        if u == v || !self.has_edge(u, v) {
+            return false;
+        }
+        self.remove_half_edge(u, v as u32);
+        self.remove_half_edge(v, u as u32);
+        true
+    }
+
+    /// Removes every edge incident to `v` (node departure in a churn
+    /// schedule); the node itself remains as an isolated vertex, so node ids
+    /// stay stable. Returns the number of edges removed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn isolate_node(&mut self, v: NodeId) -> usize {
+        let incident: Vec<u32> = self.neighbors(v).to_vec();
+        for &u in &incident {
+            self.remove_half_edge(v, u);
+            self.remove_half_edge(u as usize, v as u32);
+        }
+        incident.len()
+    }
+
+    /// Inserts `dst` into `src`'s sorted adjacency slice and shifts all
+    /// later offsets. The caller guarantees `dst` is absent.
+    fn insert_half_edge(&mut self, src: NodeId, dst: u32) {
+        let start = self.offsets[src];
+        let end = self.offsets[src + 1];
+        let pos = start + self.neighbors[start..end].partition_point(|&w| w < dst);
+        self.neighbors.insert(pos, dst);
+        for o in &mut self.offsets[src + 1..] {
+            *o += 1;
+        }
+    }
+
+    /// Removes `dst` from `src`'s sorted adjacency slice and shifts all
+    /// later offsets. The caller guarantees `dst` is present.
+    fn remove_half_edge(&mut self, src: NodeId, dst: u32) {
+        let start = self.offsets[src];
+        let end = self.offsets[src + 1];
+        let pos = start
+            + self.neighbors[start..end]
+                .binary_search(&dst)
+                .expect("remove_half_edge requires a present edge");
+        self.neighbors.remove(pos);
+        for o in &mut self.offsets[src + 1..] {
+            *o -= 1;
+        }
+    }
+
     /// Disjoint union of two graphs: nodes of `other` are shifted by
     /// `self.len()`.
     pub fn disjoint_union(&self, other: &Graph) -> Graph {
@@ -392,6 +485,62 @@ mod tests {
         assert!(g.has_edge(0, 1));
         assert!(g.has_edge(3, 4));
         assert!(!g.has_edge(0, 3));
+    }
+
+    #[test]
+    fn insert_edge_keeps_csr_invariants() {
+        let mut g = Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        assert_eq!(g.insert_edge(1, 2), Ok(true));
+        assert_eq!(g.insert_edge(2, 1), Ok(false)); // already present
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.neighbors(2), &[1, 3]);
+        assert!(g.has_edge(1, 2));
+        // Equal to the same graph built from scratch.
+        let rebuilt = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap();
+        assert_eq!(g, rebuilt);
+    }
+
+    #[test]
+    fn insert_edge_rejects_invalid() {
+        let mut g = Graph::empty(3);
+        assert_eq!(g.insert_edge(1, 1), Err(crate::GraphError::SelfLoop(1)));
+        assert_eq!(g.insert_edge(0, 3), Err(crate::GraphError::NodeOutOfRange { node: 3, n: 3 }));
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn remove_edge_and_absent_edge() {
+        let mut g = triangle();
+        assert!(g.remove_edge(0, 2));
+        assert!(!g.remove_edge(0, 2)); // already gone
+        assert!(!g.remove_edge(1, 1)); // self loops never exist
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(2), &[1]);
+        assert_eq!(g, Graph::from_edges(3, [(0, 1), (1, 2)]).unwrap());
+    }
+
+    #[test]
+    fn insert_remove_round_trip_is_identity() {
+        let original = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]).unwrap();
+        let mut g = original.clone();
+        assert_eq!(g.insert_edge(0, 2), Ok(true));
+        assert_eq!(g.insert_edge(1, 4), Ok(true));
+        assert!(g.remove_edge(1, 4));
+        assert!(g.remove_edge(0, 2));
+        assert_eq!(g, original);
+    }
+
+    #[test]
+    fn isolate_node_removes_all_incident_edges() {
+        let mut g = Graph::from_edges(5, [(0, 1), (0, 2), (0, 3), (0, 4), (1, 2)]).unwrap();
+        assert_eq!(g.isolate_node(0), 4);
+        assert_eq!(g.degree(0), 0);
+        assert_eq!(g.num_edges(), 1);
+        assert!(g.has_edge(1, 2));
+        assert_eq!(g.isolate_node(0), 0); // idempotent
+        assert_eq!(g, Graph::from_edges(5, [(1, 2)]).unwrap());
     }
 
     #[test]

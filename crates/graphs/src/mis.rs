@@ -260,8 +260,7 @@ mod tests {
         for seed in 0..20 {
             // Random bitmaps: explanation is None iff the checker accepts.
             let mut rng = rand_pcg::Pcg64Mcg::seed_from_u64(seed);
-            let set: Vec<bool> =
-                (0..60).map(|_| rand::Rng::gen_bool(&mut rng, 0.3)).collect();
+            let set: Vec<bool> = (0..60).map(|_| rand::Rng::gen_bool(&mut rng, 0.3)).collect();
             let explained = explain_violation(&g, &set);
             assert_eq!(explained.is_none(), is_maximal_independent_set(&g, &set));
             if let Some(v) = explained {

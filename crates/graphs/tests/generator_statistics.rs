@@ -12,16 +12,9 @@ fn gnp_degree_distribution_is_binomial_like() {
     let g = random::gnp(n, p, 42);
     let mean_expected = p * (n as f64 - 1.0);
     let mean = g.average_degree();
-    assert!(
-        (mean - mean_expected).abs() < 0.3,
-        "mean degree {mean} vs expected {mean_expected}"
-    );
+    assert!((mean - mean_expected).abs() < 0.3, "mean degree {mean} vs expected {mean_expected}");
     // Binomial variance ≈ mean for small p.
-    let var: f64 = g
-        .nodes()
-        .map(|v| (g.degree(v) as f64 - mean).powi(2))
-        .sum::<f64>()
-        / n as f64;
+    let var: f64 = g.nodes().map(|v| (g.degree(v) as f64 - mean).powi(2)).sum::<f64>() / n as f64;
     assert!(
         (var - mean_expected).abs() < 0.25 * mean_expected,
         "variance {var} vs ≈ {mean_expected}"
@@ -58,10 +51,7 @@ fn geometric_degree_matches_area_law() {
     let g = geometric::random_geometric_expected_degree(n, target, 3);
     let mean = g.average_degree();
     // Boundary effects shave ~10–20%; accept a generous band.
-    assert!(
-        mean > 0.6 * target && mean < 1.1 * target,
-        "mean degree {mean} vs target {target}"
-    );
+    assert!(mean > 0.6 * target && mean < 1.1 * target, "mean degree {mean} vs target {target}");
     // Geometric graphs are strongly clustered (≈ 0.58 in theory for disks),
     // far above a degree-matched G(n,p).
     let cc = properties::average_clustering(&g);
@@ -100,10 +90,7 @@ fn recursive_tree_depth_is_logarithmic() {
     let n = 4096;
     let g = trees::random_recursive_tree(n, 11);
     let depth = properties::eccentricity(&g, 0);
-    assert!(
-        depth >= 6 && depth <= 40,
-        "root depth {depth} should be Θ(log n) ≈ 8–25"
-    );
+    assert!(depth >= 6 && depth <= 40, "root depth {depth} should be Θ(log n) ≈ 8–25");
 }
 
 #[test]
@@ -120,10 +107,7 @@ fn prufer_trees_are_uniform_ish_over_shapes() {
         }
     }
     let frac = stars as f64 / trials as f64;
-    assert!(
-        (0.15..0.35).contains(&frac),
-        "star fraction {frac} should be ≈ 0.25"
-    );
+    assert!((0.15..0.35).contains(&frac), "star fraction {frac} should be ≈ 0.25");
 }
 
 #[test]

@@ -109,9 +109,7 @@ impl AdaptiveMis {
     /// configuration is a fixpoint absent faults.
     pub fn is_stabilized(&self, graph: &Graph, states: &[AdaptiveState]) -> bool {
         let mis = self.mis_members(graph, states);
-        graph
-            .nodes()
-            .all(|v| mis[v] || graph.neighbors(v).iter().any(|&u| mis[u as usize]))
+        graph.nodes().all(|v| mis[v] || graph.neighbors(v).iter().any(|&u| mis[u as usize]))
     }
 
     /// Runs from uniformly random (adversarial) states; returns the MIS
@@ -257,8 +255,7 @@ mod tests {
         let algo = AdaptiveMis::new();
         let init = vec![AdaptiveState::fresh(); 24];
         let mut sim = beeping::Simulator::new(&g, algo, init, 5);
-        sim.run_until(1_000_000, |s| algo.is_stabilized(&g, s.states()))
-            .expect("stabilizes");
+        sim.run_until(1_000_000, |s| algo.is_stabilized(&g, s.states())).expect("stabilizes");
         let max_cap = sim.states().iter().map(|s| s.cap).max().unwrap();
         assert!(max_cap > MIN_CAP, "caps never grew: {max_cap}");
         assert!(max_cap <= HARD_CAP);
@@ -307,9 +304,6 @@ mod tests {
     fn deterministic() {
         let g = random::gnp(50, 0.1, 4);
         let algo = AdaptiveMis::new();
-        assert_eq!(
-            algo.run_random_init(&g, 9, 1_000_000),
-            algo.run_random_init(&g, 9, 1_000_000)
-        );
+        assert_eq!(algo.run_random_init(&g, 9, 1_000_000), algo.run_random_init(&g, 9, 1_000_000));
     }
 }

@@ -58,11 +58,7 @@ impl Algorithm1 {
     ///
     /// Panics if the policy does not cover exactly `graph.len()` vertices.
     pub fn new(graph: &Graph, policy: LmaxPolicy) -> Algorithm1 {
-        assert_eq!(
-            policy.len(),
-            graph.len(),
-            "policy must assign ℓmax to every vertex"
-        );
+        assert_eq!(policy.len(), graph.len(), "policy must assign ℓmax to every vertex");
         Algorithm1 { policy }
     }
 
@@ -144,9 +140,7 @@ mod tests {
 
     fn count_beeps(algo: &Algorithm1, node: NodeId, level: Level, trials: u32) -> u32 {
         let mut rng = node_rng(12345, node);
-        (0..trials)
-            .filter(|_| !algo.transmit(node, &level, &mut rng).is_silent())
-            .count() as u32
+        (0..trials).filter(|_| !algo.transmit(node, &level, &mut rng).is_silent()).count() as u32
     }
 
     #[test]
@@ -211,11 +205,9 @@ mod tests {
         let g = random::gnp(60, 0.1, 5);
         let algo = Algorithm1::new(&g, LmaxPolicy::global_delta(&g));
         let lmax = algo.policy().max_lmax();
-        for (name, init) in [
-            ("all zero", vec![0; 60]),
-            ("all max", vec![lmax; 60]),
-            ("all -max", vec![-lmax; 60]),
-        ] {
+        for (name, init) in
+            [("all zero", vec![0; 60]), ("all max", vec![lmax; 60]), ("all -max", vec![-lmax; 60])]
+        {
             let mut sim = Simulator::new(&g, algo.clone(), init, 11);
             let r = sim.run_until(20_000, |s| algo.is_stabilized(s.graph(), s.states()));
             assert!(r.is_some(), "did not stabilize from {name}");

@@ -56,11 +56,7 @@ impl Algorithm2 {
     ///
     /// Panics if the policy does not cover exactly `graph.len()` vertices.
     pub fn new(graph: &Graph, policy: LmaxPolicy) -> Algorithm2 {
-        assert_eq!(
-            policy.len(),
-            graph.len(),
-            "policy must assign ℓmax to every vertex"
-        );
+        assert_eq!(policy.len(), graph.len(), "policy must assign ℓmax to every vertex");
         Algorithm2 { policy }
     }
 

@@ -91,9 +91,7 @@ mod tests {
     fn trajectory_matches_outcome() {
         let g = random::gnp(50, 0.1, 1);
         let algo = Algorithm1::new(&g, LmaxPolicy::global_delta(&g));
-        let outcome = algo
-            .run(&g, RunConfig::new(2).with_level_recording())
-            .expect("stabilizes");
+        let outcome = algo.run(&g, RunConfig::new(2).with_level_recording()).expect("stabilizes");
         let history = outcome.level_history.as_ref().unwrap();
         let stats = trajectory(&g, algo.policy().lmax_values(), history);
         assert_eq!(stats.len(), history.len());

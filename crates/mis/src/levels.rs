@@ -46,10 +46,7 @@ pub fn log2_ceil(x: usize) -> u32 {
 /// space, as in the paper's fault model where RAM holds a value of the state
 /// type).
 pub fn beep_probability(level: Level, lmax: Level) -> f64 {
-    assert!(
-        (-lmax..=lmax).contains(&level),
-        "level {level} outside state space [-{lmax}, {lmax}]"
-    );
+    assert!((-lmax..=lmax).contains(&level), "level {level} outside state space [-{lmax}, {lmax}]");
     if level <= 0 {
         1.0
     } else if level == lmax {

@@ -25,7 +25,9 @@
 //! `I_t`/`S_t`, prominent vertices, platinum and golden rounds, and the
 //! potentials `d_t`, `η_t`, `η′_t` — so experiments can measure exactly the
 //! quantities the proofs bound. [`runner`] is the high-level "run until
-//! stabilized" API used by examples, tests, benches and experiments.
+//! stabilized" API used by examples, tests, benches and experiments, and
+//! [`recovery`] extends it to unreliable networks: channel noise, jammers
+//! and topology churn with per-event re-stabilization tracking.
 //!
 //! # Example
 //!
@@ -49,10 +51,12 @@ pub mod dynamics;
 pub mod levels;
 pub mod observer;
 pub mod policy;
+pub mod recovery;
 pub mod runner;
 pub mod theory;
 
 pub use algorithm1::Algorithm1;
 pub use algorithm2::Algorithm2;
 pub use policy::LmaxPolicy;
+pub use recovery::{NoisyOutcome, NoisyRunConfig};
 pub use runner::{InitialLevels, Outcome, RunConfig, StabilizationError};

@@ -153,11 +153,7 @@ impl<'a> Snapshot<'a> {
     /// `d_t(v) = Σ_{u ∈ N(v)} p_t(u)`: expected number of beeping
     /// neighbors.
     pub fn d(&self, v: NodeId) -> f64 {
-        self.graph
-            .neighbors(v)
-            .iter()
-            .map(|&u| self.beep_probability(u as usize))
-            .sum()
+        self.graph.neighbors(v).iter().map(|&u| self.beep_probability(u as usize)).sum()
     }
 
     /// Light vertex (Def 6.1): `μ_t(v) > 0 ∧ (d_t(v) ≤ 10 ∨ ℓ_t(v) ≤ 0)`.
@@ -260,17 +256,13 @@ pub fn is_stabilized(graph: &Graph, lmax: &[Level], levels: &[Level]) -> bool {
     // Direct check without allocating: every vertex is in I_t or has an
     // I_t neighbor.
     let in_mis = stable_mis(graph, lmax, levels);
-    graph
-        .nodes()
-        .all(|v| in_mis[v] || graph.neighbors(v).iter().any(|&u| in_mis[u as usize]))
+    graph.nodes().all(|v| in_mis[v] || graph.neighbors(v).iter().any(|&u| in_mis[u as usize]))
 }
 
 /// `S_t = V` for Algorithm 2.
 pub fn is_stabilized_two_channel(graph: &Graph, lmax: &[Level], levels: &[Level]) -> bool {
     let in_mis = stable_mis_two_channel(graph, lmax, levels);
-    graph
-        .nodes()
-        .all(|v| in_mis[v] || graph.neighbors(v).iter().any(|&u| in_mis[u as usize]))
+    graph.nodes().all(|v| in_mis[v] || graph.neighbors(v).iter().any(|&u| in_mis[u as usize]))
 }
 
 #[cfg(test)]

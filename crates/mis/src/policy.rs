@@ -49,10 +49,7 @@ impl LmaxPolicy {
     /// not need to be tight.
     pub fn global_delta_from_bound(n: usize, delta_bound: usize, c1: u32) -> LmaxPolicy {
         let lmax = (log2_ceil(delta_bound) + c1).max(2) as Level;
-        LmaxPolicy {
-            name: format!("global-Δ(c1={c1})"),
-            lmax: vec![lmax; n],
-        }
+        LmaxPolicy { name: format!("global-Δ(c1={c1})"), lmax: vec![lmax; n] }
     }
 
     /// Theorem 2.2 regime with the default constant: each vertex knows an
@@ -65,10 +62,7 @@ impl LmaxPolicy {
     /// Theorem 2.2 regime with an explicit `c1` (the theorem needs
     /// `c1 ≥ 30`).
     pub fn own_degree_with(g: &Graph, c1: u32) -> LmaxPolicy {
-        let lmax = g
-            .nodes()
-            .map(|v| (2 * log2_ceil(g.degree(v)) + c1).max(2) as Level)
-            .collect();
+        let lmax = g.nodes().map(|v| (2 * log2_ceil(g.degree(v)) + c1).max(2) as Level).collect();
         LmaxPolicy { name: format!("own-deg(c1={c1})"), lmax }
     }
 
@@ -82,10 +76,7 @@ impl LmaxPolicy {
     /// Corollary 2.3 regime with an explicit `c1` (the corollary needs
     /// `c1 ≥ 15`).
     pub fn two_hop_degree_with(g: &Graph, c1: u32) -> LmaxPolicy {
-        let lmax = g
-            .nodes()
-            .map(|v| (2 * log2_ceil(g.deg2(v)) + c1).max(2) as Level)
-            .collect();
+        let lmax = g.nodes().map(|v| (2 * log2_ceil(g.deg2(v)) + c1).max(2) as Level).collect();
         LmaxPolicy { name: format!("deg₂(c1={c1})"), lmax }
     }
 
@@ -110,10 +101,7 @@ impl LmaxPolicy {
     ///
     /// Panics if any value is `< 2` (see [`LmaxPolicy::fixed`]).
     pub fn custom(name: impl Into<String>, lmax: Vec<Level>) -> LmaxPolicy {
-        assert!(
-            lmax.iter().all(|&l| l >= 2),
-            "every ℓmax must be at least 2 (ℓmax = 1 deadlocks)"
-        );
+        assert!(lmax.iter().all(|&l| l >= 2), "every ℓmax must be at least 2 (ℓmax = 1 deadlocks)");
         LmaxPolicy { name: name.into(), lmax }
     }
 

@@ -19,6 +19,14 @@ use crate::algorithm2::Algorithm2;
 use crate::levels::{clamp_level, clamp_level_two_channel, Level};
 use crate::policy::LmaxPolicy;
 
+/// Purpose tag of the fault-injection RNG stream (see
+/// [`beeping::rng::aux_rng`]); shared with [`crate::recovery`] so the
+/// zero-noise path reproduces this module's corruptions exactly.
+pub(crate) const FAULT_RNG_PURPOSE: u64 = 0xFA17;
+
+/// Purpose tag of the initial-configuration RNG stream.
+pub(crate) const INIT_RNG_PURPOSE: u64 = 0xC0FF_EE00;
+
 /// How the (adversarial) initial configuration is chosen.
 ///
 /// A self-stabilizing algorithm must converge from *every* initial
@@ -251,7 +259,7 @@ impl SelfStabilizingMis for Algorithm2 {
 
 /// Samples the initial configuration for `algo` under `config`.
 pub fn initial_levels<A: SelfStabilizingMis>(algo: &A, config: &RunConfig) -> Vec<Level> {
-    let mut rng = aux_rng(config.seed, 0xC0FF_EE00);
+    let mut rng = aux_rng(config.seed, INIT_RNG_PURPOSE);
     config.init.sample(
         algo.policy(),
         |raw, lmax| algo.clamp_raw(raw, lmax),
@@ -274,7 +282,7 @@ pub fn run<A: SelfStabilizingMis>(
 ) -> Result<Outcome, StabilizationError> {
     let levels = initial_levels(algo, &config);
     let mut sim = Simulator::new(graph, algo.clone(), levels, config.seed);
-    let mut fault_rng = aux_rng(config.seed, 0xFA17);
+    let mut fault_rng = aux_rng(config.seed, FAULT_RNG_PURPOSE);
     let mut trace = Trace::new();
     let mut history = config.record_levels.then(|| vec![sim.states().to_vec()]);
     let last_fault = config.faults.last_fault_round().unwrap_or(0);
@@ -328,15 +336,35 @@ fn apply_faults<A: SelfStabilizingMis>(
     round: u64,
     fault_rng: &mut Pcg64Mcg,
 ) {
-    let n = sim.graph().len();
     for event in config.faults.events_after_round(round) {
-        for v in event.target.select(n, fault_rng) {
-            let lmax = algo.policy().lmax(v);
-            let low = if algo.has_negative_levels() { -(lmax as i64) } else { 0 };
-            let corrupted = algo.clamp_raw(fault_rng.gen_range(low..=lmax as i64), lmax);
-            sim.corrupt_state(v, corrupted);
-        }
+        corrupt_targets(sim, algo, &event.target, fault_rng);
     }
+}
+
+/// Resolves `target` and overwrites each victim's level with a uniform draw
+/// over its full state space — the shared corruption payload of [`run`],
+/// [`run_recovery`] and [`crate::recovery::run_noisy`]. Returns the number
+/// of corrupted nodes.
+pub(crate) fn corrupt_targets<A: SelfStabilizingMis>(
+    sim: &mut Simulator<'_, A>,
+    algo: &A,
+    target: &FaultTarget,
+    fault_rng: &mut Pcg64Mcg,
+) -> usize {
+    let n = sim.graph().len();
+    let victims = target.select(n, fault_rng);
+    for &v in &victims {
+        sim.corrupt_state(v, random_level(algo, v, fault_rng));
+    }
+    victims.len()
+}
+
+/// A uniform draw over node `v`'s full state space — "arbitrary RAM
+/// contents" for corruption or an adversarial fresh boot.
+pub(crate) fn random_level<A: SelfStabilizingMis>(algo: &A, v: usize, rng: &mut Pcg64Mcg) -> Level {
+    let lmax = algo.policy().lmax(v);
+    let low = if algo.has_negative_levels() { -(lmax as i64) } else { 0 };
+    algo.clamp_raw(rng.gen_range(low..=lmax as i64), lmax)
 }
 
 /// [`run`] specialized to [`Algorithm1`] (kept as a named entry point for
@@ -403,14 +431,8 @@ pub fn run_recovery<A: SelfStabilizingMis>(
         .run_until(max_rounds, |s| algo.stabilized(graph, s.states()))
         .ok_or_else(|| budget_error(&sim))?;
 
-    let mut fault_rng = aux_rng(seed, 0xFA17);
-    let victims = target.select(graph.len(), &mut fault_rng);
-    for &v in &victims {
-        let lmax = algo.policy().lmax(v);
-        let low = if algo.has_negative_levels() { -(lmax as i64) } else { 0 };
-        let corrupted = algo.clamp_raw(fault_rng.gen_range(low..=lmax as i64), lmax);
-        sim.corrupt_state(v, corrupted);
-    }
+    let mut fault_rng = aux_rng(seed, FAULT_RNG_PURPOSE);
+    let victims = corrupt_targets(&mut sim, algo, &target, &mut fault_rng);
 
     let fault_round = sim.round();
     let recovered = sim
@@ -420,7 +442,7 @@ pub fn run_recovery<A: SelfStabilizingMis>(
     Ok(RecoveryOutcome {
         initial_stabilization: first,
         recovery_rounds: recovered - fault_round,
-        corrupted_nodes: victims.len(),
+        corrupted_nodes: victims,
         mis: algo.mis_of(graph, sim.states()),
     })
 }
@@ -442,10 +464,7 @@ mod tests {
         ] {
             let outcome =
                 algo.run(&g, RunConfig::new(3).with_init(init.clone())).expect("stabilizes");
-            assert!(
-                graphs::mis::is_maximal_independent_set(&g, &outcome.mis),
-                "init {init:?}"
-            );
+            assert!(graphs::mis::is_maximal_independent_set(&g, &outcome.mis), "init {init:?}");
             assert!(outcome.stabilization_round > 0);
             assert_eq!(outcome.rounds_run, outcome.stabilization_round);
             assert_eq!(outcome.trace.len() as u64, outcome.rounds_run);
@@ -477,8 +496,7 @@ mod tests {
     fn custom_initial_levels_are_clamped() {
         let g = classic::path(3);
         let algo = Algorithm1::new(&g, LmaxPolicy::fixed(3, 5));
-        let config =
-            RunConfig::new(0).with_init(InitialLevels::Custom(vec![100, -100, 0]));
+        let config = RunConfig::new(0).with_init(InitialLevels::Custom(vec![100, -100, 0]));
         let levels = initial_levels(&algo, &config);
         assert_eq!(levels, vec![5, -5, 0]);
         let algo2 = Algorithm2::new(&g, LmaxPolicy::fixed(3, 5));
@@ -512,9 +530,7 @@ mod tests {
     fn level_history_recording() {
         let g = classic::cycle(10);
         let algo = Algorithm1::new(&g, LmaxPolicy::global_delta(&g));
-        let outcome = algo
-            .run(&g, RunConfig::new(2).with_level_recording())
-            .expect("stabilizes");
+        let outcome = algo.run(&g, RunConfig::new(2).with_level_recording()).expect("stabilizes");
         let history = outcome.level_history.expect("recording was enabled");
         assert_eq!(history.len() as u64, outcome.rounds_run + 1);
         assert_eq!(history.last().unwrap(), &outcome.levels);
@@ -536,8 +552,7 @@ mod tests {
     fn recovery_for_two_channel() {
         let g = random::gnp(50, 0.1, 6);
         let algo = Algorithm2::new(&g, LmaxPolicy::two_hop_degree(&g));
-        let rec =
-            run_recovery(&g, &algo, 6, FaultTarget::All, 100_000).expect("recovers");
+        let rec = run_recovery(&g, &algo, 6, FaultTarget::All, 100_000).expect("recovers");
         assert_eq!(rec.corrupted_nodes, 50);
         assert!(graphs::mis::is_maximal_independent_set(&g, &rec.mis));
     }

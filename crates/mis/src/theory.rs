@@ -26,8 +26,7 @@ pub const ETA_THRESHOLD: f64 = 0.0001;
 /// The precondition of Lemmas 3.5 / 3.6 / 6.3:
 /// `ℓmax(w) ≥ log₂ deg(w) + 4` for all `w`.
 pub fn satisfies_lemma_precondition(g: &Graph, policy: &LmaxPolicy) -> bool {
-    g.nodes()
-        .all(|v| policy.lmax(v) as u32 >= log2_ceil(g.degree(v)) + 4)
+    g.nodes().all(|v| policy.lmax(v) as u32 >= log2_ceil(g.degree(v)) + 4)
 }
 
 /// The Theorem 2.1 precondition: constant `ℓmax ∈ [log Δ + c1, c2·log n]`
@@ -35,25 +34,20 @@ pub fn satisfies_lemma_precondition(g: &Graph, policy: &LmaxPolicy) -> bool {
 /// only matters for the *bound*, not correctness).
 pub fn satisfies_thm21_precondition(g: &Graph, policy: &LmaxPolicy, c1: u32) -> bool {
     let needed = (log2_ceil(g.max_degree()) + c1) as Level;
-    let uniform = policy
-        .lmax_values()
-        .windows(2)
-        .all(|w| w[0] == w[1]);
+    let uniform = policy.lmax_values().windows(2).all(|w| w[0] == w[1]);
     uniform && policy.lmax_values().first().is_none_or(|&l| l >= needed)
 }
 
 /// The Theorem 2.2 precondition: `ℓmax(v) ≥ 2·log₂ deg(v) + c1` with
 /// `c1 ≥ 30`.
 pub fn satisfies_thm22_precondition(g: &Graph, policy: &LmaxPolicy, c1: u32) -> bool {
-    g.nodes()
-        .all(|v| policy.lmax(v) as u32 >= 2 * log2_ceil(g.degree(v)) + c1)
+    g.nodes().all(|v| policy.lmax(v) as u32 >= 2 * log2_ceil(g.degree(v)) + c1)
 }
 
 /// The Corollary 2.3 precondition: `ℓmax(v) ≥ 2·log₂ deg₂(v) + c1` with
 /// `c1 ≥ 15`.
 pub fn satisfies_cor23_precondition(g: &Graph, policy: &LmaxPolicy, c1: u32) -> bool {
-    g.nodes()
-        .all(|v| policy.lmax(v) as u32 >= 2 * log2_ceil(g.deg2(v)) + c1)
+    g.nodes().all(|v| policy.lmax(v) as u32 >= 2 * log2_ceil(g.deg2(v)) + c1)
 }
 
 /// Theorem 2.1's static η bound: with the uniform policy

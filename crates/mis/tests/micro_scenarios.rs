@@ -72,10 +72,7 @@ fn algorithm2_receive_matches_pseudocode_exhaustively() {
                         } else {
                             level
                         };
-                        assert_eq!(
-                            l, expected,
-                            "ℓ={level} s1={s1} s2={s2} h1={h1} h2={h2}"
-                        );
+                        assert_eq!(l, expected, "ℓ={level} s1={s1} s2={s2} h1={h1} h2={h2}");
                     }
                 }
             }
@@ -112,8 +109,7 @@ fn disconnected_components_stabilize_independently() {
     let g = Graph::empty(2);
     let algo = Algorithm1::new(&g, LmaxPolicy::fixed(2, 4));
     let mut sim = Simulator::new(&g, algo.clone(), vec![4, -4], 3);
-    sim.run_until(10_000, |s| algo.is_stabilized(s.graph(), s.states()))
-        .expect("stabilizes");
+    sim.run_until(10_000, |s| algo.is_stabilized(s.graph(), s.states())).expect("stabilizes");
     assert_eq!(algo.mis_members(&g, sim.states()), vec![true, true]);
 }
 
@@ -128,7 +124,8 @@ fn star_stable_states_are_the_two_valid_patterns() {
     assert!(algo.is_stabilized(&g, &hub_in));
     assert_eq!(algo.mis_members(&g, &hub_in), vec![true, false, false, false, false]);
     // Leaves-in-MIS pattern.
-    let leaves_in: Vec<Level> = std::iter::once(lmax).chain(std::iter::repeat_n(-lmax, 4)).collect();
+    let leaves_in: Vec<Level> =
+        std::iter::once(lmax).chain(std::iter::repeat_n(-lmax, 4)).collect();
     assert!(algo.is_stabilized(&g, &leaves_in));
     // Mixed invalid pattern: hub and one leaf claiming.
     let both: Vec<Level> = vec![-lmax, -lmax, lmax, lmax, lmax];
@@ -201,9 +198,8 @@ fn minimal_lmax_two_still_works_on_paths() {
     let g = classic::path(6);
     let algo = Algorithm1::new(&g, LmaxPolicy::fixed(6, 2));
     for seed in 0..3 {
-        let outcome = algo
-            .run(&g, mis::RunConfig::new(seed).with_max_rounds(5_000_000))
-            .expect("stabilizes");
+        let outcome =
+            algo.run(&g, mis::RunConfig::new(seed).with_max_rounds(5_000_000)).expect("stabilizes");
         assert!(graphs::mis::is_maximal_independent_set(&g, &outcome.mis));
     }
 }

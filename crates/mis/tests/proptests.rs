@@ -8,6 +8,8 @@ use mis::levels::{
 };
 use mis::observer::{stable_mis, Snapshot};
 use mis::policy::LmaxPolicy;
+use mis::recovery::{claimed_mis, independence_violations, stabilized_active};
+use mis::{Algorithm1, Algorithm2};
 use proptest::prelude::*;
 
 fn arb_graph() -> impl Strategy<Value = Graph> {
@@ -158,6 +160,50 @@ proptest! {
             .edges()
             .all(|(u, v)| !(mis[u] && mis[v]));
         prop_assert!(independent);
+    }
+
+    /// The recovery observer never reports a stable MIS while an
+    /// MIS-validity violation is live: for *any* graph, level assignment
+    /// and participation mask, `stabilized_active` and a positive
+    /// `independence_violations` count are mutually exclusive, and the
+    /// claimed MIS is independent on the active subgraph.
+    #[test]
+    fn no_stable_mis_while_violation_live(
+        g in arb_graph(),
+        raw in proptest::collection::vec(-50i64..50, 24),
+        active_bits in proptest::collection::vec(any::<bool>(), 24),
+    ) {
+        let active: Vec<bool> = (0..g.len()).map(|v| active_bits[v]).collect();
+        let policy = LmaxPolicy::own_degree(&g);
+        let algo1 = Algorithm1::new(&g, policy.clone());
+        let levels1: Vec<Level> =
+            g.nodes().map(|v| clamp_level(raw[v], policy.lmax(v))).collect();
+        let algo2 = Algorithm2::new(&g, policy.clone());
+        let levels2: Vec<Level> =
+            g.nodes().map(|v| clamp_level_two_channel(raw[v], policy.lmax(v))).collect();
+
+        let violations1 = independence_violations(&algo1, &g, &levels1, &active);
+        if stabilized_active(&algo1, &g, &levels1, &active) {
+            prop_assert_eq!(violations1, 0, "stable MIS reported with live violation");
+        }
+        let violations2 = independence_violations(&algo2, &g, &levels2, &active);
+        if stabilized_active(&algo2, &g, &levels2, &active) {
+            prop_assert_eq!(violations2, 0, "stable MIS reported with live violation");
+        }
+
+        // The claimed set itself is always independent over active nodes.
+        let mis1 = claimed_mis(&algo1, &g, &levels1, &active);
+        let mis2 = claimed_mis(&algo2, &g, &levels2, &active);
+        for (u, v) in g.edges() {
+            prop_assert!(!(mis1[u] && mis1[v]));
+            prop_assert!(!(mis2[u] && mis2[v]));
+        }
+        // Inactive nodes are never claimed members.
+        for v in g.nodes() {
+            if !active[v] {
+                prop_assert!(!mis1[v] && !mis2[v]);
+            }
+        }
     }
 
     /// Two-channel stability is consistent with its definition.

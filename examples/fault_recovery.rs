@@ -21,7 +21,10 @@ fn main() {
     let algo = Algorithm1::new(&g, LmaxPolicy::global_delta(&g));
     let lmax = algo.policy().lmax_values().to_vec();
 
-    println!("graph: n = {n}, Δ = {}; faults: corrupt 20% of nodes every 120 rounds", g.max_degree());
+    println!(
+        "graph: n = {n}, Δ = {}; faults: corrupt 20% of nodes every 120 rounds",
+        g.max_degree()
+    );
     println!("{:>6}  {:>8}  {:>10}", "round", "stable%", "event");
 
     let config = RunConfig::new(5).with_init(InitialLevels::Random);
@@ -46,8 +49,8 @@ fn main() {
         }
         if round % fault_period == 0 && round / fault_period <= bursts {
             // Burst: corrupt a random 20% with arbitrary levels.
-            let victims = beeping::faults::FaultTarget::RandomFraction(0.2)
-                .select(n, &mut fault_rng);
+            let victims =
+                beeping::faults::FaultTarget::RandomFraction(0.2).select(n, &mut fault_rng);
             for v in victims {
                 let lm = algo.policy().lmax(v);
                 let corrupted =

@@ -10,12 +10,7 @@ fn main() {
     // 1. A workload graph: Erdős–Rényi with average degree 8.
     let n = 500;
     let g = graphs::generators::random::gnp(n, 8.0 / (n as f64 - 1.0), 42);
-    println!(
-        "graph: n = {}, m = {}, Δ = {}",
-        g.len(),
-        g.num_edges(),
-        g.max_degree()
-    );
+    println!("graph: n = {}, m = {}, Δ = {}", g.len(), g.num_edges(), g.max_degree());
 
     // 2. The paper's Algorithm 1 under Theorem 2.1's knowledge model:
     //    every vertex knows (an upper bound on) the maximum degree.
@@ -39,12 +34,8 @@ fn main() {
 
     // 5. Compare with the two-channel variant (Corollary 2.3).
     let algo2 = Algorithm2::new(&g, LmaxPolicy::two_hop_degree(&g));
-    let outcome2 = algo2
-        .run(&g, RunConfig::new(7).with_init(InitialLevels::Random))
-        .expect("stabilizes");
+    let outcome2 =
+        algo2.run(&g, RunConfig::new(7).with_init(InitialLevels::Random)).expect("stabilizes");
     assert!(graphs::mis::is_maximal_independent_set(&g, &outcome2.mis));
-    println!(
-        "two-channel variant stabilized after {} rounds",
-        outcome2.stabilization_round
-    );
+    println!("two-channel variant stabilized after {} rounds", outcome2.stabilization_round);
 }

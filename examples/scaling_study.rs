@@ -13,12 +13,9 @@ use mis::runner::SelfStabilizingMis;
 fn measure<A: SelfStabilizingMis>(g: &graphs::Graph, algo: &A, seeds: u64) -> Summary {
     let rounds: Vec<u64> = (0..seeds)
         .map(|seed| {
-            let outcome = mis::runner::run(
-                g,
-                algo,
-                RunConfig::new(seed).with_init(InitialLevels::Random),
-            )
-            .expect("stabilizes");
+            let outcome =
+                mis::runner::run(g, algo, RunConfig::new(seed).with_init(InitialLevels::Random))
+                    .expect("stabilizes");
             assert!(graphs::mis::is_maximal_independent_set(g, &outcome.mis));
             outcome.stabilization_round
         })
@@ -56,10 +53,7 @@ fn main() {
     }
 
     println!("\nbest-fitting growth models:");
-    for (label, series) in ["Alg1 global-Δ", "Alg1 own-deg", "Alg2 deg₂"]
-        .iter()
-        .zip(&means)
-    {
+    for (label, series) in ["Alg1 global-Δ", "Alg1 own-deg", "Alg2 deg₂"].iter().zip(&means) {
         let best = &FitReport::compare_all(&sizes, series)[0];
         println!("  {label:<15} {best}");
     }

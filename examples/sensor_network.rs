@@ -38,12 +38,8 @@ fn main() {
         .expect("cluster-head election stabilizes");
     assert!(graphs::mis::is_maximal_independent_set(&g, &outcome.mis));
 
-    let heads: Vec<usize> = outcome
-        .mis
-        .iter()
-        .enumerate()
-        .filter_map(|(v, &m)| m.then_some(v))
-        .collect();
+    let heads: Vec<usize> =
+        outcome.mis.iter().enumerate().filter_map(|(v, &m)| m.then_some(v)).collect();
     println!(
         "cluster-head election stabilized in {} rounds: {} heads for {} sensors",
         outcome.stabilization_round,
@@ -67,10 +63,8 @@ fn main() {
 
     // A lightning strike wipes the RAM of every sensor in the north-east
     // quadrant; the election self-heals.
-    let victims: Vec<usize> = g
-        .nodes()
-        .filter(|&v| positions[v].0 > 0.5 && positions[v].1 > 0.5)
-        .collect();
+    let victims: Vec<usize> =
+        g.nodes().filter(|&v| positions[v].0 > 0.5 && positions[v].1 > 0.5).collect();
     println!("\ntransient fault: corrupting {} sensors in the NE quadrant…", victims.len());
     let recovery = mis::runner::run_recovery(
         &g,

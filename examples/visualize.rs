@@ -13,9 +13,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A small geometric graph so the drawing stays readable.
     let g = graphs::generators::geometric::random_geometric_expected_degree(40, 5.0, 11);
     let algo = Algorithm1::new(&g, LmaxPolicy::global_delta(&g));
-    let outcome = algo
-        .run(&g, RunConfig::new(3).with_init(InitialLevels::Random))
-        .expect("stabilizes");
+    let outcome =
+        algo.run(&g, RunConfig::new(3).with_init(InitialLevels::Random)).expect("stabilizes");
     assert!(graphs::mis::is_maximal_independent_set(&g, &outcome.mis));
 
     // 1. MIS membership: members filled black.

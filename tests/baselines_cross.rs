@@ -110,9 +110,7 @@ fn jsx_fails_exactly_where_the_paper_says() {
     assert!(!graphs::mis::is_maximal_independent_set(&g, &mis));
 
     let algo = Algorithm1::new(&g, LmaxPolicy::global_delta(&g));
-    let outcome = algo
-        .run(&g, RunConfig::new(0).with_init(InitialLevels::AllMax))
-        .unwrap();
+    let outcome = algo.run(&g, RunConfig::new(0).with_init(InitialLevels::AllMax)).unwrap();
     assert!(graphs::mis::is_maximal_independent_set(&g, &outcome.mis));
 }
 

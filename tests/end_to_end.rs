@@ -1,7 +1,9 @@
 //! End-to-end integration: every algorithm on every workload family.
 
 use beeping_mis::prelude::*;
-use graphs::generators::{classic, composite, geometric, lattice, random, scale_free, small_world, trees};
+use graphs::generators::{
+    classic, composite, geometric, lattice, random, scale_free, small_world, trees,
+};
 use graphs::Graph;
 use mis::runner::SelfStabilizingMis;
 

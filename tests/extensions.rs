@@ -116,14 +116,10 @@ fn half_duplex_breaks_exactly_the_join_rule() {
     let resolved = full.run_until(100_000, |s| algo.is_stabilized(&g, s.states()));
     assert!(resolved.is_some(), "full duplex resolves the double claim");
 
-    let mut half = beeping::Simulator::new(&g, algo.clone(), vec![-5, -5], 3)
-        .with_duplex(DuplexMode::Half);
+    let mut half =
+        beeping::Simulator::new(&g, algo.clone(), vec![-5, -5], 3).with_duplex(DuplexMode::Half);
     half.run(5_000);
-    assert_eq!(
-        half.states(),
-        &[-5, -5],
-        "half duplex: both blind claimants stay frozen at -ℓmax"
-    );
+    assert_eq!(half.states(), &[-5, -5], "half duplex: both blind claimants stay frozen at -ℓmax");
 }
 
 #[test]

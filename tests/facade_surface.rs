@@ -36,9 +36,7 @@ fn eta_bound_is_respected_by_live_executions() {
     // Observe a real run: η_t(v) never exceeds the static Thm 2.1 bound.
     let g = graphs::generators::random::gnp(80, 0.1, 4);
     let algo = Algorithm1::new(&g, LmaxPolicy::global_delta(&g));
-    let outcome = algo
-        .run(&g, RunConfig::new(2).with_level_recording())
-        .expect("stabilizes");
+    let outcome = algo.run(&g, RunConfig::new(2).with_level_recording()).expect("stabilizes");
     let history = outcome.level_history.unwrap();
     let lmax = algo.policy().lmax_values();
     let bound = theory::eta_bound_thm21(mis::policy::C1_GLOBAL_DELTA);
@@ -57,22 +55,14 @@ fn burn_in_horizon_bounds_the_lemma31_invariant() {
     let algo = Algorithm1::new(&g, LmaxPolicy::own_degree(&g));
     let horizon = theory::burn_in_horizon(algo.policy());
     let outcome = algo
-        .run(
-            &g,
-            RunConfig::new(1)
-                .with_init(InitialLevels::AllClaiming)
-                .with_level_recording(),
-        )
+        .run(&g, RunConfig::new(1).with_init(InitialLevels::AllClaiming).with_level_recording())
         .expect("stabilizes");
     let history = outcome.level_history.unwrap();
     let lmax = algo.policy().lmax_values();
     for (t, levels) in history.iter().enumerate().skip(horizon as usize + 1) {
         let snap = Snapshot::new(&g, lmax, levels);
         for v in g.nodes() {
-            assert!(
-                snap.level(v) > 0 || snap.mu(v) > 0.0,
-                "Lemma 3.1 violated at t={t}, v={v}"
-            );
+            assert!(snap.level(v) > 0 || snap.mu(v) > 0.0, "Lemma 3.1 violated at t={t}, v={v}");
         }
     }
 }
@@ -81,9 +71,7 @@ fn burn_in_horizon_bounds_the_lemma31_invariant() {
 fn dynamics_trajectory_is_usable_from_facade() {
     let g = graphs::generators::classic::cycle(40);
     let algo = Algorithm1::new(&g, LmaxPolicy::global_delta(&g));
-    let outcome = algo
-        .run(&g, RunConfig::new(5).with_level_recording())
-        .expect("stabilizes");
+    let outcome = algo.run(&g, RunConfig::new(5).with_level_recording()).expect("stabilizes");
     let stats = dynamics::trajectory(
         &g,
         algo.policy().lmax_values(),
@@ -92,10 +80,7 @@ fn dynamics_trajectory_is_usable_from_facade() {
     // The stable count time series ends at n and the in-MIS series at the
     // outcome's MIS size.
     assert_eq!(stats.last().unwrap().stable, 40);
-    assert_eq!(
-        stats.last().unwrap().in_mis,
-        outcome.mis.iter().filter(|&&m| m).count()
-    );
+    assert_eq!(stats.last().unwrap().in_mis, outcome.mis.iter().filter(|&&m| m).count());
     // mean_p ∈ [0, 1] throughout.
     assert!(stats.iter().all(|s| (0.0..=1.0).contains(&s.mean_p)));
 }
@@ -105,9 +90,8 @@ fn readme_workflow_compiles_and_runs() {
     // The exact workflow advertised in the README.
     let g = graphs::generators::random::gnp(500, 8.0 / 499.0, 42);
     let algo = Algorithm1::new(&g, LmaxPolicy::global_delta(&g));
-    let outcome = algo
-        .run(&g, RunConfig::new(7).with_init(InitialLevels::Random))
-        .expect("stabilizes");
+    let outcome =
+        algo.run(&g, RunConfig::new(7).with_init(InitialLevels::Random)).expect("stabilizes");
     assert!(graphs::mis::is_maximal_independent_set(&g, &outcome.mis));
     assert!(outcome.stabilization_round > 0);
 }
