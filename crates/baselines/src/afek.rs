@@ -120,7 +120,14 @@ impl AfekStyleMis {
         let mut sim =
             beeping::Simulator::new(graph, *self, vec![AfekState::initial(); graph.len()], seed);
         let done = sim.run_until(max_rounds, |s| self.is_terminated(s.states()))?;
-        Some((self.mis_members(sim.states()), done))
+        let mis = self.mis_members(sim.states());
+        // Runtime invariant: from the synchronized start, termination always
+        // yields a maximal independent set.
+        debug_assert!(
+            graphs::mis::is_maximal_independent_set(graph, &mis),
+            "terminated at round {done} with an invalid MIS"
+        );
+        Some((mis, done))
     }
 }
 

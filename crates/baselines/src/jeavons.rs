@@ -21,6 +21,10 @@ use beeping::protocol::{BeepSignal, BeepingProtocol, Channels};
 use graphs::{Graph, NodeId};
 use rand::{Rng, RngCore};
 
+/// Largest probability exponent a vertex can reach: `p` never falls below
+/// `2^{-62}`, keeping `2^{-prob_exp}` comfortably inside `f64` range.
+pub const MAX_PROB_EXP: u32 = 62;
+
 /// Status of a vertex in the JSX algorithm.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum JsxStatus {
@@ -120,6 +124,19 @@ impl JsxMis {
         max_rounds: u64,
     ) -> Option<(Vec<bool>, u64)> {
         let mut sim = beeping::Simulator::new(graph, *self, initial, seed);
+        if cfg!(debug_assertions) {
+            // Runtime invariant: the probability exponent stays inside
+            // [1, MAX_PROB_EXP] from any starting configuration.
+            sim.set_invariant_hook(|_, round, states: &[JsxState]| {
+                for (v, s) in states.iter().enumerate() {
+                    assert!(
+                        (1..=MAX_PROB_EXP).contains(&s.prob_exp),
+                        "round {round}: node {v} has prob_exp={} outside [1, {MAX_PROB_EXP}]",
+                        s.prob_exp
+                    );
+                }
+            });
+        }
         let done = sim.run_until(max_rounds, |s| self.is_terminated(s.states()))?;
         Some((self.mis_members(sim.states()), done))
     }
@@ -178,7 +195,7 @@ impl BeepingProtocol for JsxMis {
                         // A neighbor joined the MIS.
                         state.status = JsxStatus::OutOfMis;
                     } else if state.heard_in_competition {
-                        state.prob_exp = state.prob_exp.saturating_add(1).min(62);
+                        state.prob_exp = state.prob_exp.saturating_add(1).min(MAX_PROB_EXP);
                     } else {
                         state.prob_exp = state.prob_exp.saturating_sub(1).max(1);
                     }
@@ -271,7 +288,7 @@ mod tests {
         for _ in 0..500 {
             sim.step();
             for s in sim.states() {
-                assert!(s.prob_exp >= 1 && s.prob_exp <= 62);
+                assert!(s.prob_exp >= 1 && s.prob_exp <= MAX_PROB_EXP);
             }
         }
     }

@@ -86,7 +86,7 @@ impl<'g, P: StoneAgeProtocol> StoneAgeSimulator<'g, P> {
         assert!(sigma > 0, "alphabet must be non-empty");
         assert!(protocol.bound() >= 1, "bounding parameter must be >= 1");
         assert!(
-            initial_letters.iter().all(|&l| (l as usize) < sigma),
+            initial_letters.iter().all(|&letter| (letter as usize) < sigma),
             "initial letters must be inside the alphabet"
         );
         StoneAgeSimulator {

@@ -82,6 +82,17 @@ pub struct Simulator<'g, P: BeepingProtocol> {
     channel_state: ChannelState,
     channel_rng: Pcg64Mcg,
     active: Vec<bool>,
+    hook: InvariantHook<P::State>,
+}
+
+/// The per-round observer slot of a [`Simulator`]; wraps the boxed closure
+/// so the simulator can keep deriving [`Debug`].
+struct InvariantHook<S>(Option<Box<dyn FnMut(&Graph, u64, &[S])>>);
+
+impl<S> std::fmt::Debug for InvariantHook<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(if self.0.is_some() { "InvariantHook(installed)" } else { "InvariantHook(none)" })
+    }
 }
 
 impl<'g, P: BeepingProtocol> Simulator<'g, P> {
@@ -112,7 +123,38 @@ impl<'g, P: BeepingProtocol> Simulator<'g, P> {
             channel_state: ChannelState::default(),
             channel_rng: rng::aux_rng(seed, CHANNEL_RNG_PURPOSE),
             active: vec![true; n],
+            hook: InvariantHook(None),
         }
+    }
+
+    /// Installs a per-round invariant hook (builder style); see
+    /// [`Simulator::set_invariant_hook`].
+    pub fn with_invariant_hook<F>(mut self, hook: F) -> Simulator<'g, P>
+    where
+        F: FnMut(&Graph, u64, &[P::State]) + 'static,
+    {
+        self.set_invariant_hook(hook);
+        self
+    }
+
+    /// Installs a per-round invariant hook, replacing any previous one. The
+    /// hook runs at the end of every [`Simulator::step`] with the current
+    /// (possibly churned) topology, the 1-based round just executed and the
+    /// post-update states; it is expected to panic on a violated invariant.
+    /// Runners install a checker here in debug builds (e.g.
+    /// `mis::invariant::InvariantChecker`); the hook draws no randomness
+    /// and observes state only, so installing one never changes an
+    /// execution.
+    pub fn set_invariant_hook<F>(&mut self, hook: F)
+    where
+        F: FnMut(&Graph, u64, &[P::State]) + 'static,
+    {
+        self.hook = InvariantHook(Some(Box::new(hook)));
+    }
+
+    /// Removes the invariant hook, if any.
+    pub fn clear_invariant_hook(&mut self) {
+        self.hook = InvariantHook(None);
     }
 
     /// Switches to the given duplex mode (builder style); the default is
@@ -385,6 +427,9 @@ impl<'g, P: BeepingProtocol> Simulator<'g, P> {
             }
         }
         self.round += 1;
+        if let Some(hook) = self.hook.0.as_mut() {
+            hook(&self.graph, self.round, &self.states);
+        }
         RoundReport::from_signals(self.round, &self.sent, &self.heard)
     }
 
@@ -892,6 +937,42 @@ mod tests {
         assert_eq!(sim.graph().degree(1), 2);
         sim.step();
         assert_eq!(sim.states(), &[1, 1, 1]);
+    }
+
+    #[test]
+    fn invariant_hook_observes_every_round() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let g = classic::path(2);
+        let seen: Rc<RefCell<Vec<(u64, Vec<u64>)>>> = Rc::new(RefCell::new(Vec::new()));
+        let sink = Rc::clone(&seen);
+        let mut sim = Simulator::new(&g, Parity, vec![0, 0], 0)
+            .with_invariant_hook(move |graph, round, states: &[u64]| {
+                assert_eq!(graph.len(), 2);
+                sink.borrow_mut().push((round, states.to_vec()));
+            });
+        sim.run(3);
+        // Round 1: both beep (even counters), hear each other, increment;
+        // afterwards both are odd and silent forever.
+        assert_eq!(
+            *seen.borrow(),
+            vec![(1, vec![1, 1]), (2, vec![1, 1]), (3, vec![1, 1])]
+        );
+        // The hook observes only: removing it never changes the execution.
+        let mut plain = Simulator::new(&g, Parity, vec![0, 0], 0);
+        plain.run(3);
+        assert_eq!(plain.states(), sim.states());
+    }
+
+    #[test]
+    #[should_panic(expected = "invariant violated in round 2")]
+    fn invariant_hook_panics_propagate() {
+        let g = classic::path(2);
+        let mut sim =
+            Simulator::new(&g, Parity, vec![0, 0], 0).with_invariant_hook(|_, round, _| {
+                assert!(round < 2, "invariant violated in round {round}");
+            });
+        sim.run(5);
     }
 
     #[test]

@@ -66,7 +66,9 @@ pub fn gnm(n: usize, m: usize, seed: u64) -> Result<Graph, GraphError> {
         )));
     }
     let mut rng = rng_from_seed(seed);
-    let mut chosen = std::collections::HashSet::with_capacity(m);
+    // BTreeSet (not HashSet): iteration order must not depend on the
+    // process's hash keying, so the same seed always yields the same graph.
+    let mut chosen = std::collections::BTreeSet::new();
     // Rejection sampling is fine while m is at most half the possible edges;
     // beyond that, sample the complement instead.
     if m * 2 <= max_edges {
@@ -79,7 +81,7 @@ pub fn gnm(n: usize, m: usize, seed: u64) -> Result<Graph, GraphError> {
             }
         }
     } else {
-        let mut excluded = std::collections::HashSet::with_capacity(max_edges - m);
+        let mut excluded = std::collections::BTreeSet::new();
         while excluded.len() < max_edges - m {
             let u = rng.gen_range(0..n);
             let v = rng.gen_range(0..n);
@@ -133,7 +135,7 @@ pub fn random_regular(n: usize, d: usize, seed: u64) -> Result<Graph, GraphError
             }
         }
         stubs.shuffle(&mut rng);
-        let mut seen = std::collections::HashSet::with_capacity(n * d / 2);
+        let mut seen = std::collections::BTreeSet::new();
         for pair in stubs.chunks_exact(2) {
             let (u, v) = (pair[0], pair[1]);
             if u == v || !seen.insert(if u < v { (u, v) } else { (v, u) }) {
@@ -211,6 +213,19 @@ mod tests {
     #[test]
     fn gnm_rejects_too_many() {
         assert!(gnm(10, 46, 0).is_err());
+    }
+
+    #[test]
+    fn gnm_deterministic() {
+        // Both the rejection-sampling branch (sparse) and the complement
+        // branch (dense) must be a pure function of the seed.
+        assert_eq!(gnm(30, 40, 7).unwrap(), gnm(30, 40, 7).unwrap());
+        assert_eq!(gnm(30, 400, 7).unwrap(), gnm(30, 400, 7).unwrap());
+    }
+
+    #[test]
+    fn regular_deterministic() {
+        assert_eq!(random_regular(40, 4, 9).unwrap(), random_regular(40, 4, 9).unwrap());
     }
 
     #[test]

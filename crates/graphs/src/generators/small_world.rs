@@ -30,8 +30,11 @@ pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> Result<Graph,
     if n == 0 || k == 0 {
         return Ok(b.build());
     }
-    let mut present = std::collections::HashSet::with_capacity(n * k / 2);
-    let add = |set: &mut std::collections::HashSet<(usize, usize)>, u: usize, v: usize| {
+    // BTreeSet (not HashSet): the rewiring loop below iterates this set to
+    // drive the RNG, so iteration order must not depend on the process's
+    // hash keying or the same seed would yield different graphs.
+    let mut present = std::collections::BTreeSet::new();
+    let add = |set: &mut std::collections::BTreeSet<(usize, usize)>, u: usize, v: usize| {
         let e = if u < v { (u, v) } else { (v, u) };
         set.insert(e)
     };
@@ -85,6 +88,16 @@ mod tests {
         let g0 = watts_strogatz(50, 6, 0.0, 2).unwrap();
         let g1 = watts_strogatz(50, 6, 0.3, 2).unwrap();
         assert_eq!(g0.num_edges(), g1.num_edges());
+    }
+
+    #[test]
+    fn same_seed_same_graph() {
+        // Regression: the rewiring loop iterates `present` to drive the RNG;
+        // with a HashSet that order varied per instance, so the same seed
+        // produced different graphs even within one process.
+        let g0 = watts_strogatz(60, 4, 0.3, 7).unwrap();
+        let g1 = watts_strogatz(60, 4, 0.3, 7).unwrap();
+        assert_eq!(g0, g1);
     }
 
     #[test]

@@ -1,0 +1,387 @@
+//! A minimal Rust lexer: just enough token structure for the protocol lints.
+//!
+//! Comments and literals are classified so rules never fire on prose or
+//! format strings; multi-character operators are merged so `->` is never
+//! mistaken for a minus. This is deliberately not a full parser — the lints
+//! in [`crate::rules`] work on token patterns plus light structural context
+//! (brace depth, enclosing function, `#[cfg(test)]` regions).
+
+/// Classification of a [`Token`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `level`, `HashMap`, …).
+    Ident,
+    /// Operator or delimiter, multi-character operators merged (`::`, `->`).
+    Punct,
+    /// Number, string, char or byte literal (content opaque to the rules).
+    Literal,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+}
+
+/// One lexed token with its source position (1-based line and column).
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// The token text exactly as written (literals keep their quotes).
+    pub text: String,
+    /// Token classification.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based column (in characters).
+    pub col: u32,
+}
+
+impl Token {
+    /// `true` if this is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// `true` if this is the punctuation `s`.
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokenKind::Punct && self.text == s
+    }
+}
+
+/// Multi-character operators, longest first so greedy matching is correct.
+const MULTI_PUNCT: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "..", "+=", "-=", "*=", "/=", "%=", "^=", "&=",
+    "|=", "<<", ">>", "&&", "||", "==", "!=", "<=", ">=",
+];
+
+struct Scanner<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+    source: &'a str,
+}
+
+impl<'a> Scanner<'a> {
+    fn new(source: &'a str) -> Scanner<'a> {
+        Scanner { chars: source.chars().collect(), pos: 0, line: 1, col: 1, source }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        s.chars().enumerate().all(|(i, c)| self.peek(i) == Some(c))
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Lexes `source` into tokens, skipping whitespace and (nested) comments.
+///
+/// Unterminated literals are tolerated: the rest of the file becomes one
+/// literal token, which can at worst suppress findings in an already broken
+/// file — `cargo build` will reject it anyway.
+pub fn tokenize(source: &str) -> Vec<Token> {
+    let mut s = Scanner::new(source);
+    let mut tokens = Vec::new();
+    while let Some(c) = s.peek(0) {
+        let (line, col) = (s.line, s.col);
+        // Whitespace.
+        if c.is_whitespace() {
+            s.bump();
+            continue;
+        }
+        // Comments.
+        if s.starts_with("//") {
+            while let Some(c) = s.peek(0) {
+                if c == '\n' {
+                    break;
+                }
+                s.bump();
+            }
+            continue;
+        }
+        if s.starts_with("/*") {
+            s.bump();
+            s.bump();
+            let mut depth = 1usize;
+            while depth > 0 && s.peek(0).is_some() {
+                if s.starts_with("/*") {
+                    depth += 1;
+                    s.bump();
+                    s.bump();
+                } else if s.starts_with("*/") {
+                    depth -= 1;
+                    s.bump();
+                    s.bump();
+                } else {
+                    s.bump();
+                }
+            }
+            continue;
+        }
+        // Raw identifiers and raw / byte strings.
+        if c == 'r' || c == 'b' {
+            if let Some(tok) = try_lex_prefixed(&mut s, line, col) {
+                tokens.push(tok);
+                continue;
+            }
+        }
+        // Plain strings.
+        if c == '"' {
+            tokens.push(lex_string(&mut s, line, col));
+            continue;
+        }
+        // Char literal or lifetime.
+        if c == '\'' {
+            tokens.push(lex_quote(&mut s, line, col));
+            continue;
+        }
+        // Identifiers and keywords.
+        if is_ident_start(c) {
+            let mut text = String::new();
+            while let Some(c) = s.peek(0) {
+                if is_ident_continue(c) {
+                    text.push(c);
+                    s.bump();
+                } else {
+                    break;
+                }
+            }
+            tokens.push(Token { text, kind: TokenKind::Ident, line, col });
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() {
+            let mut text = String::new();
+            while let Some(c) = s.peek(0) {
+                if is_ident_continue(c) {
+                    text.push(c);
+                    s.bump();
+                } else if c == '.' && s.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                    text.push(c);
+                    s.bump();
+                } else {
+                    break;
+                }
+            }
+            tokens.push(Token { text, kind: TokenKind::Literal, line, col });
+            continue;
+        }
+        // Multi-character punctuation, longest match first.
+        if let Some(p) = MULTI_PUNCT.iter().find(|p| s.starts_with(p)) {
+            for _ in 0..p.chars().count() {
+                s.bump();
+            }
+            tokens.push(Token { text: (*p).to_string(), kind: TokenKind::Punct, line, col });
+            continue;
+        }
+        // Single-character punctuation.
+        s.bump();
+        tokens.push(Token { text: c.to_string(), kind: TokenKind::Punct, line, col });
+    }
+    debug_assert!(
+        tokens.iter().all(|t| !t.text.is_empty()),
+        "lexer produced an empty token for {:?}…",
+        &s.source[..s.source.len().min(40)]
+    );
+    tokens
+}
+
+/// Lexes tokens starting with `r` or `b`: raw identifiers (`r#match`), raw
+/// strings (`r"…"`, `r#"…"#`), byte strings (`b"…"`, `br#"…"#`) and byte
+/// chars (`b'x'`). Returns `None` when the prefix is just an ordinary
+/// identifier start.
+fn try_lex_prefixed(s: &mut Scanner<'_>, line: u32, col: u32) -> Option<Token> {
+    let first = s.peek(0)?;
+    // Byte char b'x'.
+    if first == 'b' && s.peek(1) == Some('\'') {
+        s.bump();
+        let mut tok = lex_quote(s, line, col);
+        tok.text.insert(0, 'b');
+        tok.kind = TokenKind::Literal;
+        return Some(tok);
+    }
+    // Compute the candidate prefix: r | b | br (rb is not a Rust prefix).
+    let prefix_len = if first == 'b' && s.peek(1) == Some('r') { 2 } else { 1 };
+    let mut hashes = 0usize;
+    while s.peek(prefix_len + hashes) == Some('#') {
+        hashes += 1;
+    }
+    let quote_at = prefix_len + hashes;
+    if s.peek(quote_at) == Some('"') {
+        // Raw or byte string.
+        let mut text = String::new();
+        for _ in 0..=quote_at {
+            text.push(s.bump().unwrap());
+        }
+        let closer: String = std::iter::once('"').chain(std::iter::repeat_n('#', hashes)).collect();
+        while s.peek(0).is_some() && !s.starts_with(&closer) {
+            text.push(s.bump().unwrap());
+        }
+        for _ in 0..closer.chars().count() {
+            if let Some(c) = s.bump() {
+                text.push(c);
+            }
+        }
+        return Some(Token { text, kind: TokenKind::Literal, line, col });
+    }
+    if first == 'r' && hashes == 1 && s.peek(2).is_some_and(is_ident_start) {
+        // Raw identifier r#ident: report as the bare identifier.
+        s.bump();
+        s.bump();
+        let mut text = String::new();
+        while let Some(c) = s.peek(0) {
+            if is_ident_continue(c) {
+                text.push(c);
+                s.bump();
+            } else {
+                break;
+            }
+        }
+        return Some(Token { text, kind: TokenKind::Ident, line, col });
+    }
+    None
+}
+
+fn lex_string(s: &mut Scanner<'_>, line: u32, col: u32) -> Token {
+    let mut text = String::new();
+    text.push(s.bump().unwrap()); // opening quote
+    while let Some(c) = s.bump() {
+        text.push(c);
+        if c == '\\' {
+            if let Some(e) = s.bump() {
+                text.push(e);
+            }
+        } else if c == '"' {
+            break;
+        }
+    }
+    Token { text, kind: TokenKind::Literal, line, col }
+}
+
+/// Disambiguates `'a'` (char literal) from `'a` (lifetime).
+fn lex_quote(s: &mut Scanner<'_>, line: u32, col: u32) -> Token {
+    let mut text = String::new();
+    text.push(s.bump().unwrap()); // opening quote
+    let next = s.peek(0);
+    let is_char = match next {
+        Some('\\') => true,
+        Some(c) if is_ident_start(c) => s.peek(1) == Some('\''),
+        Some(_) => true, // punctuation chars like '+' are always char literals
+        None => false,
+    };
+    if is_char {
+        while let Some(c) = s.bump() {
+            text.push(c);
+            if c == '\\' {
+                if let Some(e) = s.bump() {
+                    text.push(e);
+                }
+            } else if c == '\'' {
+                break;
+            }
+        }
+        Token { text, kind: TokenKind::Literal, line, col }
+    } else {
+        while let Some(c) = s.peek(0) {
+            if is_ident_continue(c) {
+                text.push(c);
+                s.bump();
+            } else {
+                break;
+            }
+        }
+        Token { text, kind: TokenKind::Lifetime, line, col }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        tokenize(src).into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        assert_eq!(texts("let x = a::b(y);"), ["let", "x", "=", "a", "::", "b", "(", "y", ")", ";"]);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(texts("a // HashMap\nb /* thread_rng /* nested */ */ c"), ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn strings_are_single_literals() {
+        let toks = tokenize(r#"f("level + 1 {x}")"#);
+        assert_eq!(toks.len(), 4);
+        assert_eq!(toks[2].kind, TokenKind::Literal);
+    }
+
+    #[test]
+    fn raw_strings() {
+        let toks = tokenize(r###"x r#"a " b"# y"###);
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[1].kind, TokenKind::Literal);
+        assert_eq!(toks[2].text, "y");
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let toks = tokenize("&'a str; '\\n'; 'x'; 'static");
+        assert_eq!(toks[1].kind, TokenKind::Lifetime);
+        assert_eq!(toks[1].text, "'a");
+        assert_eq!(toks[4].kind, TokenKind::Literal);
+        assert_eq!(toks[4].text, "'\\n'");
+        assert_eq!(toks[6].text, "'x'");
+        assert_eq!(toks.last().unwrap().kind, TokenKind::Lifetime);
+    }
+
+    #[test]
+    fn arrow_is_not_minus() {
+        let toks = tokenize("fn f() -> i32 { a - b }");
+        assert!(toks.iter().any(|t| t.is_punct("->")));
+        assert_eq!(toks.iter().filter(|t| t.is_punct("-")).count(), 1);
+    }
+
+    #[test]
+    fn numbers_with_suffixes_and_ranges() {
+        assert_eq!(texts("2f64.powi(-l)"), ["2f64", ".", "powi", "(", "-", "l", ")"]);
+        assert_eq!(texts("0..n"), ["0", "..", "n"]);
+        assert_eq!(texts("1.5e3"), ["1.5e3"]);
+    }
+
+    #[test]
+    fn positions_are_tracked() {
+        let toks = tokenize("a\n  b");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn raw_identifier() {
+        let toks = tokenize("r#fn x");
+        assert_eq!(toks[0].text, "fn");
+        assert_eq!(toks[0].kind, TokenKind::Ident);
+        assert_eq!(toks[1].text, "x");
+    }
+}

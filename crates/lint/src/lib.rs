@@ -1,0 +1,134 @@
+//! Workspace invariant linter for the beeping-mis reproduction.
+//!
+//! The correctness claims we reproduce (Thm 2.1/2.2, Cor 2.3) rest on
+//! invariants `rustc` cannot see: executions must be a pure function of the
+//! seed, level transitions must stay inside `[-ℓmax, ℓmax]`, and protocol
+//! hot paths must never panic on corrupted state. This crate enforces them
+//! as a CI gate:
+//!
+//! ```text
+//! cargo run -p lint              # lint the workspace, exit 1 on findings
+//! cargo run -p lint -- --json    # machine-readable output
+//! ```
+//!
+//! See [`rules`] for the catalog (L1 determinism, L2 level-arithmetic, L3
+//! panic-freedom) and DESIGN.md §"Determinism & invariants" for the policy.
+//! Deliberately sound sites are recorded in `lint-allow.txt` at the
+//! workspace root, each with a justifying comment.
+//!
+//! The crate is dependency-free by design: it is itself part of the CI gate
+//! and must build on air-gapped runners, so it uses a small hand-rolled
+//! lexer ([`lexer`]) instead of `syn`.
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+use std::path::{Path, PathBuf};
+
+pub use report::{parse_allowlist, AllowEntry, Report};
+pub use rules::{check_file, rules_for, Finding, RuleId};
+
+/// Lints one source string as `path` (workspace-relative, forward slashes)
+/// under `rules`.
+pub fn lint_source(path: &str, source: &str, rules: &[RuleId]) -> Vec<Finding> {
+    let tokens = lexer::tokenize(source);
+    let lines: Vec<&str> = source.lines().collect();
+    rules::check_file(path, &tokens, &lines, rules)
+}
+
+/// Recursively collects `.rs` files under `dir`, sorted for deterministic
+/// output.
+///
+/// # Errors
+///
+/// Propagates I/O errors as readable strings.
+pub fn collect_rs_files(dir: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut files = Vec::new();
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+        let path = entry.path();
+        if path.is_dir() {
+            files.extend(collect_rs_files(&path)?);
+        } else if path.extension().is_some_and(|ext| ext == "rs") {
+            files.push(path);
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Normalizes `path` relative to `root` with forward slashes, for scope
+/// matching and stable output on every platform.
+pub fn relative_slash_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Lints the whole workspace rooted at `root` (every `.rs` file under
+/// `crates/`, scoped per [`rules::rules_for`]), applying the allowlist.
+///
+/// # Errors
+///
+/// Returns a readable message on I/O or allowlist-syntax errors.
+pub fn lint_workspace(root: &Path, allowlist: &[AllowEntry]) -> Result<Report, String> {
+    let crates_dir = root.join("crates");
+    if !crates_dir.is_dir() {
+        return Err(format!("{} has no crates/ directory; pass --root", root.display()));
+    }
+    let mut findings = Vec::new();
+    let mut files_checked = 0usize;
+    for file in collect_rs_files(&crates_dir)? {
+        let rel = relative_slash_path(root, &file);
+        let rules = rules_for(&rel);
+        if rules.is_empty() {
+            continue;
+        }
+        let source =
+            std::fs::read_to_string(&file).map_err(|e| format!("cannot read {rel}: {e}"))?;
+        files_checked += 1;
+        findings.extend(lint_source(&rel, &source, &rules));
+    }
+    Ok(Report::from_findings(findings, allowlist, files_checked))
+}
+
+/// Lints explicit files with **all** rules (used by the fixture self-tests
+/// and for ad-hoc checks of files outside the standard scope).
+///
+/// # Errors
+///
+/// Returns a readable message on I/O errors.
+pub fn lint_files_all_rules(root: &Path, files: &[PathBuf]) -> Result<Report, String> {
+    let mut findings = Vec::new();
+    for file in files {
+        let rel = relative_slash_path(root, file);
+        let source =
+            std::fs::read_to_string(file).map_err(|e| format!("cannot read {rel}: {e}"))?;
+        findings.extend(lint_source(&rel, &source, &RuleId::all()));
+    }
+    Ok(Report::from_findings(findings, &[], files.len()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lint_source_applies_scope() {
+        let src = "fn f() { let m = std::collections::HashMap::new(); }";
+        assert_eq!(lint_source("x.rs", src, &[RuleId::L1]).len(), 1);
+        assert!(lint_source("x.rs", src, &[RuleId::L2]).is_empty());
+    }
+
+    #[test]
+    fn relative_paths_are_slashed() {
+        let root = Path::new("/a/b");
+        let file = Path::new("/a/b/crates/mis/src/levels.rs");
+        assert_eq!(relative_slash_path(root, file), "crates/mis/src/levels.rs");
+    }
+}

@@ -1,0 +1,113 @@
+//! CLI entry point: `cargo run -p lint [-- OPTIONS] [FILES…]`.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use lint::{lint_files_all_rules, lint_workspace, parse_allowlist, AllowEntry};
+
+const USAGE: &str = "\
+Usage: lint [OPTIONS] [FILES...]
+
+Lints the workspace's protocol crates for determinism (L1), level-arithmetic
+(L2) and panic-freedom (L3) violations. With FILES, lints exactly those files
+with every rule enabled (fixture/self-test mode).
+
+Options:
+  --root DIR        workspace root (default: auto-detected)
+  --allowlist FILE  allowlist path (default: <root>/lint-allow.txt)
+  --json            machine-readable output
+  -h, --help        this help
+";
+
+struct Options {
+    root: Option<PathBuf>,
+    allowlist: Option<PathBuf>,
+    json: bool,
+    files: Vec<PathBuf>,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options { root: None, allowlist: None, json: false, files: Vec::new() };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            "--root" => {
+                opts.root =
+                    Some(PathBuf::from(it.next().ok_or("--root needs a directory argument")?))
+            }
+            "--allowlist" => {
+                opts.allowlist =
+                    Some(PathBuf::from(it.next().ok_or("--allowlist needs a file argument")?))
+            }
+            "-h" | "--help" => return Err(String::new()),
+            other if other.starts_with('-') => return Err(format!("unknown option {other}")),
+            file => opts.files.push(PathBuf::from(file)),
+        }
+    }
+    Ok(opts)
+}
+
+/// Walks up from the current directory to the first one that looks like the
+/// workspace root (has both `Cargo.toml` and `crates/`), falling back to
+/// this crate's grandparent (`crates/lint/../..`).
+fn detect_root() -> PathBuf {
+    if let Ok(mut dir) = std::env::current_dir() {
+        loop {
+            if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+                return dir;
+            }
+            if !dir.pop() {
+                break;
+            }
+        }
+    }
+    Path::new(option_env!("CARGO_MANIFEST_DIR").unwrap_or(".")).join("../..")
+}
+
+fn load_allowlist(path: &Path, explicit: bool) -> Result<Vec<AllowEntry>, String> {
+    match std::fs::read_to_string(path) {
+        Ok(text) => parse_allowlist(&text),
+        // A missing default allowlist just means "nothing is allowed".
+        Err(_) if !explicit => Ok(Vec::new()),
+        Err(e) => Err(format!("cannot read allowlist {}: {e}", path.display())),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            if msg.is_empty() {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("error: {msg}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let root = opts.root.clone().unwrap_or_else(detect_root);
+    let result = if opts.files.is_empty() {
+        let allow_path =
+            opts.allowlist.clone().unwrap_or_else(|| root.join("lint-allow.txt"));
+        load_allowlist(&allow_path, opts.allowlist.is_some())
+            .and_then(|allowlist| lint_workspace(&root, &allowlist))
+    } else {
+        lint_files_all_rules(&root, &opts.files)
+    };
+    match result {
+        Ok(report) => {
+            if opts.json {
+                print!("{}", report.render_json());
+            } else {
+                print!("{}", report.render_text());
+            }
+            ExitCode::from(report.exit_code() as u8)
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! Allowlist handling and finding output (human text and JSON for CI).
+
+use crate::rules::Finding;
+
+/// One allowlist entry: `RULE path-suffix line-snippet`.
+///
+/// A finding is suppressed when the rule name matches, the finding's file
+/// ends with `path`, and the offending source line contains `snippet`.
+/// Snippet matching (rather than line numbers) keeps entries stable across
+/// unrelated edits; every entry must carry a `#`-comment on the preceding
+/// line explaining *why* the site is sound (policy, enforced by review).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// Rule name (`L1`, `L2`, `L3`).
+    pub rule: String,
+    /// Path suffix the finding's file must end with.
+    pub path: String,
+    /// Substring the offending line must contain.
+    pub snippet: String,
+    /// Line in the allowlist file (for diagnostics).
+    pub line: u32,
+}
+
+impl AllowEntry {
+    /// `true` if this entry suppresses `finding`.
+    pub fn matches(&self, finding: &Finding) -> bool {
+        self.rule == finding.rule.name()
+            && finding.file.ends_with(&self.path)
+            && finding.snippet.contains(&self.snippet)
+    }
+}
+
+/// Parses an allowlist file. Blank lines and `#` comments are skipped.
+///
+/// # Errors
+///
+/// Returns a message naming the malformed line when an entry does not have
+/// the three `RULE path snippet` fields.
+pub fn parse_allowlist(text: &str) -> Result<Vec<AllowEntry>, String> {
+    let mut entries = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.splitn(3, char::is_whitespace);
+        let (rule, path, snippet) = (parts.next(), parts.next(), parts.next());
+        match (rule, path, snippet) {
+            (Some(rule), Some(path), Some(snippet)) if !snippet.trim().is_empty() => {
+                entries.push(AllowEntry {
+                    rule: rule.to_string(),
+                    path: path.to_string(),
+                    snippet: snippet.trim().to_string(),
+                    line: i as u32 + 1,
+                });
+            }
+            _ => {
+                return Err(format!(
+                    "allowlist line {}: expected `RULE path-suffix line-snippet`, got {line:?}",
+                    i + 1
+                ))
+            }
+        }
+    }
+    Ok(entries)
+}
+
+/// Result of a lint run, after allowlist filtering.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Surviving violations.
+    pub findings: Vec<Finding>,
+    /// Number of findings suppressed by the allowlist.
+    pub allowed: usize,
+    /// Files checked.
+    pub files_checked: usize,
+    /// Allowlist entries that suppressed nothing (stale; reported so the
+    /// list can only shrink, never silently rot).
+    pub unused_allows: Vec<AllowEntry>,
+}
+
+impl Report {
+    /// Process exit code: `0` clean, `1` violations present.
+    pub fn exit_code(&self) -> i32 {
+        i32::from(!self.findings.is_empty())
+    }
+
+    /// Splits raw findings into kept and allowed using `allowlist`.
+    pub fn from_findings(
+        findings: Vec<Finding>,
+        allowlist: &[AllowEntry],
+        files_checked: usize,
+    ) -> Report {
+        let mut used = vec![false; allowlist.len()];
+        let mut kept = Vec::new();
+        let mut allowed = 0usize;
+        for finding in findings {
+            match allowlist.iter().position(|e| e.matches(&finding)) {
+                Some(i) => {
+                    used[i] = true;
+                    allowed += 1;
+                }
+                None => kept.push(finding),
+            }
+        }
+        let unused_allows = allowlist
+            .iter()
+            .zip(&used)
+            .filter(|(_, &u)| !u)
+            .map(|(e, _)| e.clone())
+            .collect();
+        Report { findings: kept, allowed, files_checked, unused_allows }
+    }
+
+    /// Human-readable output, one finding per block.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&format!(
+                "{} [{}/{}] {}:{}:{}\n  {}\n  > {}\n",
+                "error:",
+                f.rule.name(),
+                f.rule.title(),
+                f.file,
+                f.line,
+                f.col,
+                f.message,
+                f.snippet
+            ));
+        }
+        for e in &self.unused_allows {
+            out.push_str(&format!(
+                "warning: unused allowlist entry (line {}): {} {} {}\n",
+                e.line, e.rule, e.path, e.snippet
+            ));
+        }
+        out.push_str(&format!(
+            "{} finding(s), {} allowlisted, {} file(s) checked\n",
+            self.findings.len(),
+            self.allowed,
+            self.files_checked
+        ));
+        out
+    }
+
+    /// Machine-readable output for CI annotation tooling.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\"findings\":[");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"rule\":\"{}\",\"name\":\"{}\",\"file\":\"{}\",\"line\":{},\"col\":{},\
+                 \"message\":\"{}\",\"snippet\":\"{}\"}}",
+                f.rule.name(),
+                f.rule.title(),
+                escape_json(&f.file),
+                f.line,
+                f.col,
+                escape_json(&f.message),
+                escape_json(&f.snippet)
+            ));
+        }
+        out.push_str(&format!(
+            "],\"allowed\":{},\"files_checked\":{},\"unused_allowlist_entries\":{}}}",
+            self.allowed,
+            self.files_checked,
+            self.unused_allows.len()
+        ));
+        out.push('\n');
+        out
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::RuleId;
+
+    fn finding(rule: RuleId, file: &str, snippet: &str) -> Finding {
+        Finding {
+            rule,
+            file: file.to_string(),
+            line: 3,
+            col: 7,
+            message: "msg".to_string(),
+            snippet: snippet.to_string(),
+        }
+    }
+
+    #[test]
+    fn allowlist_parse_and_match() {
+        let text = "# why: clamp path is checked\nL2 crates/mis/src/runner.rs lmax as i64\n\n";
+        let entries = parse_allowlist(text).unwrap();
+        assert_eq!(entries.len(), 1);
+        let f = finding(RuleId::L2, "crates/mis/src/runner.rs", "let x = -(lmax as i64);");
+        assert!(entries[0].matches(&f));
+        let other = finding(RuleId::L2, "crates/mis/src/policy.rs", "let x = -(lmax as i64);");
+        assert!(!entries[0].matches(&other));
+    }
+
+    #[test]
+    fn allowlist_rejects_malformed() {
+        assert!(parse_allowlist("L2 onlytwo").is_err());
+    }
+
+    #[test]
+    fn report_filters_and_tracks_unused() {
+        let entries = parse_allowlist("L1 a.rs HashMap\nL3 b.rs unwrap\n").unwrap();
+        let findings = vec![finding(RuleId::L1, "x/a.rs", "let m: HashMap<u32, u32>;")];
+        let report = Report::from_findings(findings, &entries, 5);
+        assert_eq!(report.findings.len(), 0);
+        assert_eq!(report.allowed, 1);
+        assert_eq!(report.unused_allows.len(), 1);
+        assert_eq!(report.exit_code(), 0);
+        assert!(report.render_text().contains("unused allowlist entry"));
+    }
+
+    #[test]
+    fn json_escapes() {
+        let report = Report {
+            findings: vec![finding(RuleId::L1, "a\"b.rs", "x\t")],
+            allowed: 0,
+            files_checked: 1,
+            unused_allows: vec![],
+        };
+        let json = report.render_json();
+        assert!(json.contains("a\\\"b.rs"));
+        assert!(json.contains("x\\t"));
+        assert_eq!(report.exit_code(), 1);
+    }
+}

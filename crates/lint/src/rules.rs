@@ -1,0 +1,523 @@
+//! The lint catalog: repo-specific rules the compiler cannot express.
+//!
+//! | Rule | Name            | Guards                                                  |
+//! |------|-----------------|---------------------------------------------------------|
+//! | L1   | determinism     | no wall-clock or entropy sources, no hash-ordered maps   |
+//! | L2   | level-arithmetic| no raw `+`/`-`/`as` on level values outside `mis::levels`|
+//! | L3   | panic-freedom   | no `unwrap`/`expect`/`panic!`/indexing in protocol paths |
+//!
+//! Rules run on token streams ([`crate::lexer`]) with light structural
+//! context: `#[cfg(test)]`/`#[test]` regions are exempt (tests may use
+//! whatever they like), and L3 only applies inside the protocol hot-path
+//! functions (`transmit`, `receive`, `step`).
+
+use crate::lexer::{Token, TokenKind};
+
+/// Identifier of a lint rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RuleId {
+    /// Determinism: forbid entropy/time sources and hash-ordered containers.
+    L1,
+    /// Level arithmetic: forbid raw arithmetic on level values.
+    L2,
+    /// Panic-freedom: forbid panicking constructs in protocol hot paths.
+    L3,
+}
+
+impl RuleId {
+    /// Short machine name (`L1`…).
+    pub fn name(self) -> &'static str {
+        match self {
+            RuleId::L1 => "L1",
+            RuleId::L2 => "L2",
+            RuleId::L3 => "L3",
+        }
+    }
+
+    /// Human-readable rule title.
+    pub fn title(self) -> &'static str {
+        match self {
+            RuleId::L1 => "determinism",
+            RuleId::L2 => "level-arithmetic",
+            RuleId::L3 => "panic-freedom",
+        }
+    }
+
+    /// Every rule, in catalog order.
+    pub fn all() -> [RuleId; 3] {
+        [RuleId::L1, RuleId::L2, RuleId::L3]
+    }
+}
+
+/// One lint violation.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// The rule that fired.
+    pub rule: RuleId,
+    /// Workspace-relative path with forward slashes.
+    pub file: String,
+    /// 1-based line of the offending token.
+    pub line: u32,
+    /// 1-based column of the offending token.
+    pub col: u32,
+    /// What is wrong and what to use instead.
+    pub message: String,
+    /// The trimmed source line, for display and allowlist matching.
+    pub snippet: String,
+}
+
+/// Which rules apply to a workspace-relative path (forward slashes).
+///
+/// The scope is part of the lint contract (documented in DESIGN.md):
+///
+/// - **L1** covers the crates whose behavior must be a pure function of the
+///   seed: `beeping`, `mis`, `baselines` and the graph generators.
+///   Experiment drivers may use wall clocks for progress reporting.
+/// - **L2** covers the crates that manipulate levels; `mis/src/levels.rs`
+///   *is* the sanctioned arithmetic and is exempt.
+/// - **L3** covers every crate that implements protocol hot paths.
+pub fn rules_for(path: &str) -> Vec<RuleId> {
+    let mut rules = Vec::new();
+    let protocol_crate = path.starts_with("crates/beeping/src/")
+        || path.starts_with("crates/mis/src/")
+        || path.starts_with("crates/baselines/src/");
+    if protocol_crate || path.starts_with("crates/graphs/src/generators/") {
+        rules.push(RuleId::L1);
+    }
+    if (path.starts_with("crates/mis/src/") || path.starts_with("crates/baselines/src/"))
+        && path != "crates/mis/src/levels.rs"
+    {
+        rules.push(RuleId::L2);
+    }
+    if protocol_crate {
+        rules.push(RuleId::L3);
+    }
+    rules
+}
+
+/// Per-token structural context, computed in one pass.
+struct Context {
+    /// Token is inside a `#[cfg(test)]` / `#[test]` item.
+    in_test: Vec<bool>,
+    /// Name of the innermost enclosing `fn`, if any.
+    enclosing_fn: Vec<Option<String>>,
+}
+
+fn build_context(tokens: &[Token]) -> Context {
+    let n = tokens.len();
+    let mut in_test = vec![false; n];
+    let mut enclosing_fn: Vec<Option<String>> = vec![None; n];
+    // Pass 1: mark test regions. An attribute containing the ident `test`
+    // exempts the item it precedes, up to the matching close brace (or the
+    // terminating semicolon for brace-less items).
+    let mut i = 0;
+    while i < n {
+        if tokens[i].is_punct("#") && i + 1 < n && tokens[i + 1].is_punct("[") {
+            let mut j = i + 2;
+            let mut bracket_depth = 1usize;
+            let mut mentions_test = false;
+            while j < n && bracket_depth > 0 {
+                if tokens[j].is_punct("[") {
+                    bracket_depth += 1;
+                } else if tokens[j].is_punct("]") {
+                    bracket_depth -= 1;
+                } else if tokens[j].is_ident("test") {
+                    // `#[cfg(not(test))]` guards *production* code.
+                    let negated = j >= 2
+                        && tokens[j - 1].is_punct("(")
+                        && tokens[j - 2].is_ident("not");
+                    if !negated {
+                        mentions_test = true;
+                    }
+                }
+                j += 1;
+            }
+            if mentions_test {
+                // Mark from the attribute through the end of the next item.
+                let start = i;
+                let mut k = j;
+                let mut brace_depth = 0usize;
+                while k < n {
+                    if tokens[k].is_punct("{") {
+                        brace_depth += 1;
+                    } else if tokens[k].is_punct("}") {
+                        brace_depth -= 1;
+                        if brace_depth == 0 {
+                            break;
+                        }
+                    } else if tokens[k].is_punct(";") && brace_depth == 0 {
+                        break;
+                    }
+                    k += 1;
+                }
+                for slot in in_test.iter_mut().take((k + 1).min(n)).skip(start) {
+                    *slot = true;
+                }
+                i = j;
+                continue;
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+    // Pass 2: enclosing-function names via a (name, entry-depth) stack.
+    let mut depth = 0usize;
+    let mut stack: Vec<(String, usize)> = Vec::new();
+    let mut pending_fn: Option<String> = None;
+    for (idx, tok) in tokens.iter().enumerate() {
+        if tok.is_punct("{") {
+            if let Some(name) = pending_fn.take() {
+                stack.push((name, depth));
+            }
+            depth += 1;
+        } else if tok.is_punct("}") {
+            depth = depth.saturating_sub(1);
+            if let Some(&(_, d)) = stack.last() {
+                if depth == d {
+                    stack.pop();
+                }
+            }
+        } else if tok.is_punct(";") {
+            // A `;` before the body's `{` means a trait-method signature.
+            pending_fn = None;
+        } else if tok.is_ident("fn") {
+            if let Some(next) = tokens.get(idx + 1) {
+                if next.kind == TokenKind::Ident {
+                    pending_fn = Some(next.text.clone());
+                }
+            }
+        }
+        enclosing_fn[idx] = stack.last().map(|(name, _)| name.clone());
+    }
+    Context { in_test, enclosing_fn }
+}
+
+/// Runs `rules` over one file; `file` is the workspace-relative path and
+/// `lines` the raw source split by line (for snippets).
+pub fn check_file(file: &str, tokens: &[Token], lines: &[&str], rules: &[RuleId]) -> Vec<Finding> {
+    let ctx = build_context(tokens);
+    let mut findings = Vec::new();
+    for &rule in rules {
+        match rule {
+            RuleId::L1 => check_determinism(file, tokens, lines, &ctx, &mut findings),
+            RuleId::L2 => check_level_arithmetic(file, tokens, lines, &ctx, &mut findings),
+            RuleId::L3 => check_panic_freedom(file, tokens, lines, &ctx, &mut findings),
+        }
+    }
+    findings.sort_by_key(|f| (f.line, f.col, f.rule));
+    findings
+}
+
+fn snippet(lines: &[&str], line: u32) -> String {
+    lines.get(line as usize - 1).map_or(String::new(), |l| l.trim().to_string())
+}
+
+fn push(
+    findings: &mut Vec<Finding>,
+    rule: RuleId,
+    file: &str,
+    tok: &Token,
+    lines: &[&str],
+    message: String,
+) {
+    findings.push(Finding {
+        rule,
+        file: file.to_string(),
+        line: tok.line,
+        col: tok.col,
+        message,
+        snippet: snippet(lines, tok.line),
+    });
+}
+
+/// L1: sources of nondeterminism. `HashMap`/`HashSet` are banned outright
+/// (not merely their iteration): std's hasher is randomly keyed per
+/// instance, so any escape of their order — iteration, debug printing,
+/// `extend` — silently breaks bit-reproducibility per seed. Use `BTreeMap`/
+/// `BTreeSet` or sorted `Vec`s.
+fn check_determinism(
+    file: &str,
+    tokens: &[Token],
+    lines: &[&str],
+    ctx: &Context,
+    findings: &mut Vec<Finding>,
+) {
+    const BANNED: &[(&str, &str)] = &[
+        ("thread_rng", "seed a Pcg64Mcg via beeping::rng instead of OS entropy"),
+        ("from_entropy", "seed a Pcg64Mcg via beeping::rng instead of OS entropy"),
+        ("OsRng", "seed a Pcg64Mcg via beeping::rng instead of OS entropy"),
+        ("Instant", "wall clocks are nondeterministic; time in rounds instead"),
+        ("SystemTime", "wall clocks are nondeterministic; time in rounds instead"),
+        ("HashMap", "hash order is randomly keyed per process; use BTreeMap or a sorted Vec"),
+        ("HashSet", "hash order is randomly keyed per process; use BTreeSet or a sorted Vec"),
+    ];
+    for (i, tok) in tokens.iter().enumerate() {
+        if ctx.in_test[i] || tok.kind != TokenKind::Ident {
+            continue;
+        }
+        if let Some((name, why)) = BANNED.iter().find(|(name, _)| tok.text == *name) {
+            push(findings, RuleId::L1, file, tok, lines, format!("use of `{name}`: {why}"));
+        }
+        // `rand::random` draws from the thread-local entropy RNG.
+        if tok.is_ident("rand")
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct("::"))
+            && tokens.get(i + 2).is_some_and(|t| t.is_ident("random"))
+        {
+            push(
+                findings,
+                RuleId::L1,
+                file,
+                tok,
+                lines,
+                "use of `rand::random`: draws from thread-local OS entropy; \
+                 use the simulation's seeded streams"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+/// Identifiers treated as level values by L2.
+fn is_level_ident(t: &Token) -> bool {
+    t.kind == TokenKind::Ident
+        && (t.text == "level"
+            || t.text == "lmax"
+            || t.text == "ell"
+            || t.text == "l"
+            || t.text.ends_with("_level")
+            || t.text.ends_with("_lmax"))
+}
+
+const ARITH: &[&str] = &["+", "-", "+=", "-="];
+
+/// L2: raw arithmetic on level values. Every `ℓ` transition must go through
+/// the saturating helpers in `mis::levels` so the state space `[-ℓmax, ℓmax]`
+/// can never be left; a bare `level + 1` reintroduces exactly the overflow
+/// the paper's fault model excludes.
+fn check_level_arithmetic(
+    file: &str,
+    tokens: &[Token],
+    lines: &[&str],
+    ctx: &Context,
+    findings: &mut Vec<Finding>,
+) {
+    let mut reported: Option<(u32, u32)> = None;
+    for (i, tok) in tokens.iter().enumerate() {
+        if ctx.in_test[i] {
+            continue;
+        }
+        let fires = if tok.kind == TokenKind::Punct && ARITH.contains(&tok.text.as_str()) {
+            // `level + …`, `… - lmax`, unary `-lmax`.
+            tokens.get(i.wrapping_sub(1)).is_some_and(is_level_ident)
+                || tokens.get(i + 1).is_some_and(is_level_ident)
+        } else if tok.is_ident("as") {
+            // `lmax as i64` — casts silently truncate corrupted values
+            // instead of clamping them.
+            tokens.get(i.wrapping_sub(1)).is_some_and(is_level_ident)
+        } else {
+            false
+        };
+        if fires && reported != Some((tok.line, tok.col)) {
+            reported = Some((tok.line, tok.col));
+            push(
+                findings,
+                RuleId::L2,
+                file,
+                tok,
+                lines,
+                format!(
+                    "raw `{}` on a level value: route transitions through the \
+                     saturating helpers in mis::levels (update_level, clamp_level, …)",
+                    tok.text
+                ),
+            );
+        }
+    }
+}
+
+/// Functions L3 treats as protocol hot paths.
+fn is_hot_path(name: Option<&String>) -> bool {
+    matches!(name.map(String::as_str), Some("transmit") | Some("receive") | Some("step"))
+}
+
+/// L3: panicking constructs in protocol hot paths. A panic inside
+/// `transmit`/`receive`/`step` takes down the whole simulated network on a
+/// single node's bad state — the opposite of self-stabilization, where
+/// arbitrary state must be *recovered from*. `assert!`/`debug_assert!` stay
+/// allowed: they document model violations (programming errors), not state
+/// corruption. Slice indexing is checked in `transmit`/`receive` only — the
+/// per-node paths where every access must be via checked helpers; the
+/// simulator's `step` owns its index ranges.
+fn check_panic_freedom(
+    file: &str,
+    tokens: &[Token],
+    lines: &[&str],
+    ctx: &Context,
+    findings: &mut Vec<Finding>,
+) {
+    const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+    for (i, tok) in tokens.iter().enumerate() {
+        if ctx.in_test[i] || !is_hot_path(ctx.enclosing_fn[i].as_ref()) {
+            continue;
+        }
+        let in_receive_or_transmit = matches!(
+            ctx.enclosing_fn[i].as_deref(),
+            Some("transmit") | Some("receive")
+        );
+        if (tok.is_ident("unwrap") || tok.is_ident("expect"))
+            && tokens.get(i.wrapping_sub(1)).is_some_and(|t| t.is_punct("."))
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct("("))
+        {
+            push(
+                findings,
+                RuleId::L3,
+                file,
+                tok,
+                lines,
+                format!(
+                    "`.{}()` in protocol hot path `{}`: a corrupted state must not \
+                     panic the network; handle the None/Err arm explicitly",
+                    tok.text,
+                    ctx.enclosing_fn[i].as_deref().unwrap_or("?")
+                ),
+            );
+        }
+        if tok.kind == TokenKind::Ident
+            && PANIC_MACROS.contains(&tok.text.as_str())
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct("!"))
+        {
+            push(
+                findings,
+                RuleId::L3,
+                file,
+                tok,
+                lines,
+                format!(
+                    "`{}!` in protocol hot path `{}`: self-stabilization requires \
+                     recovering from arbitrary state, not panicking on it",
+                    tok.text,
+                    ctx.enclosing_fn[i].as_deref().unwrap_or("?")
+                ),
+            );
+        }
+        if in_receive_or_transmit
+            && tok.is_punct("[")
+            && tokens.get(i.wrapping_sub(1)).is_some_and(|t| {
+                t.kind == TokenKind::Ident || t.is_punct("]") || t.is_punct(")")
+            })
+        {
+            push(
+                findings,
+                RuleId::L3,
+                file,
+                tok,
+                lines,
+                "slice indexing in a per-node protocol path can panic on a \
+                 corrupted index; use `.get()` or iterate"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::tokenize;
+
+    fn run(path: &str, src: &str, rules: &[RuleId]) -> Vec<Finding> {
+        let tokens = tokenize(src);
+        let lines: Vec<&str> = src.lines().collect();
+        check_file(path, &tokens, &lines, rules)
+    }
+
+    #[test]
+    fn scope_mapping() {
+        assert_eq!(
+            rules_for("crates/mis/src/algorithm1.rs"),
+            vec![RuleId::L1, RuleId::L2, RuleId::L3]
+        );
+        assert_eq!(rules_for("crates/mis/src/levels.rs"), vec![RuleId::L1, RuleId::L3]);
+        assert_eq!(rules_for("crates/graphs/src/generators/random.rs"), vec![RuleId::L1]);
+        assert_eq!(rules_for("crates/graphs/src/graph.rs"), Vec::<RuleId>::new());
+        assert_eq!(rules_for("crates/experiments/src/scale.rs"), Vec::<RuleId>::new());
+        assert_eq!(rules_for("crates/beeping/src/sim.rs"), vec![RuleId::L1, RuleId::L3]);
+    }
+
+    #[test]
+    fn l1_flags_hash_containers_and_entropy() {
+        let src = "use std::collections::HashMap;\nfn f() { let r = thread_rng(); }\n";
+        let f = run("x.rs", src, &[RuleId::L1]);
+        assert_eq!(f.len(), 2);
+        assert_eq!(f[0].line, 1);
+        assert!(f[0].message.contains("HashMap"));
+        assert_eq!(f[1].line, 2);
+    }
+
+    #[test]
+    fn l1_ignores_tests_comments_strings() {
+        let src = "// HashMap is fine here\nfn f() { let s = \"HashSet\"; }\n\
+                   #[cfg(test)]\nmod tests { use std::collections::HashMap; }\n";
+        assert!(run("x.rs", src, &[RuleId::L1]).is_empty());
+    }
+
+    #[test]
+    fn l2_flags_raw_level_arithmetic() {
+        let src = "fn f(level: i32, lmax: i32) -> i32 { level + 1 }\n";
+        let f = run("x.rs", src, &[RuleId::L2]);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("saturating helpers"));
+    }
+
+    #[test]
+    fn l2_flags_casts_and_unary_minus() {
+        assert_eq!(run("x.rs", "fn f() { g(lmax as i64); }", &[RuleId::L2]).len(), 1);
+        assert_eq!(run("x.rs", "fn f() { g(-lmax); }", &[RuleId::L2]).len(), 1);
+    }
+
+    #[test]
+    fn l2_allows_comparisons_and_other_idents() {
+        assert!(run("x.rs", "fn f() { if l < lmax { g(count + 1); } }", &[RuleId::L2]).is_empty());
+    }
+
+    #[test]
+    fn l3_fires_only_in_hot_paths() {
+        let hot = "fn receive(&self) { x.unwrap(); }";
+        let cold = "fn helper() { x.unwrap(); }";
+        assert_eq!(run("x.rs", hot, &[RuleId::L3]).len(), 1);
+        assert!(run("x.rs", cold, &[RuleId::L3]).is_empty());
+    }
+
+    #[test]
+    fn l3_flags_panics_and_indexing() {
+        let src = "fn transmit(&self) { panic!(\"boom\"); let y = xs[i]; }";
+        let f = run("x.rs", src, &[RuleId::L3]);
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn l3_allows_asserts_and_array_literals() {
+        let src = "fn step(&mut self) { assert!(ok, \"bad\"); let a = [0; 4]; }";
+        assert!(run("x.rs", src, &[RuleId::L3]).is_empty());
+    }
+
+    #[test]
+    fn l3_nested_fn_scoping() {
+        // A helper closure/fn defined inside a hot path is still hot-path
+        // code lexically, but a hot-path name nested in a cold fn is not
+        // misattributed once the inner fn closes.
+        let src = "fn outer() { fn receive() { a.unwrap(); } b.unwrap(); }";
+        let f = run("x.rs", src, &[RuleId::L3]);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].snippet.contains("a.unwrap"), true);
+    }
+
+    #[test]
+    fn test_attribute_exempts_following_fn() {
+        let src = "#[test]\nfn step() { x.unwrap(); }\nfn receive() { y.unwrap(); }";
+        let f = run("x.rs", src, &[RuleId::L3]);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].snippet.contains("y.unwrap"));
+    }
+}

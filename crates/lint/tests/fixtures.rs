@@ -1,0 +1,83 @@
+//! Self-tests of the lint rules against checked-in fixture files, each
+//! containing exactly one deliberate violation (plus one clean fixture).
+//! Asserts the right rule fires at the right span and the run exits
+//! nonzero — the contract CI relies on.
+
+use std::path::{Path, PathBuf};
+
+use lint::{lint_files_all_rules, RuleId};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name)
+}
+
+fn root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+/// Lints one fixture and asserts it produces exactly one finding with the
+/// expected rule, span and snippet, and a failing exit code.
+fn assert_single_finding(name: &str, rule: RuleId, line: u32, col: u32, snippet: &str) {
+    let report = lint_files_all_rules(&root(), &[fixture(name)]).expect("fixture readable");
+    assert_eq!(report.exit_code(), 1, "{name} must fail the lint");
+    assert_eq!(report.findings.len(), 1, "{name}: {:?}", report.findings);
+    let f = &report.findings[0];
+    assert_eq!(f.rule, rule, "{name}");
+    assert_eq!((f.line, f.col), (line, col), "{name}: wrong span: {f:?}");
+    assert!(f.snippet.contains(snippet), "{name}: snippet {:?}", f.snippet);
+}
+
+#[test]
+fn l1_fires_on_hash_collections() {
+    assert_single_finding("l1_determinism.rs", RuleId::L1, 5, 38, "HashSet");
+}
+
+#[test]
+fn l2_fires_on_raw_level_arithmetic() {
+    assert_single_finding("l2_level_arithmetic.rs", RuleId::L2, 5, 11, "level + 1");
+}
+
+#[test]
+fn l3_fires_on_unwrap_in_hot_path() {
+    assert_single_finding("l3_panic_freedom.rs", RuleId::L3, 5, 17, "observation.unwrap()");
+}
+
+#[test]
+fn clean_fixture_passes() {
+    let report = lint_files_all_rules(&root(), &[fixture("clean.rs")]).expect("fixture readable");
+    assert_eq!(report.exit_code(), 0, "{:?}", report.findings);
+    assert!(report.findings.is_empty());
+}
+
+#[test]
+fn all_fixtures_together_exit_nonzero() {
+    let files: Vec<PathBuf> = [
+        "l1_determinism.rs",
+        "l2_level_arithmetic.rs",
+        "l3_panic_freedom.rs",
+        "clean.rs",
+    ]
+    .iter()
+    .map(|n| fixture(n))
+    .collect();
+    let report = lint_files_all_rules(&root(), &files).expect("fixtures readable");
+    assert_eq!(report.findings.len(), 3);
+    assert_eq!(report.exit_code(), 1);
+    // One finding per rule.
+    for rule in RuleId::all() {
+        assert_eq!(report.findings.iter().filter(|f| f.rule == rule).count(), 1, "{rule:?}");
+    }
+}
+
+/// The workspace itself must lint clean under the checked-in allowlist —
+/// the same invocation CI runs via `cargo run -p lint`.
+#[test]
+fn workspace_lints_clean_with_allowlist() {
+    let root = root();
+    let allowlist_text =
+        std::fs::read_to_string(root.join("lint-allow.txt")).expect("lint-allow.txt present");
+    let allowlist = lint::parse_allowlist(&allowlist_text).expect("allowlist well-formed");
+    let report = lint::lint_workspace(&root, &allowlist).expect("workspace readable");
+    assert_eq!(report.exit_code(), 0, "workspace findings: {:#?}", report.findings);
+    assert!(report.unused_allows.is_empty(), "stale allowlist: {:?}", report.unused_allows);
+}

@@ -1,0 +1,16 @@
+//! Lint fixture with no violations: sanctioned idioms only. This file is
+//! test data for `tests/fixtures.rs`; it is never compiled.
+
+use std::collections::BTreeMap;
+
+pub fn deterministic_histogram(xs: &[u32]) -> BTreeMap<u32, u32> {
+    let mut counts = BTreeMap::new();
+    for &x in xs {
+        *counts.entry(x).or_insert(0) += 1;
+    }
+    counts
+}
+
+pub fn halved(levels: &[i32]) -> Vec<i32> {
+    levels.iter().map(|&v| v.min(0)).collect()
+}

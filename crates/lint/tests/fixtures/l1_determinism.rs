@@ -1,0 +1,10 @@
+//! Lint fixture: a deliberate L1 (determinism) violation. This file is test
+//! data for `tests/fixtures.rs`; it is never compiled.
+
+pub fn histogram_order(xs: &[u32]) -> usize {
+    let mut seen = std::collections::HashSet::new();
+    for &x in xs {
+        seen.insert(x);
+    }
+    seen.len()
+}

@@ -1,0 +1,6 @@
+//! Lint fixture: a deliberate L2 (level-arithmetic) violation. This file is
+//! test data for `tests/fixtures.rs`; it is never compiled.
+
+pub fn bump(level: i32) -> i32 {
+    level + 1
+}

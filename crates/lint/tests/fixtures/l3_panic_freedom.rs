@@ -1,0 +1,6 @@
+//! Lint fixture: a deliberate L3 (panic-freedom) violation. This file is
+//! test data for `tests/fixtures.rs`; it is never compiled.
+
+pub fn receive(observation: Option<u32>) -> u32 {
+    observation.unwrap()
+}

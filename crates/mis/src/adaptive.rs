@@ -28,7 +28,8 @@ use beeping::protocol::{BeepSignal, BeepingProtocol, Channels};
 use graphs::{Graph, NodeId};
 use rand::{Rng, RngCore};
 
-use crate::levels::{beep_probability, Level};
+use crate::invariant::{debug_assert_level_in_range, LevelSpace};
+use crate::levels::{beep_probability, update_level, Level};
 
 /// Universal upper limit on learned caps (≈ `2 log₂(2^15) + 30`; supports
 /// any realistic network size).
@@ -175,6 +176,7 @@ impl BeepingProtocol for AdaptiveMis {
     }
 
     fn transmit(&self, _node: NodeId, state: &AdaptiveState, rng: &mut dyn RngCore) -> BeepSignal {
+        debug_assert_level_in_range(state.level, state.cap, LevelSpace::Signed);
         let p = beep_probability(state.level, state.cap);
         if p > 0.0 && rng.gen_bool(p) {
             BeepSignal::channel1()
@@ -201,13 +203,7 @@ impl BeepingProtocol for AdaptiveMis {
                 state.cap = (state.cap * 2).min(HARD_CAP);
             }
         }
-        if heard.on_channel1() {
-            state.level = (state.level + 1).min(state.cap);
-        } else if sent.on_channel1() {
-            state.level = -state.cap;
-        } else {
-            state.level = (state.level - 1).max(1);
-        }
+        state.level = update_level(state.level, state.cap, sent.on_channel1(), heard.on_channel1());
     }
 }
 

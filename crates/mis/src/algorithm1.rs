@@ -25,6 +25,7 @@ use beeping::protocol::{BeepSignal, BeepingProtocol, Channels};
 use graphs::{Graph, NodeId};
 use rand::{Rng, RngCore};
 
+use crate::invariant::{debug_assert_level_in_range, LevelSpace};
 use crate::levels::{beep_probability, update_level, Level};
 use crate::observer;
 use crate::policy::LmaxPolicy;
@@ -107,6 +108,7 @@ impl BeepingProtocol for Algorithm1 {
 
     fn transmit(&self, node: NodeId, state: &Level, rng: &mut dyn RngCore) -> BeepSignal {
         let lmax = self.policy.lmax(node);
+        debug_assert_level_in_range(*state, lmax, LevelSpace::Signed);
         let p = beep_probability(*state, lmax);
         // Draw even when p is 0 or 1 would be avoidable, but gen_bool(0.0)
         // and gen_bool(1.0) are exact, and drawing unconditionally keeps the

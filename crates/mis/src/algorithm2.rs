@@ -25,7 +25,8 @@ use beeping::protocol::{BeepSignal, BeepingProtocol, Channels};
 use graphs::{Graph, NodeId};
 use rand::{Rng, RngCore};
 
-use crate::levels::{update_level_two_channel, Level};
+use crate::invariant::{debug_assert_level_in_range, LevelSpace};
+use crate::levels::{beep1_probability, update_level_two_channel, Level};
 use crate::observer;
 use crate::policy::LmaxPolicy;
 use crate::runner::{self, Outcome, RunConfig, StabilizationError};
@@ -103,8 +104,11 @@ impl BeepingProtocol for Algorithm2 {
     fn transmit(&self, node: NodeId, state: &Level, rng: &mut dyn RngCore) -> BeepSignal {
         let lmax = self.policy.lmax(node);
         let l = *state;
-        debug_assert!((0..=lmax).contains(&l), "ℓ={l} outside [0, {lmax}]");
-        let beep1 = l > 0 && l < lmax && rng.gen_bool(2f64.powi(-l));
+        debug_assert_level_in_range(l, lmax, LevelSpace::NonNegative);
+        // `beep1_probability` asserts ℓ ∈ [0, ℓmax]; the draw is gated on
+        // p > 0 so the RNG stream is untouched in the deterministic regions.
+        let p1 = beep1_probability(l, lmax);
+        let beep1 = p1 > 0.0 && rng.gen_bool(p1);
         let beep2 = l == 0;
         BeepSignal::new(beep1, beep2)
     }

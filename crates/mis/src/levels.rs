@@ -56,6 +56,38 @@ pub fn beep_probability(level: Level, lmax: Level) -> f64 {
     }
 }
 
+/// Algorithm 2's *channel-1* beeping probability: `2^(-ℓ)` in the geometric
+/// region `0 < ℓ < ℓmax`, and `0` at both boundaries (an MIS node at `ℓ = 0`
+/// beeps on channel 2 instead; a node at `ℓmax` is silent).
+///
+/// # Panics
+///
+/// Panics if `ℓ` is outside Algorithm 2's state space `{0, …, ℓmax}`.
+pub fn beep1_probability(level: Level, lmax: Level) -> f64 {
+    assert!((0..=lmax).contains(&level), "level {level} outside state space [0, {lmax}]");
+    if level > 0 && level < lmax {
+        2f64.powi(-level)
+    } else {
+        0.0
+    }
+}
+
+/// The *claiming* level of Algorithm 1's state space: `-ℓmax`, the level a
+/// node jumps to after a lone beep and holds while it believes it is in the
+/// MIS. Centralized here so protocol code never negates `ℓmax` directly.
+pub fn claiming_level(lmax: Level) -> Level {
+    -lmax
+}
+
+/// Inclusive bounds of the level state space as `i64`, for sampling
+/// arbitrary RAM contents: `[-ℓmax, ℓmax]` when the space is signed
+/// (Algorithm 1), `[0, ℓmax]` otherwise (Algorithm 2). Centralized here so
+/// sampling code never widens or negates `ℓmax` directly.
+pub fn state_space_bounds(lmax: Level, signed: bool) -> (i64, i64) {
+    let hi = i64::from(lmax);
+    (if signed { -hi } else { 0 }, hi)
+}
+
 /// Algorithm 1's level update (paper Algorithm 1, second half of the round):
 ///
 /// ```text
@@ -222,6 +254,33 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn beep1_probability_regions() {
+        let lmax = 8;
+        // Silent at both boundaries: ℓ = 0 beeps on channel 2, ℓmax not at all.
+        assert_eq!(beep1_probability(0, lmax), 0.0);
+        assert_eq!(beep1_probability(lmax, lmax), 0.0);
+        // Geometric in between.
+        assert_eq!(beep1_probability(1, lmax), 0.5);
+        assert_eq!(beep1_probability(7, lmax), 2f64.powi(-7));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside state space")]
+    fn beep1_probability_rejects_negative() {
+        beep1_probability(-1, 8);
+    }
+
+    #[test]
+    fn claiming_and_bounds() {
+        assert_eq!(claiming_level(7), -7);
+        assert_eq!(state_space_bounds(7, true), (-7, 7));
+        assert_eq!(state_space_bounds(7, false), (0, 7));
+        // The bounds agree with the clamps.
+        assert_eq!(clamp_level(i64::MIN, 7), claiming_level(7));
+        assert_eq!(clamp_level_two_channel(i64::MIN, 7), 0);
     }
 
     #[test]

@@ -48,6 +48,7 @@ pub mod adaptive;
 pub mod algorithm1;
 pub mod algorithm2;
 pub mod dynamics;
+pub mod invariant;
 pub mod levels;
 pub mod observer;
 pub mod policy;
@@ -56,6 +57,7 @@ pub mod runner;
 pub mod theory;
 
 pub use algorithm1::Algorithm1;
+pub use invariant::{InvariantChecker, LevelSpace};
 pub use algorithm2::Algorithm2;
 pub use policy::LmaxPolicy;
 pub use recovery::{NoisyOutcome, NoisyRunConfig};

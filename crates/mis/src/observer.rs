@@ -20,7 +20,7 @@
 
 use graphs::{Graph, NodeId};
 
-use crate::levels::{beep_probability, Level};
+use crate::levels::{beep_probability, claiming_level, Level};
 
 /// A read-only view of one round's configuration, with the stable set
 /// precomputed.
@@ -215,7 +215,7 @@ pub fn stable_mis(graph: &Graph, lmax: &[Level], levels: &[Level]) -> Vec<bool> 
     graph
         .nodes()
         .map(|v| {
-            levels[v] == -lmax[v]
+            levels[v] == claiming_level(lmax[v])
                 && graph.neighbors(v).iter().all(|&u| levels[u as usize] == lmax[u as usize])
         })
         .collect()

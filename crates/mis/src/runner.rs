@@ -16,7 +16,7 @@ use rand_pcg::Pcg64Mcg;
 
 use crate::algorithm1::Algorithm1;
 use crate::algorithm2::Algorithm2;
-use crate::levels::{clamp_level, clamp_level_two_channel, Level};
+use crate::levels::{self, clamp_level, clamp_level_two_channel, state_space_bounds, Level};
 use crate::policy::LmaxPolicy;
 
 /// Purpose tag of the fault-injection RNG stream (see
@@ -65,8 +65,8 @@ impl InitialLevels {
             .enumerate()
             .map(|(v, &lmax)| match self {
                 InitialLevels::Random => {
-                    let low = if low_is_claim { -(lmax as i64) } else { 0 };
-                    clamp(rng.gen_range(low..=lmax as i64), lmax)
+                    let (low, high) = state_space_bounds(lmax, low_is_claim);
+                    clamp(rng.gen_range(low..=high), lmax)
                 }
                 InitialLevels::AllMax => lmax,
                 InitialLevels::AllClaiming => claim(lmax),
@@ -229,7 +229,7 @@ impl SelfStabilizingMis for Algorithm1 {
         clamp_level(raw, lmax)
     }
     fn claiming_level(&self, lmax: Level) -> Level {
-        -lmax
+        levels::claiming_level(lmax)
     }
     fn has_negative_levels(&self) -> bool {
         true
@@ -282,6 +282,10 @@ pub fn run<A: SelfStabilizingMis>(
 ) -> Result<Outcome, StabilizationError> {
     let levels = initial_levels(algo, &config);
     let mut sim = Simulator::new(graph, algo.clone(), levels, config.seed);
+    if cfg!(debug_assertions) {
+        let checker = crate::invariant::InvariantChecker::for_algorithm(algo);
+        sim.set_invariant_hook(move |g, round, states| checker.check_round(g, round, states));
+    }
     let mut fault_rng = aux_rng(config.seed, FAULT_RNG_PURPOSE);
     let mut trace = Trace::new();
     let mut history = config.record_levels.then(|| vec![sim.states().to_vec()]);
@@ -363,8 +367,8 @@ pub(crate) fn corrupt_targets<A: SelfStabilizingMis>(
 /// contents" for corruption or an adversarial fresh boot.
 pub(crate) fn random_level<A: SelfStabilizingMis>(algo: &A, v: usize, rng: &mut Pcg64Mcg) -> Level {
     let lmax = algo.policy().lmax(v);
-    let low = if algo.has_negative_levels() { -(lmax as i64) } else { 0 };
-    algo.clamp_raw(rng.gen_range(low..=lmax as i64), lmax)
+    let (low, high) = state_space_bounds(lmax, algo.has_negative_levels());
+    algo.clamp_raw(rng.gen_range(low..=high), lmax)
 }
 
 /// [`run`] specialized to [`Algorithm1`] (kept as a named entry point for
@@ -427,6 +431,10 @@ pub fn run_recovery<A: SelfStabilizingMis>(
     let config = RunConfig::new(seed).with_max_rounds(max_rounds);
     let levels = initial_levels(algo, &config);
     let mut sim = Simulator::new(graph, algo.clone(), levels, seed);
+    if cfg!(debug_assertions) {
+        let checker = crate::invariant::InvariantChecker::for_algorithm(algo);
+        sim.set_invariant_hook(move |g, round, states| checker.check_round(g, round, states));
+    }
     let first = sim
         .run_until(max_rounds, |s| algo.stabilized(graph, s.states()))
         .ok_or_else(|| budget_error(&sim))?;
