@@ -1,0 +1,369 @@
+//! The Byzantine-node adversary: *permanent* behavioral deviation.
+//!
+//! The paper's fault model (§1.1) is transient: RAM can be corrupted, but
+//! the code is in ROM, so every node eventually follows the algorithm again.
+//! This module models the complementary regime studied in the broader
+//! beeping-MIS literature — nodes whose *radio behavior* deviates forever:
+//!
+//! - [`ByzantineBehavior::StuckBeep`] / [`ByzantineBehavior::StuckSilent`]:
+//!   a radio wedged permanently on or off;
+//! - [`ByzantineBehavior::Babbler`]: beeps i.i.d. with probability `p` each
+//!   round, ignoring the protocol;
+//! - [`ByzantineBehavior::CrashRestart`]: periodically reboots with
+//!   adversary-chosen RAM (the closure picks the post-restart state);
+//! - [`ByzantineBehavior::Channel2Liar`]: for two-channel protocols
+//!   (Algorithm 2), asserts MIS membership on channel 2 in every round while
+//!   otherwise following the protocol.
+//!
+//! No algorithm can stabilize *at* a Byzantine site; the measurable claim is
+//! **containment** — disruption stays within a small graph radius of the
+//! faulty nodes — certified downstream by `mis::containment`.
+//!
+//! A [`ByzantinePlan`] composes with every other adversary axis
+//! ([`crate::channel`], [`crate::churn`], [`crate::faults`]). Behavior
+//! randomness (babbler coins, restart states) is drawn from a dedicated
+//! seeded stream inside the simulator, so executions stay bit-reproducible
+//! per seed and an *empty* plan draws nothing: it reproduces the reliable
+//! baseline exactly.
+//!
+//! # Example
+//!
+//! ```
+//! use beeping::byzantine::{ByzantineBehavior, ByzantinePlan};
+//! use beeping::protocol::Channels;
+//!
+//! let plan: ByzantinePlan<i32> = ByzantinePlan::new()
+//!     .with_behavior(0, ByzantineBehavior::StuckBeep)
+//!     .with_behavior(3, ByzantineBehavior::Babbler(0.5));
+//! assert!(plan.validate(8, Channels::One).is_ok());
+//! assert_eq!(plan.nodes(), vec![0, 3]);
+//! ```
+
+use std::fmt;
+use std::rc::Rc;
+
+use graphs::NodeId;
+use rand_pcg::Pcg64Mcg;
+
+use crate::protocol::Channels;
+
+/// The adversary's state-resurrection closure for
+/// [`ByzantineBehavior::CrashRestart`]: given the node, the 1-based round
+/// being executed and the Byzantine RNG stream, it returns the arbitrary
+/// RAM contents the node reboots with.
+pub struct Resurrect<S>(Rc<dyn Fn(NodeId, u64, &mut Pcg64Mcg) -> S>);
+
+impl<S> Resurrect<S> {
+    /// Wraps a resurrection closure.
+    pub fn new<F>(f: F) -> Resurrect<S>
+    where
+        F: Fn(NodeId, u64, &mut Pcg64Mcg) -> S + 'static,
+    {
+        Resurrect(Rc::new(f))
+    }
+
+    /// Draws the post-restart state for `node` at `round`.
+    pub fn call(&self, node: NodeId, round: u64, rng: &mut Pcg64Mcg) -> S {
+        (self.0)(node, round, rng)
+    }
+}
+
+impl<S> Clone for Resurrect<S> {
+    fn clone(&self) -> Resurrect<S> {
+        Resurrect(Rc::clone(&self.0))
+    }
+}
+
+impl<S> fmt::Debug for Resurrect<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Resurrect(closure)")
+    }
+}
+
+/// How a Byzantine node deviates, applied inside the simulator round loop.
+#[derive(Debug, Clone)]
+pub enum ByzantineBehavior<S> {
+    /// Beeps on every declared channel in every round.
+    StuckBeep,
+    /// Never beeps, regardless of the protocol's decision.
+    StuckSilent,
+    /// Beeps on every declared channel i.i.d. with probability `p ∈ [0, 1]`
+    /// each round, drawn from the dedicated Byzantine stream.
+    Babbler(f64),
+    /// Follows the protocol but additionally beeps on channel 2 every round
+    /// — a persistent false "I am in the MIS" announcement against
+    /// two-channel protocols (Algorithm 2). Requires [`Channels::Two`].
+    Channel2Liar,
+    /// Every `period` rounds the node reboots: its state is overwritten by
+    /// `resurrect` *before* the round's transmissions, then the protocol
+    /// runs normally until the next restart.
+    CrashRestart {
+        /// Restart interval in rounds (must be `> 0`); the node reboots in
+        /// rounds `period`, `2·period`, ….
+        period: u64,
+        /// Adversary-chosen post-restart RAM contents.
+        resurrect: Resurrect<S>,
+    },
+}
+
+impl<S> ByzantineBehavior<S> {
+    /// Short human-readable label for reports and certificates.
+    pub fn label(&self) -> String {
+        match self {
+            ByzantineBehavior::StuckBeep => "stuck-beep".to_string(),
+            ByzantineBehavior::StuckSilent => "stuck-silent".to_string(),
+            ByzantineBehavior::Babbler(p) => format!("babbler({p:.2})"),
+            ByzantineBehavior::Channel2Liar => "channel2-liar".to_string(),
+            ByzantineBehavior::CrashRestart { period, .. } => {
+                format!("crash-restart({period})")
+            }
+        }
+    }
+}
+
+/// A misconfigured [`ByzantinePlan`], reported by [`ByzantinePlan::validate`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ByzantineError {
+    /// A behavior was assigned to a node id outside `0..n`.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: NodeId,
+        /// The network size it was validated against.
+        n: usize,
+    },
+    /// A [`ByzantineBehavior::Babbler`] probability outside `[0, 1]`.
+    InvalidProbability {
+        /// The node carrying the babbler.
+        node: NodeId,
+        /// The offending probability.
+        p: f64,
+    },
+    /// A [`ByzantineBehavior::CrashRestart`] with `period == 0`.
+    ZeroPeriod {
+        /// The node carrying the crash-restart behavior.
+        node: NodeId,
+    },
+    /// A [`ByzantineBehavior::Channel2Liar`] against a single-channel
+    /// protocol.
+    Channel2Unavailable {
+        /// The node carrying the liar behavior.
+        node: NodeId,
+    },
+}
+
+impl fmt::Display for ByzantineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ByzantineError::NodeOutOfRange { node, n } => {
+                write!(f, "byzantine node {node} out of range for n={n}")
+            }
+            ByzantineError::InvalidProbability { node, p } => {
+                write!(f, "babbler probability must be in [0,1], got {p} (node {node})")
+            }
+            ByzantineError::ZeroPeriod { node } => {
+                write!(f, "crash-restart period must be > 0 (node {node})")
+            }
+            ByzantineError::Channel2Unavailable { node } => {
+                write!(f, "channel2-liar requires a two-channel protocol (node {node})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ByzantineError {}
+
+/// Per-node Byzantine behavior overrides for one execution.
+///
+/// Assigning a behavior to the same node twice keeps the last assignment
+/// (mirroring jammer semantics in [`crate::channel::ChannelFault`]). An
+/// empty plan is the honest network.
+#[derive(Debug, Clone, Default)]
+pub struct ByzantinePlan<S> {
+    overrides: Vec<(NodeId, ByzantineBehavior<S>)>,
+}
+
+impl<S> ByzantinePlan<S> {
+    /// An empty plan: every node honest.
+    pub fn new() -> ByzantinePlan<S> {
+        ByzantinePlan { overrides: Vec::new() }
+    }
+
+    /// Assigns `behavior` to `node` (builder style; last assignment wins).
+    pub fn with_behavior(
+        mut self,
+        node: NodeId,
+        behavior: ByzantineBehavior<S>,
+    ) -> ByzantinePlan<S> {
+        self.set_behavior(node, behavior);
+        self
+    }
+
+    /// Assigns `behavior` to `node` in place (last assignment wins).
+    pub fn set_behavior(&mut self, node: NodeId, behavior: ByzantineBehavior<S>) {
+        self.overrides.push((node, behavior));
+    }
+
+    /// The behavior of `node`, if it is Byzantine.
+    pub fn behavior(&self, node: NodeId) -> Option<&ByzantineBehavior<S>> {
+        self.overrides.iter().rev().find(|(v, _)| *v == node).map(|(_, b)| b)
+    }
+
+    /// The raw assignment list, in insertion order (duplicates included; the
+    /// last assignment per node is the effective one).
+    pub fn overrides(&self) -> &[(NodeId, ByzantineBehavior<S>)] {
+        &self.overrides
+    }
+
+    /// The sorted, deduplicated set of Byzantine node ids.
+    pub fn nodes(&self) -> Vec<NodeId> {
+        let mut nodes: Vec<NodeId> = self.overrides.iter().map(|(v, _)| *v).collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        nodes
+    }
+
+    /// `true` if no node is Byzantine.
+    pub fn is_empty(&self) -> bool {
+        self.overrides.is_empty()
+    }
+
+    /// Number of distinct Byzantine nodes.
+    pub fn len(&self) -> usize {
+        self.nodes().len()
+    }
+
+    /// Checks the plan against an `n`-node network running a protocol with
+    /// the given channel count. Call this (or let
+    /// [`crate::Simulator::with_byzantine`] call it) before execution so a
+    /// misconfigured adversary fails at build time, not mid-simulation.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ByzantineError`] in insertion order.
+    pub fn validate(&self, n: usize, channels: Channels) -> Result<(), ByzantineError> {
+        for (node, behavior) in &self.overrides {
+            let node = *node;
+            if node >= n {
+                return Err(ByzantineError::NodeOutOfRange { node, n });
+            }
+            match behavior {
+                ByzantineBehavior::Babbler(p) => {
+                    if !(0.0..=1.0).contains(p) {
+                        return Err(ByzantineError::InvalidProbability { node, p: *p });
+                    }
+                }
+                ByzantineBehavior::CrashRestart { period, .. } => {
+                    if *period == 0 {
+                        return Err(ByzantineError::ZeroPeriod { node });
+                    }
+                }
+                ByzantineBehavior::Channel2Liar => {
+                    if channels != Channels::Two {
+                        return Err(ByzantineError::Channel2Unavailable { node });
+                    }
+                }
+                ByzantineBehavior::StuckBeep | ByzantineBehavior::StuckSilent => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_lookup_last_assignment_wins() {
+        let plan: ByzantinePlan<u32> = ByzantinePlan::new()
+            .with_behavior(1, ByzantineBehavior::StuckBeep)
+            .with_behavior(1, ByzantineBehavior::StuckSilent);
+        assert!(matches!(plan.behavior(1), Some(ByzantineBehavior::StuckSilent)));
+        assert!(plan.behavior(0).is_none());
+        assert_eq!(plan.nodes(), vec![1]);
+        assert_eq!(plan.len(), 1);
+        assert!(!plan.is_empty());
+        assert!(ByzantinePlan::<u32>::new().is_empty());
+    }
+
+    #[test]
+    fn validate_catches_each_misconfiguration() {
+        let out_of_range: ByzantinePlan<u32> =
+            ByzantinePlan::new().with_behavior(9, ByzantineBehavior::StuckBeep);
+        assert_eq!(
+            out_of_range.validate(4, Channels::One),
+            Err(ByzantineError::NodeOutOfRange { node: 9, n: 4 })
+        );
+
+        let bad_p: ByzantinePlan<u32> =
+            ByzantinePlan::new().with_behavior(0, ByzantineBehavior::Babbler(1.5));
+        assert_eq!(
+            bad_p.validate(4, Channels::One),
+            Err(ByzantineError::InvalidProbability { node: 0, p: 1.5 })
+        );
+
+        let zero_period: ByzantinePlan<u32> = ByzantinePlan::new().with_behavior(
+            0,
+            ByzantineBehavior::CrashRestart { period: 0, resurrect: Resurrect::new(|_, _, _| 7) },
+        );
+        assert_eq!(
+            zero_period.validate(4, Channels::One),
+            Err(ByzantineError::ZeroPeriod { node: 0 })
+        );
+
+        let liar: ByzantinePlan<u32> =
+            ByzantinePlan::new().with_behavior(2, ByzantineBehavior::Channel2Liar);
+        assert_eq!(
+            liar.validate(4, Channels::One),
+            Err(ByzantineError::Channel2Unavailable { node: 2 })
+        );
+        assert!(liar.validate(4, Channels::Two).is_ok());
+
+        let ok: ByzantinePlan<u32> = ByzantinePlan::new()
+            .with_behavior(0, ByzantineBehavior::StuckBeep)
+            .with_behavior(1, ByzantineBehavior::Babbler(0.5))
+            .with_behavior(
+                2,
+                ByzantineBehavior::CrashRestart {
+                    period: 10,
+                    resurrect: Resurrect::new(|_, _, _| 0),
+                },
+            );
+        assert!(ok.validate(4, Channels::One).is_ok());
+    }
+
+    #[test]
+    fn errors_display_their_context() {
+        let e = ByzantineError::NodeOutOfRange { node: 9, n: 4 };
+        assert!(e.to_string().contains("out of range"));
+        let e = ByzantineError::InvalidProbability { node: 1, p: -0.5 };
+        assert!(e.to_string().contains("[0,1]"));
+        let e = ByzantineError::ZeroPeriod { node: 3 };
+        assert!(e.to_string().contains("period"));
+        let e = ByzantineError::Channel2Unavailable { node: 2 };
+        assert!(e.to_string().contains("two-channel"));
+    }
+
+    #[test]
+    fn labels_are_descriptive() {
+        assert_eq!(ByzantineBehavior::<u32>::StuckBeep.label(), "stuck-beep");
+        assert_eq!(ByzantineBehavior::<u32>::StuckSilent.label(), "stuck-silent");
+        assert_eq!(ByzantineBehavior::<u32>::Babbler(0.5).label(), "babbler(0.50)");
+        assert_eq!(ByzantineBehavior::<u32>::Channel2Liar.label(), "channel2-liar");
+        let cr = ByzantineBehavior::CrashRestart {
+            period: 25,
+            resurrect: Resurrect::new(|_, _, _| 0u32),
+        };
+        assert_eq!(cr.label(), "crash-restart(25)");
+    }
+
+    #[test]
+    fn resurrect_is_cloneable_and_callable() {
+        let r = Resurrect::new(|node, round, _rng: &mut Pcg64Mcg| node as u64 + round);
+        let r2 = r.clone();
+        let mut rng = crate::rng::aux_rng(0, 0);
+        assert_eq!(r.call(3, 10, &mut rng), 13);
+        assert_eq!(r2.call(3, 10, &mut rng), 13);
+        assert!(format!("{r:?}").contains("Resurrect"));
+    }
+}

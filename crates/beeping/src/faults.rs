@@ -15,6 +15,52 @@ use rand::seq::SliceRandom;
 use rand::Rng;
 use rand_pcg::Pcg64Mcg;
 
+/// A misconfigured fault target, reported by [`FaultTarget::validate`].
+///
+/// Validation runs when a plan is *built* (or handed to a runner), so a bad
+/// schedule fails before any simulation round executes instead of panicking
+/// mid-execution from inside the round loop.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultError {
+    /// An explicit target names a node id `>= n`.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: NodeId,
+        /// The network size it was checked against.
+        n: usize,
+    },
+    /// A `RandomCount` asks for more distinct victims than the network has.
+    CountTooLarge {
+        /// The requested victim count.
+        count: usize,
+        /// The network size it was checked against.
+        n: usize,
+    },
+    /// A `RandomFraction` probability is outside `[0, 1]` (or NaN).
+    FractionOutOfRange {
+        /// The offending probability.
+        p: f64,
+    },
+}
+
+impl std::fmt::Display for FaultError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultError::NodeOutOfRange { node, n } => {
+                write!(f, "fault target node {node} out of range for n={n}")
+            }
+            FaultError::CountTooLarge { count, n } => {
+                write!(f, "cannot corrupt {count} of {n} nodes")
+            }
+            FaultError::FractionOutOfRange { p } => {
+                write!(f, "fraction must be in [0,1], got {p}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultError {}
+
 /// Which nodes a fault event strikes.
 #[derive(Debug, Clone, PartialEq)]
 pub enum FaultTarget {
@@ -29,38 +75,69 @@ pub enum FaultTarget {
 }
 
 impl FaultTarget {
+    /// Checks the target against an `n`-node network.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`FaultError`] found: an explicit node id `>= n`, a
+    /// `RandomCount` greater than `n`, or a `RandomFraction` outside
+    /// `[0, 1]`.
+    pub fn validate(&self, n: usize) -> Result<(), FaultError> {
+        match self {
+            FaultTarget::All => Ok(()),
+            FaultTarget::Nodes(nodes) => match nodes.iter().find(|&&v| v >= n) {
+                Some(&node) => Err(FaultError::NodeOutOfRange { node, n }),
+                None => Ok(()),
+            },
+            FaultTarget::RandomCount(count) => {
+                if *count > n {
+                    Err(FaultError::CountTooLarge { count: *count, n })
+                } else {
+                    Ok(())
+                }
+            }
+            FaultTarget::RandomFraction(p) => {
+                if (0.0..=1.0).contains(p) {
+                    Ok(())
+                } else {
+                    Err(FaultError::FractionOutOfRange { p: *p })
+                }
+            }
+        }
+    }
+
     /// Resolves the target to a concrete node list for an `n`-node network.
     ///
-    /// # Panics
-    ///
-    /// Panics if a `RandomFraction` probability is outside `[0, 1]`, if a
-    /// `RandomCount` exceeds `n`, or if an explicit node id is out of range.
+    /// Infallible: runners [`validate`](FaultTarget::validate) plans before
+    /// the first round, so by the time `select` runs inside the round loop a
+    /// malformed target cannot abort the execution. If an unvalidated target
+    /// reaches it anyway, out-of-range explicit ids are dropped, an
+    /// oversized `RandomCount` saturates at `n`, and a `RandomFraction` is
+    /// clamped into `[0, 1]`.
     pub fn select(&self, n: usize, rng: &mut Pcg64Mcg) -> Vec<NodeId> {
         match self {
             FaultTarget::All => (0..n).collect(),
             FaultTarget::Nodes(nodes) => {
-                for &v in nodes {
-                    assert!(v < n, "fault target node {v} out of range for n={n}");
-                }
                 // Normalize: every select() variant yields sorted, distinct
                 // nodes, so callers corrupt each victim exactly once and in
                 // a schedule-independent order.
-                let mut nodes = nodes.clone();
+                let mut nodes: Vec<NodeId> = nodes.iter().copied().filter(|&v| v < n).collect();
                 nodes.sort_unstable();
                 nodes.dedup();
                 nodes
             }
             FaultTarget::RandomCount(count) => {
-                assert!(*count <= n, "cannot corrupt {count} of {n} nodes");
                 let mut all: Vec<NodeId> = (0..n).collect();
                 all.shuffle(rng);
-                all.truncate(*count);
+                all.truncate((*count).min(n));
                 all.sort_unstable();
                 all
             }
             FaultTarget::RandomFraction(p) => {
-                assert!((0.0..=1.0).contains(p), "fraction must be in [0,1], got {p}");
-                (0..n).filter(|_| rng.gen_bool(*p)).collect()
+                // One draw per node regardless of `p`, so clamping a bad
+                // fraction cannot shift the stream of a valid one.
+                let p = if p.is_nan() { 0.0 } else { p.clamp(0.0, 1.0) };
+                (0..n).filter(|_| rng.gen_bool(p)).collect()
             }
         }
     }
@@ -80,6 +157,15 @@ impl TransientFault {
     /// Creates a fault striking `target` after `after_round` rounds.
     pub fn new(after_round: u64, target: FaultTarget) -> TransientFault {
         TransientFault { after_round, target }
+    }
+
+    /// Checks the event's target against an `n`-node network.
+    ///
+    /// # Errors
+    ///
+    /// Returns the target's [`FaultError`], if any.
+    pub fn validate(&self, n: usize) -> Result<(), FaultError> {
+        self.target.validate(n)
     }
 }
 
@@ -141,6 +227,19 @@ impl FaultPlan {
     pub fn last_fault_round(&self) -> Option<u64> {
         self.events.last().map(|e| e.after_round)
     }
+
+    /// Checks every scheduled event against an `n`-node network.
+    ///
+    /// Runners call this before the first round so a misconfigured plan
+    /// fails at build time; [`FaultTarget::select`] is then infallible
+    /// inside the round loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first scheduled event's [`FaultError`], in round order.
+    pub fn validate(&self, n: usize) -> Result<(), FaultError> {
+        self.events.iter().try_for_each(|e| e.validate(n))
+    }
 }
 
 #[cfg(test)]
@@ -161,10 +260,60 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "out of range")]
-    fn select_explicit_out_of_range() {
+    fn validate_catches_each_misconfiguration() {
+        assert_eq!(
+            FaultTarget::Nodes(vec![1, 9]).validate(4),
+            Err(FaultError::NodeOutOfRange { node: 9, n: 4 })
+        );
+        assert_eq!(
+            FaultTarget::RandomCount(11).validate(10),
+            Err(FaultError::CountTooLarge { count: 11, n: 10 })
+        );
+        assert_eq!(
+            FaultTarget::RandomFraction(1.5).validate(10),
+            Err(FaultError::FractionOutOfRange { p: 1.5 })
+        );
+        assert!(FaultTarget::RandomFraction(f64::NAN).validate(10).is_err());
+        assert!(FaultTarget::All.validate(0).is_ok());
+        assert!(FaultTarget::Nodes(vec![0, 3]).validate(4).is_ok());
+        assert!(FaultTarget::RandomCount(10).validate(10).is_ok());
+        assert!(FaultTarget::RandomFraction(0.0).validate(10).is_ok());
+        assert!(FaultTarget::RandomFraction(1.0).validate(10).is_ok());
+    }
+
+    #[test]
+    fn fault_error_display_matches_context() {
+        let e = FaultError::NodeOutOfRange { node: 9, n: 4 };
+        assert!(e.to_string().contains("out of range"));
+        let e = FaultError::CountTooLarge { count: 11, n: 10 };
+        assert!(e.to_string().contains("cannot corrupt"));
+        let e = FaultError::FractionOutOfRange { p: -0.5 };
+        assert!(e.to_string().contains("[0,1]"));
+    }
+
+    #[test]
+    fn select_is_infallible_on_unvalidated_input() {
+        // A target that never went through validate() must not abort the
+        // round loop: bad ids are dropped, counts saturate, fractions clamp.
         let mut rng = aux_rng(0, 0);
-        FaultTarget::Nodes(vec![9]).select(4, &mut rng);
+        assert_eq!(FaultTarget::Nodes(vec![9, 1, 9]).select(4, &mut rng), vec![1]);
+        assert_eq!(FaultTarget::RandomCount(11).select(10, &mut rng).len(), 10);
+        assert_eq!(FaultTarget::RandomFraction(7.5).select(10, &mut rng).len(), 10);
+        assert!(FaultTarget::RandomFraction(-3.0).select(10, &mut rng).is_empty());
+        assert!(FaultTarget::RandomFraction(f64::NAN).select(10, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn plan_validate_reports_first_bad_event() {
+        let plan = FaultPlan::new()
+            .with_fault(10, FaultTarget::RandomCount(99))
+            .with_fault(5, FaultTarget::Nodes(vec![7]));
+        // Events are round-sorted, so the round-5 explicit target is hit
+        // first even though it was inserted second.
+        assert_eq!(plan.validate(4), Err(FaultError::NodeOutOfRange { node: 7, n: 4 }));
+        assert!(plan.validate(100).is_ok());
+        assert!(FaultPlan::new().validate(0).is_ok());
+        assert!(TransientFault::new(3, FaultTarget::RandomFraction(2.0)).validate(8).is_err());
     }
 
     #[test]
@@ -190,13 +339,6 @@ mod tests {
         let mut rng = aux_rng(0, 3);
         let picked = FaultTarget::RandomFraction(0.3).select(10_000, &mut rng);
         assert!((2_500..3_500).contains(&picked.len()), "picked {}", picked.len());
-    }
-
-    #[test]
-    #[should_panic(expected = "cannot corrupt")]
-    fn select_random_count_too_many() {
-        let mut rng = aux_rng(0, 0);
-        FaultTarget::RandomCount(11).select(10, &mut rng);
     }
 
     #[test]

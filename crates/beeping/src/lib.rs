@@ -28,11 +28,15 @@
 //!   network's OR-aggregation and each node's `receive`;
 //! - [`churn`]: scheduled topology churn (edge insert/delete, node
 //!   leave/join) applied to a copy-on-write graph mid-execution;
+//! - [`byzantine`]: permanently deviating nodes — stuck beepers, babblers,
+//!   crash-restart reboots and channel-2 liars — overriding the protocol's
+//!   radio behavior inside the round loop;
 //! - [`trace`]: per-round observations for the analysis experiments;
 //! - [`rng`]: deterministic per-node random streams.
 //!
-//! The three fault axes — RAM corruption, channel noise, topology churn —
-//! are orthogonal and compose; see `DESIGN.md` ("Fault & adversary model").
+//! The four fault axes — RAM corruption, channel noise, topology churn,
+//! Byzantine behavior — are orthogonal and compose; see `DESIGN.md`
+//! ("Fault & adversary model").
 //!
 //! # Example
 //!
@@ -59,6 +63,7 @@
 //! assert_eq!(report.beeps_channel1, 8);
 //! ```
 
+pub mod byzantine;
 pub mod channel;
 pub mod churn;
 pub mod faults;
@@ -68,7 +73,9 @@ pub mod sim;
 pub mod sleep;
 pub mod trace;
 
+pub use byzantine::{ByzantineBehavior, ByzantineError, ByzantinePlan, Resurrect};
 pub use channel::{BurstNoise, ChannelFault, ChannelState, JammerKind};
 pub use churn::{ChurnAction, ChurnEvent, ChurnPlan};
+pub use faults::{FaultError, FaultPlan, FaultTarget, TransientFault};
 pub use protocol::{BeepSignal, BeepingProtocol, Channels};
 pub use sim::Simulator;

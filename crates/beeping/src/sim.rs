@@ -6,6 +6,7 @@ use graphs::{Graph, NodeId};
 use rand::Rng;
 use rand_pcg::Pcg64Mcg;
 
+use crate::byzantine::{ByzantineBehavior, ByzantinePlan};
 use crate::channel::{ChannelFault, ChannelState, JammerKind};
 use crate::protocol::{BeepSignal, BeepingProtocol};
 use crate::rng;
@@ -17,6 +18,12 @@ pub use crate::protocol::Channels as SimulatorChannels;
 /// disjoint from every node stream and from the fault/init streams used by
 /// downstream crates.
 const CHANNEL_RNG_PURPOSE: u64 = 0xC4A7_7E57;
+
+/// Purpose tag of the Byzantine-behavior RNG stream (babbler coins and
+/// crash-restart boot states); disjoint from every other stream so a plan
+/// of purely deterministic behaviors — or an empty plan — never perturbs
+/// the rest of the execution.
+const BYZ_RNG_PURPOSE: u64 = 0xB42A_17E5;
 
 /// Listening capability of a transmitting node.
 ///
@@ -51,7 +58,7 @@ pub enum DuplexMode {
 ///
 /// # Unreliable-network extensions
 ///
-/// Two adversary axes beyond the paper's model compose with everything
+/// Three adversary axes beyond the paper's model compose with everything
 /// else:
 ///
 /// - an unreliable channel ([`Simulator::with_channel`]): beep loss,
@@ -63,7 +70,13 @@ pub enum DuplexMode {
 ///   [`Simulator::node_leave`], [`Simulator::node_join`]): the graph view is
 ///   copy-on-write, so the borrowed input graph is cloned on the first
 ///   mutation and untouched otherwise. A departed node stays allocated but
-///   *inactive* — silent, deaf, state frozen — until it rejoins.
+///   *inactive* — silent, deaf, state frozen — until it rejoins;
+/// - Byzantine nodes ([`Simulator::with_byzantine`]): per-node permanent
+///   behavior overrides — stuck/babbling radios, channel-2 liars and
+///   crash-restart reboots — applied after the jammer overrides in the
+///   transmit phase (a Byzantine radio wins over a jammed one). Behavior
+///   randomness lives on its own stream; an empty plan draws nothing and
+///   reproduces the honest execution bit-for-bit.
 ///
 /// # Example
 ///
@@ -81,6 +94,11 @@ pub struct Simulator<'g, P: BeepingProtocol> {
     channel: ChannelFault,
     channel_state: ChannelState,
     channel_rng: Pcg64Mcg,
+    byzantine: ByzantinePlan<P::State>,
+    /// Dense per-node lookup derived from `byzantine` (last assignment per
+    /// node wins), rebuilt by [`Simulator::set_byzantine`].
+    byz: Vec<Option<ByzantineBehavior<P::State>>>,
+    byz_rng: Pcg64Mcg,
     active: Vec<bool>,
     hook: InvariantHook<P::State>,
 }
@@ -91,7 +109,11 @@ struct InvariantHook<S>(Option<Box<dyn FnMut(&Graph, u64, &[S])>>);
 
 impl<S> std::fmt::Debug for InvariantHook<S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(if self.0.is_some() { "InvariantHook(installed)" } else { "InvariantHook(none)" })
+        f.write_str(if self.0.is_some() {
+            "InvariantHook(installed)"
+        } else {
+            "InvariantHook(none)"
+        })
     }
 }
 
@@ -122,6 +144,9 @@ impl<'g, P: BeepingProtocol> Simulator<'g, P> {
             channel: ChannelFault::reliable(),
             channel_state: ChannelState::default(),
             channel_rng: rng::aux_rng(seed, CHANNEL_RNG_PURPOSE),
+            byzantine: ByzantinePlan::new(),
+            byz: vec![None; n],
+            byz_rng: rng::aux_rng(seed, BYZ_RNG_PURPOSE),
             active: vec![true; n],
             hook: InvariantHook(None),
         }
@@ -189,6 +214,44 @@ impl<'g, P: BeepingProtocol> Simulator<'g, P> {
         }
         self.channel = channel;
         self.channel_state = ChannelState::default();
+    }
+
+    /// Installs a Byzantine plan (builder style); the default is the empty
+    /// plan, the honest network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`ByzantinePlan::validate`] rejects the plan for this
+    /// network and protocol.
+    pub fn with_byzantine(mut self, plan: ByzantinePlan<P::State>) -> Simulator<'g, P> {
+        self.set_byzantine(plan);
+        self
+    }
+
+    /// Replaces the Byzantine plan mid-run (e.g. to break a node at an
+    /// adversary-chosen round). The Byzantine RNG stream keeps its position:
+    /// swapping plans never rewinds randomness.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`ByzantinePlan::validate`] rejects the plan for this
+    /// network and protocol.
+    pub fn set_byzantine(&mut self, plan: ByzantinePlan<P::State>) {
+        let n = self.graph.len();
+        if let Err(e) = plan.validate(n, self.protocol.channels()) {
+            panic!("invalid byzantine plan: {e}");
+        }
+        let mut byz: Vec<Option<ByzantineBehavior<P::State>>> = vec![None; n];
+        for (v, behavior) in plan.overrides() {
+            byz[*v] = Some(behavior.clone());
+        }
+        self.byz = byz;
+        self.byzantine = plan;
+    }
+
+    /// The installed Byzantine plan.
+    pub fn byzantine(&self) -> &ByzantinePlan<P::State> {
+        &self.byzantine
     }
 
     /// The active duplex mode.
@@ -359,8 +422,26 @@ impl<'g, P: BeepingProtocol> Simulator<'g, P> {
         self.channel.advance_window(&mut self.channel_state, &mut self.channel_rng);
         let drop_p = self.channel.effective_drop(&self.channel_state);
         let spurious_p = self.channel.spurious_p;
+        // Phase 0b: crash-restart reboots. An affected node's RAM is
+        // overwritten by the adversary's resurrection closure before this
+        // round's transmissions, in ascending node order (deterministic
+        // draws from the Byzantine stream).
+        if !self.byzantine.is_empty() {
+            let executing_round = self.round + 1;
+            for v in 0..n {
+                if !self.active[v] {
+                    continue;
+                }
+                if let Some(ByzantineBehavior::CrashRestart { period, resurrect }) = &self.byz[v] {
+                    if executing_round % *period == 0 {
+                        self.states[v] = resurrect.call(v, executing_round, &mut self.byz_rng);
+                    }
+                }
+            }
+        }
         // Phase 1: transmissions. Jammers override the protocol's decision —
-        // the radio is Byzantine, the RAM is not.
+        // the radio is Byzantine, the RAM is not — and Byzantine behavior
+        // overrides override jammers in turn.
         for v in 0..n {
             let mut signal = if self.active[v] {
                 let s = self.protocol.transmit(v, &self.states[v], &mut self.rngs[v]);
@@ -377,6 +458,21 @@ impl<'g, P: BeepingProtocol> Simulator<'g, P> {
                     Some(JammerKind::AlwaysBeep) => signal = channels.full_signal(),
                     Some(JammerKind::AlwaysSilent) => signal = BeepSignal::silent(),
                     None => {}
+                }
+                match &self.byz[v] {
+                    Some(ByzantineBehavior::StuckBeep) => signal = channels.full_signal(),
+                    Some(ByzantineBehavior::StuckSilent) => signal = BeepSignal::silent(),
+                    Some(ByzantineBehavior::Babbler(p)) => {
+                        signal = if *p > 0.0 && self.byz_rng.gen_bool(*p) {
+                            channels.full_signal()
+                        } else {
+                            BeepSignal::silent()
+                        };
+                    }
+                    Some(ByzantineBehavior::Channel2Liar) => {
+                        signal.merge(BeepSignal::channel2());
+                    }
+                    Some(ByzantineBehavior::CrashRestart { .. }) | None => {}
                 }
             }
             self.sent[v] = signal;
@@ -469,10 +565,11 @@ impl<'g, P: BeepingProtocol> Simulator<'g, P> {
 
     /// Captures the complete execution state — node states, per-node RNG
     /// positions, the round counter, the (possibly churned) topology, the
-    /// participation bitmap and the channel-noise stream position — so the
-    /// run can later be branched or replayed from this exact point via
-    /// [`Simulator::restore`]. The channel *configuration* is not captured:
-    /// a restore keeps whatever model is installed.
+    /// participation bitmap and the channel-noise and Byzantine stream
+    /// positions — so the run can later be branched or replayed from this
+    /// exact point via [`Simulator::restore`]. The channel and Byzantine
+    /// *configurations* are not captured: a restore keeps whatever models
+    /// are installed.
     pub fn checkpoint(&self) -> Checkpoint<P::State> {
         Checkpoint {
             states: self.states.clone(),
@@ -484,6 +581,7 @@ impl<'g, P: BeepingProtocol> Simulator<'g, P> {
             active: self.active.clone(),
             channel_state: self.channel_state,
             channel_rng: self.channel_rng.clone(),
+            byz_rng: self.byz_rng.clone(),
         }
     }
 
@@ -510,6 +608,7 @@ impl<'g, P: BeepingProtocol> Simulator<'g, P> {
         self.active = checkpoint.active.clone();
         self.channel_state = checkpoint.channel_state;
         self.channel_rng = checkpoint.channel_rng.clone();
+        self.byz_rng = checkpoint.byz_rng.clone();
     }
 }
 
@@ -526,6 +625,7 @@ pub struct Checkpoint<S> {
     active: Vec<bool>,
     channel_state: ChannelState,
     channel_rng: Pcg64Mcg,
+    byz_rng: Pcg64Mcg,
 }
 
 impl<S> Checkpoint<S> {
@@ -946,18 +1046,16 @@ mod tests {
         let g = classic::path(2);
         let seen: Rc<RefCell<Vec<(u64, Vec<u64>)>>> = Rc::new(RefCell::new(Vec::new()));
         let sink = Rc::clone(&seen);
-        let mut sim = Simulator::new(&g, Parity, vec![0, 0], 0)
-            .with_invariant_hook(move |graph, round, states: &[u64]| {
+        let mut sim = Simulator::new(&g, Parity, vec![0, 0], 0).with_invariant_hook(
+            move |graph, round, states: &[u64]| {
                 assert_eq!(graph.len(), 2);
                 sink.borrow_mut().push((round, states.to_vec()));
-            });
+            },
+        );
         sim.run(3);
         // Round 1: both beep (even counters), hear each other, increment;
         // afterwards both are odd and silent forever.
-        assert_eq!(
-            *seen.borrow(),
-            vec![(1, vec![1, 1]), (2, vec![1, 1]), (3, vec![1, 1])]
-        );
+        assert_eq!(*seen.borrow(), vec![(1, vec![1, 1]), (2, vec![1, 1]), (3, vec![1, 1])]);
         // The hook observes only: removing it never changes the execution.
         let mut plain = Simulator::new(&g, Parity, vec![0, 0], 0);
         plain.run(3);
@@ -973,6 +1071,193 @@ mod tests {
                 assert!(round < 2, "invariant violated in round {round}");
             });
         sim.run(5);
+    }
+
+    #[test]
+    fn stuck_beep_overrides_protocol_silence() {
+        use crate::byzantine::{ByzantineBehavior, ByzantinePlan};
+        // Node 0 starts odd (silent under Parity) but its radio is stuck on:
+        // the neighbor hears it every round.
+        let g = classic::path(2);
+        let mut sim = Simulator::new(&g, Parity, vec![1, 1], 0)
+            .with_byzantine(ByzantinePlan::new().with_behavior(0, ByzantineBehavior::StuckBeep));
+        sim.step();
+        assert!(sim.last_sent()[0].on_channel1());
+        assert_eq!(sim.states(), &[1, 2]); // only node 1 heard a beep
+    }
+
+    #[test]
+    fn stuck_silent_mutes_protocol_beeps() {
+        use crate::byzantine::{ByzantineBehavior, ByzantinePlan};
+        let g = classic::path(2);
+        let mut sim = Simulator::new(&g, Parity, vec![0, 1], 0)
+            .with_byzantine(ByzantinePlan::new().with_behavior(0, ByzantineBehavior::StuckSilent));
+        sim.step();
+        assert!(sim.last_sent()[0].is_silent());
+        assert_eq!(sim.states(), &[0, 1]);
+    }
+
+    #[test]
+    fn byzantine_overrides_beat_jammers() {
+        use crate::byzantine::{ByzantineBehavior, ByzantinePlan};
+        // Node 0 is both an AlwaysBeep jammer and StuckSilent Byzantine: the
+        // Byzantine radio wins, so nothing is transmitted.
+        let g = classic::path(2);
+        let mut sim = Simulator::new(&g, Parity, vec![0, 1], 0)
+            .with_channel(ChannelFault::reliable().with_jammer(0, JammerKind::AlwaysBeep))
+            .with_byzantine(ByzantinePlan::new().with_behavior(0, ByzantineBehavior::StuckSilent));
+        sim.step();
+        assert!(sim.last_sent()[0].is_silent());
+    }
+
+    #[test]
+    fn babbler_extremes_are_stuck_radios() {
+        use crate::byzantine::{ByzantineBehavior, ByzantinePlan};
+        let g = classic::path(2);
+        let run = |p: f64| {
+            let mut sim = Simulator::new(&g, Parity, vec![1, 1], 3).with_byzantine(
+                ByzantinePlan::new().with_behavior(0, ByzantineBehavior::Babbler(p)),
+            );
+            let mut beeps = 0;
+            for _ in 0..30 {
+                sim.step();
+                beeps += sim.last_sent()[0].on_channel1() as u32;
+            }
+            beeps
+        };
+        assert_eq!(run(0.0), 0);
+        assert_eq!(run(1.0), 30);
+        let mid = run(0.5);
+        assert!((5..=25).contains(&mid), "babbler(0.5) beeped {mid}/30 rounds");
+    }
+
+    #[test]
+    fn babbler_is_deterministic_and_off_the_node_streams() {
+        use crate::byzantine::{ByzantineBehavior, ByzantinePlan};
+        // Same seed → identical trajectory; and the babbler's coins come
+        // from the dedicated stream, so the *other* node's transmissions
+        // (driven by its private stream) are identical with and without the
+        // babbler present.
+        let g = classic::path(2);
+        let plan = || ByzantinePlan::new().with_behavior(0, ByzantineBehavior::Babbler(0.5));
+        let run = |seed: u64| {
+            let mut sim = Simulator::new(&g, Parity, vec![0, 0], seed).with_byzantine(plan());
+            sim.run(40);
+            sim.into_states()
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn crash_restart_reboots_on_schedule() {
+        use crate::byzantine::{ByzantineBehavior, ByzantinePlan, Resurrect};
+        // Isolated node: Parity never updates its counter (hears nothing),
+        // so the only state changes are the scheduled reboots to 99.
+        let g = Graph::empty(1);
+        let mut sim = Simulator::new(&g, Parity, vec![0], 0).with_byzantine(
+            ByzantinePlan::new().with_behavior(
+                0,
+                ByzantineBehavior::CrashRestart {
+                    period: 5,
+                    resurrect: Resurrect::new(|_, round, _| 90 + round),
+                },
+            ),
+        );
+        sim.run(4);
+        assert_eq!(*sim.state(0), 0); // untouched before the first reboot
+        sim.step(); // round 5: reboot fires before the transmission
+        assert_eq!(*sim.state(0), 95);
+        sim.run(4);
+        assert_eq!(*sim.state(0), 95);
+        sim.step(); // round 10
+        assert_eq!(*sim.state(0), 100);
+    }
+
+    #[test]
+    fn empty_byzantine_plan_is_bit_identical_to_baseline() {
+        use crate::byzantine::ByzantinePlan;
+        struct Coin3;
+        impl BeepingProtocol for Coin3 {
+            type State = u32;
+            fn channels(&self) -> Channels {
+                Channels::One
+            }
+            fn transmit(&self, _: NodeId, _: &u32, rng: &mut dyn RngCore) -> BeepSignal {
+                if rng.next_u32() % 2 == 0 {
+                    BeepSignal::channel1()
+                } else {
+                    BeepSignal::silent()
+                }
+            }
+            fn receive(
+                &self,
+                _: NodeId,
+                s: &mut u32,
+                sent: BeepSignal,
+                heard: BeepSignal,
+                _: &mut dyn RngCore,
+            ) {
+                *s = s
+                    .wrapping_mul(31)
+                    .wrapping_add(sent.on_channel1() as u32)
+                    .wrapping_add(5 * heard.on_channel1() as u32);
+            }
+        }
+        let g = classic::cycle(10);
+        let mut with_plan =
+            Simulator::new(&g, Coin3, vec![0; 10], 21).with_byzantine(ByzantinePlan::new());
+        let mut without = Simulator::new(&g, Coin3, vec![0; 10], 21);
+        for _ in 0..50 {
+            with_plan.step();
+            without.step();
+            assert_eq!(with_plan.states(), without.states());
+        }
+    }
+
+    #[test]
+    fn byzantine_checkpoint_restore_replays_babbler() {
+        use crate::byzantine::{ByzantineBehavior, ByzantinePlan};
+        let g = classic::cycle(8);
+        let mut sim = Simulator::new(&g, Parity, vec![0; 8], 17)
+            .with_byzantine(ByzantinePlan::new().with_behavior(2, ByzantineBehavior::Babbler(0.5)));
+        sim.run(15);
+        let cp = sim.checkpoint();
+        sim.run(25);
+        let final_a = sim.states().to_vec();
+        sim.restore(&cp);
+        sim.run(25);
+        assert_eq!(sim.states(), final_a.as_slice());
+    }
+
+    #[test]
+    fn inactive_byzantine_node_is_frozen() {
+        use crate::byzantine::{ByzantineBehavior, ByzantinePlan};
+        // A departed stuck-beeper neither transmits nor reboots.
+        let g = classic::path(2);
+        let mut sim = Simulator::new(&g, Parity, vec![1, 0], 0)
+            .with_byzantine(ByzantinePlan::new().with_behavior(0, ByzantineBehavior::StuckBeep));
+        sim.node_leave(0);
+        sim.step();
+        assert!(sim.last_sent()[0].is_silent());
+        assert_eq!(*sim.state(1), 0); // heard nothing: its neighbor departed
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_byzantine_node_rejected() {
+        use crate::byzantine::{ByzantineBehavior, ByzantinePlan};
+        let g = classic::path(2);
+        let _ = Simulator::new(&g, Parity, vec![0, 0], 0)
+            .with_byzantine(ByzantinePlan::new().with_behavior(5, ByzantineBehavior::StuckBeep));
+    }
+
+    #[test]
+    #[should_panic(expected = "two-channel")]
+    fn channel2_liar_rejected_on_single_channel_protocol() {
+        use crate::byzantine::{ByzantineBehavior, ByzantinePlan};
+        let g = classic::path(2);
+        let _ = Simulator::new(&g, Parity, vec![0, 0], 0)
+            .with_byzantine(ByzantinePlan::new().with_behavior(0, ByzantineBehavior::Channel2Liar));
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! | `L6.7` ([`lemma67`]) | Lemma 6.7: golden rounds turn platinum |
 //! | `SS-R` ([`recovery`]) | Self-stabilization: recovery from transient faults |
 //! | `NOISE` ([`noise`]) | Unreliable network: channel noise, jammers, churn |
+//! | `BYZ` ([`byz`]) | Byzantine containment + worst-case adversary search |
 //! | `SS-A` ([`adversarial`]) | §2's motivation: JSX fails from adversarial states |
 //! | `BASE` ([`baseline_cmp`]) | §1 positioning vs JSX / Afek et al. / Luby |
 //! | `ABL-C1` ([`ablation_c1`]) | sensitivity to the constant `c1` |
@@ -35,6 +36,7 @@ pub mod ablation_duplex;
 pub mod ablation_lmax;
 pub mod adversarial;
 pub mod baseline_cmp;
+pub mod byz;
 pub mod common;
 pub mod cor23;
 pub mod dyn_trajectory;
@@ -111,6 +113,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             id: "NOISE",
             title: "Unreliable network: channel noise, jammers, churn",
             run: noise::run,
+        },
+        Experiment {
+            id: "BYZ",
+            title: "Byzantine containment and worst-case adversary search",
+            run: byz::run,
         },
         Experiment {
             id: "SS-A",

@@ -322,7 +322,10 @@ mod tests {
 
     #[test]
     fn idents_and_puncts() {
-        assert_eq!(texts("let x = a::b(y);"), ["let", "x", "=", "a", "::", "b", "(", "y", ")", ";"]);
+        assert_eq!(
+            texts("let x = a::b(y);"),
+            ["let", "x", "=", "a", "::", "b", "(", "y", ")", ";"]
+        );
     }
 
     #[test]

@@ -64,10 +64,7 @@ pub fn collect_rs_files(dir: &Path) -> Result<Vec<PathBuf>, String> {
 /// matching and stable output on every platform.
 pub fn relative_slash_path(root: &Path, path: &Path) -> String {
     let rel = path.strip_prefix(root).unwrap_or(path);
-    rel.components()
-        .map(|c| c.as_os_str().to_string_lossy())
-        .collect::<Vec<_>>()
-        .join("/")
+    rel.components().map(|c| c.as_os_str().to_string_lossy()).collect::<Vec<_>>().join("/")
 }
 
 /// Lints the whole workspace rooted at `root` (every `.rs` file under

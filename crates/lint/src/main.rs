@@ -89,8 +89,7 @@ fn main() -> ExitCode {
     };
     let root = opts.root.clone().unwrap_or_else(detect_root);
     let result = if opts.files.is_empty() {
-        let allow_path =
-            opts.allowlist.clone().unwrap_or_else(|| root.join("lint-allow.txt"));
+        let allow_path = opts.allowlist.clone().unwrap_or_else(|| root.join("lint-allow.txt"));
         load_allowlist(&allow_path, opts.allowlist.is_some())
             .and_then(|allowlist| lint_workspace(&root, &allowlist))
     } else {

@@ -103,12 +103,8 @@ impl Report {
                 None => kept.push(finding),
             }
         }
-        let unused_allows = allowlist
-            .iter()
-            .zip(&used)
-            .filter(|(_, &u)| !u)
-            .map(|(e, _)| e.clone())
-            .collect();
+        let unused_allows =
+            allowlist.iter().zip(&used).filter(|(_, &u)| !u).map(|(e, _)| e.clone()).collect();
         Report { findings: kept, allowed, files_checked, unused_allows }
     }
 

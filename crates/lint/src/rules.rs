@@ -123,9 +123,8 @@ fn build_context(tokens: &[Token]) -> Context {
                     bracket_depth -= 1;
                 } else if tokens[j].is_ident("test") {
                     // `#[cfg(not(test))]` guards *production* code.
-                    let negated = j >= 2
-                        && tokens[j - 1].is_punct("(")
-                        && tokens[j - 2].is_ident("not");
+                    let negated =
+                        j >= 2 && tokens[j - 1].is_punct("(") && tokens[j - 2].is_ident("not");
                     if !negated {
                         mentions_test = true;
                     }
@@ -361,10 +360,8 @@ fn check_panic_freedom(
         if ctx.in_test[i] || !is_hot_path(ctx.enclosing_fn[i].as_ref()) {
             continue;
         }
-        let in_receive_or_transmit = matches!(
-            ctx.enclosing_fn[i].as_deref(),
-            Some("transmit") | Some("receive")
-        );
+        let in_receive_or_transmit =
+            matches!(ctx.enclosing_fn[i].as_deref(), Some("transmit") | Some("receive"));
         if (tok.is_ident("unwrap") || tok.is_ident("expect"))
             && tokens.get(i.wrapping_sub(1)).is_some_and(|t| t.is_punct("."))
             && tokens.get(i + 1).is_some_and(|t| t.is_punct("("))
@@ -403,9 +400,9 @@ fn check_panic_freedom(
         }
         if in_receive_or_transmit
             && tok.is_punct("[")
-            && tokens.get(i.wrapping_sub(1)).is_some_and(|t| {
-                t.kind == TokenKind::Ident || t.is_punct("]") || t.is_punct(")")
-            })
+            && tokens
+                .get(i.wrapping_sub(1))
+                .is_some_and(|t| t.kind == TokenKind::Ident || t.is_punct("]") || t.is_punct(")"))
         {
             push(
                 findings,

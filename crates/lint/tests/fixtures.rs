@@ -51,15 +51,11 @@ fn clean_fixture_passes() {
 
 #[test]
 fn all_fixtures_together_exit_nonzero() {
-    let files: Vec<PathBuf> = [
-        "l1_determinism.rs",
-        "l2_level_arithmetic.rs",
-        "l3_panic_freedom.rs",
-        "clean.rs",
-    ]
-    .iter()
-    .map(|n| fixture(n))
-    .collect();
+    let files: Vec<PathBuf> =
+        ["l1_determinism.rs", "l2_level_arithmetic.rs", "l3_panic_freedom.rs", "clean.rs"]
+            .iter()
+            .map(|n| fixture(n))
+            .collect();
     let report = lint_files_all_rules(&root(), &files).expect("fixtures readable");
     assert_eq!(report.findings.len(), 3);
     assert_eq!(report.exit_code(), 1);

@@ -208,9 +208,11 @@ mod tests {
     #[test]
     fn for_algorithm_picks_the_right_space() {
         let g = classic::cycle(5);
-        let a1 = InvariantChecker::for_algorithm(&Algorithm1::new(&g, LmaxPolicy::global_delta(&g)));
+        let a1 =
+            InvariantChecker::for_algorithm(&Algorithm1::new(&g, LmaxPolicy::global_delta(&g)));
         assert_eq!(a1.space, LevelSpace::Signed);
-        let a2 = InvariantChecker::for_algorithm(&Algorithm2::new(&g, LmaxPolicy::global_delta(&g)));
+        let a2 =
+            InvariantChecker::for_algorithm(&Algorithm2::new(&g, LmaxPolicy::global_delta(&g)));
         assert_eq!(a2.space, LevelSpace::NonNegative);
     }
 }

@@ -28,6 +28,9 @@
 //! stabilized" API used by examples, tests, benches and experiments, and
 //! [`recovery`] extends it to unreliable networks: channel noise, jammers
 //! and topology churn with per-event re-stabilization tracking.
+//! [`containment`] certifies that permanently Byzantine nodes disrupt only
+//! a bounded radius around themselves, and [`adversary`] hill-climbs over
+//! Byzantine placements and initial configurations for worst cases.
 //!
 //! # Example
 //!
@@ -45,8 +48,10 @@
 //! ```
 
 pub mod adaptive;
+pub mod adversary;
 pub mod algorithm1;
 pub mod algorithm2;
+pub mod containment;
 pub mod dynamics;
 pub mod invariant;
 pub mod levels;
@@ -56,9 +61,11 @@ pub mod recovery;
 pub mod runner;
 pub mod theory;
 
+pub use adversary::{AdversaryConfig, SearchBehavior, WorstCase};
 pub use algorithm1::Algorithm1;
-pub use invariant::{InvariantChecker, LevelSpace};
 pub use algorithm2::Algorithm2;
+pub use containment::{ContainmentConfig, ContainmentOutcome, ContainmentSample};
+pub use invariant::{InvariantChecker, LevelSpace};
 pub use policy::LmaxPolicy;
 pub use recovery::{NoisyOutcome, NoisyRunConfig};
 pub use runner::{InitialLevels, Outcome, RunConfig, StabilizationError};

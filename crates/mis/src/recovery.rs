@@ -392,14 +392,19 @@ fn apply_churn<A: SelfStabilizingMis>(
 ///
 /// # Panics
 ///
-/// Panics if the churn plan references a node `>= graph.len()`, or if a
-/// channel jammer is out of range.
+/// Panics if the churn plan references a node `>= graph.len()`, if a
+/// channel jammer is out of range, or if the fault plan is invalid for this
+/// graph (checked up front via [`beeping::faults::FaultPlan::validate`] so
+/// the round loop's fault application is infallible).
 pub fn run_noisy<A: SelfStabilizingMis>(
     graph: &Graph,
     algo: &A,
     config: &NoisyRunConfig,
 ) -> NoisyOutcome {
     config.churn.validate(graph.len());
+    if let Err(e) = config.faults.validate(graph.len()) {
+        panic!("invalid fault plan: {e}");
+    }
     let run_config = RunConfig::new(config.seed).with_init(config.init.clone());
     let levels = initial_levels(algo, &run_config);
     let mut sim = Simulator::new(graph, algo.clone(), levels, config.seed)

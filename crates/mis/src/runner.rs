@@ -275,11 +275,20 @@ pub fn initial_levels<A: SelfStabilizingMis>(algo: &A, config: &RunConfig) -> Ve
 ///
 /// Returns [`StabilizationError`] if `config.max_rounds` rounds elapse
 /// without reaching `S_t = V` after the last fault.
+///
+/// # Panics
+///
+/// Panics if the fault schedule is invalid for this graph (explicit node id
+/// out of range, `RandomCount` above `n`, fraction outside `[0, 1]`) —
+/// checked up front so the round loop's fault application is infallible.
 pub fn run<A: SelfStabilizingMis>(
     graph: &Graph,
     algo: &A,
     config: RunConfig,
 ) -> Result<Outcome, StabilizationError> {
+    if let Err(e) = config.faults.validate(graph.len()) {
+        panic!("invalid fault plan: {e}");
+    }
     let levels = initial_levels(algo, &config);
     let mut sim = Simulator::new(graph, algo.clone(), levels, config.seed);
     if cfg!(debug_assertions) {
@@ -410,6 +419,11 @@ pub struct RecoveryOutcome {
 /// # Errors
 ///
 /// Returns [`StabilizationError`] if either phase exceeds `max_rounds`.
+///
+/// # Panics
+///
+/// Panics if `target` is invalid for this graph (see
+/// [`beeping::faults::FaultTarget::validate`]).
 pub fn run_recovery<A: SelfStabilizingMis>(
     graph: &Graph,
     algo: &A,
@@ -417,6 +431,9 @@ pub fn run_recovery<A: SelfStabilizingMis>(
     target: FaultTarget,
     max_rounds: u64,
 ) -> Result<RecoveryOutcome, StabilizationError> {
+    if let Err(e) = target.validate(graph.len()) {
+        panic!("invalid fault target: {e}");
+    }
     let budget_error = |sim: &Simulator<'_, A>| StabilizationError {
         max_rounds,
         stable_count: crate::observer::Snapshot::new(

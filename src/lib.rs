@@ -49,7 +49,8 @@ pub mod prelude {
     pub use graphs;
     pub use mis;
 
-    pub use beeping::faults::{FaultPlan, TransientFault};
+    pub use beeping::byzantine::{ByzantineBehavior, ByzantinePlan};
+    pub use beeping::faults::{FaultError, FaultPlan, FaultTarget, TransientFault};
     pub use beeping::trace::RoundReport;
     pub use beeping::{BeepSignal, BeepingProtocol, Channels, Simulator};
     pub use graphs::{Graph, GraphBuilder};

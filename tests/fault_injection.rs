@@ -1,10 +1,17 @@
 //! Fault-injection integration tests: the paper's transient-fault model
-//! exercised end to end.
+//! exercised end to end, plus the Byzantine layer riding on the same
+//! simulator (`DESIGN.md` "Byzantine faults and containment").
 
 use beeping::faults::{FaultPlan, FaultTarget};
 use beeping_mis::prelude::*;
 use graphs::generators::{classic, random};
-use mis::runner::run_recovery;
+use mis::containment::{
+    byz_distances, disruption_radius, disruption_radius_with, run_contained, stabilized_except,
+    ContainmentConfig,
+};
+use mis::runner::{initial_levels, run_recovery};
+use mis::theory::burn_in_horizon;
+use proptest::prelude::*;
 
 #[test]
 fn scheduled_fault_plan_still_stabilizes() {
@@ -125,5 +132,94 @@ fn corrupt_all_is_equivalent_to_arbitrary_restart() {
         sim_a.step();
         sim_b.step();
         assert_eq!(sim_a.states(), sim_b.states());
+    }
+}
+
+#[test]
+fn channel2_liar_never_certifies_false_mis() {
+    // Path 0-1-2-3-4 with a channel-2 liar at the center: the liar's
+    // persistent membership beep may silence its neighbors, but the
+    // certificate on the correct subgraph must stay a real partial MIS —
+    // independent, liar-free, and covering every node outside the liar's
+    // radius-1 neighborhood.
+    let g = classic::path(5);
+    let algo = Algorithm2::new(&g, LmaxPolicy::two_hop_degree(&g));
+    let plan = ByzantinePlan::new().with_behavior(2, ByzantineBehavior::Channel2Liar);
+    let config =
+        ContainmentConfig::new(3).with_radius(1).with_burn_in(burn_in_horizon(algo.policy()));
+    let outcome = run_contained(&g, &algo, &plan, &config);
+    assert!(outcome.is_contained(), "final radius {}", outcome.final_radius);
+    assert!(!outcome.correct_mis[2], "the liar itself is never certified");
+    for (u, v) in g.edges() {
+        assert!(
+            !(outcome.correct_mis[u] && outcome.correct_mis[v]),
+            "certified set not independent at edge ({u},{v})"
+        );
+    }
+    for v in [0usize, 4] {
+        assert!(
+            outcome.correct_mis[v]
+                || g.neighbors(v).iter().any(|&u| outcome.correct_mis[u as usize]),
+            "correct node {v} (distance 2 from the liar) left uncovered"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    #[test]
+    fn empty_byzantine_plan_is_bit_identical_to_baseline(seed in 0u64..256, n in 8usize..24) {
+        // An empty plan must not perturb any RNG stream: every round
+        // report and every state is bit-identical to the reliable run.
+        let g = random::gnp(n, 0.15, seed ^ 0x0B12);
+        let algo = Algorithm1::new(&g, LmaxPolicy::global_delta(&g));
+        let mut plain = Simulator::new(&g, algo.clone(), vec![1; g.len()], seed);
+        let mut byz = Simulator::new(&g, algo.clone(), vec![1; g.len()], seed)
+            .with_byzantine(ByzantinePlan::new());
+        for _ in 0..60 {
+            let a = plain.step();
+            let b = byz.step();
+            prop_assert_eq!(format!("{a:?}"), format!("{b:?}"));
+            prop_assert_eq!(plain.states(), byz.states());
+        }
+    }
+
+    #[test]
+    fn disruption_radius_is_zero_whenever_stabilized(seed in 0u64..256, n in 8usize..24) {
+        // Quantifier-restriction semantics: a fully stabilized
+        // configuration has radius 0 regardless of where the (hypothetical)
+        // byzantine sites sit — including nowhere.
+        let g = random::gnp(n, 0.15, seed ^ 0x7E57);
+        let algo = Algorithm1::new(&g, LmaxPolicy::global_delta(&g));
+        let outcome = algo.run(&g, RunConfig::new(seed)).expect("stabilizes");
+        let active = vec![true; g.len()];
+        let site = seed as usize % g.len();
+        prop_assert_eq!(disruption_radius(&algo, &g, &outcome.levels, &active, &[site]), 0);
+        prop_assert_eq!(disruption_radius(&algo, &g, &outcome.levels, &active, &[]), 0);
+    }
+
+    #[test]
+    fn radius_is_the_least_radius_certified_by_stabilized_except(
+        seed in 0u64..256,
+        n in 8usize..20,
+    ) {
+        // disruption_radius ≤ r ⟺ stabilized_except(r), on arbitrary
+        // (random, typically unstable) configurations.
+        let g = random::gnp(n, 0.2, seed);
+        let algo = Algorithm1::new(&g, LmaxPolicy::global_delta(&g));
+        let levels = initial_levels(
+            &algo,
+            &RunConfig::new(seed).with_init(InitialLevels::Random),
+        );
+        let active = vec![true; g.len()];
+        let dist = byz_distances(&g, &[seed as usize % g.len()]);
+        let r = disruption_radius_with(&algo, &g, &levels, &active, &dist);
+        for radius in 0..g.len() {
+            prop_assert_eq!(
+                stabilized_except(&algo, &g, &levels, &active, &dist, radius),
+                radius >= r
+            );
+        }
     }
 }
