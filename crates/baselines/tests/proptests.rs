@@ -3,7 +3,7 @@
 use baselines::stone_age::BeepingInStoneAge;
 use baselines::{luby_mis, AfekStyleMis, JsxMis, TwoStateMis};
 use graphs::{Graph, GraphBuilder};
-use mis::runner::{initial_levels, RunConfig, SelfStabilizingMis};
+use mis::runner::{initial_levels, RunConfig};
 use mis::{Algorithm1, LmaxPolicy};
 use proptest::prelude::*;
 

@@ -47,11 +47,14 @@ use rand_pcg::Pcg64Mcg;
 
 use crate::protocol::Channels;
 
+/// Signature of a state-resurrection closure: given the node, the 1-based
+/// round being executed and the Byzantine RNG stream, it returns the
+/// arbitrary RAM contents the node reboots with.
+type ResurrectFn<S> = dyn Fn(NodeId, u64, &mut Pcg64Mcg) -> S;
+
 /// The adversary's state-resurrection closure for
-/// [`ByzantineBehavior::CrashRestart`]: given the node, the 1-based round
-/// being executed and the Byzantine RNG stream, it returns the arbitrary
-/// RAM contents the node reboots with.
-pub struct Resurrect<S>(Rc<dyn Fn(NodeId, u64, &mut Pcg64Mcg) -> S>);
+/// [`ByzantineBehavior::CrashRestart`].
+pub struct Resurrect<S>(Rc<ResurrectFn<S>>);
 
 impl<S> Resurrect<S> {
     /// Wraps a resurrection closure.

@@ -78,4 +78,4 @@ pub use channel::{BurstNoise, ChannelFault, ChannelState, JammerKind};
 pub use churn::{ChurnAction, ChurnEvent, ChurnPlan};
 pub use faults::{FaultError, FaultPlan, FaultTarget, TransientFault};
 pub use protocol::{BeepSignal, BeepingProtocol, Channels};
-pub use sim::Simulator;
+pub use sim::{DuplexMode, EngineMode, Simulator};

@@ -42,6 +42,30 @@ pub enum DuplexMode {
     Half,
 }
 
+/// Selects the delivery kernel used by [`Simulator::step`].
+///
+/// Both engines execute the *same model* and are bit-identical per seed:
+/// they call `transmit`/`receive` in the same order, draw from the same RNG
+/// streams in the same order, and produce identical `sent`/`heard` vectors
+/// and [`RoundReport`]s. The differential test suite
+/// (`tests/engine_differential.rs`) pins this equivalence across graph
+/// families, channel counts, duplex modes and composed fault plans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineMode {
+    /// Reference kernel: every listener gathers over all its neighbors —
+    /// O(m) work per round regardless of activity.
+    Scalar,
+    /// Fast kernel: the round's beepers *scatter* their signals into
+    /// per-channel word-packed "heard" bitsets — O(Σ deg(beeper)) work,
+    /// which near stabilization (where only the MIS nodes beep) is far
+    /// below O(m). Falls back to the scalar gather whenever per-edge beep
+    /// loss is in effect this round, because loss draws one coin per
+    /// (listener, beeping neighbor) pair in listener order and that order
+    /// must be preserved exactly.
+    #[default]
+    Scatter,
+}
+
 /// A synchronous-round simulator of the full-duplex beeping model.
 ///
 /// Each call to [`Simulator::step`] executes one round:
@@ -100,12 +124,23 @@ pub struct Simulator<'g, P: BeepingProtocol> {
     byz: Vec<Option<ByzantineBehavior<P::State>>>,
     byz_rng: Pcg64Mcg,
     active: Vec<bool>,
+    engine: EngineMode,
+    /// Scatter-kernel scratch: word-packed per-listener "heard" and
+    /// per-beeper "sent" bitsets, one per channel, rebuilt every round
+    /// (never part of a checkpoint).
+    scatter_heard1: Vec<u64>,
+    scatter_heard2: Vec<u64>,
+    scatter_sent1: Vec<u64>,
+    scatter_sent2: Vec<u64>,
     hook: InvariantHook<P::State>,
 }
 
+/// Signature of a per-round observer: graph, 1-based round, states.
+type HookFn<S> = dyn FnMut(&Graph, u64, &[S]);
+
 /// The per-round observer slot of a [`Simulator`]; wraps the boxed closure
 /// so the simulator can keep deriving [`Debug`].
-struct InvariantHook<S>(Option<Box<dyn FnMut(&Graph, u64, &[S])>>);
+struct InvariantHook<S>(Option<Box<HookFn<S>>>);
 
 impl<S> std::fmt::Debug for InvariantHook<S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -148,8 +183,32 @@ impl<'g, P: BeepingProtocol> Simulator<'g, P> {
             byz: vec![None; n],
             byz_rng: rng::aux_rng(seed, BYZ_RNG_PURPOSE),
             active: vec![true; n],
+            engine: EngineMode::default(),
+            scatter_heard1: Vec::new(),
+            scatter_heard2: Vec::new(),
+            scatter_sent1: Vec::new(),
+            scatter_sent2: Vec::new(),
             hook: InvariantHook(None),
         }
+    }
+
+    /// Selects the delivery kernel (builder style); the default is
+    /// [`EngineMode::Scatter`]. Both kernels are bit-identical per seed —
+    /// [`EngineMode::Scalar`] is kept as the executable reference.
+    pub fn with_engine(mut self, engine: EngineMode) -> Simulator<'g, P> {
+        self.engine = engine;
+        self
+    }
+
+    /// Switches the delivery kernel mid-run. Safe at any round boundary:
+    /// the kernels share all RNG streams and state layouts.
+    pub fn set_engine(&mut self, engine: EngineMode) {
+        self.engine = engine;
+    }
+
+    /// The active delivery kernel.
+    pub fn engine(&self) -> EngineMode {
+        self.engine
     }
 
     /// Installs a per-round invariant hook (builder style); see
@@ -349,6 +408,12 @@ impl<'g, P: BeepingProtocol> Simulator<'g, P> {
     pub fn node_leave(&mut self, v: NodeId) -> usize {
         let removed = self.graph.to_mut().isolate_node(v);
         self.active[v] = false;
+        // A departed node must not keep advertising its last round: clear
+        // its transmission and observation so `last_sent()`/`last_heard()`
+        // and observer hooks never read a beep from a node that no longer
+        // exists.
+        self.sent[v] = BeepSignal::silent();
+        self.heard[v] = BeepSignal::silent();
         removed
     }
 
@@ -418,6 +483,16 @@ impl<'g, P: BeepingProtocol> Simulator<'g, P> {
     pub fn step(&mut self) -> RoundReport {
         let n = self.graph.len();
         let channels = self.protocol.channels();
+        // No-fault fast path: with a perfectly reliable channel and no
+        // Byzantine plan, every noise/jammer/Byzantine branch is dead code
+        // and no channel or Byzantine randomness is ever drawn, so the
+        // fused scatter round is bit-identical to the phased path below.
+        if self.engine == EngineMode::Scatter
+            && self.channel.is_reliable()
+            && self.byzantine.is_empty()
+        {
+            return self.fast_round(n, channels);
+        }
         // Phase 0: advance the burst-noise window (no-op without bursts).
         self.channel.advance_window(&mut self.channel_state, &mut self.channel_rng);
         let drop_p = self.channel.effective_drop(&self.channel_state);
@@ -433,7 +508,7 @@ impl<'g, P: BeepingProtocol> Simulator<'g, P> {
                     continue;
                 }
                 if let Some(ByzantineBehavior::CrashRestart { period, resurrect }) = &self.byz[v] {
-                    if executing_round % *period == 0 {
+                    if executing_round.is_multiple_of(*period) {
                         self.states[v] = resurrect.call(v, executing_round, &mut self.byz_rng);
                     }
                 }
@@ -484,6 +559,40 @@ impl<'g, P: BeepingProtocol> Simulator<'g, P> {
         // may add spurious positives; a reliable channel draws no randomness
         // here, keeping noise-free executions bit-identical to the paper's
         // model.
+        match self.engine {
+            EngineMode::Scalar => self.deliver_scalar(n, channels, drop_p, spurious_p),
+            EngineMode::Scatter => self.deliver_scatter(n, channels, drop_p, spurious_p),
+        }
+        // Phase 3: state updates (departed nodes are frozen).
+        for v in 0..n {
+            if self.active[v] {
+                self.protocol.receive(
+                    v,
+                    &mut self.states[v],
+                    self.sent[v],
+                    self.heard[v],
+                    &mut self.rngs[v],
+                );
+            }
+        }
+        self.round += 1;
+        if let Some(hook) = self.hook.0.as_mut() {
+            hook(&self.graph, self.round, &self.states);
+        }
+        RoundReport::from_signals(self.round, &self.sent, &self.heard)
+    }
+
+    /// Reference delivery: every hearing-capable listener gathers the OR
+    /// over its neighbors' transmissions, drawing one loss coin per active
+    /// beeping neighbor when `drop_p > 0` and spurious coins afterwards.
+    /// The RNG draw order of this loop is the contract both engines honor.
+    fn deliver_scalar(
+        &mut self,
+        n: usize,
+        channels: SimulatorChannels,
+        drop_p: f64,
+        spurious_p: f64,
+    ) {
         for v in 0..n {
             let mut heard = BeepSignal::silent();
             if self.active[v] && (self.duplex == DuplexMode::Full || self.sent[v].is_silent()) {
@@ -510,23 +619,230 @@ impl<'g, P: BeepingProtocol> Simulator<'g, P> {
             }
             self.heard[v] = heard;
         }
-        // Phase 3: state updates (departed nodes are frozen).
+    }
+
+    /// Scatter delivery: the round's beepers push their signals into
+    /// per-channel word-packed bitsets — O(Σ deg(beeper)) instead of the
+    /// scalar gather's O(m) — then each listener reads its own bit.
+    ///
+    /// Bit-identity with [`Simulator::deliver_scalar`]: with `drop_p == 0`
+    /// the gather loop draws no randomness, so reordering the OR is
+    /// invisible; the spurious coins are drawn in the same per-listener
+    /// ascending order. With `drop_p > 0` the scalar loop's draw order
+    /// (one coin per (listener, beeping neighbor) pair) cannot be preserved
+    /// by a scatter, so this round falls back to the scalar gather.
+    fn deliver_scatter(
+        &mut self,
+        n: usize,
+        channels: SimulatorChannels,
+        drop_p: f64,
+        spurious_p: f64,
+    ) {
+        if drop_p > 0.0 {
+            return self.deliver_scalar(n, channels, drop_p, spurious_p);
+        }
+        self.scatter_signals(n);
+        let two = channels == SimulatorChannels::Two;
         for v in 0..n {
-            if self.active[v] {
-                self.protocol.receive(
-                    v,
-                    &mut self.states[v],
-                    self.sent[v],
-                    self.heard[v],
-                    &mut self.rngs[v],
+            let mut heard = BeepSignal::silent();
+            if self.active[v] && (self.duplex == DuplexMode::Full || self.sent[v].is_silent()) {
+                heard = self.gather_bit(v, two);
+                if spurious_p > 0.0 {
+                    let c1 = self.channel_rng.gen_bool(spurious_p);
+                    let c2 = two && self.channel_rng.gen_bool(spurious_p);
+                    heard.merge(BeepSignal::new(c1, c2));
+                }
+            }
+            self.heard[v] = heard;
+        }
+    }
+
+    /// Clears the scatter bitsets and pushes every beeper's signal to its
+    /// neighbors. Inactive nodes are already silent in `sent`, so they
+    /// never scatter; inactive/deaf listeners are masked at gather time.
+    fn scatter_signals(&mut self, n: usize) {
+        let words = n.div_ceil(64);
+        self.scatter_heard1.clear();
+        self.scatter_heard1.resize(words, 0);
+        self.scatter_heard2.clear();
+        self.scatter_heard2.resize(words, 0);
+        for u in 0..n {
+            let sig = self.sent[u];
+            if sig.is_silent() {
+                continue;
+            }
+            if sig.on_channel1() {
+                for &w in self.graph.neighbors(u) {
+                    self.scatter_heard1[(w >> 6) as usize] |= 1u64 << (w & 63);
+                }
+            }
+            if sig.on_channel2() {
+                for &w in self.graph.neighbors(u) {
+                    self.scatter_heard2[(w >> 6) as usize] |= 1u64 << (w & 63);
+                }
+            }
+        }
+    }
+
+    /// Reads listener `v`'s per-channel bits out of the scatter bitsets.
+    fn gather_bit(&self, v: usize, two: bool) -> BeepSignal {
+        let word = v >> 6;
+        let bit = 1u64 << (v & 63);
+        let c1 = self.scatter_heard1[word] & bit != 0;
+        let c2 = two && self.scatter_heard2[word] & bit != 0;
+        BeepSignal::new(c1, c2)
+    }
+
+    /// Fused no-fault round: transmit + scatter + gather + receive in two
+    /// passes, with the [`RoundReport`] accumulated inline instead of a
+    /// separate [`RoundReport::from_signals`] sweep. Only reachable when
+    /// the channel is reliable and the Byzantine plan is empty, so every
+    /// skipped branch (burst windows, reboots, jammers, loss, spurious) is
+    /// provably dead and no channel/Byzantine randomness is ever drawn —
+    /// making this bit-identical to the phased path under either engine.
+    fn fast_round(&mut self, n: usize, channels: SimulatorChannels) -> RoundReport {
+        let two = channels == SimulatorChannels::Two;
+        let words = n.div_ceil(64);
+        self.scatter_heard1.clear();
+        self.scatter_heard1.resize(words, 0);
+        self.scatter_heard2.clear();
+        self.scatter_heard2.resize(words, 0);
+        self.scatter_sent1.clear();
+        self.scatter_sent1.resize(words, 0);
+        self.scatter_sent2.clear();
+        self.scatter_sent2.resize(words, 0);
+        let mut report = RoundReport { round: self.round + 1, ..RoundReport::default() };
+        // Split borrows with fixed-length slices: the Cow deref happens once
+        // instead of per neighbors() call, and every per-node index below is
+        // provably in bounds, so the hot loops carry no bounds checks.
+        let graph: &Graph = &self.graph;
+        let protocol = &self.protocol;
+        let states = &mut self.states[..n];
+        let rngs = &mut self.rngs[..n];
+        let sent = &mut self.sent[..n];
+        let heard = &mut self.heard[..n];
+        let active = &self.active[..n];
+        let heard1 = &mut self.scatter_heard1[..words];
+        let heard2 = &mut self.scatter_heard2[..words];
+        let sent1 = &mut self.scatter_sent1[..words];
+        let sent2 = &mut self.scatter_sent2[..words];
+        let full = self.duplex == DuplexMode::Full;
+        // With every node active and full duplex — the steady state of an
+        // unfaulted network — the per-node activity/deafness checks are
+        // vacuous and every report counter is a set cardinality: beepers are
+        // popcount(sent_c), hearers popcount(heard_c), lone beepers
+        // popcount(sent_c & !heard_c). Track `sent` as bitsets too and the
+        // whole report falls out of a word sweep, leaving pass 2 with just
+        // the gather and the state update.
+        let all_active = active.iter().all(|&a| a);
+        if all_active && full {
+            // Pass 1: transmissions, fused with the beeper scatter.
+            for v in 0..n {
+                let signal = protocol.transmit(v, &states[v], &mut rngs[v]);
+                assert!(
+                    signal.allowed_by(channels),
+                    "protocol beeped on an undeclared channel (node {v}, signal {signal})"
                 );
+                sent[v] = signal;
+                if signal.is_silent() {
+                    continue;
+                }
+                let word = v >> 6;
+                let bit = 1u64 << (v & 63);
+                if signal.on_channel1() {
+                    sent1[word] |= bit;
+                    for &w in graph.neighbors(v) {
+                        heard1[(w >> 6) as usize] |= 1u64 << (w & 63);
+                    }
+                }
+                if signal.on_channel2() {
+                    sent2[word] |= bit;
+                    for &w in graph.neighbors(v) {
+                        heard2[(w >> 6) as usize] |= 1u64 << (w & 63);
+                    }
+                }
+            }
+            // Report counters as word-wise popcounts. Bits at index >= n are
+            // never set (every scattered index is a node id), so no masking
+            // of the final word is needed.
+            for w in 0..words {
+                report.beeps_channel1 += sent1[w].count_ones() as usize;
+                report.hearers_channel1 += heard1[w].count_ones() as usize;
+                report.lone_beepers += (sent1[w] & !heard1[w]).count_ones() as usize;
+            }
+            if two {
+                for w in 0..words {
+                    report.beeps_channel2 += sent2[w].count_ones() as usize;
+                    report.hearers_channel2 += heard2[w].count_ones() as usize;
+                    report.lone_beepers_channel2 += (sent2[w] & !heard2[w]).count_ones() as usize;
+                }
+            }
+            // Pass 2: gather + state update.
+            for v in 0..n {
+                let word = v >> 6;
+                let bit = 1u64 << (v & 63);
+                let h = BeepSignal::new(heard1[word] & bit != 0, two && heard2[word] & bit != 0);
+                heard[v] = h;
+                protocol.receive(v, &mut states[v], sent[v], h, &mut rngs[v]);
+            }
+        } else {
+            // General no-fault round: inactive nodes and half duplex mask
+            // transmissions/hearing per node, so counters stay inline.
+            // Pass 1: transmissions, fused with the beeper scatter.
+            for v in 0..n {
+                let signal = if active[v] {
+                    let s = protocol.transmit(v, &states[v], &mut rngs[v]);
+                    assert!(
+                        s.allowed_by(channels),
+                        "protocol beeped on an undeclared channel (node {v}, signal {s})"
+                    );
+                    s
+                } else {
+                    BeepSignal::silent()
+                };
+                sent[v] = signal;
+                if signal.is_silent() {
+                    continue;
+                }
+                if signal.on_channel1() {
+                    report.beeps_channel1 += 1;
+                    for &w in graph.neighbors(v) {
+                        heard1[(w >> 6) as usize] |= 1u64 << (w & 63);
+                    }
+                }
+                if signal.on_channel2() {
+                    report.beeps_channel2 += 1;
+                    for &w in graph.neighbors(v) {
+                        heard2[(w >> 6) as usize] |= 1u64 << (w & 63);
+                    }
+                }
+            }
+            // Pass 2: gather + state update, fused with report accumulation.
+            for v in 0..n {
+                let s = sent[v];
+                let is_active = active[v];
+                let h = if is_active && (full || s.is_silent()) {
+                    let word = v >> 6;
+                    let bit = 1u64 << (v & 63);
+                    BeepSignal::new(heard1[word] & bit != 0, two && heard2[word] & bit != 0)
+                } else {
+                    BeepSignal::silent()
+                };
+                heard[v] = h;
+                report.hearers_channel1 += h.on_channel1() as usize;
+                report.hearers_channel2 += h.on_channel2() as usize;
+                report.lone_beepers += (s.on_channel1() && !h.on_channel1()) as usize;
+                report.lone_beepers_channel2 += (s.on_channel2() && !h.on_channel2()) as usize;
+                if is_active {
+                    protocol.receive(v, &mut states[v], s, h, &mut rngs[v]);
+                }
             }
         }
         self.round += 1;
         if let Some(hook) = self.hook.0.as_mut() {
-            hook(&self.graph, self.round, &self.states);
+            hook(graph, self.round, states);
         }
-        RoundReport::from_signals(self.round, &self.sent, &self.heard)
+        report
     }
 
     /// Runs until `stop(states) == true` or `max_rounds` total rounds have
@@ -656,7 +972,7 @@ mod tests {
             Channels::One
         }
         fn transmit(&self, _: NodeId, state: &u64, _: &mut dyn RngCore) -> BeepSignal {
-            if state % 2 == 0 {
+            if state.is_multiple_of(2) {
                 BeepSignal::channel1()
             } else {
                 BeepSignal::silent()
@@ -724,7 +1040,7 @@ mod tests {
                 Channels::One
             }
             fn transmit(&self, _: NodeId, _: &u32, rng: &mut dyn RngCore) -> BeepSignal {
-                if rng.next_u32() % 2 == 0 {
+                if rng.next_u32().is_multiple_of(2) {
                     BeepSignal::channel1()
                 } else {
                     BeepSignal::silent()
@@ -787,7 +1103,7 @@ mod tests {
                 Channels::One
             }
             fn transmit(&self, _: NodeId, _: &u32, rng: &mut dyn RngCore) -> BeepSignal {
-                if rng.next_u32() % 3 == 0 {
+                if rng.next_u32().is_multiple_of(3) {
                     BeepSignal::channel1()
                 } else {
                     BeepSignal::silent()
@@ -969,7 +1285,7 @@ mod tests {
                 Channels::One
             }
             fn transmit(&self, _: NodeId, _: &u32, rng: &mut dyn RngCore) -> BeepSignal {
-                if rng.next_u32() % 2 == 0 {
+                if rng.next_u32().is_multiple_of(2) {
                     BeepSignal::channel1()
                 } else {
                     BeepSignal::silent()
@@ -1040,10 +1356,32 @@ mod tests {
     }
 
     #[test]
+    fn node_leave_clears_stale_signals() {
+        // Regression: a departing node's last transmission/observation used
+        // to linger in `last_sent`/`last_heard`, so observers (and the
+        // checkpoint) saw a "ghost beep" from an inactive radio.
+        let g = classic::path(2);
+        let mut sim = Simulator::new(&g, Parity, vec![0, 0], 0);
+        sim.step(); // both beep and hear each other
+        assert!(sim.last_sent()[1].on_channel1());
+        assert!(sim.last_heard()[1].on_channel1());
+        sim.node_leave(1);
+        assert!(sim.last_sent()[1].is_silent());
+        assert!(sim.last_heard()[1].is_silent());
+        // The survivor's signals are untouched.
+        assert!(sim.last_sent()[0].on_channel1());
+        // And the next round still treats the departed node as silent.
+        sim.step();
+        assert!(sim.last_sent()[1].is_silent());
+        assert!(sim.last_heard()[0].is_silent());
+    }
+
+    #[test]
     fn invariant_hook_observes_every_round() {
         use std::cell::RefCell;
         use std::rc::Rc;
         let g = classic::path(2);
+        #[allow(clippy::type_complexity)]
         let seen: Rc<RefCell<Vec<(u64, Vec<u64>)>>> = Rc::new(RefCell::new(Vec::new()));
         let sink = Rc::clone(&seen);
         let mut sim = Simulator::new(&g, Parity, vec![0, 0], 0).with_invariant_hook(
@@ -1183,7 +1521,7 @@ mod tests {
                 Channels::One
             }
             fn transmit(&self, _: NodeId, _: &u32, rng: &mut dyn RngCore) -> BeepSignal {
-                if rng.next_u32() % 2 == 0 {
+                if rng.next_u32().is_multiple_of(2) {
                     BeepSignal::channel1()
                 } else {
                     BeepSignal::silent()

@@ -1,0 +1,222 @@
+//! Differential tests: the scatter delivery engine must be bit-identical to
+//! the scalar reference — same `RoundReport`s, same signals, same states —
+//! per seed, on every graph, channel count, duplex mode, and fault plan.
+
+use beeping::byzantine::{ByzantineBehavior, ByzantinePlan};
+use beeping::channel::{ChannelFault, JammerKind};
+use beeping::protocol::{BeepSignal, BeepingProtocol, Channels};
+use beeping::{DuplexMode, EngineMode, Simulator};
+use graphs::{Graph, GraphBuilder, NodeId};
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+use rand::RngCore;
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2usize..24).prop_flat_map(|n| {
+        proptest::collection::vec((0..n, 0..n), 0..60).prop_map(move |pairs| {
+            let mut b = GraphBuilder::new(n);
+            for (u, v) in pairs {
+                if u != v {
+                    b.add_edge(u, v).unwrap();
+                }
+            }
+            b.build()
+        })
+    })
+}
+
+/// A randomized probe whose transmissions and state updates both consume the
+/// per-node RNG stream — any draw-order divergence between the engines shows
+/// up as diverging states within a round or two.
+#[derive(Clone)]
+struct RandomProbe {
+    channels: Channels,
+}
+
+impl BeepingProtocol for RandomProbe {
+    type State = u64;
+    fn channels(&self) -> Channels {
+        self.channels
+    }
+    fn transmit(&self, _: NodeId, s: &u64, rng: &mut dyn RngCore) -> BeepSignal {
+        let r = rng.next_u64();
+        let c1 = r & 1 == 0 && s.is_multiple_of(2);
+        let c2 = self.channels == Channels::Two && r & 2 == 0 && s.is_multiple_of(3);
+        BeepSignal::new(c1, c2)
+    }
+    fn receive(
+        &self,
+        _: NodeId,
+        s: &mut u64,
+        _: BeepSignal,
+        heard: BeepSignal,
+        rng: &mut dyn RngCore,
+    ) {
+        let bits = heard.on_channel1() as u64 | (heard.on_channel2() as u64) << 1;
+        *s = s.wrapping_mul(6364136223846793005).wrapping_add(bits ^ (rng.next_u64() & 0xF));
+    }
+}
+
+/// A mid-run topology edit, applied identically to both engines' simulators.
+#[derive(Debug, Clone)]
+enum ChurnOp {
+    Leave(NodeId),
+    Join(NodeId, Vec<NodeId>),
+    RemoveEdge(NodeId, NodeId),
+    InsertEdge(NodeId, NodeId),
+}
+
+fn apply_churn(sim: &mut Simulator<'_, RandomProbe>, op: &ChurnOp) {
+    match op {
+        ChurnOp::Leave(v) => {
+            sim.node_leave(*v);
+        }
+        ChurnOp::Join(v, neighbors) => sim.node_join(*v, neighbors, 7),
+        ChurnOp::RemoveEdge(u, v) => {
+            sim.remove_edge(*u, *v);
+        }
+        ChurnOp::InsertEdge(u, v) => {
+            sim.insert_edge(*u, *v);
+        }
+    }
+}
+
+/// Steps both engines `rounds` times under identical configuration and
+/// asserts bit-identity after every round.
+#[allow(clippy::too_many_arguments)]
+fn assert_engines_identical(
+    graph: &Graph,
+    seed: u64,
+    rounds: u64,
+    channels: Channels,
+    duplex: DuplexMode,
+    channel: ChannelFault,
+    byzantine: ByzantinePlan<u64>,
+    churn: &[(u64, ChurnOp)],
+) -> Result<(), TestCaseError> {
+    let init: Vec<u64> = graph.nodes().map(|v| v as u64).collect();
+    let mk = |engine: EngineMode| {
+        Simulator::new(graph, RandomProbe { channels }, init.clone(), seed)
+            .with_duplex(duplex)
+            .with_channel(channel.clone())
+            .with_byzantine(byzantine.clone())
+            .with_engine(engine)
+    };
+    let mut scalar = mk(EngineMode::Scalar);
+    let mut scatter = mk(EngineMode::Scatter);
+    for round in 1..=rounds {
+        let a = scalar.step();
+        let b = scatter.step();
+        prop_assert_eq!(a, b, "round report diverged at round {}", round);
+        prop_assert_eq!(scalar.states(), scatter.states(), "states diverged at round {}", round);
+        prop_assert_eq!(
+            scalar.last_sent(),
+            scatter.last_sent(),
+            "sent signals diverged at round {}",
+            round
+        );
+        prop_assert_eq!(
+            scalar.last_heard(),
+            scatter.last_heard(),
+            "heard signals diverged at round {}",
+            round
+        );
+        for (_, op) in churn.iter().filter(|(r, _)| *r == round) {
+            apply_churn(&mut scalar, op);
+            apply_churn(&mut scatter, op);
+            prop_assert_eq!(scalar.last_sent(), scatter.last_sent());
+            prop_assert_eq!(scalar.last_heard(), scatter.last_heard());
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// No-fault configurations (the scatter engine's fused fast path),
+    /// across channel counts and duplex modes.
+    #[test]
+    fn engines_agree_no_fault(
+        g in arb_graph(),
+        seed in any::<u64>(),
+        two in any::<bool>(),
+        full in any::<bool>(),
+    ) {
+        let channels = if two { Channels::Two } else { Channels::One };
+        let duplex = if full { DuplexMode::Full } else { DuplexMode::Half };
+        assert_engines_identical(
+            &g,
+            seed,
+            24,
+            channels,
+            duplex,
+            ChannelFault::reliable(),
+            ByzantinePlan::new(),
+            &[],
+        )?;
+    }
+
+    /// Lossy / noisy channels: drop forces the scalar fallback, spurious
+    /// noise exercises the scatter path's per-listener draw ordering.
+    #[test]
+    fn engines_agree_under_noise(
+        g in arb_graph(),
+        seed in any::<u64>(),
+        drop_p in 0.0f64..0.5,
+        spurious_p in 0.0f64..0.3,
+        two in any::<bool>(),
+    ) {
+        let channels = if two { Channels::Two } else { Channels::One };
+        assert_engines_identical(
+            &g,
+            seed,
+            16,
+            channels,
+            DuplexMode::Half,
+            ChannelFault::reliable().with_drop(drop_p).with_spurious(spurious_p),
+            ByzantinePlan::new(),
+            &[],
+        )?;
+    }
+
+    /// Composed fault plans: spurious noise + a jammer + Byzantine radios +
+    /// mid-run churn, on both channel counts.
+    #[test]
+    fn engines_agree_under_composed_faults(
+        g in arb_graph(),
+        seed in any::<u64>(),
+        spurious_p in 0.0f64..0.3,
+        babble_p in 0.0f64..1.0,
+        two in any::<bool>(),
+    ) {
+        let n = g.len();
+        let channels = if two { Channels::Two } else { Channels::One };
+        let channel = ChannelFault::reliable()
+            .with_spurious(spurious_p)
+            .with_jammer(0, JammerKind::AlwaysBeep);
+        let mut byz = ByzantinePlan::new()
+            .with_behavior(n - 1, ByzantineBehavior::Babbler(babble_p));
+        if two && n > 2 {
+            byz.set_behavior(1, ByzantineBehavior::Channel2Liar);
+        }
+        let victim = n / 2;
+        let mates = if victim == n - 1 { vec![0] } else { vec![0, n - 1] };
+        let churn = vec![
+            (4, ChurnOp::Leave(victim)),
+            (7, ChurnOp::RemoveEdge(0, n - 1)),
+            (10, ChurnOp::Join(victim, mates)),
+            (13, ChurnOp::InsertEdge(0, n - 1)),
+        ];
+        assert_engines_identical(
+            &g,
+            seed,
+            20,
+            channels,
+            DuplexMode::Half,
+            channel,
+            byz,
+            &churn,
+        )?;
+    }
+}

@@ -55,6 +55,38 @@ impl BeepingProtocol for Probe {
     }
 }
 
+/// Two-channel probe: beeps on each channel iff the matching state bit is
+/// set; records the heard signal verbatim.
+#[derive(Clone)]
+struct Probe2;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Probe2State {
+    beep1: bool,
+    beep2: bool,
+    heard: BeepSignal,
+}
+
+impl BeepingProtocol for Probe2 {
+    type State = Probe2State;
+    fn channels(&self) -> Channels {
+        Channels::Two
+    }
+    fn transmit(&self, _: NodeId, s: &Probe2State, _: &mut dyn RngCore) -> BeepSignal {
+        BeepSignal::new(s.beep1, s.beep2)
+    }
+    fn receive(
+        &self,
+        _: NodeId,
+        s: &mut Probe2State,
+        _: BeepSignal,
+        heard: BeepSignal,
+        _: &mut dyn RngCore,
+    ) {
+        s.heard = heard;
+    }
+}
+
 proptest! {
     /// The delivered bit equals the OR over neighbors' transmissions —
     /// never self, never non-neighbors.
@@ -94,6 +126,37 @@ proptest! {
         prop_assert_eq!(report.hearers_channel1, hearers);
         prop_assert_eq!(report.lone_beepers, lone);
         prop_assert_eq!(report.round, 1);
+    }
+
+    /// Two-channel round reports count lone beepers per channel: a node is
+    /// a lone beeper on channel `c` iff it beeped on `c` and no neighbor
+    /// did — activity on the other channel is irrelevant.
+    #[test]
+    fn round_report_counts_two_channel(
+        g in arb_graph(),
+        beeps1 in proptest::collection::vec(any::<bool>(), 24),
+        beeps2 in proptest::collection::vec(any::<bool>(), 24),
+    ) {
+        let init: Vec<Probe2State> = g
+            .nodes()
+            .map(|v| Probe2State { beep1: beeps1[v], beep2: beeps2[v], ..Default::default() })
+            .collect();
+        let mut sim = Simulator::new(&g, Probe2, init, 0);
+        let report = sim.step();
+        let lone = |beeps: &[bool]| {
+            g.nodes()
+                .filter(|&v| beeps[v] && !g.neighbors(v).iter().any(|&u| beeps[u as usize]))
+                .count()
+        };
+        prop_assert_eq!(report.beeps_channel1, g.nodes().filter(|&v| beeps1[v]).count());
+        prop_assert_eq!(report.beeps_channel2, g.nodes().filter(|&v| beeps2[v]).count());
+        prop_assert_eq!(report.lone_beepers, lone(&beeps1));
+        prop_assert_eq!(report.lone_beepers_channel2, lone(&beeps2));
+        for v in g.nodes() {
+            let h = sim.state(v).heard;
+            prop_assert_eq!(h.on_channel1(), g.neighbors(v).iter().any(|&u| beeps1[u as usize]));
+            prop_assert_eq!(h.on_channel2(), g.neighbors(v).iter().any(|&u| beeps2[u as usize]));
+        }
     }
 
     /// Node RNG streams are reproducible and node-separated.

@@ -26,7 +26,7 @@ impl BeepingProtocol for Echo {
     }
     fn transmit(&self, node: NodeId, _: &EchoState, _: &mut dyn RngCore) -> BeepSignal {
         // Even nodes beep every round.
-        if node % 2 == 0 {
+        if node.is_multiple_of(2) {
             BeepSignal::channel1()
         } else {
             BeepSignal::silent()

@@ -1,0 +1,35 @@
+//! Bench for experiment PERF: scalar vs scatter round-engine throughput
+//! on the steady-state Algorithm 1 workload (the BENCH_PERF.json claim,
+//! measured under criterion's statistics instead of one wall-clock run).
+
+use beeping::{EngineMode, Simulator};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use experiments::perf::families;
+use mis::{Algorithm1, LmaxPolicy};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("PERF-engine-throughput");
+    group.sample_size(10);
+    for family in families() {
+        for n in [1usize << 12, 1 << 14] {
+            let g = family.generate(n, 0x5C);
+            let algo = Algorithm1::new(&g, LmaxPolicy::global_delta(&g));
+            let levels = mis::runner::run(&g, &algo, mis::runner::RunConfig::new(0x9E2F))
+                .expect("workload stabilizes")
+                .levels;
+            group.throughput(Throughput::Elements(n as u64));
+            for engine in [EngineMode::Scalar, EngineMode::Scatter] {
+                let id = BenchmarkId::new(format!("{family}/{engine:?}"), n);
+                group.bench_with_input(id, &n, |b, _| {
+                    let mut sim = Simulator::new(&g, algo.clone(), levels.clone(), 0x9E2F)
+                        .with_engine(engine);
+                    b.iter(|| std::hint::black_box(sim.step()))
+                });
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

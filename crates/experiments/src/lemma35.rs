@@ -120,7 +120,7 @@ mod tests {
     fn waits_are_finite_and_positive() {
         let waits = collect_waits(48, 2, 5_000);
         assert_eq!(waits.len(), 2 * 48 - count_initially_platinum(48, 2),);
-        assert!(waits.iter().all(|&w| w >= 1.0 && w < 5_000.0), "no censoring expected");
+        assert!(waits.iter().all(|&w| (1.0..5_000.0).contains(&w)), "no censoring expected");
     }
 
     /// Vertices already platinum at measurement start produce no sample.

@@ -23,6 +23,7 @@
 //! | `ABL-LMAX` ([`ablation_lmax`]) | the "`ℓmax` has strong influence" remark of §2 |
 //! | `ABL-HD` ([`ablation_duplex`]) | model ablation: full vs half duplex |
 //! | `SCALE` ([`scale`]) | practicality at large n |
+//! | `PERF` ([`perf`]) | round-engine throughput: scalar vs scatter |
 //! | `ENERGY` ([`energy`]) | beep (radio-energy) complexity |
 //! | `DYN` ([`dyn_trajectory`]) | convergence trajectory of one execution |
 //! | `EXT-ADAPT` ([`ext_adaptive`]) | §8's open question: knowledge-free adaptive variant |
@@ -49,6 +50,7 @@ pub mod lemma35;
 pub mod lemma36;
 pub mod lemma67;
 pub mod noise;
+pub mod perf;
 pub mod recovery;
 pub mod scale;
 pub mod thm21;
@@ -141,6 +143,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             run: ablation_duplex::run,
         },
         Experiment { id: "SCALE", title: "Scalability on large graphs", run: scale::run },
+        Experiment {
+            id: "PERF",
+            title: "Round-engine throughput: scalar vs scatter",
+            run: perf::run,
+        },
         Experiment { id: "ENERGY", title: "Beep (radio-energy) complexity", run: energy::run },
         Experiment {
             id: "DYN",

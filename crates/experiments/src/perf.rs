@@ -1,0 +1,263 @@
+//! Experiment `PERF` — round-engine throughput baseline (scalar vs scatter).
+//!
+//! *Claim under test*: the scatter delivery engine (collect the round's
+//! beepers, push their signals to neighbors, word-packed "heard" bitsets,
+//! fused no-fault fast path) is a pure performance refactor — bit-identical
+//! to the scalar reference per seed, and ≥ 2× faster in rounds/sec on
+//! sparse families at large n in the no-fault configuration.
+//!
+//! *Measurements*: for each graph family (cycle, 4-regular, G(n,p)) and
+//! size, run Algorithm 1 to stabilization once, then time both engines over
+//! the same steady-state workload (the sustained regime: MIS members beep
+//! every round, everyone else listens). A differential check steps both
+//! engines side by side from the same configuration and asserts identical
+//! round reports and states before any timing is trusted.
+//!
+//! *Artifacts*: the report table, plus `results/BENCH_PERF.json` (one entry
+//! per `(family, n)` with rounds/sec for both engines and the speedup) when
+//! a `results/` directory exists.
+//!
+//! *Expected shape*: speedup grows with n and is largest on sparse families
+//! (cycle, regular), where per-round bookkeeping — not edge scanning —
+//! dominates the scalar engine; the acceptance bound is ≥ 2× at the largest
+//! size on cycle and regular graphs.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use beeping::{EngineMode, Simulator};
+use graphs::generators::GraphFamily;
+use graphs::Graph;
+use mis::levels::Level;
+use mis::runner::{self, RunConfig};
+use mis::{Algorithm1, LmaxPolicy};
+
+/// The graph families of the throughput table, sparse first.
+pub fn families() -> Vec<GraphFamily> {
+    vec![GraphFamily::Cycle, GraphFamily::Regular { d: 4 }, GraphFamily::Gnp { avg_degree: 8.0 }]
+}
+
+/// Network sizes: powers of two up to 2^16 (2^12 under `--quick`).
+pub fn sizes(quick: bool) -> Vec<usize> {
+    if quick {
+        vec![1 << 10, 1 << 12]
+    } else {
+        vec![1 << 12, 1 << 14, 1 << 16]
+    }
+}
+
+/// One `(family, n)` measurement.
+pub struct PerfPoint {
+    /// Family label.
+    pub family: String,
+    /// Network size.
+    pub n: usize,
+    /// Edge count of the generated instance.
+    pub m: usize,
+    /// Timed rounds per engine.
+    pub rounds: u64,
+    /// Scalar-engine throughput, rounds/sec.
+    pub scalar_rps: f64,
+    /// Scatter-engine throughput, rounds/sec.
+    pub scatter_rps: f64,
+}
+
+impl PerfPoint {
+    /// Scatter speedup over scalar.
+    pub fn speedup(&self) -> f64 {
+        self.scatter_rps / self.scalar_rps.max(1e-9)
+    }
+}
+
+/// A stabilized (steady-state) configuration for the timing workload: MIS
+/// members beep every round, everyone else listens.
+fn steady_state_levels(g: &Graph, algo: &Algorithm1, seed: u64) -> Vec<Level> {
+    let config = RunConfig::new(seed).with_max_rounds(1_000_000);
+    runner::run(g, algo, config).expect("workload run stabilizes").levels
+}
+
+fn rounds_per_sec(
+    g: &Graph,
+    algo: &Algorithm1,
+    levels: &[Level],
+    seed: u64,
+    engine: EngineMode,
+    rounds: u64,
+) -> f64 {
+    let mut sim = Simulator::new(g, algo.clone(), levels.to_vec(), seed).with_engine(engine);
+    let start = Instant::now();
+    sim.run(rounds);
+    let secs = start.elapsed().as_secs_f64().max(1e-9);
+    std::hint::black_box(sim.states());
+    rounds as f64 / secs
+}
+
+/// Steps both engines side by side and asserts bit-identical round reports,
+/// states and signals — the differential gate run before any timing.
+///
+/// # Panics
+///
+/// Panics on the first diverging round.
+pub fn assert_engines_identical(
+    g: &Graph,
+    algo: &Algorithm1,
+    levels: &[Level],
+    seed: u64,
+    rounds: u64,
+) {
+    let mut scalar =
+        Simulator::new(g, algo.clone(), levels.to_vec(), seed).with_engine(EngineMode::Scalar);
+    let mut scatter =
+        Simulator::new(g, algo.clone(), levels.to_vec(), seed).with_engine(EngineMode::Scatter);
+    for round in 1..=rounds {
+        let a = scalar.step();
+        let b = scatter.step();
+        assert_eq!(a, b, "round report diverged at round {round} (n={})", g.len());
+        assert_eq!(scalar.states(), scatter.states(), "states diverged at round {round}");
+        assert_eq!(scalar.last_heard(), scatter.last_heard(), "signals diverged at round {round}");
+    }
+}
+
+/// Measures one `(family, n)` point: stabilize, differential-check, then
+/// time both engines on the steady-state workload.
+pub fn measure_point(family: &GraphFamily, n: usize, seed: u64, quick: bool) -> PerfPoint {
+    let g = family.generate(n, crate::common::graph_seed(0));
+    let algo = Algorithm1::new(&g, LmaxPolicy::global_delta(&g));
+    let levels = steady_state_levels(&g, &algo, seed);
+    assert_engines_identical(&g, &algo, &levels, seed, 8);
+    // Node-rounds budget per engine, so every size gets comparable wall
+    // time; floors keep the smallest quick sizes from under-sampling.
+    let budget: u64 = if quick { 1 << 21 } else { 1 << 25 };
+    let rounds = (budget / n as u64).max(16);
+    let scalar_rps = rounds_per_sec(&g, &algo, &levels, seed, EngineMode::Scalar, rounds);
+    let scatter_rps = rounds_per_sec(&g, &algo, &levels, seed, EngineMode::Scatter, rounds);
+    PerfPoint { family: family.to_string(), n, m: g.num_edges(), rounds, scalar_rps, scatter_rps }
+}
+
+/// Renders the measured points as the committed JSON artifact (fixed field
+/// order; throughput values are wall-clock measurements and vary run to
+/// run, so the file is a baseline record, not a determinism artifact).
+pub fn bench_json(points: &[PerfPoint], quick: bool) -> String {
+    let mut out = String::from("{\n  \"experiment\": \"PERF\",\n");
+    let _ = writeln!(out, "  \"quick\": {quick},");
+    let _ = writeln!(out, "  \"unit\": \"rounds_per_sec\",");
+    out.push_str("  \"entries\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let sep = if i + 1 == points.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    {{\"family\": \"{}\", \"n\": {}, \"m\": {}, \"rounds\": {}, \
+             \"scalar_rps\": {:.1}, \"scatter_rps\": {:.1}, \"speedup\": {:.2}}}{sep}",
+            p.family,
+            p.n,
+            p.m,
+            p.rounds,
+            p.scalar_rps,
+            p.scatter_rps,
+            p.speedup()
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Runs the experiment and returns the printed report.
+pub fn run(quick: bool) -> String {
+    let seed = 0x9E2F;
+    let mut out = crate::common::header("PERF", "round-engine throughput: scalar vs scatter");
+    let _ = writeln!(
+        out,
+        "workload: Algorithm 1 (global-Δ) steady state; both engines timed on the same \
+         configuration after an 8-round differential check; per-engine budget {} node-rounds",
+        if quick { 1u64 << 21 } else { 1 << 25 }
+    );
+
+    let mut points = Vec::new();
+    let mut table = analysis::Table::new([
+        "family",
+        "n",
+        "m",
+        "rounds",
+        "scalar r/s",
+        "scatter r/s",
+        "speedup",
+    ]);
+    for family in families() {
+        for &n in &sizes(quick) {
+            let p = measure_point(&family, n, seed, quick);
+            table.row([
+                p.family.clone(),
+                p.n.to_string(),
+                p.m.to_string(),
+                p.rounds.to_string(),
+                format!("{:.0}", p.scalar_rps),
+                format!("{:.0}", p.scatter_rps),
+                format!("{:.2}x", p.speedup()),
+            ]);
+            points.push(p);
+        }
+    }
+    out.push_str("\n## throughput (higher is better)\n\n");
+    out.push_str(&format!("{table}"));
+
+    let json = bench_json(&points, quick);
+    out.push_str("\nbench baseline:\n");
+    out.push_str(&json);
+    // Written whenever the standard output directory exists (the CI smoke
+    // and full runs pass `--out results`); plain `cargo test` runs from the
+    // crate directory, which has no results/, and never rewrites the
+    // committed baseline.
+    let results = std::path::Path::new("results");
+    if results.is_dir() {
+        if let Err(e) = std::fs::write(results.join("BENCH_PERF.json"), &json) {
+            let _ = writeln!(out, "warning: cannot write results/BENCH_PERF.json: {e}");
+        } else {
+            out.push_str("\nbaseline written to results/BENCH_PERF.json\n");
+        }
+    }
+    out.push_str(
+        "\nexpected shape: speedup grows with n and is largest on the sparse families; \
+         acceptance is >= 2x on cycle and regular at the largest size (full run).\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_covers_all_sections() {
+        let report = run(true);
+        for section in ["throughput", "bench baseline:", "\"experiment\": \"PERF\""] {
+            assert!(report.contains(section), "missing section {section}");
+        }
+        assert!(report.contains("cycle"));
+        assert!(report.contains("speedup"));
+    }
+
+    #[test]
+    fn engines_identical_on_steady_state() {
+        let family = GraphFamily::Gnp { avg_degree: 8.0 };
+        let g = family.generate(96, 3);
+        let algo = Algorithm1::new(&g, LmaxPolicy::global_delta(&g));
+        let levels = steady_state_levels(&g, &algo, 5);
+        assert_engines_identical(&g, &algo, &levels, 5, 32);
+    }
+
+    #[test]
+    fn json_is_well_formed() {
+        let points = vec![PerfPoint {
+            family: "cycle".into(),
+            n: 64,
+            m: 64,
+            rounds: 100,
+            scalar_rps: 1000.0,
+            scatter_rps: 2500.0,
+        }];
+        let json = bench_json(&points, true);
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(json.contains("\"speedup\": 2.50"));
+        assert!(json.contains("\"quick\": true"));
+    }
+}

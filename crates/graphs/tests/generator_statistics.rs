@@ -90,7 +90,7 @@ fn recursive_tree_depth_is_logarithmic() {
     let n = 4096;
     let g = trees::random_recursive_tree(n, 11);
     let depth = properties::eccentricity(&g, 0);
-    assert!(depth >= 6 && depth <= 40, "root depth {depth} should be Θ(log n) ≈ 8–25");
+    assert!((6..=40).contains(&depth), "root depth {depth} should be Θ(log n) ≈ 8–25");
 }
 
 #[test]

@@ -171,10 +171,9 @@ pub fn tokenize(source: &str) -> Vec<Token> {
         if c.is_ascii_digit() {
             let mut text = String::new();
             while let Some(c) = s.peek(0) {
-                if is_ident_continue(c) {
-                    text.push(c);
-                    s.bump();
-                } else if c == '.' && s.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                if is_ident_continue(c)
+                    || (c == '.' && s.peek(1).is_some_and(|d| d.is_ascii_digit()))
+                {
                     text.push(c);
                     s.bump();
                 } else {

@@ -507,7 +507,7 @@ mod tests {
         let src = "fn outer() { fn receive() { a.unwrap(); } b.unwrap(); }";
         let f = run("x.rs", src, &[RuleId::L3]);
         assert_eq!(f.len(), 1);
-        assert_eq!(f[0].snippet.contains("a.unwrap"), true);
+        assert!(f[0].snippet.contains("a.unwrap"));
     }
 
     #[test]

@@ -33,7 +33,7 @@
 //! Byzantine nodes themselves from the membership bitmap.
 
 use beeping::byzantine::ByzantinePlan;
-use beeping::Simulator;
+use beeping::{EngineMode, Simulator};
 use graphs::{Graph, NodeId};
 
 use crate::dynamics::{round_stats, RoundStats};
@@ -222,6 +222,9 @@ pub struct ContainmentConfig {
     pub burn_in: u64,
     /// Record a [`ContainmentSample`] per round (including round 0).
     pub record_trajectory: bool,
+    /// Delivery engine for the underlying simulator (bit-identical choices;
+    /// see [`EngineMode`]).
+    pub engine: EngineMode,
 }
 
 impl ContainmentConfig {
@@ -235,6 +238,7 @@ impl ContainmentConfig {
             radius: 2,
             burn_in: 0,
             record_trajectory: false,
+            engine: EngineMode::default(),
         }
     }
 
@@ -265,6 +269,12 @@ impl ContainmentConfig {
     /// Enables per-round trajectory recording.
     pub fn with_trajectory(mut self) -> ContainmentConfig {
         self.record_trajectory = true;
+        self
+    }
+
+    /// Selects the simulator delivery engine.
+    pub fn with_engine(mut self, engine: EngineMode) -> ContainmentConfig {
+        self.engine = engine;
         self
     }
 }
@@ -316,8 +326,9 @@ pub fn run_contained<A: SelfStabilizingMis>(
 ) -> ContainmentOutcome {
     let run_config = RunConfig::new(config.seed).with_init(config.init.clone());
     let levels = initial_levels(algo, &run_config);
-    let mut sim =
-        Simulator::new(graph, algo.clone(), levels, config.seed).with_byzantine(plan.clone());
+    let mut sim = Simulator::new(graph, algo.clone(), levels, config.seed)
+        .with_byzantine(plan.clone())
+        .with_engine(config.engine);
     let byz = plan.nodes();
     let dist = byz_distances(graph, &byz);
     let lmax = algo.policy().lmax_values();
@@ -404,7 +415,7 @@ mod tests {
         let g2 = b.build(); // 2 and 3 isolated
         let algo2 = Algorithm1::new(&g2, LmaxPolicy::fixed(4, 3));
         let levels2 = vec![-3, 3, 1, -3];
-        assert_eq!(disruption_radius(&algo2, &g2, &levels2, &vec![true; 4], &[0]), usize::MAX);
+        assert_eq!(disruption_radius(&algo2, &g2, &levels2, &[true; 4], &[0]), usize::MAX);
     }
 
     #[test]

@@ -175,7 +175,7 @@ mod tests {
     fn accepts_valid_configurations() {
         let g = classic::cycle(6);
         let checker = InvariantChecker::new(&LmaxPolicy::global_delta(&g), LevelSpace::Signed);
-        checker.check_round(&g, 1, &vec![1; 6]);
+        checker.check_round(&g, 1, &[1; 6]);
     }
 
     #[test]

@@ -26,7 +26,7 @@ use beeping::channel::ChannelFault;
 use beeping::churn::{ChurnAction, ChurnPlan};
 use beeping::faults::FaultPlan;
 use beeping::rng::aux_rng;
-use beeping::Simulator;
+use beeping::{EngineMode, Simulator};
 use graphs::Graph;
 use rand_pcg::Pcg64Mcg;
 
@@ -208,6 +208,9 @@ pub struct NoisyRunConfig {
     pub churn: ChurnPlan,
     /// The channel model, active for the whole run.
     pub channel: ChannelFault,
+    /// Delivery engine for the underlying simulator (bit-identical choices;
+    /// see [`EngineMode`]).
+    pub engine: EngineMode,
 }
 
 impl NoisyRunConfig {
@@ -221,6 +224,7 @@ impl NoisyRunConfig {
             faults: FaultPlan::new(),
             churn: ChurnPlan::new(),
             channel: ChannelFault::reliable(),
+            engine: EngineMode::default(),
         }
     }
 
@@ -251,6 +255,12 @@ impl NoisyRunConfig {
     /// Sets the channel model.
     pub fn with_channel(mut self, channel: ChannelFault) -> NoisyRunConfig {
         self.channel = channel;
+        self
+    }
+
+    /// Selects the simulator delivery engine.
+    pub fn with_engine(mut self, engine: EngineMode) -> NoisyRunConfig {
+        self.engine = engine;
         self
     }
 }
@@ -408,7 +418,8 @@ pub fn run_noisy<A: SelfStabilizingMis>(
     let run_config = RunConfig::new(config.seed).with_init(config.init.clone());
     let levels = initial_levels(algo, &run_config);
     let mut sim = Simulator::new(graph, algo.clone(), levels, config.seed)
-        .with_channel(config.channel.clone());
+        .with_channel(config.channel.clone())
+        .with_engine(config.engine);
     let mut fault_rng = aux_rng(config.seed, FAULT_RNG_PURPOSE);
 
     let last_event_round = config

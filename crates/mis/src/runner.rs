@@ -9,7 +9,7 @@
 use beeping::faults::{FaultPlan, FaultTarget};
 use beeping::rng::aux_rng;
 use beeping::trace::Trace;
-use beeping::{BeepingProtocol, Simulator};
+use beeping::{BeepingProtocol, EngineMode, Simulator};
 use graphs::Graph;
 use rand::Rng;
 use rand_pcg::Pcg64Mcg;
@@ -105,6 +105,10 @@ pub struct RunConfig {
     /// Record a full level snapshot after every round (memory-heavy; for
     /// lemma-level experiments on small graphs only).
     pub record_levels: bool,
+    /// Delivery engine for the underlying simulator. Both engines are
+    /// bit-identical per seed; `Scalar` is the reference implementation kept
+    /// for differential testing.
+    pub engine: EngineMode,
 }
 
 impl RunConfig {
@@ -117,6 +121,7 @@ impl RunConfig {
             init: InitialLevels::Random,
             faults: FaultPlan::new(),
             record_levels: false,
+            engine: EngineMode::default(),
         }
     }
 
@@ -141,6 +146,12 @@ impl RunConfig {
     /// Enables per-round level snapshots.
     pub fn with_level_recording(mut self) -> RunConfig {
         self.record_levels = true;
+        self
+    }
+
+    /// Selects the simulator delivery engine.
+    pub fn with_engine(mut self, engine: EngineMode) -> RunConfig {
+        self.engine = engine;
         self
     }
 }
@@ -290,7 +301,8 @@ pub fn run<A: SelfStabilizingMis>(
         panic!("invalid fault plan: {e}");
     }
     let levels = initial_levels(algo, &config);
-    let mut sim = Simulator::new(graph, algo.clone(), levels, config.seed);
+    let mut sim =
+        Simulator::new(graph, algo.clone(), levels, config.seed).with_engine(config.engine);
     if cfg!(debug_assertions) {
         let checker = crate::invariant::InvariantChecker::for_algorithm(algo);
         sim.set_invariant_hook(move |g, round, states| checker.check_round(g, round, states));
@@ -447,7 +459,7 @@ pub fn run_recovery<A: SelfStabilizingMis>(
 
     let config = RunConfig::new(seed).with_max_rounds(max_rounds);
     let levels = initial_levels(algo, &config);
-    let mut sim = Simulator::new(graph, algo.clone(), levels, seed);
+    let mut sim = Simulator::new(graph, algo.clone(), levels, seed).with_engine(config.engine);
     if cfg!(debug_assertions) {
         let checker = crate::invariant::InvariantChecker::for_algorithm(algo);
         sim.set_invariant_hook(move |g, round, states| checker.check_round(g, round, states));
@@ -549,6 +561,67 @@ mod tests {
         assert!(outcome.rounds_run >= 30);
         assert_eq!(outcome.stabilization_round, outcome.rounds_run - 30);
         assert!(graphs::mis::is_maximal_independent_set(&g, &outcome.mis));
+    }
+
+    #[test]
+    fn fault_at_round_zero_counts_every_round_as_fault_free() {
+        // A fault "after round 0" corrupts the initial configuration before
+        // any step runs; stabilization time is then counted from round 0,
+        // i.e. every executed round is fault-free and
+        // `stabilization_round == rounds_run`, exactly as in a no-fault run.
+        let g = random::gnp(40, 0.1, 5);
+        let algo = Algorithm1::new(&g, LmaxPolicy::global_delta(&g));
+        let faults = FaultPlan::new().with_fault(0, FaultTarget::All);
+        let outcome = algo.run(&g, RunConfig::new(5).with_faults(faults)).expect("stabilizes");
+        assert_eq!(outcome.stabilization_round, outcome.rounds_run);
+        assert!(outcome.stabilization_round > 0);
+        assert!(graphs::mis::is_maximal_independent_set(&g, &outcome.mis));
+    }
+
+    #[test]
+    fn fault_at_final_round_is_measured_after_corruption() {
+        // Schedule a second fault at the exact round where the first
+        // recovery would otherwise complete. The runner must apply the
+        // corruption *before* the stabilization check of that round, so the
+        // count restarts: `stabilization_round == rounds_run - last_fault`.
+        let g = random::gnp(40, 0.1, 5);
+        let algo = Algorithm1::new(&g, LmaxPolicy::global_delta(&g));
+        let first = algo
+            .run(
+                &g,
+                RunConfig::new(5).with_faults(FaultPlan::new().with_fault(30, FaultTarget::All)),
+            )
+            .expect("stabilizes");
+        let landing = first.rounds_run;
+        let faults =
+            FaultPlan::new().with_fault(30, FaultTarget::All).with_fault(landing, FaultTarget::All);
+        let outcome = algo
+            .run(&g, RunConfig::new(5).with_faults(faults))
+            .expect("stabilizes after the final-round fault");
+        assert!(outcome.rounds_run >= landing);
+        assert_eq!(outcome.stabilization_round, outcome.rounds_run - landing);
+        assert!(graphs::mis::is_maximal_independent_set(&g, &outcome.mis));
+    }
+
+    #[test]
+    fn engines_agree_on_stabilization() {
+        // The scatter engine is bit-identical to the scalar reference, so a
+        // full stabilization run must agree in every observable.
+        let g = random::gnp(60, 0.08, 11);
+        for seed in [1u64, 2, 3] {
+            let algo = Algorithm1::new(&g, LmaxPolicy::global_delta(&g));
+            let scalar = algo
+                .run(&g, RunConfig::new(seed).with_engine(EngineMode::Scalar))
+                .expect("stabilizes");
+            let scatter = algo
+                .run(&g, RunConfig::new(seed).with_engine(EngineMode::Scatter))
+                .expect("stabilizes");
+            assert_eq!(scalar.mis, scatter.mis);
+            assert_eq!(scalar.levels, scatter.levels);
+            assert_eq!(scalar.stabilization_round, scatter.stabilization_round);
+            assert_eq!(scalar.rounds_run, scatter.rounds_run);
+            assert_eq!(scalar.trace.reports(), scatter.trace.reports());
+        }
     }
 
     #[test]

@@ -52,7 +52,7 @@ pub mod prelude {
     pub use beeping::byzantine::{ByzantineBehavior, ByzantinePlan};
     pub use beeping::faults::{FaultError, FaultPlan, FaultTarget, TransientFault};
     pub use beeping::trace::RoundReport;
-    pub use beeping::{BeepSignal, BeepingProtocol, Channels, Simulator};
+    pub use beeping::{BeepSignal, BeepingProtocol, Channels, EngineMode, Simulator};
     pub use graphs::{Graph, GraphBuilder};
     pub use mis::algorithm1::Algorithm1;
     pub use mis::algorithm2::Algorithm2;

@@ -5,7 +5,6 @@ use graphs::generators::{
     classic, composite, geometric, lattice, random, scale_free, small_world, trees,
 };
 use graphs::Graph;
-use mis::runner::SelfStabilizingMis;
 
 fn workload_zoo() -> Vec<(&'static str, Graph)> {
     vec![

@@ -5,7 +5,7 @@ use beeping_mis::prelude::*;
 use graphs::{Graph, GraphBuilder};
 use mis::levels::Level;
 use mis::observer::Snapshot;
-use mis::runner::{initial_levels, SelfStabilizingMis};
+use mis::runner::initial_levels;
 use proptest::prelude::*;
 
 /// Strategy: an arbitrary simple graph.
