@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/abl-5a91fc102aa5f232.d: crates/bench/benches/abl.rs Cargo.toml
+
+/root/repo/target/debug/deps/libabl-5a91fc102aa5f232.rmeta: crates/bench/benches/abl.rs Cargo.toml
+
+crates/bench/benches/abl.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::dbg_macro__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::todo__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unimplemented__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

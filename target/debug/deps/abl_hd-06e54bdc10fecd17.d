@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/abl_hd-06e54bdc10fecd17.d: crates/bench/benches/abl_hd.rs Cargo.toml
+
+/root/repo/target/debug/deps/libabl_hd-06e54bdc10fecd17.rmeta: crates/bench/benches/abl_hd.rs Cargo.toml
+
+crates/bench/benches/abl_hd.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::dbg_macro__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::todo__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unimplemented__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

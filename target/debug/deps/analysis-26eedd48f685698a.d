@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/analysis-26eedd48f685698a.d: crates/analysis/src/lib.rs crates/analysis/src/histogram.rs crates/analysis/src/regression.rs crates/analysis/src/stats.rs crates/analysis/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libanalysis-26eedd48f685698a.rmeta: crates/analysis/src/lib.rs crates/analysis/src/histogram.rs crates/analysis/src/regression.rs crates/analysis/src/stats.rs crates/analysis/src/table.rs Cargo.toml
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/histogram.rs:
+crates/analysis/src/regression.rs:
+crates/analysis/src/stats.rs:
+crates/analysis/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::dbg_macro__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::todo__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unimplemented__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

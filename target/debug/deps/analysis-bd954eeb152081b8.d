@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/analysis-bd954eeb152081b8.d: crates/analysis/src/lib.rs crates/analysis/src/histogram.rs crates/analysis/src/regression.rs crates/analysis/src/stats.rs crates/analysis/src/table.rs
+
+/root/repo/target/debug/deps/analysis-bd954eeb152081b8: crates/analysis/src/lib.rs crates/analysis/src/histogram.rs crates/analysis/src/regression.rs crates/analysis/src/stats.rs crates/analysis/src/table.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/histogram.rs:
+crates/analysis/src/regression.rs:
+crates/analysis/src/stats.rs:
+crates/analysis/src/table.rs:

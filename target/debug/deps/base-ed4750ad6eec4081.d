@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/base-ed4750ad6eec4081.d: crates/bench/benches/base.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbase-ed4750ad6eec4081.rmeta: crates/bench/benches/base.rs Cargo.toml
+
+crates/bench/benches/base.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::dbg_macro__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::todo__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unimplemented__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/baselines-a11d28c472ea9ba7.d: crates/baselines/src/lib.rs crates/baselines/src/afek.rs crates/baselines/src/jeavons.rs crates/baselines/src/local.rs crates/baselines/src/luby.rs crates/baselines/src/stone_age.rs crates/baselines/src/two_state.rs
+
+/root/repo/target/debug/deps/baselines-a11d28c472ea9ba7: crates/baselines/src/lib.rs crates/baselines/src/afek.rs crates/baselines/src/jeavons.rs crates/baselines/src/local.rs crates/baselines/src/luby.rs crates/baselines/src/stone_age.rs crates/baselines/src/two_state.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/afek.rs:
+crates/baselines/src/jeavons.rs:
+crates/baselines/src/local.rs:
+crates/baselines/src/luby.rs:
+crates/baselines/src/stone_age.rs:
+crates/baselines/src/two_state.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/baselines-aa53409fe84d39ea.d: crates/baselines/src/lib.rs crates/baselines/src/afek.rs crates/baselines/src/jeavons.rs crates/baselines/src/local.rs crates/baselines/src/luby.rs crates/baselines/src/stone_age.rs crates/baselines/src/two_state.rs
+
+/root/repo/target/debug/deps/libbaselines-aa53409fe84d39ea.rlib: crates/baselines/src/lib.rs crates/baselines/src/afek.rs crates/baselines/src/jeavons.rs crates/baselines/src/local.rs crates/baselines/src/luby.rs crates/baselines/src/stone_age.rs crates/baselines/src/two_state.rs
+
+/root/repo/target/debug/deps/libbaselines-aa53409fe84d39ea.rmeta: crates/baselines/src/lib.rs crates/baselines/src/afek.rs crates/baselines/src/jeavons.rs crates/baselines/src/local.rs crates/baselines/src/luby.rs crates/baselines/src/stone_age.rs crates/baselines/src/two_state.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/afek.rs:
+crates/baselines/src/jeavons.rs:
+crates/baselines/src/local.rs:
+crates/baselines/src/luby.rs:
+crates/baselines/src/stone_age.rs:
+crates/baselines/src/two_state.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/baselines-ea8be0bfd387f5b7.d: crates/baselines/src/lib.rs crates/baselines/src/afek.rs crates/baselines/src/jeavons.rs crates/baselines/src/local.rs crates/baselines/src/luby.rs crates/baselines/src/stone_age.rs crates/baselines/src/two_state.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbaselines-ea8be0bfd387f5b7.rmeta: crates/baselines/src/lib.rs crates/baselines/src/afek.rs crates/baselines/src/jeavons.rs crates/baselines/src/local.rs crates/baselines/src/luby.rs crates/baselines/src/stone_age.rs crates/baselines/src/two_state.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/afek.rs:
+crates/baselines/src/jeavons.rs:
+crates/baselines/src/local.rs:
+crates/baselines/src/luby.rs:
+crates/baselines/src/stone_age.rs:
+crates/baselines/src/two_state.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::dbg_macro__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::todo__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unimplemented__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baselines_cross-08d7a2a67a297e88.d: tests/baselines_cross.rs
+
+/root/repo/target/debug/deps/baselines_cross-08d7a2a67a297e88: tests/baselines_cross.rs
+
+tests/baselines_cross.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/baselines_cross-e2829f7d5d6fde78.d: tests/baselines_cross.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbaselines_cross-e2829f7d5d6fde78.rmeta: tests/baselines_cross.rs Cargo.toml
+
+tests/baselines_cross.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::dbg_macro__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::todo__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unimplemented__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

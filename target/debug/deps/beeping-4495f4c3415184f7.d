@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/beeping-4495f4c3415184f7.d: crates/beeping/src/lib.rs crates/beeping/src/byzantine.rs crates/beeping/src/channel.rs crates/beeping/src/churn.rs crates/beeping/src/faults.rs crates/beeping/src/protocol.rs crates/beeping/src/rng.rs crates/beeping/src/sim.rs crates/beeping/src/sleep.rs crates/beeping/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbeeping-4495f4c3415184f7.rmeta: crates/beeping/src/lib.rs crates/beeping/src/byzantine.rs crates/beeping/src/channel.rs crates/beeping/src/churn.rs crates/beeping/src/faults.rs crates/beeping/src/protocol.rs crates/beeping/src/rng.rs crates/beeping/src/sim.rs crates/beeping/src/sleep.rs crates/beeping/src/trace.rs Cargo.toml
+
+crates/beeping/src/lib.rs:
+crates/beeping/src/byzantine.rs:
+crates/beeping/src/channel.rs:
+crates/beeping/src/churn.rs:
+crates/beeping/src/faults.rs:
+crates/beeping/src/protocol.rs:
+crates/beeping/src/rng.rs:
+crates/beeping/src/sim.rs:
+crates/beeping/src/sleep.rs:
+crates/beeping/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::dbg_macro__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::todo__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unimplemented__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

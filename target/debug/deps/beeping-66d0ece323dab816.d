@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/beeping-66d0ece323dab816.d: crates/beeping/src/lib.rs crates/beeping/src/byzantine.rs crates/beeping/src/channel.rs crates/beeping/src/churn.rs crates/beeping/src/faults.rs crates/beeping/src/protocol.rs crates/beeping/src/rng.rs crates/beeping/src/sim.rs crates/beeping/src/sleep.rs crates/beeping/src/trace.rs
+
+/root/repo/target/debug/deps/beeping-66d0ece323dab816: crates/beeping/src/lib.rs crates/beeping/src/byzantine.rs crates/beeping/src/channel.rs crates/beeping/src/churn.rs crates/beeping/src/faults.rs crates/beeping/src/protocol.rs crates/beeping/src/rng.rs crates/beeping/src/sim.rs crates/beeping/src/sleep.rs crates/beeping/src/trace.rs
+
+crates/beeping/src/lib.rs:
+crates/beeping/src/byzantine.rs:
+crates/beeping/src/channel.rs:
+crates/beeping/src/churn.rs:
+crates/beeping/src/faults.rs:
+crates/beeping/src/protocol.rs:
+crates/beeping/src/rng.rs:
+crates/beeping/src/sim.rs:
+crates/beeping/src/sleep.rs:
+crates/beeping/src/trace.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/beeping-7a3b54de5a364f9d.d: crates/beeping/src/lib.rs crates/beeping/src/byzantine.rs crates/beeping/src/channel.rs crates/beeping/src/churn.rs crates/beeping/src/faults.rs crates/beeping/src/protocol.rs crates/beeping/src/rng.rs crates/beeping/src/sim.rs crates/beeping/src/sleep.rs crates/beeping/src/trace.rs
+
+/root/repo/target/debug/deps/libbeeping-7a3b54de5a364f9d.rlib: crates/beeping/src/lib.rs crates/beeping/src/byzantine.rs crates/beeping/src/channel.rs crates/beeping/src/churn.rs crates/beeping/src/faults.rs crates/beeping/src/protocol.rs crates/beeping/src/rng.rs crates/beeping/src/sim.rs crates/beeping/src/sleep.rs crates/beeping/src/trace.rs
+
+/root/repo/target/debug/deps/libbeeping-7a3b54de5a364f9d.rmeta: crates/beeping/src/lib.rs crates/beeping/src/byzantine.rs crates/beeping/src/channel.rs crates/beeping/src/churn.rs crates/beeping/src/faults.rs crates/beeping/src/protocol.rs crates/beeping/src/rng.rs crates/beeping/src/sim.rs crates/beeping/src/sleep.rs crates/beeping/src/trace.rs
+
+crates/beeping/src/lib.rs:
+crates/beeping/src/byzantine.rs:
+crates/beeping/src/channel.rs:
+crates/beeping/src/churn.rs:
+crates/beeping/src/faults.rs:
+crates/beeping/src/protocol.rs:
+crates/beeping/src/rng.rs:
+crates/beeping/src/sim.rs:
+crates/beeping/src/sleep.rs:
+crates/beeping/src/trace.rs:

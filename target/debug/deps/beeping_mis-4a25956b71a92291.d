@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/beeping_mis-4a25956b71a92291.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbeeping_mis-4a25956b71a92291.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::dbg_macro__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::todo__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unimplemented__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

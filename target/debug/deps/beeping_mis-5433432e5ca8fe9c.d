@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/beeping_mis-5433432e5ca8fe9c.d: src/lib.rs
+
+/root/repo/target/debug/deps/beeping_mis-5433432e5ca8fe9c: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/beeping_mis-ed39ab8a86d4d364.d: src/lib.rs
+
+/root/repo/target/debug/deps/libbeeping_mis-ed39ab8a86d4d364.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libbeeping_mis-ed39ab8a86d4d364.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bench-8af89babcdb033ae.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-8af89babcdb033ae.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-8af89babcdb033ae.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

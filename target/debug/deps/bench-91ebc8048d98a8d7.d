@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench-91ebc8048d98a8d7.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/bench-91ebc8048d98a8d7: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/byzantine_containment-87dc93e119cb3497.d: tests/byzantine_containment.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbyzantine_containment-87dc93e119cb3497.rmeta: tests/byzantine_containment.rs Cargo.toml
+
+tests/byzantine_containment.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::dbg_macro__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::todo__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unimplemented__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/byzantine_containment-ab8ee579b601e4f9.d: tests/byzantine_containment.rs
+
+/root/repo/target/debug/deps/byzantine_containment-ab8ee579b601e4f9: tests/byzantine_containment.rs
+
+tests/byzantine_containment.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/c23-a8635e7b178bdf69.d: crates/bench/benches/c23.rs Cargo.toml
+
+/root/repo/target/debug/deps/libc23-a8635e7b178bdf69.rmeta: crates/bench/benches/c23.rs Cargo.toml
+
+crates/bench/benches/c23.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::dbg_macro__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::todo__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unimplemented__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

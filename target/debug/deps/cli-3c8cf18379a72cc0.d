@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/cli-3c8cf18379a72cc0.d: crates/experiments/tests/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli-3c8cf18379a72cc0.rmeta: crates/experiments/tests/cli.rs Cargo.toml
+
+crates/experiments/tests/cli.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_experiments=placeholder:experiments
+# env-dep:CARGO_BIN_EXE_solve=placeholder:solve
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::dbg_macro__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::todo__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unimplemented__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/cli-42bf1bc652810023.d: crates/experiments/tests/cli.rs
+
+/root/repo/target/debug/deps/cli-42bf1bc652810023: crates/experiments/tests/cli.rs
+
+crates/experiments/tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_experiments=/root/repo/target/debug/experiments
+# env-dep:CARGO_BIN_EXE_solve=/root/repo/target/debug/solve

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/composition-a1852d87109a57dc.d: crates/beeping/tests/composition.rs
+
+/root/repo/target/debug/deps/composition-a1852d87109a57dc: crates/beeping/tests/composition.rs
+
+crates/beeping/tests/composition.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/composition-a8a3085831f1ffdf.d: crates/beeping/tests/composition.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcomposition-a8a3085831f1ffdf.rmeta: crates/beeping/tests/composition.rs Cargo.toml
+
+crates/beeping/tests/composition.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::dbg_macro__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::todo__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unimplemented__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-3c00f3121a9d5add.d: /tmp/vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-3c00f3121a9d5add.rmeta: /tmp/vendor/criterion/src/lib.rs
+
+/tmp/vendor/criterion/src/lib.rs:

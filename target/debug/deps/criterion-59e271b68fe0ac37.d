@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-59e271b68fe0ac37.d: /tmp/vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-59e271b68fe0ac37.rlib: /tmp/vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-59e271b68fe0ac37.rmeta: /tmp/vendor/criterion/src/lib.rs
+
+/tmp/vendor/criterion/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/determinism_props-18c6c4f5c61cbd6d.d: tests/determinism_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeterminism_props-18c6c4f5c61cbd6d.rmeta: tests/determinism_props.rs Cargo.toml
+
+tests/determinism_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::dbg_macro__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::todo__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unimplemented__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism_props-c9f5fe9f3afbec25.d: tests/determinism_props.rs
+
+/root/repo/target/debug/deps/determinism_props-c9f5fe9f3afbec25: tests/determinism_props.rs
+
+tests/determinism_props.rs:

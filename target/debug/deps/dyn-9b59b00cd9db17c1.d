@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dyn-9b59b00cd9db17c1.d: crates/bench/benches/dyn.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdyn-9b59b00cd9db17c1.rmeta: crates/bench/benches/dyn.rs Cargo.toml
+
+crates/bench/benches/dyn.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::dbg_macro__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::todo__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unimplemented__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

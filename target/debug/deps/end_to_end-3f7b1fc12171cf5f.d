@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-3f7b1fc12171cf5f.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-3f7b1fc12171cf5f: tests/end_to_end.rs
+
+tests/end_to_end.rs:

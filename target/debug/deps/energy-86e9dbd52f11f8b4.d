@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/energy-86e9dbd52f11f8b4.d: crates/bench/benches/energy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libenergy-86e9dbd52f11f8b4.rmeta: crates/bench/benches/energy.rs Cargo.toml
+
+crates/bench/benches/energy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::dbg_macro__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::todo__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unimplemented__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_differential-1f48f65caf82f67e.d: crates/beeping/tests/engine_differential.rs
+
+/root/repo/target/debug/deps/engine_differential-1f48f65caf82f67e: crates/beeping/tests/engine_differential.rs
+
+crates/beeping/tests/engine_differential.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine_differential-cd16bf019fc6be4b.d: crates/beeping/tests/engine_differential.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine_differential-cd16bf019fc6be4b.rmeta: crates/beeping/tests/engine_differential.rs Cargo.toml
+
+crates/beeping/tests/engine_differential.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::dbg_macro__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::todo__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unimplemented__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-5e945f7df2b823d6.d: crates/experiments/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-5e945f7df2b823d6: crates/experiments/src/bin/experiments.rs
+
+crates/experiments/src/bin/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-6d07dbc75b5e9ffe.d: crates/experiments/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-6d07dbc75b5e9ffe: crates/experiments/src/bin/experiments.rs
+
+crates/experiments/src/bin/experiments.rs:

@@ -1,0 +1,29 @@
+/root/repo/target/debug/deps/experiments-870726990faaaff9.d: crates/experiments/src/lib.rs crates/experiments/src/ablation_c1.rs crates/experiments/src/ablation_duplex.rs crates/experiments/src/ablation_lmax.rs crates/experiments/src/adversarial.rs crates/experiments/src/baseline_cmp.rs crates/experiments/src/byz.rs crates/experiments/src/common.rs crates/experiments/src/cor23.rs crates/experiments/src/dyn_trajectory.rs crates/experiments/src/energy.rs crates/experiments/src/ext_adaptive.rs crates/experiments/src/ext_two_state.rs crates/experiments/src/ext_wakeup.rs crates/experiments/src/fig1.rs crates/experiments/src/lemma35.rs crates/experiments/src/lemma36.rs crates/experiments/src/lemma67.rs crates/experiments/src/noise.rs crates/experiments/src/perf.rs crates/experiments/src/recovery.rs crates/experiments/src/scale.rs crates/experiments/src/thm21.rs crates/experiments/src/thm22.rs crates/experiments/src/thm22_layers.rs
+
+/root/repo/target/debug/deps/experiments-870726990faaaff9: crates/experiments/src/lib.rs crates/experiments/src/ablation_c1.rs crates/experiments/src/ablation_duplex.rs crates/experiments/src/ablation_lmax.rs crates/experiments/src/adversarial.rs crates/experiments/src/baseline_cmp.rs crates/experiments/src/byz.rs crates/experiments/src/common.rs crates/experiments/src/cor23.rs crates/experiments/src/dyn_trajectory.rs crates/experiments/src/energy.rs crates/experiments/src/ext_adaptive.rs crates/experiments/src/ext_two_state.rs crates/experiments/src/ext_wakeup.rs crates/experiments/src/fig1.rs crates/experiments/src/lemma35.rs crates/experiments/src/lemma36.rs crates/experiments/src/lemma67.rs crates/experiments/src/noise.rs crates/experiments/src/perf.rs crates/experiments/src/recovery.rs crates/experiments/src/scale.rs crates/experiments/src/thm21.rs crates/experiments/src/thm22.rs crates/experiments/src/thm22_layers.rs
+
+crates/experiments/src/lib.rs:
+crates/experiments/src/ablation_c1.rs:
+crates/experiments/src/ablation_duplex.rs:
+crates/experiments/src/ablation_lmax.rs:
+crates/experiments/src/adversarial.rs:
+crates/experiments/src/baseline_cmp.rs:
+crates/experiments/src/byz.rs:
+crates/experiments/src/common.rs:
+crates/experiments/src/cor23.rs:
+crates/experiments/src/dyn_trajectory.rs:
+crates/experiments/src/energy.rs:
+crates/experiments/src/ext_adaptive.rs:
+crates/experiments/src/ext_two_state.rs:
+crates/experiments/src/ext_wakeup.rs:
+crates/experiments/src/fig1.rs:
+crates/experiments/src/lemma35.rs:
+crates/experiments/src/lemma36.rs:
+crates/experiments/src/lemma67.rs:
+crates/experiments/src/noise.rs:
+crates/experiments/src/perf.rs:
+crates/experiments/src/recovery.rs:
+crates/experiments/src/scale.rs:
+crates/experiments/src/thm21.rs:
+crates/experiments/src/thm22.rs:
+crates/experiments/src/thm22_layers.rs:

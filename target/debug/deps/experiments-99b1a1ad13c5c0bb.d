@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/experiments-99b1a1ad13c5c0bb.d: crates/experiments/src/bin/experiments.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexperiments-99b1a1ad13c5c0bb.rmeta: crates/experiments/src/bin/experiments.rs Cargo.toml
+
+crates/experiments/src/bin/experiments.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::dbg_macro__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::todo__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unimplemented__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/experiments-af26076bb1b2f8ac.d: crates/experiments/src/bin/experiments.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexperiments-af26076bb1b2f8ac.rmeta: crates/experiments/src/bin/experiments.rs Cargo.toml
+
+crates/experiments/src/bin/experiments.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::dbg_macro__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::todo__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unimplemented__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

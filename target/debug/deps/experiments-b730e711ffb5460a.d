@@ -1,0 +1,33 @@
+/root/repo/target/debug/deps/experiments-b730e711ffb5460a.d: crates/experiments/src/lib.rs crates/experiments/src/ablation_c1.rs crates/experiments/src/ablation_duplex.rs crates/experiments/src/ablation_lmax.rs crates/experiments/src/adversarial.rs crates/experiments/src/baseline_cmp.rs crates/experiments/src/byz.rs crates/experiments/src/common.rs crates/experiments/src/cor23.rs crates/experiments/src/dyn_trajectory.rs crates/experiments/src/energy.rs crates/experiments/src/ext_adaptive.rs crates/experiments/src/ext_two_state.rs crates/experiments/src/ext_wakeup.rs crates/experiments/src/fig1.rs crates/experiments/src/lemma35.rs crates/experiments/src/lemma36.rs crates/experiments/src/lemma67.rs crates/experiments/src/noise.rs crates/experiments/src/perf.rs crates/experiments/src/recovery.rs crates/experiments/src/scale.rs crates/experiments/src/thm21.rs crates/experiments/src/thm22.rs crates/experiments/src/thm22_layers.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexperiments-b730e711ffb5460a.rmeta: crates/experiments/src/lib.rs crates/experiments/src/ablation_c1.rs crates/experiments/src/ablation_duplex.rs crates/experiments/src/ablation_lmax.rs crates/experiments/src/adversarial.rs crates/experiments/src/baseline_cmp.rs crates/experiments/src/byz.rs crates/experiments/src/common.rs crates/experiments/src/cor23.rs crates/experiments/src/dyn_trajectory.rs crates/experiments/src/energy.rs crates/experiments/src/ext_adaptive.rs crates/experiments/src/ext_two_state.rs crates/experiments/src/ext_wakeup.rs crates/experiments/src/fig1.rs crates/experiments/src/lemma35.rs crates/experiments/src/lemma36.rs crates/experiments/src/lemma67.rs crates/experiments/src/noise.rs crates/experiments/src/perf.rs crates/experiments/src/recovery.rs crates/experiments/src/scale.rs crates/experiments/src/thm21.rs crates/experiments/src/thm22.rs crates/experiments/src/thm22_layers.rs Cargo.toml
+
+crates/experiments/src/lib.rs:
+crates/experiments/src/ablation_c1.rs:
+crates/experiments/src/ablation_duplex.rs:
+crates/experiments/src/ablation_lmax.rs:
+crates/experiments/src/adversarial.rs:
+crates/experiments/src/baseline_cmp.rs:
+crates/experiments/src/byz.rs:
+crates/experiments/src/common.rs:
+crates/experiments/src/cor23.rs:
+crates/experiments/src/dyn_trajectory.rs:
+crates/experiments/src/energy.rs:
+crates/experiments/src/ext_adaptive.rs:
+crates/experiments/src/ext_two_state.rs:
+crates/experiments/src/ext_wakeup.rs:
+crates/experiments/src/fig1.rs:
+crates/experiments/src/lemma35.rs:
+crates/experiments/src/lemma36.rs:
+crates/experiments/src/lemma67.rs:
+crates/experiments/src/noise.rs:
+crates/experiments/src/perf.rs:
+crates/experiments/src/recovery.rs:
+crates/experiments/src/scale.rs:
+crates/experiments/src/thm21.rs:
+crates/experiments/src/thm22.rs:
+crates/experiments/src/thm22_layers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::dbg_macro__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::todo__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unimplemented__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_2state-80c1acfbd5eb62a9.d: crates/bench/benches/ext_2state.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_2state-80c1acfbd5eb62a9.rmeta: crates/bench/benches/ext_2state.rs Cargo.toml
+
+crates/bench/benches/ext_2state.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::dbg_macro__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::todo__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unimplemented__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

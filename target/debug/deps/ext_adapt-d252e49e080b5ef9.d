@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_adapt-d252e49e080b5ef9.d: crates/bench/benches/ext_adapt.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_adapt-d252e49e080b5ef9.rmeta: crates/bench/benches/ext_adapt.rs Cargo.toml
+
+crates/bench/benches/ext_adapt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::dbg_macro__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::todo__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unimplemented__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

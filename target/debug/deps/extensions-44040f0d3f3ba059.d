@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-44040f0d3f3ba059.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-44040f0d3f3ba059: tests/extensions.rs
+
+tests/extensions.rs:

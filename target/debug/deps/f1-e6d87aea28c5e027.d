@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/f1-e6d87aea28c5e027.d: crates/bench/benches/f1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libf1-e6d87aea28c5e027.rmeta: crates/bench/benches/f1.rs Cargo.toml
+
+crates/bench/benches/f1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::dbg_macro__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::todo__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unimplemented__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/facade_surface-e99787847edd9c20.d: tests/facade_surface.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfacade_surface-e99787847edd9c20.rmeta: tests/facade_surface.rs Cargo.toml
+
+tests/facade_surface.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::dbg_macro__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::todo__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unimplemented__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

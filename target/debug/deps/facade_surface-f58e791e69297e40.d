@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/facade_surface-f58e791e69297e40.d: tests/facade_surface.rs
+
+/root/repo/target/debug/deps/facade_surface-f58e791e69297e40: tests/facade_surface.rs
+
+tests/facade_surface.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_injection-c615f4d4aa532f0c.d: tests/fault_injection.rs
+
+/root/repo/target/debug/deps/fault_injection-c615f4d4aa532f0c: tests/fault_injection.rs
+
+tests/fault_injection.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fixtures-213fde0adf6cf804.d: crates/lint/tests/fixtures.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfixtures-213fde0adf6cf804.rmeta: crates/lint/tests/fixtures.rs Cargo.toml
+
+crates/lint/tests/fixtures.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/lint
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::dbg_macro__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::todo__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unimplemented__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

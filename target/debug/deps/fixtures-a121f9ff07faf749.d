@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fixtures-a121f9ff07faf749.d: crates/lint/tests/fixtures.rs
+
+/root/repo/target/debug/deps/fixtures-a121f9ff07faf749: crates/lint/tests/fixtures.rs
+
+crates/lint/tests/fixtures.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/lint

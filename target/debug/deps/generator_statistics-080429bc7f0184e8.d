@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/generator_statistics-080429bc7f0184e8.d: crates/graphs/tests/generator_statistics.rs
+
+/root/repo/target/debug/deps/generator_statistics-080429bc7f0184e8: crates/graphs/tests/generator_statistics.rs
+
+crates/graphs/tests/generator_statistics.rs:

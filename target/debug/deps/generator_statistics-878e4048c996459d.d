@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/generator_statistics-878e4048c996459d.d: crates/graphs/tests/generator_statistics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgenerator_statistics-878e4048c996459d.rmeta: crates/graphs/tests/generator_statistics.rs Cargo.toml
+
+crates/graphs/tests/generator_statistics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::dbg_macro__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::todo__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unimplemented__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

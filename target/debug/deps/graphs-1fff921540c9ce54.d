@@ -1,0 +1,25 @@
+/root/repo/target/debug/deps/graphs-1fff921540c9ce54.d: crates/graphs/src/lib.rs crates/graphs/src/builder.rs crates/graphs/src/dot.rs crates/graphs/src/edgelist.rs crates/graphs/src/generators/mod.rs crates/graphs/src/generators/classic.rs crates/graphs/src/generators/composite.rs crates/graphs/src/generators/expander.rs crates/graphs/src/generators/geometric.rs crates/graphs/src/generators/lattice.rs crates/graphs/src/generators/random.rs crates/graphs/src/generators/scale_free.rs crates/graphs/src/generators/small_world.rs crates/graphs/src/generators/trees.rs crates/graphs/src/graph.rs crates/graphs/src/mis.rs crates/graphs/src/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgraphs-1fff921540c9ce54.rmeta: crates/graphs/src/lib.rs crates/graphs/src/builder.rs crates/graphs/src/dot.rs crates/graphs/src/edgelist.rs crates/graphs/src/generators/mod.rs crates/graphs/src/generators/classic.rs crates/graphs/src/generators/composite.rs crates/graphs/src/generators/expander.rs crates/graphs/src/generators/geometric.rs crates/graphs/src/generators/lattice.rs crates/graphs/src/generators/random.rs crates/graphs/src/generators/scale_free.rs crates/graphs/src/generators/small_world.rs crates/graphs/src/generators/trees.rs crates/graphs/src/graph.rs crates/graphs/src/mis.rs crates/graphs/src/properties.rs Cargo.toml
+
+crates/graphs/src/lib.rs:
+crates/graphs/src/builder.rs:
+crates/graphs/src/dot.rs:
+crates/graphs/src/edgelist.rs:
+crates/graphs/src/generators/mod.rs:
+crates/graphs/src/generators/classic.rs:
+crates/graphs/src/generators/composite.rs:
+crates/graphs/src/generators/expander.rs:
+crates/graphs/src/generators/geometric.rs:
+crates/graphs/src/generators/lattice.rs:
+crates/graphs/src/generators/random.rs:
+crates/graphs/src/generators/scale_free.rs:
+crates/graphs/src/generators/small_world.rs:
+crates/graphs/src/generators/trees.rs:
+crates/graphs/src/graph.rs:
+crates/graphs/src/mis.rs:
+crates/graphs/src/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::dbg_macro__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::todo__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unimplemented__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

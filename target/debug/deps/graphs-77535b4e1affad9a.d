@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/graphs-77535b4e1affad9a.d: crates/graphs/src/lib.rs crates/graphs/src/builder.rs crates/graphs/src/dot.rs crates/graphs/src/edgelist.rs crates/graphs/src/generators/mod.rs crates/graphs/src/generators/classic.rs crates/graphs/src/generators/composite.rs crates/graphs/src/generators/expander.rs crates/graphs/src/generators/geometric.rs crates/graphs/src/generators/lattice.rs crates/graphs/src/generators/random.rs crates/graphs/src/generators/scale_free.rs crates/graphs/src/generators/small_world.rs crates/graphs/src/generators/trees.rs crates/graphs/src/graph.rs crates/graphs/src/mis.rs crates/graphs/src/properties.rs
+
+/root/repo/target/debug/deps/graphs-77535b4e1affad9a: crates/graphs/src/lib.rs crates/graphs/src/builder.rs crates/graphs/src/dot.rs crates/graphs/src/edgelist.rs crates/graphs/src/generators/mod.rs crates/graphs/src/generators/classic.rs crates/graphs/src/generators/composite.rs crates/graphs/src/generators/expander.rs crates/graphs/src/generators/geometric.rs crates/graphs/src/generators/lattice.rs crates/graphs/src/generators/random.rs crates/graphs/src/generators/scale_free.rs crates/graphs/src/generators/small_world.rs crates/graphs/src/generators/trees.rs crates/graphs/src/graph.rs crates/graphs/src/mis.rs crates/graphs/src/properties.rs
+
+crates/graphs/src/lib.rs:
+crates/graphs/src/builder.rs:
+crates/graphs/src/dot.rs:
+crates/graphs/src/edgelist.rs:
+crates/graphs/src/generators/mod.rs:
+crates/graphs/src/generators/classic.rs:
+crates/graphs/src/generators/composite.rs:
+crates/graphs/src/generators/expander.rs:
+crates/graphs/src/generators/geometric.rs:
+crates/graphs/src/generators/lattice.rs:
+crates/graphs/src/generators/random.rs:
+crates/graphs/src/generators/scale_free.rs:
+crates/graphs/src/generators/small_world.rs:
+crates/graphs/src/generators/trees.rs:
+crates/graphs/src/graph.rs:
+crates/graphs/src/mis.rs:
+crates/graphs/src/properties.rs:

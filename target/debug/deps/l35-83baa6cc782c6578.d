@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/l35-83baa6cc782c6578.d: crates/bench/benches/l35.rs Cargo.toml
+
+/root/repo/target/debug/deps/libl35-83baa6cc782c6578.rmeta: crates/bench/benches/l35.rs Cargo.toml
+
+crates/bench/benches/l35.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::dbg_macro__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::todo__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unimplemented__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

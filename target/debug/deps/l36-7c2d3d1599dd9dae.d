@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/l36-7c2d3d1599dd9dae.d: crates/bench/benches/l36.rs Cargo.toml
+
+/root/repo/target/debug/deps/libl36-7c2d3d1599dd9dae.rmeta: crates/bench/benches/l36.rs Cargo.toml
+
+crates/bench/benches/l36.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::dbg_macro__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::todo__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unimplemented__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

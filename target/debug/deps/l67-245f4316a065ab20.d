@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/l67-245f4316a065ab20.d: crates/bench/benches/l67.rs Cargo.toml
+
+/root/repo/target/debug/deps/libl67-245f4316a065ab20.rmeta: crates/bench/benches/l67.rs Cargo.toml
+
+crates/bench/benches/l67.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::dbg_macro__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::todo__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unimplemented__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

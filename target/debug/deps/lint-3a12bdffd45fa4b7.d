@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/lint-3a12bdffd45fa4b7.d: crates/lint/src/main.rs
+
+/root/repo/target/debug/deps/lint-3a12bdffd45fa4b7: crates/lint/src/main.rs
+
+crates/lint/src/main.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/lint

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/lint-4a2f29070277041a.d: crates/lint/src/lib.rs crates/lint/src/lexer.rs crates/lint/src/report.rs crates/lint/src/rules.rs
+
+/root/repo/target/debug/deps/liblint-4a2f29070277041a.rlib: crates/lint/src/lib.rs crates/lint/src/lexer.rs crates/lint/src/report.rs crates/lint/src/rules.rs
+
+/root/repo/target/debug/deps/liblint-4a2f29070277041a.rmeta: crates/lint/src/lib.rs crates/lint/src/lexer.rs crates/lint/src/report.rs crates/lint/src/rules.rs
+
+crates/lint/src/lib.rs:
+crates/lint/src/lexer.rs:
+crates/lint/src/report.rs:
+crates/lint/src/rules.rs:

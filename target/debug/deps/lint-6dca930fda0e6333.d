@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/lint-6dca930fda0e6333.d: crates/lint/src/lib.rs crates/lint/src/lexer.rs crates/lint/src/report.rs crates/lint/src/rules.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblint-6dca930fda0e6333.rmeta: crates/lint/src/lib.rs crates/lint/src/lexer.rs crates/lint/src/report.rs crates/lint/src/rules.rs Cargo.toml
+
+crates/lint/src/lib.rs:
+crates/lint/src/lexer.rs:
+crates/lint/src/report.rs:
+crates/lint/src/rules.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::dbg_macro__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::todo__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unimplemented__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/lint-c2c911d0aa7be9ca.d: crates/lint/src/lib.rs crates/lint/src/lexer.rs crates/lint/src/report.rs crates/lint/src/rules.rs
+
+/root/repo/target/debug/deps/lint-c2c911d0aa7be9ca: crates/lint/src/lib.rs crates/lint/src/lexer.rs crates/lint/src/report.rs crates/lint/src/rules.rs
+
+crates/lint/src/lib.rs:
+crates/lint/src/lexer.rs:
+crates/lint/src/report.rs:
+crates/lint/src/rules.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/lint-da07b718b508539c.d: crates/lint/src/main.rs
+
+/root/repo/target/debug/deps/lint-da07b718b508539c: crates/lint/src/main.rs
+
+crates/lint/src/main.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/lint

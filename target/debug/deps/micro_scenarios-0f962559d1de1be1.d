@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/micro_scenarios-0f962559d1de1be1.d: crates/mis/tests/micro_scenarios.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmicro_scenarios-0f962559d1de1be1.rmeta: crates/mis/tests/micro_scenarios.rs Cargo.toml
+
+crates/mis/tests/micro_scenarios.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::dbg_macro__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::todo__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unimplemented__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/micro_scenarios-8435c562eca341ef.d: crates/mis/tests/micro_scenarios.rs
+
+/root/repo/target/debug/deps/micro_scenarios-8435c562eca341ef: crates/mis/tests/micro_scenarios.rs
+
+crates/mis/tests/micro_scenarios.rs:

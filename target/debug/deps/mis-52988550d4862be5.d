@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/mis-52988550d4862be5.d: crates/mis/src/lib.rs crates/mis/src/adaptive.rs crates/mis/src/adversary.rs crates/mis/src/algorithm1.rs crates/mis/src/algorithm2.rs crates/mis/src/containment.rs crates/mis/src/dynamics.rs crates/mis/src/invariant.rs crates/mis/src/levels.rs crates/mis/src/observer.rs crates/mis/src/policy.rs crates/mis/src/recovery.rs crates/mis/src/runner.rs crates/mis/src/theory.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmis-52988550d4862be5.rmeta: crates/mis/src/lib.rs crates/mis/src/adaptive.rs crates/mis/src/adversary.rs crates/mis/src/algorithm1.rs crates/mis/src/algorithm2.rs crates/mis/src/containment.rs crates/mis/src/dynamics.rs crates/mis/src/invariant.rs crates/mis/src/levels.rs crates/mis/src/observer.rs crates/mis/src/policy.rs crates/mis/src/recovery.rs crates/mis/src/runner.rs crates/mis/src/theory.rs Cargo.toml
+
+crates/mis/src/lib.rs:
+crates/mis/src/adaptive.rs:
+crates/mis/src/adversary.rs:
+crates/mis/src/algorithm1.rs:
+crates/mis/src/algorithm2.rs:
+crates/mis/src/containment.rs:
+crates/mis/src/dynamics.rs:
+crates/mis/src/invariant.rs:
+crates/mis/src/levels.rs:
+crates/mis/src/observer.rs:
+crates/mis/src/policy.rs:
+crates/mis/src/recovery.rs:
+crates/mis/src/runner.rs:
+crates/mis/src/theory.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::dbg_macro__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::todo__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unimplemented__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/noise-e8a44be09c9b72a7.d: crates/bench/benches/noise.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnoise-e8a44be09c9b72a7.rmeta: crates/bench/benches/noise.rs Cargo.toml
+
+crates/bench/benches/noise.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::dbg_macro__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::todo__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unimplemented__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

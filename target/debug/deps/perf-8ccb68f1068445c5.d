@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/perf-8ccb68f1068445c5.d: crates/bench/benches/perf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libperf-8ccb68f1068445c5.rmeta: crates/bench/benches/perf.rs Cargo.toml
+
+crates/bench/benches/perf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::dbg_macro__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::todo__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unimplemented__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-549c1b82a6de7d90.d: /tmp/vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-549c1b82a6de7d90.rlib: /tmp/vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-549c1b82a6de7d90.rmeta: /tmp/vendor/proptest/src/lib.rs
+
+/tmp/vendor/proptest/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-2f9a1a848d4b27e8.d: crates/beeping/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-2f9a1a848d4b27e8.rmeta: crates/beeping/tests/proptests.rs Cargo.toml
+
+crates/beeping/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::dbg_macro__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::todo__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unimplemented__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-3dbf7256cb56c0a6.d: crates/baselines/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-3dbf7256cb56c0a6: crates/baselines/tests/proptests.rs
+
+crates/baselines/tests/proptests.rs:

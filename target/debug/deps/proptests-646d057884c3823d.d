@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-646d057884c3823d.d: crates/baselines/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-646d057884c3823d.rmeta: crates/baselines/tests/proptests.rs Cargo.toml
+
+crates/baselines/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::dbg_macro__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::todo__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unimplemented__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

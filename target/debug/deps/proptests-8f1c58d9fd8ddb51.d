@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-8f1c58d9fd8ddb51.d: crates/graphs/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-8f1c58d9fd8ddb51: crates/graphs/tests/proptests.rs
+
+crates/graphs/tests/proptests.rs:

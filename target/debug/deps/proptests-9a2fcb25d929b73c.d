@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-9a2fcb25d929b73c.d: crates/mis/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-9a2fcb25d929b73c: crates/mis/tests/proptests.rs
+
+crates/mis/tests/proptests.rs:

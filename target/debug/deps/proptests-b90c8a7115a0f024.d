@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-b90c8a7115a0f024.d: crates/beeping/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-b90c8a7115a0f024: crates/beeping/tests/proptests.rs
+
+crates/beeping/tests/proptests.rs:

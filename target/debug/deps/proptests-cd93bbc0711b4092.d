@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-cd93bbc0711b4092.d: crates/analysis/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-cd93bbc0711b4092: crates/analysis/tests/proptests.rs
+
+crates/analysis/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-f851dfa74e9cffbe.d: crates/mis/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-f851dfa74e9cffbe.rmeta: crates/mis/tests/proptests.rs Cargo.toml
+
+crates/mis/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::dbg_macro__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::todo__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unimplemented__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

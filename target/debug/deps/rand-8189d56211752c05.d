@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-8189d56211752c05.d: /tmp/vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-8189d56211752c05.rmeta: /tmp/vendor/rand/src/lib.rs
+
+/tmp/vendor/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-c27fd6a4c117fc5b.d: /tmp/vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-c27fd6a4c117fc5b.rlib: /tmp/vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-c27fd6a4c117fc5b.rmeta: /tmp/vendor/rand/src/lib.rs
+
+/tmp/vendor/rand/src/lib.rs:

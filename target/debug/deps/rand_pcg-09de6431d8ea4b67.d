@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand_pcg-09de6431d8ea4b67.d: /tmp/vendor/rand_pcg/src/lib.rs
+
+/root/repo/target/debug/deps/librand_pcg-09de6431d8ea4b67.rmeta: /tmp/vendor/rand_pcg/src/lib.rs
+
+/tmp/vendor/rand_pcg/src/lib.rs:

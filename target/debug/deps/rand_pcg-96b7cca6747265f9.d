@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand_pcg-96b7cca6747265f9.d: /tmp/vendor/rand_pcg/src/lib.rs
+
+/root/repo/target/debug/deps/librand_pcg-96b7cca6747265f9.rlib: /tmp/vendor/rand_pcg/src/lib.rs
+
+/root/repo/target/debug/deps/librand_pcg-96b7cca6747265f9.rmeta: /tmp/vendor/rand_pcg/src/lib.rs
+
+/tmp/vendor/rand_pcg/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scale-98a0a556cc564440.d: crates/bench/benches/scale.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscale-98a0a556cc564440.rmeta: crates/bench/benches/scale.rs Cargo.toml
+
+crates/bench/benches/scale.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::dbg_macro__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::todo__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unimplemented__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/self_stabilization_props-0cec7dc214bbca24.d: tests/self_stabilization_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libself_stabilization_props-0cec7dc214bbca24.rmeta: tests/self_stabilization_props.rs Cargo.toml
+
+tests/self_stabilization_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::dbg_macro__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::todo__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unimplemented__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

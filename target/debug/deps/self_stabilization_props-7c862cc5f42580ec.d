@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/self_stabilization_props-7c862cc5f42580ec.d: tests/self_stabilization_props.rs
+
+/root/repo/target/debug/deps/self_stabilization_props-7c862cc5f42580ec: tests/self_stabilization_props.rs
+
+tests/self_stabilization_props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sleep_and_duplex-68e4825c7aac49a9.d: crates/beeping/tests/sleep_and_duplex.rs
+
+/root/repo/target/debug/deps/sleep_and_duplex-68e4825c7aac49a9: crates/beeping/tests/sleep_and_duplex.rs
+
+crates/beeping/tests/sleep_and_duplex.rs:

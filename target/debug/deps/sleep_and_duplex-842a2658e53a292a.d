@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sleep_and_duplex-842a2658e53a292a.d: crates/beeping/tests/sleep_and_duplex.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsleep_and_duplex-842a2658e53a292a.rmeta: crates/beeping/tests/sleep_and_duplex.rs Cargo.toml
+
+crates/beeping/tests/sleep_and_duplex.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::dbg_macro__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::todo__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unimplemented__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

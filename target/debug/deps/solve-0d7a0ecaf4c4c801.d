@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/solve-0d7a0ecaf4c4c801.d: crates/experiments/src/bin/solve.rs
+
+/root/repo/target/debug/deps/solve-0d7a0ecaf4c4c801: crates/experiments/src/bin/solve.rs
+
+crates/experiments/src/bin/solve.rs:

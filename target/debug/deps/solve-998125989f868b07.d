@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/solve-998125989f868b07.d: crates/experiments/src/bin/solve.rs
+
+/root/repo/target/debug/deps/solve-998125989f868b07: crates/experiments/src/bin/solve.rs
+
+crates/experiments/src/bin/solve.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/solve-a99bbb619404b8c1.d: crates/experiments/src/bin/solve.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsolve-a99bbb619404b8c1.rmeta: crates/experiments/src/bin/solve.rs Cargo.toml
+
+crates/experiments/src/bin/solve.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::dbg_macro__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::todo__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unimplemented__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

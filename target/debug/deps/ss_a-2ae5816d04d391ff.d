@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ss_a-2ae5816d04d391ff.d: crates/bench/benches/ss_a.rs Cargo.toml
+
+/root/repo/target/debug/deps/libss_a-2ae5816d04d391ff.rmeta: crates/bench/benches/ss_a.rs Cargo.toml
+
+crates/bench/benches/ss_a.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::dbg_macro__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::todo__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unimplemented__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

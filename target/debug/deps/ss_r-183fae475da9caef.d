@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ss_r-183fae475da9caef.d: crates/bench/benches/ss_r.rs Cargo.toml
+
+/root/repo/target/debug/deps/libss_r-183fae475da9caef.rmeta: crates/bench/benches/ss_r.rs Cargo.toml
+
+crates/bench/benches/ss_r.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::dbg_macro__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::todo__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unimplemented__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

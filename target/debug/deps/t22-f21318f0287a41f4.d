@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/t22-f21318f0287a41f4.d: crates/bench/benches/t22.rs Cargo.toml
+
+/root/repo/target/debug/deps/libt22-f21318f0287a41f4.rmeta: crates/bench/benches/t22.rs Cargo.toml
+
+crates/bench/benches/t22.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::dbg_macro__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::todo__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unimplemented__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/t22_layers-b6cc9406573d7fdb.d: crates/bench/benches/t22_layers.rs Cargo.toml
+
+/root/repo/target/debug/deps/libt22_layers-b6cc9406573d7fdb.rmeta: crates/bench/benches/t22_layers.rs Cargo.toml
+
+crates/bench/benches/t22_layers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::dbg_macro__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::todo__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unimplemented__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

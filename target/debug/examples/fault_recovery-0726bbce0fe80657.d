@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fault_recovery-0726bbce0fe80657.d: examples/fault_recovery.rs
+
+/root/repo/target/debug/examples/fault_recovery-0726bbce0fe80657: examples/fault_recovery.rs
+
+examples/fault_recovery.rs:

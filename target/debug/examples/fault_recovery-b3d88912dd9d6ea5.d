@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/fault_recovery-b3d88912dd9d6ea5.d: examples/fault_recovery.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfault_recovery-b3d88912dd9d6ea5.rmeta: examples/fault_recovery.rs Cargo.toml
+
+examples/fault_recovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::dbg_macro__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::todo__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unimplemented__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

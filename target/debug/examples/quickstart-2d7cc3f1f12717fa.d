@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-2d7cc3f1f12717fa.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-2d7cc3f1f12717fa.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::dbg_macro__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::todo__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unimplemented__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

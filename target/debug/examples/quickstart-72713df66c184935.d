@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-72713df66c184935.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-72713df66c184935: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/scaling_study-15d4f240a43741a3.d: examples/scaling_study.rs Cargo.toml
+
+/root/repo/target/debug/examples/libscaling_study-15d4f240a43741a3.rmeta: examples/scaling_study.rs Cargo.toml
+
+examples/scaling_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::dbg_macro__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::todo__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unimplemented__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scaling_study-e9540f20d85dfd69.d: examples/scaling_study.rs
+
+/root/repo/target/debug/examples/scaling_study-e9540f20d85dfd69: examples/scaling_study.rs
+
+examples/scaling_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sensor_network-34feaf3eec2073e3.d: examples/sensor_network.rs
+
+/root/repo/target/debug/examples/sensor_network-34feaf3eec2073e3: examples/sensor_network.rs
+
+examples/sensor_network.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/sensor_network-377e2c4ddcaf3b9b.d: examples/sensor_network.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsensor_network-377e2c4ddcaf3b9b.rmeta: examples/sensor_network.rs Cargo.toml
+
+examples/sensor_network.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::dbg_macro__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::todo__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unimplemented__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/visualize-330e2b0353f627a6.d: examples/visualize.rs Cargo.toml
+
+/root/repo/target/debug/examples/libvisualize-330e2b0353f627a6.rmeta: examples/visualize.rs Cargo.toml
+
+examples/visualize.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::dbg_macro__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::todo__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unimplemented__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/visualize-dce6fd3742f3e4e0.d: examples/visualize.rs
+
+/root/repo/target/debug/examples/visualize-dce6fd3742f3e4e0: examples/visualize.rs
+
+examples/visualize.rs:

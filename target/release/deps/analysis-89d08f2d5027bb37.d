@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/analysis-89d08f2d5027bb37.d: crates/analysis/src/lib.rs crates/analysis/src/histogram.rs crates/analysis/src/regression.rs crates/analysis/src/stats.rs crates/analysis/src/table.rs
+
+/root/repo/target/release/deps/libanalysis-89d08f2d5027bb37.rlib: crates/analysis/src/lib.rs crates/analysis/src/histogram.rs crates/analysis/src/regression.rs crates/analysis/src/stats.rs crates/analysis/src/table.rs
+
+/root/repo/target/release/deps/libanalysis-89d08f2d5027bb37.rmeta: crates/analysis/src/lib.rs crates/analysis/src/histogram.rs crates/analysis/src/regression.rs crates/analysis/src/stats.rs crates/analysis/src/table.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/histogram.rs:
+crates/analysis/src/regression.rs:
+crates/analysis/src/stats.rs:
+crates/analysis/src/table.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/baselines-1f248e4401e06d56.d: crates/baselines/src/lib.rs crates/baselines/src/afek.rs crates/baselines/src/jeavons.rs crates/baselines/src/local.rs crates/baselines/src/luby.rs crates/baselines/src/stone_age.rs crates/baselines/src/two_state.rs
+
+/root/repo/target/release/deps/libbaselines-1f248e4401e06d56.rlib: crates/baselines/src/lib.rs crates/baselines/src/afek.rs crates/baselines/src/jeavons.rs crates/baselines/src/local.rs crates/baselines/src/luby.rs crates/baselines/src/stone_age.rs crates/baselines/src/two_state.rs
+
+/root/repo/target/release/deps/libbaselines-1f248e4401e06d56.rmeta: crates/baselines/src/lib.rs crates/baselines/src/afek.rs crates/baselines/src/jeavons.rs crates/baselines/src/local.rs crates/baselines/src/luby.rs crates/baselines/src/stone_age.rs crates/baselines/src/two_state.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/afek.rs:
+crates/baselines/src/jeavons.rs:
+crates/baselines/src/local.rs:
+crates/baselines/src/luby.rs:
+crates/baselines/src/stone_age.rs:
+crates/baselines/src/two_state.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/beeping-d9167986b8c773fc.d: crates/beeping/src/lib.rs crates/beeping/src/byzantine.rs crates/beeping/src/channel.rs crates/beeping/src/churn.rs crates/beeping/src/faults.rs crates/beeping/src/protocol.rs crates/beeping/src/rng.rs crates/beeping/src/sim.rs crates/beeping/src/sleep.rs crates/beeping/src/trace.rs
+
+/root/repo/target/release/deps/libbeeping-d9167986b8c773fc.rlib: crates/beeping/src/lib.rs crates/beeping/src/byzantine.rs crates/beeping/src/channel.rs crates/beeping/src/churn.rs crates/beeping/src/faults.rs crates/beeping/src/protocol.rs crates/beeping/src/rng.rs crates/beeping/src/sim.rs crates/beeping/src/sleep.rs crates/beeping/src/trace.rs
+
+/root/repo/target/release/deps/libbeeping-d9167986b8c773fc.rmeta: crates/beeping/src/lib.rs crates/beeping/src/byzantine.rs crates/beeping/src/channel.rs crates/beeping/src/churn.rs crates/beeping/src/faults.rs crates/beeping/src/protocol.rs crates/beeping/src/rng.rs crates/beeping/src/sim.rs crates/beeping/src/sleep.rs crates/beeping/src/trace.rs
+
+crates/beeping/src/lib.rs:
+crates/beeping/src/byzantine.rs:
+crates/beeping/src/channel.rs:
+crates/beeping/src/churn.rs:
+crates/beeping/src/faults.rs:
+crates/beeping/src/protocol.rs:
+crates/beeping/src/rng.rs:
+crates/beeping/src/sim.rs:
+crates/beeping/src/sleep.rs:
+crates/beeping/src/trace.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/beeping_mis-f97ec6a1c11ee74a.d: src/lib.rs
+
+/root/repo/target/release/deps/libbeeping_mis-f97ec6a1c11ee74a.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libbeeping_mis-f97ec6a1c11ee74a.rmeta: src/lib.rs
+
+src/lib.rs:

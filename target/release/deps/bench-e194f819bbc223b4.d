@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bench-e194f819bbc223b4.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbench-e194f819bbc223b4.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbench-e194f819bbc223b4.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

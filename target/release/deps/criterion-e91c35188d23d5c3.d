@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-e91c35188d23d5c3.d: /tmp/vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-e91c35188d23d5c3.rlib: /tmp/vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-e91c35188d23d5c3.rmeta: /tmp/vendor/criterion/src/lib.rs
+
+/tmp/vendor/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-85e33328e1b4768d.d: crates/experiments/src/bin/experiments.rs
+
+/root/repo/target/release/deps/experiments-85e33328e1b4768d: crates/experiments/src/bin/experiments.rs
+
+crates/experiments/src/bin/experiments.rs:

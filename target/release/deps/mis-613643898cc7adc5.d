@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/mis-613643898cc7adc5.d: crates/mis/src/lib.rs crates/mis/src/adaptive.rs crates/mis/src/adversary.rs crates/mis/src/algorithm1.rs crates/mis/src/algorithm2.rs crates/mis/src/containment.rs crates/mis/src/dynamics.rs crates/mis/src/invariant.rs crates/mis/src/levels.rs crates/mis/src/observer.rs crates/mis/src/policy.rs crates/mis/src/recovery.rs crates/mis/src/runner.rs crates/mis/src/theory.rs
+
+/root/repo/target/release/deps/libmis-613643898cc7adc5.rlib: crates/mis/src/lib.rs crates/mis/src/adaptive.rs crates/mis/src/adversary.rs crates/mis/src/algorithm1.rs crates/mis/src/algorithm2.rs crates/mis/src/containment.rs crates/mis/src/dynamics.rs crates/mis/src/invariant.rs crates/mis/src/levels.rs crates/mis/src/observer.rs crates/mis/src/policy.rs crates/mis/src/recovery.rs crates/mis/src/runner.rs crates/mis/src/theory.rs
+
+/root/repo/target/release/deps/libmis-613643898cc7adc5.rmeta: crates/mis/src/lib.rs crates/mis/src/adaptive.rs crates/mis/src/adversary.rs crates/mis/src/algorithm1.rs crates/mis/src/algorithm2.rs crates/mis/src/containment.rs crates/mis/src/dynamics.rs crates/mis/src/invariant.rs crates/mis/src/levels.rs crates/mis/src/observer.rs crates/mis/src/policy.rs crates/mis/src/recovery.rs crates/mis/src/runner.rs crates/mis/src/theory.rs
+
+crates/mis/src/lib.rs:
+crates/mis/src/adaptive.rs:
+crates/mis/src/adversary.rs:
+crates/mis/src/algorithm1.rs:
+crates/mis/src/algorithm2.rs:
+crates/mis/src/containment.rs:
+crates/mis/src/dynamics.rs:
+crates/mis/src/invariant.rs:
+crates/mis/src/levels.rs:
+crates/mis/src/observer.rs:
+crates/mis/src/policy.rs:
+crates/mis/src/recovery.rs:
+crates/mis/src/runner.rs:
+crates/mis/src/theory.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/perf-59c0051debb948c4.d: crates/bench/benches/perf.rs
+
+/root/repo/target/release/deps/perf-59c0051debb948c4: crates/bench/benches/perf.rs
+
+crates/bench/benches/perf.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-dc040eba77613167.d: /tmp/vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-dc040eba77613167.rlib: /tmp/vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-dc040eba77613167.rmeta: /tmp/vendor/rand/src/lib.rs
+
+/tmp/vendor/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand_pcg-9e698b7845760c53.d: /tmp/vendor/rand_pcg/src/lib.rs
+
+/root/repo/target/release/deps/librand_pcg-9e698b7845760c53.rlib: /tmp/vendor/rand_pcg/src/lib.rs
+
+/root/repo/target/release/deps/librand_pcg-9e698b7845760c53.rmeta: /tmp/vendor/rand_pcg/src/lib.rs
+
+/tmp/vendor/rand_pcg/src/lib.rs:

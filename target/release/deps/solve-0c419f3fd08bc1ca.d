@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/solve-0c419f3fd08bc1ca.d: crates/experiments/src/bin/solve.rs
+
+/root/repo/target/release/deps/solve-0c419f3fd08bc1ca: crates/experiments/src/bin/solve.rs
+
+crates/experiments/src/bin/solve.rs:
