@@ -11,6 +11,7 @@ use crate::channel::{ChannelFault, ChannelState, JammerKind};
 use crate::protocol::{BeepSignal, BeepingProtocol};
 use crate::rng;
 use crate::trace::RoundReport;
+use telemetry::Telemetry;
 
 pub use crate::protocol::Channels as SimulatorChannels;
 
@@ -133,6 +134,11 @@ pub struct Simulator<'g, P: BeepingProtocol> {
     scatter_sent1: Vec<u64>,
     scatter_sent2: Vec<u64>,
     hook: InvariantHook<P::State>,
+    /// Observational only: phase timers and engine counters. Never consulted
+    /// for control flow and never draws randomness, so a disabled handle
+    /// (the default) and an enabled one produce bit-identical executions —
+    /// pinned by the telemetry proptests in `tests/engine_differential.rs`.
+    telemetry: Telemetry,
 }
 
 /// Signature of a per-round observer: graph, 1-based round, states.
@@ -189,7 +195,32 @@ impl<'g, P: BeepingProtocol> Simulator<'g, P> {
             scatter_sent1: Vec::new(),
             scatter_sent2: Vec::new(),
             hook: InvariantHook(None),
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry handle (builder style); see
+    /// [`Simulator::set_telemetry`].
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Simulator<'g, P> {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Attaches a telemetry handle, replacing any previous one. The
+    /// simulator records per-phase wall-clock timers (transmit / delivery /
+    /// receive on the phased path, one fused span on the no-fault fast
+    /// path) and per-engine round counters into it. Like the invariant
+    /// hook, telemetry observes only: it draws no randomness and never
+    /// alters a round's result, so attaching a handle never changes an
+    /// execution. Round *events* are emitted by the runner layer
+    /// (`mis::runner`), which knows the protocol-level observables.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// The attached telemetry handle (disabled by default).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Selects the delivery kernel (builder style); the default is
@@ -494,6 +525,7 @@ impl<'g, P: BeepingProtocol> Simulator<'g, P> {
             return self.fast_round(n, channels);
         }
         // Phase 0: advance the burst-noise window (no-op without bursts).
+        let transmit_span = self.telemetry.time("sim.phase.transmit");
         self.channel.advance_window(&mut self.channel_state, &mut self.channel_rng);
         let drop_p = self.channel.effective_drop(&self.channel_state);
         let spurious_p = self.channel.spurious_p;
@@ -552,6 +584,7 @@ impl<'g, P: BeepingProtocol> Simulator<'g, P> {
             }
             self.sent[v] = signal;
         }
+        drop(transmit_span);
         // Phase 2: delivery — OR over neighbors, per channel. A node does
         // not hear itself: beeps are sent to neighbors only (paper §1).
         // Under half duplex, a transmitting node additionally hears nothing.
@@ -559,11 +592,18 @@ impl<'g, P: BeepingProtocol> Simulator<'g, P> {
         // may add spurious positives; a reliable channel draws no randomness
         // here, keeping noise-free executions bit-identical to the paper's
         // model.
+        let (deliver_name, rounds_counter) = match self.engine {
+            EngineMode::Scalar => ("sim.phase.deliver.scalar", "sim.rounds.scalar"),
+            EngineMode::Scatter => ("sim.phase.deliver.scatter", "sim.rounds.scatter"),
+        };
+        let deliver_span = self.telemetry.time(deliver_name);
         match self.engine {
             EngineMode::Scalar => self.deliver_scalar(n, channels, drop_p, spurious_p),
             EngineMode::Scatter => self.deliver_scatter(n, channels, drop_p, spurious_p),
         }
+        drop(deliver_span);
         // Phase 3: state updates (departed nodes are frozen).
+        let receive_span = self.telemetry.time("sim.phase.receive");
         for v in 0..n {
             if self.active[v] {
                 self.protocol.receive(
@@ -575,6 +615,8 @@ impl<'g, P: BeepingProtocol> Simulator<'g, P> {
                 );
             }
         }
+        drop(receive_span);
+        self.telemetry.counter_add(rounds_counter, 1);
         self.round += 1;
         if let Some(hook) = self.hook.0.as_mut() {
             hook(&self.graph, self.round, &self.states);
@@ -701,6 +743,7 @@ impl<'g, P: BeepingProtocol> Simulator<'g, P> {
     /// provably dead and no channel/Byzantine randomness is ever drawn —
     /// making this bit-identical to the phased path under either engine.
     fn fast_round(&mut self, n: usize, channels: SimulatorChannels) -> RoundReport {
+        let fused_span = self.telemetry.time("sim.phase.fused");
         let two = channels == SimulatorChannels::Two;
         let words = n.div_ceil(64);
         self.scatter_heard1.clear();
@@ -842,6 +885,8 @@ impl<'g, P: BeepingProtocol> Simulator<'g, P> {
         if let Some(hook) = self.hook.0.as_mut() {
             hook(graph, self.round, states);
         }
+        drop(fused_span);
+        self.telemetry.counter_add("sim.rounds.fused", 1);
         report
     }
 

@@ -10,6 +10,7 @@ use graphs::{Graph, GraphBuilder, NodeId};
 use proptest::prelude::*;
 use proptest::test_runner::TestCaseError;
 use rand::RngCore;
+use telemetry::{Config as TelemetryConfig, MemorySink, Telemetry};
 
 fn arb_graph() -> impl Strategy<Value = Graph> {
     (2usize..24).prop_flat_map(|n| {
@@ -131,6 +132,55 @@ fn assert_engines_identical(
     Ok(())
 }
 
+/// Steps a plain simulator and a telemetry-attached twin `rounds` times
+/// under identical configuration and asserts bit-identity after every round
+/// — the telemetry determinism contract (observation must not perturb the
+/// execution, in particular must draw no simulation randomness).
+#[allow(clippy::too_many_arguments)]
+fn assert_telemetry_transparent(
+    graph: &Graph,
+    seed: u64,
+    rounds: u64,
+    channels: Channels,
+    duplex: DuplexMode,
+    channel: ChannelFault,
+    byzantine: ByzantinePlan<u64>,
+    engine: EngineMode,
+) -> Result<(), TestCaseError> {
+    let init: Vec<u64> = graph.nodes().map(|v| v as u64).collect();
+    let mk = || {
+        Simulator::new(graph, RandomProbe { channels }, init.clone(), seed)
+            .with_duplex(duplex)
+            .with_channel(channel.clone())
+            .with_byzantine(byzantine.clone())
+            .with_engine(engine)
+    };
+    let tele = Telemetry::enabled(TelemetryConfig::default());
+    let (sink, _handle) = MemorySink::new();
+    tele.add_sink(Box::new(sink));
+    let mut plain = mk();
+    let mut observed = mk().with_telemetry(tele.clone());
+    for round in 1..=rounds {
+        let a = plain.step();
+        let b = observed.step();
+        prop_assert_eq!(a, b, "round report diverged at round {}", round);
+        prop_assert_eq!(plain.states(), observed.states(), "states diverged at round {}", round);
+        prop_assert_eq!(plain.last_sent(), observed.last_sent());
+        prop_assert_eq!(plain.last_heard(), observed.last_heard());
+    }
+    // The engine-specific round counters must account for every step; the
+    // fused fast path only engages for scatter with no faults installed.
+    let metrics = tele.metrics();
+    let fault_free = channel.is_reliable() && byzantine.is_empty();
+    let expected = match engine {
+        EngineMode::Scatter if fault_free => "sim.rounds.fused",
+        EngineMode::Scatter => "sim.rounds.scatter",
+        EngineMode::Scalar => "sim.rounds.scalar",
+    };
+    prop_assert_eq!(metrics.counter(expected), rounds, "counter {}", expected);
+    Ok(())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -217,6 +267,43 @@ proptest! {
             channel,
             byz,
             &churn,
+        )?;
+    }
+
+    /// Telemetry on/off bit-identity: attaching an enabled telemetry handle
+    /// (with a recording sink) must not change a single report, state or
+    /// signal, on either engine, with or without channel noise and
+    /// Byzantine radios.
+    #[test]
+    fn telemetry_attachment_is_bit_transparent(
+        g in arb_graph(),
+        seed in any::<u64>(),
+        drop_p in 0.0f64..0.4,
+        spurious_p in 0.0f64..0.3,
+        noisy in any::<bool>(),
+        two in any::<bool>(),
+        scatter in any::<bool>(),
+    ) {
+        let channels = if two { Channels::Two } else { Channels::One };
+        let engine = if scatter { EngineMode::Scatter } else { EngineMode::Scalar };
+        let (channel, byz) = if noisy {
+            (
+                ChannelFault::reliable().with_drop(drop_p).with_spurious(spurious_p),
+                ByzantinePlan::new().with_behavior(g.len() - 1, ByzantineBehavior::Babbler(0.5)),
+            )
+        } else {
+            // Fault-free keeps the scatter engine on its fused fast path.
+            (ChannelFault::reliable(), ByzantinePlan::new())
+        };
+        assert_telemetry_transparent(
+            &g,
+            seed,
+            16,
+            channels,
+            DuplexMode::Half,
+            channel,
+            byz,
+            engine,
         )?;
     }
 }

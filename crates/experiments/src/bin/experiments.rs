@@ -6,19 +6,39 @@
 //! cargo run -p experiments --release -- all --quick    # reduced sizes/seeds
 //! cargo run -p experiments --release -- --list         # show the registry
 //! cargo run -p experiments --release -- all --out results  # also write results/<id>.txt
+//! cargo run -p experiments --release -- DYN --telemetry run.jsonl  # stream run telemetry
 //! ```
+//!
+//! `--telemetry <path>` opens a JSONL sink and hands one shared
+//! [`telemetry::Telemetry`] handle to every selected experiment that has a
+//! streaming driver (`DYN`, `NOISE`, `BYZ`); the file ends with a
+//! `metrics` snapshot of the accumulated counters/gauges/timers. Level
+//! histograms are sampled every `--level-stride <k>` rounds (default 8;
+//! 0 disables them).
 
 use std::process::ExitCode;
+
+use telemetry::{Config as TelemetryConfig, JsonlSink, Telemetry};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let list = args.iter().any(|a| a == "--list");
-    let out_dir: Option<std::path::PathBuf> = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .map(std::path::PathBuf::from);
+    let value_of = |flag: &str| -> Option<&String> {
+        args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1))
+    };
+    let out_dir: Option<std::path::PathBuf> = value_of("--out").map(std::path::PathBuf::from);
+    let telemetry_path: Option<std::path::PathBuf> =
+        value_of("--telemetry").map(std::path::PathBuf::from);
+    let level_stride: u64 = match value_of("--level-stride").map(|s| s.parse()) {
+        None => 8,
+        Some(Ok(k)) => k,
+        Some(Err(_)) => {
+            eprintln!("--level-stride expects a non-negative integer");
+            return ExitCode::FAILURE;
+        }
+    };
+    let flags_with_value = ["--out", "--telemetry", "--level-stride"];
     let mut skip_next = false;
     let ids: Vec<&String> = args
         .iter()
@@ -27,7 +47,7 @@ fn main() -> ExitCode {
                 skip_next = false;
                 return false;
             }
-            if *a == "--out" {
+            if flags_with_value.contains(&a.as_str()) {
                 skip_next = true;
                 return false;
             }
@@ -40,9 +60,22 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+    let tele = match &telemetry_path {
+        Some(path) => match JsonlSink::create(path) {
+            Ok(sink) => {
+                Telemetry::enabled(TelemetryConfig { level_stride }).with_sink(Box::new(sink))
+            }
+            Err(e) => {
+                eprintln!("cannot create telemetry file {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        },
+        None => Telemetry::disabled(),
+    };
 
     if list || (ids.is_empty() && !quick) && args.is_empty() {
-        eprintln!("usage: experiments <id>... | all [--quick] [--list]\n");
+        eprintln!("usage: experiments <id>... | all [--quick] [--list] [--out <dir>]");
+        eprintln!("                   [--telemetry <path.jsonl>] [--level-stride <k>]\n");
         eprintln!("available experiments:");
         for e in experiments::all_experiments() {
             eprintln!("  {:<9} {}", e.id, e.title);
@@ -68,10 +101,10 @@ fn main() -> ExitCode {
     };
 
     for e in selected {
-        let started = std::time::Instant::now();
-        let report = (e.run)(quick);
+        let watch = telemetry::Stopwatch::start();
+        let report = e.run_with(quick, &tele);
         println!("{report}");
-        println!("[{} finished in {:.1}s]\n", e.id, started.elapsed().as_secs_f64());
+        println!("[{} finished in {:.1}s]\n", e.id, watch.elapsed_secs());
         if let Some(dir) = &out_dir {
             let path = dir.join(format!("{}.txt", e.id.replace('.', "_")));
             if let Err(err) = std::fs::write(&path, &report) {
@@ -79,6 +112,10 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+    }
+    tele.finish();
+    if let Some(path) = &telemetry_path {
+        println!("telemetry written to {}", path.display());
     }
     ExitCode::SUCCESS
 }

@@ -41,6 +41,7 @@ use mis::levels::Level;
 use mis::runner::SelfStabilizingMis;
 use mis::theory::burn_in_horizon;
 use mis::{Algorithm1, Algorithm2, LmaxPolicy};
+use telemetry::Telemetry;
 
 /// The graph families of the containment table.
 pub fn families() -> Vec<GraphFamily> {
@@ -69,13 +70,33 @@ fn measure_contained<A: SelfStabilizingMis>(
     budget: u64,
     radius: usize,
 ) -> Cell {
+    measure_contained_streaming(g, algo, plan, seeds, budget, radius, &Telemetry::disabled())
+}
+
+/// [`measure_contained`] with the seed-0 run streamed into `tele` when it
+/// is enabled (round events, the Byzantine-plan marker, and the final
+/// `containment.final_radius` gauge). Telemetry is observational, so the
+/// measured cell is identical either way.
+#[allow(clippy::too_many_arguments)]
+fn measure_contained_streaming<A: SelfStabilizingMis>(
+    g: &Graph,
+    algo: &A,
+    plan: &ByzantinePlan<Level>,
+    seeds: u64,
+    budget: u64,
+    radius: usize,
+    tele: &Telemetry,
+) -> Cell {
     let burn_in = burn_in_horizon(algo.policy());
     let mut cell = Cell { contained: 0, rounds: Vec::new(), worst_radius: 0 };
     for seed in 0..seeds {
-        let config = ContainmentConfig::new(seed)
+        let mut config = ContainmentConfig::new(seed)
             .with_max_rounds(budget)
             .with_radius(radius)
             .with_burn_in(burn_in);
+        if seed == 0 && tele.is_enabled() {
+            config = config.with_telemetry(tele.clone());
+        }
         let outcome = run_contained(g, algo, plan, &config);
         if let Some(r) = outcome.contained_round {
             cell.contained += 1;
@@ -139,6 +160,13 @@ pub fn certificate_json(
 
 /// Runs the experiment and returns the printed report.
 pub fn run(quick: bool) -> String {
+    run_with(quick, &Telemetry::disabled())
+}
+
+/// Telemetry-aware driver: the featured stuck-beep taxonomy cell (seed 0,
+/// section 2) streams its containment run into `tele` when enabled; the
+/// aggregate tables are unchanged either way.
+pub fn run_with(quick: bool, tele: &Telemetry) -> String {
     let n = if quick { 48 } else { 512 };
     let seeds = crate::common::seed_count(quick);
     let budget: u64 = if quick { 10_000 } else { 200_000 };
@@ -179,15 +207,23 @@ pub fn run(quick: bool) -> String {
     let resurrect = Resurrect::new(move |v: usize, _round, _rng: &mut _| claim[v]);
     let mut table =
         analysis::Table::new(["behavior", "algorithm", "contained", "mean round", "worst radius"]);
-    for behavior in [
+    let disabled = Telemetry::disabled();
+    for (i, behavior) in [
         ByzantineBehavior::StuckBeep,
         ByzantineBehavior::StuckSilent,
         ByzantineBehavior::Babbler(0.5),
         ByzantineBehavior::CrashRestart { period: 64, resurrect },
-    ] {
+    ]
+    .into_iter()
+    .enumerate()
+    {
         let label = behavior.label();
         let plan = ByzantinePlan::new().with_behavior(site, behavior);
-        let cell = measure_contained(&g, &algo, &plan, seeds, budget, RADIUS);
+        // The stuck-beep cell is the featured streaming run of the CLI's
+        // `--telemetry` flag; the disabled default makes this a plain
+        // measurement.
+        let featured = if i == 0 { tele } else { &disabled };
+        let cell = measure_contained_streaming(&g, &algo, &plan, seeds, budget, RADIUS, featured);
         let [contained, mean, radius] = cell_row(&cell, seeds);
         table.row([label, "Alg 1".into(), contained, mean, radius]);
     }
@@ -198,6 +234,12 @@ pub fn run(quick: bool) -> String {
     let [contained, mean, radius] = cell_row(&cell, seeds);
     table.row(["channel2-liar".into(), "Alg 2".into(), contained, mean, radius]);
     out.push_str(&format!("{table}"));
+    if tele.is_enabled() {
+        out.push_str(
+            "\ntelemetry: stuck-beep taxonomy cell (seed 0) streamed (round events + \
+             byzantine marker + final-radius gauge).\n",
+        );
+    }
 
     // Section 3: adaptive worst-case adversary with certificate.
     out.push_str("\n## worst-case adversary search (hill-climbing, deterministic)\n\n");
@@ -285,6 +327,30 @@ mod tests {
         // Well-formed enough for downstream tooling: balanced braces and
         // one key per line.
         assert_eq!(ja.matches('{').count(), ja.matches('}').count());
+    }
+
+    #[test]
+    fn streamed_containment_cell_matches_plain_measurement() {
+        use telemetry::{Config as TeleConfig, Event, MarkerKind, MemorySink};
+        let g = GraphFamily::Gnp { avg_degree: 8.0 }.generate(48, crate::common::graph_seed(1));
+        let algo = Algorithm1::new(&g, LmaxPolicy::global_delta(&g));
+        let plan =
+            ByzantinePlan::new().with_behavior(max_degree_node(&g), ByzantineBehavior::StuckBeep);
+        let plain = measure_contained(&g, &algo, &plan, 2, 20_000, RADIUS);
+        let tele = Telemetry::enabled(TeleConfig::default());
+        let (sink, handle) = MemorySink::new();
+        tele.add_sink(Box::new(sink));
+        let streamed = measure_contained_streaming(&g, &algo, &plan, 2, 20_000, RADIUS, &tele);
+        // Observational: same cell with or without the stream attached.
+        assert_eq!(plain.contained, streamed.contained);
+        assert_eq!(plain.rounds, streamed.rounds);
+        assert_eq!(plain.worst_radius, streamed.worst_radius);
+        let events = handle.events();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, Event::Marker(m) if m.kind == MarkerKind::Byzantine)));
+        assert!(!handle.rounds().is_empty());
+        assert!(tele.metrics().gauge("containment.final_radius").is_some());
     }
 
     #[test]

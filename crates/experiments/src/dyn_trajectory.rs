@@ -1,23 +1,36 @@
 //! Experiment `DYN` — convergence trajectory (supplementary figure).
 //!
-//! The proofs track how the prominent set `PM_t`, the stable set `S_t` and
-//! the potential `d_t` evolve; this experiment records an execution and
+//! The proofs track how the stable set `S_t`, the claiming set `I_t` and
+//! the level distribution evolve; this experiment records an execution and
 //! prints that evolution, the paper-style "what does a run actually look
 //! like" figure:
 //!
-//! - from an all-claiming start, `mean d` collapses from ≈ deg to ≈ 0
-//!   within a few rounds (the back-off kicking in);
+//! - from an all-claiming start, channel-1 beeping collapses from ≈ n to
+//!   ≈ |MIS| within a few rounds (the back-off kicking in);
 //! - `|S_t|` grows in waves (each MIS join silences a neighborhood);
-//! - `|PM_t|` converges to exactly `|I_t|` (the stable MIS members are the
-//!   only prominent vertices left).
+//! - the ℓmax bucket of the level histogram fills up as silenced vertices
+//!   park at their cap.
+//!
+//! The table is derived entirely from the run's telemetry round-event
+//! stream (see `DESIGN.md` §9 "Observability") rather than from recorded
+//! level histories — the same stream the CLI's `--telemetry <path>` flag
+//! exports as JSONL.
 
 use graphs::generators::GraphFamily;
-use mis::dynamics::trajectory;
 use mis::runner::{InitialLevels, RunConfig};
 use mis::{Algorithm1, LmaxPolicy};
+use telemetry::{Config, MemorySink, RoundEvent, Telemetry};
 
 /// Runs the experiment and returns the printed report.
 pub fn run(quick: bool) -> String {
+    run_with(quick, &Telemetry::disabled())
+}
+
+/// Telemetry-aware driver: streams the featured run into `external` when it
+/// is enabled (the CLI `--telemetry` path), otherwise into a private
+/// stride-1 handle. Either way the printed table is built from the
+/// round-event stream, not from ad-hoc bookkeeping.
+pub fn run_with(quick: bool, external: &Telemetry) -> String {
     let n = if quick { 128 } else { 1024 };
     let family = GraphFamily::Gnp { avg_degree: 8.0 };
     let g = family.generate(n, 0xD1);
@@ -28,51 +41,68 @@ pub fn run(quick: bool) -> String {
         g.len(),
         g.max_degree()
     ));
+    let tele = if external.is_enabled() {
+        external.clone()
+    } else {
+        Telemetry::enabled(Config { level_stride: 1 })
+    };
+    let (sink, handle) = MemorySink::new();
+    tele.add_sink(Box::new(sink));
     let outcome = algo
-        .run(&g, RunConfig::new(7).with_init(InitialLevels::AllClaiming).with_level_recording())
+        .run(
+            &g,
+            RunConfig::new(7).with_init(InitialLevels::AllClaiming).with_telemetry(tele.clone()),
+        )
         .expect("stabilizes");
-    let history = outcome.level_history.expect("recording enabled");
-    let stats = trajectory(&g, algo.policy().lmax_values(), &history);
+    let rounds = handle.rounds();
 
-    let mut table = analysis::Table::new([
-        "round",
-        "|PM|",
-        "|I|",
-        "|S|",
-        "at ℓmax",
-        "mean p",
-        "mean d",
-        "max d",
-    ]);
-    // Print a readable subsample: every round early on, sparser later.
-    for s in &stats {
-        let show = s.round <= 10
-            || (s.round <= 40 && s.round % 5 == 0)
-            || s.round % 10 == 0
-            || s.round == stats.len() - 1;
+    // The histogram bucket at the (uniform, global-Δ) cap — vertices parked
+    // at ℓmax, i.e. durably silenced.
+    let cap = i64::from(algo.policy().lmax_values()[0]);
+    let at_cap = |e: &RoundEvent| -> String {
+        match &e.levels {
+            Some(hist) => hist
+                .iter()
+                .find(|&&(level, _)| level == cap)
+                .map_or(0, |&(_, count)| count)
+                .to_string(),
+            None => "-".to_string(),
+        }
+    };
+
+    let mut table =
+        analysis::Table::new(["round", "beeps c1", "lone c1", "|I|", "|S|", "S frac", "at ℓmax"]);
+    let last_round = rounds.last().map_or(0, |e| e.round);
+    for e in &rounds {
+        let show = e.round <= 10
+            || (e.round <= 40 && e.round % 5 == 0)
+            || e.round % 10 == 0
+            || e.round == last_round;
         if show {
             table.row([
-                s.round.to_string(),
-                s.prominent.to_string(),
-                s.in_mis.to_string(),
-                s.stable.to_string(),
-                s.at_cap.to_string(),
-                format!("{:.3}", s.mean_p),
-                format!("{:.3}", s.mean_d),
-                format!("{:.2}", s.max_d),
+                e.round.to_string(),
+                e.beeps_channel1.to_string(),
+                e.lone_beepers.to_string(),
+                e.in_mis.map_or("-".into(), |v| v.to_string()),
+                e.stable.map_or("-".into(), |v| v.to_string()),
+                e.stable_fraction().map_or("-".into(), |f| format!("{f:.3}")),
+                at_cap(e),
             ]);
         }
     }
     out.push_str(&table.to_string());
-    let last = stats.last().unwrap();
+    let last = rounds.last().expect("run executed at least one round");
     out.push_str(&format!(
-        "\nstabilized at round {}: |MIS| = {}, |PM| = {} (every prominent vertex is a \
-         stable MIS member), mean d = {:.3}\n",
-        outcome.stabilization_round, last.in_mis, last.prominent, last.mean_d
+        "\nstabilized at round {}: |MIS| = {}, stable fraction = {:.3} over {} streamed \
+         round events\n",
+        outcome.stabilization_round,
+        last.in_mis.unwrap_or(0),
+        last.stable_fraction().unwrap_or(0.0),
+        rounds.len(),
     ));
     out.push_str(
-        "\nexpected shape: mean d collapses within the first rounds; |S| grows in waves; \
-         at stabilization |PM| = |I| and silence margin max d stays bounded.\n",
+        "\nexpected shape: channel-1 beeping collapses within the first rounds; |S| grows \
+         in waves to n; the ℓmax bucket fills as neighborhoods are silenced.\n",
     );
     out
 }
@@ -80,24 +110,65 @@ pub fn run(quick: bool) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mis::dynamics::trajectory;
 
     #[test]
     fn report_reaches_full_stability() {
         let report = run(true);
         assert!(report.contains("DYN"));
         assert!(report.contains("stabilized at round"));
-        assert!(report.contains("mean d"));
+        assert!(report.contains("S frac"));
     }
 
     #[test]
-    fn prominent_equals_mis_at_the_end() {
+    fn stream_matches_outcome_totals() {
+        // The telemetry-derived table must agree with the run outcome: one
+        // round event per executed round, and the final event's claiming
+        // count equals the returned MIS size.
         let g = GraphFamily::Gnp { avg_degree: 8.0 }.generate(96, 0xD1);
         let algo = Algorithm1::new(&g, LmaxPolicy::global_delta(&g));
-        let outcome = algo.run(&g, RunConfig::new(3).with_level_recording()).unwrap();
-        let history = outcome.level_history.unwrap();
-        let stats = trajectory(&g, algo.policy().lmax_values(), &history);
-        let last = stats.last().unwrap();
-        assert_eq!(last.prominent, last.in_mis);
-        assert_eq!(last.stable, g.len());
+        let tele = Telemetry::enabled(Config { level_stride: 1 });
+        let (sink, handle) = MemorySink::new();
+        tele.add_sink(Box::new(sink));
+        let outcome =
+            algo.run(&g, RunConfig::new(3).with_telemetry(tele.clone())).expect("stabilizes");
+        let rounds = handle.rounds();
+        assert_eq!(rounds.len() as u64, outcome.rounds_run);
+        let last = rounds.last().unwrap();
+        assert_eq!(last.in_mis, Some(outcome.mis.iter().filter(|&&m| m).count() as u64));
+        assert_eq!(last.stable, Some(g.len() as u64));
+        assert!(last.levels.is_some(), "stride-1 stream carries histograms");
+    }
+
+    #[test]
+    fn stream_agrees_with_recorded_trajectory() {
+        // Cross-check the replacement: the telemetry stream reproduces the
+        // |I|/|S|/at-cap series the old level-recording bookkeeping
+        // computed.
+        let g = GraphFamily::Gnp { avg_degree: 8.0 }.generate(64, 0xD1);
+        let algo = Algorithm1::new(&g, LmaxPolicy::global_delta(&g));
+        let tele = Telemetry::enabled(Config { level_stride: 1 });
+        let (sink, handle) = MemorySink::new();
+        tele.add_sink(Box::new(sink));
+        let outcome = algo
+            .run(&g, RunConfig::new(5).with_level_recording().with_telemetry(tele.clone()))
+            .expect("stabilizes");
+        let stats = trajectory(&g, algo.policy().lmax_values(), &outcome.level_history.unwrap());
+        let cap = i64::from(algo.policy().lmax_values()[0]);
+        // History entry 0 is the initial configuration; round event t maps
+        // to history entry t.
+        for e in handle.rounds() {
+            let s = &stats[e.round as usize];
+            assert_eq!(e.in_mis, Some(s.in_mis as u64), "round {}", e.round);
+            assert_eq!(e.stable, Some(s.stable as u64), "round {}", e.round);
+            let hist_at_cap = e
+                .levels
+                .as_ref()
+                .unwrap()
+                .iter()
+                .find(|&&(level, _)| level == cap)
+                .map_or(0, |&(_, c)| c);
+            assert_eq!(hist_at_cap, s.at_cap as u64, "round {}", e.round);
+        }
     }
 }

@@ -65,106 +65,91 @@ pub struct Experiment {
     pub title: &'static str,
     /// Driver: `quick` trades coverage for speed (used by tests/benches).
     pub run: fn(quick: bool) -> String,
+    /// Telemetry-aware driver, for experiments that stream their featured
+    /// run into an enabled [`telemetry::Telemetry`] handle (the CLI's
+    /// `--telemetry <path>` flag). `None` means the experiment has no
+    /// streaming variant and falls back to [`Experiment::run`].
+    pub run_telemetry: Option<fn(quick: bool, tele: &telemetry::Telemetry) -> String>,
+}
+
+impl Experiment {
+    /// A registry entry without a telemetry-aware driver.
+    pub fn new(id: &'static str, title: &'static str, run: fn(bool) -> String) -> Experiment {
+        Experiment { id, title, run, run_telemetry: None }
+    }
+
+    /// Attaches the telemetry-aware driver.
+    pub fn with_telemetry(
+        mut self,
+        run_telemetry: fn(bool, &telemetry::Telemetry) -> String,
+    ) -> Experiment {
+        self.run_telemetry = Some(run_telemetry);
+        self
+    }
+
+    /// Runs the experiment, routing through the telemetry-aware driver when
+    /// one exists and `tele` is enabled.
+    pub fn run_with(&self, quick: bool, tele: &telemetry::Telemetry) -> String {
+        match self.run_telemetry {
+            Some(f) if tele.is_enabled() => f(quick, tele),
+            _ => (self.run)(quick),
+        }
+    }
 }
 
 /// The registry of all experiments, in DESIGN.md order.
 pub fn all_experiments() -> Vec<Experiment> {
     vec![
-        Experiment {
-            id: "T2.1",
-            title: "Theorem 2.1: O(log n) with global Δ knowledge",
-            run: thm21::run,
-        },
-        Experiment {
-            id: "T2.2",
-            title: "Theorem 2.2: O(log n·loglog n) with own-degree knowledge",
-            run: thm22::run,
-        },
-        Experiment {
-            id: "T2.2-L",
-            title: "Theorem 2.2's layering: ℓmax classes stabilize in order",
-            run: thm22_layers::run,
-        },
-        Experiment {
-            id: "C2.3",
-            title: "Corollary 2.3: O(log n) with two channels + deg₂",
-            run: cor23::run,
-        },
-        Experiment { id: "F1", title: "Figure 1: beeping probability vs level", run: fig1::run },
-        Experiment {
-            id: "L3.5",
-            title: "Lemma 3.5: tail of platinum-round waiting times",
-            run: lemma35::run,
-        },
-        Experiment {
-            id: "L3.6",
-            title: "Lemma 3.6: resolution of prominence episodes",
-            run: lemma36::run,
-        },
-        Experiment {
-            id: "L6.7",
-            title: "Lemma 6.7: golden rounds turn platinum",
-            run: lemma67::run,
-        },
-        Experiment {
-            id: "SS-R",
-            title: "Self-stabilization: recovery from transient faults",
-            run: recovery::run,
-        },
-        Experiment {
-            id: "NOISE",
-            title: "Unreliable network: channel noise, jammers, churn",
-            run: noise::run,
-        },
-        Experiment {
-            id: "BYZ",
-            title: "Byzantine containment and worst-case adversary search",
-            run: byz::run,
-        },
-        Experiment {
-            id: "SS-A",
-            title: "Adversarial initialization: JSX vs Algorithm 1",
-            run: adversarial::run,
-        },
-        Experiment {
-            id: "BASE",
-            title: "Baseline comparison: Alg 1/2 vs JSX, Afek-style, Luby",
-            run: baseline_cmp::run,
-        },
-        Experiment {
-            id: "ABL-C1",
-            title: "Ablation: sensitivity to the constant c1",
-            run: ablation_c1::run,
-        },
-        Experiment { id: "ABL-LMAX", title: "Ablation: ℓmax regimes", run: ablation_lmax::run },
-        Experiment {
-            id: "ABL-HD",
-            title: "Model ablation: full vs half duplex",
-            run: ablation_duplex::run,
-        },
-        Experiment { id: "SCALE", title: "Scalability on large graphs", run: scale::run },
-        Experiment {
-            id: "PERF",
-            title: "Round-engine throughput: scalar vs scatter",
-            run: perf::run,
-        },
-        Experiment { id: "ENERGY", title: "Beep (radio-energy) complexity", run: energy::run },
-        Experiment {
-            id: "DYN",
-            title: "Convergence trajectory of one execution",
-            run: dyn_trajectory::run,
-        },
-        Experiment {
-            id: "EXT-ADAPT",
-            title: "Open question (§8): knowledge-free adaptive variant",
-            run: ext_adaptive::run,
-        },
-        Experiment {
-            id: "EXT-2STATE",
-            title: "Constant-state baseline [16] vs Algorithm 1",
-            run: ext_two_state::run,
-        },
-        Experiment { id: "EXT-WAKE", title: "Adversarial wake-up schedules", run: ext_wakeup::run },
+        Experiment::new("T2.1", "Theorem 2.1: O(log n) with global Δ knowledge", thm21::run),
+        Experiment::new(
+            "T2.2",
+            "Theorem 2.2: O(log n·loglog n) with own-degree knowledge",
+            thm22::run,
+        ),
+        Experiment::new(
+            "T2.2-L",
+            "Theorem 2.2's layering: ℓmax classes stabilize in order",
+            thm22_layers::run,
+        ),
+        Experiment::new("C2.3", "Corollary 2.3: O(log n) with two channels + deg₂", cor23::run),
+        Experiment::new("F1", "Figure 1: beeping probability vs level", fig1::run),
+        Experiment::new("L3.5", "Lemma 3.5: tail of platinum-round waiting times", lemma35::run),
+        Experiment::new("L3.6", "Lemma 3.6: resolution of prominence episodes", lemma36::run),
+        Experiment::new("L6.7", "Lemma 6.7: golden rounds turn platinum", lemma67::run),
+        Experiment::new(
+            "SS-R",
+            "Self-stabilization: recovery from transient faults",
+            recovery::run,
+        ),
+        Experiment::new("NOISE", "Unreliable network: channel noise, jammers, churn", noise::run)
+            .with_telemetry(noise::run_with),
+        Experiment::new("BYZ", "Byzantine containment and worst-case adversary search", byz::run)
+            .with_telemetry(byz::run_with),
+        Experiment::new("SS-A", "Adversarial initialization: JSX vs Algorithm 1", adversarial::run),
+        Experiment::new(
+            "BASE",
+            "Baseline comparison: Alg 1/2 vs JSX, Afek-style, Luby",
+            baseline_cmp::run,
+        ),
+        Experiment::new("ABL-C1", "Ablation: sensitivity to the constant c1", ablation_c1::run),
+        Experiment::new("ABL-LMAX", "Ablation: ℓmax regimes", ablation_lmax::run),
+        Experiment::new("ABL-HD", "Model ablation: full vs half duplex", ablation_duplex::run),
+        Experiment::new("SCALE", "Scalability on large graphs", scale::run),
+        Experiment::new("PERF", "Round-engine throughput: scalar vs scatter", perf::run),
+        Experiment::new("ENERGY", "Beep (radio-energy) complexity", energy::run),
+        Experiment::new("DYN", "Convergence trajectory of one execution", dyn_trajectory::run)
+            .with_telemetry(dyn_trajectory::run_with),
+        Experiment::new(
+            "EXT-ADAPT",
+            "Open question (§8): knowledge-free adaptive variant",
+            ext_adaptive::run,
+        ),
+        Experiment::new(
+            "EXT-2STATE",
+            "Constant-state baseline [16] vs Algorithm 1",
+            ext_two_state::run,
+        ),
+        Experiment::new("EXT-WAKE", "Adversarial wake-up schedules", ext_wakeup::run),
     ]
 }
 
@@ -191,5 +176,25 @@ mod tests {
         assert!(find_experiment("t2.1").is_some());
         assert!(find_experiment("T2.1").is_some());
         assert!(find_experiment("nope").is_none());
+    }
+
+    #[test]
+    fn telemetry_drivers_registered() {
+        for id in ["DYN", "NOISE", "BYZ"] {
+            assert!(
+                find_experiment(id).unwrap().run_telemetry.is_some(),
+                "{id} should have a telemetry-aware driver"
+            );
+        }
+        assert!(find_experiment("F1").unwrap().run_telemetry.is_none());
+    }
+
+    #[test]
+    fn run_with_falls_back_when_disabled() {
+        // A disabled handle must route through the plain driver even for
+        // wired experiments (and never panic for unwired ones).
+        let e = find_experiment("F1").unwrap();
+        let tele = telemetry::Telemetry::disabled();
+        assert!(!e.run_with(true, &tele).is_empty());
     }
 }

@@ -35,6 +35,7 @@ use graphs::Graph;
 use mis::recovery::{run_noisy, Disturbance, NoisyRunConfig};
 use mis::runner::RunConfig;
 use mis::{Algorithm1, LmaxPolicy};
+use telemetry::Telemetry;
 
 /// The drop probabilities of the sweep (section 1).
 pub fn drop_rates() -> Vec<f64> {
@@ -111,6 +112,14 @@ fn measure_noisy(
 
 /// Runs the experiment and returns the printed report.
 pub fn run(quick: bool) -> String {
+    run_with(quick, &Telemetry::disabled())
+}
+
+/// Telemetry-aware driver: the featured churn-under-noise composite (seed
+/// 0, section 4) streams its round events plus churn/fault markers into
+/// `tele` when enabled; the sweep sections are aggregate-only and stay
+/// silent.
+pub fn run_with(quick: bool, tele: &Telemetry) -> String {
     let n = if quick { 48 } else { 512 };
     let seeds = crate::common::seed_count(quick);
     let budget: u64 = if quick { 10_000 } else { 500_000 };
@@ -232,10 +241,16 @@ pub fn run(quick: bool) -> String {
     let mut labels: Vec<String> = vec![String::new(); n_events];
     let mut interrupted = 0usize;
     for seed in 0..seeds {
-        let config = NoisyRunConfig::new(seed)
+        let mut config = NoisyRunConfig::new(seed)
             .with_max_rounds(budget)
             .with_churn(plan.clone())
             .with_channel(channel.clone());
+        if seed == 0 {
+            // Featured run: stream round events and churn/fault markers.
+            // Telemetry is observational — attaching it cannot change the
+            // outcome (enforced by the bit-identity tests in crates/mis).
+            config = config.with_telemetry(tele.clone());
+        }
         let outcome = run_noisy(&g, &algo, &config);
         assert!(outcome.stabilized, "churn composite must re-stabilize (seed {seed})");
         for (i, event) in outcome.events.iter().enumerate() {
@@ -266,6 +281,12 @@ pub fn run(quick: bool) -> String {
          loss diverges; always-beep jammers join the MIS; every churn event re-stabilizes \
          in finite time with violations confined to transients.\n"
     ));
+    if tele.is_enabled() {
+        out.push_str(
+            "\ntelemetry: seed-0 churn composite streamed (round events + churn/fault \
+             markers).\n",
+        );
+    }
     out
 }
 
@@ -334,6 +355,33 @@ mod tests {
             );
             assert_eq!(noisy.mis, rec.mis, "seed {seed}");
         }
+    }
+
+    #[test]
+    fn featured_churn_run_streams_markers_without_changing_outcome() {
+        use telemetry::{Config as TeleConfig, Event, MarkerKind, MemorySink};
+        let g =
+            GraphFamily::Geometric { avg_degree: 8.0 }.generate(48, crate::common::graph_seed(0));
+        let algo = Algorithm1::new(&g, LmaxPolicy::global_delta(&g));
+        let base = NoisyRunConfig::new(0)
+            .with_max_rounds(200_000)
+            .with_churn(churn_plan(&g))
+            .with_channel(ChannelFault::reliable().with_drop(0.02));
+        let plain = run_noisy(&g, &algo, &base);
+        let tele = Telemetry::enabled(TeleConfig::default());
+        let (sink, handle) = MemorySink::new();
+        tele.add_sink(Box::new(sink));
+        let streamed = run_noisy(&g, &algo, &base.clone().with_telemetry(tele.clone()));
+        // Observational: attaching telemetry must not perturb the run.
+        assert_eq!(plain.mis, streamed.mis);
+        assert_eq!(plain.stabilized, streamed.stabilized);
+        let events = handle.events();
+        let churn_markers = events
+            .iter()
+            .filter(|e| matches!(e, Event::Marker(m) if m.kind == MarkerKind::Churn))
+            .count();
+        assert_eq!(churn_markers, 4, "one marker per scheduled churn event");
+        assert!(!handle.rounds().is_empty());
     }
 
     #[test]

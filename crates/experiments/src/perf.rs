@@ -23,14 +23,14 @@
 //! size on cycle and regular graphs.
 
 use std::fmt::Write as _;
-use std::time::Instant;
 
 use beeping::{EngineMode, Simulator};
 use graphs::generators::GraphFamily;
 use graphs::Graph;
 use mis::levels::Level;
-use mis::runner::{self, RunConfig};
+use mis::runner::{self, RunConfig, StabilizationError};
 use mis::{Algorithm1, LmaxPolicy};
+use telemetry::Stopwatch;
 
 /// The graph families of the throughput table, sparse first.
 pub fn families() -> Vec<GraphFamily> {
@@ -70,10 +70,15 @@ impl PerfPoint {
 }
 
 /// A stabilized (steady-state) configuration for the timing workload: MIS
-/// members beep every round, everyone else listens.
-fn steady_state_levels(g: &Graph, algo: &Algorithm1, seed: u64) -> Vec<Level> {
+/// members beep every round, everyone else listens. Errors (instead of
+/// panicking) when the workload run exhausts its budget.
+fn steady_state_levels(
+    g: &Graph,
+    algo: &Algorithm1,
+    seed: u64,
+) -> Result<Vec<Level>, StabilizationError> {
     let config = RunConfig::new(seed).with_max_rounds(1_000_000);
-    runner::run(g, algo, config).expect("workload run stabilizes").levels
+    Ok(runner::run(g, algo, config)?.levels)
 }
 
 fn rounds_per_sec(
@@ -85,9 +90,9 @@ fn rounds_per_sec(
     rounds: u64,
 ) -> f64 {
     let mut sim = Simulator::new(g, algo.clone(), levels.to_vec(), seed).with_engine(engine);
-    let start = Instant::now();
+    let watch = Stopwatch::start();
     sim.run(rounds);
-    let secs = start.elapsed().as_secs_f64().max(1e-9);
+    let secs = watch.elapsed_secs().max(1e-9);
     std::hint::black_box(sim.states());
     rounds as f64 / secs
 }
@@ -119,11 +124,17 @@ pub fn assert_engines_identical(
 }
 
 /// Measures one `(family, n)` point: stabilize, differential-check, then
-/// time both engines on the steady-state workload.
-pub fn measure_point(family: &GraphFamily, n: usize, seed: u64, quick: bool) -> PerfPoint {
+/// time both engines on the steady-state workload. Errors when the workload
+/// run fails to stabilize within its budget.
+pub fn measure_point(
+    family: &GraphFamily,
+    n: usize,
+    seed: u64,
+    quick: bool,
+) -> Result<PerfPoint, StabilizationError> {
     let g = family.generate(n, crate::common::graph_seed(0));
     let algo = Algorithm1::new(&g, LmaxPolicy::global_delta(&g));
-    let levels = steady_state_levels(&g, &algo, seed);
+    let levels = steady_state_levels(&g, &algo, seed)?;
     assert_engines_identical(&g, &algo, &levels, seed, 8);
     // Node-rounds budget per engine, so every size gets comparable wall
     // time; floors keep the smallest quick sizes from under-sampling.
@@ -131,15 +142,38 @@ pub fn measure_point(family: &GraphFamily, n: usize, seed: u64, quick: bool) -> 
     let rounds = (budget / n as u64).max(16);
     let scalar_rps = rounds_per_sec(&g, &algo, &levels, seed, EngineMode::Scalar, rounds);
     let scatter_rps = rounds_per_sec(&g, &algo, &levels, seed, EngineMode::Scatter, rounds);
-    PerfPoint { family: family.to_string(), n, m: g.num_edges(), rounds, scalar_rps, scatter_rps }
+    Ok(PerfPoint {
+        family: family.to_string(),
+        n,
+        m: g.num_edges(),
+        rounds,
+        scalar_rps,
+        scatter_rps,
+    })
+}
+
+/// The current `git describe` of the working tree, for provenance in the
+/// committed baseline; `"unknown"` when git (or the repository) is
+/// unavailable.
+pub fn git_describe() -> String {
+    std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".into())
 }
 
 /// Renders the measured points as the committed JSON artifact (fixed field
 /// order; throughput values are wall-clock measurements and vary run to
 /// run, so the file is a baseline record, not a determinism artifact).
-pub fn bench_json(points: &[PerfPoint], quick: bool) -> String {
+pub fn bench_json(points: &[PerfPoint], quick: bool, git: &str) -> String {
     let mut out = String::from("{\n  \"experiment\": \"PERF\",\n");
     let _ = writeln!(out, "  \"quick\": {quick},");
+    let _ = writeln!(out, "  \"git\": \"{}\",", telemetry::jsonl::escape(git));
     let _ = writeln!(out, "  \"unit\": \"rounds_per_sec\",");
     out.push_str("  \"entries\": [\n");
     for (i, p) in points.iter().enumerate() {
@@ -184,35 +218,52 @@ pub fn run(quick: bool) -> String {
     ]);
     for family in families() {
         for &n in &sizes(quick) {
-            let p = measure_point(&family, n, seed, quick);
-            table.row([
-                p.family.clone(),
-                p.n.to_string(),
-                p.m.to_string(),
-                p.rounds.to_string(),
-                format!("{:.0}", p.scalar_rps),
-                format!("{:.0}", p.scatter_rps),
-                format!("{:.2}x", p.speedup()),
-            ]);
-            points.push(p);
+            match measure_point(&family, n, seed, quick) {
+                Ok(p) => {
+                    table.row([
+                        p.family.clone(),
+                        p.n.to_string(),
+                        p.m.to_string(),
+                        p.rounds.to_string(),
+                        format!("{:.0}", p.scalar_rps),
+                        format!("{:.0}", p.scatter_rps),
+                        format!("{:.2}x", p.speedup()),
+                    ]);
+                    points.push(p);
+                }
+                Err(e) => {
+                    let _ = writeln!(out, "warning: skipping ({family}, n={n}): {e}");
+                }
+            }
         }
     }
     out.push_str("\n## throughput (higher is better)\n\n");
     out.push_str(&format!("{table}"));
 
-    let json = bench_json(&points, quick);
+    let json = bench_json(&points, quick, &git_describe());
     out.push_str("\nbench baseline:\n");
     out.push_str(&json);
     // Written whenever the standard output directory exists (the CI smoke
     // and full runs pass `--out results`); plain `cargo test` runs from the
     // crate directory, which has no results/, and never rewrites the
-    // committed baseline.
+    // committed baselines. The root-level copy is the canonical committed
+    // baseline; results/ keeps the run-local artifact.
     let results = std::path::Path::new("results");
     if results.is_dir() {
         if let Err(e) = std::fs::write(results.join("BENCH_PERF.json"), &json) {
             let _ = writeln!(out, "warning: cannot write results/BENCH_PERF.json: {e}");
         } else {
             out.push_str("\nbaseline written to results/BENCH_PERF.json\n");
+        }
+        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .expect("workspace root exists")
+            .join("BENCH_PERF.json");
+        if let Err(e) = std::fs::write(&root, &json) {
+            let _ = writeln!(out, "warning: cannot write {}: {e}", root.display());
+        } else {
+            let _ = writeln!(out, "baseline written to {}", root.display());
         }
     }
     out.push_str(
@@ -241,7 +292,7 @@ mod tests {
         let family = GraphFamily::Gnp { avg_degree: 8.0 };
         let g = family.generate(96, 3);
         let algo = Algorithm1::new(&g, LmaxPolicy::global_delta(&g));
-        let levels = steady_state_levels(&g, &algo, 5);
+        let levels = steady_state_levels(&g, &algo, 5).expect("stabilizes");
         assert_engines_identical(&g, &algo, &levels, 5, 32);
     }
 
@@ -255,9 +306,30 @@ mod tests {
             scalar_rps: 1000.0,
             scatter_rps: 2500.0,
         }];
-        let json = bench_json(&points, true);
+        let json = bench_json(&points, true, "v1.2.3-4-gabcdef0");
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert!(json.contains("\"speedup\": 2.50"));
         assert!(json.contains("\"quick\": true"));
+        assert!(json.contains("\"git\": \"v1.2.3-4-gabcdef0\""));
+    }
+
+    #[test]
+    fn git_describe_never_empty() {
+        assert!(!git_describe().is_empty());
+    }
+
+    #[test]
+    fn workload_budget_exhaustion_propagates_as_error() {
+        // A 1-round budget cannot stabilize a non-trivial instance; the
+        // helper must return Err instead of panicking.
+        let g = GraphFamily::Gnp { avg_degree: 8.0 }.generate(64, 3);
+        let algo = Algorithm1::new(&g, LmaxPolicy::global_delta(&g));
+        let config = RunConfig::new(5).with_max_rounds(1);
+        assert!(runner::run(&g, &algo, config).is_err());
+        // And measure_point surfaces a stabilization error rather than
+        // aborting the whole experiment (exercised indirectly: the Ok path
+        // is covered by report_covers_all_sections).
+        let p = measure_point(&GraphFamily::Cycle, 64, 5, true);
+        assert!(p.is_ok());
     }
 }

@@ -6,11 +6,10 @@
 //! geometric graphs (the wireless-sensor abstraction the paper's intro
 //! motivates) up to 10⁵ nodes.
 
-use std::time::Instant;
-
 use graphs::generators::GraphFamily;
 use mis::runner::{InitialLevels, RunConfig};
 use mis::{Algorithm1, LmaxPolicy};
+use telemetry::Stopwatch;
 
 /// One scalability data point.
 #[derive(Debug, Clone, Copy)]
@@ -35,10 +34,10 @@ pub fn measure_scale(n: usize, seed: u64) -> ScalePoint {
     let family = GraphFamily::Geometric { avg_degree: 8.0 };
     let g = family.generate(n, seed);
     let algo = Algorithm1::new(&g, LmaxPolicy::global_delta(&g));
-    let start = Instant::now();
+    let watch = Stopwatch::start();
     let outcome =
         algo.run(&g, RunConfig::new(seed).with_init(InitialLevels::Random)).expect("stabilizes");
-    let seconds = start.elapsed().as_secs_f64();
+    let seconds = watch.elapsed_secs();
     assert!(graphs::mis::is_maximal_independent_set(&g, &outcome.mis));
     ScalePoint {
         n: g.len(),

@@ -1,0 +1,67 @@
+//! End-to-end test of the `--telemetry <path>` CLI flag: the exported JSONL
+//! must parse, and the per-round counters summed from the stream must equal
+//! the accumulated `trace.*` counters in the final metrics snapshot (which
+//! mirror the run's `Trace` totals).
+
+use std::process::Command;
+
+use telemetry::jsonl::{parse_jsonl, Value};
+
+fn counter(metrics: &Value, name: &str) -> u64 {
+    metrics
+        .get("counters")
+        .and_then(|c| c.get(name))
+        .and_then(Value::as_u64)
+        .unwrap_or_else(|| panic!("metrics snapshot missing counter {name}"))
+}
+
+#[test]
+fn telemetry_jsonl_round_trips_trace_totals() {
+    let out = std::env::temp_dir().join(format!("telemetry_cli_{}.jsonl", std::process::id()));
+    let status = Command::new(env!("CARGO_BIN_EXE_experiments"))
+        .args(["DYN", "--quick", "--telemetry"])
+        .arg(&out)
+        .arg("--level-stride")
+        .arg("4")
+        .output()
+        .expect("experiments binary runs");
+    assert!(status.status.success(), "CLI failed: {}", String::from_utf8_lossy(&status.stderr));
+    let text = std::fs::read_to_string(&out).expect("telemetry file written");
+    let _ = std::fs::remove_file(&out);
+    let docs = parse_jsonl(&text).expect("every line parses as JSON");
+
+    let ty = |d: &Value| d.get("type").and_then(Value::as_str).unwrap_or_default().to_string();
+    assert_eq!(ty(&docs[0]), "run_start");
+    assert_eq!(docs[0].get("label").unwrap().as_str(), Some("runner"));
+    assert_eq!(ty(docs.last().unwrap()), "metrics");
+    assert!(docs.iter().any(|d| ty(d) == "run_end"));
+
+    let rounds: Vec<&Value> = docs.iter().filter(|d| ty(d) == "round").collect();
+    assert!(!rounds.is_empty(), "stream carries round events");
+    // Histograms appear exactly on the sampled stride.
+    for d in &rounds {
+        let round = d.get("round").unwrap().as_u64().unwrap();
+        assert_eq!(d.get("levels").is_some(), round % 4 == 0, "round {round}");
+    }
+
+    let metrics = docs.last().unwrap();
+    let sum = |field: &str| -> u64 {
+        rounds.iter().map(|d| d.get(field).and_then(Value::as_u64).unwrap_or(0)).sum()
+    };
+    assert_eq!(rounds.len() as u64, counter(metrics, "trace.rounds"));
+    assert_eq!(sum("beeps_c1"), counter(metrics, "trace.beeps_c1"));
+    assert_eq!(sum("beeps_c2"), counter(metrics, "trace.beeps_c2"));
+    assert_eq!(sum("hearers_c1"), counter(metrics, "trace.hearers_c1"));
+    assert_eq!(sum("hearers_c2"), counter(metrics, "trace.hearers_c2"));
+    assert_eq!(sum("lone_c1"), counter(metrics, "trace.lone_c1"));
+    assert_eq!(sum("lone_c2"), counter(metrics, "trace.lone_c2"));
+}
+
+#[test]
+fn telemetry_flag_rejects_bad_stride() {
+    let out = Command::new(env!("CARGO_BIN_EXE_experiments"))
+        .args(["F1", "--quick", "--level-stride", "nope"])
+        .output()
+        .expect("experiments binary runs");
+    assert!(!out.status.success());
+}

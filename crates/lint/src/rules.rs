@@ -71,8 +71,11 @@ pub struct Finding {
 /// The scope is part of the lint contract (documented in DESIGN.md):
 ///
 /// - **L1** covers the crates whose behavior must be a pure function of the
-///   seed: `beeping`, `mis`, `baselines` and the graph generators.
-///   Experiment drivers may use wall clocks for progress reporting.
+///   seed: `beeping`, `mis`, `baselines` and the graph generators get the
+///   full catalog (entropy, wall clocks, hash containers). Every *other*
+///   crate's `src/` gets the wall-clock subset only (`Instant`/`SystemTime`)
+///   — timing goes through `telemetry::Stopwatch`, so the `telemetry` crate
+///   itself is the single sanctioned home of wall clocks and is exempt.
 /// - **L2** covers the crates that manipulate levels; `mis/src/levels.rs`
 ///   *is* the sanctioned arithmetic and is exempt.
 /// - **L3** covers every crate that implements protocol hot paths.
@@ -81,7 +84,10 @@ pub fn rules_for(path: &str) -> Vec<RuleId> {
     let protocol_crate = path.starts_with("crates/beeping/src/")
         || path.starts_with("crates/mis/src/")
         || path.starts_with("crates/baselines/src/");
-    if protocol_crate || path.starts_with("crates/graphs/src/generators/") {
+    if protocol_crate
+        || path.starts_with("crates/graphs/src/generators/")
+        || wall_clock_scope_only(path)
+    {
         rules.push(RuleId::L1);
     }
     if (path.starts_with("crates/mis/src/") || path.starts_with("crates/baselines/src/"))
@@ -93,6 +99,22 @@ pub fn rules_for(path: &str) -> Vec<RuleId> {
         rules.push(RuleId::L3);
     }
     rules
+}
+
+/// Paths where L1 enforces only its wall-clock subset (`Instant`,
+/// `SystemTime`): crate sources outside the full-determinism scope of
+/// [`rules_for`]. The `telemetry` crate is exempt — it wraps the wall clock
+/// behind `Stopwatch`/`PhaseTimer` precisely so nothing else has to touch
+/// `std::time` — and fixture/test trees (no `/src/` segment) stay out of
+/// scope entirely.
+fn wall_clock_scope_only(path: &str) -> bool {
+    path.starts_with("crates/")
+        && path.contains("/src/")
+        && !path.starts_with("crates/telemetry/src/")
+        && !path.starts_with("crates/beeping/src/")
+        && !path.starts_with("crates/mis/src/")
+        && !path.starts_with("crates/baselines/src/")
+        && !path.starts_with("crates/graphs/src/generators/")
 }
 
 /// Per-token structural context, computed in one pass.
@@ -235,6 +257,11 @@ fn push(
 /// instance, so any escape of their order — iteration, debug printing,
 /// `extend` — silently breaks bit-reproducibility per seed. Use `BTreeMap`/
 /// `BTreeSet` or sorted `Vec`s.
+///
+/// On [`wall_clock_scope_only`] paths (driver crates like `experiments` or
+/// `analysis`) only the wall-clock bans apply: those crates may keep hash
+/// containers for reporting, but raw `Instant`/`SystemTime` must be replaced
+/// with `telemetry::Stopwatch` so timing stays observational.
 fn check_determinism(
     file: &str,
     tokens: &[Token],
@@ -242,24 +269,30 @@ fn check_determinism(
     ctx: &Context,
     findings: &mut Vec<Finding>,
 ) {
+    const WALL_CLOCK: &[(&str, &str)] = &[
+        ("Instant", "wall clocks are nondeterministic; use telemetry::Stopwatch or rounds"),
+        ("SystemTime", "wall clocks are nondeterministic; use telemetry::Stopwatch or rounds"),
+    ];
     const BANNED: &[(&str, &str)] = &[
         ("thread_rng", "seed a Pcg64Mcg via beeping::rng instead of OS entropy"),
         ("from_entropy", "seed a Pcg64Mcg via beeping::rng instead of OS entropy"),
         ("OsRng", "seed a Pcg64Mcg via beeping::rng instead of OS entropy"),
-        ("Instant", "wall clocks are nondeterministic; time in rounds instead"),
-        ("SystemTime", "wall clocks are nondeterministic; time in rounds instead"),
+        ("Instant", "wall clocks are nondeterministic; use telemetry::Stopwatch or rounds"),
+        ("SystemTime", "wall clocks are nondeterministic; use telemetry::Stopwatch or rounds"),
         ("HashMap", "hash order is randomly keyed per process; use BTreeMap or a sorted Vec"),
         ("HashSet", "hash order is randomly keyed per process; use BTreeSet or a sorted Vec"),
     ];
+    let banned: &[(&str, &str)] = if wall_clock_scope_only(file) { WALL_CLOCK } else { BANNED };
     for (i, tok) in tokens.iter().enumerate() {
         if ctx.in_test[i] || tok.kind != TokenKind::Ident {
             continue;
         }
-        if let Some((name, why)) = BANNED.iter().find(|(name, _)| tok.text == *name) {
+        if let Some((name, why)) = banned.iter().find(|(name, _)| tok.text == *name) {
             push(findings, RuleId::L1, file, tok, lines, format!("use of `{name}`: {why}"));
         }
         // `rand::random` draws from the thread-local entropy RNG.
-        if tok.is_ident("rand")
+        if !wall_clock_scope_only(file)
+            && tok.is_ident("rand")
             && tokens.get(i + 1).is_some_and(|t| t.is_punct("::"))
             && tokens.get(i + 2).is_some_and(|t| t.is_ident("random"))
         {
@@ -437,9 +470,29 @@ mod tests {
         );
         assert_eq!(rules_for("crates/mis/src/levels.rs"), vec![RuleId::L1, RuleId::L3]);
         assert_eq!(rules_for("crates/graphs/src/generators/random.rs"), vec![RuleId::L1]);
-        assert_eq!(rules_for("crates/graphs/src/graph.rs"), Vec::<RuleId>::new());
-        assert_eq!(rules_for("crates/experiments/src/scale.rs"), Vec::<RuleId>::new());
+        // Driver/analysis crates get the wall-clock-only L1 subset.
+        assert_eq!(rules_for("crates/graphs/src/graph.rs"), vec![RuleId::L1]);
+        assert_eq!(rules_for("crates/experiments/src/scale.rs"), vec![RuleId::L1]);
         assert_eq!(rules_for("crates/beeping/src/sim.rs"), vec![RuleId::L1, RuleId::L3]);
+        // Telemetry is the sanctioned wall-clock home; tests/fixtures are
+        // out of scope entirely.
+        assert_eq!(rules_for("crates/telemetry/src/lib.rs"), Vec::<RuleId>::new());
+        assert_eq!(rules_for("crates/lint/tests/fixtures/l1_determinism.rs"), Vec::<RuleId>::new());
+    }
+
+    #[test]
+    fn wall_clock_subset_outside_core_scope() {
+        let clock = "use std::time::Instant;\nfn f() { let t = Instant::now(); }\n";
+        // Driver crate: Instant flagged (twice — use + call), hash maps not.
+        let f = run("crates/experiments/src/perf.rs", clock, &[RuleId::L1]);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f[0].message.contains("telemetry::Stopwatch"));
+        let hash = "fn f() { let m = std::collections::HashMap::new(); }";
+        assert!(run("crates/experiments/src/perf.rs", hash, &[RuleId::L1]).is_empty());
+        // Telemetry itself is never handed L1 by rules_for; even if it were,
+        // core scope still bans the full catalog elsewhere.
+        assert!(rules_for("crates/telemetry/src/lib.rs").is_empty());
+        assert_eq!(run("crates/beeping/src/sim.rs", hash, &[RuleId::L1]).len(), 1);
     }
 
     #[test]

@@ -35,11 +35,14 @@
 use beeping::byzantine::ByzantinePlan;
 use beeping::{EngineMode, Simulator};
 use graphs::{Graph, NodeId};
+use telemetry::{Event, Marker, MarkerKind, Telemetry};
 
 use crate::dynamics::{round_stats, RoundStats};
 use crate::levels::Level;
 use crate::recovery::claimed_mis;
-use crate::runner::{initial_levels, InitialLevels, RunConfig, SelfStabilizingMis};
+use crate::runner::{
+    emit_round_event, initial_levels, InitialLevels, RunConfig, SelfStabilizingMis,
+};
 
 /// BFS distance from every node to its nearest node in `byz` (multi-source
 /// BFS). Byzantine nodes are at distance `0`; nodes unreachable from every
@@ -225,6 +228,10 @@ pub struct ContainmentConfig {
     /// Delivery engine for the underlying simulator (bit-identical choices;
     /// see [`EngineMode`]).
     pub engine: EngineMode,
+    /// Telemetry handle (disabled by default): a Byzantine marker for the
+    /// installed plan, round events with correct-subgraph observables, and
+    /// a `containment.final_radius` gauge. Observational only.
+    pub telemetry: Telemetry,
 }
 
 impl ContainmentConfig {
@@ -239,6 +246,7 @@ impl ContainmentConfig {
             burn_in: 0,
             record_trajectory: false,
             engine: EngineMode::default(),
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -275,6 +283,12 @@ impl ContainmentConfig {
     /// Selects the simulator delivery engine.
     pub fn with_engine(mut self, engine: EngineMode) -> ContainmentConfig {
         self.engine = engine;
+        self
+    }
+
+    /// Attaches a telemetry handle.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> ContainmentConfig {
+        self.telemetry = telemetry;
         self
     }
 }
@@ -326,10 +340,25 @@ pub fn run_contained<A: SelfStabilizingMis>(
 ) -> ContainmentOutcome {
     let run_config = RunConfig::new(config.seed).with_init(config.init.clone());
     let levels = initial_levels(algo, &run_config);
+    let tele = config.telemetry.clone();
     let mut sim = Simulator::new(graph, algo.clone(), levels, config.seed)
         .with_byzantine(plan.clone())
-        .with_engine(config.engine);
+        .with_engine(config.engine)
+        .with_telemetry(tele.clone());
     let byz = plan.nodes();
+    if tele.is_enabled() {
+        tele.record(Event::RunStart {
+            label: "containment".into(),
+            n: graph.len() as u64,
+            seed: config.seed,
+        });
+        tele.record(Event::Marker(Marker {
+            round: 0,
+            kind: MarkerKind::Byzantine,
+            detail: "plan".into(),
+            magnitude: byz.len() as u64,
+        }));
+    }
     let dist = byz_distances(graph, &byz);
     let lmax = algo.policy().lmax_values();
     let mut trajectory = config.record_trajectory.then(Vec::new);
@@ -351,8 +380,40 @@ pub fn run_contained<A: SelfStabilizingMis>(
         if sim.round() >= config.max_rounds {
             break;
         }
-        sim.step();
+        let report = sim.step();
         radius = disruption_radius_with(algo, graph, sim.states(), sim.active(), &dist);
+        if tele.is_enabled() {
+            let in_mis = claimed_mis(algo, graph, sim.states(), sim.active());
+            let stable = graph
+                .nodes()
+                .filter(|&v| {
+                    sim.active()[v]
+                        && (in_mis[v] || graph.neighbors(v).iter().any(|&u| in_mis[u as usize]))
+                })
+                .count();
+            emit_round_event(
+                &tele,
+                &report,
+                sim.active_count() as u64,
+                graph.len() as u64,
+                in_mis.iter().filter(|&&m| m).count() as u64,
+                stable as u64,
+                sim.states(),
+            );
+        }
+    }
+
+    if tele.is_enabled() {
+        tele.gauge_set(
+            "containment.final_radius",
+            if radius == usize::MAX { f64::INFINITY } else { radius as f64 },
+        );
+        tele.record(Event::RunEnd {
+            rounds: sim.round(),
+            stabilized: contained_round.is_some(),
+            stabilization_round: contained_round,
+        });
+        tele.finish();
     }
 
     ContainmentOutcome {

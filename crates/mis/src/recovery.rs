@@ -29,11 +29,12 @@ use beeping::rng::aux_rng;
 use beeping::{EngineMode, Simulator};
 use graphs::Graph;
 use rand_pcg::Pcg64Mcg;
+use telemetry::{Event, Marker, MarkerKind, Telemetry};
 
 use crate::levels::Level;
 use crate::runner::{
-    corrupt_targets, initial_levels, random_level, InitialLevels, RunConfig, SelfStabilizingMis,
-    FAULT_RNG_PURPOSE,
+    corrupt_targets, emit_round_event, initial_levels, random_level, InitialLevels, RunConfig,
+    SelfStabilizingMis, FAULT_RNG_PURPOSE,
 };
 
 /// `I_t` restricted to the active subgraph: node `v` is a stable MIS member
@@ -211,6 +212,10 @@ pub struct NoisyRunConfig {
     /// Delivery engine for the underlying simulator (bit-identical choices;
     /// see [`EngineMode`]).
     pub engine: EngineMode,
+    /// Telemetry handle (disabled by default): round events with
+    /// active-aware observables, plus a fault/churn [`telemetry::Marker`]
+    /// per disturbance. Observational only.
+    pub telemetry: Telemetry,
 }
 
 impl NoisyRunConfig {
@@ -225,6 +230,7 @@ impl NoisyRunConfig {
             churn: ChurnPlan::new(),
             channel: ChannelFault::reliable(),
             engine: EngineMode::default(),
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -261,6 +267,12 @@ impl NoisyRunConfig {
     /// Selects the simulator delivery engine.
     pub fn with_engine(mut self, engine: EngineMode) -> NoisyRunConfig {
         self.engine = engine;
+        self
+    }
+
+    /// Attaches a telemetry handle.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> NoisyRunConfig {
+        self.telemetry = telemetry;
         self
     }
 }
@@ -417,10 +429,19 @@ pub fn run_noisy<A: SelfStabilizingMis>(
     }
     let run_config = RunConfig::new(config.seed).with_init(config.init.clone());
     let levels = initial_levels(algo, &run_config);
+    let tele = config.telemetry.clone();
     let mut sim = Simulator::new(graph, algo.clone(), levels, config.seed)
         .with_channel(config.channel.clone())
-        .with_engine(config.engine);
+        .with_engine(config.engine)
+        .with_telemetry(tele.clone());
     let mut fault_rng = aux_rng(config.seed, FAULT_RNG_PURPOSE);
+    if tele.is_enabled() {
+        tele.record(Event::RunStart {
+            label: "noisy".into(),
+            n: graph.len() as u64,
+            seed: config.seed,
+        });
+    }
 
     let last_event_round = config
         .faults
@@ -446,6 +467,14 @@ pub fn run_noisy<A: SelfStabilizingMis>(
         if events_pending {
             for fault in config.faults.events_after_round(r) {
                 let corrupted = corrupt_targets(&mut sim, algo, &fault.target, &mut fault_rng);
+                if tele.is_enabled() {
+                    tele.record(Event::Marker(Marker {
+                        round: r,
+                        kind: MarkerKind::Fault,
+                        detail: "corrupt".into(),
+                        magnitude: corrupted as u64,
+                    }));
+                }
                 events.push(
                     std::mem::replace(
                         &mut tracker,
@@ -458,6 +487,14 @@ pub fn run_noisy<A: SelfStabilizingMis>(
                 config.churn.events_after_round(r).map(|e| e.action.clone()).collect();
             for action in churn_actions {
                 apply_churn(&mut sim, algo, &action, &mut fault_rng);
+                if tele.is_enabled() {
+                    tele.record(Event::Marker(Marker {
+                        round: r,
+                        kind: MarkerKind::Churn,
+                        detail: churn_detail(&action).into(),
+                        magnitude: 1,
+                    }));
+                }
                 events.push(
                     std::mem::replace(
                         &mut tracker,
@@ -488,10 +525,48 @@ pub fn run_noisy<A: SelfStabilizingMis>(
                 r,
             );
         }
-        sim.step();
+        let report = sim.step();
+        if tele.is_enabled() {
+            let graph = sim.graph();
+            let in_mis = claimed_mis(algo, graph, sim.states(), sim.active());
+            let stable = graph
+                .nodes()
+                .filter(|&v| {
+                    sim.active()[v]
+                        && (in_mis[v] || graph.neighbors(v).iter().any(|&u| in_mis[u as usize]))
+                })
+                .count();
+            emit_round_event(
+                &tele,
+                &report,
+                sim.active_count() as u64,
+                graph.len() as u64,
+                in_mis.iter().filter(|&&m| m).count() as u64,
+                stable as u64,
+                sim.states(),
+            );
+        }
     };
 
+    if tele.is_enabled() {
+        tele.record(Event::RunEnd {
+            rounds: total_rounds,
+            stabilized,
+            stabilization_round: stabilized.then_some(total_rounds),
+        });
+        tele.finish();
+    }
     NoisyOutcome { events, total_rounds, stabilized, mis, active }
+}
+
+/// Stable lowercase name of a churn action for telemetry markers.
+fn churn_detail(action: &ChurnAction) -> &'static str {
+    match action {
+        ChurnAction::AddEdge(..) => "add_edge",
+        ChurnAction::RemoveEdge(..) => "remove_edge",
+        ChurnAction::NodeLeave(..) => "node_leave",
+        ChurnAction::NodeJoin(..) => "node_join",
+    }
 }
 
 #[cfg(test)]

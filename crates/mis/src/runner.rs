@@ -8,11 +8,12 @@
 
 use beeping::faults::{FaultPlan, FaultTarget};
 use beeping::rng::aux_rng;
-use beeping::trace::Trace;
+use beeping::trace::{RoundReport, Trace};
 use beeping::{BeepingProtocol, EngineMode, Simulator};
 use graphs::Graph;
 use rand::Rng;
 use rand_pcg::Pcg64Mcg;
+use telemetry::{Event, Marker, MarkerKind, RoundEvent, Telemetry};
 
 use crate::algorithm1::Algorithm1;
 use crate::algorithm2::Algorithm2;
@@ -109,6 +110,13 @@ pub struct RunConfig {
     /// bit-identical per seed; `Scalar` is the reference implementation kept
     /// for differential testing.
     pub engine: EngineMode,
+    /// Telemetry handle (disabled by default). When enabled, the run emits
+    /// a `RunStart`, one [`telemetry::RoundEvent`] per executed round
+    /// (counters, claimed-MIS and stable-set sizes, level histograms at the
+    /// configured stride), a fault [`telemetry::Marker`] per corruption
+    /// burst, and a closing `RunEnd` + metrics snapshot. Telemetry observes
+    /// only — enabling it never changes the run's outcome.
+    pub telemetry: Telemetry,
 }
 
 impl RunConfig {
@@ -122,6 +130,7 @@ impl RunConfig {
             faults: FaultPlan::new(),
             record_levels: false,
             engine: EngineMode::default(),
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -152,6 +161,12 @@ impl RunConfig {
     /// Selects the simulator delivery engine.
     pub fn with_engine(mut self, engine: EngineMode) -> RunConfig {
         self.engine = engine;
+        self
+    }
+
+    /// Attaches a telemetry handle.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> RunConfig {
+        self.telemetry = telemetry;
         self
     }
 }
@@ -301,8 +316,10 @@ pub fn run<A: SelfStabilizingMis>(
         panic!("invalid fault plan: {e}");
     }
     let levels = initial_levels(algo, &config);
-    let mut sim =
-        Simulator::new(graph, algo.clone(), levels, config.seed).with_engine(config.engine);
+    let tele = config.telemetry.clone();
+    let mut sim = Simulator::new(graph, algo.clone(), levels, config.seed)
+        .with_engine(config.engine)
+        .with_telemetry(tele.clone());
     if cfg!(debug_assertions) {
         let checker = crate::invariant::InvariantChecker::for_algorithm(algo);
         sim.set_invariant_hook(move |g, round, states| checker.check_round(g, round, states));
@@ -311,6 +328,14 @@ pub fn run<A: SelfStabilizingMis>(
     let mut trace = Trace::new();
     let mut history = config.record_levels.then(|| vec![sim.states().to_vec()]);
     let last_fault = config.faults.last_fault_round().unwrap_or(0);
+
+    if tele.is_enabled() {
+        tele.record(Event::RunStart {
+            label: "runner".into(),
+            n: graph.len() as u64,
+            seed: config.seed,
+        });
+    }
 
     // Apply any faults scheduled "after round 0" (i.e. corrupt the initial
     // configuration).
@@ -322,6 +347,9 @@ pub fn run<A: SelfStabilizingMis>(
     }
     while stabilized_at.is_none() && sim.round() < config.max_rounds {
         let report = sim.step();
+        if tele.is_enabled() {
+            emit_round(&tele, algo, graph, &sim, &report);
+        }
         trace.push(report);
         if let Some(h) = &mut history {
             h.push(sim.states().to_vec());
@@ -331,6 +359,14 @@ pub fn run<A: SelfStabilizingMis>(
         if sim.round() >= last_fault && algo.stabilized(graph, sim.states()) {
             stabilized_at = Some(sim.round());
         }
+    }
+    if tele.is_enabled() {
+        tele.record(Event::RunEnd {
+            rounds: sim.round(),
+            stabilized: stabilized_at.is_some(),
+            stabilization_round: stabilized_at.map(|round| round.saturating_sub(last_fault)),
+        });
+        tele.finish();
     }
     match stabilized_at {
         Some(round) => Ok(Outcome {
@@ -362,8 +398,91 @@ fn apply_faults<A: SelfStabilizingMis>(
     fault_rng: &mut Pcg64Mcg,
 ) {
     for event in config.faults.events_after_round(round) {
-        corrupt_targets(sim, algo, &event.target, fault_rng);
+        let corrupted = corrupt_targets(sim, algo, &event.target, fault_rng);
+        if config.telemetry.is_enabled() {
+            config.telemetry.record(Event::Marker(Marker {
+                round,
+                kind: MarkerKind::Fault,
+                detail: "corrupt".into(),
+                magnitude: corrupted as u64,
+            }));
+        }
     }
+}
+
+/// Sorted `(level, count)` histogram of a configuration — the telemetry
+/// stream's level snapshot format.
+pub(crate) fn level_histogram(levels: &[Level]) -> Vec<(i64, u64)> {
+    let mut histogram = std::collections::BTreeMap::new();
+    for &level in levels {
+        *histogram.entry(i64::from(level)).or_insert(0u64) += 1;
+    }
+    histogram.into_iter().collect()
+}
+
+/// Builds and records one [`RoundEvent`] from a [`RoundReport`] plus
+/// already-computed MIS observables, and accumulates the `trace.*` counter
+/// totals mirroring [`Trace`]'s aggregates. Shared by [`run`],
+/// [`crate::recovery::run_noisy`] and [`crate::containment::run_contained`].
+pub(crate) fn emit_round_event(
+    tele: &Telemetry,
+    report: &RoundReport,
+    active: u64,
+    n: u64,
+    in_mis: u64,
+    stable: u64,
+    levels: &[Level],
+) {
+    tele.record(Event::Round(RoundEvent {
+        round: report.round,
+        beeps_channel1: report.beeps_channel1 as u64,
+        beeps_channel2: report.beeps_channel2 as u64,
+        hearers_channel1: report.hearers_channel1 as u64,
+        hearers_channel2: report.hearers_channel2 as u64,
+        lone_beepers: report.lone_beepers as u64,
+        lone_beepers_channel2: report.lone_beepers_channel2 as u64,
+        active,
+        n,
+        in_mis: Some(in_mis),
+        stable: Some(stable),
+        levels: tele.sample_levels(report.round).then(|| level_histogram(levels)),
+    }));
+    tele.counter_add("trace.rounds", 1);
+    tele.counter_add("trace.beeps_c1", report.beeps_channel1 as u64);
+    tele.counter_add("trace.beeps_c2", report.beeps_channel2 as u64);
+    tele.counter_add("trace.hearers_c1", report.hearers_channel1 as u64);
+    tele.counter_add("trace.hearers_c2", report.hearers_channel2 as u64);
+    tele.counter_add("trace.lone_c1", report.lone_beepers as u64);
+    tele.counter_add("trace.lone_c2", report.lone_beepers_channel2 as u64);
+}
+
+/// Emits the runner's per-round telemetry event: the [`RoundReport`]
+/// counters plus claimed-MIS size, stable-set size (`S_t = I_t ∪ N(I_t)`,
+/// this algorithm's stability semantics) and — at the handle's sampling
+/// stride — a level histogram. Call only when `tele` is enabled; the
+/// observables cost O(n + m) per round.
+fn emit_round<A: SelfStabilizingMis>(
+    tele: &Telemetry,
+    algo: &A,
+    graph: &Graph,
+    sim: &Simulator<'_, A>,
+    report: &RoundReport,
+) {
+    let levels = sim.states();
+    let in_mis = algo.mis_of(graph, levels);
+    let stable = graph
+        .nodes()
+        .filter(|&v| in_mis[v] || graph.neighbors(v).iter().any(|&u| in_mis[u as usize]))
+        .count();
+    emit_round_event(
+        tele,
+        report,
+        sim.active_count() as u64,
+        graph.len() as u64,
+        in_mis.iter().filter(|&&m| m).count() as u64,
+        stable as u64,
+        levels,
+    );
 }
 
 /// Resolves `target` and overwrites each victim's level with a uniform draw

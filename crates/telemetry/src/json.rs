@@ -1,0 +1,528 @@
+//! Hand-rolled JSON for the JSONL sink and its round-trip tests.
+//!
+//! The workspace deliberately carries no serialization dependency (the
+//! locked dependency set is `rand`/`rand_pcg`/`proptest`/`criterion`), so
+//! this module provides the two halves the telemetry subsystem needs: a
+//! writer from [`Event`] to one-line JSON objects, and a small
+//! recursive-descent parser producing a generic [`Value`] tree for tests
+//! and downstream tooling that want to read a stream back.
+
+use crate::event::{Event, Marker, RoundEvent};
+use crate::metrics::MetricsSnapshot;
+
+/// Escapes `s` as the body of a JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn fmt_f64(x: f64) -> String {
+    if x.is_finite() {
+        let s = format!("{x}");
+        // Bare integers are valid JSON numbers, but keep a decimal point so
+        // readers that distinguish int/float lex gauges consistently.
+        if s.contains(['.', 'e', 'E']) {
+            s
+        } else {
+            format!("{s}.0")
+        }
+    } else {
+        "null".to_owned()
+    }
+}
+
+fn push_opt_u64(out: &mut String, key: &str, v: Option<u64>) {
+    if let Some(v) = v {
+        out.push_str(&format!(",\"{key}\":{v}"));
+    }
+}
+
+/// Serializes one event as a single-line JSON object (no trailing newline).
+///
+/// Every object carries a `"type"` discriminant:
+/// `run_start | round | marker | run_end | metrics`.
+pub fn event_to_json(event: &Event) -> String {
+    match event {
+        Event::RunStart { label, n, seed } => {
+            format!(
+                "{{\"type\":\"run_start\",\"label\":\"{}\",\"n\":{n},\"seed\":{seed}}}",
+                escape(label)
+            )
+        }
+        Event::Round(r) => round_to_json(r),
+        Event::Marker(m) => marker_to_json(m),
+        Event::RunEnd { rounds, stabilized, stabilization_round } => {
+            let mut out =
+                format!("{{\"type\":\"run_end\",\"rounds\":{rounds},\"stabilized\":{stabilized}");
+            push_opt_u64(&mut out, "stabilization_round", *stabilization_round);
+            out.push('}');
+            out
+        }
+        Event::Metrics(m) => metrics_to_json(m),
+    }
+}
+
+fn round_to_json(r: &RoundEvent) -> String {
+    let mut out = format!(
+        "{{\"type\":\"round\",\"round\":{},\"beeps_c1\":{},\"beeps_c2\":{},\"hearers_c1\":{},\"hearers_c2\":{},\"lone_c1\":{},\"lone_c2\":{},\"active\":{},\"n\":{}",
+        r.round,
+        r.beeps_channel1,
+        r.beeps_channel2,
+        r.hearers_channel1,
+        r.hearers_channel2,
+        r.lone_beepers,
+        r.lone_beepers_channel2,
+        r.active,
+        r.n,
+    );
+    push_opt_u64(&mut out, "in_mis", r.in_mis);
+    push_opt_u64(&mut out, "stable", r.stable);
+    if let Some(f) = r.stable_fraction() {
+        out.push_str(&format!(",\"stable_fraction\":{}", fmt_f64(f)));
+    }
+    if let Some(levels) = &r.levels {
+        out.push_str(",\"levels\":[");
+        for (i, (level, count)) in levels.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("[{level},{count}]"));
+        }
+        out.push(']');
+    }
+    out.push('}');
+    out
+}
+
+fn marker_to_json(m: &Marker) -> String {
+    format!(
+        "{{\"type\":\"marker\",\"round\":{},\"kind\":\"{}\",\"detail\":\"{}\",\"magnitude\":{}}}",
+        m.round,
+        m.kind.name(),
+        escape(&m.detail),
+        m.magnitude,
+    )
+}
+
+fn metrics_to_json(m: &MetricsSnapshot) -> String {
+    let mut out = String::from("{\"type\":\"metrics\",\"counters\":{");
+    for (i, (k, v)) in m.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\":{v}", escape(k)));
+    }
+    out.push_str("},\"gauges\":{");
+    for (i, (k, v)) in m.gauges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\":{}", escape(k), fmt_f64(*v)));
+    }
+    out.push_str("},\"timers_ns\":{");
+    for (i, (k, t)) in m.timers.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\"{}\":{{\"count\":{},\"total_ns\":{}}}",
+            escape(k),
+            t.count,
+            t.total_ns
+        ));
+    }
+    out.push_str("}}");
+    out
+}
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (counters up to 2^53 round-trip exactly).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, in source order.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Member of an object by key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as `u64`, when whole and in range.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(x) if *x >= 0.0 && x.fract() == 0.0 && *x <= 2f64.powi(53) => {
+                Some(*x as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// Numeric value as `i64`, when whole and in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Num(x) if x.fract() == 0.0 && x.abs() <= 2f64.powi(53) => Some(*x as i64),
+            _ => None,
+        }
+    }
+
+    /// Numeric value.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// String value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Boolean value.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Array elements.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one JSON document. Trailing non-whitespace is an error.
+pub fn parse(input: &str) -> Result<Value, String> {
+    let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing data at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') if self.eat_keyword("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Value::Bool(false)),
+            Some(b'n') if self.eat_keyword("null") => Ok(Value::Null),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            _ => Err(format!("unexpected input at byte {}", self.pos)),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let v = self.value()?;
+            members.push((key, v));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(members));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_owned()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                16,
+                            )
+                            .map_err(|_| "bad \\u escape")?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so the
+                    // byte stream is valid UTF-8).
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.pos < self.bytes.len() && (self.bytes[self.pos] & 0xC0) == 0x80 {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|e| e.to_string())?,
+                    );
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b) if b.is_ascii_digit() || b == b'.' || b == b'e' || b == b'E' || b == b'+' || b == b'-')
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())?;
+        text.parse::<f64>().map(Value::Num).map_err(|_| format!("bad number '{text}'"))
+    }
+}
+
+/// Parses one JSONL stream: one JSON object per non-empty line.
+pub fn parse_jsonl(input: &str) -> Result<Vec<Value>, String> {
+    input
+        .lines()
+        .filter(|line| !line.trim().is_empty())
+        .enumerate()
+        .map(|(i, line)| parse(line).map_err(|e| format!("line {}: {e}", i + 1)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::MarkerKind;
+
+    #[test]
+    fn escapes_and_parses_strings() {
+        let s = "a\"b\\c\nd\te\u{1}";
+        let json = format!("\"{}\"", escape(s));
+        assert_eq!(parse(&json).unwrap(), Value::Str(s.to_owned()));
+    }
+
+    #[test]
+    fn round_event_round_trips_through_json() {
+        let r = RoundEvent {
+            round: 7,
+            beeps_channel1: 3,
+            beeps_channel2: 1,
+            hearers_channel1: 9,
+            hearers_channel2: 2,
+            lone_beepers: 1,
+            lone_beepers_channel2: 0,
+            active: 20,
+            n: 24,
+            in_mis: Some(4),
+            stable: Some(12),
+            levels: Some(vec![(-3, 2), (0, 5), (4, 13)]),
+        };
+        let v = parse(&event_to_json(&Event::Round(r.clone()))).unwrap();
+        assert_eq!(v.get("type").unwrap().as_str(), Some("round"));
+        assert_eq!(v.get("round").unwrap().as_u64(), Some(7));
+        assert_eq!(v.get("beeps_c1").unwrap().as_u64(), Some(3));
+        assert_eq!(v.get("stable").unwrap().as_u64(), Some(12));
+        assert_eq!(v.get("stable_fraction").unwrap().as_f64(), Some(0.5));
+        let levels = v.get("levels").unwrap().as_array().unwrap();
+        assert_eq!(levels.len(), 3);
+        assert_eq!(levels[0].as_array().unwrap()[0].as_i64(), Some(-3));
+        assert_eq!(levels[2].as_array().unwrap()[1].as_u64(), Some(13));
+    }
+
+    #[test]
+    fn optional_fields_are_omitted() {
+        let v = parse(&event_to_json(&Event::Round(RoundEvent::default()))).unwrap();
+        assert_eq!(v.get("in_mis"), None);
+        assert_eq!(v.get("stable"), None);
+        assert_eq!(v.get("stable_fraction"), None);
+        assert_eq!(v.get("levels"), None);
+    }
+
+    #[test]
+    fn marker_and_lifecycle_events_serialize() {
+        let m = Event::Marker(Marker {
+            round: 40,
+            kind: MarkerKind::Churn,
+            detail: "node_leave".into(),
+            magnitude: 1,
+        });
+        let v = parse(&event_to_json(&m)).unwrap();
+        assert_eq!(v.get("kind").unwrap().as_str(), Some("churn"));
+        assert_eq!(v.get("magnitude").unwrap().as_u64(), Some(1));
+
+        let start = Event::RunStart { label: "NOISE".into(), n: 64, seed: 9 };
+        let v = parse(&event_to_json(&start)).unwrap();
+        assert_eq!(v.get("label").unwrap().as_str(), Some("NOISE"));
+
+        let end = Event::RunEnd { rounds: 100, stabilized: true, stabilization_round: Some(88) };
+        let v = parse(&event_to_json(&end)).unwrap();
+        assert_eq!(v.get("stabilized").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("stabilization_round").unwrap().as_u64(), Some(88));
+
+        let open = Event::RunEnd { rounds: 5, stabilized: false, stabilization_round: None };
+        let v = parse(&event_to_json(&open)).unwrap();
+        assert_eq!(v.get("stabilization_round"), None);
+    }
+
+    #[test]
+    fn metrics_event_serializes_maps() {
+        let snapshot = MetricsSnapshot {
+            counters: vec![("rounds".into(), 12)],
+            gauges: vec![("speedup".into(), 2.5)],
+            timers: vec![("sim.deliver".into(), crate::TimerStat { count: 3, total_ns: 900 })],
+        };
+        let v = parse(&event_to_json(&Event::Metrics(snapshot))).unwrap();
+        assert_eq!(v.get("counters").unwrap().get("rounds").unwrap().as_u64(), Some(12));
+        assert_eq!(v.get("gauges").unwrap().get("speedup").unwrap().as_f64(), Some(2.5));
+        let t = v.get("timers_ns").unwrap().get("sim.deliver").unwrap();
+        assert_eq!(t.get("count").unwrap().as_u64(), Some(3));
+        assert_eq!(t.get("total_ns").unwrap().as_u64(), Some(900));
+    }
+
+    #[test]
+    fn parser_handles_whitespace_nesting_and_errors() {
+        let v = parse(" { \"a\" : [ 1 , -2.5e1 , null , { } ] } ").unwrap();
+        let arr = v.get("a").unwrap().as_array().unwrap();
+        assert_eq!(arr[0].as_u64(), Some(1));
+        assert_eq!(arr[1].as_f64(), Some(-25.0));
+        assert_eq!(arr[2], Value::Null);
+        assert!(parse("{\"a\":1} junk").is_err());
+        assert!(parse("{\"a\"").is_err());
+        assert!(parse("[1,]").is_err());
+    }
+
+    #[test]
+    fn jsonl_parses_per_line() {
+        let text = "{\"a\":1}\n\n{\"b\":2}\n";
+        let docs = parse_jsonl(text).unwrap();
+        assert_eq!(docs.len(), 2);
+        assert_eq!(docs[1].get("b").unwrap().as_u64(), Some(2));
+        assert!(parse_jsonl("{\"a\":1}\nnope").is_err());
+    }
+}
