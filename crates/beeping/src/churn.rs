@@ -17,6 +17,38 @@
 
 use graphs::NodeId;
 
+/// Why a churn action is invalid for (or could not be applied to) a
+/// network of `n` nodes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChurnError {
+    /// An action references a node outside `0..n`.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: NodeId,
+        /// Network size.
+        n: usize,
+    },
+    /// An edge action names the same node twice (the beeping model is
+    /// defined on simple graphs) or a join lists the joining node as its
+    /// own neighbor.
+    SelfEdge(NodeId),
+}
+
+impl std::fmt::Display for ChurnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChurnError::NodeOutOfRange { node, n } => {
+                write!(f, "churn action references node {node}, but n={n}")
+            }
+            ChurnError::SelfEdge(v) => {
+                write!(f, "churn action creates a self edge at node {v}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ChurnError {}
+
 /// A single topology mutation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ChurnAction {
@@ -125,18 +157,33 @@ impl ChurnPlan {
         self.events.last().map(|e| e.after_round)
     }
 
-    /// Panics if any event references a node `>= n` — called by drivers
-    /// before execution so schedule typos fail fast.
-    pub fn validate(&self, n: usize) {
+    /// Checks every event against a network of `n` nodes: all touched node
+    /// ids must be in range and no edge action may form a self loop. Called
+    /// by drivers before execution so schedule typos fail fast — a plan
+    /// that passes here applies infallibly through the simulator's churn
+    /// API.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ChurnError`] found, in schedule order.
+    pub fn validate(&self, n: usize) -> Result<(), ChurnError> {
         for event in &self.events {
             for v in event.action.touched_nodes() {
-                assert!(
-                    v < n,
-                    "churn event at round {} references node {v}, but n={n}",
-                    event.after_round
-                );
+                if v >= n {
+                    return Err(ChurnError::NodeOutOfRange { node: v, n });
+                }
+            }
+            match &event.action {
+                ChurnAction::AddEdge(u, v) | ChurnAction::RemoveEdge(u, v) if u == v => {
+                    return Err(ChurnError::SelfEdge(*u));
+                }
+                ChurnAction::NodeJoin(v, neighbors) if neighbors.contains(v) => {
+                    return Err(ChurnError::SelfEdge(*v));
+                }
+                _ => {}
             }
         }
+        Ok(())
     }
 }
 
@@ -183,12 +230,29 @@ mod tests {
 
     #[test]
     fn validate_accepts_in_range() {
-        ChurnPlan::new().with_event(1, ChurnAction::NodeJoin(2, vec![0, 1])).validate(3);
+        assert_eq!(
+            ChurnPlan::new().with_event(1, ChurnAction::NodeJoin(2, vec![0, 1])).validate(3),
+            Ok(())
+        );
     }
 
     #[test]
-    #[should_panic(expected = "references node 7")]
     fn validate_rejects_out_of_range() {
-        ChurnPlan::new().with_event(1, ChurnAction::AddEdge(0, 7)).validate(3);
+        assert_eq!(
+            ChurnPlan::new().with_event(1, ChurnAction::AddEdge(0, 7)).validate(3),
+            Err(ChurnError::NodeOutOfRange { node: 7, n: 3 })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_self_edges() {
+        assert_eq!(
+            ChurnPlan::new().with_event(1, ChurnAction::AddEdge(2, 2)).validate(3),
+            Err(ChurnError::SelfEdge(2))
+        );
+        assert_eq!(
+            ChurnPlan::new().with_event(1, ChurnAction::NodeJoin(1, vec![0, 1])).validate(3),
+            Err(ChurnError::SelfEdge(1))
+        );
     }
 }

@@ -75,7 +75,7 @@ pub mod trace;
 
 pub use byzantine::{ByzantineBehavior, ByzantineError, ByzantinePlan, Resurrect};
 pub use channel::{BurstNoise, ChannelFault, ChannelState, JammerKind};
-pub use churn::{ChurnAction, ChurnEvent, ChurnPlan};
+pub use churn::{ChurnAction, ChurnError, ChurnEvent, ChurnPlan};
 pub use faults::{FaultError, FaultPlan, FaultTarget, TransientFault};
 pub use protocol::{BeepSignal, BeepingProtocol, Channels};
-pub use sim::{DuplexMode, EngineMode, Simulator};
+pub use sim::{Checkpoint, DuplexMode, EngineMode, RestoreError, Simulator};

@@ -41,6 +41,23 @@ pub fn aux_rng(master_seed: u64, purpose: u64) -> Pcg64Mcg {
     Pcg64Mcg::seed_from_u64(mixed)
 }
 
+/// The exact stream position of a generator, as a raw 128-bit state word —
+/// the serialization half of durable snapshots. Round-trips through
+/// [`pcg_from_state`].
+///
+/// This is the single place the workspace touches the vendored
+/// `rand_pcg`'s state accessors (upstream gates the equivalent behind its
+/// `serde1` feature); keep any future serialization change confined here.
+pub fn pcg_state(rng: &Pcg64Mcg) -> u128 {
+    rng.state()
+}
+
+/// Rebuilds a generator at an exact stream position captured by
+/// [`pcg_state`] — the deserialization half of durable snapshots.
+pub fn pcg_from_state(state: u128) -> Pcg64Mcg {
+    Pcg64Mcg::from_state(state)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -86,6 +103,18 @@ mod tests {
         // stream.
         let same = (0..8).all(|_| aux.gen::<u64>() == node.gen::<u64>());
         assert!(!same);
+    }
+
+    #[test]
+    fn pcg_state_round_trips_mid_stream() {
+        let mut rng = node_rng(42, 3);
+        for _ in 0..5 {
+            rng.gen::<u64>();
+        }
+        let mut restored = pcg_from_state(pcg_state(&rng));
+        for _ in 0..16 {
+            assert_eq!(rng.gen::<u64>(), restored.gen::<u64>());
+        }
     }
 
     #[test]

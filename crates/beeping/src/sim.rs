@@ -8,6 +8,7 @@ use rand_pcg::Pcg64Mcg;
 
 use crate::byzantine::{ByzantineBehavior, ByzantinePlan};
 use crate::channel::{ChannelFault, ChannelState, JammerKind};
+use crate::churn::ChurnError;
 use crate::protocol::{BeepSignal, BeepingProtocol};
 use crate::rng;
 use crate::trace::RoundReport;
@@ -175,6 +176,50 @@ impl<'g, P: BeepingProtocol> Simulator<'g, P> {
         let n = graph.len();
         Simulator {
             graph: Cow::Borrowed(graph),
+            protocol,
+            states: initial_states,
+            rngs: rng::node_rngs(seed, n),
+            round: 0,
+            sent: vec![BeepSignal::silent(); n],
+            heard: vec![BeepSignal::silent(); n],
+            duplex: DuplexMode::Full,
+            channel: ChannelFault::reliable(),
+            channel_state: ChannelState::default(),
+            channel_rng: rng::aux_rng(seed, CHANNEL_RNG_PURPOSE),
+            byzantine: ByzantinePlan::new(),
+            byz: vec![None; n],
+            byz_rng: rng::aux_rng(seed, BYZ_RNG_PURPOSE),
+            active: vec![true; n],
+            engine: EngineMode::default(),
+            scatter_heard1: Vec::new(),
+            scatter_heard2: Vec::new(),
+            scatter_sent1: Vec::new(),
+            scatter_sent2: Vec::new(),
+            hook: InvariantHook(None),
+            telemetry: Telemetry::disabled(),
+        }
+    }
+
+    /// Like [`Simulator::new`] but takes ownership of the graph, producing
+    /// a `'static` simulator that can be stored, moved across threads or
+    /// rebuilt from a durable snapshot without tying it to a borrowed
+    /// topology. Behavior is otherwise identical — the owned graph is the
+    /// initial copy-on-write state, exactly as if churn had already forced
+    /// a private copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial_states.len() != graph.len()`.
+    pub fn new_owned(
+        graph: Graph,
+        protocol: P,
+        initial_states: Vec<P::State>,
+        seed: u64,
+    ) -> Simulator<'static, P> {
+        assert_eq!(initial_states.len(), graph.len(), "one initial state per node is required");
+        let n = graph.len();
+        Simulator {
+            graph: Cow::Owned(graph),
             protocol,
             states: initial_states,
             rngs: rng::node_rngs(seed, n),
@@ -410,22 +455,45 @@ impl<'g, P: BeepingProtocol> Simulator<'g, P> {
     /// the borrowed input graph is never modified). Returns `true` if the
     /// edge was new.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if an endpoint is out of range or `u == v` — a malformed churn
-    /// schedule is a model violation, not a recoverable condition.
-    pub fn insert_edge(&mut self, u: NodeId, v: NodeId) -> bool {
-        self.graph.to_mut().insert_edge(u, v).expect("churn edge must be a valid simple edge")
+    /// [`ChurnError::NodeOutOfRange`] if an endpoint is `>= n`,
+    /// [`ChurnError::SelfEdge`] if `u == v`; the topology is unchanged on
+    /// error.
+    pub fn insert_edge(&mut self, u: NodeId, v: NodeId) -> Result<bool, ChurnError> {
+        self.check_churn_edge(u, v)?;
+        match self.graph.to_mut().insert_edge(u, v) {
+            Ok(inserted) => Ok(inserted),
+            // Both graph-level failure modes are pre-checked above; map
+            // defensively rather than unwrap so a future GraphError variant
+            // cannot reintroduce a panic path.
+            Err(_) => Err(ChurnError::SelfEdge(u)),
+        }
     }
 
     /// Topology churn: removes the undirected edge `{u, v}`; returns `true`
     /// if it was present.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if an endpoint is out of range.
-    pub fn remove_edge(&mut self, u: NodeId, v: NodeId) -> bool {
-        self.graph.to_mut().remove_edge(u, v)
+    /// [`ChurnError::NodeOutOfRange`] if an endpoint is `>= n`; the
+    /// topology is unchanged on error.
+    pub fn remove_edge(&mut self, u: NodeId, v: NodeId) -> Result<bool, ChurnError> {
+        self.check_churn_edge(u, v)?;
+        Ok(self.graph.to_mut().remove_edge(u, v))
+    }
+
+    fn check_churn_edge(&self, u: NodeId, v: NodeId) -> Result<(), ChurnError> {
+        let n = self.graph.len();
+        for node in [u, v] {
+            if node >= n {
+                return Err(ChurnError::NodeOutOfRange { node, n });
+            }
+        }
+        if u == v {
+            return Err(ChurnError::SelfEdge(u));
+        }
+        Ok(())
     }
 
     /// Topology churn: node `v` departs. All its incident edges are removed
@@ -433,10 +501,15 @@ impl<'g, P: BeepingProtocol> Simulator<'g, P> {
     /// [`Simulator::node_join`] brings it back. Returns the number of edges
     /// removed. Idempotent for an already-departed node.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `v` is out of range.
-    pub fn node_leave(&mut self, v: NodeId) -> usize {
+    /// [`ChurnError::NodeOutOfRange`] if `v >= n`; the execution is
+    /// unchanged on error.
+    pub fn node_leave(&mut self, v: NodeId) -> Result<usize, ChurnError> {
+        let n = self.graph.len();
+        if v >= n {
+            return Err(ChurnError::NodeOutOfRange { node: v, n });
+        }
         let removed = self.graph.to_mut().isolate_node(v);
         self.active[v] = false;
         // A departed node must not keep advertising its last round: clear
@@ -445,24 +518,46 @@ impl<'g, P: BeepingProtocol> Simulator<'g, P> {
         // exists.
         self.sent[v] = BeepSignal::silent();
         self.heard[v] = BeepSignal::silent();
-        removed
+        Ok(removed)
     }
 
     /// Topology churn: node `v` (re)joins with edges to `neighbors` and the
     /// given state (a joining node boots with *arbitrary* RAM — pass
     /// whatever the adversary chooses). Edges already present are kept.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `v` or a neighbor is out of range, or `neighbors` contains
-    /// `v` itself.
-    pub fn node_join(&mut self, v: NodeId, neighbors: &[NodeId], state: P::State) {
+    /// [`ChurnError::NodeOutOfRange`] if `v` or a neighbor is `>= n`,
+    /// [`ChurnError::SelfEdge`] if `neighbors` contains `v`. Validation
+    /// happens before any mutation, so a failed join leaves the execution
+    /// unchanged.
+    pub fn node_join(
+        &mut self,
+        v: NodeId,
+        neighbors: &[NodeId],
+        state: P::State,
+    ) -> Result<(), ChurnError> {
+        let n = self.graph.len();
+        if v >= n {
+            return Err(ChurnError::NodeOutOfRange { node: v, n });
+        }
+        for &u in neighbors {
+            if u >= n {
+                return Err(ChurnError::NodeOutOfRange { node: u, n });
+            }
+            if u == v {
+                return Err(ChurnError::SelfEdge(v));
+            }
+        }
         let graph = self.graph.to_mut();
         for &u in neighbors {
-            graph.insert_edge(v, u).expect("churn join edge must be a valid simple edge");
+            // Endpoints are validated above; `insert_edge` only reports
+            // conditions that validation already excluded.
+            let _ = graph.insert_edge(v, u);
         }
         self.active[v] = true;
         self.states[v] = state;
+        Ok(())
     }
 
     /// `true` if `v` currently participates (has not departed via
@@ -951,15 +1046,21 @@ impl<'g, P: BeepingProtocol> Simulator<'g, P> {
     /// channel configuration reproduces the original continuation exactly,
     /// including any topology churn applied before the capture.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the checkpoint was taken on a different-sized network.
-    pub fn restore(&mut self, checkpoint: &Checkpoint<P::State>) {
-        assert_eq!(
-            checkpoint.states.len(),
-            self.graph.len(),
-            "checkpoint belongs to a different network"
-        );
+    /// [`RestoreError::SizeMismatch`] if the checkpoint was taken on a
+    /// different-sized network, [`RestoreError::Inconsistent`] if the
+    /// checkpoint's own vectors disagree with each other (a hand-built or
+    /// deserialized checkpoint gone wrong). The simulator is unchanged on
+    /// error.
+    pub fn restore(&mut self, checkpoint: &Checkpoint<P::State>) -> Result<(), RestoreError> {
+        if checkpoint.states.len() != self.graph.len() {
+            return Err(RestoreError::SizeMismatch {
+                checkpoint_nodes: checkpoint.states.len(),
+                simulator_nodes: self.graph.len(),
+            });
+        }
+        checkpoint.check_consistent()?;
         self.states = checkpoint.states.clone();
         self.rngs = checkpoint.rngs.clone();
         self.round = checkpoint.round;
@@ -970,8 +1071,42 @@ impl<'g, P: BeepingProtocol> Simulator<'g, P> {
         self.channel_state = checkpoint.channel_state;
         self.channel_rng = checkpoint.channel_rng.clone();
         self.byz_rng = checkpoint.byz_rng.clone();
+        Ok(())
     }
 }
+
+/// Why a [`Checkpoint`] could not be restored (see [`Simulator::restore`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RestoreError {
+    /// The checkpoint was captured on a network of a different size.
+    SizeMismatch {
+        /// Node count recorded in the checkpoint.
+        checkpoint_nodes: usize,
+        /// Node count of the simulator being restored.
+        simulator_nodes: usize,
+    },
+    /// The checkpoint's own vectors disagree with each other — possible
+    /// only for a checkpoint assembled via [`Checkpoint::from_parts`]
+    /// (e.g. deserialized from a corrupted snapshot).
+    Inconsistent(String),
+}
+
+impl std::fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RestoreError::SizeMismatch { checkpoint_nodes, simulator_nodes } => write!(
+                f,
+                "checkpoint belongs to a different network: \
+                 {checkpoint_nodes} nodes captured, simulator has {simulator_nodes}"
+            ),
+            RestoreError::Inconsistent(detail) => {
+                write!(f, "checkpoint is internally inconsistent: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RestoreError {}
 
 /// A captured execution point of a [`Simulator`]; see
 /// [`Simulator::checkpoint`].
@@ -998,6 +1133,99 @@ impl<S> Checkpoint<S> {
     /// The captured node states.
     pub fn states(&self) -> &[S] {
         &self.states
+    }
+
+    /// The captured per-node RNG streams, indexed by node id.
+    pub fn rngs(&self) -> &[Pcg64Mcg] {
+        &self.rngs
+    }
+
+    /// The captured last-round transmissions.
+    pub fn sent(&self) -> &[BeepSignal] {
+        &self.sent
+    }
+
+    /// The captured last-round observations.
+    pub fn heard(&self) -> &[BeepSignal] {
+        &self.heard
+    }
+
+    /// The captured (possibly churned) topology.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The captured participation bitmap.
+    pub fn active(&self) -> &[bool] {
+        &self.active
+    }
+
+    /// The captured channel-noise execution state (burst-window position).
+    pub fn channel_state(&self) -> ChannelState {
+        self.channel_state
+    }
+
+    /// The captured channel-noise RNG stream.
+    pub fn channel_rng(&self) -> &Pcg64Mcg {
+        &self.channel_rng
+    }
+
+    /// The captured Byzantine-behavior RNG stream.
+    pub fn byz_rng(&self) -> &Pcg64Mcg {
+        &self.byz_rng
+    }
+
+    /// Assembles a checkpoint from externally held parts — the inverse of
+    /// the accessor set, used by durable-snapshot codecs to rebuild a
+    /// checkpoint after deserialization. The parts are validated against
+    /// each other on [`Simulator::restore`], not here, so a codec can
+    /// surface a typed [`RestoreError`] instead of a panic.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts(
+        states: Vec<S>,
+        rngs: Vec<Pcg64Mcg>,
+        round: u64,
+        sent: Vec<BeepSignal>,
+        heard: Vec<BeepSignal>,
+        graph: Graph,
+        active: Vec<bool>,
+        channel_state: ChannelState,
+        channel_rng: Pcg64Mcg,
+        byz_rng: Pcg64Mcg,
+    ) -> Checkpoint<S> {
+        Checkpoint {
+            states,
+            rngs,
+            round,
+            sent,
+            heard,
+            graph,
+            active,
+            channel_state,
+            channel_rng,
+            byz_rng,
+        }
+    }
+
+    /// Cross-checks the checkpoint's vectors against each other; every
+    /// simulator-captured checkpoint passes by construction.
+    fn check_consistent(&self) -> Result<(), RestoreError> {
+        let n = self.states.len();
+        let fields = [
+            ("rngs", self.rngs.len()),
+            ("sent", self.sent.len()),
+            ("heard", self.heard.len()),
+            ("graph", self.graph.len()),
+            ("active", self.active.len()),
+        ];
+        for (name, len) in fields {
+            if len != n {
+                return Err(RestoreError::Inconsistent(format!(
+                    "{name} covers {len} nodes but states covers {n}"
+                )));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -1176,7 +1404,7 @@ mod tests {
         sim.run(30);
         let final_a = sim.states().to_vec();
         // Rewind and replay.
-        sim.restore(&cp);
+        sim.restore(&cp).unwrap();
         assert_eq!(sim.round(), 20);
         assert_eq!(sim.states(), cp.states());
         sim.run(30);
@@ -1366,13 +1594,13 @@ mod tests {
         let mut sim = Simulator::new(&g, Parity, vec![0, 0], 0);
         sim.step();
         assert_eq!(sim.states(), &[0, 0]);
-        assert!(sim.insert_edge(0, 1));
-        assert!(!sim.insert_edge(0, 1)); // idempotent
+        assert_eq!(sim.insert_edge(0, 1), Ok(true));
+        assert_eq!(sim.insert_edge(0, 1), Ok(false)); // idempotent
         assert_eq!(sim.graph().degree(0), 1);
         sim.step();
         assert_eq!(sim.states(), &[1, 1]);
-        assert!(sim.remove_edge(0, 1));
-        assert!(!sim.remove_edge(0, 1));
+        assert_eq!(sim.remove_edge(0, 1), Ok(true));
+        assert_eq!(sim.remove_edge(0, 1), Ok(false));
         sim.step();
         assert_eq!(sim.states(), &[1, 1]);
         // The borrowed input graph is untouched (copy-on-write).
@@ -1384,16 +1612,16 @@ mod tests {
         let g = classic::path(3); // 0 - 1 - 2
         let mut sim = Simulator::new(&g, Parity, vec![0, 0, 0], 0);
         assert_eq!(sim.active_count(), 3);
-        assert_eq!(sim.node_leave(1), 2);
+        assert_eq!(sim.node_leave(1), Ok(2));
         assert!(!sim.is_active(1));
         assert_eq!(sim.active_count(), 2);
-        assert_eq!(sim.node_leave(1), 0); // idempotent
+        assert_eq!(sim.node_leave(1), Ok(0)); // idempotent
         sim.step();
         // The departed middle node is frozen; the endpoints are isolated.
         assert_eq!(sim.states(), &[0, 0, 0]);
         assert!(sim.last_sent()[1].is_silent());
         // Rejoin with fresh (adversarial) state and both edges back.
-        sim.node_join(1, &[0, 2], 0);
+        sim.node_join(1, &[0, 2], 0).unwrap();
         assert!(sim.is_active(1));
         assert_eq!(sim.graph().degree(1), 2);
         sim.step();
@@ -1410,7 +1638,7 @@ mod tests {
         sim.step(); // both beep and hear each other
         assert!(sim.last_sent()[1].on_channel1());
         assert!(sim.last_heard()[1].on_channel1());
-        sim.node_leave(1);
+        sim.node_leave(1).unwrap();
         assert!(sim.last_sent()[1].is_silent());
         assert!(sim.last_heard()[1].is_silent());
         // The survivor's signals are untouched.
@@ -1607,7 +1835,7 @@ mod tests {
         let cp = sim.checkpoint();
         sim.run(25);
         let final_a = sim.states().to_vec();
-        sim.restore(&cp);
+        sim.restore(&cp).unwrap();
         sim.run(25);
         assert_eq!(sim.states(), final_a.as_slice());
     }
@@ -1619,7 +1847,7 @@ mod tests {
         let g = classic::path(2);
         let mut sim = Simulator::new(&g, Parity, vec![1, 0], 0)
             .with_byzantine(ByzantinePlan::new().with_behavior(0, ByzantineBehavior::StuckBeep));
-        sim.node_leave(0);
+        sim.node_leave(0).unwrap();
         sim.step();
         assert!(sim.last_sent()[0].is_silent());
         assert_eq!(*sim.state(1), 0); // heard nothing: its neighbor departed
@@ -1649,22 +1877,22 @@ mod tests {
         let mut sim = Simulator::new(&g, Parity, vec![0; 6], 13)
             .with_channel(ChannelFault::reliable().with_drop(0.3));
         sim.run(10);
-        sim.remove_edge(0, 1);
-        sim.node_leave(3);
+        sim.remove_edge(0, 1).unwrap();
+        sim.node_leave(3).unwrap();
         sim.run(5);
         let cp = sim.checkpoint();
-        sim.insert_edge(0, 1);
+        sim.insert_edge(0, 1).unwrap();
         sim.run(20);
         let final_a = sim.states().to_vec();
         let round_a = sim.round();
         // Restore must bring back the churned topology, the active mask and
         // the channel-RNG position, so the replay (with the same later
         // churn) reproduces the continuation exactly.
-        sim.restore(&cp);
+        sim.restore(&cp).unwrap();
         assert_eq!(sim.round(), 15);
         assert_eq!(sim.graph().degree(3), 0);
         assert!(!sim.is_active(3));
-        sim.insert_edge(0, 1);
+        sim.insert_edge(0, 1).unwrap();
         sim.run(20);
         assert_eq!(sim.states(), final_a.as_slice());
         assert_eq!(sim.round(), round_a);

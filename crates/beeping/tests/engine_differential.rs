@@ -70,14 +70,14 @@ enum ChurnOp {
 fn apply_churn(sim: &mut Simulator<'_, RandomProbe>, op: &ChurnOp) {
     match op {
         ChurnOp::Leave(v) => {
-            sim.node_leave(*v);
+            sim.node_leave(*v).unwrap();
         }
-        ChurnOp::Join(v, neighbors) => sim.node_join(*v, neighbors, 7),
+        ChurnOp::Join(v, neighbors) => sim.node_join(*v, neighbors, 7).unwrap(),
         ChurnOp::RemoveEdge(u, v) => {
-            sim.remove_edge(*u, *v);
+            sim.remove_edge(*u, *v).unwrap();
         }
         ChurnOp::InsertEdge(u, v) => {
-            sim.insert_edge(*u, *v);
+            sim.insert_edge(*u, *v).unwrap();
         }
     }
 }

@@ -81,7 +81,7 @@ fn checkpoint_preserves_sleep_counters() {
     assert_eq!(cp.states()[0].remaining_sleep, 6);
     sim.run(10);
     assert!(sim.state(0).is_awake());
-    sim.restore(&cp);
+    sim.restore(&cp).unwrap();
     assert_eq!(sim.state(0).remaining_sleep, 6);
     sim.run(10);
     assert!(sim.state(0).is_awake());

@@ -24,6 +24,7 @@
 //! | `ABL-HD` ([`ablation_duplex`]) | model ablation: full vs half duplex |
 //! | `SCALE` ([`scale`]) | practicality at large n |
 //! | `PERF` ([`perf`]) | round-engine throughput: scalar vs scatter |
+//! | `RESIL` ([`resilience`]) | resilient harness: checkpoint overhead + crash-resume fidelity |
 //! | `ENERGY` ([`energy`]) | beep (radio-energy) complexity |
 //! | `DYN` ([`dyn_trajectory`]) | convergence trajectory of one execution |
 //! | `EXT-ADAPT` ([`ext_adaptive`]) | §8's open question: knowledge-free adaptive variant |
@@ -52,6 +53,7 @@ pub mod lemma67;
 pub mod noise;
 pub mod perf;
 pub mod recovery;
+pub mod resilience;
 pub mod scale;
 pub mod thm21;
 pub mod thm22;
@@ -136,6 +138,11 @@ pub fn all_experiments() -> Vec<Experiment> {
         Experiment::new("ABL-HD", "Model ablation: full vs half duplex", ablation_duplex::run),
         Experiment::new("SCALE", "Scalability on large graphs", scale::run),
         Experiment::new("PERF", "Round-engine throughput: scalar vs scatter", perf::run),
+        Experiment::new(
+            "RESIL",
+            "Resilient harness: checkpoint overhead + crash-resume fidelity",
+            resilience::run,
+        ),
         Experiment::new("ENERGY", "Beep (radio-energy) complexity", energy::run),
         Experiment::new("DYN", "Convergence trajectory of one execution", dyn_trajectory::run)
             .with_telemetry(dyn_trajectory::run_with),

@@ -1,0 +1,352 @@
+//! Experiment `RESIL` — checkpoint overhead and crash-resume fidelity of
+//! the resilient harness (`crates/harness`).
+//!
+//! *Claim under test*: supervising a run — periodic durable snapshots every
+//! k rounds plus panic isolation — is cheap enough to leave on for every
+//! long experiment (≤ 5% wall-clock overhead at k = 1024 on the PERF quick
+//! workload), and a run killed at an arbitrary round and resumed from its
+//! snapshot is bit-identical to one that never stopped.
+//!
+//! *Measurements*: a fixed-length Algorithm 1 workload (the stabilization
+//! check is pinned past round R by a trailing one-node fault, so bare and
+//! supervised executions cover exactly the same rounds) timed bare vs
+//! supervised at several checkpoint cadences; then a kill/resume round trip
+//! through the crash rig with a digest comparison against the straight run.
+//!
+//! *Artifacts*: the report table, plus `results/BENCH_HARNESS.json` (one
+//! entry per cadence with both times and the overhead fraction) when a
+//! `results/` directory exists — the resilience companion of
+//! `BENCH_PERF.json`.
+//!
+//! *Expected shape*: overhead falls as the cadence grows; at k = 1024 it is
+//! within the 5% acceptance bound, and the digests match exactly.
+
+use std::fmt::Write as _;
+
+use beeping::faults::{FaultPlan, FaultTarget};
+use graphs::generators::GraphFamily;
+use graphs::Graph;
+use harness::crash::killed_then_resumed;
+use harness::snapshot::fnv1a64;
+use harness::supervisor::{supervise, RunOutcome, SupervisorConfig};
+use mis::resumable::{ResumableConfig, ResumableOutcome, ResumableRun};
+use mis::{Algorithm1, LmaxPolicy};
+use telemetry::Stopwatch;
+
+/// Workload size: the PERF quick scale (and one notch above for the full
+/// run). Overhead is a ratio of snapshot cost (O(n + trace)) to round cost
+/// (O(n·deg)), so the acceptance bound is only meaningful at sizes where a
+/// round does real work — tiny graphs make any checkpoint look expensive.
+pub fn workload_n(quick: bool) -> usize {
+    if quick {
+        1 << 12
+    } else {
+        1 << 14
+    }
+}
+
+/// Fixed round count both the bare and the supervised run execute.
+pub fn workload_rounds(quick: bool) -> u64 {
+    if quick {
+        2_048
+    } else {
+        4_096
+    }
+}
+
+/// Timing repetitions per measurement (min is kept, the standard guard
+/// against scheduler noise).
+pub fn timing_reps(quick: bool) -> usize {
+    if quick {
+        2
+    } else {
+        3
+    }
+}
+
+/// The cadences measured; 1024 is the acceptance point.
+pub fn cadences(quick: bool) -> Vec<u64> {
+    if quick {
+        vec![256, 1024]
+    } else {
+        vec![128, 256, 1024, 4096]
+    }
+}
+
+/// The run configuration of the workload: a trailing single-node fault at
+/// round `rounds` pins `last_event_round`, so stabilization is not judged
+/// (and the run cannot end) before the full `rounds` are executed — every
+/// measured execution covers exactly the same work.
+pub fn workload_config(seed: u64, rounds: u64) -> ResumableConfig {
+    ResumableConfig::new(seed)
+        .with_max_rounds(rounds * 4)
+        .with_faults(FaultPlan::new().with_fault(rounds, FaultTarget::Nodes(vec![0])))
+}
+
+fn workload_graph(n: usize) -> Graph {
+    GraphFamily::Gnp { avg_degree: 8.0 }.generate(n, crate::common::graph_seed(0))
+}
+
+/// A deterministic digest of a run's observables — levels, MIS,
+/// participation and the full per-round trace — used to compare runs
+/// across process boundaries (the CI smoke job greps for it).
+pub fn outcome_digest(outcome: &ResumableOutcome) -> u64 {
+    let mut canonical = String::new();
+    let _ = write!(
+        canonical,
+        "rounds={};levels={:?};mis={:?};active={:?};trace=",
+        outcome.rounds_run, outcome.levels, outcome.mis, outcome.active
+    );
+    for r in outcome.trace.reports() {
+        let _ = write!(
+            canonical,
+            "[{},{},{},{},{},{},{}]",
+            r.round,
+            r.beeps_channel1,
+            r.beeps_channel2,
+            r.hearers_channel1,
+            r.hearers_channel2,
+            r.lone_beepers,
+            r.lone_beepers_channel2
+        );
+    }
+    fnv1a64(canonical.as_bytes())
+}
+
+/// One measured cadence point.
+pub struct OverheadPoint {
+    /// Checkpoint cadence in rounds.
+    pub every: u64,
+    /// Bare (unsupervised) wall-clock seconds.
+    pub bare_secs: f64,
+    /// Supervised wall-clock seconds (durable checkpoints to disk).
+    pub supervised_secs: f64,
+    /// Durable snapshots written.
+    pub checkpoints: u64,
+    /// Size of the final snapshot file in bytes.
+    pub snapshot_bytes: u64,
+}
+
+impl OverheadPoint {
+    /// Relative overhead of supervision, `(supervised - bare) / bare`.
+    pub fn overhead_frac(&self) -> f64 {
+        (self.supervised_secs - self.bare_secs) / self.bare_secs.max(1e-9)
+    }
+}
+
+fn bare_run(g: &Graph, algo: &Algorithm1, config: ResumableConfig) -> (ResumableOutcome, f64) {
+    let watch = Stopwatch::start();
+    let mut run = ResumableRun::new(g, algo, config).expect("valid workload plans");
+    run.run_to_completion();
+    let secs = watch.elapsed_secs();
+    (run.outcome().expect("finished"), secs)
+}
+
+/// Times the bare workload `reps` times and keeps the fastest (scheduler
+/// noise only ever slows a run down).
+pub fn measure_bare(
+    g: &Graph,
+    algo: &Algorithm1,
+    config: &ResumableConfig,
+    reps: usize,
+) -> (ResumableOutcome, f64) {
+    let mut best: Option<(ResumableOutcome, f64)> = None;
+    for _ in 0..reps.max(1) {
+        let (outcome, secs) = bare_run(g, algo, config.clone());
+        if best.as_ref().is_none_or(|(_, b)| secs < *b) {
+            best = Some((outcome, secs));
+        }
+    }
+    best.expect("reps >= 1")
+}
+
+/// Measures one cadence (best of `reps` supervised runs) against the
+/// already-timed bare outcome, asserting the observables agree before
+/// trusting the timing.
+pub fn measure_cadence(
+    g: &Graph,
+    algo: &Algorithm1,
+    config: &ResumableConfig,
+    every: u64,
+    dir: &std::path::Path,
+    bare: &(ResumableOutcome, f64),
+    reps: usize,
+) -> OverheadPoint {
+    let (bare_outcome, bare_secs) = bare;
+    let sup = SupervisorConfig::new().with_checkpoint_every(every).with_checkpoint_dir(dir);
+    let mut supervised_secs = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let watch = Stopwatch::start();
+        let outcome = supervise(g, algo, config.clone(), &sup).expect("valid workload plans");
+        let secs = watch.elapsed_secs();
+        supervised_secs = supervised_secs.min(secs);
+
+        let supervised_outcome = match outcome {
+            RunOutcome::Completed(o) | RunOutcome::BudgetExhausted(o) => o,
+            other => panic!("workload ended unexpectedly: {other:?}"),
+        };
+        assert_eq!(
+            outcome_digest(&supervised_outcome),
+            outcome_digest(bare_outcome),
+            "supervision must be observationally free (cadence {every})"
+        );
+    }
+
+    let snapshot = harness::supervisor::snapshot_path(dir);
+    let snapshot_bytes = std::fs::metadata(&snapshot).map(|m| m.len()).unwrap_or(0);
+    // +1 for the round-0 snapshot the supervisor always writes.
+    let checkpoints = bare_outcome.rounds_run / every + 1;
+    OverheadPoint { every, bare_secs: *bare_secs, supervised_secs, checkpoints, snapshot_bytes }
+}
+
+/// Renders the measured points as the committed JSON artifact (fixed field
+/// order; wall-clock values vary run to run — a baseline record, not a
+/// determinism artifact).
+pub fn bench_json(points: &[OverheadPoint], quick: bool, git: &str) -> String {
+    let mut out = String::from("{\n  \"experiment\": \"RESIL\",\n");
+    let _ = writeln!(out, "  \"quick\": {quick},");
+    let _ = writeln!(out, "  \"git\": \"{}\",", telemetry::jsonl::escape(git));
+    let _ = writeln!(out, "  \"unit\": \"seconds\",");
+    let _ = writeln!(out, "  \"acceptance\": \"overhead_frac <= 0.05 at every=1024\",");
+    out.push_str("  \"entries\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let sep = if i + 1 == points.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    {{\"every\": {}, \"bare_secs\": {:.4}, \"supervised_secs\": {:.4}, \
+             \"overhead_frac\": {:.4}, \"checkpoints\": {}, \"snapshot_bytes\": {}}}{sep}",
+            p.every,
+            p.bare_secs,
+            p.supervised_secs,
+            p.overhead_frac(),
+            p.checkpoints,
+            p.snapshot_bytes
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Runs the experiment and returns the printed report.
+pub fn run(quick: bool) -> String {
+    let seed = 0xC4A5;
+    let n = workload_n(quick);
+    let rounds = workload_rounds(quick);
+    let mut out = crate::common::header(
+        "RESIL",
+        "resilient harness: checkpoint overhead + crash-resume fidelity",
+    );
+    let _ = writeln!(
+        out,
+        "workload: Algorithm 1 (global-Δ) on G(n,p) avg-degree 8, n={n}, exactly {rounds} \
+         rounds (stabilization pinned past the last scheduled event); snapshots to a scratch \
+         directory under target/"
+    );
+
+    let g = workload_graph(n);
+    let algo = Algorithm1::new(&g, LmaxPolicy::global_delta(&g));
+    let config = workload_config(seed, rounds);
+
+    // Scratch under the workspace build tree regardless of the CWD the
+    // binary or test harness runs from.
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root exists")
+        .join("target")
+        .join("resil-scratch");
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        let _ = writeln!(out, "error: cannot create scratch dir {}: {e}", dir.display());
+        return out;
+    }
+
+    // Overhead sweep: one bare timing (best of N), reused for every cadence.
+    let reps = timing_reps(quick);
+    let bare = measure_bare(&g, &algo, &config, reps);
+    let mut points = Vec::new();
+    let mut table =
+        analysis::Table::new(["every", "bare s", "supervised s", "overhead", "ckpts", "snap KiB"]);
+    for every in cadences(quick) {
+        let p = measure_cadence(&g, &algo, &config, every, &dir, &bare, reps);
+        table.row([
+            p.every.to_string(),
+            format!("{:.3}", p.bare_secs),
+            format!("{:.3}", p.supervised_secs),
+            format!("{:+.1}%", p.overhead_frac() * 100.0),
+            p.checkpoints.to_string(),
+            format!("{:.1}", p.snapshot_bytes as f64 / 1024.0),
+        ]);
+        points.push(p);
+    }
+    out.push_str("\n## supervision overhead (lower is better)\n\n");
+    out.push_str(&format!("{table}"));
+
+    // Crash/resume fidelity: kill mid-run, resume from disk, compare
+    // digests against the uninterrupted run.
+    let reference_digest = outcome_digest(&bare.0);
+    let kill_at = rounds / 2;
+    let report = killed_then_resumed(&g, &algo, config, kill_at, 1024, &dir);
+    let resumed_digest = outcome_digest(&report.outcome);
+    let _ = writeln!(
+        out,
+        "\n## crash-resume fidelity\n\nkill at round {kill_at}, checkpoint every 1024: \
+         killed={}, straight digest={reference_digest:016x}, resumed digest={resumed_digest:016x}, \
+         bit-identical={}",
+        report.killed,
+        resumed_digest == reference_digest
+    );
+    assert_eq!(resumed_digest, reference_digest, "crash-resume must be bit-identical");
+
+    let json = bench_json(&points, quick, &crate::perf::git_describe());
+    out.push_str("\nbench record:\n");
+    out.push_str(&json);
+    // Same convention as PERF: written only when the standard output
+    // directory exists (CI smoke and full runs pass `--out results`).
+    let results = std::path::Path::new("results");
+    if results.is_dir() {
+        if let Err(e) = std::fs::write(results.join("BENCH_HARNESS.json"), &json) {
+            let _ = writeln!(out, "warning: cannot write results/BENCH_HARNESS.json: {e}");
+        } else {
+            out.push_str("\nrecord written to results/BENCH_HARNESS.json\n");
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+
+    out.push_str(
+        "\nexpected shape: overhead falls with the cadence and is <= 5% at every=1024; \
+         the kill/resume digest equals the straight-run digest exactly.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_is_deterministic_and_sensitive() {
+        let g = workload_graph(64);
+        let algo = Algorithm1::new(&g, LmaxPolicy::global_delta(&g));
+        let (a, _) = bare_run(&g, &algo, workload_config(1, 64));
+        let (b, _) = bare_run(&g, &algo, workload_config(1, 64));
+        assert_eq!(outcome_digest(&a), outcome_digest(&b));
+        let (c, _) = bare_run(&g, &algo, workload_config(2, 64));
+        assert_ne!(outcome_digest(&a), outcome_digest(&c));
+    }
+
+    #[test]
+    fn workload_runs_exactly_the_pinned_rounds_or_more() {
+        // The trailing fault pins the stabilization check past `rounds`.
+        let g = workload_graph(48);
+        let algo = Algorithm1::new(&g, LmaxPolicy::global_delta(&g));
+        let (outcome, _) = bare_run(&g, &algo, workload_config(7, 100));
+        assert!(outcome.rounds_run >= 100, "ran only {}", outcome.rounds_run);
+    }
+
+    #[test]
+    fn quick_report_passes_its_own_acceptance() {
+        let report = run(true);
+        assert!(report.contains("bit-identical=true"));
+        assert!(report.contains("BENCH") || report.contains("bench record"));
+    }
+}

@@ -11,6 +11,19 @@ fn experiments_bin() -> Command {
     Command::new(env!("CARGO_BIN_EXE_experiments"))
 }
 
+fn supervised() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_supervised"))
+}
+
+/// Pulls the `digest=<16 hex>` line out of a successful supervised run.
+fn parse_digest(stdout: &str) -> String {
+    stdout
+        .lines()
+        .find_map(|l| l.strip_prefix("digest="))
+        .unwrap_or_else(|| panic!("no digest line in:\n{stdout}"))
+        .to_string()
+}
+
 fn parse_mis_output(stdout: &str) -> (String, Vec<usize>) {
     let mut lines = stdout.lines();
     let header = lines.next().expect("stats header").to_string();
@@ -112,6 +125,60 @@ fn experiments_list_shows_registry() {
 fn experiments_rejects_unknown_id() {
     let out = experiments_bin().arg("NOPE-42").output().expect("runs");
     assert!(!out.status.success());
+}
+
+#[test]
+fn supervised_kill_then_resume_matches_uninterrupted() {
+    let dir = std::env::temp_dir().join(format!("beeping_mis_supervised_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let workload = ["--family", "gnp", "--n", "64", "--seed", "11", "--max-rounds", "50000"];
+
+    // Reference: one uninterrupted run, no checkpointing at all.
+    let reference = supervised().args(workload).output().expect("runs");
+    assert!(reference.status.success(), "stderr: {}", String::from_utf8_lossy(&reference.stderr));
+    let expected = parse_digest(&String::from_utf8(reference.stdout).unwrap());
+
+    // Same workload, checkpointing, killed mid-run: must fail and leave a snapshot.
+    let killed = supervised()
+        .args(workload)
+        .args(["--checkpoint-dir", dir.to_str().unwrap(), "--checkpoint-every", "8"])
+        .args(["--kill-at", "20"])
+        .output()
+        .expect("runs");
+    assert!(!killed.status.success(), "kill-at should make the run fail");
+    assert!(
+        String::from_utf8_lossy(&killed.stderr).contains("--resume"),
+        "failure message should point at --resume"
+    );
+    assert!(dir.join("checkpoint.snap").exists(), "snapshot should survive the crash");
+
+    // Resume: picks the run back up and lands on the identical digest.
+    let resumed = supervised()
+        .args(workload)
+        .args(["--checkpoint-dir", dir.to_str().unwrap(), "--checkpoint-every", "8"])
+        .arg("--resume")
+        .output()
+        .expect("runs");
+    assert!(resumed.status.success(), "stderr: {}", String::from_utf8_lossy(&resumed.stderr));
+    let actual = parse_digest(&String::from_utf8(resumed.stdout).unwrap());
+    assert_eq!(actual, expected, "resumed run must be bit-identical to uninterrupted");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn supervised_rejects_bad_arguments() {
+    for args in [
+        vec!["--resume"],            // --resume without --checkpoint-dir
+        vec!["--family", "torus"],   // unknown family
+        vec!["--algorithm", "alg3"], // unknown algorithm
+        vec!["--engine", "quantum"], // unknown engine
+        vec!["--n"],                 // missing value
+        vec!["--bogus-flag"],        // unknown flag
+    ] {
+        let out = supervised().args(&args).output().expect("runs");
+        assert!(!out.status.success(), "args {args:?} should fail");
+        assert!(!out.stderr.is_empty());
+    }
 }
 
 #[test]

@@ -1,0 +1,95 @@
+//! Crash-injection test rig: kill a supervised run at an exact round,
+//! resume it from its durable snapshot, and hand back the outcome for
+//! bit-identity comparison against an uninterrupted run. Also the
+//! file-corruption helpers the snapshot-integrity tests use.
+//!
+//! The rig is test *infrastructure*, not test code: it lives in the
+//! library so the proptest suites, the CI smoke binary and ad-hoc
+//! experiments all exercise the same kill/resume path.
+
+use std::path::Path;
+
+use graphs::Graph;
+use mis::resumable::{ResumableConfig, ResumableOutcome};
+use mis::runner::SelfStabilizingMis;
+
+use crate::supervisor::{supervise, supervise_resume, RunOutcome, SupervisorConfig};
+
+/// How a [`killed_then_resumed`] round-trip went.
+#[derive(Debug, Clone)]
+pub struct KillReport {
+    /// `true` if the kill actually fired (the run was still going at the
+    /// kill round); `false` if the run finished first.
+    pub killed: bool,
+    /// The observables of the (possibly resumed) run.
+    pub outcome: ResumableOutcome,
+}
+
+/// Runs `algo` on `graph` under `config`, killing the process-equivalent
+/// (a panic swallowed by the supervisor with zero retries) immediately
+/// before round `kill_at`, then resumes from the durable snapshot in
+/// `checkpoint_dir` and drives the run to completion.
+///
+/// The returned outcome must be bit-identical to an uninterrupted run of
+/// the same configuration — that is the property the crash proptests pin.
+///
+/// # Panics
+///
+/// Panics if the supervised phases end in an unexpected outcome (e.g. the
+/// snapshot comes back corrupt); the rig is test infrastructure, and in a
+/// test a broken invariant should fail loudly.
+pub fn killed_then_resumed<A: SelfStabilizingMis>(
+    graph: &Graph,
+    algo: &A,
+    config: ResumableConfig,
+    kill_at: u64,
+    checkpoint_every: u64,
+    checkpoint_dir: &Path,
+) -> KillReport {
+    let sup = SupervisorConfig::new()
+        .with_checkpoint_every(checkpoint_every)
+        .with_checkpoint_dir(checkpoint_dir)
+        .with_kill_at(kill_at.max(1));
+    match supervise(graph, algo, config.clone(), &sup).expect("rig: valid plans") {
+        RunOutcome::Completed(outcome) | RunOutcome::BudgetExhausted(outcome) => {
+            // The run ended before the armed round; nothing to resume.
+            KillReport { killed: false, outcome }
+        }
+        RunOutcome::Panicked { message, .. } => {
+            assert!(message.contains("crash injection"), "unexpected panic: {message}");
+            let resume_sup = SupervisorConfig::new()
+                .with_checkpoint_every(checkpoint_every)
+                .with_checkpoint_dir(checkpoint_dir);
+            match supervise_resume(algo, config, &resume_sup, None).expect("rig: resumable") {
+                RunOutcome::Completed(outcome) | RunOutcome::BudgetExhausted(outcome) => {
+                    KillReport { killed: true, outcome }
+                }
+                other => panic!("rig: resume ended unexpectedly: {other:?}"),
+            }
+        }
+        other => panic!("rig: initial run ended unexpectedly: {other:?}"),
+    }
+}
+
+/// Flips bit `bit` (0..8) of byte `byte_index` in the file at `path`.
+/// Returns `false` (leaving the file untouched) if the index is past the
+/// end of the file.
+pub fn flip_bit(path: &Path, byte_index: usize, bit: u8) -> std::io::Result<bool> {
+    let mut bytes = std::fs::read(path)?;
+    match bytes.get_mut(byte_index) {
+        Some(b) => {
+            *b ^= 1 << (bit % 8);
+            std::fs::write(path, &bytes)?;
+            Ok(true)
+        }
+        None => Ok(false),
+    }
+}
+
+/// Truncates the file at `path` to its first `keep` bytes (no-op if it is
+/// already shorter).
+pub fn truncate_file(path: &Path, keep: usize) -> std::io::Result<()> {
+    let mut bytes = std::fs::read(path)?;
+    bytes.truncate(keep);
+    std::fs::write(path, &bytes)
+}

@@ -1,0 +1,698 @@
+//! Durable, versioned, checksummed snapshot files for
+//! [`mis::resumable::RunCheckpoint`].
+//!
+//! # File format (version 1)
+//!
+//! A snapshot is two newline-terminated JSON lines:
+//!
+//! ```text
+//! {"format":"beeping-mis-snapshot","version":1,"payload_bytes":N,"checksum":"<hex>"}
+//! {"fingerprint":"<hex>","round":R,"states":[...],"rngs":"<hex...>", ...}
+//! ```
+//!
+//! The bulk vectors use compact encodings, because a snapshot is written
+//! every k rounds on the supervisor's critical path: `rngs` is one string
+//! of concatenated fixed-width 32-digit hex states, `active` is one string
+//! of `0`/`1` digits, and `graph_edges` is a flat `[u,v,u,v,...]` array.
+//!
+//! The header is self-describing and guards the payload: `payload_bytes` is
+//! the exact byte length of the second line (detecting truncation) and
+//! `checksum` is [`checksum64`] — a word-wise FNV-1a variant — over those
+//! bytes (detecting corruption). The
+//! payload captures *everything mutable* about a run — node states, every
+//! RNG stream position (per-node, channel, Byzantine, fault), the round
+//! counter, last-round signals, the (possibly churned) topology, the
+//! participation bitmap, the channel burst window, the event-application
+//! cursor and the accumulated trace — so a resumed run is bit-identical to
+//! one that never stopped.
+//!
+//! Run *configuration* (plans, channel model, engine, algorithm) is
+//! deliberately not stored; the caller re-supplies it on resume, and the
+//! payload's `fingerprint` field ([`config_fingerprint`]) rejects a resume
+//! under a different configuration with [`SnapshotError::ConfigMismatch`].
+//!
+//! Every integer wider than 53 bits (RNG stream positions are `u128`, the
+//! checksum and fingerprint are `u64`) is encoded as a fixed-width
+//! lowercase hex *string*, because the JSON layer
+//! ([`telemetry::jsonl`]) parses numbers as `f64` and would silently lose
+//! low bits past 2⁵³.
+//!
+//! The load path ([`decode`], [`read_file`]) never panics: every defect —
+//! missing file, garbage bytes, truncation, bit flips, version skew,
+//! internally inconsistent vectors — surfaces as a typed [`SnapshotError`].
+
+use std::path::{Path, PathBuf};
+
+use beeping::protocol::BeepSignal;
+use beeping::rng::{pcg_from_state, pcg_state};
+use beeping::trace::{RoundReport, Trace};
+use beeping::{ChannelState, Checkpoint};
+use graphs::Graph;
+use mis::levels::Level;
+use mis::resumable::{ResumableConfig, RunCheckpoint};
+use mis::runner::SelfStabilizingMis;
+use rand_pcg::Pcg64Mcg;
+use telemetry::jsonl::{parse, Value};
+
+/// The magic format string in every snapshot header.
+pub const FORMAT: &str = "beeping-mis-snapshot";
+
+/// The snapshot format version this build writes and accepts.
+pub const VERSION: u64 = 1;
+
+/// Why a snapshot could not be written or read back. The decode path
+/// distinguishes *where* a file went wrong so supervisors and tests can
+/// react precisely (e.g. discard a corrupt snapshot but surface an I/O
+/// error).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The underlying filesystem operation failed.
+    Io {
+        /// The file involved.
+        path: PathBuf,
+        /// The OS error rendered as text.
+        message: String,
+    },
+    /// The bytes before the first newline are not a valid header object.
+    MalformedHeader(String),
+    /// The header parses but announces a different format magic.
+    WrongFormat {
+        /// The `format` value found in the header.
+        found: String,
+    },
+    /// The header announces a format version this build does not read.
+    UnsupportedVersion {
+        /// The version found in the header.
+        found: u64,
+        /// The version this build supports.
+        supported: u64,
+    },
+    /// The payload is shorter or longer than the header promised — the
+    /// classic signature of a crash mid-write or a truncated copy.
+    Truncated {
+        /// Byte length promised by the header.
+        expected_bytes: usize,
+        /// Byte length actually present.
+        found_bytes: usize,
+    },
+    /// The payload bytes do not hash to the header's checksum: the file
+    /// was corrupted after it was written.
+    ChecksumMismatch {
+        /// Checksum recorded in the header.
+        expected: u64,
+        /// Checksum of the bytes actually present.
+        actual: u64,
+    },
+    /// The payload passed the checksum but is not the JSON shape this
+    /// version writes (only reachable for a file *assembled* by something
+    /// other than [`encode`], since the checksum pins the exact bytes).
+    MalformedPayload(String),
+    /// The snapshot was captured under a different run configuration
+    /// (different seed, plans, channel model, engine or algorithm);
+    /// resuming it would silently diverge, so it is refused.
+    ConfigMismatch {
+        /// Fingerprint of the configuration the caller supplied.
+        expected: u64,
+        /// Fingerprint recorded in the snapshot.
+        found: u64,
+    },
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Io { path, message } => {
+                write!(f, "snapshot I/O error on {}: {message}", path.display())
+            }
+            SnapshotError::MalformedHeader(detail) => {
+                write!(f, "malformed snapshot header: {detail}")
+            }
+            SnapshotError::WrongFormat { found } => {
+                write!(f, "not a {FORMAT} file (format says {found:?})")
+            }
+            SnapshotError::UnsupportedVersion { found, supported } => {
+                write!(f, "snapshot version {found} not supported (this build reads {supported})")
+            }
+            SnapshotError::Truncated { expected_bytes, found_bytes } => write!(
+                f,
+                "snapshot truncated: header promises {expected_bytes} payload bytes, \
+                 found {found_bytes}"
+            ),
+            SnapshotError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "snapshot corrupted: checksum {actual:016x} does not match header {expected:016x}"
+            ),
+            SnapshotError::MalformedPayload(detail) => {
+                write!(f, "malformed snapshot payload: {detail}")
+            }
+            SnapshotError::ConfigMismatch { expected, found } => write!(
+                f,
+                "snapshot belongs to a different run configuration: \
+                 fingerprint {found:016x}, expected {expected:016x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// FNV-1a 64-bit over `bytes`; the fingerprint and digest hash. Chosen
+/// because it is tiny, dependency-free and fully deterministic across
+/// platforms — this guards against *accidental* corruption, not attackers.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Payload-integrity hash: the FNV-1a update rule fed 8 little-endian
+/// bytes at a time, with a final zero-padded tail word and a length step.
+/// Every step is invertible (xor, then multiply by an odd constant), so
+/// corrupting any single word — a fortiori any single bit — always changes
+/// the result. Byte-serial [`fnv1a64`] has the same guarantee but costs
+/// more than encoding the payload does at megabyte snapshot sizes; this
+/// variant keeps checkpointing cheap enough to leave on for long runs.
+pub fn checksum64(bytes: &[u8]) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        let mut word = [0u8; 8];
+        word.copy_from_slice(chunk);
+        hash ^= u64::from_le_bytes(word);
+        hash = hash.wrapping_mul(PRIME);
+    }
+    let mut tail = [0u8; 8];
+    for (slot, &b) in tail.iter_mut().zip(chunks.remainder()) {
+        *slot = b;
+    }
+    hash ^= u64::from_le_bytes(tail);
+    hash = hash.wrapping_mul(PRIME);
+    hash ^= bytes.len() as u64;
+    hash.wrapping_mul(PRIME)
+}
+
+/// Hashes the *resume-relevant* part of a run configuration, plus the
+/// algorithm type, into the fingerprint stored in every snapshot.
+///
+/// Covered: seed, initial-level rule, fault plan, churn plan, channel
+/// model, Byzantine plan, engine mode and the algorithm's type name.
+/// Deliberately *not* covered: `max_rounds` (extending the budget of a
+/// `BudgetExhausted` run and resuming is a supported use) and the
+/// telemetry handle (observational only). The hash is over the plans'
+/// `Debug` rendering, which is a pure function of their fields; a
+/// `Resurrect` Byzantine closure renders opaquely, so two configs
+/// differing only in closure *behavior* fingerprint alike.
+pub fn config_fingerprint<A: SelfStabilizingMis>(config: &ResumableConfig) -> u64 {
+    let canonical = format!(
+        "algo={};seed={};init={:?};faults={:?};churn={:?};channel={:?};byzantine={:?};engine={:?}",
+        std::any::type_name::<A>(),
+        config.seed,
+        config.init,
+        config.faults,
+        config.churn,
+        config.channel,
+        config.byzantine,
+        config.engine,
+    );
+    fnv1a64(canonical.as_bytes())
+}
+
+fn hex_u64(v: u64) -> String {
+    format!("{v:016x}")
+}
+
+fn hex_u128(v: u128) -> String {
+    format!("{v:032x}")
+}
+
+fn parse_hex_u64(s: &str, what: &str) -> Result<u64, SnapshotError> {
+    if s.len() != 16 {
+        return Err(SnapshotError::MalformedPayload(format!("{what}: expected 16 hex digits")));
+    }
+    u64::from_str_radix(s, 16)
+        .map_err(|_| SnapshotError::MalformedPayload(format!("{what}: invalid hex")))
+}
+
+fn parse_hex_u128(s: &str, what: &str) -> Result<u128, SnapshotError> {
+    if s.len() != 32 {
+        return Err(SnapshotError::MalformedPayload(format!("{what}: expected 32 hex digits")));
+    }
+    u128::from_str_radix(s, 16)
+        .map_err(|_| SnapshotError::MalformedPayload(format!("{what}: invalid hex")))
+}
+
+fn signal_bits(s: BeepSignal) -> u8 {
+    u8::from(s.on_channel1()) | (u8::from(s.on_channel2()) << 1)
+}
+
+/// Appends `v` in decimal. Snapshots are re-encoded at every checkpoint
+/// cadence, so the per-element paths push raw bytes (no `format!`, no
+/// UTF-8 bookkeeping) to keep supervision overhead low.
+fn push_u64_dec(out: &mut Vec<u8>, mut v: u64) {
+    let mut digits = [0u8; 20];
+    let mut len = 0usize;
+    for slot in digits.iter_mut() {
+        *slot = b'0' + (v % 10) as u8;
+        len += 1;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    for &d in digits.iter().take(len).rev() {
+        out.push(d);
+    }
+}
+
+/// Appends `v` in decimal, with a sign for negative values.
+fn push_i64_dec(out: &mut Vec<u8>, v: i64) {
+    if v < 0 {
+        out.push(b'-');
+    }
+    push_u64_dec(out, v.unsigned_abs());
+}
+
+/// Appends `v` as exactly 32 lowercase hex digits (the RNG-state encoding).
+fn push_hex_u128(out: &mut Vec<u8>, v: u128) {
+    for shift in (0..32u32).rev() {
+        let nibble = ((v >> (shift * 4)) & 0xf) as u8;
+        out.push(if nibble < 10 { b'0' + nibble } else { b'a' + nibble - 10 });
+    }
+}
+
+/// Serializes `checkpoint` (stamped with `fingerprint`) into the two-line
+/// snapshot format. The output always round-trips through [`decode`].
+pub fn encode(checkpoint: &RunCheckpoint, fingerprint: u64) -> Vec<u8> {
+    let payload = encode_payload(checkpoint, fingerprint);
+    let header = format!(
+        "{{\"format\":\"{FORMAT}\",\"version\":{VERSION},\
+         \"payload_bytes\":{},\"checksum\":\"{}\"}}",
+        payload.len(),
+        hex_u64(checksum64(&payload)),
+    );
+    let mut out = Vec::with_capacity(header.len() + payload.len() + 2);
+    out.extend_from_slice(header.as_bytes());
+    out.push(b'\n');
+    out.extend_from_slice(&payload);
+    out.push(b'\n');
+    out
+}
+
+fn push_joined<T, F: FnMut(&mut Vec<u8>, &T)>(out: &mut Vec<u8>, items: &[T], mut one: F) {
+    out.push(b'[');
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            out.push(b',');
+        }
+        one(out, item);
+    }
+    out.push(b']');
+}
+
+fn encode_payload(checkpoint: &RunCheckpoint, fingerprint: u64) -> Vec<u8> {
+    let sim = &checkpoint.sim;
+    // States + signals + rngs + edges + trace, each a handful of bytes per
+    // element; sized generously up front so the hot pushes never realloc.
+    let n = sim.states().len();
+    let edges: Vec<(usize, usize)> = sim.graph().edges().collect();
+    let trace_rows = checkpoint.trace.reports().len();
+    let mut s: Vec<u8> = Vec::with_capacity(256 + 48 * n + 14 * edges.len() + 40 * trace_rows);
+    s.push(b'{');
+    s.extend_from_slice(format!("\"fingerprint\":\"{}\"", hex_u64(fingerprint)).as_bytes());
+    s.extend_from_slice(format!(",\"round\":{}", sim.round()).as_bytes());
+    s.extend_from_slice(b",\"states\":");
+    push_joined(&mut s, sim.states(), |out, &l| push_i64_dec(out, i64::from(l)));
+    s.extend_from_slice(b",\"rngs\":\"");
+    for r in sim.rngs() {
+        push_hex_u128(&mut s, pcg_state(r));
+    }
+    s.push(b'"');
+    s.extend_from_slice(b",\"sent\":");
+    push_joined(&mut s, sim.sent(), |out, &b| out.push(b'0' + signal_bits(b)));
+    s.extend_from_slice(b",\"heard\":");
+    push_joined(&mut s, sim.heard(), |out, &b| out.push(b'0' + signal_bits(b)));
+    s.extend_from_slice(format!(",\"graph_n\":{}", sim.graph().len()).as_bytes());
+    s.extend_from_slice(b",\"graph_edges\":");
+    push_joined(&mut s, &edges, |out, &(u, v)| {
+        push_u64_dec(out, u as u64);
+        out.push(b',');
+        push_u64_dec(out, v as u64);
+    });
+    s.extend_from_slice(b",\"active\":\"");
+    for &a in sim.active() {
+        s.push(if a { b'1' } else { b'0' });
+    }
+    s.push(b'"');
+    s.extend_from_slice(
+        format!(",\"channel_in_burst\":{}", sim.channel_state().in_burst).as_bytes(),
+    );
+    s.extend_from_slice(
+        format!(",\"channel_rng\":\"{}\"", hex_u128(pcg_state(sim.channel_rng()))).as_bytes(),
+    );
+    s.extend_from_slice(
+        format!(",\"byz_rng\":\"{}\"", hex_u128(pcg_state(sim.byz_rng()))).as_bytes(),
+    );
+    s.extend_from_slice(
+        format!(",\"fault_rng\":\"{}\"", hex_u128(pcg_state(&checkpoint.fault_rng))).as_bytes(),
+    );
+    match checkpoint.applied_through {
+        Some(r) => s.extend_from_slice(format!(",\"applied_through\":{r}").as_bytes()),
+        None => s.extend_from_slice(b",\"applied_through\":null"),
+    }
+    s.extend_from_slice(b",\"trace\":");
+    push_joined(&mut s, checkpoint.trace.reports(), |out, r| {
+        out.push(b'[');
+        push_u64_dec(out, r.round);
+        for count in [
+            r.beeps_channel1,
+            r.beeps_channel2,
+            r.hearers_channel1,
+            r.hearers_channel2,
+            r.lone_beepers,
+            r.lone_beepers_channel2,
+        ] {
+            out.push(b',');
+            push_u64_dec(out, count as u64);
+        }
+        out.push(b']');
+    });
+    s.push(b'}');
+    s
+}
+
+fn bad(what: &str) -> SnapshotError {
+    SnapshotError::MalformedPayload(what.to_string())
+}
+
+fn field<'a>(obj: &'a Value, key: &'static str) -> Result<&'a Value, SnapshotError> {
+    obj.get(key).ok_or_else(|| bad(&format!("missing field `{key}`")))
+}
+
+fn u64_field(obj: &Value, key: &'static str) -> Result<u64, SnapshotError> {
+    field(obj, key)?.as_u64().ok_or_else(|| bad(&format!("`{key}` is not a non-negative integer")))
+}
+
+fn str_field<'a>(obj: &'a Value, key: &'static str) -> Result<&'a str, SnapshotError> {
+    field(obj, key)?.as_str().ok_or_else(|| bad(&format!("`{key}` is not a string")))
+}
+
+fn array_field<'a>(obj: &'a Value, key: &'static str) -> Result<&'a [Value], SnapshotError> {
+    field(obj, key)?.as_array().ok_or_else(|| bad(&format!("`{key}` is not an array")))
+}
+
+fn rng_field(obj: &Value, key: &'static str) -> Result<Pcg64Mcg, SnapshotError> {
+    Ok(pcg_from_state(parse_hex_u128(str_field(obj, key)?, key)?))
+}
+
+fn decode_signal(v: &Value, key: &str) -> Result<BeepSignal, SnapshotError> {
+    match v.as_u64() {
+        Some(bits @ 0..=3) => Ok(BeepSignal::new(bits & 1 != 0, bits & 2 != 0)),
+        _ => Err(bad(&format!("`{key}` entries must be integers in 0..=3"))),
+    }
+}
+
+fn usize_in(v: &Value, key: &str) -> Result<usize, SnapshotError> {
+    v.as_u64()
+        .and_then(|x| usize::try_from(x).ok())
+        .ok_or_else(|| bad(&format!("`{key}` entries must be non-negative integers")))
+}
+
+/// Deserializes snapshot `bytes`, verifying the header, the payload length
+/// and checksum, and the configuration fingerprint — in that order, so the
+/// reported error names the *first* layer that is wrong. Never panics.
+pub fn decode(bytes: &[u8], expected_fingerprint: u64) -> Result<RunCheckpoint, SnapshotError> {
+    let mut halves = bytes.splitn(2, |&b| b == b'\n');
+    let header_bytes = halves.next().unwrap_or_default();
+    let rest = halves
+        .next()
+        .ok_or_else(|| SnapshotError::MalformedHeader("no header line".to_string()))?;
+    let header_text = std::str::from_utf8(header_bytes)
+        .map_err(|_| SnapshotError::MalformedHeader("header is not UTF-8".to_string()))?;
+    let header =
+        parse(header_text).map_err(|e| SnapshotError::MalformedHeader(format!("not JSON: {e}")))?;
+
+    let format = header
+        .get("format")
+        .and_then(Value::as_str)
+        .ok_or_else(|| SnapshotError::MalformedHeader("missing `format`".to_string()))?;
+    if format != FORMAT {
+        return Err(SnapshotError::WrongFormat { found: format.to_string() });
+    }
+    let version = header
+        .get("version")
+        .and_then(Value::as_u64)
+        .ok_or_else(|| SnapshotError::MalformedHeader("missing `version`".to_string()))?;
+    if version != VERSION {
+        return Err(SnapshotError::UnsupportedVersion { found: version, supported: VERSION });
+    }
+    let payload_bytes = header
+        .get("payload_bytes")
+        .and_then(Value::as_u64)
+        .and_then(|x| usize::try_from(x).ok())
+        .ok_or_else(|| SnapshotError::MalformedHeader("missing `payload_bytes`".to_string()))?;
+    let checksum = header
+        .get("checksum")
+        .and_then(Value::as_str)
+        .ok_or_else(|| SnapshotError::MalformedHeader("missing `checksum`".to_string()))
+        .and_then(|s| {
+            parse_hex_u64(s, "checksum")
+                .map_err(|_| SnapshotError::MalformedHeader("bad `checksum` hex".to_string()))
+        })?;
+
+    // The payload is everything after the header's newline, minus one
+    // optional trailing newline.
+    let payload = rest.strip_suffix(b"\n").unwrap_or(rest);
+    if payload.len() != payload_bytes {
+        return Err(SnapshotError::Truncated {
+            expected_bytes: payload_bytes,
+            found_bytes: payload.len(),
+        });
+    }
+    let actual = checksum64(payload);
+    if actual != checksum {
+        return Err(SnapshotError::ChecksumMismatch { expected: checksum, actual });
+    }
+
+    let payload_text = std::str::from_utf8(payload)
+        .map_err(|_| SnapshotError::MalformedPayload("payload is not UTF-8".to_string()))?;
+    let obj = parse(payload_text).map_err(|e| bad(&format!("not JSON: {e}")))?;
+
+    let fingerprint = parse_hex_u64(str_field(&obj, "fingerprint")?, "fingerprint")?;
+    if fingerprint != expected_fingerprint {
+        return Err(SnapshotError::ConfigMismatch {
+            expected: expected_fingerprint,
+            found: fingerprint,
+        });
+    }
+
+    let round = u64_field(&obj, "round")?;
+    let states: Vec<Level> = array_field(&obj, "states")?
+        .iter()
+        .map(|v| {
+            v.as_i64()
+                .and_then(|x| Level::try_from(x).ok())
+                .ok_or_else(|| bad("`states` entries must be 32-bit integers"))
+        })
+        .collect::<Result<_, _>>()?;
+    let rng_hex = str_field(&obj, "rngs")?;
+    if rng_hex.len() % 32 != 0 {
+        return Err(bad("`rngs` must be a concatenation of 32-digit hex states"));
+    }
+    let rngs: Vec<Pcg64Mcg> = rng_hex
+        .as_bytes()
+        .chunks_exact(32)
+        .map(|chunk| {
+            // A chunk boundary can split a multi-byte character in a
+            // corrupted file; that is a decode error, not a panic.
+            let s =
+                std::str::from_utf8(chunk).map_err(|_| bad("`rngs` must be ASCII hex digits"))?;
+            Ok(pcg_from_state(parse_hex_u128(s, "rngs")?))
+        })
+        .collect::<Result<_, SnapshotError>>()?;
+    let sent: Vec<BeepSignal> = array_field(&obj, "sent")?
+        .iter()
+        .map(|v| decode_signal(v, "sent"))
+        .collect::<Result<_, _>>()?;
+    let heard: Vec<BeepSignal> = array_field(&obj, "heard")?
+        .iter()
+        .map(|v| decode_signal(v, "heard"))
+        .collect::<Result<_, _>>()?;
+
+    let graph_n = u64_field(&obj, "graph_n")
+        .ok()
+        .and_then(|x| usize::try_from(x).ok())
+        .ok_or_else(|| bad("`graph_n` is not a non-negative integer"))?;
+    let endpoints = array_field(&obj, "graph_edges")?;
+    if endpoints.len() % 2 != 0 {
+        return Err(bad("`graph_edges` must hold an even number of endpoints"));
+    }
+    let edges: Vec<(usize, usize)> = endpoints
+        .chunks_exact(2)
+        .map(|pair| {
+            let [u, w] = pair else {
+                return Err(bad("`graph_edges` entries must be pairs"));
+            };
+            Ok((usize_in(u, "graph_edges")?, usize_in(w, "graph_edges")?))
+        })
+        .collect::<Result<_, SnapshotError>>()?;
+    let graph = Graph::from_edges(graph_n, edges).map_err(|e| bad(&format!("graph: {e}")))?;
+
+    let active: Vec<bool> = str_field(&obj, "active")?
+        .bytes()
+        .map(|b| match b {
+            b'0' => Ok(false),
+            b'1' => Ok(true),
+            _ => Err(bad("`active` must be a string of 0/1 digits")),
+        })
+        .collect::<Result<_, _>>()?;
+    let in_burst = field(&obj, "channel_in_burst")?
+        .as_bool()
+        .ok_or_else(|| bad("`channel_in_burst` is not a boolean"))?;
+    let channel_rng = rng_field(&obj, "channel_rng")?;
+    let byz_rng = rng_field(&obj, "byz_rng")?;
+    let fault_rng = rng_field(&obj, "fault_rng")?;
+    let applied_through = match field(&obj, "applied_through")? {
+        Value::Null => None,
+        v => Some(v.as_u64().ok_or_else(|| bad("`applied_through` must be null or an integer"))?),
+    };
+
+    let mut trace = Trace::new();
+    for row in array_field(&obj, "trace")? {
+        let cells = row.as_array().ok_or_else(|| bad("`trace` rows must be arrays"))?;
+        let [round, b1, b2, h1, h2, lone, lone2] = cells else {
+            return Err(bad("`trace` rows must have 7 entries"));
+        };
+        trace.push(RoundReport {
+            round: round.as_u64().ok_or_else(|| bad("`trace` round must be an integer"))?,
+            beeps_channel1: usize_in(b1, "trace")?,
+            beeps_channel2: usize_in(b2, "trace")?,
+            hearers_channel1: usize_in(h1, "trace")?,
+            hearers_channel2: usize_in(h2, "trace")?,
+            lone_beepers: usize_in(lone, "trace")?,
+            lone_beepers_channel2: usize_in(lone2, "trace")?,
+        });
+    }
+
+    Ok(RunCheckpoint {
+        sim: Checkpoint::from_parts(
+            states,
+            rngs,
+            round,
+            sent,
+            heard,
+            graph,
+            active,
+            ChannelState { in_burst },
+            channel_rng,
+            byz_rng,
+        ),
+        fault_rng,
+        applied_through,
+        trace,
+    })
+}
+
+fn io_err(path: &Path, e: std::io::Error) -> SnapshotError {
+    SnapshotError::Io { path: path.to_path_buf(), message: e.to_string() }
+}
+
+/// Atomically writes `checkpoint` to `path`: the bytes go to a `.tmp`
+/// sibling first and are renamed into place, so a crash mid-write leaves
+/// either the previous snapshot or none — never a half-written file
+/// masquerading as a snapshot.
+pub fn write_file(
+    path: &Path,
+    checkpoint: &RunCheckpoint,
+    fingerprint: u64,
+) -> Result<(), SnapshotError> {
+    let bytes = encode(checkpoint, fingerprint);
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    std::fs::write(&tmp, &bytes).map_err(|e| io_err(&tmp, e))?;
+    std::fs::rename(&tmp, path).map_err(|e| io_err(path, e))
+}
+
+/// Reads and verifies a snapshot from `path`; see [`decode`] for the
+/// verification order. Never panics.
+pub fn read_file(path: &Path, expected_fingerprint: u64) -> Result<RunCheckpoint, SnapshotError> {
+    let bytes = std::fs::read(path).map_err(|e| io_err(path, e))?;
+    decode(&bytes, expected_fingerprint)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Canonical FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn hex_round_trips() {
+        for v in [0u64, 1, u64::MAX, 0xdead_beef] {
+            assert_eq!(parse_hex_u64(&hex_u64(v), "t").unwrap(), v);
+        }
+        for v in [0u128, 1, u128::MAX, 0x0123_4567_89ab_cdef_u128 << 64] {
+            assert_eq!(parse_hex_u128(&hex_u128(v), "t").unwrap(), v);
+        }
+        assert!(parse_hex_u64("xyz", "t").is_err());
+        assert!(parse_hex_u128(&"f".repeat(31), "t").is_err());
+    }
+
+    #[test]
+    fn manual_pushers_match_format() {
+        for v in [0u64, 1, 9, 10, 42, 1023, u64::MAX] {
+            let mut s = Vec::new();
+            push_u64_dec(&mut s, v);
+            assert_eq!(String::from_utf8(s).unwrap(), v.to_string());
+        }
+        for v in [0i64, -1, 7, -42, i64::MIN, i64::MAX] {
+            let mut s = Vec::new();
+            push_i64_dec(&mut s, v);
+            assert_eq!(String::from_utf8(s).unwrap(), v.to_string());
+        }
+        for v in [0u128, 1, u128::MAX, 0xdead_beef] {
+            let mut s = Vec::new();
+            push_hex_u128(&mut s, v);
+            assert_eq!(String::from_utf8(s).unwrap(), hex_u128(v));
+        }
+    }
+
+    #[test]
+    fn checksum64_detects_single_bit_flips_and_length() {
+        // Invertibility argument made concrete: flip each bit of a couple
+        // of payloads (word-aligned and ragged) and require a new hash.
+        for base in [&b"0123456789abcdef"[..], &b"ragged tail..."[..]] {
+            let reference = checksum64(base);
+            for byte in 0..base.len() {
+                for bit in 0..8u8 {
+                    let mut copy = base.to_vec();
+                    if let Some(slot) = copy.get_mut(byte) {
+                        *slot ^= 1 << bit;
+                    }
+                    assert_ne!(checksum64(&copy), reference, "byte {byte} bit {bit}");
+                }
+            }
+        }
+        // Zero-padding of the tail word must not collide with real zeros.
+        assert_ne!(checksum64(b"abc"), checksum64(b"abc\0"));
+        assert_ne!(checksum64(b""), checksum64(b"\0"));
+    }
+
+    #[test]
+    fn signal_bits_cover_all_four() {
+        for bits in 0u8..4 {
+            let s = BeepSignal::new(bits & 1 != 0, bits & 2 != 0);
+            assert_eq!(signal_bits(s), bits);
+        }
+    }
+}

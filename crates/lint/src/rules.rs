@@ -4,12 +4,14 @@
 //! |------|-----------------|---------------------------------------------------------|
 //! | L1   | determinism     | no wall-clock or entropy sources, no hash-ordered maps   |
 //! | L2   | level-arithmetic| no raw `+`/`-`/`as` on level values outside `mis::levels`|
-//! | L3   | panic-freedom   | no `unwrap`/`expect`/`panic!`/indexing in protocol paths |
+//! | L3   | panic-freedom   | no `unwrap`/`expect`/`panic!`/indexing in protocol paths and the snapshot codec |
 //!
 //! Rules run on token streams ([`crate::lexer`]) with light structural
 //! context: `#[cfg(test)]`/`#[test]` regions are exempt (tests may use
 //! whatever they like), and L3 only applies inside the protocol hot-path
-//! functions (`transmit`, `receive`, `step`).
+//! functions (`transmit`, `receive`, `step`) plus the harness snapshot
+//! codec (`crates/harness/src/snapshot.rs`), whose decoder consumes
+//! untrusted bytes and must return typed errors, never panic.
 
 use crate::lexer::{Token, TokenKind};
 
@@ -78,7 +80,10 @@ pub struct Finding {
 ///   itself is the single sanctioned home of wall clocks and is exempt.
 /// - **L2** covers the crates that manipulate levels; `mis/src/levels.rs`
 ///   *is* the sanctioned arithmetic and is exempt.
-/// - **L3** covers every crate that implements protocol hot paths.
+/// - **L3** covers every crate that implements protocol hot paths, plus the
+///   harness snapshot codec: a crashed run's only way back is its snapshot,
+///   so loading one — arbitrary bytes after disk corruption — must produce
+///   a typed `SnapshotError`, never a panic.
 pub fn rules_for(path: &str) -> Vec<RuleId> {
     let mut rules = Vec::new();
     let protocol_crate = path.starts_with("crates/beeping/src/")
@@ -95,10 +100,18 @@ pub fn rules_for(path: &str) -> Vec<RuleId> {
     {
         rules.push(RuleId::L2);
     }
-    if protocol_crate {
+    if protocol_crate || is_snapshot_codec(path) {
         rules.push(RuleId::L3);
     }
     rules
+}
+
+/// The harness snapshot codec, where *every* function is an L3 hot path:
+/// the decoder is handed whatever bytes survived a crash, so `unwrap`,
+/// panicking macros and unchecked indexing are all banned throughout (use
+/// slice patterns and `.get()`; see `harness::snapshot`).
+fn is_snapshot_codec(path: &str) -> bool {
+    path == "crates/harness/src/snapshot.rs"
 }
 
 /// Paths where L1 enforces only its wall-clock subset (`Instant`,
@@ -368,8 +381,13 @@ fn check_level_arithmetic(
     }
 }
 
-/// Functions L3 treats as protocol hot paths.
-fn is_hot_path(name: Option<&String>) -> bool {
+/// Functions L3 treats as protocol hot paths. In the snapshot codec every
+/// function is hot: the whole module sits between raw disk bytes and a
+/// restored run.
+fn is_hot_path(file: &str, name: Option<&String>) -> bool {
+    if is_snapshot_codec(file) {
+        return name.is_some();
+    }
     matches!(name.map(String::as_str), Some("transmit") | Some("receive") | Some("step"))
 }
 
@@ -378,9 +396,11 @@ fn is_hot_path(name: Option<&String>) -> bool {
 /// single node's bad state — the opposite of self-stabilization, where
 /// arbitrary state must be *recovered from*. `assert!`/`debug_assert!` stay
 /// allowed: they document model violations (programming errors), not state
-/// corruption. Slice indexing is checked in `transmit`/`receive` only — the
-/// per-node paths where every access must be via checked helpers; the
-/// simulator's `step` owns its index ranges.
+/// corruption. Slice indexing is checked where the index can come from
+/// untrusted data: `transmit`/`receive` (the per-node paths, where every
+/// access must be via checked helpers) and the snapshot codec (where the
+/// bytes on disk are arbitrary after a crash); the simulator's `step` owns
+/// its index ranges.
 fn check_panic_freedom(
     file: &str,
     tokens: &[Token],
@@ -390,11 +410,11 @@ fn check_panic_freedom(
 ) {
     const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
     for (i, tok) in tokens.iter().enumerate() {
-        if ctx.in_test[i] || !is_hot_path(ctx.enclosing_fn[i].as_ref()) {
+        if ctx.in_test[i] || !is_hot_path(file, ctx.enclosing_fn[i].as_ref()) {
             continue;
         }
-        let in_receive_or_transmit =
-            matches!(ctx.enclosing_fn[i].as_deref(), Some("transmit") | Some("receive"));
+        let untrusted_index_path = is_snapshot_codec(file)
+            || matches!(ctx.enclosing_fn[i].as_deref(), Some("transmit") | Some("receive"));
         if (tok.is_ident("unwrap") || tok.is_ident("expect"))
             && tokens.get(i.wrapping_sub(1)).is_some_and(|t| t.is_punct("."))
             && tokens.get(i + 1).is_some_and(|t| t.is_punct("("))
@@ -431,11 +451,16 @@ fn check_panic_freedom(
                 ),
             );
         }
-        if in_receive_or_transmit
+        if untrusted_index_path
             && tok.is_punct("[")
-            && tokens
-                .get(i.wrapping_sub(1))
-                .is_some_and(|t| t.kind == TokenKind::Ident || t.is_punct("]") || t.is_punct(")"))
+            && tokens.get(i.wrapping_sub(1)).is_some_and(|t| {
+                // `let [a, b] = …` is a slice *pattern* (compile-checked,
+                // cannot panic) and `for x in [..]` iterates an array
+                // literal — neither is an index expression.
+                (t.kind == TokenKind::Ident && !t.is_ident("let") && !t.is_ident("in"))
+                    || t.is_punct("]")
+                    || t.is_punct(")")
+            })
         {
             push(
                 findings,
@@ -478,6 +503,36 @@ mod tests {
         // out of scope entirely.
         assert_eq!(rules_for("crates/telemetry/src/lib.rs"), Vec::<RuleId>::new());
         assert_eq!(rules_for("crates/lint/tests/fixtures/l1_determinism.rs"), Vec::<RuleId>::new());
+        // The snapshot codec gets panic-freedom on top of the wall-clock
+        // subset; the rest of the harness crate is a driver.
+        assert_eq!(rules_for("crates/harness/src/snapshot.rs"), vec![RuleId::L1, RuleId::L3]);
+        assert_eq!(rules_for("crates/harness/src/supervisor.rs"), vec![RuleId::L1]);
+    }
+
+    #[test]
+    fn l3_covers_every_fn_of_the_snapshot_codec() {
+        let codec = "crates/harness/src/snapshot.rs";
+        // Any function in the codec is a hot path — helper names included.
+        let f = run(codec, "fn parse_header(x: Option<u8>) -> u8 { x.unwrap() }", &[RuleId::L3]);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("parse_header"));
+        // Indexing fires too: decode input is whatever survived the crash.
+        assert_eq!(run(codec, "fn decode(b: &[u8]) -> u8 { b[0] }", &[RuleId::L3]).len(), 1);
+        // But the same helpers outside the codec stay cold.
+        let cold = run("crates/harness/src/supervisor.rs", "fn f() { x.unwrap(); }", &[RuleId::L3]);
+        assert!(cold.is_empty());
+    }
+
+    #[test]
+    fn l3_slice_patterns_are_not_indexing() {
+        let codec = "crates/harness/src/snapshot.rs";
+        let src = "fn decode(pair: &[u8]) -> u8 { let [a, b] = pair else { return 0 }; *a }";
+        assert!(run(codec, src, &[RuleId::L3]).is_empty());
+        let arr = "fn decode() -> u8 { let mut t = 0; for x in [1, 2] { t += x; } t }";
+        assert!(run(codec, arr, &[RuleId::L3]).is_empty());
+        // An actual index expression right after a `let` binding still fires.
+        let idx = "fn decode(pair: &[u8]) -> u8 { let a = pair[0]; a }";
+        assert_eq!(run(codec, idx, &[RuleId::L3]).len(), 1);
     }
 
     #[test]

@@ -58,6 +58,7 @@ pub mod levels;
 pub mod observer;
 pub mod policy;
 pub mod recovery;
+pub mod resumable;
 pub mod runner;
 pub mod theory;
 
@@ -68,4 +69,8 @@ pub use containment::{ContainmentConfig, ContainmentOutcome, ContainmentSample};
 pub use invariant::{InvariantChecker, LevelSpace};
 pub use policy::LmaxPolicy;
 pub use recovery::{NoisyOutcome, NoisyRunConfig};
+pub use resumable::{
+    PlanError, ResumableConfig, ResumableOutcome, ResumableRun, ResumeError, RunCheckpoint,
+    RunStatus,
+};
 pub use runner::{InitialLevels, Outcome, RunConfig, StabilizationError};

@@ -367,26 +367,27 @@ impl SegmentTracker {
 
 /// Applies one churn action to the simulator. A joining node boots with an
 /// adversarially random level drawn from the fault stream.
-fn apply_churn<A: SelfStabilizingMis>(
+///
+/// The plan is validated against the graph before the round loop starts, so
+/// application is infallible here; a failure means the simulator and the
+/// validator disagree, which is a bug worth a loud stop.
+pub(crate) fn apply_churn<A: SelfStabilizingMis>(
     sim: &mut Simulator<'_, A>,
     algo: &A,
     action: &ChurnAction,
     fault_rng: &mut Pcg64Mcg,
 ) {
-    match action {
-        ChurnAction::AddEdge(u, v) => {
-            sim.insert_edge(*u, *v);
-        }
-        ChurnAction::RemoveEdge(u, v) => {
-            sim.remove_edge(*u, *v);
-        }
-        ChurnAction::NodeLeave(v) => {
-            sim.node_leave(*v);
-        }
+    let applied = match action {
+        ChurnAction::AddEdge(u, v) => sim.insert_edge(*u, *v).map(|_| ()),
+        ChurnAction::RemoveEdge(u, v) => sim.remove_edge(*u, *v).map(|_| ()),
+        ChurnAction::NodeLeave(v) => sim.node_leave(*v).map(|_| ()),
         ChurnAction::NodeJoin(v, neighbors) => {
             let boot = random_level(algo, *v, fault_rng);
-            sim.node_join(*v, neighbors, boot);
+            sim.node_join(*v, neighbors, boot)
         }
+    };
+    if let Err(e) = applied {
+        panic!("validated churn plan failed to apply: {e}");
     }
 }
 
@@ -423,7 +424,9 @@ pub fn run_noisy<A: SelfStabilizingMis>(
     algo: &A,
     config: &NoisyRunConfig,
 ) -> NoisyOutcome {
-    config.churn.validate(graph.len());
+    if let Err(e) = config.churn.validate(graph.len()) {
+        panic!("invalid churn plan: {e}");
+    }
     if let Err(e) = config.faults.validate(graph.len()) {
         panic!("invalid fault plan: {e}");
     }

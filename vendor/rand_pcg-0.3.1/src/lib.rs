@@ -1,0 +1,114 @@
+//! Offline stand-in for `rand_pcg` 0.3 carrying the *real* PCG XSL 128/64
+//! (MCG) algorithm — the multiplier, state update, and XSL-RR output function
+//! match O'Neill's reference and the upstream crate bit-for-bit, so seeded
+//! streams are reproducible against the real implementation.
+//!
+//! One extension over upstream: [`Mcg128Xsl64::state`] /
+//! [`Mcg128Xsl64::from_state`] expose the raw 128-bit state so callers can
+//! serialize generator positions into durable snapshots (upstream only offers
+//! this through the optional `serde1` feature). Workspace code wraps these in
+//! `beeping::rng` so a future switch to the registry crate touches one place.
+
+use rand::{RngCore, SeedableRng};
+
+/// Multiplier from the PCG reference implementation (128-bit MCG).
+const MULTIPLIER: u128 = 0x2360_ed05_1fc6_5da4_4385_df64_9fcc_f645;
+
+/// A PCG generator: 128-bit multiplicative congruential state, XSL-RR output.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Mcg128Xsl64 {
+    state: u128,
+}
+
+/// The conventional alias used throughout the workspace.
+pub type Pcg64Mcg = Mcg128Xsl64;
+
+impl Mcg128Xsl64 {
+    /// Construct from any 128-bit value; the state is forced odd (an MCG
+    /// requires an odd state to achieve its full period).
+    pub fn new(state: u128) -> Self {
+        Mcg128Xsl64 { state: state | 1 }
+    }
+
+    /// Raw generator state (snapshot extension; see module docs).
+    pub fn state(&self) -> u128 {
+        self.state
+    }
+
+    /// Rebuild a generator at an exact stream position captured via
+    /// [`Mcg128Xsl64::state`] (snapshot extension; see module docs).
+    pub fn from_state(state: u128) -> Self {
+        Mcg128Xsl64 { state: state | 1 }
+    }
+}
+
+/// XSL-RR output: xor-fold the state to 64 bits, then rotate by the top bits.
+#[inline]
+fn output_xsl_rr(state: u128) -> u64 {
+    const XSHIFT: u32 = 64;
+    const ROTATE: u32 = 122;
+    let rot = (state >> ROTATE) as u32;
+    let xsl = ((state >> XSHIFT) as u64) ^ (state as u64);
+    xsl.rotate_right(rot)
+}
+
+impl RngCore for Mcg128Xsl64 {
+    fn next_u32(&mut self) -> u32 {
+        self.next_u64() as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_mul(MULTIPLIER);
+        output_xsl_rr(self.state)
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            let len = chunk.len();
+            chunk.copy_from_slice(&bytes[..len]);
+        }
+    }
+}
+
+impl SeedableRng for Mcg128Xsl64 {
+    type Seed = [u8; 16];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        Mcg128Xsl64::new(u128::from_le_bytes(seed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_is_xsl_rr_of_advanced_state() {
+        // First output must be XSL-RR of (state * MULTIPLIER): advance, then
+        // fold — the MCG convention (there is no increment).
+        let seed = 0xcafe_f00d_d15e_a5e5u128 | 1;
+        let mut rng = Mcg128Xsl64::new(seed);
+        let advanced = seed.wrapping_mul(MULTIPLIER);
+        assert_eq!(rng.next_u64(), output_xsl_rr(advanced));
+        assert_eq!(rng.state(), advanced);
+    }
+
+    #[test]
+    fn state_round_trip() {
+        let mut a = Mcg128Xsl64::seed_from_u64(0xbeef);
+        for _ in 0..17 {
+            a.next_u64();
+        }
+        let mut b = Mcg128Xsl64::from_state(a.state());
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn state_is_odd() {
+        assert_eq!(Mcg128Xsl64::new(0).state() & 1, 1);
+        assert_eq!(Mcg128Xsl64::seed_from_u64(0).state() & 1, 1);
+    }
+}
