@@ -153,7 +153,7 @@ impl BeepingProtocol for JsxMis {
         match (state.parity, state.status) {
             // Competition round: active vertices beep with probability p.
             (0, JsxStatus::Active) => {
-                if rng.gen_bool(2f64.powi(-(state.prob_exp as i32))) {
+                if rng.gen_bool(2f64.powi(-i32::try_from(state.prob_exp).unwrap_or(i32::MAX))) {
                     BeepSignal::channel1()
                 } else {
                     BeepSignal::silent()

@@ -36,7 +36,7 @@ pub fn policies(g: &Graph) -> Vec<LmaxPolicy> {
         LmaxPolicy::two_hop_degree(g),
         LmaxPolicy::custom(
             format!("2·log₂ n (={})", 2 * log2_ceil(n)),
-            vec![(2 * log2_ceil(n)).max(2) as i32; n],
+            vec![i32::try_from((2 * log2_ceil(n)).max(2)).unwrap_or(i32::MAX); n],
         ),
     ]
 }

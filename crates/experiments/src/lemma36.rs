@@ -62,7 +62,11 @@ impl Regime {
             Regime::OwnDegree => LmaxPolicy::own_degree(g),
             Regime::Minimal => LmaxPolicy::custom(
                 "minimal(⌈log₂ deg⌉+4)",
-                g.nodes().map(|v| (mis::levels::log2_ceil(g.degree(v)) + 4) as i32).collect(),
+                g.nodes()
+                    .map(|v| {
+                        i32::try_from(mis::levels::log2_ceil(g.degree(v)) + 4).unwrap_or(i32::MAX)
+                    })
+                    .collect(),
             ),
         }
     }
@@ -179,7 +183,7 @@ pub fn run(quick: bool) -> String {
             table.row([
                 x.to_string(),
                 format!("{p:.5}"),
-                format!("{:.5}", mean_eta * 2f64.powi(-(x as i32))),
+                format!("{:.5}", mean_eta * 2f64.powi(-i32::try_from(x).unwrap_or(i32::MAX))),
             ]);
         }
         out.push_str(&format!(

@@ -48,7 +48,7 @@ pub fn measure_layers(n: usize, seeds: u64) -> Vec<LayerReport> {
     let g = graphs::generators::scale_free::barabasi_albert(n, 3, 0x22).expect("valid BA");
     let algo = Algorithm1::new(&g, LmaxPolicy::own_degree(&g));
     let lmax = algo.policy().lmax_values().to_vec();
-    let class_of: Vec<u32> = lmax.iter().map(|&l| l as u32).collect();
+    let class_of: Vec<u32> = lmax.iter().map(|&l| u32::try_from(l).unwrap_or(0)).collect();
     let max_class = class_of.iter().copied().max().unwrap_or(0);
 
     // per class: vertex stabilization rounds (across seeds), completion per seed

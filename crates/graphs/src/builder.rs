@@ -72,7 +72,7 @@ impl GraphBuilder {
             return Err(GraphError::SelfLoop(u));
         }
         let (a, b) = if u < v { (u, v) } else { (v, u) };
-        self.edges.push((a as u32, b as u32));
+        self.edges.push((crate::graph::node_id32(a), crate::graph::node_id32(b)));
         Ok(self)
     }
 
@@ -94,7 +94,8 @@ impl GraphBuilder {
     /// `true` if the edge was already inserted (linear scan; intended for
     /// tests and small generators that need rejection sampling).
     pub fn contains_edge(&self, u: NodeId, v: NodeId) -> bool {
-        let (a, b) = if u < v { (u as u32, v as u32) } else { (v as u32, u as u32) };
+        let (a, b) = if u < v { (u, v) } else { (v, u) };
+        let (a, b) = (crate::graph::node_id32(a), crate::graph::node_id32(b));
         self.edges.contains(&(a, b))
     }
 

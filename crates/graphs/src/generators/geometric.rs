@@ -64,7 +64,7 @@ pub fn geometric_from_points(points: &[(f64, f64)], radius: f64) -> Graph {
     let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); cells_per_side * cells_per_side];
     for (i, &p) in points.iter().enumerate() {
         let (cx, cy) = cell_of(p);
-        buckets[cy * cells_per_side + cx].push(i as u32);
+        buckets[cy * cells_per_side + cx].push(crate::graph::node_id32(i));
     }
     let r2 = radius * radius;
     for (i, &(x, y)) in points.iter().enumerate() {

@@ -131,7 +131,7 @@ pub fn random_regular(n: usize, d: usize, seed: u64) -> Result<Graph, GraphError
         stubs.clear();
         for v in 0..n {
             for _ in 0..d {
-                stubs.push(v as u32);
+                stubs.push(crate::graph::node_id32(v));
             }
         }
         stubs.shuffle(&mut rng);

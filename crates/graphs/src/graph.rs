@@ -4,6 +4,18 @@
 /// Index of a node in a [`Graph`]; nodes are always `0..n`.
 pub type NodeId = usize;
 
+/// Converts a validated node id to its compact `u32` adjacency form.
+///
+/// Node ids are `< n ≤ u32::MAX` (enforced at construction by
+/// [`crate::GraphBuilder::new`]), so the narrowing is lossless; the debug
+/// assertion catches misuse with out-of-range ids before the cast could
+/// truncate. This is the single sanctioned id-narrowing site (lint L6).
+#[inline]
+pub(crate) fn node_id32(v: NodeId) -> u32 {
+    debug_assert!(u32::try_from(v).is_ok(), "node id {v} exceeds u32 range");
+    v as u32
+}
+
 /// A simple, undirected graph stored in compressed sparse row (CSR) form.
 ///
 /// Every node's adjacency list is a sorted slice of a single shared buffer,
@@ -160,7 +172,7 @@ impl Graph {
     /// Panics if `u` or `v` is out of range.
     pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
         let (a, b) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
-        self.neighbors(a).binary_search(&(b as u32)).is_ok()
+        self.neighbors(a).binary_search(&node_id32(b)).is_ok()
     }
 
     /// Iterates over all nodes `0..n`.
@@ -251,8 +263,8 @@ impl Graph {
         if self.has_edge(u, v) {
             return Ok(false);
         }
-        self.insert_half_edge(u, v as u32);
-        self.insert_half_edge(v, u as u32);
+        self.insert_half_edge(u, node_id32(v));
+        self.insert_half_edge(v, node_id32(u));
         Ok(true)
     }
 
@@ -266,8 +278,8 @@ impl Graph {
         if u == v || !self.has_edge(u, v) {
             return false;
         }
-        self.remove_half_edge(u, v as u32);
-        self.remove_half_edge(v, u as u32);
+        self.remove_half_edge(u, node_id32(v));
+        self.remove_half_edge(v, node_id32(u));
         true
     }
 
@@ -282,7 +294,7 @@ impl Graph {
         let incident: Vec<u32> = self.neighbors(v).to_vec();
         for &u in &incident {
             self.remove_half_edge(v, u);
-            self.remove_half_edge(u as usize, v as u32);
+            self.remove_half_edge(u as usize, node_id32(v));
         }
         incident.len()
     }

@@ -5,7 +5,6 @@
 //! and *maximal* if every non-member has a member neighbor.
 
 use rand::seq::SliceRandom;
-use rand::SeedableRng;
 
 use crate::{Graph, NodeId};
 
@@ -162,7 +161,7 @@ where
 /// Greedy MIS over a uniformly random node permutation.
 pub fn random_greedy_mis(g: &Graph, seed: u64) -> Vec<bool> {
     let mut order: Vec<NodeId> = g.nodes().collect();
-    let mut rng = rand_pcg::Pcg64Mcg::seed_from_u64(seed);
+    let mut rng = crate::generators::rng_from_seed(seed);
     order.shuffle(&mut rng);
     greedy_mis_in_order(g, order)
 }
@@ -259,7 +258,7 @@ mod tests {
         let g = random::gnp(60, 0.1, 8);
         for seed in 0..20 {
             // Random bitmaps: explanation is None iff the checker accepts.
-            let mut rng = rand_pcg::Pcg64Mcg::seed_from_u64(seed);
+            let mut rng = crate::generators::rng_from_seed(seed);
             let set: Vec<bool> = (0..60).map(|_| rand::Rng::gen_bool(&mut rng, 0.3)).collect();
             let explained = explain_violation(&g, &set);
             assert_eq!(explained.is_none(), is_maximal_independent_set(&g, &set));

@@ -1,0 +1,341 @@
+//! Deterministic workspace call graph over the [`crate::parse`] indexes.
+//!
+//! Nodes are `fn` items; edges come from call-site name resolution:
+//!
+//! - `Type::name(…)` where `Type` has an `impl` block somewhere in the
+//!   workspace resolves to exactly the methods qualified `Type::name`
+//!   (including `Self::name(…)`, rewritten by the parser);
+//! - `module::name(…)` (lowercase segment, or `crate`/`self`/`super`)
+//!   resolves to every free function named `name`;
+//! - `.name(…)` method calls resolve to **every** workspace method named
+//!   `name` — no receiver-type or trait-dispatch resolution, a documented
+//!   over-approximation (DESIGN.md §7.1);
+//! - bare `name(…)` resolves to every free function named `name`;
+//! - any other qualified segment (`Vec::`, `u64::`, external types) is
+//!   treated as a call out of the workspace and dropped.
+//!
+//! Everything is keyed and ordered with `BTreeMap`/`BTreeSet`, so traversal
+//! order — and therefore finding order — is stable across runs and
+//! platforms, the same bit-determinism bar the simulator holds itself to.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::parse::{CallKind, FileIndex};
+
+/// Stable identifier of a function definition: (file index, fn index).
+pub type DefId = (usize, usize);
+
+/// Method names the resolver refuses to follow: the std prelude/iterator/
+/// container surface. A workspace `fn collect` does exist (metrics), but a
+/// `.collect()` inside `step` is the iterator adaptor, and without receiver
+/// types the only sound-ish choice is to treat these ubiquitous names as
+/// std. Domain vocabulary (`transmit`, `deliver`, `gather_bit`, …) stays
+/// fully resolvable.
+const COMMON_STD_METHODS: &[&str] = &[
+    "clone",
+    "collect",
+    "parse",
+    "push",
+    "pop",
+    "insert",
+    "remove",
+    "get",
+    "get_mut",
+    "take",
+    "replace",
+    "len",
+    "is_empty",
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "next",
+    "map",
+    "and_then",
+    "or_else",
+    "filter",
+    "fold",
+    "find",
+    "position",
+    "any",
+    "all",
+    "count",
+    "sum",
+    "min",
+    "max",
+    "rev",
+    "zip",
+    "chain",
+    "skip",
+    "extend",
+    "contains",
+    "contains_key",
+    "starts_with",
+    "ends_with",
+    "to_string",
+    "to_owned",
+    "to_vec",
+    "as_ref",
+    "as_mut",
+    "as_str",
+    "as_slice",
+    "as_bytes",
+    "fmt",
+    "eq",
+    "ne",
+    "cmp",
+    "partial_cmp",
+    "hash",
+    "default",
+    "drop",
+    "unwrap",
+    "unwrap_or",
+    "unwrap_or_else",
+    "unwrap_or_default",
+    "expect",
+    "ok",
+    "err",
+    "is_some",
+    "is_none",
+    "is_ok",
+    "is_err",
+    "write",
+    "read",
+    "flush",
+    "join",
+    "split",
+    "trim",
+    "lines",
+    "chars",
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "binary_search",
+    "entry",
+    "keys",
+    "values",
+    "first",
+    "last",
+    "abs",
+    "clamp",
+    "wrapping_add",
+    "saturating_add",
+    "saturating_sub",
+];
+
+/// Workspace-wide call graph.
+pub struct CallGraph {
+    /// Free functions (no `Type::` qualification) by bare name.
+    free_by_name: BTreeMap<String, Vec<DefId>>,
+    /// Every definition (free or method) by bare name.
+    all_by_name: BTreeMap<String, Vec<DefId>>,
+    /// Methods by `Type::name`.
+    by_qualified: BTreeMap<String, Vec<DefId>>,
+    /// Types with an `impl` block anywhere in the workspace.
+    impl_types: BTreeSet<String>,
+}
+
+impl CallGraph {
+    /// Builds the graph over per-file indexes (ordered as the workspace
+    /// file list; `DefId.0` indexes into that list).
+    pub fn build(files: &[&FileIndex]) -> CallGraph {
+        let mut free_by_name: BTreeMap<String, Vec<DefId>> = BTreeMap::new();
+        let mut all_by_name: BTreeMap<String, Vec<DefId>> = BTreeMap::new();
+        let mut by_qualified: BTreeMap<String, Vec<DefId>> = BTreeMap::new();
+        let mut impl_types = BTreeSet::new();
+        for (fi, index) in files.iter().enumerate() {
+            impl_types.extend(index.impl_types.iter().cloned());
+            for (di, def) in index.fns.iter().enumerate() {
+                let id = (fi, di);
+                all_by_name.entry(def.bare.clone()).or_default().push(id);
+                match &def.qualified {
+                    Some(q) => by_qualified.entry(q.clone()).or_default().push(id),
+                    None => free_by_name.entry(def.bare.clone()).or_default().push(id),
+                }
+            }
+        }
+        CallGraph { free_by_name, all_by_name, by_qualified, impl_types }
+    }
+
+    /// `true` if the workspace defines a method under this `Type::name`
+    /// qualified form (used to tell `self.expect(…)` — a domain helper whose
+    /// body the graph checks — from `Option::expect`).
+    pub fn has_qualified(&self, qualified: &str) -> bool {
+        self.by_qualified.contains_key(qualified)
+    }
+
+    /// Resolves one call site to candidate definitions (possibly empty:
+    /// std/external calls).
+    fn resolve(&self, name: &str, kind: &CallKind) -> &[DefId] {
+        static EMPTY: [DefId; 0] = [];
+        let hit = match kind {
+            CallKind::Qualified(seg) => {
+                const PRIMITIVES: &[&str] = &[
+                    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128",
+                    "isize", "f32", "f64", "bool", "char", "str",
+                ];
+                if self.impl_types.contains(seg) {
+                    self.by_qualified.get(&format!("{seg}::{name}"))
+                } else if PRIMITIVES.contains(&seg.as_str()) {
+                    // `u32::from(…)` etc. — std, not a workspace module.
+                    None
+                } else if seg.chars().next().is_some_and(|c| c.is_lowercase() || c == '_') {
+                    // Module path: `recovery::apply_churn(…)`.
+                    self.free_by_name.get(name)
+                } else {
+                    // External/primitive type: out of the workspace.
+                    None
+                }
+            }
+            CallKind::Method => {
+                if COMMON_STD_METHODS.contains(&name) {
+                    // `.collect(…)`, `.parse(…)`, `.clone(…)` … almost always
+                    // target std, and resolving them by bare name would drag
+                    // unrelated workspace fns that happen to share the name
+                    // into every hot set. Skipping them is the one deliberate
+                    // under-approximation in the graph (DESIGN.md §7.1).
+                    None
+                } else {
+                    self.all_by_name.get(name)
+                }
+            }
+            CallKind::Bare => self.free_by_name.get(name),
+        };
+        hit.map_or(&EMPTY[..], Vec::as_slice)
+    }
+
+    /// BFS from `roots`, following call edges through non-test definitions.
+    /// Returns, for every reachable definition, the shortest call chain from
+    /// a root as a list of function names (root first), e.g.
+    /// `["tick", "apply_churn"]`.
+    pub fn reachable(&self, files: &[&FileIndex], roots: &[DefId]) -> BTreeMap<DefId, Vec<String>> {
+        let mut chains: BTreeMap<DefId, Vec<String>> = BTreeMap::new();
+        let mut queue: VecDeque<DefId> = VecDeque::new();
+        for &root in roots {
+            let def = &files[root.0].fns[root.1];
+            if def.in_test {
+                continue;
+            }
+            chains.entry(root).or_insert_with(|| vec![def.bare.clone()]);
+            queue.push_back(root);
+        }
+        while let Some(id) = queue.pop_front() {
+            let chain = chains[&id].clone();
+            for call in &files[id.0].fns[id.1].calls {
+                for &callee in self.resolve(&call.name, &call.kind) {
+                    let def = &files[callee.0].fns[callee.1];
+                    if def.in_test || chains.contains_key(&callee) {
+                        continue;
+                    }
+                    let mut next = chain.clone();
+                    next.push(def.bare.clone());
+                    chains.insert(callee, next);
+                    queue.push_back(callee);
+                }
+            }
+        }
+        chains
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::tokenize;
+    use crate::parse::index_file;
+
+    fn graph_of(srcs: &[&str]) -> (Vec<FileIndex>, Vec<DefId>) {
+        let indexes: Vec<FileIndex> = srcs.iter().map(|s| index_file(&tokenize(s))).collect();
+        let roots: Vec<DefId> = indexes
+            .iter()
+            .enumerate()
+            .flat_map(|(fi, ix)| {
+                ix.fns
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, d)| d.bare == "step")
+                    .map(move |(di, _)| (fi, di))
+            })
+            .collect();
+        (indexes, roots)
+    }
+
+    fn chains(srcs: &[&str]) -> Vec<Vec<String>> {
+        let (indexes, roots) = graph_of(srcs);
+        let refs: Vec<&FileIndex> = indexes.iter().collect();
+        let graph = CallGraph::build(&refs);
+        graph.reachable(&refs, &roots).into_values().collect()
+    }
+
+    #[test]
+    fn transitive_reachability_spans_files() {
+        let chains = chains(&[
+            "fn step() { helper_a(); }",
+            "fn helper_a() { helper_b(); }\nfn helper_b() {}",
+        ]);
+        assert!(chains.contains(&vec!["step".into(), "helper_a".into(), "helper_b".into()]));
+    }
+
+    #[test]
+    fn qualified_calls_resolve_to_the_impl_type_only() {
+        let chains = chains(&["impl Engine { fn step(&self) { Engine::apply(); } }\n\
+             impl Engine { fn apply() {} }\n\
+             impl Other { fn apply() { boom(); } }\n\
+             fn boom() {}"]);
+        // Other::apply (and boom) must NOT be reachable.
+        assert_eq!(chains.len(), 2, "{chains:?}");
+        assert!(chains.contains(&vec!["step".into(), "apply".into()]));
+    }
+
+    #[test]
+    fn method_calls_over_approximate_by_name() {
+        // Unknown receiver: `ch.deliver()` matches every workspace method
+        // named `deliver`. A `self.` receiver resolves exactly instead.
+        let chains = chains(&[
+            "impl Engine { fn step(&self, ch: &Channel) { ch.deliver(); self.local(); } }\n\
+             impl Engine { fn local(&self) {} }\n\
+             impl Channel { fn deliver(&self) { inner(); } }\n\
+             fn inner() {}",
+        ]);
+        assert!(chains.contains(&vec!["step".into(), "deliver".into(), "inner".into()]));
+        assert!(chains.contains(&vec!["step".into(), "local".into()]));
+    }
+
+    #[test]
+    fn common_std_method_names_are_not_followed() {
+        // `.collect()` in a hot path is the iterator adaptor, even though a
+        // workspace `fn collect` exists somewhere.
+        let chains = chains(&["fn step() { let v: Vec<u32> = it.collect(); }\n\
+                      impl Metrics { fn collect(&self) { x.unwrap() } }"]);
+        assert_eq!(chains, vec![vec!["step".to_string()]]);
+    }
+
+    #[test]
+    fn external_qualified_calls_are_dropped() {
+        let chains =
+            chains(&["fn step() { Vec::new(); u32::from(0u8); }\nfn new() {}\nfn from() {}"]);
+        // `Vec`/`u32` have no workspace impl block and are uppercase/primitive
+        // segments, so `Vec::new`/`u32::from` do not reach the free fns.
+        assert_eq!(chains, vec![vec!["step".to_string()]]);
+    }
+
+    #[test]
+    fn module_qualified_calls_reach_free_fns() {
+        let chains = chains(&["fn step() { recovery::apply_churn(); }", "fn apply_churn() {}"]);
+        assert!(chains.contains(&vec!["step".into(), "apply_churn".into()]));
+    }
+
+    #[test]
+    fn test_defs_are_not_traversed() {
+        let chains = chains(&[
+            "fn step() { helper(); }\n#[cfg(test)]\nmod t { fn helper() { boom(); } }\nfn boom() {}",
+        ]);
+        // The test-only `helper` is skipped, so `boom` stays unreachable.
+        assert_eq!(chains, vec![vec!["step".to_string()]]);
+    }
+
+    #[test]
+    fn bare_calls_do_not_match_methods() {
+        let chains = chains(&["fn step() { deliver(); }\nimpl C { fn deliver(&self) {} }"]);
+        assert_eq!(chains, vec![vec!["step".to_string()]]);
+    }
+}

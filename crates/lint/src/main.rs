@@ -8,13 +8,15 @@ use lint::{lint_files_all_rules, lint_workspace, parse_allowlist, AllowEntry};
 const USAGE: &str = "\
 Usage: lint [OPTIONS] [FILES...]
 
-Lints the workspace's protocol crates for determinism (L1), level-arithmetic
-(L2) and panic-freedom (L3) violations. With FILES, lints exactly those files
-with every rule enabled (fixture/self-test mode).
+Lints the workspace for determinism (L1), level-arithmetic (L2), transitive
+panic-freedom (L3), rng-discipline (L4), concurrency-discipline (L5) and
+cast-audit (L6) violations. With FILES, lints exactly those files with every
+rule enabled (fixture/self-test mode).
 
 Options:
   --root DIR        workspace root (default: auto-detected)
   --allowlist FILE  allowlist path (default: <root>/lint-allow.txt)
+  --strict          stale allowlist entries are failures (CI mode)
   --json            machine-readable output
   -h, --help        this help
 ";
@@ -23,15 +25,18 @@ struct Options {
     root: Option<PathBuf>,
     allowlist: Option<PathBuf>,
     json: bool,
+    strict: bool,
     files: Vec<PathBuf>,
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
-    let mut opts = Options { root: None, allowlist: None, json: false, files: Vec::new() };
+    let mut opts =
+        Options { root: None, allowlist: None, json: false, strict: false, files: Vec::new() };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--json" => opts.json = true,
+            "--strict" => opts.strict = true,
             "--root" => {
                 opts.root =
                     Some(PathBuf::from(it.next().ok_or("--root needs a directory argument")?))
@@ -91,7 +96,7 @@ fn main() -> ExitCode {
     let result = if opts.files.is_empty() {
         let allow_path = opts.allowlist.clone().unwrap_or_else(|| root.join("lint-allow.txt"));
         load_allowlist(&allow_path, opts.allowlist.is_some())
-            .and_then(|allowlist| lint_workspace(&root, &allowlist))
+            .and_then(|allowlist| lint_workspace(&root, &allowlist, opts.strict))
     } else {
         lint_files_all_rules(&root, &opts.files)
     };
@@ -102,7 +107,7 @@ fn main() -> ExitCode {
             } else {
                 print!("{}", report.render_text());
             }
-            ExitCode::from(report.exit_code() as u8)
+            ExitCode::from(report.exit_code())
         }
         Err(msg) => {
             eprintln!("error: {msg}");

@@ -1,0 +1,608 @@
+//! A lightweight structural parser over the token stream: item boundaries
+//! (functions, `impl` blocks), `#[cfg(test)]` regions, call-site extraction,
+//! `const` purpose tables, and `aux_rng` call arguments.
+//!
+//! This is deliberately **not** a full Rust parser. It recovers just enough
+//! structure for the workspace rules in [`crate::rules`]:
+//!
+//! - every `fn` item with its name, body token range, and (when defined
+//!   directly inside an `impl` block) its `Type::name` qualified form;
+//! - every call site inside a function body, classified as qualified
+//!   (`Type::name(…)` / `module::name(…)`), method (`.name(…)`) or bare
+//!   (`name(…)`);
+//! - whether each token sits inside a `#[cfg(test)]` / `#[test]` item;
+//! - `const NAME: u64 = <literal>;` definitions (the RNG purpose tables);
+//! - the second argument of every `aux_rng(…)` call (RNG stream purposes).
+//!
+//! Known approximations, documented in DESIGN.md §7.1: trait dispatch is not
+//! resolved (a method call matches every workspace method of that name),
+//! macro bodies are opaque, and const-generic braces in return types can
+//! confuse body-range detection. All of these over- or under-approximate in
+//! ways the rules tolerate (over-approximation surfaces extra candidates
+//! that either contain no violations or go through the allowlist).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::{Token, TokenKind};
+
+/// How a call site names its callee; determines resolution in
+/// [`crate::callgraph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CallKind {
+    /// `seg::name(…)` — `seg` is the immediately preceding path segment,
+    /// with `Self` already rewritten to the enclosing impl type.
+    Qualified(String),
+    /// `.name(…)` — receiver type unknown (no trait/type resolution).
+    Method,
+    /// `name(…)` — a free-function call.
+    Bare,
+}
+
+/// One call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct Call {
+    /// Callee name (last path segment).
+    pub name: String,
+    /// Qualification of the call.
+    pub kind: CallKind,
+}
+
+/// One `fn` item.
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// The function's bare name.
+    pub bare: String,
+    /// `Type::name` when defined directly inside an `impl Type` block.
+    pub qualified: Option<String>,
+    /// 1-based line/col of the name token (for diagnostics).
+    pub line: u32,
+    /// 1-based column of the name token.
+    pub col: u32,
+    /// Token-index range of the body `{ … }`, inclusive; `None` for
+    /// body-less trait signatures.
+    pub body: Option<(usize, usize)>,
+    /// Defined inside a `#[cfg(test)]` / `#[test]` region.
+    pub in_test: bool,
+    /// Call sites inside the body, in source order.
+    pub calls: Vec<Call>,
+}
+
+/// The second argument of an `aux_rng(…)` call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PurposeArg {
+    /// An integer literal purpose (`aux_rng(seed, 0xADA)`).
+    Literal(u64),
+    /// A named constant purpose (`aux_rng(seed, FAULT_RNG_PURPOSE)`).
+    Named(String),
+    /// Anything more complex — not analyzable, skipped by the rule.
+    Opaque,
+}
+
+/// One `aux_rng(…)` call site.
+#[derive(Debug, Clone)]
+pub struct AuxCall {
+    /// The purpose (second) argument.
+    pub arg: PurposeArg,
+    /// 1-based line of the call.
+    pub line: u32,
+    /// 1-based column of the call.
+    pub col: u32,
+    /// The call sits inside a test region.
+    pub in_test: bool,
+}
+
+/// Structural index of one source file.
+#[derive(Debug, Default)]
+pub struct FileIndex {
+    /// Every `fn` item, in source order.
+    pub fns: Vec<FnDef>,
+    /// For each token, the index into `fns` of the innermost enclosing
+    /// function body, if any.
+    pub enclosing: Vec<Option<usize>>,
+    /// For each token, whether it sits inside a test region.
+    pub in_test: Vec<bool>,
+    /// Type names with an `impl` block in this file.
+    pub impl_types: BTreeSet<String>,
+    /// `const NAME: u64 = <int literal>;` definitions.
+    pub consts: BTreeMap<String, u64>,
+    /// `aux_rng(…)` call sites.
+    pub aux_calls: Vec<AuxCall>,
+}
+
+/// Keywords and tuple-variant constructors that look like calls but are not
+/// function calls the graph should follow.
+const NON_CALL_IDENTS: &[&str] = &[
+    "if", "else", "while", "for", "loop", "match", "return", "fn", "let", "mut", "ref", "move",
+    "as", "in", "use", "pub", "mod", "struct", "enum", "trait", "impl", "where", "unsafe", "dyn",
+    "break", "continue", "crate", "super", "self", "Self", "static", "const", "type", "box",
+    "async", "await", "yield", "Some", "Ok", "Err", "None",
+];
+
+/// Parses an integer literal token (`0xFA17`, `1_000`, `42u64`) as `u64`.
+/// Returns `None` for floats, strings, or out-of-range values.
+pub fn parse_int_literal(text: &str) -> Option<u64> {
+    let cleaned: String = text.chars().filter(|&c| c != '_').collect();
+    let (digits, radix) = match cleaned.strip_prefix("0x").or_else(|| cleaned.strip_prefix("0X")) {
+        Some(hex) => (hex, 16),
+        None => match cleaned.strip_prefix("0b") {
+            Some(bin) => (bin, 2),
+            None => match cleaned.strip_prefix("0o") {
+                Some(oct) => (oct, 8),
+                None => (cleaned.as_str(), 10),
+            },
+        },
+    };
+    // Strip a trailing type suffix (`u64`, `usize`, …): keep the leading
+    // digit run of the radix.
+    let end = digits.find(|c: char| !c.is_digit(radix)).unwrap_or(digits.len());
+    let digits = &digits[..end];
+    if digits.is_empty() {
+        return None;
+    }
+    u64::from_str_radix(digits, radix).ok()
+}
+
+/// Marks test regions: an attribute containing the ident `test` (but not
+/// `cfg(not(test))`) exempts the item it precedes, through the matching
+/// close brace or terminating semicolon.
+fn mark_test_regions(tokens: &[Token]) -> Vec<bool> {
+    let n = tokens.len();
+    let mut in_test = vec![false; n];
+    let mut i = 0;
+    while i < n {
+        if tokens[i].is_punct("#") && i + 1 < n && tokens[i + 1].is_punct("[") {
+            let mut j = i + 2;
+            let mut bracket_depth = 1usize;
+            let mut mentions_test = false;
+            while j < n && bracket_depth > 0 {
+                if tokens[j].is_punct("[") {
+                    bracket_depth += 1;
+                } else if tokens[j].is_punct("]") {
+                    bracket_depth -= 1;
+                } else if tokens[j].is_ident("test") {
+                    // `#[cfg(not(test))]` guards *production* code.
+                    let negated =
+                        j >= 2 && tokens[j - 1].is_punct("(") && tokens[j - 2].is_ident("not");
+                    if !negated {
+                        mentions_test = true;
+                    }
+                }
+                j += 1;
+            }
+            if mentions_test {
+                let start = i;
+                let mut k = j;
+                let mut brace_depth = 0usize;
+                while k < n {
+                    if tokens[k].is_punct("{") {
+                        brace_depth += 1;
+                    } else if tokens[k].is_punct("}") {
+                        brace_depth -= 1;
+                        if brace_depth == 0 {
+                            break;
+                        }
+                    } else if tokens[k].is_punct(";") && brace_depth == 0 {
+                        break;
+                    }
+                    k += 1;
+                }
+                for slot in in_test.iter_mut().take((k + 1).min(n)).skip(start) {
+                    *slot = true;
+                }
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+    in_test
+}
+
+/// Extracts the implemented type name from an `impl` header starting at
+/// `tokens[i]` (the `impl` ident): the first type ident after `for` when a
+/// trait is implemented, otherwise the first type ident after the optional
+/// generic parameter list. Returns `(type_name, index_of_open_brace)`.
+fn parse_impl_header(tokens: &[Token], i: usize) -> (Option<String>, usize) {
+    let n = tokens.len();
+    let mut j = i + 1;
+    let mut angle: i64 = 0;
+    let mut after_for = false;
+    let mut first_at_top: Option<String> = None;
+    let mut for_type: Option<String> = None;
+    while j < n {
+        let t = &tokens[j];
+        if t.is_punct("{") && angle <= 0 {
+            break;
+        }
+        if t.is_punct(";") && angle <= 0 {
+            break; // malformed / not actually an impl block
+        }
+        match t.text.as_str() {
+            "<" if t.kind == TokenKind::Punct => angle += 1,
+            ">" if t.kind == TokenKind::Punct => angle -= 1,
+            ">>" if t.kind == TokenKind::Punct => angle -= 2,
+            "where" if t.kind == TokenKind::Ident && angle <= 0 => {
+                // The implemented type is fully named before `where`.
+                while j < n && !tokens[j].is_punct("{") {
+                    j += 1;
+                }
+                break;
+            }
+            "for" if t.kind == TokenKind::Ident && angle <= 0 => after_for = true,
+            _ if t.kind == TokenKind::Ident && angle <= 0 => {
+                let skip = matches!(t.text.as_str(), "dyn" | "mut" | "const" | "unsafe");
+                if !skip {
+                    if after_for && for_type.is_none() {
+                        for_type = Some(t.text.clone());
+                    } else if !after_for
+                        && (first_at_top.is_none()
+                            // Within a path `a::b::Type`, keep the last segment.
+                            || tokens.get(j.wrapping_sub(1)).is_some_and(|p| p.is_punct("::")))
+                    {
+                        first_at_top = Some(t.text.clone());
+                    }
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    (for_type.or(first_at_top), j)
+}
+
+/// Scans the argument list opening at `tokens[open]` (a `(`), returning the
+/// token ranges of each top-level comma-separated argument.
+fn split_args(tokens: &[Token], open: usize) -> Vec<(usize, usize)> {
+    let n = tokens.len();
+    let mut args = Vec::new();
+    let mut depth = 1usize;
+    let mut start = open + 1;
+    let mut j = open + 1;
+    while j < n && depth > 0 {
+        let t = &tokens[j];
+        if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+            depth += 1;
+        } else if t.is_punct(")") || t.is_punct("]") || t.is_punct("}") {
+            depth -= 1;
+            if depth == 0 {
+                if j > start {
+                    args.push((start, j));
+                }
+                break;
+            }
+        } else if t.is_punct(",") && depth == 1 {
+            if j > start {
+                args.push((start, j));
+            }
+            start = j + 1;
+        }
+        j += 1;
+    }
+    args
+}
+
+/// Builds the structural index for one file's token stream.
+pub fn index_file(tokens: &[Token]) -> FileIndex {
+    let n = tokens.len();
+    let in_test = mark_test_regions(tokens);
+    let mut fns: Vec<FnDef> = Vec::new();
+    let mut enclosing: Vec<Option<usize>> = vec![None; n];
+    let mut impl_types = BTreeSet::new();
+    let mut consts = BTreeMap::new();
+    let mut aux_calls = Vec::new();
+
+    let mut depth = 0usize;
+    // (fn index, depth at which its body opened)
+    let mut fn_stack: Vec<(usize, usize)> = Vec::new();
+    // (impl type name, depth at which its body opened)
+    let mut impl_stack: Vec<(String, usize)> = Vec::new();
+    let mut pending_fn: Option<usize> = None;
+    let mut pending_impl: Option<String> = None;
+    // Attribute regions (`#[…]`) are skipped for call extraction: `derive(…)`
+    // is not a call.
+    let mut attr_until: usize = 0;
+
+    let mut i = 0;
+    while i < n {
+        let tok = &tokens[i];
+        if i >= attr_until
+            && tok.is_punct("#")
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct("["))
+        {
+            let mut j = i + 2;
+            let mut bracket = 1usize;
+            while j < n && bracket > 0 {
+                if tokens[j].is_punct("[") {
+                    bracket += 1;
+                } else if tokens[j].is_punct("]") {
+                    bracket -= 1;
+                }
+                j += 1;
+            }
+            attr_until = j;
+        }
+        enclosing[i] = fn_stack.last().map(|&(idx, _)| idx);
+        if tok.is_punct("{") {
+            if let Some(fn_idx) = pending_fn.take() {
+                fns[fn_idx].body = Some((i, i)); // end patched on close
+                fn_stack.push((fn_idx, depth));
+            } else if let Some(ty) = pending_impl.take() {
+                impl_stack.push((ty, depth));
+            }
+            depth += 1;
+        } else if tok.is_punct("}") {
+            depth = depth.saturating_sub(1);
+            if let Some(&(fn_idx, d)) = fn_stack.last() {
+                if depth == d {
+                    if let Some(body) = fns[fn_idx].body.as_mut() {
+                        body.1 = i;
+                    }
+                    fn_stack.pop();
+                }
+            }
+            if let Some(&(_, d)) = impl_stack.last() {
+                if depth == d {
+                    impl_stack.pop();
+                }
+            }
+        } else if tok.is_punct(";") {
+            // A `;` before a body's `{` ends a trait-method signature or a
+            // malformed impl header.
+            pending_fn = None;
+            pending_impl = None;
+        } else if tok.is_ident("impl") && pending_fn.is_none() {
+            let (ty, _) = parse_impl_header(tokens, i);
+            if let Some(ty) = ty {
+                impl_types.insert(ty.clone());
+                pending_impl = Some(ty);
+            }
+        } else if tok.is_ident("fn") {
+            if let Some(next) = tokens.get(i + 1) {
+                if next.kind == TokenKind::Ident {
+                    // Directly inside an impl body ⇒ qualified method name.
+                    let qualified = impl_stack
+                        .last()
+                        .filter(|&&(_, d)| d + 1 == depth)
+                        .filter(|_| fn_stack.iter().all(|&(_, d)| d + 1 != depth))
+                        .map(|(ty, _)| format!("{ty}::{}", next.text));
+                    fns.push(FnDef {
+                        bare: next.text.clone(),
+                        qualified,
+                        line: next.line,
+                        col: next.col,
+                        body: None,
+                        in_test: in_test[i],
+                        calls: Vec::new(),
+                    });
+                    pending_fn = Some(fns.len() - 1);
+                }
+            }
+        } else if tok.is_ident("const") {
+            // `const NAME: u64 = <int literal>;` — the purpose-table shape.
+            if let (Some(name), Some(colon), Some(ty), Some(eq), Some(lit)) = (
+                tokens.get(i + 1),
+                tokens.get(i + 2),
+                tokens.get(i + 3),
+                tokens.get(i + 4),
+                tokens.get(i + 5),
+            ) {
+                if name.kind == TokenKind::Ident
+                    && colon.is_punct(":")
+                    && ty.is_ident("u64")
+                    && eq.is_punct("=")
+                    && lit.kind == TokenKind::Literal
+                    && tokens.get(i + 6).is_some_and(|t| t.is_punct(";"))
+                {
+                    if let Some(v) = parse_int_literal(&lit.text) {
+                        consts.insert(name.text.clone(), v);
+                    }
+                }
+            }
+        }
+
+        // Call-site extraction (inside function bodies, outside attributes).
+        if i >= attr_until
+            && tok.kind == TokenKind::Ident
+            && !NON_CALL_IDENTS.contains(&tok.text.as_str())
+            && !tokens.get(i.wrapping_sub(1)).is_some_and(|t| t.is_ident("fn"))
+        {
+            let open = call_open_paren(tokens, i);
+            if let Some(open) = open {
+                let kind = if tokens.get(i.wrapping_sub(1)).is_some_and(|t| t.is_punct("::"))
+                    && tokens.get(i.wrapping_sub(2)).is_some_and(|t| t.kind == TokenKind::Ident)
+                {
+                    let mut seg = tokens[i - 2].text.clone();
+                    if seg == "Self" {
+                        if let Some((ty, _)) = impl_stack.last() {
+                            seg = ty.clone();
+                        }
+                    }
+                    CallKind::Qualified(seg)
+                } else if tokens.get(i.wrapping_sub(1)).is_some_and(|t| t.is_punct(".")) {
+                    // `self.name(…)` inside an impl block is an exact call on
+                    // the impl type; other receivers stay unresolved methods.
+                    match impl_stack.last() {
+                        Some((ty, _))
+                            if tokens
+                                .get(i.wrapping_sub(2))
+                                .is_some_and(|t| t.is_ident("self")) =>
+                        {
+                            CallKind::Qualified(ty.clone())
+                        }
+                        _ => CallKind::Method,
+                    }
+                } else {
+                    CallKind::Bare
+                };
+                if tok.text == "aux_rng" {
+                    let args = split_args(tokens, open);
+                    let arg = match args.get(1) {
+                        Some(&(s, e)) if e == s + 1 => match tokens[s].kind {
+                            TokenKind::Literal => parse_int_literal(&tokens[s].text)
+                                .map_or(PurposeArg::Opaque, PurposeArg::Literal),
+                            TokenKind::Ident => PurposeArg::Named(tokens[s].text.clone()),
+                            _ => PurposeArg::Opaque,
+                        },
+                        _ => PurposeArg::Opaque,
+                    };
+                    aux_calls.push(AuxCall {
+                        arg,
+                        line: tok.line,
+                        col: tok.col,
+                        in_test: in_test[i],
+                    });
+                }
+                if let Some(&(fn_idx, _)) = fn_stack.last() {
+                    fns[fn_idx].calls.push(Call { name: tok.text.clone(), kind });
+                }
+            }
+        }
+        i += 1;
+    }
+    FileIndex { fns, enclosing, in_test, impl_types, consts, aux_calls }
+}
+
+/// If `tokens[i]` begins a call — `name(`, or turbofish `name::<…>(` —
+/// returns the index of the opening parenthesis.
+fn call_open_paren(tokens: &[Token], i: usize) -> Option<usize> {
+    let next = tokens.get(i + 1)?;
+    if next.is_punct("(") {
+        return Some(i + 1);
+    }
+    // Turbofish: `name::<T, U>(…)`. `>>` closes two angle levels.
+    if next.is_punct("::") && tokens.get(i + 2).is_some_and(|t| t.is_punct("<")) {
+        let mut angle: i64 = 1;
+        let mut j = i + 3;
+        while j < tokens.len() && angle > 0 {
+            match tokens[j].text.as_str() {
+                "<" => angle += 1,
+                ">" => angle -= 1,
+                ">>" => angle -= 2,
+                _ => {}
+            }
+            j += 1;
+        }
+        if angle <= 0 && tokens.get(j).is_some_and(|t| t.is_punct("(")) {
+            return Some(j);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::tokenize;
+
+    fn index(src: &str) -> FileIndex {
+        index_file(&tokenize(src))
+    }
+
+    #[test]
+    fn fn_items_and_bodies() {
+        let ix = index("fn a() { b(); }\nfn c() {}\n");
+        assert_eq!(ix.fns.len(), 2);
+        assert_eq!(ix.fns[0].bare, "a");
+        assert_eq!(ix.fns[0].calls.len(), 1);
+        assert_eq!(ix.fns[0].calls[0].name, "b");
+        assert_eq!(ix.fns[0].calls[0].kind, CallKind::Bare);
+        assert!(ix.fns[1].calls.is_empty());
+    }
+
+    #[test]
+    fn impl_methods_are_qualified() {
+        let ix = index("impl Foo { fn make() -> Foo { Foo::helper() } fn helper() {} }");
+        assert_eq!(ix.fns[0].qualified.as_deref(), Some("Foo::make"));
+        assert_eq!(ix.fns[1].qualified.as_deref(), Some("Foo::helper"));
+        assert_eq!(ix.fns[0].calls[0].kind, CallKind::Qualified("Foo".into()));
+        assert!(ix.impl_types.contains("Foo"));
+    }
+
+    #[test]
+    fn trait_impls_use_the_self_type() {
+        let ix = index("impl<T: Clone> Display for Wrapper<T> { fn fmt(&self) {} }");
+        assert_eq!(ix.fns[0].qualified.as_deref(), Some("Wrapper::fmt"));
+        assert!(ix.impl_types.contains("Wrapper"));
+    }
+
+    #[test]
+    fn self_calls_resolve_to_the_impl_type() {
+        let ix = index("impl Foo { fn a(&self) { Self::b(); self.c(); other.d(); } }");
+        assert_eq!(ix.fns[0].calls[0].kind, CallKind::Qualified("Foo".into()));
+        assert_eq!(ix.fns[0].calls[1].kind, CallKind::Qualified("Foo".into()));
+        assert_eq!(ix.fns[0].calls[2].kind, CallKind::Method);
+    }
+
+    #[test]
+    fn nested_fns_attribute_calls_to_the_innermost() {
+        let ix = index("fn outer() { fn inner() { a(); } b(); }");
+        assert_eq!(ix.fns[0].bare, "outer");
+        assert_eq!(ix.fns[1].bare, "inner");
+        let outer_calls: Vec<&str> = ix.fns[0].calls.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(outer_calls, ["b"]);
+        assert_eq!(ix.fns[1].calls[0].name, "a");
+    }
+
+    #[test]
+    fn macros_patterns_attrs_are_not_calls() {
+        let ix =
+            index("#[derive(Debug)]\nfn f(x: Option<u8>) { panic!(\"x\"); if let Some(y) = x {} }");
+        // `Some(y)` and `derive(Debug)` and `panic!` are all excluded.
+        assert!(ix.fns[0].calls.is_empty(), "{:?}", ix.fns[0].calls);
+    }
+
+    #[test]
+    fn turbofish_calls_are_detected() {
+        let ix = index("fn f() { parse::<Vec<u32>>(x); }");
+        assert_eq!(ix.fns[0].calls.len(), 1);
+        assert_eq!(ix.fns[0].calls[0].name, "parse");
+    }
+
+    #[test]
+    fn trait_signatures_have_no_body() {
+        let ix = index("trait T { fn sig(&self); fn with_default(&self) { sig(); } }");
+        assert_eq!(ix.fns[0].bare, "sig");
+        assert!(ix.fns[0].body.is_none());
+        assert!(ix.fns[1].body.is_some());
+    }
+
+    #[test]
+    fn const_purpose_table() {
+        let ix =
+            index("const FAULT: u64 = 0xFA17;\nconst OTHER: u64 = 1_000;\nconst F: f64 = 1.0;");
+        assert_eq!(ix.consts.get("FAULT"), Some(&0xFA17));
+        assert_eq!(ix.consts.get("OTHER"), Some(&1000));
+        assert!(!ix.consts.contains_key("F"));
+    }
+
+    #[test]
+    fn aux_rng_purposes() {
+        let ix = index(
+            "fn a() { let r = aux_rng(seed, 0xADA); }\nfn b() { let r = aux_rng(seed, FAULT); }\n\
+             fn c() { let r = aux_rng(seed, base + 1); }",
+        );
+        assert_eq!(ix.aux_calls.len(), 3);
+        assert_eq!(ix.aux_calls[0].arg, PurposeArg::Literal(0xADA));
+        assert_eq!(ix.aux_calls[1].arg, PurposeArg::Named("FAULT".into()));
+        assert_eq!(ix.aux_calls[2].arg, PurposeArg::Opaque);
+    }
+
+    #[test]
+    fn test_regions_cover_defs_and_calls() {
+        let ix = index("#[cfg(test)]\nmod tests { fn helper() { aux_rng(0, 7); } }\nfn live() {}");
+        assert!(ix.fns[0].in_test);
+        assert!(!ix.fns[1].in_test);
+        assert!(ix.aux_calls[0].in_test);
+    }
+
+    #[test]
+    fn int_literal_forms() {
+        assert_eq!(parse_int_literal("0xFA17"), Some(0xFA17));
+        assert_eq!(parse_int_literal("1_000u64"), Some(1000));
+        assert_eq!(parse_int_literal("0b101"), Some(5));
+        assert_eq!(parse_int_literal("0o17"), Some(15));
+        assert_eq!(parse_int_literal("12"), Some(12));
+        assert_eq!(parse_int_literal("1.5"), Some(1)); // prefix digits only
+        assert_eq!(parse_int_literal("\"s\""), None);
+    }
+}

@@ -7,11 +7,13 @@ use crate::rules::Finding;
 /// A finding is suppressed when the rule name matches, the finding's file
 /// ends with `path`, and the offending source line contains `snippet`.
 /// Snippet matching (rather than line numbers) keeps entries stable across
-/// unrelated edits; every entry must carry a `#`-comment on the preceding
-/// line explaining *why* the site is sound (policy, enforced by review).
+/// unrelated edits. Every entry **must** carry a `#`-comment on the
+/// immediately preceding line explaining *why* the site is sound; this is
+/// enforced at parse time, so an unjustified entry fails the lint run
+/// outright rather than silently suppressing findings.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AllowEntry {
-    /// Rule name (`L1`, `L2`, `L3`).
+    /// Rule name (`L1`…`L6`).
     pub rule: String,
     /// Path suffix the finding's file must end with.
     pub path: String,
@@ -30,28 +32,42 @@ impl AllowEntry {
     }
 }
 
-/// Parses an allowlist file. Blank lines and `#` comments are skipped.
+/// Parses an allowlist file. Blank lines and `#` comments are skipped;
+/// every entry must be immediately preceded by a `#` justification comment.
 ///
 /// # Errors
 ///
 /// Returns a message naming the malformed line when an entry does not have
-/// the three `RULE path snippet` fields.
+/// the three `RULE path snippet` fields, or lacks its justification comment.
 pub fn parse_allowlist(text: &str) -> Result<Vec<AllowEntry>, String> {
     let mut entries = Vec::new();
+    let mut prev_was_comment = false;
     for (i, raw) in text.lines().enumerate() {
         let line = raw.trim();
-        if line.is_empty() || line.starts_with('#') {
+        if line.is_empty() {
+            prev_was_comment = false;
+            continue;
+        }
+        if line.starts_with('#') {
+            prev_was_comment = true;
             continue;
         }
         let mut parts = line.splitn(3, char::is_whitespace);
         let (rule, path, snippet) = (parts.next(), parts.next(), parts.next());
         match (rule, path, snippet) {
             (Some(rule), Some(path), Some(snippet)) if !snippet.trim().is_empty() => {
+                if !prev_was_comment {
+                    return Err(format!(
+                        "allowlist line {}: entry has no `#` justification comment on the \
+                         preceding line; every suppression must say why the site is sound",
+                        i + 1
+                    ));
+                }
                 entries.push(AllowEntry {
                     rule: rule.to_string(),
                     path: path.to_string(),
                     snippet: snippet.trim().to_string(),
-                    line: i as u32 + 1,
+                    line: u32::try_from(i + 1).unwrap_or(u32::MAX),
                 });
             }
             _ => {
@@ -61,6 +77,7 @@ pub fn parse_allowlist(text: &str) -> Result<Vec<AllowEntry>, String> {
                 ))
             }
         }
+        prev_was_comment = false;
     }
     Ok(entries)
 }
@@ -77,12 +94,15 @@ pub struct Report {
     /// Allowlist entries that suppressed nothing (stale; reported so the
     /// list can only shrink, never silently rot).
     pub unused_allows: Vec<AllowEntry>,
+    /// Strict mode: stale allowlist entries are failures, not warnings.
+    pub strict: bool,
 }
 
 impl Report {
-    /// Process exit code: `0` clean, `1` violations present.
-    pub fn exit_code(&self) -> i32 {
-        i32::from(!self.findings.is_empty())
+    /// Process exit code: `0` clean, `1` violations present (under
+    /// `--strict`, stale allowlist entries count as violations).
+    pub fn exit_code(&self) -> u8 {
+        u8::from(!self.findings.is_empty() || (self.strict && !self.unused_allows.is_empty()))
     }
 
     /// Splits raw findings into kept and allowed using `allowlist`.
@@ -90,6 +110,7 @@ impl Report {
         findings: Vec<Finding>,
         allowlist: &[AllowEntry],
         files_checked: usize,
+        strict: bool,
     ) -> Report {
         let mut used = vec![false; allowlist.len()];
         let mut kept = Vec::new();
@@ -105,7 +126,7 @@ impl Report {
         }
         let unused_allows =
             allowlist.iter().zip(&used).filter(|(_, &u)| !u).map(|(e, _)| e.clone()).collect();
-        Report { findings: kept, allowed, files_checked, unused_allows }
+        Report { findings: kept, allowed, files_checked, unused_allows, strict }
     }
 
     /// Human-readable output, one finding per block.
@@ -124,10 +145,15 @@ impl Report {
                 f.snippet
             ));
         }
+        let stale_severity = if self.strict { "error" } else { "warning" };
         for e in &self.unused_allows {
             out.push_str(&format!(
-                "warning: unused allowlist entry (line {}): {} {} {}\n",
-                e.line, e.rule, e.path, e.snippet
+                "{stale_severity}: unused allowlist entry (line {}): {} {} {}{}\n",
+                e.line,
+                e.rule,
+                e.path,
+                e.snippet,
+                if self.strict { " — the list only shrinks; remove it" } else { "" }
             ));
         }
         out.push_str(&format!(
@@ -158,11 +184,22 @@ impl Report {
                 escape_json(&f.snippet)
             ));
         }
+        out.push_str("],\"unused_allowlist_entries\":[");
+        for (i, e) in self.unused_allows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"line\":{},\"rule\":\"{}\",\"path\":\"{}\",\"snippet\":\"{}\"}}",
+                e.line,
+                escape_json(&e.rule),
+                escape_json(&e.path),
+                escape_json(&e.snippet)
+            ));
+        }
         out.push_str(&format!(
-            "],\"allowed\":{},\"files_checked\":{},\"unused_allowlist_entries\":{}}}",
-            self.allowed,
-            self.files_checked,
-            self.unused_allows.len()
+            "],\"allowed\":{},\"files_checked\":{},\"strict\":{}}}",
+            self.allowed, self.files_checked, self.strict
         ));
         out.push('\n');
         out
@@ -178,7 +215,7 @@ fn escape_json(s: &str) -> String {
             '\n' => out.push_str("\\n"),
             '\t' => out.push_str("\\t"),
             '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c if u32::from(c) < 0x20 => out.push_str(&format!("\\u{:04x}", u32::from(c))),
             c => out.push(c),
         }
     }
@@ -214,19 +251,45 @@ mod tests {
 
     #[test]
     fn allowlist_rejects_malformed() {
-        assert!(parse_allowlist("L2 onlytwo").is_err());
+        assert!(parse_allowlist("# why\nL2 onlytwo").is_err());
+    }
+
+    #[test]
+    fn allowlist_requires_justification_comment() {
+        // No comment at all.
+        let bare = "L2 crates/mis/src/runner.rs lmax as i64\n";
+        assert!(parse_allowlist(bare).unwrap_err().contains("justification"));
+        // A comment separated by a blank line does not count.
+        let detached = "# why\n\nL2 crates/mis/src/runner.rs lmax as i64\n";
+        assert!(parse_allowlist(detached).is_err());
+        // Two entries sharing one comment: the second is unjustified.
+        let shared = "# why\nL2 a.rs x\nL2 b.rs y\n";
+        assert!(parse_allowlist(shared).is_err());
     }
 
     #[test]
     fn report_filters_and_tracks_unused() {
-        let entries = parse_allowlist("L1 a.rs HashMap\nL3 b.rs unwrap\n").unwrap();
+        let entries = parse_allowlist("# a\nL1 a.rs HashMap\n# b\nL3 b.rs unwrap\n").unwrap();
         let findings = vec![finding(RuleId::L1, "x/a.rs", "let m: HashMap<u32, u32>;")];
-        let report = Report::from_findings(findings, &entries, 5);
+        let report = Report::from_findings(findings, &entries, 5, false);
         assert_eq!(report.findings.len(), 0);
         assert_eq!(report.allowed, 1);
         assert_eq!(report.unused_allows.len(), 1);
         assert_eq!(report.exit_code(), 0);
-        assert!(report.render_text().contains("unused allowlist entry"));
+        assert!(report.render_text().contains("warning: unused allowlist entry"));
+    }
+
+    #[test]
+    fn strict_promotes_stale_entries_to_failures() {
+        let entries = parse_allowlist("# a\nL1 a.rs HashMap\n").unwrap();
+        let report = Report::from_findings(Vec::new(), &entries, 5, true);
+        assert_eq!(report.exit_code(), 1);
+        assert!(report.render_text().contains("error: unused allowlist entry"));
+        assert!(report.render_json().contains("\"strict\":true"));
+        // A used entry under strict stays clean.
+        let findings = vec![finding(RuleId::L1, "x/a.rs", "let m: HashMap<u32, u32>;")];
+        let report = Report::from_findings(findings, &entries, 5, true);
+        assert_eq!(report.exit_code(), 0);
     }
 
     #[test]
@@ -236,6 +299,7 @@ mod tests {
             allowed: 0,
             files_checked: 1,
             unused_allows: vec![],
+            strict: false,
         };
         let json = report.render_json();
         assert!(json.contains("a\\\"b.rs"));

@@ -1,0 +1,17 @@
+//! Lint fixture: a deliberate transitive L3 violation — the panic sits two
+//! call edges below the hot-path root `step`. This file is test data for
+//! `tests/fixtures.rs`; it is never compiled.
+
+pub fn step(budget: u64) {
+    settle(budget);
+}
+
+fn settle(budget: u64) {
+    drain(budget);
+}
+
+fn drain(budget: u64) {
+    if budget == 0 {
+        panic!("budget exhausted");
+    }
+}

@@ -1,0 +1,21 @@
+//! Lint fixture with no violations: the panicking helper is only reachable
+//! through a `#[cfg(test)]` definition, which the call graph does not
+//! traverse. This file is test data for `tests/fixtures.rs`; it is never
+//! compiled.
+
+pub fn step(budget: u64) -> u64 {
+    budget.saturating_sub(1)
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn settle(budget: u64) {
+        drain(budget);
+    }
+
+    pub fn drain(budget: u64) {
+        if budget == 0 {
+            panic!("budget exhausted");
+        }
+    }
+}

@@ -1,0 +1,12 @@
+//! Lint fixture: a deliberate L4 purpose-stream collision — two unrelated
+//! call sites derive aux generators from the same literal purpose, so their
+//! streams are identical. This file is test data for `tests/fixtures.rs`;
+//! it is never compiled.
+
+pub fn churn_rng(seed: u64) -> Rng {
+    beeping::rng::aux_rng(seed, 0xC0FFEE)
+}
+
+pub fn fault_rng(seed: u64) -> Rng {
+    beeping::rng::aux_rng(seed, 0xC0FFEE)
+}

@@ -1,0 +1,8 @@
+//! Lint fixture: a deliberate L4 (rng-discipline) violation — ad-hoc
+//! seeding instead of the beeping::rng purpose streams. This file is test
+//! data for `tests/fixtures.rs`; it is never compiled.
+
+pub fn shuffled_order(seed: u64) -> u64 {
+    let rng = rand_pcg::Pcg64Mcg::seed_from_u64(seed);
+    seed ^ rng_marker(rng)
+}

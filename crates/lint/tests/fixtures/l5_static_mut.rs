@@ -1,0 +1,5 @@
+//! Lint fixture: a deliberate L5 (concurrency-discipline) violation —
+//! `static mut` shared state. This file is test data for
+//! `tests/fixtures.rs`; it is never compiled.
+
+static mut ROUND_COUNTER: u64 = 0;

@@ -1,0 +1,7 @@
+//! Lint fixture: a deliberate L5 violation — a sync primitive outside the
+//! sanctioned supervisor module. This file is test data for
+//! `tests/fixtures.rs`; it is never compiled.
+
+pub fn round_barrier_count(lock: &std::sync::Mutex<usize>) -> usize {
+    lock.lock().map_or(0, |g| *g)
+}

@@ -1,0 +1,9 @@
+//! Lint fixture with no violations: the `unsafe` block carries the required
+//! `// SAFETY:` comment. This file is test data for `tests/fixtures.rs`;
+//! it is never compiled.
+
+pub fn read_first(buf: &[u8]) -> u8 {
+    assert!(!buf.is_empty());
+    // SAFETY: the assert above guarantees index 0 is in bounds.
+    unsafe { *buf.get_unchecked(0) }
+}

@@ -1,0 +1,7 @@
+//! Lint fixture: a deliberate L5 violation — an `unsafe` block without a
+//! `// SAFETY:` comment on the preceding line. This file is test data for
+//! `tests/fixtures.rs`; it is never compiled.
+
+pub fn read_slot(buf: &[u8]) -> u8 {
+    unsafe { *buf.get_unchecked(0) }
+}

@@ -1,0 +1,11 @@
+//! Lint fixture: a deliberate L6 (cast-audit) violation — a truncating
+//! narrowing cast; the widening cast below it must stay clean. This file is
+//! test data for `tests/fixtures.rs`; it is never compiled.
+
+pub fn compact_id(v: usize) -> u32 {
+    v as u32
+}
+
+pub fn widened(v: u32) -> u64 {
+    v as u64
+}

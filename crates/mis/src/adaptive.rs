@@ -42,6 +42,14 @@ pub const MIN_CAP: Level = 2;
 /// Collisions (beep-while-hearing rounds) before the cap doubles.
 pub const COLLISION_THRESHOLD: u8 = 4;
 
+/// Aux-RNG purpose tag for adversarial random-state initialization.
+///
+/// Shared by [`AdaptiveMis::run_random_init`] and
+/// [`AdaptiveMis::run_states`] *on purpose*: both must draw the same
+/// initial states for a given seed so state-trace runs reproduce the exact
+/// executions the bitmap runs measured.
+const ADAPTIVE_INIT_RNG_PURPOSE: u64 = 0xADA;
+
 /// Per-vertex state of the adaptive algorithm — all RAM, all corruptible.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AdaptiveState {
@@ -121,7 +129,7 @@ impl AdaptiveMis {
         seed: u64,
         max_rounds: u64,
     ) -> Option<(Vec<bool>, u64)> {
-        let mut rng = beeping::rng::aux_rng(seed, 0xADA);
+        let mut rng = beeping::rng::aux_rng(seed, ADAPTIVE_INIT_RNG_PURPOSE);
         let init: Vec<AdaptiveState> = (0..graph.len())
             .map(|_| {
                 AdaptiveState::sanitized(
@@ -153,7 +161,7 @@ impl AdaptiveMis {
         seed: u64,
         max_rounds: u64,
     ) -> Option<(Vec<AdaptiveState>, u64)> {
-        let mut rng = beeping::rng::aux_rng(seed, 0xADA);
+        let mut rng = beeping::rng::aux_rng(seed, ADAPTIVE_INIT_RNG_PURPOSE);
         let init: Vec<AdaptiveState> = (0..graph.len())
             .map(|_| {
                 AdaptiveState::sanitized(

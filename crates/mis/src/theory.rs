@@ -26,7 +26,7 @@ pub const ETA_THRESHOLD: f64 = 0.0001;
 /// The precondition of Lemmas 3.5 / 3.6 / 6.3:
 /// `ℓmax(w) ≥ log₂ deg(w) + 4` for all `w`.
 pub fn satisfies_lemma_precondition(g: &Graph, policy: &LmaxPolicy) -> bool {
-    g.nodes().all(|v| policy.lmax(v) as u32 >= log2_ceil(g.degree(v)) + 4)
+    g.nodes().all(|v| i64::from(policy.lmax(v)) >= i64::from(log2_ceil(g.degree(v)) + 4))
 }
 
 /// The Theorem 2.1 precondition: constant `ℓmax ∈ [log Δ + c1, c2·log n]`
@@ -41,20 +41,20 @@ pub fn satisfies_thm21_precondition(g: &Graph, policy: &LmaxPolicy, c1: u32) -> 
 /// The Theorem 2.2 precondition: `ℓmax(v) ≥ 2·log₂ deg(v) + c1` with
 /// `c1 ≥ 30`.
 pub fn satisfies_thm22_precondition(g: &Graph, policy: &LmaxPolicy, c1: u32) -> bool {
-    g.nodes().all(|v| policy.lmax(v) as u32 >= 2 * log2_ceil(g.degree(v)) + c1)
+    g.nodes().all(|v| i64::from(policy.lmax(v)) >= i64::from(2 * log2_ceil(g.degree(v)) + c1))
 }
 
 /// The Corollary 2.3 precondition: `ℓmax(v) ≥ 2·log₂ deg₂(v) + c1` with
 /// `c1 ≥ 15`.
 pub fn satisfies_cor23_precondition(g: &Graph, policy: &LmaxPolicy, c1: u32) -> bool {
-    g.nodes().all(|v| policy.lmax(v) as u32 >= 2 * log2_ceil(g.deg2(v)) + c1)
+    g.nodes().all(|v| i64::from(policy.lmax(v)) >= i64::from(2 * log2_ceil(g.deg2(v)) + c1))
 }
 
 /// Theorem 2.1's static η bound: with the uniform policy
 /// `ℓmax = log₂ Δ + c1`, every vertex satisfies
 /// `η_t(v) ≤ deg(v)·2^{-ℓmax} ≤ 2^{-c1}` at all times. Returns `2^{-c1}`.
 pub fn eta_bound_thm21(c1: u32) -> f64 {
-    2f64.powi(-(c1 as i32))
+    2f64.powi(-i32::try_from(c1).unwrap_or(i32::MAX))
 }
 
 /// The burn-in horizon of Lemma 3.1: `max_w ℓmax(w)` rounds after which
