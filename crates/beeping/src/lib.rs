@@ -28,6 +28,9 @@
 //!   network's OR-aggregation and each node's `receive`;
 //! - [`churn`]: scheduled topology churn (edge insert/delete, node
 //!   leave/join) applied to a copy-on-write graph mid-execution;
+//! - [`dynamic`]: the mobility driver — keeps a simulator's topology
+//!   synchronized with a moving geometric deployment
+//!   ([`graphs::motion`]) via batched per-round edge diffs;
 //! - [`byzantine`]: permanently deviating nodes — stuck beepers, babblers,
 //!   crash-restart reboots and channel-2 liars — overriding the protocol's
 //!   radio behavior inside the round loop;
@@ -66,6 +69,7 @@
 pub mod byzantine;
 pub mod channel;
 pub mod churn;
+pub mod dynamic;
 pub mod faults;
 pub mod protocol;
 pub mod rng;

@@ -483,6 +483,39 @@ impl<'g, P: BeepingProtocol> Simulator<'g, P> {
         Ok(self.graph.to_mut().remove_edge(u, v))
     }
 
+    /// Topology churn, batched: removes `removed` then inserts `added` in a
+    /// single `O(n + m + k log k)` CSR rebuild instead of `k` per-edge
+    /// `O(n + m)` splices — the entry point for motion-driven topology
+    /// diffs ([`crate::dynamic`]), where dozens of edges flip per round.
+    /// Returns `(inserted, removed)` — edges whose membership actually
+    /// changed; already-present insertions and absent removals are skipped,
+    /// matching [`Simulator::insert_edge`] / [`Simulator::remove_edge`].
+    ///
+    /// Edge updates never touch participation or signal state: `active`,
+    /// `sent` and `heard` are exactly as before the call, for every node —
+    /// only `node_leave`/`node_join` may change who beeps.
+    ///
+    /// # Errors
+    ///
+    /// [`ChurnError::NodeOutOfRange`] / [`ChurnError::SelfEdge`] if any
+    /// pair in either list is invalid; the topology is unchanged on error.
+    pub fn apply_edge_diff(
+        &mut self,
+        added: &[(NodeId, NodeId)],
+        removed: &[(NodeId, NodeId)],
+    ) -> Result<(usize, usize), ChurnError> {
+        for &(u, v) in added.iter().chain(removed) {
+            self.check_churn_edge(u, v)?;
+        }
+        match self.graph.to_mut().apply_edge_diff(added, removed) {
+            Ok(counts) => Ok(counts),
+            // Both graph-level failure modes are pre-checked above; map
+            // defensively rather than unwrap so a future GraphError variant
+            // cannot reintroduce a panic path.
+            Err(_) => Err(ChurnError::SelfEdge(added.first().map_or(0, |&(u, _)| u))),
+        }
+    }
+
     fn check_churn_edge(&self, u: NodeId, v: NodeId) -> Result<(), ChurnError> {
         let n = self.graph.len();
         for node in [u, v] {
@@ -557,6 +590,12 @@ impl<'g, P: BeepingProtocol> Simulator<'g, P> {
         }
         self.active[v] = true;
         self.states[v] = state;
+        // Mirror of `node_leave`'s signal clearing: a joining node boots
+        // fresh and has neither transmitted nor heard anything yet, so the
+        // signals left over from before its departure must not leak into
+        // `last_sent()`/`last_heard()` or observer hooks.
+        self.sent[v] = BeepSignal::silent();
+        self.heard[v] = BeepSignal::silent();
         Ok(())
     }
 
@@ -1647,6 +1686,85 @@ mod tests {
         sim.step();
         assert!(sim.last_sent()[1].is_silent());
         assert!(sim.last_heard()[0].is_silent());
+    }
+
+    #[test]
+    fn node_join_clears_stale_signals() {
+        // Regression (mirror of `node_leave_clears_stale_signals`): a node
+        // that rejoins boots fresh, so the transmission/observation captured
+        // before its departure — or, for a join without a prior leave, last
+        // round's signals — must not survive the join.
+        let g = classic::path(2);
+        let mut sim = Simulator::new(&g, Parity, vec![0, 0], 0);
+        sim.step(); // both beep and hear each other
+        sim.node_leave(1).unwrap();
+        // Simulate signal state lingering from before the leave by joining
+        // straight back: the join itself must leave the radio silent.
+        sim.node_join(1, &[0], 1).unwrap();
+        assert!(sim.is_active(1));
+        assert!(sim.last_sent()[1].is_silent());
+        assert!(sim.last_heard()[1].is_silent());
+        // A join on a node that never left also resets its signals: the
+        // adversary hands it arbitrary RAM, not a radio mid-transmission.
+        let mut sim = Simulator::new(&g, Parity, vec![0, 0], 0);
+        sim.step();
+        assert!(sim.last_sent()[0].on_channel1());
+        sim.node_join(0, &[1], 1).unwrap();
+        assert!(sim.last_sent()[0].is_silent());
+        assert!(sim.last_heard()[0].is_silent());
+    }
+
+    #[test]
+    fn batch_edge_diff_matches_sequential_churn() {
+        let g = classic::path(4); // 0 - 1 - 2 - 3
+        let mut batch = Simulator::new(&g, Parity, vec![0; 4], 0);
+        let mut seq = Simulator::new(&g, Parity, vec![0; 4], 0);
+        batch.step();
+        seq.step();
+        let counts = batch.apply_edge_diff(&[(0, 2), (1, 3)], &[(1, 2)]).unwrap();
+        assert_eq!(counts, (2, 1));
+        assert_eq!(seq.remove_edge(1, 2), Ok(true));
+        assert_eq!(seq.insert_edge(0, 2), Ok(true));
+        assert_eq!(seq.insert_edge(1, 3), Ok(true));
+        assert_eq!(batch.graph(), seq.graph());
+        for _ in 0..4 {
+            batch.step();
+            seq.step();
+            assert_eq!(batch.states(), seq.states());
+            assert_eq!(batch.last_sent(), seq.last_sent());
+            assert_eq!(batch.last_heard(), seq.last_heard());
+        }
+        // The borrowed input graph is untouched (copy-on-write).
+        assert_eq!(g, classic::path(4));
+    }
+
+    #[test]
+    fn batch_edge_diff_never_touches_signals_or_participation() {
+        // The staleness audit for the batch path: edge updates must leave
+        // `active`, `sent` and `heard` exactly as they were, for every node.
+        let g = classic::path(3);
+        let mut sim = Simulator::new(&g, Parity, vec![0, 0, 0], 0);
+        sim.step();
+        sim.node_leave(2).unwrap();
+        let sent: Vec<BeepSignal> = sim.last_sent().to_vec();
+        let heard: Vec<BeepSignal> = sim.last_heard().to_vec();
+        let active: Vec<bool> = sim.active().to_vec();
+        sim.apply_edge_diff(&[(0, 2)], &[(0, 1)]).unwrap();
+        assert_eq!(sim.last_sent(), &sent[..]);
+        assert_eq!(sim.last_heard(), &heard[..]);
+        assert_eq!(sim.active(), &active[..]);
+    }
+
+    #[test]
+    fn batch_edge_diff_rejects_invalid_and_leaves_topology_unchanged() {
+        let g = classic::path(3);
+        let mut sim = Simulator::new(&g, Parity, vec![0, 0, 0], 0);
+        assert_eq!(
+            sim.apply_edge_diff(&[(0, 3)], &[]),
+            Err(ChurnError::NodeOutOfRange { node: 3, n: 3 })
+        );
+        assert_eq!(sim.apply_edge_diff(&[(0, 2)], &[(1, 1)]), Err(ChurnError::SelfEdge(1)));
+        assert_eq!(sim.graph(), &classic::path(3));
     }
 
     #[test]

@@ -4,8 +4,11 @@
 
 use beeping::byzantine::{ByzantineBehavior, ByzantinePlan};
 use beeping::channel::{ChannelFault, JammerKind};
+use beeping::dynamic::{DynamicTopology, MotionSpec};
 use beeping::protocol::{BeepSignal, BeepingProtocol, Channels};
 use beeping::{DuplexMode, EngineMode, Simulator};
+use graphs::generators::geometric::radius_for_expected_degree;
+use graphs::motion::MotionModel;
 use graphs::{Graph, GraphBuilder, NodeId};
 use proptest::prelude::*;
 use proptest::test_runner::TestCaseError;
@@ -181,6 +184,116 @@ fn assert_telemetry_transparent(
     Ok(())
 }
 
+/// A random moving deployment: node count, waypoint/drift model, speed.
+fn arb_motion() -> impl Strategy<Value = (usize, MotionSpec)> {
+    (6usize..20, any::<u64>(), 0.0f64..0.12, 0u64..3, any::<bool>()).prop_map(
+        |(n, points_seed, speed, pause, drift)| {
+            let radius = radius_for_expected_degree(n, 5.0);
+            let model = if drift {
+                MotionModel::Drift { speed, turn: 0.4 }
+            } else {
+                MotionModel::RandomWaypoint { speed, pause }
+            };
+            (n, MotionSpec::new(points_seed, radius, model))
+        },
+    )
+}
+
+/// Steps both engines over the same moving deployment — each with its own
+/// [`DynamicTopology`] applying the per-round edge diffs through the batch
+/// churn path — and asserts bit-identity of reports, states, signals, the
+/// reconcile deltas, the evolving graphs and the motion states. With
+/// `churn`, a motion-driven leave/rejoin pair is injected mid-run (rejoin
+/// edges computed from current positions via `join_neighbors`).
+fn assert_engines_identical_moving(
+    n: usize,
+    spec: &MotionSpec,
+    seed: u64,
+    rounds: u64,
+    channel: ChannelFault,
+    byzantine: ByzantinePlan<u64>,
+    churn: bool,
+) -> Result<(), TestCaseError> {
+    let g = spec.initial_graph(n);
+    let init: Vec<u64> = g.nodes().map(|v| v as u64).collect();
+    let mk = |engine: EngineMode| {
+        Simulator::new(&g, RandomProbe { channels: Channels::One }, init.clone(), seed)
+            .with_channel(channel.clone())
+            .with_byzantine(byzantine.clone())
+            .with_engine(engine)
+    };
+    let mut scalar = mk(EngineMode::Scalar);
+    let mut scatter = mk(EngineMode::Scatter);
+    let mut topo_a = DynamicTopology::new(n, spec, seed).unwrap();
+    let mut topo_b = DynamicTopology::new(n, spec, seed).unwrap();
+    let victim = n / 2;
+    for round in 1..=rounds {
+        let a = scalar.step();
+        let b = scatter.step();
+        prop_assert_eq!(a, b, "round report diverged at round {}", round);
+        prop_assert_eq!(scalar.states(), scatter.states(), "states diverged at round {}", round);
+        prop_assert_eq!(scalar.last_sent(), scatter.last_sent());
+        prop_assert_eq!(scalar.last_heard(), scatter.last_heard());
+        if churn && round == 3 {
+            scalar.node_leave(victim).unwrap();
+            scatter.node_leave(victim).unwrap();
+        }
+        if churn && round == 7 {
+            let mates_a = topo_a.join_neighbors(victim, scalar.active());
+            let mates_b = topo_b.join_neighbors(victim, scatter.active());
+            prop_assert_eq!(&mates_a, &mates_b, "join neighborhoods diverged");
+            scalar.node_join(victim, &mates_a, 7).unwrap();
+            scatter.node_join(victim, &mates_b, 7).unwrap();
+        }
+        let da = topo_a.advance(&mut scalar);
+        let db = topo_b.advance(&mut scatter);
+        prop_assert_eq!(da, db, "reconcile deltas diverged at round {}", round);
+        prop_assert_eq!(scalar.graph(), scatter.graph(), "graphs diverged at round {}", round);
+        prop_assert_eq!(
+            topo_a.state(),
+            topo_b.state(),
+            "motion states diverged at round {}",
+            round
+        );
+    }
+    Ok(())
+}
+
+/// Steps a plain simulator and a telemetry-attached twin over the same
+/// moving deployment and asserts bit-identity after every round.
+fn assert_telemetry_transparent_moving(
+    n: usize,
+    spec: &MotionSpec,
+    seed: u64,
+    rounds: u64,
+    engine: EngineMode,
+) -> Result<(), TestCaseError> {
+    let g = spec.initial_graph(n);
+    let init: Vec<u64> = g.nodes().map(|v| v as u64).collect();
+    let mk = || {
+        Simulator::new(&g, RandomProbe { channels: Channels::One }, init.clone(), seed)
+            .with_engine(engine)
+    };
+    let tele = Telemetry::enabled(TelemetryConfig::default());
+    let (sink, _handle) = MemorySink::new();
+    tele.add_sink(Box::new(sink));
+    let mut plain = mk();
+    let mut observed = mk().with_telemetry(tele.clone());
+    let mut topo_a = DynamicTopology::new(n, spec, seed).unwrap();
+    let mut topo_b = DynamicTopology::new(n, spec, seed).unwrap();
+    for round in 1..=rounds {
+        let a = plain.step();
+        let b = observed.step();
+        prop_assert_eq!(a, b, "round report diverged at round {}", round);
+        prop_assert_eq!(plain.states(), observed.states(), "states diverged at round {}", round);
+        let da = topo_a.advance(&mut plain);
+        let db = topo_b.advance(&mut observed);
+        prop_assert_eq!(da, db, "reconcile deltas diverged at round {}", round);
+        prop_assert_eq!(plain.graph(), observed.graph(), "graphs diverged at round {}", round);
+    }
+    Ok(())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -305,5 +418,44 @@ proptest! {
             byz,
             engine,
         )?;
+    }
+
+    /// Moving deployments: motion-driven edge diffs (optionally composed
+    /// with channel noise, a Byzantine radio and a leave/rejoin pair) must
+    /// keep the two engines bit-identical — reports, states, signals,
+    /// graphs and motion state alike.
+    #[test]
+    fn engines_agree_on_moving_deployments(
+        (n, spec) in arb_motion(),
+        seed in any::<u64>(),
+        drop_p in 0.0f64..0.3,
+        noisy in any::<bool>(),
+        byz in any::<bool>(),
+        churn in any::<bool>(),
+    ) {
+        let channel = if noisy {
+            ChannelFault::reliable().with_drop(drop_p)
+        } else {
+            ChannelFault::reliable()
+        };
+        let plan = if byz {
+            ByzantinePlan::new().with_behavior(n - 1, ByzantineBehavior::StuckBeep)
+        } else {
+            ByzantinePlan::new()
+        };
+        assert_engines_identical_moving(n, &spec, seed, 16, channel, plan, churn)?;
+    }
+
+    /// Attaching telemetry to a moving run must not perturb it on either
+    /// engine — the topology reconciliation draws from the dedicated
+    /// motion stream, never from observed simulation randomness.
+    #[test]
+    fn telemetry_is_transparent_on_moving_deployments(
+        (n, spec) in arb_motion(),
+        seed in any::<u64>(),
+        scatter in any::<bool>(),
+    ) {
+        let engine = if scatter { EngineMode::Scatter } else { EngineMode::Scalar };
+        assert_telemetry_transparent_moving(n, &spec, seed, 16, engine)?;
     }
 }

@@ -20,9 +20,13 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use beeping::dynamic::MotionSpec;
 use beeping::EngineMode;
 use experiments::resilience::outcome_digest;
+use graphs::generators::geometric::radius_for_expected_degree;
 use graphs::generators::GraphFamily;
+use graphs::motion::MotionModel;
+use graphs::Graph;
 use harness::supervisor::{supervise, supervise_resume, RunOutcome, SupervisorConfig};
 use mis::resumable::ResumableConfig;
 use mis::{Algorithm1, Algorithm2, LmaxPolicy};
@@ -30,7 +34,7 @@ use mis::{Algorithm1, Algorithm2, LmaxPolicy};
 fn usage() -> &'static str {
     "usage: supervised [--family cycle|regular|gnp] [--n <nodes>] [--seed <u64>]\n\
      \x20                 [--algorithm alg1|alg2] [--engine scalar|scatter]\n\
-     \x20                 [--max-rounds <r>] [--checkpoint-dir <dir>]\n\
+     \x20                 [--max-rounds <r>] [--motion <speed>] [--checkpoint-dir <dir>]\n\
      \x20                 [--checkpoint-every <rounds>] [--resume] [--kill-at <round>]\n\
      \x20                 [--wall-clock-limit <secs>] [--max-retries <k>]\n\
      \n\
@@ -38,8 +42,11 @@ fn usage() -> &'static str {
      --checkpoint-dir, a durable snapshot (checkpoint.snap) is kept current\n\
      every --checkpoint-every rounds; --resume continues from it instead of\n\
      starting over. --kill-at simulates a crash immediately before the given\n\
-     round (test instrumentation for the CI smoke job). Prints the outcome\n\
-     and a deterministic digest=<hex> line."
+     round (test instrumentation for the CI smoke job). --motion replaces\n\
+     the static graph with a moving geometric deployment (random waypoint at\n\
+     the given speed; --family is ignored); snapshots then carry positions\n\
+     and motion-RNG state, so resumed moving runs stay bit-identical too.\n\
+     Prints the outcome and a deterministic digest=<hex> line."
 }
 
 struct Args {
@@ -49,6 +56,7 @@ struct Args {
     algorithm: String,
     engine: EngineMode,
     max_rounds: u64,
+    motion: Option<f64>,
     checkpoint_dir: Option<PathBuf>,
     checkpoint_every: Option<u64>,
     resume: bool,
@@ -65,6 +73,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         algorithm: "alg1".to_string(),
         engine: EngineMode::default(),
         max_rounds: 1_000_000,
+        motion: None,
         checkpoint_dir: None,
         checkpoint_every: None,
         resume: false,
@@ -89,6 +98,14 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             }
             "--max-rounds" => {
                 args.max_rounds = value()?.parse().map_err(|_| "--max-rounds expects a u64")?
+            }
+            "--motion" => {
+                let speed: f64 =
+                    value()?.parse().map_err(|_| "--motion expects a speed in [0, 1]")?;
+                if !(0.0..=1.0).contains(&speed) {
+                    return Err("--motion expects a speed in [0, 1]".to_string());
+                }
+                args.motion = Some(speed);
             }
             "--checkpoint-dir" => args.checkpoint_dir = Some(PathBuf::from(value()?)),
             "--checkpoint-every" => {
@@ -192,7 +209,24 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let g = fam.generate(args.n, 0x6000);
+    // A moving deployment replaces the static family: the graph is the
+    // spec's initial radius graph and every run/resume attaches the spec,
+    // so snapshots round-trip positions and motion-RNG state.
+    let motion_spec = args.motion.map(|speed| {
+        MotionSpec::new(
+            0x6000,
+            radius_for_expected_degree(args.n, 8.0),
+            MotionModel::RandomWaypoint { speed, pause: 2 },
+        )
+    });
+    let g: Graph = match &motion_spec {
+        Some(spec) => spec.initial_graph(args.n),
+        None => fam.generate(args.n, 0x6000),
+    };
+    let workload = match args.motion {
+        Some(speed) => format!("moving-rgg(speed={speed})"),
+        None => fam.to_string(),
+    };
 
     if let Some(dir) = &args.checkpoint_dir {
         if let Err(e) = std::fs::create_dir_all(dir) {
@@ -216,7 +250,7 @@ fn main() -> ExitCode {
     }
 
     println!(
-        "{} of alg={} on {fam} n={} seed={} engine={:?} (checkpoints: {})",
+        "{} of alg={} on {workload} n={} seed={} engine={:?} (checkpoints: {})",
         if args.resume { "resume" } else { "run" },
         args.algorithm,
         g.len(),
@@ -229,27 +263,30 @@ fn main() -> ExitCode {
         },
     );
 
+    let make_config = || {
+        let mut config = ResumableConfig::new(args.seed)
+            .with_max_rounds(args.max_rounds)
+            .with_engine(args.engine);
+        if let Some(spec) = motion_spec {
+            config = config.with_motion(spec);
+        }
+        config
+    };
     let result = match args.algorithm.as_str() {
         "alg1" => {
             let algo = Algorithm1::new(&g, LmaxPolicy::global_delta(&g));
-            let config = ResumableConfig::new(args.seed)
-                .with_max_rounds(args.max_rounds)
-                .with_engine(args.engine);
             if args.resume {
-                supervise_resume(&algo, config, &sup, None)
+                supervise_resume(&algo, make_config(), &sup, None)
             } else {
-                supervise(&g, &algo, config, &sup)
+                supervise(&g, &algo, make_config(), &sup)
             }
         }
         "alg2" => {
             let algo = Algorithm2::new(&g, LmaxPolicy::two_hop_degree(&g));
-            let config = ResumableConfig::new(args.seed)
-                .with_max_rounds(args.max_rounds)
-                .with_engine(args.engine);
             if args.resume {
-                supervise_resume(&algo, config, &sup, None)
+                supervise_resume(&algo, make_config(), &sup, None)
             } else {
-                supervise(&g, &algo, config, &sup)
+                supervise(&g, &algo, make_config(), &sup)
             }
         }
         other => {

@@ -30,6 +30,8 @@
 //! | `EXT-ADAPT` ([`ext_adaptive`]) | §8's open question: knowledge-free adaptive variant |
 //! | `EXT-2STATE` ([`ext_two_state`]) | constant-state baseline \[16\] vs Algorithm 1 |
 //! | `EXT-WAKE` ([`ext_wakeup`]) | adversarial wake-up schedules (the Afek et al. lower-bound model) |
+//! | `MOB` ([`mob`]) | stabilization + Byzantine containment under sustained motion |
+//! | `SCEN` ([`scen`]) | scenario-space adversary search (motion × churn × placement) with certificates |
 //!
 //! Run them with `cargo run -p experiments --release -- <id>|all [--quick]`.
 
@@ -50,11 +52,13 @@ pub mod fig1;
 pub mod lemma35;
 pub mod lemma36;
 pub mod lemma67;
+pub mod mob;
 pub mod noise;
 pub mod perf;
 pub mod recovery;
 pub mod resilience;
 pub mod scale;
+pub mod scen;
 pub mod thm21;
 pub mod thm22;
 pub mod thm22_layers;
@@ -157,6 +161,13 @@ pub fn all_experiments() -> Vec<Experiment> {
             ext_two_state::run,
         ),
         Experiment::new("EXT-WAKE", "Adversarial wake-up schedules", ext_wakeup::run),
+        Experiment::new("MOB", "Stabilization and containment under sustained motion", mob::run)
+            .with_telemetry(mob::run_with),
+        Experiment::new(
+            "SCEN",
+            "Scenario-space adversary search: motion × churn × placement",
+            scen::run,
+        ),
     ]
 }
 
@@ -187,7 +198,7 @@ mod tests {
 
     #[test]
     fn telemetry_drivers_registered() {
-        for id in ["DYN", "NOISE", "BYZ"] {
+        for id in ["DYN", "NOISE", "BYZ", "MOB"] {
             assert!(
                 find_experiment(id).unwrap().run_telemetry.is_some(),
                 "{id} should have a telemetry-aware driver"

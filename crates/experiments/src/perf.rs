@@ -15,7 +15,9 @@
 //!
 //! *Artifacts*: the report table, plus `results/BENCH_PERF.json` (one entry
 //! per `(family, n)` with rounds/sec for both engines and the speedup) when
-//! a `results/` directory exists.
+//! a `results/` directory exists. The committed root-level `BENCH_PERF.json`
+//! baseline is replaced only by a *full* (non-`--quick`) run, and the run
+//! warns when its git provenance is dirty or unknown.
 //!
 //! *Expected shape*: speedup grows with n and is largest on sparse families
 //! (cycle, regular), where per-round bookkeeping — not edge scanning —
@@ -167,6 +169,14 @@ pub fn git_describe() -> String {
         .unwrap_or_else(|| "unknown".into())
 }
 
+/// Whether a baseline written with this provenance string deserves a
+/// warning: `git describe --dirty` appends `-dirty` to describe a tree
+/// with uncommitted changes, and `"unknown"` means git was unavailable —
+/// either way the recorded numbers cannot be traced back to a commit.
+pub fn untraceable_provenance(git: &str) -> bool {
+    git == "unknown" || git.ends_with("-dirty")
+}
+
 /// Renders the measured points as the committed JSON artifact (fixed field
 /// order; throughput values are wall-clock measurements and vary run to
 /// run, so the file is a baseline record, not a determinism artifact).
@@ -240,14 +250,18 @@ pub fn run(quick: bool) -> String {
     out.push_str("\n## throughput (higher is better)\n\n");
     out.push_str(&format!("{table}"));
 
-    let json = bench_json(&points, quick, &git_describe());
+    let git = git_describe();
+    let json = bench_json(&points, quick, &git);
     out.push_str("\nbench baseline:\n");
     out.push_str(&json);
     // Written whenever the standard output directory exists (the CI smoke
     // and full runs pass `--out results`); plain `cargo test` runs from the
     // crate directory, which has no results/, and never rewrites the
     // committed baselines. The root-level copy is the canonical committed
-    // baseline; results/ keeps the run-local artifact.
+    // baseline: only a *full* run may replace it (a quick run's truncated
+    // budget would masquerade as the reference numbers), and a run from a
+    // dirty or unknown tree gets a provenance warning — its numbers cannot
+    // be traced back to a commit.
     let results = std::path::Path::new("results");
     if results.is_dir() {
         if let Err(e) = std::fs::write(results.join("BENCH_PERF.json"), &json) {
@@ -255,15 +269,26 @@ pub fn run(quick: bool) -> String {
         } else {
             out.push_str("\nbaseline written to results/BENCH_PERF.json\n");
         }
-        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-            .ancestors()
-            .nth(2)
-            .expect("workspace root exists")
-            .join("BENCH_PERF.json");
-        if let Err(e) = std::fs::write(&root, &json) {
-            let _ = writeln!(out, "warning: cannot write {}: {e}", root.display());
+        if quick {
+            out.push_str("quick run: committed baseline BENCH_PERF.json left untouched\n");
         } else {
-            let _ = writeln!(out, "baseline written to {}", root.display());
+            if untraceable_provenance(&git) {
+                let _ = writeln!(
+                    out,
+                    "warning: baseline provenance is \"{git}\" (dirty or unknown tree); \
+                     re-run from a clean commit before committing BENCH_PERF.json"
+                );
+            }
+            let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+                .ancestors()
+                .nth(2)
+                .expect("workspace root exists")
+                .join("BENCH_PERF.json");
+            if let Err(e) = std::fs::write(&root, &json) {
+                let _ = writeln!(out, "warning: cannot write {}: {e}", root.display());
+            } else {
+                let _ = writeln!(out, "baseline written to {}", root.display());
+            }
         }
     }
     out.push_str(
@@ -316,6 +341,15 @@ mod tests {
     #[test]
     fn git_describe_never_empty() {
         assert!(!git_describe().is_empty());
+    }
+
+    #[test]
+    fn dirty_and_unknown_provenance_flagged() {
+        assert!(untraceable_provenance("unknown"));
+        assert!(untraceable_provenance("70e2657-dirty"));
+        assert!(untraceable_provenance("v1.2.3-4-gabcdef0-dirty"));
+        assert!(!untraceable_provenance("70e2657"));
+        assert!(!untraceable_provenance("v1.2.3-4-gabcdef0"));
     }
 
     #[test]

@@ -27,9 +27,32 @@ use crate::{Graph, GraphBuilder};
 /// ```
 pub fn random_geometric(n: usize, radius: f64, seed: u64) -> Graph {
     assert!(radius >= 0.0, "radius must be non-negative, got {radius}");
+    geometric_from_points(&random_points(n, seed), radius)
+}
+
+/// The uniform unit-square point cloud behind [`random_geometric`]: the
+/// same `seed` reproduces the same deployment, so
+/// `geometric_from_points(&random_points(n, s), r)` equals
+/// `random_geometric(n, r, s)`. Exposed so mobility models
+/// ([`crate::motion`]) can start from the deployment a static geometric
+/// graph was built from.
+pub fn random_points(n: usize, seed: u64) -> Vec<(f64, f64)> {
     let mut rng = rng_from_seed(seed);
-    let points: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
-    geometric_from_points(&points, radius)
+    (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect()
+}
+
+/// The connection radius whose *expected* average degree is `avg_degree`
+/// on `n` uniform points (ignoring boundary effects):
+/// `r = sqrt(avg_degree / (π (n-1)))`, capped so `r ≤ √2`. This is the
+/// radius [`random_geometric_expected_degree`] uses; exposed so mobility
+/// setups can target a degree instead of a raw radius.
+pub fn radius_for_expected_degree(n: usize, avg_degree: f64) -> f64 {
+    assert!(avg_degree >= 0.0, "avg_degree must be non-negative");
+    if n < 2 {
+        return 0.0;
+    }
+    let r = (avg_degree / (std::f64::consts::PI * (n as f64 - 1.0))).sqrt();
+    r.min(std::f64::consts::SQRT_2)
 }
 
 /// Random geometric graph with the radius chosen so the *expected* average
@@ -40,8 +63,7 @@ pub fn random_geometric_expected_degree(n: usize, avg_degree: f64, seed: u64) ->
     if n < 2 {
         return Graph::empty(n);
     }
-    let r = (avg_degree / (std::f64::consts::PI * (n as f64 - 1.0))).sqrt();
-    random_geometric(n, r.min(std::f64::consts::SQRT_2), seed)
+    random_geometric(n, radius_for_expected_degree(n, avg_degree), seed)
 }
 
 /// Builds the geometric graph over explicit `points` (unit-square
@@ -84,7 +106,11 @@ pub fn geometric_from_points(points: &[(f64, f64)], radius: f64) -> Graph {
                     let (px, py) = points[j];
                     let d2 = (x - px) * (x - px) + (y - py) * (y - py);
                     if d2 < r2 {
-                        b.add_edge(i, j).expect("geometric edges are valid");
+                        // i < j < n by construction, so the edge is always
+                        // accepted; checked in debug builds only to keep
+                        // the motion hot path panic-free.
+                        let edge = b.add_edge(i, j);
+                        debug_assert!(edge.is_ok(), "geometric edges are valid");
                     }
                 }
             }

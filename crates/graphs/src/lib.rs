@@ -10,6 +10,8 @@
 //! - [`generators`]: the workload families used by the experiments — classic
 //!   topologies, lattices, random graphs, trees, scale-free and geometric
 //!   (wireless-sensor-like) graphs;
+//! - [`motion`]: mobility models (random waypoint, drift) that animate a
+//!   geometric deployment and emit batched per-round edge diffs;
 //! - [`properties`]: structural measurements (components, diameter,
 //!   degeneracy, degree statistics) used to characterize workloads;
 //! - [`dot`]: Graphviz export with MIS highlighting;
@@ -33,6 +35,7 @@ pub mod edgelist;
 pub mod generators;
 pub mod graph;
 pub mod mis;
+pub mod motion;
 pub mod properties;
 
 pub use builder::GraphBuilder;

@@ -24,7 +24,13 @@
 //! counter, last-round signals, the (possibly churned) topology, the
 //! participation bitmap, the channel burst window, the event-application
 //! cursor and the accumulated trace — so a resumed run is bit-identical to
-//! one that never stopped.
+//! one that never stopped. A moving deployment
+//! ([`mis::resumable::ResumableConfig::with_motion`]) additionally writes
+//! the `motion_*` fields: node positions, per-model waypoint/pause/heading
+//! state and the motion-RNG stream position. Every `f64` travels as its
+//! exact `to_bits` value in fixed-width 16-digit hex, so geometry survives
+//! the round trip bit-for-bit; the fields are simply absent for motionless
+//! runs, which keeps their snapshots byte-identical to earlier builds.
 //!
 //! Run *configuration* (plans, channel model, engine, algorithm) is
 //! deliberately not stored; the caller re-supplies it on resume, and the
@@ -43,6 +49,7 @@
 
 use std::path::{Path, PathBuf};
 
+use beeping::dynamic::MotionState;
 use beeping::protocol::BeepSignal;
 use beeping::rng::{pcg_from_state, pcg_state};
 use beeping::trace::{RoundReport, Trace};
@@ -199,7 +206,8 @@ pub fn checksum64(bytes: &[u8]) -> u64 {
 /// algorithm type, into the fingerprint stored in every snapshot.
 ///
 /// Covered: seed, initial-level rule, fault plan, churn plan, channel
-/// model, Byzantine plan, engine mode and the algorithm's type name.
+/// model, Byzantine plan, motion spec and engine mode, plus the
+/// algorithm's type name.
 /// Deliberately *not* covered: `max_rounds` (extending the budget of a
 /// `BudgetExhausted` run and resuming is a supported use) and the
 /// telemetry handle (observational only). The hash is over the plans'
@@ -208,7 +216,8 @@ pub fn checksum64(bytes: &[u8]) -> u64 {
 /// differing only in closure *behavior* fingerprint alike.
 pub fn config_fingerprint<A: SelfStabilizingMis>(config: &ResumableConfig) -> u64 {
     let canonical = format!(
-        "algo={};seed={};init={:?};faults={:?};churn={:?};channel={:?};byzantine={:?};engine={:?}",
+        "algo={};seed={};init={:?};faults={:?};churn={:?};channel={:?};byzantine={:?};\
+         engine={:?};motion={:?}",
         std::any::type_name::<A>(),
         config.seed,
         config.init,
@@ -217,6 +226,7 @@ pub fn config_fingerprint<A: SelfStabilizingMis>(config: &ResumableConfig) -> u6
         config.channel,
         config.byzantine,
         config.engine,
+        config.motion,
     );
     fnv1a64(canonical.as_bytes())
 }
@@ -282,6 +292,44 @@ fn push_hex_u128(out: &mut Vec<u8>, v: u128) {
         let nibble = ((v >> (shift * 4)) & 0xf) as u8;
         out.push(if nibble < 10 { b'0' + nibble } else { b'a' + nibble - 10 });
     }
+}
+
+/// Appends `v` as its `to_bits` value in exactly 16 lowercase hex digits —
+/// the motion-geometry encoding. Decimal rendering would round; the bit
+/// pattern restores the exact coordinate, NaN payloads and signed zeros
+/// included.
+fn push_hex_f64(out: &mut Vec<u8>, v: f64) {
+    let bits = v.to_bits();
+    for shift in (0..16u32).rev() {
+        let nibble = ((bits >> (shift * 4)) & 0xf) as u8;
+        out.push(if nibble < 10 { b'0' + nibble } else { b'a' + nibble - 10 });
+    }
+}
+
+/// Parses a concatenation of fixed-width 16-digit hex `f64` bit patterns.
+fn parse_f64_list(s: &str, what: &str) -> Result<Vec<f64>, SnapshotError> {
+    if !s.len().is_multiple_of(16) {
+        return Err(bad(&format!("`{what}` must be a concatenation of 16-digit hex f64 bits")));
+    }
+    s.as_bytes()
+        .chunks_exact(16)
+        .map(|chunk| {
+            let t = std::str::from_utf8(chunk)
+                .map_err(|_| bad(&format!("`{what}` must be ASCII hex digits")))?;
+            Ok(f64::from_bits(parse_hex_u64(t, what)?))
+        })
+        .collect()
+}
+
+/// Parses an `(x, y)` point list from the flat hex `f64` encoding.
+fn parse_point_list(s: &str, what: &str) -> Result<Vec<(f64, f64)>, SnapshotError> {
+    let flat = parse_f64_list(s, what)?;
+    if flat.len() % 2 != 0 {
+        return Err(bad(&format!("`{what}` must hold an even number of coordinates")));
+    }
+    let xs = flat.iter().copied().step_by(2);
+    let ys = flat.iter().copied().skip(1).step_by(2);
+    Ok(xs.zip(ys).collect())
 }
 
 /// Serializes `checkpoint` (stamped with `fingerprint`) into the two-line
@@ -380,6 +428,30 @@ fn encode_payload(checkpoint: &RunCheckpoint, fingerprint: u64) -> Vec<u8> {
         }
         out.push(b']');
     });
+    if let Some(motion) = &checkpoint.motion {
+        s.extend_from_slice(b",\"motion_positions\":\"");
+        for &(x, y) in &motion.positions {
+            push_hex_f64(&mut s, x);
+            push_hex_f64(&mut s, y);
+        }
+        s.push(b'"');
+        s.extend_from_slice(b",\"motion_waypoints\":\"");
+        for &(x, y) in &motion.waypoints {
+            push_hex_f64(&mut s, x);
+            push_hex_f64(&mut s, y);
+        }
+        s.push(b'"');
+        s.extend_from_slice(b",\"motion_pauses\":");
+        push_joined(&mut s, &motion.pauses, |out, &p| push_u64_dec(out, p));
+        s.extend_from_slice(b",\"motion_headings\":\"");
+        for &h in &motion.headings {
+            push_hex_f64(&mut s, h);
+        }
+        s.push(b'"');
+        s.extend_from_slice(
+            format!(",\"motion_rng\":\"{}\"", hex_u128(motion.rng_state)).as_bytes(),
+        );
+    }
     s.push(b'}');
     s
 }
@@ -577,6 +649,26 @@ pub fn decode(bytes: &[u8], expected_fingerprint: u64) -> Result<RunCheckpoint, 
         });
     }
 
+    // The motion fields travel as a block: all five present (a moving
+    // deployment) or all five absent (a static one). A file with only some
+    // of them was not produced by `encode` and is rejected field-by-field.
+    let motion = if obj.get("motion_rng").is_some() {
+        let positions = parse_point_list(str_field(&obj, "motion_positions")?, "motion_positions")?;
+        let waypoints = parse_point_list(str_field(&obj, "motion_waypoints")?, "motion_waypoints")?;
+        let pauses: Vec<u64> = array_field(&obj, "motion_pauses")?
+            .iter()
+            .map(|v| {
+                v.as_u64()
+                    .ok_or_else(|| bad("`motion_pauses` entries must be non-negative integers"))
+            })
+            .collect::<Result<_, _>>()?;
+        let headings = parse_f64_list(str_field(&obj, "motion_headings")?, "motion_headings")?;
+        let rng_state = parse_hex_u128(str_field(&obj, "motion_rng")?, "motion_rng")?;
+        Some(MotionState { positions, waypoints, pauses, headings, rng_state })
+    } else {
+        None
+    };
+
     Ok(RunCheckpoint {
         sim: Checkpoint::from_parts(
             states,
@@ -593,6 +685,7 @@ pub fn decode(bytes: &[u8], expected_fingerprint: u64) -> Result<RunCheckpoint, 
         fault_rng,
         applied_through,
         trace,
+        motion,
     })
 }
 
@@ -686,6 +779,37 @@ mod tests {
         // Zero-padding of the tail word must not collide with real zeros.
         assert_ne!(checksum64(b"abc"), checksum64(b"abc\0"));
         assert_ne!(checksum64(b""), checksum64(b"\0"));
+    }
+
+    #[test]
+    fn f64_hex_round_trips_exact_bits() {
+        let values = [
+            0.0,
+            -0.0,
+            1.0,
+            0.1,
+            std::f64::consts::PI,
+            f64::MIN_POSITIVE,
+            f64::MAX,
+            f64::NEG_INFINITY,
+        ];
+        let mut s = Vec::new();
+        for &v in &values {
+            push_hex_f64(&mut s, v);
+        }
+        let back = parse_f64_list(std::str::from_utf8(&s).unwrap(), "t").unwrap();
+        assert_eq!(back.len(), values.len());
+        for (&v, &b) in values.iter().zip(&back) {
+            assert_eq!(v.to_bits(), b.to_bits());
+        }
+        // NaN payloads survive too.
+        let mut s = Vec::new();
+        push_hex_f64(&mut s, f64::from_bits(0x7ff8_0000_dead_beef));
+        let back = parse_f64_list(std::str::from_utf8(&s).unwrap(), "t").unwrap();
+        assert_eq!(back[0].to_bits(), 0x7ff8_0000_dead_beef);
+        // Ragged and odd-coordinate inputs are decode errors, not panics.
+        assert!(parse_f64_list("abc", "t").is_err());
+        assert!(parse_point_list(&"0".repeat(16), "t").is_err());
     }
 
     #[test]

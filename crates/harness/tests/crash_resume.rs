@@ -153,6 +153,54 @@ fn two_channel_algorithm_survives_kills() {
 }
 
 #[test]
+fn moving_deployment_survives_kills_bit_identically() {
+    // Acceptance criterion for the mobility layer: a run over a *moving*
+    // geometric deployment, composed with noise, churn and a Byzantine
+    // babbler, killed at an arbitrary round and resumed from its durable
+    // snapshot, must be bit-identical to one that was never interrupted.
+    // The babbler keeps the run from stabilizing under sustained motion,
+    // so the budget is small and exhaustion is the expected terminal state.
+    use beeping::dynamic::MotionSpec;
+    use graphs::motion::MotionModel;
+    let spec = MotionSpec::new(
+        0xD00D,
+        graphs::generators::geometric::radius_for_expected_degree(24, 6.0),
+        MotionModel::RandomWaypoint { speed: 0.025, pause: 3 },
+    );
+    let g = spec.initial_graph(24);
+    let algo = Algorithm1::new(&g, LmaxPolicy::global_delta(&g));
+    let config = ResumableConfig::new(17)
+        .with_max_rounds(150)
+        .with_motion(spec)
+        .with_channel(ChannelFault::reliable().with_drop(0.02))
+        .with_churn(
+            ChurnPlan::new()
+                .with_event(40, ChurnAction::NodeLeave(1))
+                .with_event(60, ChurnAction::NodeJoin(1, vec![])),
+        )
+        .with_byzantine(ByzantinePlan::new().with_behavior(2, ByzantineBehavior::Babbler(0.25)));
+
+    let reference = uninterrupted(&g, &algo, config.clone());
+
+    for kill_at in [1u64, 7, 40, 41, 60, 99] {
+        let dir = scratch_dir("motion");
+        let report = killed_then_resumed(&g, &algo, config.clone(), kill_at, 8, &dir);
+        std::fs::remove_dir_all(&dir).ok();
+        assert_outcomes_identical(&report.outcome, &reference, &format!("kill_at={kill_at}"));
+    }
+
+    // And end-to-end through the supervisor's in-process self-healing.
+    let sup = SupervisorConfig::new().with_max_retries(1).with_kill_at(33);
+    let outcome = supervise(&g, &algo, config, &sup).expect("valid plans");
+    match outcome {
+        RunOutcome::BudgetExhausted(outcome) => {
+            assert_outcomes_identical(&outcome, &reference, "supervised self-heal")
+        }
+        other => panic!("expected BudgetExhausted, got {other:?}"),
+    }
+}
+
+#[test]
 fn supervisor_self_heals_with_retry_budget() {
     // With a retry budget the supervisor absorbs the kill in-process: the
     // caller sees a plain Completed outcome, bit-identical to an

@@ -8,9 +8,12 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use beeping::channel::ChannelFault;
 use beeping::churn::{ChurnAction, ChurnPlan};
+use beeping::dynamic::MotionSpec;
 use beeping::faults::{FaultPlan, FaultTarget};
 use beeping::rng::pcg_state;
+use graphs::generators::geometric::radius_for_expected_degree;
 use graphs::generators::random;
+use graphs::motion::MotionModel;
 use harness::snapshot::{config_fingerprint, decode, encode, read_file, write_file, SnapshotError};
 use mis::resumable::{ResumableConfig, ResumableRun, RunCheckpoint, RunStatus};
 use mis::{Algorithm1, LmaxPolicy};
@@ -46,6 +49,48 @@ fn busy_checkpoint() -> (RunCheckpoint, u64) {
     (run.checkpoint(), fingerprint)
 }
 
+/// A mid-run checkpoint of a *moving* deployment: the motion fields are
+/// populated mid-flight (positions away from their spawn points, a pause
+/// countdown possibly running, the motion RNG advanced).
+fn moving_checkpoint(model: MotionModel) -> (RunCheckpoint, ResumableConfig, u64) {
+    let spec = MotionSpec::new(0x5EED, radius_for_expected_degree(20, 5.0), model);
+    let g = spec.initial_graph(20);
+    let algo = Algorithm1::new(&g, LmaxPolicy::global_delta(&g));
+    let config = ResumableConfig::new(7)
+        .with_motion(spec)
+        .with_channel(ChannelFault::reliable().with_drop(0.02))
+        .with_churn(ChurnPlan::new().with_event(5, ChurnAction::NodeLeave(3)));
+    let fingerprint = config_fingerprint::<Algorithm1>(&config);
+    let mut run = ResumableRun::new(&g, &algo, config.clone()).unwrap();
+    for _ in 0..12 {
+        if run.tick() != RunStatus::Running {
+            break;
+        }
+    }
+    let cp = run.checkpoint();
+    assert!(cp.motion.is_some(), "test fixture: motion state must be populated");
+    (cp, config, fingerprint)
+}
+
+fn assert_motion_equal(a: &RunCheckpoint, b: &RunCheckpoint) {
+    // Geometry must survive bit-for-bit, so compare bit patterns: `f64`
+    // equality would wave through -0.0 vs 0.0 and choke on NaN.
+    let point_bits =
+        |ps: &[(f64, f64)]| ps.iter().map(|&(x, y)| (x.to_bits(), y.to_bits())).collect::<Vec<_>>();
+    let f64_bits = |hs: &[f64]| hs.iter().map(|h| h.to_bits()).collect::<Vec<_>>();
+    match (&a.motion, &b.motion) {
+        (None, None) => {}
+        (Some(ma), Some(mb)) => {
+            assert_eq!(point_bits(&ma.positions), point_bits(&mb.positions));
+            assert_eq!(point_bits(&ma.waypoints), point_bits(&mb.waypoints));
+            assert_eq!(ma.pauses, mb.pauses);
+            assert_eq!(f64_bits(&ma.headings), f64_bits(&mb.headings));
+            assert_eq!(ma.rng_state, mb.rng_state);
+        }
+        (a, b) => panic!("motion presence differs: {:?} vs {:?}", a.is_some(), b.is_some()),
+    }
+}
+
 fn assert_checkpoints_equal(a: &RunCheckpoint, b: &RunCheckpoint) {
     assert_eq!(a.sim.round(), b.sim.round());
     assert_eq!(a.sim.states(), b.sim.states());
@@ -65,6 +110,7 @@ fn assert_checkpoints_equal(a: &RunCheckpoint, b: &RunCheckpoint) {
     assert_eq!(pcg_state(&a.fault_rng), pcg_state(&b.fault_rng));
     assert_eq!(a.applied_through, b.applied_through);
     assert_eq!(a.trace.reports(), b.trace.reports());
+    assert_motion_equal(a, b);
 }
 
 #[test]
@@ -85,6 +131,41 @@ fn file_round_trip_via_atomic_write() {
     let decoded = read_file(&path, fp).expect("read");
     assert_checkpoints_equal(&cp, &decoded);
     std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn motion_round_trip_is_field_exact_and_resumable() {
+    for model in [
+        MotionModel::RandomWaypoint { speed: 0.03, pause: 2 },
+        MotionModel::Drift { speed: 0.02, turn: 0.5 },
+    ] {
+        let (cp, config, fp) = moving_checkpoint(model);
+        let decoded = decode(&encode(&cp, fp), fp).expect("round trip");
+        assert_checkpoints_equal(&cp, &decoded);
+        // The decoded state must actually drive a resume, and the resumed
+        // run must match one resumed from the in-memory checkpoint.
+        let spec = config.motion.unwrap();
+        let g = spec.initial_graph(20);
+        let algo = Algorithm1::new(&g, LmaxPolicy::global_delta(&g));
+        let mut from_memory = ResumableRun::resume(&algo, config.clone(), &cp).unwrap();
+        let mut from_disk = ResumableRun::resume(&algo, config.clone(), &decoded).unwrap();
+        for _ in 0..10 {
+            from_memory.tick();
+            from_disk.tick();
+        }
+        assert_checkpoints_equal(&from_memory.checkpoint(), &from_disk.checkpoint());
+    }
+}
+
+#[test]
+fn motionless_snapshots_omit_motion_fields() {
+    // Static runs must keep writing byte-identical snapshots to earlier
+    // builds: the motion fields only appear for moving deployments.
+    let (cp, fp) = busy_checkpoint();
+    assert!(cp.motion.is_none());
+    let text = String::from_utf8(encode(&cp, fp)).unwrap();
+    assert!(!text.contains("motion_"), "static snapshot leaked motion fields");
+    assert!(decode(&encode(&cp, fp), fp).unwrap().motion.is_none());
 }
 
 #[test]
@@ -178,6 +259,20 @@ fn fingerprint_ignores_budget_and_telemetry_but_not_plans() {
     );
     // A different algorithm type must change it too.
     assert_ne!(fp, config_fingerprint::<mis::Algorithm2>(&ResumableConfig::new(5)));
+    // Attaching a motion spec — or altering any of its parameters — must
+    // change it: a moving run's topology history is part of the run.
+    let moving = |speed| {
+        ResumableConfig::new(5).with_motion(MotionSpec::new(
+            0x5EED,
+            0.25,
+            MotionModel::RandomWaypoint { speed, pause: 1 },
+        ))
+    };
+    assert_ne!(fp, config_fingerprint::<Algorithm1>(&moving(0.02)));
+    assert_ne!(
+        config_fingerprint::<Algorithm1>(&moving(0.02)),
+        config_fingerprint::<Algorithm1>(&moving(0.03)),
+    );
 }
 
 #[test]

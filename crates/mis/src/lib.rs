@@ -30,7 +30,9 @@
 //! and topology churn with per-event re-stabilization tracking.
 //! [`containment`] certifies that permanently Byzantine nodes disrupt only
 //! a bounded radius around themselves, and [`adversary`] hill-climbs over
-//! Byzantine placements and initial configurations for worst cases.
+//! Byzantine placements and initial configurations for worst cases;
+//! [`scenario`] extends that search to moving deployments, jointly over
+//! motion speed, churn rate and placement.
 //!
 //! # Example
 //!
@@ -60,6 +62,7 @@ pub mod policy;
 pub mod recovery;
 pub mod resumable;
 pub mod runner;
+pub mod scenario;
 pub mod theory;
 
 pub use adversary::{AdversaryConfig, SearchBehavior, WorstCase};
@@ -74,3 +77,4 @@ pub use resumable::{
     RunStatus,
 };
 pub use runner::{InitialLevels, Outcome, RunConfig, StabilizationError};
+pub use scenario::{Scenario, ScenarioConfig, ScenarioScore, WorstScenario};

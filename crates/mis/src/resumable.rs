@@ -15,15 +15,21 @@
 //!
 //! The round-boundary semantics mirror [`crate::runner::run`] exactly: at
 //! boundary `r`, scheduled faults are applied first (in schedule order),
-//! then scheduled churn; stabilization is then judged (active-aware, on the
-//! live topology) and only counts once `r` has passed the last scheduled
-//! event; the budget is a *total* round budget. For a fault-only plan on a
-//! static graph the outcome, trace and final levels equal
+//! then scheduled churn, then — for a moving deployment
+//! ([`ResumableConfig::with_motion`]) — one mobility step reconciled into
+//! the simulator as a batched edge diff; stabilization is then judged
+//! (active-aware, on the live topology) and only counts once `r` has passed
+//! the last scheduled event; the budget is a *total* round budget. Under
+//! sustained motion the topology never quiesces, so "stabilized" means the
+//! current configuration is a valid MIS *on the current graph* — the
+//! instantaneous condition the MOB experiment measures. For a fault-only
+//! plan on a static graph the outcome, trace and final levels equal
 //! [`crate::runner::run`]'s field for field.
 
 use beeping::byzantine::ByzantinePlan;
 use beeping::channel::ChannelFault;
 use beeping::churn::{ChurnAction, ChurnPlan};
+use beeping::dynamic::{DynamicTopology, MotionSpec, MotionState};
 use beeping::faults::FaultPlan;
 use beeping::rng::aux_rng;
 use beeping::trace::Trace;
@@ -54,6 +60,9 @@ pub enum PlanError {
     /// The Byzantine plan is invalid (see
     /// [`beeping::byzantine::ByzantineError`]).
     Byzantine(ByzantineError),
+    /// The motion spec is invalid, or the supplied graph is not the spec's
+    /// initial deployment (see [`beeping::dynamic::MotionSpec`]).
+    Motion(String),
 }
 
 impl std::fmt::Display for PlanError {
@@ -62,6 +71,7 @@ impl std::fmt::Display for PlanError {
             PlanError::Fault(e) => write!(f, "invalid fault plan: {e}"),
             PlanError::Churn(e) => write!(f, "invalid churn plan: {e}"),
             PlanError::Byzantine(e) => write!(f, "invalid byzantine plan: {e}"),
+            PlanError::Motion(msg) => write!(f, "invalid motion spec: {msg}"),
         }
     }
 }
@@ -144,6 +154,15 @@ pub struct ResumableConfig {
     /// of a [`RunCheckpoint`]; resuming under a different plan is guarded by
     /// the harness snapshot's config fingerprint, not here.
     pub byzantine: ByzantinePlan<Level>,
+    /// Optional moving deployment: when set, the topology is the spec's
+    /// radius graph, reconciled against the simulator at every round
+    /// boundary (after scheduled faults and churn) through the batched
+    /// edge-diff path. The motion layer then *owns* the edge set — restrict
+    /// churn plans to node leave/join (scheduled edge events are overwritten
+    /// at the next reconciliation). Mid-flight positions and the motion-RNG
+    /// position live in the [`RunCheckpoint`]; this field is configuration
+    /// and is covered by the harness snapshot fingerprint.
+    pub motion: Option<MotionSpec>,
     /// Delivery engine (bit-identical choices; see [`EngineMode`]).
     pub engine: EngineMode,
     /// Telemetry handle (disabled by default). Observational only: enabling
@@ -164,6 +183,7 @@ impl ResumableConfig {
             churn: ChurnPlan::new(),
             channel: ChannelFault::reliable(),
             byzantine: ByzantinePlan::new(),
+            motion: None,
             engine: EngineMode::default(),
             telemetry: Telemetry::disabled(),
         }
@@ -202,6 +222,13 @@ impl ResumableConfig {
     /// Sets the Byzantine plan.
     pub fn with_byzantine(mut self, byzantine: ByzantinePlan<Level>) -> ResumableConfig {
         self.byzantine = byzantine;
+        self
+    }
+
+    /// Attaches a moving deployment (see the `motion` field for the
+    /// semantics; the run's graph must be `spec.initial_graph(n)`).
+    pub fn with_motion(mut self, motion: MotionSpec) -> ResumableConfig {
+        self.motion = Some(motion);
         self
     }
 
@@ -272,6 +299,10 @@ pub struct RunCheckpoint {
     /// The accumulated per-round trace, so an interrupted-and-resumed run
     /// reports the same full trace as an uninterrupted one.
     pub trace: Trace,
+    /// Mid-flight mobility state (positions, per-node model state, motion
+    /// RNG position); `Some` exactly when the configuration carries a
+    /// [`MotionSpec`].
+    pub motion: Option<MotionState>,
 }
 
 /// A stabilization run inverted into a state machine; see the module docs.
@@ -280,6 +311,7 @@ pub struct ResumableRun<A: SelfStabilizingMis> {
     algo: A,
     config: ResumableConfig,
     fault_rng: Pcg64Mcg,
+    motion: Option<DynamicTopology>,
     trace: Trace,
     last_event_round: u64,
     applied_through: Option<u64>,
@@ -303,6 +335,21 @@ impl<A: SelfStabilizingMis> ResumableRun<A> {
         config: ResumableConfig,
     ) -> Result<ResumableRun<A>, PlanError> {
         Self::validate_plans(&config, algo, graph.len())?;
+        let motion = match &config.motion {
+            Some(spec) => {
+                let dt = DynamicTopology::new(graph.len(), spec, config.seed)
+                    .map_err(|e| PlanError::Motion(e.to_string()))?;
+                if dt.graph() != graph {
+                    return Err(PlanError::Motion(
+                        "graph is not the spec's initial deployment \
+                         (use MotionSpec::initial_graph)"
+                            .into(),
+                    ));
+                }
+                Some(dt)
+            }
+            None => None,
+        };
         let run_config = RunConfig::new(config.seed).with_init(config.init.clone());
         let levels = initial_levels(algo, &run_config);
         let sim = Self::build_sim(graph.clone(), algo, &config, levels);
@@ -317,6 +364,7 @@ impl<A: SelfStabilizingMis> ResumableRun<A> {
             sim,
             algo: algo.clone(),
             fault_rng: aux_rng(config.seed, FAULT_RNG_PURPOSE),
+            motion,
             trace: Trace::new(),
             last_event_round: Self::last_event_round(&config),
             applied_through: None,
@@ -343,6 +391,24 @@ impl<A: SelfStabilizingMis> ResumableRun<A> {
     ) -> Result<ResumableRun<A>, ResumeError> {
         let n = checkpoint.sim.graph().len();
         Self::validate_plans(&config, algo, n)?;
+        let motion =
+            match (&config.motion, &checkpoint.motion) {
+                (Some(spec), Some(state)) => Some(
+                    DynamicTopology::from_state(spec, state)
+                        .map_err(|e| ResumeError::Plan(PlanError::Motion(e.to_string())))?,
+                ),
+                (None, None) => None,
+                (Some(_), None) => return Err(ResumeError::Plan(PlanError::Motion(
+                    "configuration carries a motion spec but the checkpoint has no motion state"
+                        .into(),
+                ))),
+                (None, Some(_)) => {
+                    return Err(ResumeError::Plan(PlanError::Motion(
+                        "checkpoint carries motion state but the configuration has no motion spec"
+                            .into(),
+                    )))
+                }
+            };
         let levels = checkpoint.sim.states().to_vec();
         let mut sim = Self::build_sim(checkpoint.sim.graph().clone(), algo, &config, levels);
         sim.restore(&checkpoint.sim)?;
@@ -350,6 +416,7 @@ impl<A: SelfStabilizingMis> ResumableRun<A> {
             sim,
             algo: algo.clone(),
             fault_rng: checkpoint.fault_rng.clone(),
+            motion,
             trace: checkpoint.trace.clone(),
             last_event_round: Self::last_event_round(&config),
             applied_through: checkpoint.applied_through,
@@ -429,6 +496,17 @@ impl<A: SelfStabilizingMis> ResumableRun<A> {
                     }));
                 }
             }
+            if let Some(dt) = &mut self.motion {
+                let (added, removed) = dt.advance(&mut self.sim);
+                if tele.is_enabled() && added + removed > 0 {
+                    tele.record(Event::Marker(Marker {
+                        round: r,
+                        kind: MarkerKind::Motion,
+                        detail: "reconcile".into(),
+                        magnitude: (added + removed) as u64,
+                    }));
+                }
+            }
             self.applied_through = Some(r);
         }
         if r >= self.last_event_round
@@ -497,6 +575,7 @@ impl<A: SelfStabilizingMis> ResumableRun<A> {
             fault_rng: self.fault_rng.clone(),
             applied_through: self.applied_through,
             trace: self.trace.clone(),
+            motion: self.motion.as_ref().map(DynamicTopology::state),
         }
     }
 
@@ -531,6 +610,22 @@ impl<A: SelfStabilizingMis> ResumableRun<A> {
     /// The trace accumulated so far.
     pub fn trace(&self) -> &Trace {
         &self.trace
+    }
+
+    /// Current per-node levels (including crashed/departed nodes' last
+    /// state). Cheap borrow for per-round predicates — no checkpoint clone.
+    pub fn levels(&self) -> &[Level] {
+        self.sim.states()
+    }
+
+    /// The current topology (reflects churn and motion applied so far).
+    pub fn graph(&self) -> &Graph {
+        self.sim.graph()
+    }
+
+    /// The current participation bitmap.
+    pub fn active(&self) -> &[bool] {
+        self.sim.active()
     }
 
     /// The configuration this run executes under.
@@ -697,6 +792,103 @@ mod tests {
         let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run.tick()));
         let message = *caught.unwrap_err().downcast::<String>().unwrap();
         assert!(message.contains("crash injection"), "{message}");
+    }
+
+    #[test]
+    fn motion_checkpoint_resume_is_bit_identical() {
+        // The moving-graph counterpart of `checkpoint_resume_is_bit_identical`:
+        // a random-waypoint deployment composed with noise, node churn and a
+        // Byzantine node, interrupted at several points. The stuck beeper
+        // keeps the run from ever stabilizing under sustained motion, so the
+        // budget is deliberately small — bit-identity at budget exhaustion is
+        // exactly as strong a check as at stabilization.
+        use beeping::dynamic::MotionSpec;
+        use graphs::motion::MotionModel;
+        let spec = MotionSpec::new(
+            0x600D,
+            graphs::generators::geometric::radius_for_expected_degree(32, 6.0),
+            MotionModel::RandomWaypoint { speed: 0.02, pause: 2 },
+        );
+        let g = spec.initial_graph(32);
+        let algo = Algorithm1::new(&g, LmaxPolicy::global_delta(&g));
+        let config = || {
+            ResumableConfig::new(13)
+                .with_max_rounds(300)
+                .with_motion(spec)
+                .with_channel(ChannelFault::reliable().with_drop(0.01))
+                .with_churn(
+                    ChurnPlan::new()
+                        .with_event(20, ChurnAction::NodeLeave(4))
+                        .with_event(45, ChurnAction::NodeJoin(4, vec![])),
+                )
+                .with_byzantine(ByzantinePlan::new().with_behavior(9, ByzantineBehavior::StuckBeep))
+        };
+        let mut straight = ResumableRun::new(&g, &algo, config()).unwrap();
+        straight.run_to_completion();
+        let reference = straight.outcome().unwrap();
+
+        for interrupt_after in [0u64, 1, 19, 20, 44, 45, 60] {
+            let mut first = ResumableRun::new(&g, &algo, config()).unwrap();
+            for _ in 0..interrupt_after {
+                if first.tick() != RunStatus::Running {
+                    break;
+                }
+            }
+            let cp = first.checkpoint();
+            assert!(cp.motion.is_some());
+            drop(first);
+            let mut second = ResumableRun::resume(&algo, config(), &cp).unwrap();
+            second.run_to_completion();
+            let resumed = second.outcome().unwrap();
+            assert_eq!(resumed.rounds_run, reference.rounds_run, "kill at {interrupt_after}");
+            assert_eq!(resumed.levels, reference.levels, "kill at {interrupt_after}");
+            assert_eq!(resumed.active, reference.active, "kill at {interrupt_after}");
+            assert_eq!(
+                resumed.trace.reports(),
+                reference.trace.reports(),
+                "kill at {interrupt_after}"
+            );
+        }
+    }
+
+    #[test]
+    fn motion_requires_the_spec_deployment_graph() {
+        use beeping::dynamic::MotionSpec;
+        use graphs::motion::MotionModel;
+        let spec = MotionSpec::new(0x600D, 0.2, MotionModel::Drift { speed: 0.03, turn: 0.4 });
+        let wrong = random::gnp(16, 0.2, 3);
+        let algo = Algorithm1::new(&wrong, LmaxPolicy::global_delta(&wrong));
+        let err = ResumableRun::new(&wrong, &algo, ResumableConfig::new(1).with_motion(spec))
+            .unwrap_err();
+        assert!(matches!(err, PlanError::Motion(_)));
+        assert!(err.to_string().contains("motion"));
+    }
+
+    #[test]
+    fn motion_resume_rejects_presence_mismatch() {
+        use beeping::dynamic::MotionSpec;
+        use graphs::motion::MotionModel;
+        let spec = MotionSpec::new(
+            0x600D,
+            graphs::generators::geometric::radius_for_expected_degree(16, 4.0),
+            MotionModel::RandomWaypoint { speed: 0.02, pause: 0 },
+        );
+        let g = spec.initial_graph(16);
+        let algo = Algorithm1::new(&g, LmaxPolicy::global_delta(&g));
+        // Motion run, resumed under a motionless config.
+        let mut run =
+            ResumableRun::new(&g, &algo, ResumableConfig::new(2).with_motion(spec)).unwrap();
+        run.tick();
+        let cp = run.checkpoint();
+        let err = ResumableRun::resume(&algo, ResumableConfig::new(2), &cp).unwrap_err();
+        assert!(matches!(err, ResumeError::Plan(PlanError::Motion(_))));
+        // Motionless run, resumed under a motion config.
+        let mut run = ResumableRun::new(&g, &algo, ResumableConfig::new(2)).unwrap();
+        run.tick();
+        let cp = run.checkpoint();
+        let err = ResumableRun::resume(&algo, ResumableConfig::new(2).with_motion(spec), &cp)
+            .unwrap_err();
+        assert!(matches!(err, ResumeError::Plan(PlanError::Motion(_))));
     }
 
     #[test]

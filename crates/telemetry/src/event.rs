@@ -111,6 +111,8 @@ pub enum MarkerKind {
     Churn,
     /// A permanently deviating (Byzantine) node.
     Byzantine,
+    /// Mobility-driven topology change (batched radius-edge diff).
+    Motion,
 }
 
 impl MarkerKind {
@@ -120,6 +122,7 @@ impl MarkerKind {
             MarkerKind::Fault => "fault",
             MarkerKind::Churn => "churn",
             MarkerKind::Byzantine => "byzantine",
+            MarkerKind::Motion => "motion",
         }
     }
 }
@@ -143,5 +146,6 @@ mod tests {
         assert_eq!(MarkerKind::Fault.name(), "fault");
         assert_eq!(MarkerKind::Churn.name(), "churn");
         assert_eq!(MarkerKind::Byzantine.name(), "byzantine");
+        assert_eq!(MarkerKind::Motion.name(), "motion");
     }
 }
