@@ -81,5 +81,7 @@ pub use byzantine::{ByzantineBehavior, ByzantineError, ByzantinePlan, Resurrect}
 pub use channel::{BurstNoise, ChannelFault, ChannelState, JammerKind};
 pub use churn::{ChurnAction, ChurnError, ChurnEvent, ChurnPlan};
 pub use faults::{FaultError, FaultPlan, FaultTarget, TransientFault};
-pub use protocol::{BeepSignal, BeepingProtocol, Channels};
-pub use sim::{Checkpoint, DuplexMode, EngineMode, RestoreError, Simulator};
+pub use protocol::{BeepSignal, BeepingProtocol, Channels, SettledRound};
+pub use sim::{
+    frontier_fallback_threshold, Checkpoint, DuplexMode, EngineMode, RestoreError, Simulator,
+};

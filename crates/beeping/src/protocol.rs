@@ -114,6 +114,35 @@ impl std::fmt::Display for BeepSignal {
     }
 }
 
+/// A per-round execution certificate for a *settled* node — the protocol's
+/// half of the frontier engine's draws-when-settled contract
+/// (`EngineMode::Frontier` in `beeping::sim`).
+///
+/// Returning `Some(SettledRound { signal, draws })` from
+/// [`BeepingProtocol::settled_round`] for `(node, state, heard)` certifies
+/// that, for as long as the node's state and observation stay exactly
+/// `(state, heard)`:
+///
+/// 1. [`BeepingProtocol::transmit`] returns exactly `signal` and consumes
+///    exactly `draws` generator outputs (one `gen_bool`/`next_u64` = one
+///    output), *regardless of the values drawn*;
+/// 2. [`BeepingProtocol::receive`] with `(sent = signal, heard)` leaves the
+///    state unchanged and draws nothing.
+///
+/// Under that certificate the frontier engine may skip the node entirely
+/// and account for its stream lazily (`draws` outputs per skipped round via
+/// jump-ahead), re-executing it only when a neighbor's signal — and hence
+/// its observation — changes. Debug builds verify both clauses whenever a
+/// node settles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SettledRound {
+    /// The signal `transmit` is certified to produce every round.
+    pub signal: BeepSignal,
+    /// Generator outputs `transmit` consumes per round (`receive` must
+    /// consume none for a settled node).
+    pub draws: u64,
+}
+
 /// A protocol for the beeping model: the code in every node's ROM.
 ///
 /// One `BeepingProtocol` value drives *all* nodes; per-node data lives in
@@ -150,6 +179,25 @@ pub trait BeepingProtocol {
         heard: BeepSignal,
         rng: &mut dyn RngCore,
     );
+
+    /// Declares `(state, heard)` a fixpoint the frontier engine may skip —
+    /// see [`SettledRound`] for the exact obligations a `Some` return
+    /// takes on.
+    ///
+    /// The default declares nothing settled, which is always sound: the
+    /// frontier engine then re-executes every node every round (degrading
+    /// to the full kernel) and stays bit-identical. Protocols with
+    /// absorbing configurations (e.g. Algorithm 1's `ℓ = ±ℓmax` states)
+    /// override this to unlock O(|frontier|) post-stabilization rounds.
+    fn settled_round(
+        &self,
+        node: NodeId,
+        state: &Self::State,
+        heard: BeepSignal,
+    ) -> Option<SettledRound> {
+        let _ = (node, state, heard);
+        None
+    }
 }
 
 #[cfg(test)]

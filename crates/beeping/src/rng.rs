@@ -58,6 +58,33 @@ pub fn pcg_from_state(state: u128) -> Pcg64Mcg {
     Pcg64Mcg::from_state(state)
 }
 
+/// The PCG reference multiplier (128-bit MCG step). Mirrors the vendored
+/// `rand_pcg` constant; [`advance_steps`]'s test pins the two against each
+/// other, so a divergence cannot go unnoticed.
+const PCG_MULTIPLIER: u128 = 0x2360_ed05_1fc6_5da4_4385_df64_9fcc_f645;
+
+/// Advances a generator by exactly `steps` outputs in O(log steps) time,
+/// without producing them — the jump-ahead backing the frontier engine's
+/// RNG draw accounting (`beeping::sim`): a settled node that would draw
+/// `k` coins per skipped round is ticked in bulk when it wakes.
+///
+/// An MCG's step is `state ← state · M (mod 2^128)`, so `steps` outputs
+/// compose to a single multiplication by `M^steps`, computed here by
+/// square-and-multiply. Equivalent to calling `next_u64` `steps` times.
+pub fn advance_steps(rng: &mut Pcg64Mcg, steps: u128) {
+    let mut mult: u128 = 1;
+    let mut base = PCG_MULTIPLIER;
+    let mut k = steps;
+    while k > 0 {
+        if k & 1 == 1 {
+            mult = mult.wrapping_mul(base);
+        }
+        base = base.wrapping_mul(base);
+        k >>= 1;
+    }
+    *rng = pcg_from_state(pcg_state(rng).wrapping_mul(mult));
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -115,6 +142,36 @@ mod tests {
         for _ in 0..16 {
             assert_eq!(rng.gen::<u64>(), restored.gen::<u64>());
         }
+    }
+
+    #[test]
+    fn advance_steps_equals_sequential_draws() {
+        // Pins the jump-ahead against the vendored generator: advancing by
+        // k must land on exactly the state reached by k next_u64 calls (and
+        // hence pins PCG_MULTIPLIER against the vendored constant).
+        for k in [0u128, 1, 2, 3, 7, 64, 1000, 123_457] {
+            let mut jumped = node_rng(42, 5);
+            let mut walked = node_rng(42, 5);
+            advance_steps(&mut jumped, k);
+            for _ in 0..k {
+                walked.gen::<u64>();
+            }
+            assert_eq!(pcg_state(&jumped), pcg_state(&walked), "k={k}");
+            assert_eq!(jumped.gen::<u64>(), walked.gen::<u64>(), "k={k}");
+        }
+    }
+
+    #[test]
+    fn advance_steps_composes() {
+        // Jumping a+b equals jumping a then b — the property the frontier
+        // engine relies on when a settled node is ticked across several
+        // disturbance epochs.
+        let mut once = node_rng(7, 0);
+        let mut twice = node_rng(7, 0);
+        advance_steps(&mut once, 1000 + 37);
+        advance_steps(&mut twice, 1000);
+        advance_steps(&mut twice, 37);
+        assert_eq!(pcg_state(&once), pcg_state(&twice));
     }
 
     #[test]

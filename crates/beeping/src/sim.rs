@@ -9,6 +9,8 @@ use rand_pcg::Pcg64Mcg;
 use crate::byzantine::{ByzantineBehavior, ByzantinePlan};
 use crate::channel::{ChannelFault, ChannelState, JammerKind};
 use crate::churn::ChurnError;
+#[cfg(debug_assertions)]
+use crate::protocol::SettledRound;
 use crate::protocol::{BeepSignal, BeepingProtocol};
 use crate::rng;
 use crate::trace::RoundReport;
@@ -66,6 +68,28 @@ pub enum EngineMode {
     /// must be preserved exactly.
     #[default]
     Scatter,
+    /// Event-driven kernel: only the *frontier* — nodes whose state or
+    /// incident signals changed — executes each round; the settled
+    /// complement is skipped under the draws-when-settled contract
+    /// ([`crate::protocol::SettledRound`]), with its pinned signals reused
+    /// from persistent word-packed bitsets and its RNG streams ticked
+    /// lazily by jump-ahead. Post-stabilization and localized fault/churn
+    /// rounds cost O(Σ deg(frontier)) instead of O(n + m); a frontier
+    /// denser than [`frontier_fallback_threshold`] falls back to one full
+    /// scatter sweep that also rebuilds the settled set. On an unreliable
+    /// channel or under a Byzantine plan the engine runs the phased
+    /// scatter path (channel noise draws per-listener coins that skipping
+    /// cannot reproduce). Bit-identical to the other engines per seed.
+    Frontier,
+}
+
+/// Frontier density at which [`EngineMode::Frontier`] abandons the sparse
+/// round and runs one full scatter sweep instead: a frontier *strictly
+/// larger* than this falls back. Sized so the sparse path's per-node
+/// bookkeeping can never lose to the flat sweep by more than a small
+/// constant factor.
+pub fn frontier_fallback_threshold(n: usize) -> usize {
+    (n / 8).max(16)
 }
 
 /// A synchronous-round simulator of the full-duplex beeping model.
@@ -135,11 +159,154 @@ pub struct Simulator<'g, P: BeepingProtocol> {
     scatter_sent1: Vec<u64>,
     scatter_sent2: Vec<u64>,
     hook: InvariantHook<P::State>,
+    /// Frontier-kernel bookkeeping (dirty set, settled flags, lazy RNG
+    /// accounting, persistent signal bitsets and running report totals).
+    /// Purely derived from the execution: never part of a checkpoint —
+    /// [`Simulator::restore`] resets it and the next frontier round
+    /// rebuilds it with a full sweep.
+    frontier: FrontierState,
     /// Observational only: phase timers and engine counters. Never consulted
     /// for control flow and never draws randomness, so a disabled handle
     /// (the default) and an enabled one produce bit-identical executions —
     /// pinned by the telemetry proptests in `tests/engine_differential.rs`.
     telemetry: Telemetry,
+}
+
+/// Bookkeeping of the frontier kernel; see [`EngineMode::Frontier`].
+///
+/// Invariants while `synced` holds (all of them re-established by a full
+/// sweep, and conservatively repairable — executing a settled node is
+/// harmless because its round is a draw-free fixpoint per the
+/// draws-when-settled contract):
+///
+/// - every node is either *settled* (skipped; `sent[v]` pinned, RNG ticked
+///   `rate[v]` outputs per round when materialized) or queued in `dirty`
+///   for live execution next round;
+/// - `rngs[v]` reflects all draws through round `last_exec[v]`; for
+///   non-settled nodes `last_exec[v]` is the current round;
+/// - `sent1`/`sent2` are word-packed per-channel views of the `sent`
+///   vector, and the six `total_*` fields equal the
+///   [`RoundReport::from_signals`] counters over the current
+///   `sent`/`heard` vectors.
+#[derive(Debug, Default)]
+struct FrontierState {
+    /// Bookkeeping valid? `false` forces a full rebuild sweep.
+    synced: bool,
+    /// Nodes queued for live execution next round (no duplicates; guarded
+    /// by `queued`).
+    dirty: Vec<NodeId>,
+    /// `queued[v]` ⇔ `v ∈ dirty`.
+    queued: Vec<bool>,
+    /// Settled nodes — skipped under the draws-when-settled contract.
+    settled: Vec<bool>,
+    /// Generator outputs a settled node's skipped round consumes.
+    rate: Vec<u64>,
+    /// Round through which `rngs[v]` is materialized.
+    last_exec: Vec<u64>,
+    /// Persistent word-packed per-channel transmissions (bit `v` set ⇔
+    /// `sent[v]` beeps on the channel); patched in place as signals change.
+    sent1: Vec<u64>,
+    sent2: Vec<u64>,
+    /// Running `RoundReport` counters over the persistent signal vectors.
+    total_beeps1: usize,
+    total_beeps2: usize,
+    total_hearers1: usize,
+    total_hearers2: usize,
+    total_lone1: usize,
+    total_lone2: usize,
+    /// Scratch lists reused across sparse rounds.
+    exec: Vec<NodeId>,
+    changed: Vec<NodeId>,
+    listeners: Vec<NodeId>,
+    listener_mark: Vec<bool>,
+    wake: Vec<NodeId>,
+}
+
+impl FrontierState {
+    /// Sizes the bookkeeping for an `n`-node network (idempotent).
+    fn ensure_init(&mut self, n: usize) {
+        if self.queued.len() == n {
+            return;
+        }
+        let words = n.div_ceil(64);
+        self.synced = false;
+        self.dirty = Vec::new();
+        self.queued = vec![false; n];
+        self.settled = vec![false; n];
+        self.rate = vec![0; n];
+        self.last_exec = vec![0; n];
+        self.sent1 = vec![0; words];
+        self.sent2 = vec![0; words];
+        self.listener_mark = vec![false; n];
+    }
+
+    /// Queues `v` for live execution next round (deduplicated).
+    fn push_dirty(&mut self, v: NodeId) {
+        if !self.queued[v] {
+            self.queued[v] = true;
+            self.dirty.push(v);
+        }
+    }
+
+    /// Materializes `v`'s generator through `target`: ticks the skipped
+    /// rounds' draws in bulk via jump-ahead.
+    fn materialize(&mut self, rng: &mut Pcg64Mcg, v: NodeId, target: u64) {
+        let from = self.last_exec[v];
+        if from < target {
+            if self.rate[v] > 0 {
+                rng::advance_steps(rng, u128::from(target - from) * u128::from(self.rate[v]));
+            }
+            self.last_exec[v] = target;
+        }
+    }
+
+    /// The running totals as a report for round `round`.
+    fn report(&self, round: u64) -> RoundReport {
+        RoundReport {
+            round,
+            beeps_channel1: self.total_beeps1,
+            beeps_channel2: self.total_beeps2,
+            hearers_channel1: self.total_hearers1,
+            hearers_channel2: self.total_hearers2,
+            lone_beepers: self.total_lone1,
+            lone_beepers_channel2: self.total_lone2,
+        }
+    }
+}
+
+/// Debug-build enforcement of the draws-when-settled contract at the
+/// moment a node settles: replays `transmit` on a probe generator and
+/// checks the pinned signal, the declared draw count (against the
+/// jump-ahead the engine will use) and that `receive` on the settled
+/// `(sent, heard)` pair is a draw-free state fixpoint.
+#[cfg(debug_assertions)]
+fn debug_check_settled_contract<P: BeepingProtocol>(
+    protocol: &P,
+    v: NodeId,
+    state: &P::State,
+    rng: &Pcg64Mcg,
+    sr: SettledRound,
+    heard: BeepSignal,
+) {
+    let mut probe = rng.clone();
+    let signal = protocol.transmit(v, state, &mut probe);
+    assert_eq!(signal, sr.signal, "settled_round pinned the wrong signal for node {v}");
+    let mut jumped = rng.clone();
+    rng::advance_steps(&mut jumped, u128::from(sr.draws));
+    assert_eq!(
+        probe, jumped,
+        "settled_round declared {} draws but transmit consumed differently (node {v})",
+        sr.draws
+    );
+    let mut replayed = state.clone();
+    let before = probe.clone();
+    protocol.receive(v, &mut replayed, signal, heard, &mut probe);
+    assert_eq!(probe, before, "settled receive drew randomness (node {v})");
+    assert_eq!(
+        format!("{replayed:?}"),
+        format!("{state:?}"),
+        "settled receive changed state (node {v})"
+    );
 }
 
 /// Signature of a per-round observer: graph, 1-based round, states.
@@ -196,6 +363,7 @@ impl<'g, P: BeepingProtocol> Simulator<'g, P> {
             scatter_sent1: Vec::new(),
             scatter_sent2: Vec::new(),
             hook: InvariantHook(None),
+            frontier: FrontierState::default(),
             telemetry: Telemetry::disabled(),
         }
     }
@@ -240,6 +408,7 @@ impl<'g, P: BeepingProtocol> Simulator<'g, P> {
             scatter_sent1: Vec::new(),
             scatter_sent2: Vec::new(),
             hook: InvariantHook(None),
+            frontier: FrontierState::default(),
             telemetry: Telemetry::disabled(),
         }
     }
@@ -277,8 +446,12 @@ impl<'g, P: BeepingProtocol> Simulator<'g, P> {
     }
 
     /// Switches the delivery kernel mid-run. Safe at any round boundary:
-    /// the kernels share all RNG streams and state layouts.
+    /// the kernels share all RNG streams and state layouts. Leaving (or
+    /// re-entering) the frontier kernel materializes any lazily-accounted
+    /// RNG positions and discards the frontier bookkeeping — the next
+    /// frontier round rebuilds it with one full sweep.
     pub fn set_engine(&mut self, engine: EngineMode) {
+        self.frontier_desync();
         self.engine = engine;
     }
 
@@ -347,6 +520,10 @@ impl<'g, P: BeepingProtocol> Simulator<'g, P> {
         for &(v, _) in channel.jammers() {
             assert!(v < n, "jammer node {v} out of range for n={n}");
         }
+        // Noise regimes (and their jammer windows) are global events for
+        // the frontier kernel: every listener's observation may change, so
+        // the settled set is discarded wholesale rather than seeded.
+        self.frontier_desync();
         self.channel = channel;
         self.channel_state = ChannelState::default();
     }
@@ -376,6 +553,10 @@ impl<'g, P: BeepingProtocol> Simulator<'g, P> {
         if let Err(e) = plan.validate(n, self.protocol.channels()) {
             panic!("invalid byzantine plan: {e}");
         }
+        // A Byzantine plan swap (including a crash-restart schedule being
+        // installed or cleared) reroutes the shared Byzantine stream, which
+        // the frontier kernel cannot account per node — discard and rebuild.
+        self.frontier_desync();
         let mut byz: Vec<Option<ByzantineBehavior<P::State>>> = vec![None; n];
         for (v, behavior) in plan.overrides() {
             byz[*v] = Some(behavior.clone());
@@ -440,12 +621,17 @@ impl<'g, P: BeepingProtocol> Simulator<'g, P> {
     ///
     /// Panics if `node` is out of range.
     pub fn corrupt_state(&mut self, node: NodeId, state: P::State) {
+        // Frontier seeding: a corrupted node's next transmission may
+        // change, so it re-executes live; its neighbors are woken lazily
+        // if and when its signal actually changes.
+        self.frontier_unsettle(node);
         self.states[node] = state;
     }
 
     /// Applies `f` to every node state — bulk fault injection or
     /// adversarial re-initialization mid-run.
     pub fn corrupt_all<F: FnMut(NodeId, &mut P::State)>(&mut self, mut f: F) {
+        self.frontier_desync();
         for (v, s) in self.states.iter_mut().enumerate() {
             f(v, s);
         }
@@ -463,7 +649,15 @@ impl<'g, P: BeepingProtocol> Simulator<'g, P> {
     pub fn insert_edge(&mut self, u: NodeId, v: NodeId) -> Result<bool, ChurnError> {
         self.check_churn_edge(u, v)?;
         match self.graph.to_mut().insert_edge(u, v) {
-            Ok(inserted) => Ok(inserted),
+            Ok(inserted) => {
+                if inserted {
+                    // Frontier seeding: only the endpoints' observations
+                    // can change — their next round runs live.
+                    self.frontier_unsettle(u);
+                    self.frontier_unsettle(v);
+                }
+                Ok(inserted)
+            }
             // Both graph-level failure modes are pre-checked above; map
             // defensively rather than unwrap so a future GraphError variant
             // cannot reintroduce a panic path.
@@ -480,7 +674,12 @@ impl<'g, P: BeepingProtocol> Simulator<'g, P> {
     /// topology is unchanged on error.
     pub fn remove_edge(&mut self, u: NodeId, v: NodeId) -> Result<bool, ChurnError> {
         self.check_churn_edge(u, v)?;
-        Ok(self.graph.to_mut().remove_edge(u, v))
+        let removed = self.graph.to_mut().remove_edge(u, v);
+        if removed {
+            self.frontier_unsettle(u);
+            self.frontier_unsettle(v);
+        }
+        Ok(removed)
     }
 
     /// Topology churn, batched: removes `removed` then inserts `added` in a
@@ -508,7 +707,17 @@ impl<'g, P: BeepingProtocol> Simulator<'g, P> {
             self.check_churn_edge(u, v)?;
         }
         match self.graph.to_mut().apply_edge_diff(added, removed) {
-            Ok(counts) => Ok(counts),
+            Ok(counts) => {
+                // Frontier seeding for motion diffs: every listed endpoint
+                // re-executes next round (conservative for already-present
+                // insertions/absent removals — re-executing a settled node
+                // is a draw-free no-op per the contract).
+                for &(u, v) in added.iter().chain(removed) {
+                    self.frontier_unsettle(u);
+                    self.frontier_unsettle(v);
+                }
+                Ok(counts)
+            }
             // Both graph-level failure modes are pre-checked above; map
             // defensively rather than unwrap so a future GraphError variant
             // cannot reintroduce a panic path.
@@ -542,6 +751,20 @@ impl<'g, P: BeepingProtocol> Simulator<'g, P> {
         let n = self.graph.len();
         if v >= n {
             return Err(ChurnError::NodeOutOfRange { node: v, n });
+        }
+        // Frontier seeding: the departing node's signal goes silent, so its
+        // (pre-isolation) neighbors' observations may change next round;
+        // the signal clearing below is routed through the accounting
+        // helpers to keep the persistent bitsets and report totals exact.
+        if self.frontier_live() {
+            let neighbors: Vec<NodeId> =
+                self.graph.neighbors(v).iter().map(|&u| u as NodeId).collect();
+            for u in neighbors {
+                self.frontier_unsettle(u);
+            }
+            self.frontier_unsettle(v);
+            self.frontier_set_sent(v, BeepSignal::silent());
+            self.frontier_set_heard(v, BeepSignal::silent());
         }
         let removed = self.graph.to_mut().isolate_node(v);
         self.active[v] = false;
@@ -581,6 +804,17 @@ impl<'g, P: BeepingProtocol> Simulator<'g, P> {
             if u == v {
                 return Err(ChurnError::SelfEdge(v));
             }
+        }
+        // Frontier seeding: the joiner and every attachment point
+        // re-execute next round (their observations may change); signal
+        // clearing goes through the accounting helpers as in `node_leave`.
+        if self.frontier_live() {
+            self.frontier_unsettle(v);
+            for &u in neighbors {
+                self.frontier_unsettle(u);
+            }
+            self.frontier_set_sent(v, BeepSignal::silent());
+            self.frontier_set_heard(v, BeepSignal::silent());
         }
         let graph = self.graph.to_mut();
         for &u in neighbors {
@@ -648,15 +882,24 @@ impl<'g, P: BeepingProtocol> Simulator<'g, P> {
     pub fn step(&mut self) -> RoundReport {
         let n = self.graph.len();
         let channels = self.protocol.channels();
-        // No-fault fast path: with a perfectly reliable channel and no
+        // No-fault fast paths: with a perfectly reliable channel and no
         // Byzantine plan, every noise/jammer/Byzantine branch is dead code
         // and no channel or Byzantine randomness is ever drawn, so the
-        // fused scatter round is bit-identical to the phased path below.
-        if self.engine == EngineMode::Scatter
-            && self.channel.is_reliable()
-            && self.byzantine.is_empty()
-        {
+        // fused scatter round — and the frontier kernel, which skips only
+        // rounds certified draw-equivalent — are bit-identical to the
+        // phased path below.
+        let fault_free = self.channel.is_reliable() && self.byzantine.is_empty();
+        if self.engine == EngineMode::Scatter && fault_free {
             return self.fast_round(n, channels);
+        }
+        if self.engine == EngineMode::Frontier {
+            if fault_free {
+                return self.frontier_round(n, channels);
+            }
+            // Channel noise draws per-listener coins the frontier kernel
+            // cannot skip: materialize the lazy RNG accounting and run the
+            // phased scatter path until the network is fault-free again.
+            self.frontier_desync();
         }
         // Phase 0: advance the burst-noise window (no-op without bursts).
         let transmit_span = self.telemetry.time("sim.phase.transmit");
@@ -726,14 +969,20 @@ impl<'g, P: BeepingProtocol> Simulator<'g, P> {
         // may add spurious positives; a reliable channel draws no randomness
         // here, keeping noise-free executions bit-identical to the paper's
         // model.
+        // The frontier engine has no phased kernel of its own: on this path
+        // it *is* the scatter engine (same delivery, same counters).
         let (deliver_name, rounds_counter) = match self.engine {
             EngineMode::Scalar => ("sim.phase.deliver.scalar", "sim.rounds.scalar"),
-            EngineMode::Scatter => ("sim.phase.deliver.scatter", "sim.rounds.scatter"),
+            EngineMode::Scatter | EngineMode::Frontier => {
+                ("sim.phase.deliver.scatter", "sim.rounds.scatter")
+            }
         };
         let deliver_span = self.telemetry.time(deliver_name);
         match self.engine {
             EngineMode::Scalar => self.deliver_scalar(n, channels, drop_p, spurious_p),
-            EngineMode::Scatter => self.deliver_scatter(n, channels, drop_p, spurious_p),
+            EngineMode::Scatter | EngineMode::Frontier => {
+                self.deliver_scatter(n, channels, drop_p, spurious_p)
+            }
         }
         drop(deliver_span);
         // Phase 3: state updates (departed nodes are frozen).
@@ -1015,13 +1264,462 @@ impl<'g, P: BeepingProtocol> Simulator<'g, P> {
                 }
             }
         }
+        // Bookkeeping tail in the exact order of the phased path — span
+        // closed, counter bumped, round advanced, hook run — so telemetry
+        // totals and hook observations line up between the two paths even
+        // when a hook panics mid-round (the round is counted on both paths
+        // before the hook fires); pinned by `tests/fast_path_accounting.rs`.
+        drop(fused_span);
+        self.telemetry.counter_add("sim.rounds.fused", 1);
         self.round += 1;
         if let Some(hook) = self.hook.0.as_mut() {
             hook(graph, self.round, states);
         }
-        drop(fused_span);
-        self.telemetry.counter_add("sim.rounds.fused", 1);
         report
+    }
+
+    /// `true` while the frontier bookkeeping is authoritative: the
+    /// frontier engine is selected and a full sweep has established the
+    /// [`FrontierState`] invariants.
+    fn frontier_live(&self) -> bool {
+        self.engine == EngineMode::Frontier && self.frontier.synced
+    }
+
+    /// Event→dirty-set hook: queues `v` for live execution next round,
+    /// materializing its lazily accounted RNG position first. No-op unless
+    /// the bookkeeping is live (other engines, or before the first sweep).
+    fn frontier_unsettle(&mut self, v: NodeId) {
+        if !self.frontier_live() {
+            return;
+        }
+        if self.frontier.settled[v] {
+            self.frontier.materialize(&mut self.rngs[v], v, self.round);
+            self.frontier.settled[v] = false;
+        }
+        self.frontier.push_dirty(v);
+    }
+
+    /// Materializes every lazily accounted RNG position and discards the
+    /// frontier bookkeeping — the exit into any regime the kernel cannot
+    /// track per node (noise/Byzantine plans, engine switches, bulk
+    /// corruption). The next frontier round rebuilds with a full sweep.
+    fn frontier_desync(&mut self) {
+        if !self.frontier.synced {
+            return;
+        }
+        for v in 0..self.graph.len() {
+            if self.frontier.settled[v] {
+                self.frontier.materialize(&mut self.rngs[v], v, self.round);
+            }
+        }
+        self.frontier_reset();
+    }
+
+    /// Forgets the frontier bookkeeping *without* materializing — only
+    /// correct when the RNG positions are being replaced wholesale (a
+    /// restore), where ticking the outgoing streams would corrupt the
+    /// incoming ones.
+    fn frontier_reset(&mut self) {
+        let fr = &mut self.frontier;
+        fr.synced = false;
+        fr.dirty.clear();
+        for q in &mut fr.queued {
+            *q = false;
+        }
+        for s in &mut fr.settled {
+            *s = false;
+        }
+    }
+
+    /// Rewrites `sent[v]` keeping the persistent bitsets and running report
+    /// totals exact. Call only while the bookkeeping is live.
+    fn frontier_set_sent(&mut self, v: NodeId, s: BeepSignal) {
+        let old = self.sent[v];
+        if old == s {
+            return;
+        }
+        let h = self.heard[v];
+        let fr = &mut self.frontier;
+        let word = v >> 6;
+        let bit = 1u64 << (v & 63);
+        if s.on_channel1() != old.on_channel1() {
+            if s.on_channel1() {
+                fr.sent1[word] |= bit;
+                fr.total_beeps1 += 1;
+            } else {
+                fr.sent1[word] &= !bit;
+                fr.total_beeps1 -= 1;
+            }
+        }
+        if s.on_channel2() != old.on_channel2() {
+            if s.on_channel2() {
+                fr.sent2[word] |= bit;
+                fr.total_beeps2 += 1;
+            } else {
+                fr.sent2[word] &= !bit;
+                fr.total_beeps2 -= 1;
+            }
+        }
+        fr.total_lone1 -= (old.on_channel1() && !h.on_channel1()) as usize;
+        fr.total_lone1 += (s.on_channel1() && !h.on_channel1()) as usize;
+        fr.total_lone2 -= (old.on_channel2() && !h.on_channel2()) as usize;
+        fr.total_lone2 += (s.on_channel2() && !h.on_channel2()) as usize;
+        self.sent[v] = s;
+    }
+
+    /// Rewrites `heard[v]` keeping the running report totals exact. Call
+    /// only while the bookkeeping is live.
+    fn frontier_set_heard(&mut self, v: NodeId, h: BeepSignal) {
+        let old = self.heard[v];
+        if old == h {
+            return;
+        }
+        let s = self.sent[v];
+        let fr = &mut self.frontier;
+        fr.total_hearers1 -= old.on_channel1() as usize;
+        fr.total_hearers1 += h.on_channel1() as usize;
+        fr.total_hearers2 -= old.on_channel2() as usize;
+        fr.total_hearers2 += h.on_channel2() as usize;
+        fr.total_lone1 -= (s.on_channel1() && !old.on_channel1()) as usize;
+        fr.total_lone1 += (s.on_channel1() && !h.on_channel1()) as usize;
+        fr.total_lone2 -= (s.on_channel2() && !old.on_channel2()) as usize;
+        fr.total_lone2 += (s.on_channel2() && !h.on_channel2()) as usize;
+        self.heard[v] = h;
+    }
+
+    /// Reads listener `u`'s observation from the persistent sent bitsets —
+    /// the word-packed signal reuse over the settled complement. Inactive
+    /// neighbors never have a bit set (their `sent` is silent), so no
+    /// activity mask is needed here.
+    fn frontier_gather(&self, u: NodeId, two: bool) -> BeepSignal {
+        let fr = &self.frontier;
+        let mut c1 = false;
+        let mut c2 = false;
+        for &w in self.graph.neighbors(u) {
+            let word = (w >> 6) as usize;
+            let bit = 1u64 << (w & 63);
+            c1 |= fr.sent1[word] & bit != 0;
+            c2 |= two && fr.sent2[word] & bit != 0;
+            if c1 && (c2 || !two) {
+                break;
+            }
+        }
+        BeepSignal::new(c1, c2)
+    }
+
+    /// One fault-free frontier round: sparse while the dirty set stays at
+    /// or under [`frontier_fallback_threshold`], otherwise (or while
+    /// unsynced) one full rebuild sweep.
+    fn frontier_round(&mut self, n: usize, channels: SimulatorChannels) -> RoundReport {
+        self.frontier.ensure_init(n);
+        if !self.frontier.synced || self.frontier.dirty.len() > frontier_fallback_threshold(n) {
+            self.frontier_full_sweep(n, channels)
+        } else {
+            self.frontier_sparse_round(n, channels)
+        }
+    }
+
+    /// Full frontier sweep: executes every node like the fused kernel,
+    /// then re-derives the settled set, the persistent signal bitsets and
+    /// the running report totals. Entered while unsynced and whenever the
+    /// frontier outgrows the density threshold.
+    fn frontier_full_sweep(&mut self, n: usize, channels: SimulatorChannels) -> RoundReport {
+        let span = self.telemetry.time("sim.phase.frontier");
+        let executing = self.round + 1;
+        let two = channels == SimulatorChannels::Two;
+        let words = n.div_ceil(64);
+        // Materialize every lazily accounted stream through the previous
+        // round so the live transmissions below start at the right
+        // positions, then forget the old settled set.
+        if self.frontier.synced {
+            for v in 0..n {
+                if self.frontier.settled[v] {
+                    self.frontier.materialize(&mut self.rngs[v], v, executing - 1);
+                    self.frontier.settled[v] = false;
+                }
+            }
+        }
+        self.frontier.dirty.clear();
+        for q in &mut self.frontier.queued {
+            *q = false;
+        }
+        // Per-round heard accumulation reuses the scatter scratch; the
+        // persistent sent bitsets are rebuilt from scratch.
+        self.scatter_heard1.clear();
+        self.scatter_heard1.resize(words, 0);
+        self.scatter_heard2.clear();
+        self.scatter_heard2.resize(words, 0);
+        let mut report = RoundReport { round: executing, ..RoundReport::default() };
+        let graph: &Graph = &self.graph;
+        let protocol = &self.protocol;
+        let states = &mut self.states[..n];
+        let rngs = &mut self.rngs[..n];
+        let sent = &mut self.sent[..n];
+        let heard = &mut self.heard[..n];
+        let active = &self.active[..n];
+        let heard1 = &mut self.scatter_heard1[..words];
+        let heard2 = &mut self.scatter_heard2[..words];
+        let fr = &mut self.frontier;
+        fr.sent1.clear();
+        fr.sent1.resize(words, 0);
+        fr.sent2.clear();
+        fr.sent2.resize(words, 0);
+        let full = self.duplex == DuplexMode::Full;
+        // Pass 1: live transmissions, fused with the heard scatter and the
+        // persistent sent-bitset rebuild.
+        for v in 0..n {
+            let signal = if active[v] {
+                let s = protocol.transmit(v, &states[v], &mut rngs[v]);
+                assert!(
+                    s.allowed_by(channels),
+                    "protocol beeped on an undeclared channel (node {v}, signal {s})"
+                );
+                s
+            } else {
+                BeepSignal::silent()
+            };
+            sent[v] = signal;
+            if signal.is_silent() {
+                continue;
+            }
+            let word = v >> 6;
+            let bit = 1u64 << (v & 63);
+            if signal.on_channel1() {
+                report.beeps_channel1 += 1;
+                fr.sent1[word] |= bit;
+                for &w in graph.neighbors(v) {
+                    heard1[(w >> 6) as usize] |= 1u64 << (w & 63);
+                }
+            }
+            if signal.on_channel2() {
+                report.beeps_channel2 += 1;
+                fr.sent2[word] |= bit;
+                for &w in graph.neighbors(v) {
+                    heard2[(w >> 6) as usize] |= 1u64 << (w & 63);
+                }
+            }
+        }
+        // Pass 2: gather + state update + settle evaluation.
+        for v in 0..n {
+            let s = sent[v];
+            let is_active = active[v];
+            let h = if is_active && (full || s.is_silent()) {
+                let word = v >> 6;
+                let bit = 1u64 << (v & 63);
+                BeepSignal::new(heard1[word] & bit != 0, two && heard2[word] & bit != 0)
+            } else {
+                BeepSignal::silent()
+            };
+            heard[v] = h;
+            report.hearers_channel1 += h.on_channel1() as usize;
+            report.hearers_channel2 += h.on_channel2() as usize;
+            report.lone_beepers += (s.on_channel1() && !h.on_channel1()) as usize;
+            report.lone_beepers_channel2 += (s.on_channel2() && !h.on_channel2()) as usize;
+            fr.last_exec[v] = executing;
+            if is_active {
+                protocol.receive(v, &mut states[v], s, h, &mut rngs[v]);
+                match protocol.settled_round(v, &states[v], h) {
+                    Some(sr) if sr.signal == s => {
+                        #[cfg(debug_assertions)]
+                        debug_check_settled_contract(protocol, v, &states[v], &rngs[v], sr, h);
+                        fr.settled[v] = true;
+                        fr.rate[v] = sr.draws;
+                    }
+                    _ => {
+                        fr.settled[v] = false;
+                        fr.push_dirty(v);
+                    }
+                }
+            } else {
+                // A departed node is frozen and draw-free: settled at rate
+                // 0, so skipped rounds never advance its stream.
+                fr.settled[v] = true;
+                fr.rate[v] = 0;
+            }
+        }
+        fr.total_beeps1 = report.beeps_channel1;
+        fr.total_beeps2 = report.beeps_channel2;
+        fr.total_hearers1 = report.hearers_channel1;
+        fr.total_hearers2 = report.hearers_channel2;
+        fr.total_lone1 = report.lone_beepers;
+        fr.total_lone2 = report.lone_beepers_channel2;
+        fr.synced = true;
+        // Bookkeeping tail in phased-path order: span, counters, round, hook.
+        drop(span);
+        self.telemetry.counter_add("sim.rounds.frontier", 1);
+        self.telemetry.counter_add("sim.rounds.frontier.fallback", 1);
+        self.round = executing;
+        if let Some(hook) = self.hook.0.as_mut() {
+            hook(graph, self.round, states);
+        }
+        report
+    }
+
+    /// Sparse frontier round — O(Σ deg(dirty ∪ N(changed))) work:
+    ///
+    /// 1. the dirty set transmits live (changed signals are patched into
+    ///    the persistent bitsets);
+    /// 2. observations are recomputed only across the changed signals'
+    ///    neighborhoods plus the dirty set itself (whose duplex masking or
+    ///    adjacency may have changed);
+    /// 3. settled listeners whose observation changed are *woken* — their
+    ///    skipped transmissions are ticked via jump-ahead, then they run a
+    ///    live `receive` on the new observation;
+    /// 4. everything that executed is re-evaluated for settling and feeds
+    ///    the next round's dirty set.
+    fn frontier_sparse_round(&mut self, n: usize, channels: SimulatorChannels) -> RoundReport {
+        let _ = n;
+        let span = self.telemetry.time("sim.phase.frontier");
+        let executing = self.round + 1;
+        let two = channels == SimulatorChannels::Two;
+        let full = self.duplex == DuplexMode::Full;
+        // Swap the dirty list into the exec scratch so `push_dirty` below
+        // refills a retained buffer (no per-round allocation).
+        std::mem::swap(&mut self.frontier.dirty, &mut self.frontier.exec);
+        self.frontier.dirty.clear();
+        let mut exec = std::mem::take(&mut self.frontier.exec);
+        exec.sort_unstable();
+        for &v in &exec {
+            self.frontier.queued[v] = false;
+        }
+        // Pass 1: live transmissions for the dirty set.
+        let mut changed = std::mem::take(&mut self.frontier.changed);
+        changed.clear();
+        for &v in &exec {
+            if !self.active[v] {
+                // A departed node is frozen and draw-free: it settles at
+                // rate 0 until `node_join` queues it again.
+                self.frontier.settled[v] = true;
+                self.frontier.rate[v] = 0;
+                self.frontier.last_exec[v] = executing;
+                continue;
+            }
+            debug_assert_eq!(
+                self.frontier.last_exec[v],
+                executing - 1,
+                "dirty node {v} entered the round with an unmaterialized stream"
+            );
+            let s = self.protocol.transmit(v, &self.states[v], &mut self.rngs[v]);
+            assert!(
+                s.allowed_by(channels),
+                "protocol beeped on an undeclared channel (node {v}, signal {s})"
+            );
+            if s != self.sent[v] {
+                self.frontier_set_sent(v, s);
+                changed.push(v);
+            }
+        }
+        // Pass 2: recompute observations over dirty ∪ N(changed); wake
+        // settled listeners whose observation changed.
+        let mut listeners = std::mem::take(&mut self.frontier.listeners);
+        listeners.clear();
+        for &v in &exec {
+            if self.active[v] && !self.frontier.listener_mark[v] {
+                self.frontier.listener_mark[v] = true;
+                listeners.push(v);
+            }
+        }
+        for &v in &changed {
+            for &w in self.graph.neighbors(v) {
+                let w = w as NodeId;
+                if self.active[w] && !self.frontier.listener_mark[w] {
+                    self.frontier.listener_mark[w] = true;
+                    listeners.push(w);
+                }
+            }
+        }
+        listeners.sort_unstable();
+        let mut wake = std::mem::take(&mut self.frontier.wake);
+        wake.clear();
+        for &u in &listeners {
+            self.frontier.listener_mark[u] = false;
+            let h = if full || self.sent[u].is_silent() {
+                self.frontier_gather(u, two)
+            } else {
+                BeepSignal::silent()
+            };
+            if h != self.heard[u] {
+                let was_settled = self.frontier.settled[u];
+                self.frontier_set_heard(u, h);
+                if was_settled {
+                    wake.push(u);
+                }
+            }
+        }
+        // Pass 3: woken nodes skipped this round's transmission, but the
+        // contract fixes its signal and draw count — tick the stream
+        // through this round, then run the live receive below.
+        for &u in &wake {
+            self.frontier.materialize(&mut self.rngs[u], u, executing);
+            self.frontier.settled[u] = false;
+        }
+        // Pass 4: state updates + settle re-evaluation over everything
+        // that executed, in ascending node order (exec and wake are each
+        // sorted and disjoint — wake held only settled nodes).
+        let (mut ei, mut wi) = (0, 0);
+        while ei < exec.len() || wi < wake.len() {
+            let take_exec = match (exec.get(ei), wake.get(wi)) {
+                (Some(&a), Some(&b)) => a < b,
+                (Some(_), None) => true,
+                _ => false,
+            };
+            let v = if take_exec {
+                ei += 1;
+                exec[ei - 1]
+            } else {
+                wi += 1;
+                wake[wi - 1]
+            };
+            if self.active[v] {
+                self.frontier_finish_node(v, executing);
+            }
+        }
+        // Return the scratch buffers for the next sparse round.
+        exec.clear();
+        self.frontier.exec = exec;
+        self.frontier.changed = changed;
+        self.frontier.listeners = listeners;
+        self.frontier.wake = wake;
+        let report = self.frontier.report(executing);
+        // Bookkeeping tail in phased-path order: span, counter, round, hook.
+        drop(span);
+        self.telemetry.counter_add("sim.rounds.frontier", 1);
+        self.round = executing;
+        if let Some(hook) = self.hook.0.as_mut() {
+            hook(&self.graph, self.round, &self.states);
+        }
+        report
+    }
+
+    /// Receive + settle re-evaluation for one live node of a sparse round.
+    fn frontier_finish_node(&mut self, v: NodeId, executing: u64) {
+        self.protocol.receive(
+            v,
+            &mut self.states[v],
+            self.sent[v],
+            self.heard[v],
+            &mut self.rngs[v],
+        );
+        self.frontier.last_exec[v] = executing;
+        match self.protocol.settled_round(v, &self.states[v], self.heard[v]) {
+            Some(sr) if sr.signal == self.sent[v] => {
+                #[cfg(debug_assertions)]
+                debug_check_settled_contract(
+                    &self.protocol,
+                    v,
+                    &self.states[v],
+                    &self.rngs[v],
+                    sr,
+                    self.heard[v],
+                );
+                self.frontier.settled[v] = true;
+                self.frontier.rate[v] = sr.draws;
+            }
+            _ => {
+                self.frontier.settled[v] = false;
+                self.frontier.push_dirty(v);
+            }
+        }
     }
 
     /// Runs until `stop(states) == true` or `max_rounds` total rounds have
@@ -1065,10 +1763,30 @@ impl<'g, P: BeepingProtocol> Simulator<'g, P> {
     /// exact point via [`Simulator::restore`]. The channel and Byzantine
     /// *configurations* are not captured: a restore keeps whatever models
     /// are installed.
+    ///
+    /// Frontier bookkeeping is *not* captured either — it is provably
+    /// reconstructible: the captured RNG positions are materialized
+    /// through the current round (settled nodes' lazily-accounted draws
+    /// are ticked into the snapshot copies), and a restored run's first
+    /// frontier round re-derives the settled set with one full sweep,
+    /// which is bit-identical because re-executing a settled node is a
+    /// draw-equivalent fixpoint under the draws-when-settled contract.
     pub fn checkpoint(&self) -> Checkpoint<P::State> {
+        let mut rngs = self.rngs.clone();
+        if self.frontier_live() {
+            let fr = &self.frontier;
+            for (v, rng) in rngs.iter_mut().enumerate() {
+                if fr.settled[v] && fr.last_exec[v] < self.round && fr.rate[v] > 0 {
+                    rng::advance_steps(
+                        rng,
+                        u128::from(self.round - fr.last_exec[v]) * u128::from(fr.rate[v]),
+                    );
+                }
+            }
+        }
         Checkpoint {
             states: self.states.clone(),
-            rngs: self.rngs.clone(),
+            rngs,
             round: self.round,
             sent: self.sent.clone(),
             heard: self.heard.clone(),
@@ -1100,6 +1818,10 @@ impl<'g, P: BeepingProtocol> Simulator<'g, P> {
             });
         }
         checkpoint.check_consistent()?;
+        // The restored RNG positions are already fully materialized (see
+        // `checkpoint`); the frontier bookkeeping referred to the replaced
+        // execution, so discard it — never materialize against it here.
+        self.frontier_reset();
         self.states = checkpoint.states.clone();
         self.rngs = checkpoint.rngs.clone();
         self.round = checkpoint.round;
@@ -1271,7 +1993,7 @@ impl<S> Checkpoint<S> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::protocol::Channels;
+    use crate::protocol::{Channels, SettledRound};
     use graphs::generators::classic;
     use rand::RngCore;
 
@@ -2014,5 +2736,187 @@ mod tests {
         sim.run(20);
         assert_eq!(sim.states(), final_a.as_slice());
         assert_eq!(sim.round(), round_a);
+    }
+
+    /// Claim/retreat probe with absorbing configurations and a
+    /// `settled_round` certificate — the lib-test stand-in for Algorithm 1,
+    /// used to exercise the frontier engine's skip path. Level 0 claims
+    /// (beeps, one confirmation draw per round); hearing a beep pushes the
+    /// level up toward 5; silence pulls a non-beeping node down; interior
+    /// levels flip a fair coin to beep.
+    struct Claimer;
+    impl BeepingProtocol for Claimer {
+        type State = u64;
+        fn channels(&self) -> Channels {
+            Channels::One
+        }
+        fn transmit(&self, _: NodeId, s: &u64, rng: &mut dyn RngCore) -> BeepSignal {
+            if *s == 0 {
+                let _ = rng.next_u64();
+                BeepSignal::channel1()
+            } else if *s >= 5 {
+                BeepSignal::silent()
+            } else if rng.next_u64().is_multiple_of(2) {
+                BeepSignal::channel1()
+            } else {
+                BeepSignal::silent()
+            }
+        }
+        fn receive(
+            &self,
+            _: NodeId,
+            s: &mut u64,
+            sent: BeepSignal,
+            heard: BeepSignal,
+            _: &mut dyn RngCore,
+        ) {
+            if heard.on_channel1() {
+                *s = (*s + 1).min(5);
+            } else if !sent.on_channel1() {
+                *s = s.saturating_sub(1);
+            }
+        }
+        fn settled_round(&self, _: NodeId, s: &u64, heard: BeepSignal) -> Option<SettledRound> {
+            if *s == 0 && !heard.on_channel1() {
+                Some(SettledRound { signal: BeepSignal::channel1(), draws: 1 })
+            } else if *s >= 5 && heard.on_channel1() {
+                Some(SettledRound { signal: BeepSignal::silent(), draws: 0 })
+            } else {
+                None
+            }
+        }
+    }
+
+    fn claimer_pair(g: &Graph, seed: u64) -> (Simulator<'_, Claimer>, Simulator<'_, Claimer>) {
+        let init: Vec<u64> = g.nodes().map(|v| (v as u64) % 6).collect();
+        let scalar = Simulator::new(g, Claimer, init.clone(), seed);
+        let frontier = Simulator::new(g, Claimer, init, seed).with_engine(EngineMode::Frontier);
+        (scalar, frontier)
+    }
+
+    #[test]
+    fn frontier_fallback_threshold_values() {
+        // Small networks never fall back (the floor keeps the whole graph
+        // under the cutoff); large ones cut over at n/8 dirty nodes.
+        assert_eq!(frontier_fallback_threshold(0), 16);
+        assert_eq!(frontier_fallback_threshold(16), 16);
+        assert_eq!(frontier_fallback_threshold(128), 16);
+        assert_eq!(frontier_fallback_threshold(136), 17);
+        assert_eq!(frontier_fallback_threshold(65_536), 8_192);
+    }
+
+    #[test]
+    fn frontier_matches_scalar_past_stabilization() {
+        let g = classic::cycle(12);
+        let (mut scalar, mut frontier) = claimer_pair(&g, 11);
+        for round in 1..=60 {
+            let a = scalar.step();
+            let b = frontier.step();
+            assert_eq!(a, b, "report diverged at round {round}");
+            assert_eq!(scalar.states(), frontier.states(), "states diverged at round {round}");
+            assert_eq!(scalar.last_sent(), frontier.last_sent());
+            assert_eq!(scalar.last_heard(), frontier.last_heard());
+        }
+    }
+
+    #[test]
+    fn frontier_reseeds_dirty_from_events() {
+        // Every disturbance source must push the affected nodes back onto
+        // the frontier: point corruption, channel noise install/remove,
+        // Byzantine plan swaps, churn, and batched edge diffs. The scalar
+        // twin receives the identical script, so any missed re-seeding
+        // shows up as a state divergence within a round.
+        use crate::byzantine::{ByzantineBehavior, ByzantinePlan, Resurrect};
+        let g = classic::cycle(10);
+        let (mut scalar, mut frontier) = claimer_pair(&g, 23);
+        let lockstep = |scalar: &mut Simulator<'_, Claimer>,
+                        frontier: &mut Simulator<'_, Claimer>,
+                        rounds: u64| {
+            for _ in 0..rounds {
+                let a = scalar.step();
+                let b = frontier.step();
+                assert_eq!(a, b, "report diverged at round {}", scalar.round());
+                assert_eq!(
+                    scalar.states(),
+                    frontier.states(),
+                    "states diverged at round {}",
+                    scalar.round()
+                );
+            }
+        };
+        lockstep(&mut scalar, &mut frontier, 25); // settle
+        scalar.corrupt_state(3, 0); // point fault
+        frontier.corrupt_state(3, 0);
+        lockstep(&mut scalar, &mut frontier, 10);
+        let noisy = ChannelFault::reliable().with_drop(0.25);
+        scalar.set_channel(noisy.clone()); // noise burst begins
+        frontier.set_channel(noisy);
+        lockstep(&mut scalar, &mut frontier, 8);
+        scalar.set_channel(ChannelFault::reliable()); // burst ends: resync
+        frontier.set_channel(ChannelFault::reliable());
+        lockstep(&mut scalar, &mut frontier, 10);
+        let reboot = || {
+            ByzantinePlan::new().with_behavior(
+                7,
+                ByzantineBehavior::CrashRestart {
+                    period: 3,
+                    resurrect: Resurrect::new(|_, _, _| 0),
+                },
+            )
+        };
+        scalar.set_byzantine(reboot()); // crash-restart radio appears
+        frontier.set_byzantine(reboot());
+        lockstep(&mut scalar, &mut frontier, 8);
+        scalar.set_byzantine(ByzantinePlan::new()); // and is repaired
+        frontier.set_byzantine(ByzantinePlan::new());
+        lockstep(&mut scalar, &mut frontier, 10);
+        scalar.node_leave(5).unwrap(); // churn out…
+        frontier.node_leave(5).unwrap();
+        lockstep(&mut scalar, &mut frontier, 8);
+        scalar.node_join(5, &[4, 6], 2).unwrap(); // …and back in
+        frontier.node_join(5, &[4, 6], 2).unwrap();
+        lockstep(&mut scalar, &mut frontier, 8);
+        // Motion-style batched diff: rewire a chord, drop a cycle edge.
+        let added = [(0usize, 5usize)];
+        let removed = [(8usize, 9usize)];
+        assert_eq!(scalar.apply_edge_diff(&added, &removed).unwrap(), (1, 1));
+        assert_eq!(frontier.apply_edge_diff(&added, &removed).unwrap(), (1, 1));
+        lockstep(&mut scalar, &mut frontier, 12);
+    }
+
+    #[test]
+    fn frontier_checkpoint_materializes_pending_draws() {
+        // Checkpoint deep in quiescence, when settled claimers hold long
+        // lazily-accounted draw backlogs: the snapshot must bake those
+        // draws into the captured streams so a restored run (which rebuilds
+        // the frontier from scratch) continues bit-identically.
+        let g = classic::cycle(12);
+        let (mut scalar, mut frontier) = claimer_pair(&g, 31);
+        scalar.run(40);
+        frontier.run(40);
+        assert_eq!(scalar.states(), frontier.states());
+        let cp = frontier.checkpoint();
+        scalar.run(20);
+        frontier.run(20);
+        let final_states = frontier.states().to_vec();
+        assert_eq!(scalar.states(), final_states.as_slice());
+        frontier.restore(&cp).unwrap();
+        assert_eq!(frontier.round(), 40);
+        frontier.run(20);
+        assert_eq!(frontier.states(), final_states.as_slice());
+        // A perturbation after the restore still matches the scalar twin —
+        // the woken streams resume at the exact post-materialization
+        // positions.
+        let cp2 = frontier.checkpoint();
+        let mut scalar2 = scalar; // same round, same states
+        frontier.restore(&cp2).unwrap();
+        frontier.corrupt_state(6, 0);
+        scalar2.corrupt_state(6, 0);
+        for _ in 0..15 {
+            let a = scalar2.step();
+            let b = frontier.step();
+            assert_eq!(a, b);
+            assert_eq!(scalar2.states(), frontier.states());
+        }
     }
 }

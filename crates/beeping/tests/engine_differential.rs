@@ -1,11 +1,12 @@
-//! Differential tests: the scatter delivery engine must be bit-identical to
-//! the scalar reference — same `RoundReport`s, same signals, same states —
-//! per seed, on every graph, channel count, duplex mode, and fault plan.
+//! Differential tests: the scatter and frontier delivery engines must be
+//! bit-identical to the scalar reference — same `RoundReport`s, same
+//! signals, same states — per seed, on every graph, channel count, duplex
+//! mode, and fault plan.
 
 use beeping::byzantine::{ByzantineBehavior, ByzantinePlan};
 use beeping::channel::{ChannelFault, JammerKind};
 use beeping::dynamic::{DynamicTopology, MotionSpec};
-use beeping::protocol::{BeepSignal, BeepingProtocol, Channels};
+use beeping::protocol::{BeepSignal, BeepingProtocol, Channels, SettledRound};
 use beeping::{DuplexMode, EngineMode, Simulator};
 use graphs::generators::geometric::radius_for_expected_degree;
 use graphs::motion::MotionModel;
@@ -61,6 +62,64 @@ impl BeepingProtocol for RandomProbe {
     }
 }
 
+/// Maximum level of the settling probe.
+const SETTLE_MAX: u64 = 5;
+
+/// An Algorithm-1-shaped probe with genuine absorbing configurations and a
+/// `settled_round` certificate, so the frontier engine actually *skips*
+/// nodes (`RandomProbe` never settles and only exercises the frontier
+/// engine's sparse/fallback sweeps with everything dirty).
+///
+/// Dynamics: a node at level 0 claims — beeps on channel 1 every round,
+/// spending one coin on a (value-ignored) confirmation draw; hearing a beep
+/// pushes a node up toward `SETTLE_MAX`; silence pulls a non-beeping node
+/// down; interior nodes flip a fair coin to beep. Absorbing configurations:
+/// level 0 with a silent neighborhood (claimed — 1 draw/round) and
+/// `SETTLE_MAX` with a beeping neighborhood (dominated — 0 draws/round).
+#[derive(Clone)]
+struct SettleProbe;
+
+impl BeepingProtocol for SettleProbe {
+    type State = u64;
+    fn channels(&self) -> Channels {
+        Channels::One
+    }
+    fn transmit(&self, _: NodeId, s: &u64, rng: &mut dyn RngCore) -> BeepSignal {
+        if *s == 0 {
+            let _ = rng.next_u64();
+            BeepSignal::channel1()
+        } else if *s >= SETTLE_MAX {
+            BeepSignal::silent()
+        } else {
+            BeepSignal::new(rng.next_u64() & 1 == 0, false)
+        }
+    }
+    fn receive(
+        &self,
+        _: NodeId,
+        s: &mut u64,
+        sent: BeepSignal,
+        heard: BeepSignal,
+        _: &mut dyn RngCore,
+    ) {
+        if heard.on_channel1() {
+            *s = (*s + 1).min(SETTLE_MAX);
+        } else if !sent.on_channel1() {
+            *s = s.saturating_sub(1);
+        }
+        // A claimer that heard silence keeps its level — the fixpoint.
+    }
+    fn settled_round(&self, _: NodeId, s: &u64, heard: BeepSignal) -> Option<SettledRound> {
+        if *s == 0 && !heard.on_channel1() {
+            Some(SettledRound { signal: BeepSignal::channel1(), draws: 1 })
+        } else if *s >= SETTLE_MAX && heard.on_channel1() {
+            Some(SettledRound { signal: BeepSignal::silent(), draws: 0 })
+        } else {
+            None
+        }
+    }
+}
+
 /// A mid-run topology edit, applied identically to both engines' simulators.
 #[derive(Debug, Clone)]
 enum ChurnOp {
@@ -70,7 +129,7 @@ enum ChurnOp {
     InsertEdge(NodeId, NodeId),
 }
 
-fn apply_churn(sim: &mut Simulator<'_, RandomProbe>, op: &ChurnOp) {
+fn apply_churn<P: BeepingProtocol<State = u64>>(sim: &mut Simulator<'_, P>, op: &ChurnOp) {
     match op {
         ChurnOp::Leave(v) => {
             sim.node_leave(*v).unwrap();
@@ -108,15 +167,30 @@ fn assert_engines_identical(
     };
     let mut scalar = mk(EngineMode::Scalar);
     let mut scatter = mk(EngineMode::Scatter);
+    let mut frontier = mk(EngineMode::Frontier);
     for round in 1..=rounds {
         let a = scalar.step();
         let b = scatter.step();
-        prop_assert_eq!(a, b, "round report diverged at round {}", round);
+        let c = frontier.step();
+        prop_assert_eq!(a, b, "scatter report diverged at round {}", round);
+        prop_assert_eq!(a, c, "frontier report diverged at round {}", round);
         prop_assert_eq!(scalar.states(), scatter.states(), "states diverged at round {}", round);
+        prop_assert_eq!(
+            scalar.states(),
+            frontier.states(),
+            "frontier states diverged at round {}",
+            round
+        );
         prop_assert_eq!(
             scalar.last_sent(),
             scatter.last_sent(),
             "sent signals diverged at round {}",
+            round
+        );
+        prop_assert_eq!(
+            scalar.last_sent(),
+            frontier.last_sent(),
+            "frontier sent signals diverged at round {}",
             round
         );
         prop_assert_eq!(
@@ -125,11 +199,71 @@ fn assert_engines_identical(
             "heard signals diverged at round {}",
             round
         );
+        prop_assert_eq!(
+            scalar.last_heard(),
+            frontier.last_heard(),
+            "frontier heard signals diverged at round {}",
+            round
+        );
         for (_, op) in churn.iter().filter(|(r, _)| *r == round) {
             apply_churn(&mut scalar, op);
             apply_churn(&mut scatter, op);
+            apply_churn(&mut frontier, op);
             prop_assert_eq!(scalar.last_sent(), scatter.last_sent());
             prop_assert_eq!(scalar.last_heard(), scatter.last_heard());
+            prop_assert_eq!(scalar.last_sent(), frontier.last_sent());
+            prop_assert_eq!(scalar.last_heard(), frontier.last_heard());
+        }
+    }
+    Ok(())
+}
+
+/// Scalar vs frontier on a protocol that actually settles: a long run past
+/// stabilization with mid-run point corruption, churn, and a final global
+/// corruption that wakes every lazily-accounted RNG stream at once — a
+/// single mis-ticked draw on any skipped node diverges the closing rounds.
+fn assert_frontier_settling_identical(
+    graph: &Graph,
+    seed: u64,
+    full: bool,
+) -> Result<(), TestCaseError> {
+    let n = graph.len();
+    let duplex = if full { DuplexMode::Full } else { DuplexMode::Half };
+    let init: Vec<u64> = graph.nodes().map(|v| (v as u64) % (SETTLE_MAX + 1)).collect();
+    let mk = |engine: EngineMode| {
+        Simulator::new(graph, SettleProbe, init.clone(), seed)
+            .with_duplex(duplex)
+            .with_engine(engine)
+    };
+    let mut scalar = mk(EngineMode::Scalar);
+    let mut frontier = mk(EngineMode::Frontier);
+    let victim = n / 2;
+    for round in 1..=48u64 {
+        let a = scalar.step();
+        let c = frontier.step();
+        prop_assert_eq!(a, c, "report diverged at round {}", round);
+        prop_assert_eq!(scalar.states(), frontier.states(), "states diverged at round {}", round);
+        prop_assert_eq!(scalar.last_sent(), frontier.last_sent());
+        prop_assert_eq!(scalar.last_heard(), frontier.last_heard());
+        // Point events that unsettle a small neighborhood mid-quiescence…
+        if round == 16 {
+            scalar.corrupt_state(victim, 0);
+            frontier.corrupt_state(victim, 0);
+        }
+        if round == 24 && n > 2 {
+            apply_churn(&mut scalar, &ChurnOp::Leave(victim));
+            apply_churn(&mut frontier, &ChurnOp::Leave(victim));
+        }
+        if round == 30 && n > 2 {
+            let mates = vec![0, n - 1];
+            apply_churn(&mut scalar, &ChurnOp::Join(victim, mates.clone()));
+            apply_churn(&mut frontier, &ChurnOp::Join(victim, mates));
+        }
+        // …and a global corruption that forces every settled node's pending
+        // jump-ahead to materialize at once.
+        if round == 40 {
+            scalar.corrupt_all(|v, s| *s = (v as u64) % 3);
+            frontier.corrupt_all(|v, s| *s = (v as u64) % 3);
         }
     }
     Ok(())
@@ -177,7 +311,8 @@ fn assert_telemetry_transparent(
     let fault_free = channel.is_reliable() && byzantine.is_empty();
     let expected = match engine {
         EngineMode::Scatter if fault_free => "sim.rounds.fused",
-        EngineMode::Scatter => "sim.rounds.scatter",
+        EngineMode::Frontier if fault_free => "sim.rounds.frontier",
+        EngineMode::Scatter | EngineMode::Frontier => "sim.rounds.scatter",
         EngineMode::Scalar => "sim.rounds.scalar",
     };
     prop_assert_eq!(metrics.counter(expected), rounds, "counter {}", expected);
@@ -224,35 +359,65 @@ fn assert_engines_identical_moving(
     };
     let mut scalar = mk(EngineMode::Scalar);
     let mut scatter = mk(EngineMode::Scatter);
+    let mut frontier = mk(EngineMode::Frontier);
     let mut topo_a = DynamicTopology::new(n, spec, seed).unwrap();
     let mut topo_b = DynamicTopology::new(n, spec, seed).unwrap();
+    let mut topo_c = DynamicTopology::new(n, spec, seed).unwrap();
     let victim = n / 2;
     for round in 1..=rounds {
         let a = scalar.step();
         let b = scatter.step();
-        prop_assert_eq!(a, b, "round report diverged at round {}", round);
+        let c = frontier.step();
+        prop_assert_eq!(a, b, "scatter report diverged at round {}", round);
+        prop_assert_eq!(a, c, "frontier report diverged at round {}", round);
         prop_assert_eq!(scalar.states(), scatter.states(), "states diverged at round {}", round);
+        prop_assert_eq!(
+            scalar.states(),
+            frontier.states(),
+            "frontier states diverged at round {}",
+            round
+        );
         prop_assert_eq!(scalar.last_sent(), scatter.last_sent());
         prop_assert_eq!(scalar.last_heard(), scatter.last_heard());
+        prop_assert_eq!(scalar.last_sent(), frontier.last_sent());
+        prop_assert_eq!(scalar.last_heard(), frontier.last_heard());
         if churn && round == 3 {
             scalar.node_leave(victim).unwrap();
             scatter.node_leave(victim).unwrap();
+            frontier.node_leave(victim).unwrap();
         }
         if churn && round == 7 {
             let mates_a = topo_a.join_neighbors(victim, scalar.active());
             let mates_b = topo_b.join_neighbors(victim, scatter.active());
+            let mates_c = topo_c.join_neighbors(victim, frontier.active());
             prop_assert_eq!(&mates_a, &mates_b, "join neighborhoods diverged");
+            prop_assert_eq!(&mates_a, &mates_c, "frontier join neighborhoods diverged");
             scalar.node_join(victim, &mates_a, 7).unwrap();
             scatter.node_join(victim, &mates_b, 7).unwrap();
+            frontier.node_join(victim, &mates_c, 7).unwrap();
         }
         let da = topo_a.advance(&mut scalar);
         let db = topo_b.advance(&mut scatter);
-        prop_assert_eq!(da, db, "reconcile deltas diverged at round {}", round);
+        let dc = topo_c.advance(&mut frontier);
+        prop_assert_eq!(&da, &db, "reconcile deltas diverged at round {}", round);
+        prop_assert_eq!(&da, &dc, "frontier reconcile deltas diverged at round {}", round);
         prop_assert_eq!(scalar.graph(), scatter.graph(), "graphs diverged at round {}", round);
+        prop_assert_eq!(
+            scalar.graph(),
+            frontier.graph(),
+            "frontier graphs diverged at round {}",
+            round
+        );
         prop_assert_eq!(
             topo_a.state(),
             topo_b.state(),
             "motion states diverged at round {}",
+            round
+        );
+        prop_assert_eq!(
+            topo_a.state(),
+            topo_c.state(),
+            "frontier motion states diverged at round {}",
             round
         );
     }
@@ -395,10 +560,10 @@ proptest! {
         spurious_p in 0.0f64..0.3,
         noisy in any::<bool>(),
         two in any::<bool>(),
-        scatter in any::<bool>(),
+        engine_sel in 0usize..3,
     ) {
+        let engine = [EngineMode::Scalar, EngineMode::Scatter, EngineMode::Frontier][engine_sel];
         let channels = if two { Channels::Two } else { Channels::One };
-        let engine = if scatter { EngineMode::Scatter } else { EngineMode::Scalar };
         let (channel, byz) = if noisy {
             (
                 ChannelFault::reliable().with_drop(drop_p).with_spurious(spurious_p),
@@ -453,9 +618,23 @@ proptest! {
     fn telemetry_is_transparent_on_moving_deployments(
         (n, spec) in arb_motion(),
         seed in any::<u64>(),
-        scatter in any::<bool>(),
+        engine_sel in 0usize..3,
     ) {
-        let engine = if scatter { EngineMode::Scatter } else { EngineMode::Scalar };
+        let engine = [EngineMode::Scalar, EngineMode::Scatter, EngineMode::Frontier][engine_sel];
         assert_telemetry_transparent_moving(n, &spec, seed, 16, engine)?;
+    }
+
+    /// The frontier engine's actual skip path: a protocol with absorbing
+    /// configurations runs far past stabilization, gets perturbed by point
+    /// faults, churn and a global corruption, and must stay bit-identical
+    /// to the scalar reference throughout — including the lazily-accounted
+    /// RNG streams of every node it skipped.
+    #[test]
+    fn frontier_skips_settled_nodes_identically(
+        g in arb_graph(),
+        seed in any::<u64>(),
+        full in any::<bool>(),
+    ) {
+        assert_frontier_settling_identical(&g, seed, full)?;
     }
 }

@@ -23,7 +23,7 @@
 //! | `ABL-LMAX` ([`ablation_lmax`]) | the "`ℓmax` has strong influence" remark of §2 |
 //! | `ABL-HD` ([`ablation_duplex`]) | model ablation: full vs half duplex |
 //! | `SCALE` ([`scale`]) | practicality at large n |
-//! | `PERF` ([`perf`]) | round-engine throughput: scalar vs scatter |
+//! | `PERF` ([`perf`]) | round-engine throughput: scalar vs scatter vs frontier |
 //! | `RESIL` ([`resilience`]) | resilient harness: checkpoint overhead + crash-resume fidelity |
 //! | `ENERGY` ([`energy`]) | beep (radio-energy) complexity |
 //! | `DYN` ([`dyn_trajectory`]) | convergence trajectory of one execution |
@@ -141,7 +141,11 @@ pub fn all_experiments() -> Vec<Experiment> {
         Experiment::new("ABL-LMAX", "Ablation: ℓmax regimes", ablation_lmax::run),
         Experiment::new("ABL-HD", "Model ablation: full vs half duplex", ablation_duplex::run),
         Experiment::new("SCALE", "Scalability on large graphs", scale::run),
-        Experiment::new("PERF", "Round-engine throughput: scalar vs scatter", perf::run),
+        Experiment::new(
+            "PERF",
+            "Round-engine throughput: scalar vs scatter vs frontier",
+            perf::run,
+        ),
         Experiment::new(
             "RESIL",
             "Resilient harness: checkpoint overhead + crash-resume fidelity",

@@ -20,9 +20,13 @@
 //!    the current graph every round, plus the worst final disruption
 //!    radius.
 //! 3. **Determinism digests** — the same moving run executed under the
-//!    scalar engine, the scatter engine, and with telemetry attached must
-//!    produce one digest; these are the PR's bit-identity acceptance
+//!    scalar, scatter, and frontier engines, and with telemetry attached,
+//!    must produce one digest; these are the PR's bit-identity acceptance
 //!    criteria asserted inside the experiment on every run.
+//!
+//! Measurement helpers return [`MobError`] instead of panicking on an
+//! invalid plan or an unfinished run; the report skips the affected cell
+//! with a `warning:` line, mirroring `PERF`'s error handling.
 //!
 //! *Expected shape*: zero speed reproduces the static behavior exactly.
 //! For nonzero speed the governing quantity is the *aggregate* edge-event
@@ -44,7 +48,7 @@ use graphs::generators::geometric::radius_for_expected_degree;
 use graphs::motion::MotionModel;
 use graphs::Graph;
 use mis::containment::{byz_distances, disruption_radius, stabilized_except};
-use mis::resumable::{ResumableConfig, ResumableRun, RunStatus};
+use mis::resumable::{PlanError, ResumableConfig, ResumableRun, RunStatus};
 use mis::runner::SelfStabilizingMis;
 use mis::{Algorithm1, LmaxPolicy};
 use telemetry::Telemetry;
@@ -54,6 +58,37 @@ use crate::resilience::outcome_digest;
 /// The certified containment radius of the motion table (matches the
 /// static `BYZ` experiment's bound).
 pub const RADIUS: usize = 2;
+
+/// Why a motion measurement could not be taken. Mirrors `PERF`'s
+/// [`mis::runner::StabilizationError`] pattern: measurement helpers return
+/// `Result` and the report skips the affected cell with a warning line
+/// instead of panicking mid-experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MobError {
+    /// The run's motion/fault plans were rejected by the resumable runner.
+    Plan(PlanError),
+    /// The run ended while still `Running`, so there is no outcome to
+    /// digest (a budget/supervision misconfiguration, not a protocol
+    /// behavior).
+    Unfinished,
+}
+
+impl std::fmt::Display for MobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MobError::Plan(e) => write!(f, "{e}"),
+            MobError::Unfinished => write!(f, "run ended without leaving the Running state"),
+        }
+    }
+}
+
+impl std::error::Error for MobError {}
+
+impl From<PlanError> for MobError {
+    fn from(e: PlanError) -> MobError {
+        MobError::Plan(e)
+    }
+}
 
 /// The motion models of the sweep at a given speed.
 pub fn models(speed: f64) -> Vec<MotionModel> {
@@ -86,8 +121,8 @@ fn first_valid_round<A: SelfStabilizingMis>(
     config: ResumableConfig,
     placement: &[usize],
     radius: usize,
-) -> (Option<u64>, usize) {
-    let mut run = ResumableRun::new(g, algo, config).expect("motion plans are valid");
+) -> Result<(Option<u64>, usize), MobError> {
+    let mut run = ResumableRun::new(g, algo, config)?;
     loop {
         let status = run.tick();
         let current = run.graph();
@@ -95,16 +130,17 @@ fn first_valid_round<A: SelfStabilizingMis>(
         if stabilized_except(algo, current, run.levels(), run.active(), &dist, radius) {
             let final_radius =
                 disruption_radius(algo, current, run.levels(), run.active(), placement);
-            return (Some(run.round()), final_radius);
+            return Ok((Some(run.round()), final_radius));
         }
         if status != RunStatus::Running {
             let final_radius =
                 disruption_radius(algo, run.graph(), run.levels(), run.active(), placement);
-            return (None, final_radius);
+            return Ok((None, final_radius));
         }
     }
 }
 
+#[derive(Debug)]
 struct Cell {
     ok: usize,
     rounds: Vec<u64>,
@@ -119,7 +155,7 @@ fn measure_cell<A: SelfStabilizingMis>(
     seeds: u64,
     budget: u64,
     radius: usize,
-) -> Cell {
+) -> Result<Cell, MobError> {
     let mut cell = Cell { ok: 0, rounds: Vec::new(), worst_radius: 0 };
     for seed in 0..seeds {
         let mut config = ResumableConfig::new(seed).with_max_rounds(budget).with_motion(spec);
@@ -130,14 +166,14 @@ fn measure_cell<A: SelfStabilizingMis>(
             }
             config = config.with_byzantine(plan);
         }
-        let (round, final_radius) = first_valid_round(g, algo, config, placement, radius);
+        let (round, final_radius) = first_valid_round(g, algo, config, placement, radius)?;
         if let Some(r) = round {
             cell.ok += 1;
             cell.rounds.push(r);
         }
         cell.worst_radius = cell.worst_radius.max(final_radius);
     }
-    cell
+    Ok(cell)
 }
 
 fn cell_row(cell: &Cell, seeds: u64) -> [String; 3] {
@@ -163,15 +199,18 @@ fn digest_run(
     engine: EngineMode,
     budget: u64,
     tele: &Telemetry,
-) -> u64 {
+) -> Result<u64, MobError> {
     let mut config =
         ResumableConfig::new(0xD16E).with_max_rounds(budget).with_motion(spec).with_engine(engine);
     if tele.is_enabled() {
         config = config.with_telemetry(tele.clone());
     }
-    let mut run = ResumableRun::new(g, algo, config).expect("motion plans are valid");
+    let mut run = ResumableRun::new(g, algo, config)?;
     run.run_to_completion();
-    outcome_digest(&run.outcome().expect("run left the Running state"))
+    match run.outcome() {
+        Some(outcome) => Ok(outcome_digest(&outcome)),
+        None => Err(MobError::Unfinished),
+    }
 }
 
 /// Runs the experiment and returns the printed report.
@@ -200,22 +239,32 @@ pub fn run_with(quick: bool, tele: &Telemetry) -> String {
     // Section 1: stabilization vs speed, both models, no adversary.
     out.push_str("\n## time to instantaneous validity vs motion speed (Algorithm 1)\n\n");
     let mut table = analysis::Table::new(["model", "speed", "stabilized", "mean round", "radius"]);
+    let mut warnings = String::new();
     for speed in speeds() {
         for model in models(speed) {
             let spec = MotionSpec::new(points_seed, comm_radius, model);
             let g = spec.initial_graph(n);
             let algo = Algorithm1::new(&g, LmaxPolicy::global_delta(&g));
-            let cell = measure_cell(&g, &algo, spec, &[], seeds, budget, RADIUS);
-            let [ok, mean, radius] = cell_row(&cell, seeds);
-            table.row([model.label().to_string(), format!("{speed}"), ok, mean, radius]);
+            match measure_cell(&g, &algo, spec, &[], seeds, budget, RADIUS) {
+                Ok(cell) => {
+                    let [ok, mean, radius] = cell_row(&cell, seeds);
+                    table.row([model.label().to_string(), format!("{speed}"), ok, mean, radius]);
+                }
+                Err(e) => {
+                    let label = model.label();
+                    let _ = writeln!(warnings, "warning: skipping ({label}, speed {speed}): {e}");
+                }
+            }
         }
     }
     out.push_str(&format!("{table}"));
+    out.push_str(&warnings);
 
     // Section 2: containment while the adversary's neighborhood moves.
     out.push_str("\n## containment under motion (1 stuck beeper, random waypoint)\n\n");
     let mut table =
         analysis::Table::new(["speed", "contained", "mean round", "worst final radius"]);
+    let mut warnings = String::new();
     for speed in speeds() {
         let spec = MotionSpec::new(
             points_seed,
@@ -225,14 +274,21 @@ pub fn run_with(quick: bool, tele: &Telemetry) -> String {
         let g = spec.initial_graph(n);
         let algo = Algorithm1::new(&g, LmaxPolicy::global_delta(&g));
         let site = max_degree_node(&g);
-        let cell = measure_cell(&g, &algo, spec, &[site], seeds, budget, RADIUS);
-        let [ok, mean, radius] = cell_row(&cell, seeds);
-        table.row([format!("{speed}"), ok, mean, radius]);
+        match measure_cell(&g, &algo, spec, &[site], seeds, budget, RADIUS) {
+            Ok(cell) => {
+                let [ok, mean, radius] = cell_row(&cell, seeds);
+                table.row([format!("{speed}"), ok, mean, radius]);
+            }
+            Err(e) => {
+                let _ = writeln!(warnings, "warning: skipping (containment, speed {speed}): {e}");
+            }
+        }
     }
     out.push_str(&format!("{table}"));
+    out.push_str(&warnings);
 
     // Section 3: the PR's bit-identity acceptance criteria, asserted on
-    // every run: scalar vs scatter, and telemetry on vs off.
+    // every run: scalar vs scatter vs frontier, and telemetry on vs off.
     out.push_str("\n## determinism digests (same seed, moving graph)\n\n");
     let spec = MotionSpec::new(
         points_seed,
@@ -243,20 +299,33 @@ pub fn run_with(quick: bool, tele: &Telemetry) -> String {
     let algo = Algorithm1::new(&g, LmaxPolicy::global_delta(&g));
     let digest_budget = budget.min(2_000);
     let disabled = Telemetry::disabled();
-    let scalar = digest_run(&g, &algo, spec, EngineMode::Scalar, digest_budget, tele);
-    let scatter = digest_run(&g, &algo, spec, EngineMode::Scatter, digest_budget, &disabled);
-    let streamed = {
-        let mem = Telemetry::enabled(telemetry::Config::default());
-        let (sink, _handle) = telemetry::MemorySink::new();
-        mem.add_sink(Box::new(sink));
-        digest_run(&g, &algo, spec, EngineMode::Scalar, digest_budget, &mem)
-    };
-    assert_eq!(scalar, scatter, "scalar and scatter engines diverged on the moving graph");
-    assert_eq!(scalar, streamed, "attaching telemetry changed a moving run");
-    let _ = writeln!(out, "scalar engine:       digest={scalar:016x}");
-    let _ = writeln!(out, "scatter engine:      digest={scatter:016x}");
-    let _ = writeln!(out, "telemetry attached:  digest={streamed:016x}");
-    out.push_str("all three digests identical — engine and telemetry transparency hold.\n");
+    let digests = (|| -> Result<[u64; 4], MobError> {
+        let scalar = digest_run(&g, &algo, spec, EngineMode::Scalar, digest_budget, tele)?;
+        let scatter = digest_run(&g, &algo, spec, EngineMode::Scatter, digest_budget, &disabled)?;
+        let frontier = digest_run(&g, &algo, spec, EngineMode::Frontier, digest_budget, &disabled)?;
+        let streamed = {
+            let mem = Telemetry::enabled(telemetry::Config::default());
+            let (sink, _handle) = telemetry::MemorySink::new();
+            mem.add_sink(Box::new(sink));
+            digest_run(&g, &algo, spec, EngineMode::Scalar, digest_budget, &mem)?
+        };
+        Ok([scalar, scatter, frontier, streamed])
+    })();
+    match digests {
+        Ok([scalar, scatter, frontier, streamed]) => {
+            assert_eq!(scalar, scatter, "scalar and scatter engines diverged on the moving graph");
+            assert_eq!(scalar, frontier, "frontier engine diverged on the moving graph");
+            assert_eq!(scalar, streamed, "attaching telemetry changed a moving run");
+            let _ = writeln!(out, "scalar engine:       digest={scalar:016x}");
+            let _ = writeln!(out, "scatter engine:      digest={scatter:016x}");
+            let _ = writeln!(out, "frontier engine:     digest={frontier:016x}");
+            let _ = writeln!(out, "telemetry attached:  digest={streamed:016x}");
+            out.push_str("all four digests identical — engine and telemetry transparency hold.\n");
+        }
+        Err(e) => {
+            let _ = writeln!(out, "warning: skipping determinism digests: {e}");
+        }
+    }
     if tele.is_enabled() {
         out.push_str("\ntelemetry: scalar digest leg streamed (round events + motion markers).\n");
     }
@@ -302,9 +371,31 @@ mod tests {
         );
         let g = spec.initial_graph(48);
         let algo = Algorithm1::new(&g, LmaxPolicy::global_delta(&g));
-        let cell = measure_cell(&g, &algo, spec, &[], 3, 100_000, RADIUS);
+        let cell =
+            measure_cell(&g, &algo, spec, &[], 3, 100_000, RADIUS).expect("static plans are valid");
         assert_eq!(cell.ok, 3);
         assert_eq!(cell.worst_radius, 0);
+    }
+
+    #[test]
+    fn mismatched_deployment_is_an_error_not_a_panic() {
+        // A graph that is not the spec's initial deployment must surface as
+        // a typed plan error from the measurement helpers.
+        let comm_radius = radius_for_expected_degree(32, 6.0);
+        let spec = MotionSpec::new(
+            crate::common::graph_seed(0),
+            comm_radius,
+            MotionModel::RandomWaypoint { speed: 0.01, pause: 2 },
+        );
+        let g = Graph::empty(32);
+        let algo = Algorithm1::new(&g, LmaxPolicy::global_delta(&g));
+        let err = digest_run(&g, &algo, spec, EngineMode::Scalar, 100, &Telemetry::disabled())
+            .expect_err("an empty graph is not the spec's deployment");
+        assert!(matches!(err, MobError::Plan(PlanError::Motion(_))), "got {err:?}");
+        assert!(err.to_string().contains("invalid motion spec"));
+        let err = measure_cell(&g, &algo, spec, &[], 1, 100, RADIUS)
+            .expect_err("measure_cell must propagate the same error");
+        assert!(matches!(err, MobError::Plan(PlanError::Motion(_))));
     }
 
     #[test]
@@ -320,8 +411,9 @@ mod tests {
         let tele = Telemetry::enabled(TeleConfig::default());
         let (sink, handle) = MemorySink::new();
         tele.add_sink(Box::new(sink));
-        let a = digest_run(&g, &algo, spec, EngineMode::Scalar, 300, &tele);
-        let b = digest_run(&g, &algo, spec, EngineMode::Scalar, 300, &Telemetry::disabled());
+        let a = digest_run(&g, &algo, spec, EngineMode::Scalar, 300, &tele).unwrap();
+        let b =
+            digest_run(&g, &algo, spec, EngineMode::Scalar, 300, &Telemetry::disabled()).unwrap();
         assert_eq!(a, b, "telemetry must be observational");
         assert!(
             handle

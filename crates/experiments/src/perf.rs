@@ -1,28 +1,42 @@
-//! Experiment `PERF` — round-engine throughput baseline (scalar vs scatter).
+//! Experiment `PERF` — round-engine throughput baseline (scalar vs scatter
+//! vs frontier).
 //!
-//! *Claim under test*: the scatter delivery engine (collect the round's
-//! beepers, push their signals to neighbors, word-packed "heard" bitsets,
-//! fused no-fault fast path) is a pure performance refactor — bit-identical
-//! to the scalar reference per seed, and ≥ 2× faster in rounds/sec on
-//! sparse families at large n in the no-fault configuration.
+//! *Claims under test*: (1) the scatter delivery engine (collect the
+//! round's beepers, push their signals to neighbors, word-packed "heard"
+//! bitsets, fused no-fault fast path) is a pure performance refactor —
+//! bit-identical to the scalar reference per seed, and ≥ 2× faster in
+//! rounds/sec on sparse families at large n in the no-fault configuration;
+//! (2) the frontier (event-driven) engine makes post-stabilization rounds
+//! cost O(|frontier|) instead of O(n): on the post-stabilization +
+//! point-fault workload it is ≥ 10× faster than scatter at the largest
+//! size, while remaining bit-identical per seed.
 //!
-//! *Measurements*: for each graph family (cycle, 4-regular, G(n,p)) and
-//! size, run Algorithm 1 to stabilization once, then time both engines over
-//! the same steady-state workload (the sustained regime: MIS members beep
-//! every round, everyone else listens). A differential check steps both
-//! engines side by side from the same configuration and asserts identical
+//! *Measurements*: for each graph family (cycle, 4-regular, G(n,p)), size,
+//! and workload, run Algorithm 1 to stabilization once, then time all three
+//! engines over the same workload. Workloads: **steady** (the sustained
+//! regime: MIS members beep every round, everyone else listens) and
+//! **post-stab-fault** (steady state with one MIS member's state knocked to
+//! `lmax` every [`FAULT_PERIOD`] rounds — the self-stabilization regime the
+//! frontier engine targets, where each fault dirties a neighborhood and the
+//! rest of the network is settled). A differential check steps all three
+//! engines side by side — fault injections included — and asserts identical
 //! round reports and states before any timing is trusted.
 //!
 //! *Artifacts*: the report table, plus `results/BENCH_PERF.json` (one entry
-//! per `(family, n)` with rounds/sec for both engines and the speedup) when
-//! a `results/` directory exists. The committed root-level `BENCH_PERF.json`
-//! baseline is replaced only by a *full* (non-`--quick`) run, and the run
-//! warns when its git provenance is dirty or unknown.
+//! per `(family, workload, n)` with rounds/sec for all three engines and
+//! the speedups) when a `results/` directory exists. The committed
+//! root-level `BENCH_PERF.json` baseline is replaced only by a *full*
+//! (non-`--quick`) run, and the run warns when its git provenance is dirty
+//! or unknown.
 //!
-//! *Expected shape*: speedup grows with n and is largest on sparse families
-//! (cycle, regular), where per-round bookkeeping — not edge scanning —
-//! dominates the scalar engine; the acceptance bound is ≥ 2× at the largest
-//! size on cycle and regular graphs.
+//! *Expected shape*: scatter's speedup over scalar grows with n and is
+//! largest on sparse families (cycle, regular), where per-round bookkeeping
+//! — not edge scanning — dominates the scalar engine; acceptance is ≥ 2× at
+//! the largest size on cycle and regular graphs. The frontier engine's
+//! speedup over scatter is largest where the settled complement is largest:
+//! on post-stab-fault the dirty set is one fault neighborhood, so the win
+//! grows linearly with n; acceptance is ≥ 10× over scatter at n = 2^16
+//! (full run).
 
 use std::fmt::Write as _;
 
@@ -48,10 +62,45 @@ pub fn sizes(quick: bool) -> Vec<usize> {
     }
 }
 
-/// One `(family, n)` measurement.
+/// Rounds between point-fault injections on the post-stabilization
+/// workload: long enough for the dirtied neighborhood to re-settle, short
+/// enough that every timed window contains faults.
+pub const FAULT_PERIOD: u64 = 64;
+
+/// The timed regime of one measurement row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// Sustained stabilized execution: no disturbances, every node
+    /// re-certifies its settled round forever.
+    Steady,
+    /// Post-stabilization + point fault: stabilized execution with one MIS
+    /// member's state knocked to `lmax` every [`FAULT_PERIOD`] rounds. The
+    /// event-driven regime the frontier engine targets — each fault dirties
+    /// one neighborhood while the rest of the network stays settled.
+    PointFault,
+}
+
+impl Workload {
+    /// Both workloads, in report order.
+    pub fn all() -> [Workload; 2] {
+        [Workload::Steady, Workload::PointFault]
+    }
+
+    /// The row/JSON label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Workload::Steady => "steady",
+            Workload::PointFault => "post-stab-fault",
+        }
+    }
+}
+
+/// One `(family, workload, n)` measurement.
 pub struct PerfPoint {
     /// Family label.
     pub family: String,
+    /// Workload label (see [`Workload::label`]).
+    pub workload: String,
     /// Network size.
     pub n: usize,
     /// Edge count of the generated instance.
@@ -62,12 +111,21 @@ pub struct PerfPoint {
     pub scalar_rps: f64,
     /// Scatter-engine throughput, rounds/sec.
     pub scatter_rps: f64,
+    /// Frontier-engine throughput, rounds/sec.
+    pub frontier_rps: f64,
 }
 
 impl PerfPoint {
     /// Scatter speedup over scalar.
-    pub fn speedup(&self) -> f64 {
+    pub fn scatter_speedup(&self) -> f64 {
         self.scatter_rps / self.scalar_rps.max(1e-9)
+    }
+
+    /// Frontier speedup over scatter — the frontier engine's acceptance
+    /// metric is measured against the fastest full-sweep engine, not the
+    /// scalar reference.
+    pub fn frontier_speedup(&self) -> f64 {
+        self.frontier_rps / self.scatter_rps.max(1e-9)
     }
 }
 
@@ -83,6 +141,43 @@ fn steady_state_levels(
     Ok(runner::run(g, algo, config)?.levels)
 }
 
+/// The point-fault rotation for a workload: on the steady workload it is
+/// empty; on post-stab-fault it holds `(victim, lmax)` for every MIS
+/// member of the stabilized configuration, in node order, so successive
+/// faults hit different neighborhoods.
+fn fault_schedule(
+    g: &Graph,
+    algo: &Algorithm1,
+    levels: &[Level],
+    workload: Workload,
+) -> Vec<(usize, Level)> {
+    match workload {
+        Workload::Steady => Vec::new(),
+        Workload::PointFault => {
+            let members = algo.mis_members(g, levels);
+            (0..g.len()).filter(|&v| members[v]).map(|v| (v, algo.lmax(v))).collect()
+        }
+    }
+}
+
+/// Applies the deterministic fault schedule for round `r` (0-based, i.e.
+/// *before* stepping round `r + 1`): on every [`FAULT_PERIOD`]-th round the
+/// next victim's state is knocked to its `lmax`. `corrupt_state` draws no
+/// randomness, so injecting the same schedule into every engine preserves
+/// bit-identity.
+fn inject_fault(
+    sim: &mut Simulator<'_, Algorithm1>,
+    r: u64,
+    faults: &[(usize, Level)],
+    next: &mut usize,
+) {
+    if r.is_multiple_of(FAULT_PERIOD) && !faults.is_empty() {
+        let (v, lmax) = faults[*next % faults.len()];
+        *next += 1;
+        sim.corrupt_state(v, lmax);
+    }
+}
+
 fn rounds_per_sec(
     g: &Graph,
     algo: &Algorithm1,
@@ -90,17 +185,27 @@ fn rounds_per_sec(
     seed: u64,
     engine: EngineMode,
     rounds: u64,
+    faults: &[(usize, Level)],
 ) -> f64 {
     let mut sim = Simulator::new(g, algo.clone(), levels.to_vec(), seed).with_engine(engine);
     let watch = Stopwatch::start();
-    sim.run(rounds);
+    if faults.is_empty() {
+        sim.run(rounds);
+    } else {
+        let mut next = 0usize;
+        for r in 0..rounds {
+            inject_fault(&mut sim, r, faults, &mut next);
+            sim.step();
+        }
+    }
     let secs = watch.elapsed_secs().max(1e-9);
     std::hint::black_box(sim.states());
     rounds as f64 / secs
 }
 
-/// Steps both engines side by side and asserts bit-identical round reports,
-/// states and signals — the differential gate run before any timing.
+/// Steps all three engines side by side — fault injections included, when
+/// `faults` is non-empty — and asserts bit-identical round reports, states
+/// and signals: the differential gate run before any timing.
 ///
 /// # Panics
 ///
@@ -111,46 +216,60 @@ pub fn assert_engines_identical(
     levels: &[Level],
     seed: u64,
     rounds: u64,
+    faults: &[(usize, Level)],
 ) {
-    let mut scalar =
-        Simulator::new(g, algo.clone(), levels.to_vec(), seed).with_engine(EngineMode::Scalar);
-    let mut scatter =
-        Simulator::new(g, algo.clone(), levels.to_vec(), seed).with_engine(EngineMode::Scatter);
+    let mut sims = [EngineMode::Scalar, EngineMode::Scatter, EngineMode::Frontier]
+        .map(|engine| Simulator::new(g, algo.clone(), levels.to_vec(), seed).with_engine(engine));
+    let mut next = [0usize; 3];
     for round in 1..=rounds {
-        let a = scalar.step();
-        let b = scatter.step();
-        assert_eq!(a, b, "round report diverged at round {round} (n={})", g.len());
-        assert_eq!(scalar.states(), scatter.states(), "states diverged at round {round}");
-        assert_eq!(scalar.last_heard(), scatter.last_heard(), "signals diverged at round {round}");
+        for (sim, next) in sims.iter_mut().zip(next.iter_mut()) {
+            inject_fault(sim, round - 1, faults, next);
+        }
+        let [a, b, c] = [sims[0].step(), sims[1].step(), sims[2].step()];
+        let (scalar, rest) = sims.split_first().unwrap();
+        for (report, other) in [(b, &rest[0]), (c, &rest[1])] {
+            assert_eq!(a, report, "round report diverged at round {round} (n={})", g.len());
+            assert_eq!(scalar.states(), other.states(), "states diverged at round {round}");
+            assert_eq!(
+                scalar.last_heard(),
+                other.last_heard(),
+                "signals diverged at round {round}"
+            );
+        }
     }
 }
 
-/// Measures one `(family, n)` point: stabilize, differential-check, then
-/// time both engines on the steady-state workload. Errors when the workload
-/// run fails to stabilize within its budget.
+/// Measures one `(family, workload, n)` point: stabilize,
+/// differential-check, then time all three engines on the same workload.
+/// Errors when the stabilizing run exhausts its budget.
 pub fn measure_point(
     family: &GraphFamily,
     n: usize,
     seed: u64,
     quick: bool,
+    workload: Workload,
 ) -> Result<PerfPoint, StabilizationError> {
     let g = family.generate(n, crate::common::graph_seed(0));
     let algo = Algorithm1::new(&g, LmaxPolicy::global_delta(&g));
     let levels = steady_state_levels(&g, &algo, seed)?;
-    assert_engines_identical(&g, &algo, &levels, seed, 8);
+    let faults = fault_schedule(&g, &algo, &levels, workload);
+    assert_engines_identical(&g, &algo, &levels, seed, 8, &faults);
     // Node-rounds budget per engine, so every size gets comparable wall
     // time; floors keep the smallest quick sizes from under-sampling.
     let budget: u64 = if quick { 1 << 21 } else { 1 << 25 };
     let rounds = (budget / n as u64).max(16);
-    let scalar_rps = rounds_per_sec(&g, &algo, &levels, seed, EngineMode::Scalar, rounds);
-    let scatter_rps = rounds_per_sec(&g, &algo, &levels, seed, EngineMode::Scatter, rounds);
+    let [scalar_rps, scatter_rps, frontier_rps] =
+        [EngineMode::Scalar, EngineMode::Scatter, EngineMode::Frontier]
+            .map(|engine| rounds_per_sec(&g, &algo, &levels, seed, engine, rounds, &faults));
     Ok(PerfPoint {
         family: family.to_string(),
+        workload: workload.label().to_string(),
         n,
         m: g.num_edges(),
         rounds,
         scalar_rps,
         scatter_rps,
+        frontier_rps,
     })
 }
 
@@ -190,15 +309,20 @@ pub fn bench_json(points: &[PerfPoint], quick: bool, git: &str) -> String {
         let sep = if i + 1 == points.len() { "" } else { "," };
         let _ = writeln!(
             out,
-            "    {{\"family\": \"{}\", \"n\": {}, \"m\": {}, \"rounds\": {}, \
-             \"scalar_rps\": {:.1}, \"scatter_rps\": {:.1}, \"speedup\": {:.2}}}{sep}",
+            "    {{\"family\": \"{}\", \"workload\": \"{}\", \"n\": {}, \"m\": {}, \
+             \"rounds\": {}, \"scalar_rps\": {:.1}, \"scatter_rps\": {:.1}, \
+             \"frontier_rps\": {:.1}, \"scatter_speedup\": {:.2}, \
+             \"frontier_speedup\": {:.2}}}{sep}",
             p.family,
+            p.workload,
             p.n,
             p.m,
             p.rounds,
             p.scalar_rps,
             p.scatter_rps,
-            p.speedup()
+            p.frontier_rps,
+            p.scatter_speedup(),
+            p.frontier_speedup()
         );
     }
     out.push_str("  ]\n}\n");
@@ -208,41 +332,53 @@ pub fn bench_json(points: &[PerfPoint], quick: bool, git: &str) -> String {
 /// Runs the experiment and returns the printed report.
 pub fn run(quick: bool) -> String {
     let seed = 0x9E2F;
-    let mut out = crate::common::header("PERF", "round-engine throughput: scalar vs scatter");
+    let mut out =
+        crate::common::header("PERF", "round-engine throughput: scalar vs scatter vs frontier");
     let _ = writeln!(
         out,
-        "workload: Algorithm 1 (global-Δ) steady state; both engines timed on the same \
-         configuration after an 8-round differential check; per-engine budget {} node-rounds",
+        "workloads: Algorithm 1 (global-Δ) steady state, and post-stabilization + point fault \
+         (one MIS member knocked to lmax every {FAULT_PERIOD} rounds); all three engines timed \
+         on the same configuration after an 8-round differential check; per-engine budget {} \
+         node-rounds",
         if quick { 1u64 << 21 } else { 1 << 25 }
     );
 
     let mut points = Vec::new();
     let mut table = analysis::Table::new([
         "family",
+        "workload",
         "n",
         "m",
         "rounds",
         "scalar r/s",
         "scatter r/s",
-        "speedup",
+        "frontier r/s",
+        "scatter x",
+        "frontier x",
     ]);
     for family in families() {
-        for &n in &sizes(quick) {
-            match measure_point(&family, n, seed, quick) {
-                Ok(p) => {
-                    table.row([
-                        p.family.clone(),
-                        p.n.to_string(),
-                        p.m.to_string(),
-                        p.rounds.to_string(),
-                        format!("{:.0}", p.scalar_rps),
-                        format!("{:.0}", p.scatter_rps),
-                        format!("{:.2}x", p.speedup()),
-                    ]);
-                    points.push(p);
-                }
-                Err(e) => {
-                    let _ = writeln!(out, "warning: skipping ({family}, n={n}): {e}");
+        for workload in Workload::all() {
+            for &n in &sizes(quick) {
+                match measure_point(&family, n, seed, quick, workload) {
+                    Ok(p) => {
+                        table.row([
+                            p.family.clone(),
+                            p.workload.clone(),
+                            p.n.to_string(),
+                            p.m.to_string(),
+                            p.rounds.to_string(),
+                            format!("{:.0}", p.scalar_rps),
+                            format!("{:.0}", p.scatter_rps),
+                            format!("{:.0}", p.frontier_rps),
+                            format!("{:.2}x", p.scatter_speedup()),
+                            format!("{:.2}x", p.frontier_speedup()),
+                        ]);
+                        points.push(p);
+                    }
+                    Err(e) => {
+                        let label = workload.label();
+                        let _ = writeln!(out, "warning: skipping ({family}, {label}, n={n}): {e}");
+                    }
                 }
             }
         }
@@ -292,8 +428,11 @@ pub fn run(quick: bool) -> String {
         }
     }
     out.push_str(
-        "\nexpected shape: speedup grows with n and is largest on the sparse families; \
-         acceptance is >= 2x on cycle and regular at the largest size (full run).\n",
+        "\nexpected shape: scatter's speedup over scalar grows with n and is largest on the \
+         sparse families (acceptance >= 2x on cycle and regular at the largest size, steady \
+         workload, full run); the frontier engine's speedup over scatter grows linearly with n \
+         on post-stab-fault, where the dirty set is one fault neighborhood (acceptance >= 10x \
+         at n=65536, full run).\n",
     );
     out
 }
@@ -309,7 +448,9 @@ mod tests {
             assert!(report.contains(section), "missing section {section}");
         }
         assert!(report.contains("cycle"));
-        assert!(report.contains("speedup"));
+        assert!(report.contains("steady"));
+        assert!(report.contains("post-stab-fault"));
+        assert!(report.contains("frontier"));
     }
 
     #[test]
@@ -318,22 +459,40 @@ mod tests {
         let g = family.generate(96, 3);
         let algo = Algorithm1::new(&g, LmaxPolicy::global_delta(&g));
         let levels = steady_state_levels(&g, &algo, 5).expect("stabilizes");
-        assert_engines_identical(&g, &algo, &levels, 5, 32);
+        assert_engines_identical(&g, &algo, &levels, 5, 32, &[]);
+    }
+
+    #[test]
+    fn engines_identical_under_point_faults() {
+        // The differential gate must hold through fault injections: run
+        // several fault periods so the gate covers inject → recover →
+        // re-settle on all three engines.
+        let family = GraphFamily::Regular { d: 4 };
+        let g = family.generate(96, 3);
+        let algo = Algorithm1::new(&g, LmaxPolicy::global_delta(&g));
+        let levels = steady_state_levels(&g, &algo, 5).expect("stabilizes");
+        let faults = fault_schedule(&g, &algo, &levels, Workload::PointFault);
+        assert!(!faults.is_empty(), "a stabilized MIS has members");
+        assert_engines_identical(&g, &algo, &levels, 5, 3 * FAULT_PERIOD, &faults);
     }
 
     #[test]
     fn json_is_well_formed() {
         let points = vec![PerfPoint {
             family: "cycle".into(),
+            workload: "post-stab-fault".into(),
             n: 64,
             m: 64,
             rounds: 100,
             scalar_rps: 1000.0,
             scatter_rps: 2500.0,
+            frontier_rps: 50000.0,
         }];
         let json = bench_json(&points, true, "v1.2.3-4-gabcdef0");
         assert_eq!(json.matches('{').count(), json.matches('}').count());
-        assert!(json.contains("\"speedup\": 2.50"));
+        assert!(json.contains("\"workload\": \"post-stab-fault\""));
+        assert!(json.contains("\"scatter_speedup\": 2.50"));
+        assert!(json.contains("\"frontier_speedup\": 20.00"));
         assert!(json.contains("\"quick\": true"));
         assert!(json.contains("\"git\": \"v1.2.3-4-gabcdef0\""));
     }
@@ -363,7 +522,7 @@ mod tests {
         // And measure_point surfaces a stabilization error rather than
         // aborting the whole experiment (exercised indirectly: the Ok path
         // is covered by report_covers_all_sections).
-        let p = measure_point(&GraphFamily::Cycle, 64, 5, true);
+        let p = measure_point(&GraphFamily::Cycle, 64, 5, true, Workload::PointFault);
         assert!(p.is_ok());
     }
 }

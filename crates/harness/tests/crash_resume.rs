@@ -88,14 +88,14 @@ proptest! {
         family in 0u8..4,
         n in 8usize..28,
         seed in any::<u64>(),
-        scatter in any::<bool>(),
+        engine_sel in 0usize..3,
         with_events in any::<bool>(),
         kill_at in 1u64..120,
         checkpoint_every in 1u64..24,
     ) {
         let g = family_graph(family, n, seed);
         let algo = Algorithm1::new(&g, LmaxPolicy::global_delta(&g));
-        let engine = if scatter { EngineMode::Scatter } else { EngineMode::Scalar };
+        let engine = [EngineMode::Scalar, EngineMode::Scatter, EngineMode::Frontier][engine_sel];
         let config = composed_config(seed, g.len(), engine, with_events);
 
         let reference = uninterrupted(&g, &algo, config.clone());
@@ -134,9 +134,14 @@ fn kill_every_round_of_one_run_is_covered() {
 
 #[test]
 fn two_channel_algorithm_survives_kills() {
+    // Runs under the frontier engine: Algorithm 2's settled configurations
+    // (ℓ = 0 announcing, ℓ = ℓmax dominated) are skipped post-stabilization
+    // and the kill/resume cycle must reconstruct that lazily-accounted
+    // state from the snapshot alone.
     let g = random::gnp(18, 0.2, 7);
     let algo = Algorithm2::new(&g, LmaxPolicy::two_hop_degree(&g));
     let config = ResumableConfig::new(7)
+        .with_engine(EngineMode::Frontier)
         .with_faults(FaultPlan::new().with_fault(20, FaultTarget::RandomFraction(0.5)));
 
     let mut straight = ResumableRun::new(&g, &algo, config.clone()).unwrap();

@@ -21,12 +21,12 @@
 //! *signals* its status, making faults detectable (unlike the original
 //! Jeavons–Scott–Xu algorithm, where stabilized vertices go silent).
 
-use beeping::protocol::{BeepSignal, BeepingProtocol, Channels};
+use beeping::protocol::{BeepSignal, BeepingProtocol, Channels, SettledRound};
 use graphs::{Graph, NodeId};
 use rand::{Rng, RngCore};
 
 use crate::invariant::{debug_assert_level_in_range, LevelSpace};
-use crate::levels::{beep_probability, update_level, Level};
+use crate::levels::{beep_probability, claiming_level, update_level, Level};
 use crate::observer;
 use crate::policy::LmaxPolicy;
 use crate::runner::{self, Outcome, RunConfig, StabilizationError};
@@ -131,6 +131,36 @@ impl BeepingProtocol for Algorithm1 {
         let lmax = self.policy.lmax(node);
         *state = update_level(*state, lmax, sent.on_channel1(), heard.on_channel1());
     }
+
+    /// Algorithm 1's absorbing configurations, certified for the frontier
+    /// engine (`EngineMode::Frontier`):
+    ///
+    /// - a stable MIS member (`ℓ = -ℓmax`, silent neighborhood) beeps with
+    ///   probability 1 — one value-independent coin per round — and a lone
+    ///   beep re-confirms `ℓ = -ℓmax`;
+    /// - a silenced non-member (`ℓ = ℓmax > 0`, beeping neighborhood) never
+    ///   draws (`p = 0`) and hearing keeps it pinned at `ℓmax`.
+    ///
+    /// Post-stabilization (`S_t = V`), every vertex is in one of the two,
+    /// so fault-free rounds cost O(|frontier|) instead of O(m). The
+    /// claiming arm is checked first: for `ℓmax = 0` the two levels
+    /// coincide and the node beeps (`p(0) = 1`).
+    fn settled_round(
+        &self,
+        node: NodeId,
+        state: &Level,
+        heard: BeepSignal,
+    ) -> Option<SettledRound> {
+        let lmax = self.policy.lmax(node);
+        let heard1 = heard.on_channel1();
+        if *state == claiming_level(lmax) && !heard1 {
+            Some(SettledRound { signal: BeepSignal::channel1(), draws: 1 })
+        } else if *state == lmax && lmax > 0 && heard1 {
+            Some(SettledRound { signal: BeepSignal::silent(), draws: 0 })
+        } else {
+            None
+        }
+    }
 }
 
 #[cfg(test)]
@@ -223,5 +253,80 @@ mod tests {
     fn policy_size_mismatch_panics() {
         let g = classic::path(3);
         Algorithm1::new(&g, LmaxPolicy::fixed(2, 5));
+    }
+
+    #[test]
+    fn settled_round_certifies_exactly_the_stable_configurations() {
+        let g = classic::path(3);
+        let algo = Algorithm1::new(&g, LmaxPolicy::fixed(3, 6));
+        // Stable MIS member: lone beeper at the claiming level.
+        let sr = algo.settled_round(1, &-6, BeepSignal::silent()).unwrap();
+        assert_eq!(sr.signal, BeepSignal::channel1());
+        assert_eq!(sr.draws, 1);
+        // Silenced non-member at ℓmax hearing its dominator.
+        let sr = algo.settled_round(0, &6, BeepSignal::channel1()).unwrap();
+        assert_eq!(sr.signal, BeepSignal::silent());
+        assert_eq!(sr.draws, 0);
+        // Everything else is live: a claimer hearing a beep must re-run
+        // (conflict), a capped node hearing silence decays, interior
+        // levels are never settled.
+        assert!(algo.settled_round(1, &-6, BeepSignal::channel1()).is_none());
+        assert!(algo.settled_round(0, &6, BeepSignal::silent()).is_none());
+        assert!(algo.settled_round(0, &2, BeepSignal::silent()).is_none());
+        assert!(algo.settled_round(0, &2, BeepSignal::channel1()).is_none());
+    }
+
+    #[test]
+    fn frontier_engine_bit_identical_through_and_past_stabilization() {
+        use beeping::EngineMode;
+        // Stabilize under both engines in lockstep, coast 200 rounds on the
+        // settled frontier (debug builds re-verify the certificate whenever
+        // a node settles), then inject a post-stabilization point fault and
+        // track the recovery — the paper's event-driven regime.
+        let g = random::gnp(48, 0.12, 3);
+        let algo = Algorithm1::new(&g, LmaxPolicy::global_delta(&g));
+        let lmax = algo.policy().max_lmax();
+        let mk = |engine| Simulator::new(&g, algo.clone(), vec![lmax; 48], 19).with_engine(engine);
+        let mut scalar = mk(EngineMode::Scalar);
+        let mut frontier = mk(EngineMode::Frontier);
+        let mut stabilized_at = None;
+        for round in 1..=20_000u64 {
+            let a = scalar.step();
+            let b = frontier.step();
+            assert_eq!(a, b, "report diverged at round {round}");
+            assert_eq!(scalar.states(), frontier.states(), "states diverged at round {round}");
+            if algo.is_stabilized(scalar.graph(), scalar.states()) {
+                stabilized_at = Some(round);
+                break;
+            }
+        }
+        let stabilized_at = stabilized_at.expect("fixture: must stabilize within budget");
+        for round in 0..200u64 {
+            let a = scalar.step();
+            let b = frontier.step();
+            assert_eq!(a, b, "post-stabilization report diverged at +{round}");
+            assert_eq!(scalar.states(), frontier.states());
+        }
+        // The configuration is a fixpoint: still stabilized after coasting.
+        assert!(algo.is_stabilized(&g, frontier.states()), "after {stabilized_at}+200 rounds");
+        // Point fault: knock one MIS member out and watch both engines
+        // repair the neighborhood identically.
+        let member = frontier.states().iter().position(|&l| l == -lmax).unwrap();
+        scalar.corrupt_state(member, lmax);
+        frontier.corrupt_state(member, lmax);
+        let mut recovered = false;
+        for round in 0..5_000u64 {
+            let a = scalar.step();
+            let b = frontier.step();
+            assert_eq!(a, b, "recovery report diverged at +{round}");
+            assert_eq!(scalar.states(), frontier.states(), "recovery states diverged at +{round}");
+            if algo.is_stabilized(scalar.graph(), scalar.states()) {
+                recovered = true;
+                break;
+            }
+        }
+        assert!(recovered, "fixture: must re-stabilize after the point fault");
+        let mis = algo.mis_members(&g, frontier.states());
+        assert!(graphs::mis::is_maximal_independent_set(&g, &mis));
     }
 }
