@@ -71,6 +71,7 @@ pub mod channel;
 pub mod churn;
 pub mod dynamic;
 pub mod faults;
+pub(crate) mod par;
 pub mod protocol;
 pub mod rng;
 pub mod sim;
@@ -84,4 +85,5 @@ pub use faults::{FaultError, FaultPlan, FaultTarget, TransientFault};
 pub use protocol::{BeepSignal, BeepingProtocol, Channels, SettledRound};
 pub use sim::{
     frontier_fallback_threshold, Checkpoint, DuplexMode, EngineMode, RestoreError, Simulator,
+    WorkCounters,
 };

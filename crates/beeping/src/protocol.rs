@@ -154,9 +154,14 @@ pub struct SettledRound {
 /// Nodes are anonymous: the `node` argument exists so the protocol can look
 /// up that knowledge, and must not be used as an identity in the protocol
 /// logic itself.
-pub trait BeepingProtocol {
+///
+/// Protocols are `Send + Sync` (and so are their states): the parallel
+/// scatter engine shares one protocol value across worker threads, each
+/// driving a disjoint node range. Protocol objects are ROM — immutable
+/// per-run knowledge — so the bound costs nothing for plain-data protocols.
+pub trait BeepingProtocol: Send + Sync {
     /// Mutable per-node state (the RAM).
-    type State: Clone + std::fmt::Debug;
+    type State: Clone + std::fmt::Debug + Send + Sync;
 
     /// How many channels the protocol uses.
     fn channels(&self) -> Channels;

@@ -81,6 +81,55 @@ pub enum EngineMode {
     /// scatter path (channel noise draws per-listener coins that skipping
     /// cannot reproduce). Bit-identical to the other engines per seed.
     Frontier,
+    /// Parallel scatter kernel: the node range is partitioned into
+    /// word-aligned, work-balanced worker ranges (`graphs::ShardPlan`) and
+    /// `threads` scoped worker threads run the round in two phases —
+    /// transmit + scatter into *thread-local* per-channel word accumulators,
+    /// then a fixed-shard-order OR-merge into the shared bitsets fused with
+    /// gather + receive. Per-node RNG streams are independent and the
+    /// per-channel OR is commutative, so same-seed runs are bit-identical
+    /// to every other engine at any thread count. Falls back to the phased
+    /// scatter path whenever the channel is unreliable or a Byzantine plan
+    /// is installed: those draw from *shared* noise/adversary streams in
+    /// strict node order, which parallel execution cannot preserve.
+    ParScatter {
+        /// Worker-thread count; clamped to at least 1, and to the number
+        /// of word-aligned shards the graph actually yields.
+        threads: usize,
+    },
+}
+
+/// Deterministic work counters accumulated by every engine; see
+/// [`Simulator::work`].
+///
+/// These count *model work*, not wall clock: for a fixed `(graph, protocol,
+/// seed, engine, fault plan)` they are bit-reproducible across machines and
+/// runs, which makes them the right substrate for performance-regression
+/// tests — a kernel that does asymptotically more work is caught even on a
+/// noisy shared box where timing is meaningless.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkCounters {
+    /// Protocol executions: one per node that ran a live round — every
+    /// active node on the full-sweep engines, only the executed
+    /// (dirty ∪ woken) set on the event-driven frontier engine.
+    pub node_execs: u64,
+    /// Adjacency entries traversed by the delivery kernel: `deg(listener)`
+    /// per gathering listener on the scalar engine, `deg(beeper)` per
+    /// beeping channel on the scatter-family engines.
+    pub edge_visits: u64,
+}
+
+/// Builds the word-packed all-active participation bitset for `n` nodes:
+/// bits `0..n` set, tail bits of the final word clear.
+fn full_active_bits(n: usize) -> Vec<u64> {
+    let words = n.div_ceil(64);
+    let mut bits = vec![u64::MAX; words];
+    if !n.is_multiple_of(64) {
+        if let Some(last) = bits.last_mut() {
+            *last = (1u64 << (n % 64)) - 1;
+        }
+    }
+    bits
 }
 
 /// Frontier density at which [`EngineMode::Frontier`] abandons the sparse
@@ -150,6 +199,12 @@ pub struct Simulator<'g, P: BeepingProtocol> {
     byz: Vec<Option<ByzantineBehavior<P::State>>>,
     byz_rng: Pcg64Mcg,
     active: Vec<bool>,
+    /// Word-packed mirror of `active` plus the count of departed nodes,
+    /// maintained in lockstep by churn and restore. Makes the fast paths'
+    /// all-active check O(1) instead of an O(n) scan, and gives the
+    /// parallel kernel a compact shared participation bitset.
+    active_bits: Vec<u64>,
+    inactive: usize,
     engine: EngineMode,
     /// Scatter-kernel scratch: word-packed per-listener "heard" and
     /// per-beeper "sent" bitsets, one per channel, rebuilt every round
@@ -165,6 +220,16 @@ pub struct Simulator<'g, P: BeepingProtocol> {
     /// [`Simulator::restore`] resets it and the next frontier round
     /// rebuilds it with a full sweep.
     frontier: FrontierState,
+    /// Parallel-kernel bookkeeping (worker ranges and thread-local word
+    /// accumulators), lazily built on the first [`EngineMode::ParScatter`]
+    /// fast round and rebuilt when the topology or thread count changes.
+    /// Purely derived scratch: never part of a checkpoint.
+    par: Option<crate::par::ParPlan>,
+    /// Deterministic work counters (protocol executions and adjacency
+    /// visits); see [`Simulator::work`]. Pure accounting — never consulted
+    /// for control flow, identical for a fixed execution regardless of
+    /// telemetry, hooks or wall clock.
+    work: WorkCounters,
     /// Observational only: phase timers and engine counters. Never consulted
     /// for control flow and never draws randomness, so a disabled handle
     /// (the default) and an enabled one produce bit-identical executions —
@@ -357,6 +422,8 @@ impl<'g, P: BeepingProtocol> Simulator<'g, P> {
             byz: vec![None; n],
             byz_rng: rng::aux_rng(seed, BYZ_RNG_PURPOSE),
             active: vec![true; n],
+            active_bits: full_active_bits(n),
+            inactive: 0,
             engine: EngineMode::default(),
             scatter_heard1: Vec::new(),
             scatter_heard2: Vec::new(),
@@ -364,6 +431,8 @@ impl<'g, P: BeepingProtocol> Simulator<'g, P> {
             scatter_sent2: Vec::new(),
             hook: InvariantHook(None),
             frontier: FrontierState::default(),
+            par: None,
+            work: WorkCounters::default(),
             telemetry: Telemetry::disabled(),
         }
     }
@@ -402,6 +471,8 @@ impl<'g, P: BeepingProtocol> Simulator<'g, P> {
             byz: vec![None; n],
             byz_rng: rng::aux_rng(seed, BYZ_RNG_PURPOSE),
             active: vec![true; n],
+            active_bits: full_active_bits(n),
+            inactive: 0,
             engine: EngineMode::default(),
             scatter_heard1: Vec::new(),
             scatter_heard2: Vec::new(),
@@ -409,6 +480,8 @@ impl<'g, P: BeepingProtocol> Simulator<'g, P> {
             scatter_sent2: Vec::new(),
             hook: InvariantHook(None),
             frontier: FrontierState::default(),
+            par: None,
+            work: WorkCounters::default(),
             telemetry: Telemetry::disabled(),
         }
     }
@@ -655,6 +728,7 @@ impl<'g, P: BeepingProtocol> Simulator<'g, P> {
                     // can change — their next round runs live.
                     self.frontier_unsettle(u);
                     self.frontier_unsettle(v);
+                    self.par = None; // degrees changed: replan worker ranges
                 }
                 Ok(inserted)
             }
@@ -678,6 +752,7 @@ impl<'g, P: BeepingProtocol> Simulator<'g, P> {
         if removed {
             self.frontier_unsettle(u);
             self.frontier_unsettle(v);
+            self.par = None; // degrees changed: replan worker ranges
         }
         Ok(removed)
     }
@@ -716,6 +791,7 @@ impl<'g, P: BeepingProtocol> Simulator<'g, P> {
                     self.frontier_unsettle(u);
                     self.frontier_unsettle(v);
                 }
+                self.par = None; // degrees changed: replan worker ranges
                 Ok(counts)
             }
             // Both graph-level failure modes are pre-checked above; map
@@ -767,11 +843,16 @@ impl<'g, P: BeepingProtocol> Simulator<'g, P> {
             self.frontier_set_heard(v, BeepSignal::silent());
         }
         let removed = self.graph.to_mut().isolate_node(v);
-        self.active[v] = false;
-        // A departed node must not keep advertising its last round: clear
-        // its transmission and observation so `last_sent()`/`last_heard()`
-        // and observer hooks never read a beep from a node that no longer
-        // exists.
+        if self.active[v] {
+            self.active[v] = false;
+            self.active_bits[v >> 6] &= !(1u64 << (v & 63));
+            self.inactive += 1;
+        }
+        self.par = None; // worker ranges are degree-balanced: replan
+                         // A departed node must not keep advertising its last round: clear
+                         // its transmission and observation so `last_sent()`/`last_heard()`
+                         // and observer hooks never read a beep from a node that no longer
+                         // exists.
         self.sent[v] = BeepSignal::silent();
         self.heard[v] = BeepSignal::silent();
         Ok(removed)
@@ -822,7 +903,12 @@ impl<'g, P: BeepingProtocol> Simulator<'g, P> {
             // conditions that validation already excluded.
             let _ = graph.insert_edge(v, u);
         }
-        self.active[v] = true;
+        if !self.active[v] {
+            self.active[v] = true;
+            self.active_bits[v >> 6] |= 1u64 << (v & 63);
+            self.inactive -= 1;
+        }
+        self.par = None; // worker ranges are degree-balanced: replan
         self.states[v] = state;
         // Mirror of `node_leave`'s signal clearing: a joining node boots
         // fresh and has neither transmitted nor heard anything yet, so the
@@ -848,9 +934,22 @@ impl<'g, P: BeepingProtocol> Simulator<'g, P> {
         &self.active
     }
 
-    /// Number of currently participating nodes.
+    /// Number of currently participating nodes (O(1): the simulator keeps
+    /// a departed-node count alongside the bitmap).
     pub fn active_count(&self) -> usize {
-        self.active.iter().filter(|&&a| a).count()
+        self.active.len() - self.inactive
+    }
+
+    /// The deterministic work counters accumulated so far; see
+    /// [`WorkCounters`]. Reset with [`Simulator::reset_work`].
+    pub fn work(&self) -> WorkCounters {
+        self.work
+    }
+
+    /// Zeroes the work counters (e.g. after a warm-up phase, so a
+    /// measurement window can be accounted in isolation).
+    pub fn reset_work(&mut self) {
+        self.work = WorkCounters::default();
     }
 
     /// The transmissions of the most recent round (all silent before the
@@ -891,6 +990,16 @@ impl<'g, P: BeepingProtocol> Simulator<'g, P> {
         let fault_free = self.channel.is_reliable() && self.byzantine.is_empty();
         if self.engine == EngineMode::Scatter && fault_free {
             return self.fast_round(n, channels);
+        }
+        if let EngineMode::ParScatter { threads } = self.engine {
+            if fault_free {
+                return self.par_round(n, channels, threads);
+            }
+            // Channel noise and Byzantine behavior draw from shared streams
+            // in strict node order — parallel execution cannot preserve
+            // that, so faulted rounds run the phased path below (exactly
+            // the scatter engine's behavior, including its own drop_p
+            // fallback to the scalar gather).
         }
         if self.engine == EngineMode::Frontier {
             if fault_free {
@@ -961,6 +1070,7 @@ impl<'g, P: BeepingProtocol> Simulator<'g, P> {
             }
             self.sent[v] = signal;
         }
+        self.work.node_execs += (n - self.inactive) as u64;
         drop(transmit_span);
         // Phase 2: delivery — OR over neighbors, per channel. A node does
         // not hear itself: beeps are sent to neighbors only (paper §1).
@@ -969,18 +1079,19 @@ impl<'g, P: BeepingProtocol> Simulator<'g, P> {
         // may add spurious positives; a reliable channel draws no randomness
         // here, keeping noise-free executions bit-identical to the paper's
         // model.
-        // The frontier engine has no phased kernel of its own: on this path
-        // it *is* the scatter engine (same delivery, same counters).
+        // The frontier and parallel engines have no phased kernel of their
+        // own: on this path they *are* the scatter engine (same delivery,
+        // same counters).
         let (deliver_name, rounds_counter) = match self.engine {
             EngineMode::Scalar => ("sim.phase.deliver.scalar", "sim.rounds.scalar"),
-            EngineMode::Scatter | EngineMode::Frontier => {
+            EngineMode::Scatter | EngineMode::Frontier | EngineMode::ParScatter { .. } => {
                 ("sim.phase.deliver.scatter", "sim.rounds.scatter")
             }
         };
         let deliver_span = self.telemetry.time(deliver_name);
         match self.engine {
             EngineMode::Scalar => self.deliver_scalar(n, channels, drop_p, spurious_p),
-            EngineMode::Scatter | EngineMode::Frontier => {
+            EngineMode::Scatter | EngineMode::Frontier | EngineMode::ParScatter { .. } => {
                 self.deliver_scatter(n, channels, drop_p, spurious_p)
             }
         }
@@ -1021,6 +1132,7 @@ impl<'g, P: BeepingProtocol> Simulator<'g, P> {
         for v in 0..n {
             let mut heard = BeepSignal::silent();
             if self.active[v] && (self.duplex == DuplexMode::Full || self.sent[v].is_silent()) {
+                self.work.edge_visits += self.graph.degree(v) as u64;
                 for &u in self.graph.neighbors(v) {
                     let u = u as usize;
                     if !self.active[u] {
@@ -1097,11 +1209,13 @@ impl<'g, P: BeepingProtocol> Simulator<'g, P> {
                 continue;
             }
             if sig.on_channel1() {
+                self.work.edge_visits += self.graph.degree(u) as u64;
                 for &w in self.graph.neighbors(u) {
                     self.scatter_heard1[(w >> 6) as usize] |= 1u64 << (w & 63);
                 }
             }
             if sig.on_channel2() {
+                self.work.edge_visits += self.graph.degree(u) as u64;
                 for &w in self.graph.neighbors(u) {
                     self.scatter_heard2[(w >> 6) as usize] |= 1u64 << (w & 63);
                 }
@@ -1160,7 +1274,8 @@ impl<'g, P: BeepingProtocol> Simulator<'g, P> {
         // popcount(sent_c & !heard_c). Track `sent` as bitsets too and the
         // whole report falls out of a word sweep, leaving pass 2 with just
         // the gather and the state update.
-        let all_active = active.iter().all(|&a| a);
+        let all_active = self.inactive == 0;
+        let mut edge_visits = 0u64;
         if all_active && full {
             // Pass 1: transmissions, fused with the beeper scatter.
             for v in 0..n {
@@ -1177,12 +1292,14 @@ impl<'g, P: BeepingProtocol> Simulator<'g, P> {
                 let bit = 1u64 << (v & 63);
                 if signal.on_channel1() {
                     sent1[word] |= bit;
+                    edge_visits += graph.degree(v) as u64;
                     for &w in graph.neighbors(v) {
                         heard1[(w >> 6) as usize] |= 1u64 << (w & 63);
                     }
                 }
                 if signal.on_channel2() {
                     sent2[word] |= bit;
+                    edge_visits += graph.degree(v) as u64;
                     for &w in graph.neighbors(v) {
                         heard2[(w >> 6) as usize] |= 1u64 << (w & 63);
                     }
@@ -1232,12 +1349,14 @@ impl<'g, P: BeepingProtocol> Simulator<'g, P> {
                 }
                 if signal.on_channel1() {
                     report.beeps_channel1 += 1;
+                    edge_visits += graph.degree(v) as u64;
                     for &w in graph.neighbors(v) {
                         heard1[(w >> 6) as usize] |= 1u64 << (w & 63);
                     }
                 }
                 if signal.on_channel2() {
                     report.beeps_channel2 += 1;
+                    edge_visits += graph.degree(v) as u64;
                     for &w in graph.neighbors(v) {
                         heard2[(w >> 6) as usize] |= 1u64 << (w & 63);
                     }
@@ -1264,6 +1383,8 @@ impl<'g, P: BeepingProtocol> Simulator<'g, P> {
                 }
             }
         }
+        self.work.node_execs += (n - self.inactive) as u64;
+        self.work.edge_visits += edge_visits;
         // Bookkeeping tail in the exact order of the phased path — span
         // closed, counter bumped, round advanced, hook run — so telemetry
         // totals and hook observations line up between the two paths even
@@ -1274,6 +1395,50 @@ impl<'g, P: BeepingProtocol> Simulator<'g, P> {
         self.round += 1;
         if let Some(hook) = self.hook.0.as_mut() {
             hook(graph, self.round, states);
+        }
+        report
+    }
+
+    /// Fused no-fault parallel round; see [`EngineMode::ParScatter`] and
+    /// the [`crate::par`] module docs. Only reachable when the channel is
+    /// reliable and the Byzantine plan is empty, exactly like
+    /// [`Simulator::fast_round`] — no channel/Byzantine randomness exists
+    /// to be drawn, and per-node streams are independent, so the result is
+    /// bit-identical to every sequential engine at any thread count.
+    fn par_round(&mut self, n: usize, channels: SimulatorChannels, threads: usize) -> RoundReport {
+        let par_span = self.telemetry.time("sim.phase.par");
+        let plan = match &mut self.par {
+            Some(plan) if plan.matches(&self.graph, threads) => plan,
+            slot => slot.insert(crate::par::ParPlan::build(&self.graph, threads)),
+        };
+        let graph: &Graph = &self.graph;
+        let full = self.duplex == DuplexMode::Full;
+        let (report, work) = crate::par::run_round(
+            plan,
+            graph,
+            &self.protocol,
+            channels,
+            full,
+            self.round + 1,
+            &self.active[..n],
+            &self.active_bits,
+            &mut self.states[..n],
+            &mut self.rngs[..n],
+            &mut self.sent[..n],
+            &mut self.heard[..n],
+            &mut self.scatter_heard1,
+            &mut self.scatter_heard2,
+        );
+        self.work.node_execs += work.node_execs;
+        self.work.edge_visits += work.edge_visits;
+        // Bookkeeping tail in the exact order of the other engines — span
+        // closed, counter bumped, round advanced, hook run (on the calling
+        // thread: worker threads never see the hook or telemetry).
+        drop(par_span);
+        self.telemetry.counter_add("sim.rounds.par", 1);
+        self.round += 1;
+        if let Some(hook) = self.hook.0.as_mut() {
+            hook(&self.graph, self.round, &self.states);
         }
         report
     }
@@ -1465,6 +1630,7 @@ impl<'g, P: BeepingProtocol> Simulator<'g, P> {
         fr.sent2.clear();
         fr.sent2.resize(words, 0);
         let full = self.duplex == DuplexMode::Full;
+        let mut edge_visits = 0u64;
         // Pass 1: live transmissions, fused with the heard scatter and the
         // persistent sent-bitset rebuild.
         for v in 0..n {
@@ -1486,17 +1652,19 @@ impl<'g, P: BeepingProtocol> Simulator<'g, P> {
             let bit = 1u64 << (v & 63);
             if signal.on_channel1() {
                 report.beeps_channel1 += 1;
-                fr.sent1[word] |= bit;
+                edge_visits += graph.degree(v) as u64;
                 for &w in graph.neighbors(v) {
                     heard1[(w >> 6) as usize] |= 1u64 << (w & 63);
                 }
+                fr.sent1[word] |= bit;
             }
             if signal.on_channel2() {
                 report.beeps_channel2 += 1;
-                fr.sent2[word] |= bit;
+                edge_visits += graph.degree(v) as u64;
                 for &w in graph.neighbors(v) {
                     heard2[(w >> 6) as usize] |= 1u64 << (w & 63);
                 }
+                fr.sent2[word] |= bit;
             }
         }
         // Pass 2: gather + state update + settle evaluation.
@@ -1544,6 +1712,8 @@ impl<'g, P: BeepingProtocol> Simulator<'g, P> {
         fr.total_lone1 = report.lone_beepers;
         fr.total_lone2 = report.lone_beepers_channel2;
         fr.synced = true;
+        self.work.node_execs += (n - self.inactive) as u64;
+        self.work.edge_visits += edge_visits;
         // Bookkeeping tail in phased-path order: span, counters, round, hook.
         drop(span);
         self.telemetry.counter_add("sim.rounds.frontier", 1);
@@ -1620,6 +1790,7 @@ impl<'g, P: BeepingProtocol> Simulator<'g, P> {
             }
         }
         for &v in &changed {
+            self.work.edge_visits += self.graph.degree(v) as u64;
             for &w in self.graph.neighbors(v) {
                 let w = w as NodeId;
                 if self.active[w] && !self.frontier.listener_mark[w] {
@@ -1672,6 +1843,7 @@ impl<'g, P: BeepingProtocol> Simulator<'g, P> {
             };
             if self.active[v] {
                 self.frontier_finish_node(v, executing);
+                self.work.node_execs += 1;
             }
         }
         // Return the scratch buffers for the next sparse round.
@@ -1829,6 +2001,14 @@ impl<'g, P: BeepingProtocol> Simulator<'g, P> {
         self.heard = checkpoint.heard.clone();
         self.graph = Cow::Owned(checkpoint.graph.clone());
         self.active = checkpoint.active.clone();
+        self.inactive = self.active.iter().filter(|&&a| !a).count();
+        self.active_bits = full_active_bits(self.active.len());
+        for (v, &a) in self.active.iter().enumerate() {
+            if !a {
+                self.active_bits[v >> 6] &= !(1u64 << (v & 63));
+            }
+        }
+        self.par = None; // topology may differ: replan worker ranges
         self.channel_state = checkpoint.channel_state;
         self.channel_rng = checkpoint.channel_rng.clone();
         self.byz_rng = checkpoint.byz_rng.clone();

@@ -1,7 +1,8 @@
-//! Differential tests: the scatter and frontier delivery engines must be
-//! bit-identical to the scalar reference — same `RoundReport`s, same
-//! signals, same states — per seed, on every graph, channel count, duplex
-//! mode, and fault plan.
+//! Differential tests: the scatter, frontier and parallel-scatter delivery
+//! engines must be bit-identical to the scalar reference — same
+//! `RoundReport`s, same signals, same states — per seed, on every graph,
+//! channel count, duplex mode, fault plan, and (for the parallel engine)
+//! every thread count.
 
 use beeping::byzantine::{ByzantineBehavior, ByzantinePlan};
 use beeping::channel::{ChannelFault, JammerKind};
@@ -144,8 +145,22 @@ fn apply_churn<P: BeepingProtocol<State = u64>>(sim: &mut Simulator<'_, P>, op: 
     }
 }
 
-/// Steps both engines `rounds` times under identical configuration and
-/// asserts bit-identity after every round.
+/// The non-reference engines a differential run compares against scalar:
+/// scatter, frontier, and the parallel scatter kernel at 1, 2 and
+/// `nproc` worker threads (bit-identity must hold at *every* thread count).
+fn candidate_engines() -> Vec<(&'static str, EngineMode)> {
+    let nproc = std::thread::available_parallelism().map_or(1, |p| p.get());
+    vec![
+        ("scatter", EngineMode::Scatter),
+        ("frontier", EngineMode::Frontier),
+        ("par(1)", EngineMode::ParScatter { threads: 1 }),
+        ("par(2)", EngineMode::ParScatter { threads: 2 }),
+        ("par(nproc)", EngineMode::ParScatter { threads: nproc }),
+    ]
+}
+
+/// Steps every engine `rounds` times under identical configuration and
+/// asserts bit-identity against the scalar reference after every round.
 #[allow(clippy::too_many_arguments)]
 fn assert_engines_identical(
     graph: &Graph,
@@ -166,53 +181,42 @@ fn assert_engines_identical(
             .with_engine(engine)
     };
     let mut scalar = mk(EngineMode::Scalar);
-    let mut scatter = mk(EngineMode::Scatter);
-    let mut frontier = mk(EngineMode::Frontier);
+    let mut others: Vec<(&str, Simulator<'_, RandomProbe>)> =
+        candidate_engines().into_iter().map(|(name, engine)| (name, mk(engine))).collect();
     for round in 1..=rounds {
         let a = scalar.step();
-        let b = scatter.step();
-        let c = frontier.step();
-        prop_assert_eq!(a, b, "scatter report diverged at round {}", round);
-        prop_assert_eq!(a, c, "frontier report diverged at round {}", round);
-        prop_assert_eq!(scalar.states(), scatter.states(), "states diverged at round {}", round);
-        prop_assert_eq!(
-            scalar.states(),
-            frontier.states(),
-            "frontier states diverged at round {}",
-            round
-        );
-        prop_assert_eq!(
-            scalar.last_sent(),
-            scatter.last_sent(),
-            "sent signals diverged at round {}",
-            round
-        );
-        prop_assert_eq!(
-            scalar.last_sent(),
-            frontier.last_sent(),
-            "frontier sent signals diverged at round {}",
-            round
-        );
-        prop_assert_eq!(
-            scalar.last_heard(),
-            scatter.last_heard(),
-            "heard signals diverged at round {}",
-            round
-        );
-        prop_assert_eq!(
-            scalar.last_heard(),
-            frontier.last_heard(),
-            "frontier heard signals diverged at round {}",
-            round
-        );
+        for (name, sim) in &mut others {
+            let b = sim.step();
+            prop_assert_eq!(a, b, "{} report diverged at round {}", *name, round);
+            prop_assert_eq!(
+                scalar.states(),
+                sim.states(),
+                "{} states diverged at round {}",
+                *name,
+                round
+            );
+            prop_assert_eq!(
+                scalar.last_sent(),
+                sim.last_sent(),
+                "{} sent signals diverged at round {}",
+                *name,
+                round
+            );
+            prop_assert_eq!(
+                scalar.last_heard(),
+                sim.last_heard(),
+                "{} heard signals diverged at round {}",
+                *name,
+                round
+            );
+        }
         for (_, op) in churn.iter().filter(|(r, _)| *r == round) {
             apply_churn(&mut scalar, op);
-            apply_churn(&mut scatter, op);
-            apply_churn(&mut frontier, op);
-            prop_assert_eq!(scalar.last_sent(), scatter.last_sent());
-            prop_assert_eq!(scalar.last_heard(), scatter.last_heard());
-            prop_assert_eq!(scalar.last_sent(), frontier.last_sent());
-            prop_assert_eq!(scalar.last_heard(), frontier.last_heard());
+            for (name, sim) in &mut others {
+                apply_churn(sim, op);
+                prop_assert_eq!(scalar.last_sent(), sim.last_sent(), "{} after churn", *name);
+                prop_assert_eq!(scalar.last_heard(), sim.last_heard(), "{} after churn", *name);
+            }
         }
     }
     Ok(())
@@ -312,7 +316,10 @@ fn assert_telemetry_transparent(
     let expected = match engine {
         EngineMode::Scatter if fault_free => "sim.rounds.fused",
         EngineMode::Frontier if fault_free => "sim.rounds.frontier",
-        EngineMode::Scatter | EngineMode::Frontier => "sim.rounds.scatter",
+        EngineMode::ParScatter { .. } if fault_free => "sim.rounds.par",
+        EngineMode::Scatter | EngineMode::Frontier | EngineMode::ParScatter { .. } => {
+            "sim.rounds.scatter"
+        }
         EngineMode::Scalar => "sim.rounds.scalar",
     };
     prop_assert_eq!(metrics.counter(expected), rounds, "counter {}", expected);
@@ -358,68 +365,63 @@ fn assert_engines_identical_moving(
             .with_engine(engine)
     };
     let mut scalar = mk(EngineMode::Scalar);
-    let mut scatter = mk(EngineMode::Scatter);
-    let mut frontier = mk(EngineMode::Frontier);
     let mut topo_a = DynamicTopology::new(n, spec, seed).unwrap();
-    let mut topo_b = DynamicTopology::new(n, spec, seed).unwrap();
-    let mut topo_c = DynamicTopology::new(n, spec, seed).unwrap();
+    // Each candidate engine drives its own DynamicTopology over the same
+    // motion spec; graphs, deltas and motion states must all stay equal.
+    let mut others: Vec<(&str, Simulator<'_, RandomProbe>, DynamicTopology)> = candidate_engines()
+        .into_iter()
+        .map(|(name, engine)| (name, mk(engine), DynamicTopology::new(n, spec, seed).unwrap()))
+        .collect();
     let victim = n / 2;
     for round in 1..=rounds {
         let a = scalar.step();
-        let b = scatter.step();
-        let c = frontier.step();
-        prop_assert_eq!(a, b, "scatter report diverged at round {}", round);
-        prop_assert_eq!(a, c, "frontier report diverged at round {}", round);
-        prop_assert_eq!(scalar.states(), scatter.states(), "states diverged at round {}", round);
-        prop_assert_eq!(
-            scalar.states(),
-            frontier.states(),
-            "frontier states diverged at round {}",
-            round
-        );
-        prop_assert_eq!(scalar.last_sent(), scatter.last_sent());
-        prop_assert_eq!(scalar.last_heard(), scatter.last_heard());
-        prop_assert_eq!(scalar.last_sent(), frontier.last_sent());
-        prop_assert_eq!(scalar.last_heard(), frontier.last_heard());
+        for (name, sim, _) in &mut others {
+            let b = sim.step();
+            prop_assert_eq!(a, b, "{} report diverged at round {}", *name, round);
+            prop_assert_eq!(
+                scalar.states(),
+                sim.states(),
+                "{} states diverged at round {}",
+                *name,
+                round
+            );
+            prop_assert_eq!(scalar.last_sent(), sim.last_sent(), "{} sent", *name);
+            prop_assert_eq!(scalar.last_heard(), sim.last_heard(), "{} heard", *name);
+        }
         if churn && round == 3 {
             scalar.node_leave(victim).unwrap();
-            scatter.node_leave(victim).unwrap();
-            frontier.node_leave(victim).unwrap();
+            for (_, sim, _) in &mut others {
+                sim.node_leave(victim).unwrap();
+            }
         }
         if churn && round == 7 {
             let mates_a = topo_a.join_neighbors(victim, scalar.active());
-            let mates_b = topo_b.join_neighbors(victim, scatter.active());
-            let mates_c = topo_c.join_neighbors(victim, frontier.active());
-            prop_assert_eq!(&mates_a, &mates_b, "join neighborhoods diverged");
-            prop_assert_eq!(&mates_a, &mates_c, "frontier join neighborhoods diverged");
             scalar.node_join(victim, &mates_a, 7).unwrap();
-            scatter.node_join(victim, &mates_b, 7).unwrap();
-            frontier.node_join(victim, &mates_c, 7).unwrap();
+            for (name, sim, topo) in &mut others {
+                let mates_b = topo.join_neighbors(victim, sim.active());
+                prop_assert_eq!(&mates_a, &mates_b, "{} join neighborhoods diverged", *name);
+                sim.node_join(victim, &mates_b, 7).unwrap();
+            }
         }
         let da = topo_a.advance(&mut scalar);
-        let db = topo_b.advance(&mut scatter);
-        let dc = topo_c.advance(&mut frontier);
-        prop_assert_eq!(&da, &db, "reconcile deltas diverged at round {}", round);
-        prop_assert_eq!(&da, &dc, "frontier reconcile deltas diverged at round {}", round);
-        prop_assert_eq!(scalar.graph(), scatter.graph(), "graphs diverged at round {}", round);
-        prop_assert_eq!(
-            scalar.graph(),
-            frontier.graph(),
-            "frontier graphs diverged at round {}",
-            round
-        );
-        prop_assert_eq!(
-            topo_a.state(),
-            topo_b.state(),
-            "motion states diverged at round {}",
-            round
-        );
-        prop_assert_eq!(
-            topo_a.state(),
-            topo_c.state(),
-            "frontier motion states diverged at round {}",
-            round
-        );
+        for (name, sim, topo) in &mut others {
+            let db = topo.advance(sim);
+            prop_assert_eq!(&da, &db, "{} reconcile deltas diverged at round {}", *name, round);
+            prop_assert_eq!(
+                scalar.graph(),
+                sim.graph(),
+                "{} graphs diverged at round {}",
+                *name,
+                round
+            );
+            prop_assert_eq!(
+                topo_a.state(),
+                topo.state(),
+                "{} motion states diverged at round {}",
+                *name,
+                round
+            );
+        }
     }
     Ok(())
 }
@@ -560,9 +562,14 @@ proptest! {
         spurious_p in 0.0f64..0.3,
         noisy in any::<bool>(),
         two in any::<bool>(),
-        engine_sel in 0usize..3,
+        engine_sel in 0usize..4,
     ) {
-        let engine = [EngineMode::Scalar, EngineMode::Scatter, EngineMode::Frontier][engine_sel];
+        let engine = [
+            EngineMode::Scalar,
+            EngineMode::Scatter,
+            EngineMode::Frontier,
+            EngineMode::ParScatter { threads: 2 },
+        ][engine_sel];
         let channels = if two { Channels::Two } else { Channels::One };
         let (channel, byz) = if noisy {
             (
@@ -618,9 +625,14 @@ proptest! {
     fn telemetry_is_transparent_on_moving_deployments(
         (n, spec) in arb_motion(),
         seed in any::<u64>(),
-        engine_sel in 0usize..3,
+        engine_sel in 0usize..4,
     ) {
-        let engine = [EngineMode::Scalar, EngineMode::Scatter, EngineMode::Frontier][engine_sel];
+        let engine = [
+            EngineMode::Scalar,
+            EngineMode::Scatter,
+            EngineMode::Frontier,
+            EngineMode::ParScatter { threads: 2 },
+        ][engine_sel];
         assert_telemetry_transparent_moving(n, &spec, seed, 16, engine)?;
     }
 

@@ -6,7 +6,11 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("L3.6-prominence-episodes");
     group.sample_size(10);
     group.bench_function("collect-n128-1seed", |b| {
-        b.iter(|| std::hint::black_box(experiments::lemma36::collect_episodes(128, 1, 20_000)))
+        b.iter(|| {
+            std::hint::black_box(
+                experiments::lemma36::collect_episodes(128, 1, 20_000).expect("valid BA"),
+            )
+        })
     });
     group.finish();
 }

@@ -31,7 +31,7 @@ fn bench(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("NOISE-churn");
     group.sample_size(10);
-    let plan = churn_plan(&g);
+    let plan = churn_plan(&g).expect("workload graph supports the churn schedule");
     let mut seed = 0u64;
     group.bench_function("leave-join-edge-flip@0.02", |b| {
         b.iter(|| {

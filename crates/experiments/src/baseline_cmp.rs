@@ -20,11 +20,48 @@
 //! loosens (the log N factor the paper's algorithm avoids); Luby is fastest
 //! (stronger model).
 
+use std::fmt::Write as _;
+
 use analysis::Summary;
 use baselines::{luby_mis, AfekStyleMis, JsxMis};
 use graphs::generators::GraphFamily;
-use mis::runner::{InitialLevels, RunConfig};
+use mis::runner::{InitialLevels, RunConfig, StabilizationError};
 use mis::{Algorithm1, Algorithm2, LmaxPolicy};
+
+/// Why one comparison row could not be measured: some algorithm exhausted
+/// its round budget on some seed. One bad row warns-and-skips; it must not
+/// abort the whole sweep.
+#[derive(Debug)]
+pub enum BaselineError {
+    /// Algorithm 1/2 exhausted the stabilization budget.
+    Stabilization(StabilizationError),
+    /// A clean-start baseline failed to terminate within the budget.
+    BudgetExhausted {
+        /// Column label of the failing baseline.
+        algorithm: &'static str,
+        /// The seed it failed on.
+        seed: u64,
+    },
+}
+
+impl std::fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BaselineError::Stabilization(e) => write!(f, "{e}"),
+            BaselineError::BudgetExhausted { algorithm, seed } => {
+                write!(f, "{algorithm} did not terminate within budget (seed {seed})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+impl From<StabilizationError> for BaselineError {
+    fn from(e: StabilizationError) -> BaselineError {
+        BaselineError::Stabilization(e)
+    }
+}
 
 /// Mean rounds for each algorithm at one size.
 #[derive(Debug, Clone)]
@@ -45,8 +82,9 @@ pub struct ComparisonRow {
     pub luby: Summary,
 }
 
-/// Measures one comparison row.
-pub fn compare_at(n: usize, seeds: u64, graph_seed: u64) -> ComparisonRow {
+/// Measures one comparison row. Errors (instead of panicking) when any
+/// algorithm exhausts its budget on any seed.
+pub fn compare_at(n: usize, seeds: u64, graph_seed: u64) -> Result<ComparisonRow, BaselineError> {
     let family = GraphFamily::Gnp { avg_degree: 8.0 };
     let g = family.generate(n, graph_seed);
     let alg1 = Algorithm1::new(&g, LmaxPolicy::global_delta(&g));
@@ -62,18 +100,20 @@ pub fn compare_at(n: usize, seeds: u64, graph_seed: u64) -> ComparisonRow {
     let mut rounds_afek = Vec::new();
     let mut rounds_afek_loose = Vec::new();
     let mut rounds_luby = Vec::new();
+    let exhausted =
+        |algorithm: &'static str, seed| BaselineError::BudgetExhausted { algorithm, seed };
     for seed in 0..seeds {
         let config = RunConfig::new(seed).with_init(InitialLevels::Random).with_max_rounds(budget);
-        rounds1.push(alg1.run(&g, config.clone()).expect("alg1 stabilizes").stabilization_round);
-        rounds2.push(alg2.run(&g, config).expect("alg2 stabilizes").stabilization_round);
-        rounds_jsx.push(jsx.run_clean(&g, seed, budget).expect("jsx terminates").1);
-        rounds_afek.push(afek.run(&g, seed, budget).expect("afek terminates").1);
+        rounds1.push(alg1.run(&g, config.clone())?.stabilization_round);
+        rounds2.push(alg2.run(&g, config)?.stabilization_round);
+        rounds_jsx.push(jsx.run_clean(&g, seed, budget).ok_or(exhausted("jsx", seed))?.1);
+        rounds_afek.push(afek.run(&g, seed, budget).ok_or(exhausted("afek", seed))?.1);
         rounds_afek_loose
-            .push(afek_loose.run(&g, seed, budget).expect("afek (loose) terminates").1);
-        let (_, iters) = luby_mis(&g, seed, budget).expect("luby terminates");
+            .push(afek_loose.run(&g, seed, budget).ok_or(exhausted("afek (loose)", seed))?.1);
+        let (_, iters) = luby_mis(&g, seed, budget).ok_or(exhausted("luby", seed))?;
         rounds_luby.push(2 * iters);
     }
-    ComparisonRow {
+    Ok(ComparisonRow {
         n: g.len(),
         alg1: Summary::of_counts(rounds1),
         alg2: Summary::of_counts(rounds2),
@@ -81,7 +121,7 @@ pub fn compare_at(n: usize, seeds: u64, graph_seed: u64) -> ComparisonRow {
         afek: Summary::of_counts(rounds_afek),
         afek_loose: Summary::of_counts(rounds_afek_loose),
         luby: Summary::of_counts(rounds_luby),
-    }
+    })
 }
 
 /// Runs the experiment and returns the printed report.
@@ -107,17 +147,23 @@ pub fn run(quick: bool) -> String {
         "AfekLoose/Alg1",
     ]);
     for (i, &n) in sizes.iter().enumerate() {
-        let row = compare_at(n, seeds, crate::common::graph_seed(i));
-        table.row([
-            row.n.to_string(),
-            format!("{:.1}", row.alg1.mean),
-            format!("{:.1}", row.alg2.mean),
-            format!("{:.1}", row.jsx.mean),
-            format!("{:.1}", row.afek.mean),
-            format!("{:.1}", row.afek_loose.mean),
-            format!("{:.1}", row.luby.mean),
-            format!("{:.1}×", row.afek_loose.mean / row.alg1.mean),
-        ]);
+        match compare_at(n, seeds, crate::common::graph_seed(i)) {
+            Ok(row) => {
+                table.row([
+                    row.n.to_string(),
+                    format!("{:.1}", row.alg1.mean),
+                    format!("{:.1}", row.alg2.mean),
+                    format!("{:.1}", row.jsx.mean),
+                    format!("{:.1}", row.afek.mean),
+                    format!("{:.1}", row.afek_loose.mean),
+                    format!("{:.1}", row.luby.mean),
+                    format!("{:.1}×", row.afek_loose.mean / row.alg1.mean),
+                ]);
+            }
+            Err(e) => {
+                let _ = writeln!(out, "warning: skipping n={n}: {e}");
+            }
+        }
     }
     out.push_str(&table.to_string());
     out.push_str(
@@ -134,7 +180,7 @@ mod tests {
 
     #[test]
     fn comparison_row_is_complete() {
-        let row = compare_at(64, 3, 0);
+        let row = compare_at(64, 3, 0).expect("terminates");
         assert_eq!(row.n, 64);
         for s in [&row.alg1, &row.alg2, &row.jsx, &row.afek, &row.afek_loose, &row.luby] {
             assert!(s.mean > 0.0);
@@ -146,7 +192,7 @@ mod tests {
     fn luby_beats_afek_in_rounds() {
         // The LOCAL model is strictly stronger; Luby should need far fewer
         // rounds than the epoch-structured beeping baseline.
-        let row = compare_at(128, 5, 1);
+        let row = compare_at(128, 5, 1).expect("terminates");
         assert!(row.luby.mean < row.afek.mean);
     }
 

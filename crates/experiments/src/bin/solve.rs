@@ -69,7 +69,10 @@ fn load_graph(opts: &Options) -> Result<Graph, String> {
         return graphs::edgelist::read_edge_list(std::io::BufReader::new(file))
             .map_err(|e| format!("cannot parse {path}: {e}"));
     }
-    let spec = opts.generate.as_deref().expect("validated in parse_args");
+    let spec = opts
+        .generate
+        .as_deref()
+        .ok_or_else(|| "one of --graph <file> or --generate <spec> is required".to_string())?;
     let parts: Vec<&str> = spec.split(':').collect();
     let parse_n = |s: &str| s.parse::<usize>().map_err(|e| format!("bad size in {spec}: {e}"));
     match parts.as_slice() {

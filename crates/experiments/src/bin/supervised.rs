@@ -33,7 +33,7 @@ use mis::{Algorithm1, Algorithm2, LmaxPolicy};
 
 fn usage() -> &'static str {
     "usage: supervised [--family cycle|regular|gnp] [--n <nodes>] [--seed <u64>]\n\
-     \x20                 [--algorithm alg1|alg2] [--engine scalar|scatter]\n\
+     \x20                 [--algorithm alg1|alg2] [--engine scalar|scatter|frontier|par[:N]]\n\
      \x20                 [--max-rounds <r>] [--motion <speed>] [--checkpoint-dir <dir>]\n\
      \x20                 [--checkpoint-every <rounds>] [--resume] [--kill-at <round>]\n\
      \x20                 [--wall-clock-limit <secs>] [--max-retries <k>]\n\
@@ -89,13 +89,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--n" => args.n = value()?.parse().map_err(|_| "--n expects an integer")?,
             "--seed" => args.seed = value()?.parse().map_err(|_| "--seed expects a u64")?,
             "--algorithm" => args.algorithm = value()?.clone(),
-            "--engine" => {
-                args.engine = match value()?.as_str() {
-                    "scalar" => EngineMode::Scalar,
-                    "scatter" => EngineMode::Scatter,
-                    other => return Err(format!("unknown engine {other:?}")),
-                }
-            }
+            "--engine" => args.engine = parse_engine(value()?)?,
             "--max-rounds" => {
                 args.max_rounds = value()?.parse().map_err(|_| "--max-rounds expects a u64")?
             }
@@ -128,6 +122,32 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         }
     }
     Ok(args)
+}
+
+/// Parses `--engine`: `scalar`, `scatter`, `frontier`, or `par[:N]` where
+/// `N` is the worker-thread count (defaults to the machine's available
+/// parallelism). All engines are bit-identical per seed, so the choice
+/// never changes the printed digest — only the wall-clock.
+fn parse_engine(name: &str) -> Result<EngineMode, String> {
+    match name {
+        "scalar" => return Ok(EngineMode::Scalar),
+        "scatter" => return Ok(EngineMode::Scatter),
+        "frontier" => return Ok(EngineMode::Frontier),
+        "par" => {
+            let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
+            return Ok(EngineMode::ParScatter { threads });
+        }
+        _ => {}
+    }
+    if let Some(spec) = name.strip_prefix("par:") {
+        let threads: usize =
+            spec.parse().map_err(|_| format!("par:{spec}: thread count must be an integer"))?;
+        if threads == 0 {
+            return Err("par:0: thread count must be at least 1".to_string());
+        }
+        return Ok(EngineMode::ParScatter { threads });
+    }
+    Err(format!("unknown engine {name:?} (scalar|scatter|frontier|par[:N])"))
 }
 
 fn family(name: &str) -> Result<GraphFamily, String> {

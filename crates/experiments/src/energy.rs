@@ -13,7 +13,7 @@
 
 use analysis::Summary;
 use graphs::generators::GraphFamily;
-use mis::runner::{InitialLevels, RunConfig};
+use mis::runner::{InitialLevels, RunConfig, StabilizationError};
 use mis::{Algorithm1, Algorithm2, LmaxPolicy};
 
 /// Energy measurements for one algorithm at one size.
@@ -28,8 +28,13 @@ pub struct EnergyPoint {
     pub steady_state_per_round: Summary,
 }
 
-/// Measures one `(algorithm, n)` cell.
-pub fn measure_energy(g: &graphs::Graph, two_channel: bool, seeds: u64) -> EnergyPoint {
+/// Measures one `(algorithm, n)` cell. Errors (instead of panicking) when
+/// any seed exhausts its stabilization budget.
+pub fn measure_energy(
+    g: &graphs::Graph,
+    two_channel: bool,
+    seeds: u64,
+) -> Result<EnergyPoint, StabilizationError> {
     let mut rounds = Vec::new();
     let mut beeps = Vec::new();
     let mut steady = Vec::new();
@@ -37,7 +42,7 @@ pub fn measure_energy(g: &graphs::Graph, two_channel: bool, seeds: u64) -> Energ
         let config = RunConfig::new(seed).with_init(InitialLevels::Random);
         let (stab, total_beeps, mis_size) = if two_channel {
             let algo = Algorithm2::new(g, LmaxPolicy::two_hop_degree(g));
-            let o = algo.run(g, config).expect("stabilizes");
+            let o = algo.run(g, config)?;
             // For Algorithm 2 the steady-state signal is on channel 2; count
             // both channels for the transient total.
             let total: usize =
@@ -45,18 +50,18 @@ pub fn measure_energy(g: &graphs::Graph, two_channel: bool, seeds: u64) -> Energ
             (o.stabilization_round, total, graphs::mis::size(&o.mis))
         } else {
             let algo = Algorithm1::new(g, LmaxPolicy::global_delta(g));
-            let o = algo.run(g, config).expect("stabilizes");
+            let o = algo.run(g, config)?;
             (o.stabilization_round, o.trace.total_beeps_channel1(), graphs::mis::size(&o.mis))
         };
         rounds.push(stab);
         beeps.push((total_beeps as f64 / g.len() as f64 * 1000.0) as u64); // milli-beeps
         steady.push((mis_size as f64 / g.len() as f64 * 1000.0) as u64);
     }
-    EnergyPoint {
+    Ok(EnergyPoint {
         rounds: Summary::of_counts(rounds),
         beeps_per_node: Summary::of_counts(beeps),
         steady_state_per_round: Summary::of_counts(steady),
-    }
+    })
 }
 
 /// Runs the experiment and returns the printed report.
@@ -76,7 +81,13 @@ pub fn run(quick: bool) -> String {
     for (i, &n) in sizes.iter().enumerate() {
         let g = family.generate(n, crate::common::graph_seed(i));
         for (label, two_channel) in [("Alg 1", false), ("Alg 2 (2ch)", true)] {
-            let p = measure_energy(&g, two_channel, seeds);
+            let p = match measure_energy(&g, two_channel, seeds) {
+                Ok(p) => p,
+                Err(e) => {
+                    out.push_str(&format!("warning: skipping n={n} {label}: {e}\n"));
+                    continue;
+                }
+            };
             table.row([
                 g.len().to_string(),
                 label.to_string(),
@@ -103,7 +114,7 @@ mod tests {
     #[test]
     fn energy_is_bounded_by_rounds() {
         let g = GraphFamily::Geometric { avg_degree: 8.0 }.generate(128, 1);
-        let p = measure_energy(&g, false, 5);
+        let p = measure_energy(&g, false, 5).expect("stabilizes");
         // A node beeps at most once per round.
         assert!(p.beeps_per_node.mean / 1000.0 <= p.rounds.mean);
         assert!(p.beeps_per_node.mean > 0.0);

@@ -81,8 +81,13 @@ pub fn run(quick: bool) -> String {
     let adaptive = AdaptiveMis::new();
     let fresh = vec![mis::adaptive::AdaptiveState::fresh(); g.len()];
     let mut sim = beeping::Simulator::new(&g, adaptive, fresh, 1);
-    sim.run_until(2_000_000, |s| adaptive.is_stabilized(&g, s.states()))
-        .expect("stabilizes from fresh minimal caps");
+    if sim.run_until(2_000_000, |s| adaptive.is_stabilized(&g, s.states())).is_none() {
+        out.push_str(
+            "\nwarning: skipping cap-learning section: the fresh-cap run did not \
+             stabilize within its 2000000-round budget\n",
+        );
+        return out;
+    }
     let caps: Vec<f64> = sim.states().iter().map(|s| s.cap as f64).collect();
     let prescribed: Vec<f64> =
         g.nodes().map(|v| 2.0 * (mis::levels::log2_ceil(g.degree(v)) as f64) + 30.0).collect();

@@ -72,14 +72,24 @@ impl Regime {
     }
 }
 
-/// Collects prominence episodes from executions on a BA graph.
-pub fn collect_episodes(n: usize, seeds: u64, horizon: u64) -> Vec<Episode> {
+/// Collects prominence episodes from executions on a BA graph. Errors
+/// (instead of panicking) when the BA parameters are invalid for this `n`.
+pub fn collect_episodes(
+    n: usize,
+    seeds: u64,
+    horizon: u64,
+) -> Result<Vec<Episode>, graphs::GraphError> {
     collect_episodes_in(n, seeds, horizon, Regime::OwnDegree)
 }
 
 /// Collects prominence episodes under an explicit ℓmax regime.
-pub fn collect_episodes_in(n: usize, seeds: u64, horizon: u64, regime: Regime) -> Vec<Episode> {
-    let g = graphs::generators::scale_free::barabasi_albert(n, 3, 0xAB).expect("valid BA");
+pub fn collect_episodes_in(
+    n: usize,
+    seeds: u64,
+    horizon: u64,
+    regime: Regime,
+) -> Result<Vec<Episode>, graphs::GraphError> {
+    let g = graphs::generators::scale_free::barabasi_albert(n, 3, 0xAB)?;
     let mut episodes = Vec::new();
     for seed in 0..seeds {
         let algo = Algorithm1::new(&g, regime.policy(&g));
@@ -141,7 +151,7 @@ pub fn collect_episodes_in(n: usize, seeds: u64, horizon: u64, regime: Regime) -
             }
         }
     }
-    episodes
+    Ok(episodes)
 }
 
 /// Runs the experiment and returns the printed report.
@@ -152,7 +162,13 @@ pub fn run(quick: bool) -> String {
         out.push_str(&format!(
             "\n## regime {regime:?}: Barabási–Albert(n = {n}, m = 3), {seeds} seeds\n\n"
         ));
-        let episodes = collect_episodes_in(n, seeds, horizon, regime);
+        let episodes = match collect_episodes_in(n, seeds, horizon, regime) {
+            Ok(episodes) => episodes,
+            Err(e) => {
+                out.push_str(&format!("warning: skipping regime {regime:?}: {e}\n"));
+                continue;
+            }
+        };
         let total = episodes.len().max(1);
         let resolved_in = episodes.iter().filter(|e| e.resolved_in).count();
         let within_horizon = episodes
@@ -206,7 +222,7 @@ mod tests {
 
     #[test]
     fn episodes_are_recorded_and_consistent() {
-        let eps = collect_episodes(48, 2, 5_000);
+        let eps = collect_episodes(48, 2, 5_000).expect("valid BA");
         assert!(!eps.is_empty());
         for e in &eps {
             assert!(e.duration >= 1);
@@ -221,7 +237,7 @@ mod tests {
 
     #[test]
     fn minimal_regime_has_macroscopic_eta_prime() {
-        let eps = collect_episodes_in(96, 4, 10_000, Regime::Minimal);
+        let eps = collect_episodes_in(96, 4, 10_000, Regime::Minimal).expect("valid BA");
         assert!(!eps.is_empty());
         // Part (b)'s bound must be non-trivial in this regime...
         assert!(

@@ -28,14 +28,49 @@
 //! Every churn event re-stabilizes in finite time, and violations are
 //! confined to the transients.
 
+use std::fmt::Write as _;
+
 use beeping::channel::{ChannelFault, JammerKind};
 use beeping::churn::{ChurnAction, ChurnPlan};
 use graphs::generators::GraphFamily;
 use graphs::Graph;
 use mis::recovery::{run_noisy, Disturbance, NoisyRunConfig};
-use mis::runner::RunConfig;
+use mis::runner::{RunConfig, StabilizationError};
 use mis::{Algorithm1, LmaxPolicy};
 use telemetry::Telemetry;
+
+/// Why one noise cell could not be measured. One bad cell warns-and-skips
+/// instead of aborting the whole sweep.
+#[derive(Debug)]
+pub enum NoiseError {
+    /// The zero-noise acceptance baseline exhausted its round budget.
+    Stabilization(StabilizationError),
+    /// A run that claimed to stabilize carries no recovered initial
+    /// segment — a recovery-subsystem inconsistency, not a workload fact.
+    MissingRecovery {
+        /// The seed the inconsistent run used.
+        seed: u64,
+    },
+}
+
+impl std::fmt::Display for NoiseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NoiseError::Stabilization(e) => write!(f, "{e}"),
+            NoiseError::MissingRecovery { seed } => {
+                write!(f, "stabilized run has no recovered initial segment (seed {seed})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NoiseError {}
+
+impl From<StabilizationError> for NoiseError {
+    fn from(e: StabilizationError) -> NoiseError {
+        NoiseError::Stabilization(e)
+    }
+}
 
 /// The drop probabilities of the sweep (section 1).
 pub fn drop_rates() -> Vec<f64> {
@@ -80,7 +115,7 @@ fn measure_noisy(
     seeds: u64,
     budget: u64,
     check_zero_noise: bool,
-) -> Cell {
+) -> Result<Cell, NoiseError> {
     let mut rounds = Vec::new();
     let mut diverged = 0;
     for seed in 0..seeds {
@@ -91,12 +126,11 @@ fn measure_noisy(
             let stab = outcome.events[0]
                 .outcome
                 .recovered_rounds()
-                .expect("stabilized run has a recovered initial segment");
+                .ok_or(NoiseError::MissingRecovery { seed })?;
             if check_zero_noise {
                 // Acceptance check: the noise subsystem at zero noise is
                 // bit-identical to the noise-free runner.
-                let base = mis::runner::run(g, algo, RunConfig::new(seed).with_max_rounds(budget))
-                    .expect("noise-free baseline stabilizes");
+                let base = mis::runner::run(g, algo, RunConfig::new(seed).with_max_rounds(budget))?;
                 assert_eq!(
                     stab, base.stabilization_round,
                     "zero-noise NOISE run diverged from the reliable runner (seed {seed})"
@@ -107,7 +141,7 @@ fn measure_noisy(
             diverged += 1;
         }
     }
-    Cell { rounds, diverged }
+    Ok(Cell { rounds, diverged })
 }
 
 /// Runs the experiment and returns the printed report.
@@ -137,7 +171,13 @@ pub fn run_with(quick: bool, tele: &Telemetry) -> String {
         let mut threshold: Option<f64> = None;
         for &p in &drop_rates() {
             let channel = ChannelFault::reliable().with_drop(p);
-            let cell = measure_noisy(&g, &algo, &channel, seeds, budget, p == 0.0);
+            let cell = match measure_noisy(&g, &algo, &channel, seeds, budget, p == 0.0) {
+                Ok(cell) => cell,
+                Err(e) => {
+                    let _ = writeln!(out, "warning: skipping {family} drop p={p:.3}: {e}");
+                    continue;
+                }
+            };
             if cell.diverged > 0 && threshold.is_none() {
                 threshold = Some(p);
             }
@@ -170,7 +210,13 @@ pub fn run_with(quick: bool, tele: &Telemetry) -> String {
         let algo = Algorithm1::new(&g, LmaxPolicy::global_delta(&g));
         for &p in &spurious_rates() {
             let channel = ChannelFault::reliable().with_spurious(p);
-            let cell = measure_noisy(&g, &algo, &channel, seeds, budget, false);
+            let cell = match measure_noisy(&g, &algo, &channel, seeds, budget, false) {
+                Ok(cell) => cell,
+                Err(e) => {
+                    let _ = writeln!(out, "warning: skipping {family} spurious p={p:.3}: {e}");
+                    continue;
+                }
+            };
             let (mean, p95) = if cell.rounds.is_empty() {
                 ("-".to_string(), "-".to_string())
             } else {
@@ -210,9 +256,23 @@ pub fn run_with(quick: bool, tele: &Telemetry) -> String {
                     .with_channel(channel.clone());
                 let outcome = run_noisy(&g, &algo, &config);
                 if outcome.stabilized {
-                    stabilized += 1;
-                    rounds.push(outcome.events[0].outcome.recovered_rounds().unwrap());
-                    jammer_in_mis += usize::from(outcome.mis[..k].iter().all(|&m| m));
+                    // A stabilized run without a recovered segment is a
+                    // recovery-subsystem inconsistency; drop the sample
+                    // with a warning instead of aborting the sweep.
+                    match outcome.events[0].outcome.recovered_rounds() {
+                        Some(r) => {
+                            stabilized += 1;
+                            rounds.push(r);
+                            jammer_in_mis += usize::from(outcome.mis[..k].iter().all(|&m| m));
+                        }
+                        None => {
+                            let _ = writeln!(
+                                out,
+                                "warning: dropping {kind:?} x{k} seed {seed}: stabilized run \
+                                 has no recovered initial segment"
+                            );
+                        }
+                    }
                 }
             }
             let mean = if rounds.is_empty() {
@@ -233,7 +293,16 @@ pub fn run_with(quick: bool, tele: &Telemetry) -> String {
 
     // Section 4: churn under noise, per-event recovery.
     out.push_str("\n## topology churn on a noisy channel (drop p = 0.02)\n\n");
-    let plan = churn_plan(&g);
+    let plan = match churn_plan(&g) {
+        Some(plan) => plan,
+        None => {
+            let _ = writeln!(
+                out,
+                "warning: skipping churn composite: workload graph has no edge avoiding node 1"
+            );
+            return out;
+        }
+    };
     let channel = ChannelFault::reliable().with_drop(0.02);
     let n_events = plan.events().len() + 1;
     let mut recoveries: Vec<Vec<u64>> = vec![Vec::new(); n_events];
@@ -292,18 +361,19 @@ pub fn run_with(quick: bool, tele: &Telemetry) -> String {
 
 /// The composite churn schedule: node 1 departs and rejoins with its
 /// original edges, then one edge is flipped out and back. Events are spaced
-/// far enough apart that each segment can re-stabilize.
-pub fn churn_plan(g: &Graph) -> ChurnPlan {
+/// far enough apart that each segment can re-stabilize. Returns `None` when
+/// the graph has no edge avoiding node 1 (a degenerate workload the
+/// schedule cannot be built on).
+pub fn churn_plan(g: &Graph) -> Option<ChurnPlan> {
     let rejoin: Vec<usize> = g.neighbors(1).iter().map(|&u| u as usize).collect();
-    let (eu, ev) = g
-        .edges()
-        .find(|&(u, v)| u != 1 && v != 1)
-        .expect("workload graph has an edge avoiding node 1");
-    ChurnPlan::new()
-        .with_event(2_000, ChurnAction::NodeLeave(1))
-        .with_event(4_000, ChurnAction::NodeJoin(1, rejoin))
-        .with_event(6_000, ChurnAction::RemoveEdge(eu, ev))
-        .with_event(8_000, ChurnAction::AddEdge(eu, ev))
+    let (eu, ev) = g.edges().find(|&(u, v)| u != 1 && v != 1)?;
+    Some(
+        ChurnPlan::new()
+            .with_event(2_000, ChurnAction::NodeLeave(1))
+            .with_event(4_000, ChurnAction::NodeJoin(1, rejoin))
+            .with_event(6_000, ChurnAction::RemoveEdge(eu, ev))
+            .with_event(8_000, ChurnAction::AddEdge(eu, ev)),
+    )
 }
 
 #[cfg(test)]
@@ -329,7 +399,7 @@ mod tests {
             let g = family.generate(48, crate::common::graph_seed(i));
             let algo = Algorithm1::new(&g, LmaxPolicy::global_delta(&g));
             let channel = ChannelFault::reliable().with_drop(0.05);
-            let cell = measure_noisy(&g, &algo, &channel, 5, 200_000, false);
+            let cell = measure_noisy(&g, &algo, &channel, 5, 200_000, false).expect("measurable");
             assert_eq!(cell.diverged, 0, "family {family} diverged at p=0.05");
             assert!(!cell.rounds.is_empty());
         }
@@ -365,7 +435,7 @@ mod tests {
         let algo = Algorithm1::new(&g, LmaxPolicy::global_delta(&g));
         let base = NoisyRunConfig::new(0)
             .with_max_rounds(200_000)
-            .with_churn(churn_plan(&g))
+            .with_churn(churn_plan(&g).expect("workload graph supports the churn schedule"))
             .with_channel(ChannelFault::reliable().with_drop(0.02));
         let plain = run_noisy(&g, &algo, &base);
         let tele = Telemetry::enabled(TeleConfig::default());
@@ -392,7 +462,7 @@ mod tests {
         let algo = Algorithm1::new(&g, LmaxPolicy::global_delta(&g));
         let config = NoisyRunConfig::new(0)
             .with_max_rounds(200_000)
-            .with_churn(churn_plan(&g))
+            .with_churn(churn_plan(&g).expect("workload graph supports the churn schedule"))
             .with_channel(ChannelFault::reliable().with_drop(0.02));
         let outcome = run_noisy(&g, &algo, &config);
         assert!(outcome.stabilized);

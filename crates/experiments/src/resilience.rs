@@ -28,8 +28,8 @@ use graphs::generators::GraphFamily;
 use graphs::Graph;
 use harness::crash::killed_then_resumed;
 use harness::snapshot::fnv1a64;
-use harness::supervisor::{supervise, RunOutcome, SupervisorConfig};
-use mis::resumable::{ResumableConfig, ResumableOutcome, ResumableRun};
+use harness::supervisor::{supervise, RunOutcome, SupervisorConfig, SupervisorError};
+use mis::resumable::{PlanError, ResumableConfig, ResumableOutcome, ResumableRun};
 use mis::{Algorithm1, LmaxPolicy};
 use telemetry::Stopwatch;
 
@@ -134,35 +134,48 @@ impl OverheadPoint {
     }
 }
 
-fn bare_run(g: &Graph, algo: &Algorithm1, config: ResumableConfig) -> (ResumableOutcome, f64) {
+fn bare_run(
+    g: &Graph,
+    algo: &Algorithm1,
+    config: ResumableConfig,
+) -> Result<(ResumableOutcome, f64), SupervisorError> {
     let watch = Stopwatch::start();
-    let mut run = ResumableRun::new(g, algo, config).expect("valid workload plans");
+    let mut run = ResumableRun::new(g, algo, config)?;
     run.run_to_completion();
     let secs = watch.elapsed_secs();
-    (run.outcome().expect("finished"), secs)
+    match run.outcome() {
+        Some(outcome) => Ok((outcome, secs)),
+        // Unreachable after run_to_completion; surfaced as a typed error so
+        // a surprise cannot abort the surrounding sweep.
+        None => Err(SupervisorError::Plan(PlanError::Motion(
+            "run finished without an outcome".to_string(),
+        ))),
+    }
 }
 
 /// Times the bare workload `reps` times and keeps the fastest (scheduler
-/// noise only ever slows a run down).
+/// noise only ever slows a run down). Errors when the workload
+/// configuration is invalid.
 pub fn measure_bare(
     g: &Graph,
     algo: &Algorithm1,
     config: &ResumableConfig,
     reps: usize,
-) -> (ResumableOutcome, f64) {
-    let mut best: Option<(ResumableOutcome, f64)> = None;
-    for _ in 0..reps.max(1) {
-        let (outcome, secs) = bare_run(g, algo, config.clone());
-        if best.as_ref().is_none_or(|(_, b)| secs < *b) {
-            best = Some((outcome, secs));
+) -> Result<(ResumableOutcome, f64), SupervisorError> {
+    let mut best = bare_run(g, algo, config.clone())?;
+    for _ in 1..reps.max(1) {
+        let (outcome, secs) = bare_run(g, algo, config.clone())?;
+        if secs < best.1 {
+            best = (outcome, secs);
         }
     }
-    best.expect("reps >= 1")
+    Ok(best)
 }
 
 /// Measures one cadence (best of `reps` supervised runs) against the
 /// already-timed bare outcome, asserting the observables agree before
-/// trusting the timing.
+/// trusting the timing. Errors when supervision itself fails (invalid
+/// plans, unwritable snapshots).
 pub fn measure_cadence(
     g: &Graph,
     algo: &Algorithm1,
@@ -171,13 +184,13 @@ pub fn measure_cadence(
     dir: &std::path::Path,
     bare: &(ResumableOutcome, f64),
     reps: usize,
-) -> OverheadPoint {
+) -> Result<OverheadPoint, SupervisorError> {
     let (bare_outcome, bare_secs) = bare;
     let sup = SupervisorConfig::new().with_checkpoint_every(every).with_checkpoint_dir(dir);
     let mut supervised_secs = f64::INFINITY;
     for _ in 0..reps.max(1) {
         let watch = Stopwatch::start();
-        let outcome = supervise(g, algo, config.clone(), &sup).expect("valid workload plans");
+        let outcome = supervise(g, algo, config.clone(), &sup)?;
         let secs = watch.elapsed_secs();
         supervised_secs = supervised_secs.min(secs);
 
@@ -196,7 +209,7 @@ pub fn measure_cadence(
     let snapshot_bytes = std::fs::metadata(&snapshot).map(|m| m.len()).unwrap_or(0);
     // +1 for the round-0 snapshot the supervisor always writes.
     let checkpoints = bare_outcome.rounds_run / every + 1;
-    OverheadPoint { every, bare_secs: *bare_secs, supervised_secs, checkpoints, snapshot_bytes }
+    Ok(OverheadPoint { every, bare_secs: *bare_secs, supervised_secs, checkpoints, snapshot_bytes })
 }
 
 /// Renders the measured points as the committed JSON artifact (fixed field
@@ -248,11 +261,13 @@ pub fn run(quick: bool) -> String {
     let config = workload_config(seed, rounds);
 
     // Scratch under the workspace build tree regardless of the CWD the
-    // binary or test harness runs from.
+    // binary or test harness runs from. `ancestors().nth(2)` of the crate
+    // manifest dir always exists; fall back to the CWD if it somehow ends
+    // at the filesystem root.
     let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .ancestors()
         .nth(2)
-        .expect("workspace root exists")
+        .unwrap_or_else(|| std::path::Path::new("."))
         .join("target")
         .join("resil-scratch");
     if let Err(e) = std::fs::create_dir_all(&dir) {
@@ -262,21 +277,33 @@ pub fn run(quick: bool) -> String {
 
     // Overhead sweep: one bare timing (best of N), reused for every cadence.
     let reps = timing_reps(quick);
-    let bare = measure_bare(&g, &algo, &config, reps);
+    let bare = match measure_bare(&g, &algo, &config, reps) {
+        Ok(bare) => bare,
+        Err(e) => {
+            let _ = writeln!(out, "error: bare workload failed: {e}");
+            return out;
+        }
+    };
     let mut points = Vec::new();
     let mut table =
         analysis::Table::new(["every", "bare s", "supervised s", "overhead", "ckpts", "snap KiB"]);
     for every in cadences(quick) {
-        let p = measure_cadence(&g, &algo, &config, every, &dir, &bare, reps);
-        table.row([
-            p.every.to_string(),
-            format!("{:.3}", p.bare_secs),
-            format!("{:.3}", p.supervised_secs),
-            format!("{:+.1}%", p.overhead_frac() * 100.0),
-            p.checkpoints.to_string(),
-            format!("{:.1}", p.snapshot_bytes as f64 / 1024.0),
-        ]);
-        points.push(p);
+        match measure_cadence(&g, &algo, &config, every, &dir, &bare, reps) {
+            Ok(p) => {
+                table.row([
+                    p.every.to_string(),
+                    format!("{:.3}", p.bare_secs),
+                    format!("{:.3}", p.supervised_secs),
+                    format!("{:+.1}%", p.overhead_frac() * 100.0),
+                    p.checkpoints.to_string(),
+                    format!("{:.1}", p.snapshot_bytes as f64 / 1024.0),
+                ]);
+                points.push(p);
+            }
+            Err(e) => {
+                let _ = writeln!(out, "warning: skipping cadence {every}: {e}");
+            }
+        }
     }
     out.push_str("\n## supervision overhead (lower is better)\n\n");
     out.push_str(&format!("{table}"));
@@ -327,10 +354,10 @@ mod tests {
     fn digest_is_deterministic_and_sensitive() {
         let g = workload_graph(64);
         let algo = Algorithm1::new(&g, LmaxPolicy::global_delta(&g));
-        let (a, _) = bare_run(&g, &algo, workload_config(1, 64));
-        let (b, _) = bare_run(&g, &algo, workload_config(1, 64));
+        let (a, _) = bare_run(&g, &algo, workload_config(1, 64)).expect("valid");
+        let (b, _) = bare_run(&g, &algo, workload_config(1, 64)).expect("valid");
         assert_eq!(outcome_digest(&a), outcome_digest(&b));
-        let (c, _) = bare_run(&g, &algo, workload_config(2, 64));
+        let (c, _) = bare_run(&g, &algo, workload_config(2, 64)).expect("valid");
         assert_ne!(outcome_digest(&a), outcome_digest(&c));
     }
 
@@ -339,7 +366,7 @@ mod tests {
         // The trailing fault pins the stabilization check past `rounds`.
         let g = workload_graph(48);
         let algo = Algorithm1::new(&g, LmaxPolicy::global_delta(&g));
-        let (outcome, _) = bare_run(&g, &algo, workload_config(7, 100));
+        let (outcome, _) = bare_run(&g, &algo, workload_config(7, 100)).expect("valid");
         assert!(outcome.rounds_run >= 100, "ran only {}", outcome.rounds_run);
     }
 

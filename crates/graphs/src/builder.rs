@@ -133,7 +133,7 @@ impl GraphBuilder {
         for v in 0..self.n {
             neighbors[offsets[v]..offsets[v + 1]].sort_unstable();
         }
-        Graph::from_csr(offsets, neighbors)
+        Graph::from_csr_trusted(offsets, neighbors)
     }
 }
 

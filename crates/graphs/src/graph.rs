@@ -83,11 +83,54 @@ impl Graph {
 
     /// Builds a graph directly from CSR buffers.
     ///
-    /// Used by [`crate::GraphBuilder`]; the buffers must already satisfy the
-    /// CSR invariants (per-node sorted, deduplicated, symmetric).
-    pub(crate) fn from_csr(offsets: Vec<usize>, neighbors: Vec<u32>) -> Graph {
-        debug_assert!(!offsets.is_empty());
-        debug_assert_eq!(*offsets.last().unwrap(), neighbors.len());
+    /// `offsets` must have one entry per node plus a final total-length
+    /// entry; `offsets[v]..offsets[v + 1]` indexes `neighbors` for node
+    /// `v`. The adjacency content itself (per-node sorted, deduplicated,
+    /// symmetric) is the caller's contract — only the *structural* CSR
+    /// shape is validated here, in release builds too, so a malformed
+    /// buffer surfaces as a typed error instead of a later out-of-bounds
+    /// panic.
+    ///
+    /// # Errors
+    ///
+    /// [`CsrError::EmptyOffsets`] if `offsets` has no entries at all,
+    /// [`CsrError::NonMonotonicOffsets`] if any offset decreases (or the
+    /// first is nonzero), [`CsrError::LengthMismatch`] if the final offset
+    /// disagrees with `neighbors.len()`.
+    pub fn from_csr(offsets: Vec<usize>, neighbors: Vec<u32>) -> Result<Graph, CsrError> {
+        let Some(&last) = offsets.last() else {
+            return Err(CsrError::EmptyOffsets);
+        };
+        if offsets[0] != 0 {
+            return Err(CsrError::NonMonotonicOffsets { index: 0 });
+        }
+        if let Some(index) = (1..offsets.len()).find(|&i| offsets[i] < offsets[i - 1]) {
+            return Err(CsrError::NonMonotonicOffsets { index });
+        }
+        if last != neighbors.len() {
+            return Err(CsrError::LengthMismatch { last_offset: last, neighbors: neighbors.len() });
+        }
+        Ok(Graph { offsets, neighbors })
+    }
+
+    /// Builds a graph from CSR buffers whose structural invariants the
+    /// caller upholds *by construction* — the crate-internal back door for
+    /// [`GraphBuilder::build`](crate::builder::GraphBuilder::build), whose
+    /// prefix-sum loop cannot produce an empty or non-monotonic offsets
+    /// array. Debug builds still verify the contract; release builds skip
+    /// the scan (and the panic path a fallible call would reintroduce on
+    /// the hot decode route).
+    pub(crate) fn from_csr_trusted(offsets: Vec<usize>, neighbors: Vec<u32>) -> Graph {
+        debug_assert!(!offsets.is_empty(), "CSR offsets must have a final total-length entry");
+        debug_assert!(
+            offsets[0] == 0 && offsets.windows(2).all(|w| w[0] <= w[1]),
+            "CSR offsets must be monotonic from 0"
+        );
+        debug_assert_eq!(
+            offsets.last().copied(),
+            Some(neighbors.len()),
+            "CSR final offset must equal the neighbor buffer length"
+        );
         Graph { offsets, neighbors }
     }
 
@@ -440,6 +483,46 @@ impl Graph {
     }
 }
 
+/// Why a pair of CSR buffers does not describe a graph (see
+/// [`Graph::from_csr`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CsrError {
+    /// `offsets` was empty — a CSR always has at least the final
+    /// total-length entry (an empty graph is `offsets == [0]`).
+    EmptyOffsets,
+    /// An offset decreased relative to its predecessor (or the first offset
+    /// was nonzero), so some node's adjacency range is ill-formed.
+    NonMonotonicOffsets {
+        /// Index of the first offending entry in `offsets`.
+        index: usize,
+    },
+    /// The final offset does not equal the neighbor buffer's length, so the
+    /// buffers disagree about how many adjacency entries exist.
+    LengthMismatch {
+        /// The final entry of `offsets`.
+        last_offset: usize,
+        /// `neighbors.len()`.
+        neighbors: usize,
+    },
+}
+
+impl std::fmt::Display for CsrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsrError::EmptyOffsets => write!(f, "CSR offsets buffer is empty"),
+            CsrError::NonMonotonicOffsets { index } => {
+                write!(f, "CSR offsets are not monotonically non-decreasing at index {index}")
+            }
+            CsrError::LengthMismatch { last_offset, neighbors } => write!(
+                f,
+                "CSR final offset {last_offset} disagrees with neighbor buffer length {neighbors}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CsrError {}
+
 /// Iterator over undirected edges of a [`Graph`], produced by
 /// [`Graph::edges`]. Yields each edge once as `(u, v)` with `u < v`.
 #[derive(Debug, Clone)]
@@ -473,6 +556,58 @@ impl Iterator for Edges<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn from_csr_accepts_a_valid_graph() {
+        let g = Graph::from_csr(vec![0, 2, 3, 3], vec![1, 2, 0]).unwrap();
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(2), &[] as &[u32]);
+        let empty = Graph::from_csr(vec![0], vec![]).unwrap();
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn from_csr_rejects_empty_offsets() {
+        assert_eq!(Graph::from_csr(vec![], vec![]), Err(CsrError::EmptyOffsets));
+        assert_eq!(Graph::from_csr(vec![], vec![0, 1]), Err(CsrError::EmptyOffsets));
+    }
+
+    #[test]
+    fn from_csr_rejects_non_monotonic_offsets() {
+        assert_eq!(
+            Graph::from_csr(vec![1, 2], vec![0, 0]),
+            Err(CsrError::NonMonotonicOffsets { index: 0 })
+        );
+        assert_eq!(
+            Graph::from_csr(vec![0, 3, 2], vec![0, 0, 0]),
+            Err(CsrError::NonMonotonicOffsets { index: 2 })
+        );
+    }
+
+    #[test]
+    fn from_csr_rejects_mismatched_neighbor_length() {
+        assert_eq!(
+            Graph::from_csr(vec![0, 2], vec![1]),
+            Err(CsrError::LengthMismatch { last_offset: 2, neighbors: 1 })
+        );
+        assert_eq!(
+            Graph::from_csr(vec![0, 1], vec![1, 0, 2]),
+            Err(CsrError::LengthMismatch { last_offset: 1, neighbors: 3 })
+        );
+    }
+
+    #[test]
+    fn csr_error_display_is_nonempty() {
+        let errors = [
+            CsrError::EmptyOffsets,
+            CsrError::NonMonotonicOffsets { index: 4 },
+            CsrError::LengthMismatch { last_offset: 2, neighbors: 1 },
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
 
     fn triangle() -> Graph {
         Graph::from_edges(3, [(0, 1), (1, 2), (0, 2)]).unwrap()

@@ -1,0 +1,280 @@
+//! Cache-sized, word-aligned sharding of a CSR graph.
+//!
+//! A [`ShardPlan`] partitions the node range `0..n` into contiguous shards
+//! whose boundaries are multiples of 64 (except the final boundary `n`), so
+//! that per-node byte arrays *and* word-packed per-node bitsets can both be
+//! split at shard boundaries into disjoint `&mut` slices — no two shards
+//! ever touch the same `u64` word of a packed bitset. Shards are balanced
+//! by CSR work (`degree(v) + 1` per node), the cost model of one delivery
+//! sweep, and sized so a shard's working set fits in a private cache.
+//!
+//! The parallel scatter kernel (`beeping::par`) drives its workers off
+//! [`ShardPlan::worker_ranges`]: each worker owns a contiguous run of
+//! shards, walks them shard by shard, and writes only inside its own
+//! word-aligned range.
+
+use std::ops::Range;
+
+use crate::Graph;
+
+/// Target working-set size of one shard, in bytes — on the order of a
+/// private L2 cache, so one shard's states, RNG streams, signal bytes and
+/// adjacency slice stay resident while a worker sweeps it.
+pub const TARGET_SHARD_BYTES: usize = 2 << 20;
+
+/// Approximate per-node bytes touched by a round sweep (state, RNG stream,
+/// sent/heard signals, packed-bitset share) — the coefficient of the
+/// cache-sizing heuristic, not a layout guarantee.
+const BYTES_PER_NODE: usize = 48;
+
+/// Bytes per CSR adjacency entry (`u32`).
+const BYTES_PER_EDGE_SLOT: usize = 4;
+
+/// A partition of a graph's node range into contiguous, word-aligned,
+/// work-balanced shards. See the module docs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    /// Shard `i` covers nodes `boundaries[i]..boundaries[i + 1]`. Every
+    /// entry except the last is a multiple of 64; entries are strictly
+    /// increasing; the last entry is `n`.
+    boundaries: Vec<usize>,
+    /// CSR work per shard: `Σ (degree(v) + 1)` over the shard's nodes.
+    weights: Vec<u64>,
+}
+
+impl ShardPlan {
+    /// Partitions `graph` into (at most) `target_shards` shards balanced by
+    /// `degree(v) + 1`. The shard count is clamped to `[1, ⌈n / 64⌉]` —
+    /// every shard spans at least one 64-node word — so tiny graphs yield
+    /// fewer shards than requested. An empty graph yields one empty shard.
+    pub fn build(graph: &Graph, target_shards: usize) -> ShardPlan {
+        let n = graph.len();
+        if n == 0 {
+            return ShardPlan { boundaries: vec![0, 0], weights: vec![0] };
+        }
+        let words = n.div_ceil(64);
+        let shards = target_shards.clamp(1, words);
+        // Per-word work, so boundaries can only land on word edges.
+        let mut word_weight = vec![0u64; words];
+        let mut total = 0u64;
+        for v in 0..n {
+            let w = (graph.degree(v) + 1) as u64;
+            word_weight[v >> 6] += w;
+            total += w;
+        }
+        let mut boundaries = Vec::with_capacity(shards + 1);
+        boundaries.push(0usize);
+        let mut weights = Vec::with_capacity(shards);
+        let mut acc = 0u64;
+        let mut shard_acc = 0u64;
+        for (w, &weight) in word_weight.iter().enumerate() {
+            acc += weight;
+            shard_acc += weight;
+            let closed = boundaries.len() - 1;
+            if closed + 1 == shards {
+                break; // the final shard always ends at n
+            }
+            // Close the (closed+1)-th shard at this word edge once the
+            // running work passes its quantile — or when exactly enough
+            // words remain to give every later shard one word.
+            let quantile_met = acc.saturating_mul(shards as u64) >= (closed as u64 + 1) * total;
+            let words_left = words - (w + 1);
+            let shards_left = shards - (closed + 1);
+            if quantile_met || words_left == shards_left {
+                boundaries.push(((w + 1) * 64).min(n));
+                weights.push(shard_acc);
+                shard_acc = 0;
+            }
+        }
+        // The final shard: everything from the last boundary to n.
+        weights.push(total - weights.iter().sum::<u64>());
+        boundaries.push(n);
+        ShardPlan { boundaries, weights }
+    }
+
+    /// Like [`ShardPlan::build`], with the shard count derived from the
+    /// cache-sizing heuristic: enough shards that each one's estimated
+    /// working set fits in [`TARGET_SHARD_BYTES`], but never fewer than
+    /// `min_shards` (typically the worker count).
+    pub fn cache_sized(graph: &Graph, min_shards: usize) -> ShardPlan {
+        let n = graph.len();
+        let bytes = n * BYTES_PER_NODE + graph.degree_sum() * BYTES_PER_EDGE_SLOT;
+        let for_cache = bytes.div_ceil(TARGET_SHARD_BYTES.max(1));
+        ShardPlan::build(graph, min_shards.max(for_cache).max(1))
+    }
+
+    /// Number of shards (at least 1).
+    pub fn num_shards(&self) -> usize {
+        self.boundaries.len() - 1
+    }
+
+    /// Node count covered by the plan.
+    pub fn len(&self) -> usize {
+        *self.boundaries.last().unwrap_or(&0)
+    }
+
+    /// `true` if the plan covers no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The node range of shard `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.num_shards()`.
+    pub fn shard(&self, i: usize) -> Range<usize> {
+        self.boundaries[i]..self.boundaries[i + 1]
+    }
+
+    /// The CSR work (`Σ degree + 1`) of shard `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.num_shards()`.
+    pub fn weight(&self, i: usize) -> u64 {
+        self.weights[i]
+    }
+
+    /// Iterates the shard node ranges in order.
+    pub fn shards(&self) -> impl Iterator<Item = Range<usize>> + '_ {
+        (0..self.num_shards()).map(|i| self.shard(i))
+    }
+
+    /// Groups the shards into (at most) `workers` contiguous, work-balanced
+    /// node ranges — one per worker thread. Every returned range starts and
+    /// ends on a shard boundary, so it inherits the word alignment that
+    /// makes disjoint `&mut` bitset splitting sound. Ranges are non-empty
+    /// except on an empty graph (where a single empty range is returned);
+    /// fewer than `workers` ranges come back when there are fewer shards.
+    pub fn worker_ranges(&self, workers: usize) -> Vec<Range<usize>> {
+        let shards = self.num_shards();
+        let workers = workers.clamp(1, shards);
+        let total: u64 = self.weights.iter().sum();
+        let mut ranges = Vec::with_capacity(workers);
+        let mut start_shard = 0usize;
+        let mut acc = 0u64;
+        for (i, &w) in self.weights.iter().enumerate() {
+            acc += w;
+            let closed = ranges.len();
+            if closed + 1 == workers {
+                break; // the final worker takes the rest
+            }
+            let quantile_met = acc.saturating_mul(workers as u64) >= (closed as u64 + 1) * total;
+            let shards_left = shards - (i + 1);
+            let workers_left = workers - (closed + 1);
+            if quantile_met || shards_left == workers_left {
+                ranges.push(self.boundaries[start_shard]..self.boundaries[i + 1]);
+                start_shard = i + 1;
+            }
+        }
+        ranges.push(self.boundaries[start_shard]..self.len());
+        ranges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::classic;
+
+    #[test]
+    fn covers_the_node_range_exactly() {
+        let g = classic::cycle(1000);
+        let plan = ShardPlan::build(&g, 7);
+        let mut expected = 0usize;
+        for r in plan.shards() {
+            assert_eq!(r.start, expected, "shards must be contiguous");
+            assert!(r.end > r.start, "shards must be non-empty");
+            expected = r.end;
+        }
+        assert_eq!(expected, 1000);
+    }
+
+    #[test]
+    fn boundaries_are_word_aligned() {
+        let g = classic::cycle(1000);
+        let plan = ShardPlan::build(&g, 7);
+        for i in 0..plan.num_shards() - 1 {
+            assert_eq!(plan.shard(i).end % 64, 0, "interior boundary must be word-aligned");
+        }
+        assert_eq!(plan.shard(plan.num_shards() - 1).end, 1000);
+    }
+
+    #[test]
+    fn shard_count_is_clamped_to_words() {
+        // 100 nodes = 2 words: asking for 8 shards yields 2.
+        let g = classic::cycle(100);
+        let plan = ShardPlan::build(&g, 8);
+        assert_eq!(plan.num_shards(), 2);
+        assert_eq!(plan.shard(0), 0..64);
+        assert_eq!(plan.shard(1), 64..100);
+    }
+
+    #[test]
+    fn single_shard_and_empty_graph() {
+        let g = classic::cycle(10);
+        let plan = ShardPlan::build(&g, 1);
+        assert_eq!(plan.num_shards(), 1);
+        assert_eq!(plan.shard(0), 0..10);
+
+        let empty = ShardPlan::build(&Graph::empty(0), 4);
+        assert_eq!(empty.num_shards(), 1);
+        assert_eq!(empty.shard(0), 0..0);
+        assert!(empty.is_empty());
+        assert_eq!(empty.worker_ranges(4), vec![0..0]);
+    }
+
+    #[test]
+    fn weights_are_degree_balanced_on_a_regular_graph() {
+        // On a cycle every node has weight 3, so quantile closing lands
+        // shards within one word of perfect balance.
+        let g = classic::cycle(64 * 40);
+        let plan = ShardPlan::build(&g, 4);
+        assert_eq!(plan.num_shards(), 4);
+        let total: u64 = (0..4).map(|i| plan.weight(i)).sum();
+        assert_eq!(total, 3 * 64 * 40);
+        for i in 0..4 {
+            let w = plan.weight(i);
+            assert!((w as i64 - total as i64 / 4).unsigned_abs() <= 3 * 64, "shard {i}: {w}");
+        }
+    }
+
+    #[test]
+    fn skewed_degrees_shift_the_boundaries() {
+        // A star: node 0 carries half the work, so the first shard of a
+        // 2-shard plan ends well left of the node-count midpoint (256).
+        let g = classic::star(64 * 8);
+        let plan = ShardPlan::build(&g, 2);
+        assert_eq!(plan.num_shards(), 2);
+        assert!(plan.shard(0).end <= 192, "got {:?}", plan.shard(0));
+        assert!(plan.weight(0) >= plan.weight(1));
+    }
+
+    #[test]
+    fn worker_ranges_group_contiguous_shards() {
+        let g = classic::cycle(64 * 12);
+        let plan = ShardPlan::build(&g, 12);
+        for workers in [1usize, 2, 3, 5, 12, 40] {
+            let ranges = plan.worker_ranges(workers);
+            assert_eq!(ranges.len(), workers.min(12));
+            let mut expected = 0usize;
+            for r in &ranges {
+                assert_eq!(r.start, expected);
+                assert!(r.end > r.start);
+                assert!(r.end == plan.len() || r.end % 64 == 0);
+                expected = r.end;
+            }
+            assert_eq!(expected, plan.len());
+        }
+    }
+
+    #[test]
+    fn cache_sized_scales_with_graph_size() {
+        let small = classic::cycle(256);
+        assert_eq!(ShardPlan::cache_sized(&small, 2).num_shards(), 2);
+        // ~180k nodes * 48B ≈ 8.6 MB > 4 shards' worth of 2 MiB.
+        let large = classic::cycle(64 * 2800);
+        assert!(ShardPlan::cache_sized(&large, 2).num_shards() > 4);
+    }
+}

@@ -2,7 +2,7 @@
 //! arbitrary round and resumed from its durable snapshot must be
 //! bit-identical — same rounds, levels, MIS, participation bitmap and
 //! per-round trace — to a run that was never interrupted, across graph
-//! families, both delivery engines and composed fault/churn/noise plans.
+//! families, all four delivery engines and composed fault/churn/noise plans.
 
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -88,14 +88,19 @@ proptest! {
         family in 0u8..4,
         n in 8usize..28,
         seed in any::<u64>(),
-        engine_sel in 0usize..3,
+        engine_sel in 0usize..4,
         with_events in any::<bool>(),
         kill_at in 1u64..120,
         checkpoint_every in 1u64..24,
     ) {
         let g = family_graph(family, n, seed);
         let algo = Algorithm1::new(&g, LmaxPolicy::global_delta(&g));
-        let engine = [EngineMode::Scalar, EngineMode::Scatter, EngineMode::Frontier][engine_sel];
+        let engine = [
+            EngineMode::Scalar,
+            EngineMode::Scatter,
+            EngineMode::Frontier,
+            EngineMode::ParScatter { threads: 2 },
+        ][engine_sel];
         let config = composed_config(seed, g.len(), engine, with_events);
 
         let reference = uninterrupted(&g, &algo, config.clone());
@@ -128,6 +133,32 @@ fn kill_every_round_of_one_run_is_covered() {
         let report = killed_then_resumed(&g, &algo, config.clone(), kill_at, 8, &dir);
         std::fs::remove_dir_all(&dir).ok();
         assert_eq!(report.killed, kill_at <= reference.rounds_run, "kill_at={kill_at}");
+        assert_outcomes_identical(&report.outcome, &reference, &format!("kill_at={kill_at}"));
+    }
+}
+
+#[test]
+fn parallel_scatter_fast_path_survives_kills() {
+    // The composed proptest config carries channel noise, which sends
+    // ParScatter down the phased fallback; this test runs a *reliable*
+    // channel so every round goes through the parallel kernel proper, and
+    // pins that checkpoint/restore stays engine-agnostic: a run killed
+    // mid-flight and resumed (worker ranges and thread-local accumulators
+    // rebuilt from scratch, never snapshotted) matches an uninterrupted
+    // run, and an uninterrupted *scalar* run, bit for bit.
+    let g = random::gnp(24, 0.15, 9);
+    let algo = Algorithm1::new(&g, LmaxPolicy::global_delta(&g));
+    let config = ResumableConfig::new(9)
+        .with_engine(EngineMode::ParScatter { threads: 2 })
+        .with_faults(FaultPlan::new().with_fault(25, FaultTarget::RandomFraction(0.4)));
+    let reference = uninterrupted(&g, &algo, config.clone());
+    let scalar = uninterrupted(&g, &algo, config.clone().with_engine(EngineMode::Scalar));
+    assert_outcomes_identical(&reference, &scalar, "par(2) vs scalar");
+
+    for kill_at in [1u64, 8, 24, 25, 26, 57] {
+        let dir = scratch_dir("par");
+        let report = killed_then_resumed(&g, &algo, config.clone(), kill_at, 5, &dir);
+        std::fs::remove_dir_all(&dir).ok();
         assert_outcomes_identical(&report.outcome, &reference, &format!("kill_at={kill_at}"));
     }
 }

@@ -164,11 +164,16 @@ fn l4_sanctioned(path: &str) -> bool {
     path == "crates/beeping/src/rng.rs" || path == "crates/graphs/src/generators/mod.rs"
 }
 
-/// Modules sanctioned to own sync primitives (threads, locks, atomics).
-/// Currently only the run supervisor; the sharded-scatter merge will join
-/// this list when ROADMAP item 2 lands.
+/// Modules sanctioned to own sync primitives (threads, locks, atomics):
+///
+/// - `harness::supervisor` — the watchdog thread around a supervised run;
+/// - `beeping::par` — the sharded-scatter kernel (ROADMAP item 1). Its
+///   parallelism is pure data decomposition over `std::thread::scope` with
+///   word-aligned disjoint `&mut` splits — no locks, no atomics — and its
+///   bit-identity to the sequential engines is pinned by the
+///   `engine_differential` proptests at several thread counts.
 fn l5_sync_sanctioned(path: &str) -> bool {
-    path == "crates/harness/src/supervisor.rs"
+    path == "crates/harness/src/supervisor.rs" || path == "crates/beeping/src/par.rs"
 }
 
 /// The harness snapshot codec, where *every* function is an L3 hot path:
@@ -718,7 +723,9 @@ fn check_concurrency_discipline(p: &Prepared, findings: &mut Vec<Finding>) {
             && (SYNC.contains(&tok.text.as_str())
                 || (tok.is_ident("thread")
                     && p.tokens.get(i + 1).is_some_and(|t| t.is_punct("::"))
-                    && p.tokens.get(i + 2).is_some_and(|t| t.is_ident("spawn"))))
+                    && p.tokens.get(i + 2).is_some_and(|t| {
+                        t.is_ident("spawn") || t.is_ident("scope") || t.is_ident("Builder")
+                    })))
         {
             push(
                 findings,
@@ -728,8 +735,8 @@ fn check_concurrency_discipline(p: &Prepared, findings: &mut Vec<Finding>) {
                 &p.lines,
                 format!(
                     "use of `{}` outside sanctioned concurrency modules \
-                     (harness::supervisor): threads and shared-state primitives may \
-                     only live behind the audited supervisor boundary so the \
+                     (harness::supervisor, beeping::par): threads and shared-state \
+                     primitives may only live behind an audited boundary so the \
                      EngineMode bit-identity contract survives parallelism",
                     tok.text
                 ),
@@ -1083,6 +1090,18 @@ mod tests {
         let f = run("crates/mis/src/x.rs", src, &[RuleId::L5]);
         assert_eq!(f.len(), 2, "{f:?}");
         assert!(run("crates/harness/src/supervisor.rs", src, &[RuleId::L5]).is_empty());
+        assert!(run("crates/beeping/src/par.rs", src, &[RuleId::L5]).is_empty());
+    }
+
+    #[test]
+    fn l5_scoped_threads_count_as_threading() {
+        // `thread::scope` is how the parallel engine spawns — unsanctioned
+        // modules must not get a pass just because they avoid `spawn`.
+        let src = "fn f() { std::thread::scope(|s| { s.spawn(|| {}); }); }";
+        let f = run("crates/mis/src/x.rs", src, &[RuleId::L5]);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("thread"));
+        assert!(run("crates/beeping/src/par.rs", src, &[RuleId::L5]).is_empty());
     }
 
     #[test]
